@@ -1,0 +1,330 @@
+//! The top-level database object.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use basilisk_catalog::Catalog;
+use basilisk_plan::{PlannerKind, Query, QuerySession};
+use basilisk_sql::{parse_select, Projection};
+use basilisk_storage::{LfuPageCache, Table};
+use basilisk_types::Result;
+
+use crate::result::SqlResult;
+
+/// A Basilisk database: a catalog of registered tables plus the page cache
+/// used for disk-resident tables.
+pub struct Database {
+    catalog: Catalog,
+    cache: Arc<LfuPageCache>,
+    default_planner: PlannerKind,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// An empty database with a default-size page cache (4096 pages ≈
+    /// 32 MiB).
+    pub fn new() -> Database {
+        Database::with_cache_pages(4096)
+    }
+
+    pub fn with_cache_pages(pages: usize) -> Database {
+        Database {
+            catalog: Catalog::new(),
+            cache: Arc::new(LfuPageCache::new(pages)),
+            default_planner: PlannerKind::TCombined,
+        }
+    }
+
+    /// Change the planner used by [`Database::sql`] (default TCombined).
+    pub fn set_default_planner(&mut self, kind: PlannerKind) {
+        self.default_planner = kind;
+    }
+
+    /// Register an in-memory table (statistics are computed on the spot).
+    pub fn register(&mut self, table: Table) -> Result<()> {
+        self.catalog.add_table(table)
+    }
+
+    /// Open a table previously saved with [`Database::save_table`] and
+    /// register it (data pages stay on disk, read through the LFU cache).
+    pub fn open_table(&mut self, dir: &Path) -> Result<()> {
+        let table = Table::load(dir, Arc::clone(&self.cache))?;
+        self.catalog.add_table(table)
+    }
+
+    /// Persist a registered table to `dir`.
+    pub fn save_table(&self, name: &str, dir: &Path) -> Result<()> {
+        self.catalog.table(name)?.save(dir)
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn cache(&self) -> &Arc<LfuPageCache> {
+        &self.cache
+    }
+
+    /// Build a planning/execution session for a programmatic [`Query`].
+    pub fn session(&self, query: Query) -> Result<QuerySession> {
+        QuerySession::new(&self.catalog, query)
+    }
+
+    /// Parse a SQL SELECT, resolving `*` against the catalog. `LIMIT` and
+    /// `COUNT(*)` are handled by [`Database::sql`]; this returns the bare
+    /// logical query.
+    pub fn parse(&self, sql: &str) -> Result<Query> {
+        Ok(self.parse_full(sql)?.0)
+    }
+
+    fn parse_full(&self, sql: &str) -> Result<(Query, Option<usize>, bool)> {
+        let stmt = parse_select(sql)?;
+        let limit = stmt.limit;
+        let star = matches!(stmt.projection, Projection::Star);
+        let is_count = matches!(stmt.projection, Projection::Count);
+        let mut query = stmt.into_query();
+        if star {
+            let mut cols = Vec::new();
+            for (alias, table_name) in &query.aliases {
+                let table = self.catalog.table(table_name)?;
+                for name in table.column_names() {
+                    cols.push(basilisk_expr::ColumnRef::new(alias.clone(), name));
+                }
+            }
+            query.projection = cols;
+        }
+        query.validate()?;
+        Ok((query, limit, is_count))
+    }
+
+    /// Run a SQL query with the default planner.
+    pub fn sql(&self, sql: &str) -> Result<SqlResult> {
+        self.sql_with(sql, self.default_planner)
+    }
+
+    /// Run a SQL query with an explicit planner.
+    pub fn sql_with(&self, sql: &str, kind: PlannerKind) -> Result<SqlResult> {
+        let (query, limit, is_count) = self.parse_full(sql)?;
+        let session = self.session(query)?;
+        let plan = {
+            let t0 = std::time::Instant::now();
+            let p = session.plan(kind)?;
+            (p, t0.elapsed())
+        };
+        let t1 = std::time::Instant::now();
+        let output = session.execute(&plan.0)?;
+        let execution = t1.elapsed();
+        let full_count = output.count();
+
+        let (columns, row_count) = if is_count {
+            // COUNT(*): one row, one synthetic column (LIMIT 0 still
+            // yields the count row, matching SQL aggregates).
+            (
+                vec![(
+                    basilisk_expr::ColumnRef::new("", "count(*)"),
+                    basilisk_storage::Column::from_ints(vec![full_count as i64]),
+                )],
+                1,
+            )
+        } else {
+            let mut columns = session.project(&output)?;
+            let mut row_count = full_count;
+            if let Some(l) = limit {
+                if l < row_count {
+                    let keep: Vec<u32> = (0..l as u32).collect();
+                    for (_, col) in &mut columns {
+                        *col = col.gather(&keep);
+                    }
+                    row_count = l;
+                }
+            }
+            (columns, row_count)
+        };
+        Ok(SqlResult {
+            row_count,
+            columns,
+            planner: kind,
+            chosen: plan.0.chosen_planner(),
+            timings: basilisk_plan::PlanTimings {
+                planning: plan.1,
+                execution,
+            },
+        })
+    }
+
+    /// EXPLAIN: render the plan a planner would choose for a SQL query.
+    pub fn explain(&self, sql: &str, kind: PlannerKind) -> Result<String> {
+        let query = self.parse(sql)?;
+        let session = self.session(query)?;
+        let plan = session.plan(kind)?;
+        Ok(session.explain(&plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::{DataType, Value};
+
+    fn movie_db() -> Database {
+        let mut db = Database::new();
+        let mut b = TableBuilder::new("title")
+            .column("id", DataType::Int)
+            .column("year", DataType::Int)
+            .column("name", DataType::Str);
+        for (id, year, name) in [
+            (1i64, 2008i64, "The Dark Knight"),
+            (2, 2001, "Evolution"),
+            (3, 1994, "The Shawshank Redemption"),
+            (4, 1994, "Pulp Fiction"),
+            (5, 1972, "The Godfather"),
+            (6, 1988, "Beetlejuice"),
+            (7, 2009, "Avatar"),
+        ] {
+            b.push_row(vec![id.into(), year.into(), name.into()]).unwrap();
+        }
+        db.register(b.finish().unwrap()).unwrap();
+        let mut b = TableBuilder::new("movie_info_idx")
+            .column("movie_id", DataType::Int)
+            .column("score", DataType::Str);
+        for (mid, s) in [
+            (1i64, "9.0"),
+            (3, "9.3"),
+            (4, "8.9"),
+            (5, "9.2"),
+            (6, "7.5"),
+            (7, "7.9"),
+        ] {
+            b.push_row(vec![mid.into(), s.into()]).unwrap();
+        }
+        db.register(b.finish().unwrap()).unwrap();
+        db
+    }
+
+    /// Query 1 from the paper, end to end through SQL.
+    #[test]
+    fn query1_sql_end_to_end() {
+        let db = movie_db();
+        let result = db
+            .sql(
+                "SELECT * FROM title AS t JOIN movie_info_idx AS mi_idx \
+                 ON t.id = mi_idx.movie_id \
+                 WHERE (t.year > 2000 AND mi_idx.score > '7.0') \
+                 OR (t.year > 1980 AND mi_idx.score > '8.0')",
+            )
+            .unwrap();
+        // Dark Knight, Avatar (recent, >7.0) + Shawshank, Pulp Fiction
+        // (post-1980, >8.0).
+        assert_eq!(result.row_count, 4);
+        assert_eq!(result.columns.len(), 5, "star expands all columns");
+        assert!(result.chosen.is_some());
+    }
+
+    #[test]
+    fn every_planner_gives_same_answer() {
+        let db = movie_db();
+        let sql = "SELECT t.id FROM title t JOIN movie_info_idx mi ON t.id = mi.movie_id \
+                   WHERE t.year > 2000 AND mi.score > '8.0' OR t.name ILIKE '%godfather%'";
+        let mut counts = Vec::new();
+        for kind in [
+            PlannerKind::TPushdown,
+            PlannerKind::TPullup,
+            PlannerKind::TIterPush,
+            PlannerKind::TPushConj,
+            PlannerKind::TCombined,
+            PlannerKind::BDisj,
+            PlannerKind::BPushConj,
+        ] {
+            counts.push(db.sql_with(sql, kind).unwrap().row_count);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        assert_eq!(counts[0], 2, "Dark Knight + The Godfather");
+    }
+
+    #[test]
+    fn explain_produces_plans() {
+        let db = movie_db();
+        let sql = "SELECT * FROM title t JOIN movie_info_idx mi ON t.id = mi.movie_id \
+                   WHERE t.year > 2000 OR mi.score > '9.0'";
+        let tagged = db.explain(sql, PlannerKind::TCombined).unwrap();
+        assert!(tagged.contains("tagged plan"), "{tagged}");
+        let trad = db.explain(sql, PlannerKind::BDisj).unwrap();
+        assert!(trad.contains("Union"), "{trad}");
+    }
+
+    #[test]
+    fn save_open_roundtrip_runs_queries_from_disk() {
+        let db = movie_db();
+        let dir = std::env::temp_dir().join(format!("basilisk-db-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        db.save_table("title", &dir.join("title")).unwrap();
+        db.save_table("movie_info_idx", &dir.join("mi")).unwrap();
+
+        let mut db2 = Database::with_cache_pages(64);
+        db2.open_table(&dir.join("title")).unwrap();
+        db2.open_table(&dir.join("mi")).unwrap();
+        let r = db2
+            .sql("SELECT t.id FROM title t WHERE t.year > 2000")
+            .unwrap();
+        assert_eq!(r.row_count, 3);
+        assert!(db2.cache().stats().misses > 0, "reads went through cache");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nulls_handled_automatically() {
+        let mut db = Database::new();
+        let mut b = TableBuilder::new("t")
+            .column("id", DataType::Int)
+            .column("note", DataType::Str)
+            .column("year", DataType::Int);
+        for (id, note, year) in [
+            (1i64, Value::from("x"), 2005i64),
+            (2, Value::Null, 2010),
+            (3, Value::Null, 1990),
+            (4, Value::from("co-prod"), 1990),
+        ] {
+            b.push_row(vec![id.into(), note, year.into()]).unwrap();
+        }
+        db.register(b.finish().unwrap()).unwrap();
+        // Row 2 has note NULL but satisfies year > 2000: the unknown slice
+        // must keep it alive (three-valued tag maps auto-enabled).
+        let sql =
+            "SELECT t.id FROM t WHERE t.note LIKE '%co%' OR t.year > 2000";
+        for kind in [PlannerKind::TCombined, PlannerKind::TPushdown, PlannerKind::BDisj] {
+            let r = db.sql_with(sql, kind).unwrap();
+            assert_eq!(r.row_count, 3, "rows 1,2,4 under {kind}");
+        }
+    }
+
+    #[test]
+    fn errors_surface() {
+        let db = movie_db();
+        assert!(db.sql("SELECT * FROM nope").is_err());
+        assert!(db.sql("SELECT broken").is_err());
+        assert!(db
+            .sql("SELECT * FROM title t WHERE t.zz > 1")
+            .is_err());
+        let mut db2 = movie_db();
+        let mut b = TableBuilder::new("title").column("id", DataType::Int);
+        b.push_row(vec![1i64.into()]).unwrap();
+        assert!(db2.register(b.finish().unwrap()).is_err(), "duplicate");
+    }
+
+    #[test]
+    fn default_planner_override() {
+        let mut db = movie_db();
+        db.set_default_planner(PlannerKind::BPushConj);
+        let r = db
+            .sql("SELECT t.id FROM title t WHERE t.year > 2000")
+            .unwrap();
+        assert_eq!(r.planner, PlannerKind::BPushConj);
+        assert!(r.chosen.is_none(), "traditional plans have no subplanner");
+    }
+}

@@ -1,0 +1,54 @@
+//! # Basilisk — tagged execution for disjunctive queries
+//!
+//! A column-oriented query engine implementing **tagged execution** (Kim &
+//! Madden, "Optimizing Disjunctive Queries with Tagged Execution", SIGMOD
+//! 2024): tuples are grouped into *relational slices* tagged with the
+//! predicate outcomes they satisfy, letting the engine push disjunctive
+//! predicates down, evaluate every predicate exactly once, and materialize
+//! every tuple exactly once — no per-clause re-execution, no union
+//! operator.
+//!
+//! ```
+//! use basilisk::{Database, PlannerKind};
+//! use basilisk_storage::TableBuilder;
+//! use basilisk_types::DataType;
+//!
+//! let mut db = Database::new();
+//! let mut b = TableBuilder::new("title")
+//!     .column("id", DataType::Int)
+//!     .column("year", DataType::Int);
+//! for (id, year) in [(1i64, 2008i64), (2, 1994), (3, 1972)] {
+//!     b.push_row(vec![id.into(), year.into()]).unwrap();
+//! }
+//! db.register(b.finish().unwrap()).unwrap();
+//!
+//! let result = db
+//!     .sql("SELECT t.id FROM title t WHERE t.year > 2000 OR t.year < 1980")
+//!     .unwrap();
+//! assert_eq!(result.row_count, 2);
+//! ```
+//!
+//! The crate re-exports the full stack: storage ([`Table`],
+//! [`TableBuilder`]), expressions ([`col`], [`and`], [`or`]), the tagged
+//! core ([`Tag`], [`TagMapStrategy`]), planning ([`Query`],
+//! [`PlannerKind`], [`QuerySession`]) and SQL ([`parse_select`]).
+
+mod db;
+mod result;
+
+pub use db::Database;
+pub use result::SqlResult;
+
+// One-stop re-exports.
+pub use basilisk_catalog::{Catalog, Estimator};
+pub use basilisk_core::{Tag, TagMapBuilder, TagMapStrategy};
+pub use basilisk_expr::{
+    and, col, factor_common_conjuncts, lit, not, or, Atom, CmpOp, ColumnRef, Expr,
+    PredicateTree,
+};
+pub use basilisk_plan::{
+    JoinCond, Plan, PlanTimings, PlannerKind, Query, QueryOutput, QuerySession,
+};
+pub use basilisk_sql::{parse_select, Projection, SelectStmt};
+pub use basilisk_storage::{Column, LfuPageCache, Table, TableBuilder};
+pub use basilisk_types::{BasiliskError, Bitmap, DataType, Result, Truth, Value};

@@ -1,0 +1,138 @@
+//! Materialized query results with terminal-friendly rendering.
+
+use basilisk_expr::ColumnRef;
+use basilisk_plan::{PlanTimings, PlannerKind};
+use basilisk_storage::Column;
+
+/// The result of [`Database::sql`](crate::Database::sql): materialized
+/// projection columns plus planner/timing metadata.
+pub struct SqlResult {
+    pub columns: Vec<(ColumnRef, Column)>,
+    pub row_count: usize,
+    /// The planner that was requested.
+    pub planner: PlannerKind,
+    /// For TCombined, the winning subplanner.
+    pub chosen: Option<PlannerKind>,
+    pub timings: PlanTimings,
+}
+
+impl SqlResult {
+    /// Render up to `limit` rows as an ASCII table.
+    pub fn to_table_string(&self, limit: usize) -> String {
+        if self.columns.is_empty() {
+            return format!("({} rows)\n", self.row_count);
+        }
+        let shown = self.row_count.min(limit);
+        let headers: Vec<String> = self
+            .columns
+            .iter()
+            .map(|(c, _)| {
+                if c.table.is_empty() {
+                    c.column.clone()
+                } else {
+                    format!("{c}")
+                }
+            })
+            .collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+        for i in 0..shown {
+            cells.push(
+                self.columns
+                    .iter()
+                    .map(|(_, col)| col.value(i).to_string())
+                    .collect(),
+            );
+        }
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for row in &cells {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let sep = |widths: &[usize]| {
+            let mut s = String::from("+");
+            for w in widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = sep(&widths);
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:w$} |"));
+        }
+        out.push('\n');
+        out.push_str(&sep(&widths));
+        for row in &cells {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:w$} |"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&sep(&widths));
+        if shown < self.row_count {
+            out.push_str(&format!(
+                "({} rows, showing first {shown})\n",
+                self.row_count
+            ));
+        } else {
+            out.push_str(&format!("({} rows)\n", self.row_count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_storage::Column;
+
+    fn sample() -> SqlResult {
+        SqlResult {
+            columns: vec![
+                (
+                    ColumnRef::new("t", "id"),
+                    Column::from_ints(vec![1, 2, 3]),
+                ),
+                (
+                    ColumnRef::new("t", "name"),
+                    Column::from_strs(&["a", "longer name", "c"]),
+                ),
+            ],
+            row_count: 3,
+            planner: PlannerKind::TCombined,
+            chosen: Some(PlannerKind::TPushdown),
+            timings: PlanTimings::default(),
+        }
+    }
+
+    #[test]
+    fn renders_aligned_table() {
+        let s = sample().to_table_string(10);
+        assert!(s.contains("| t.id | t.name        |"), "{s}");
+        assert!(s.contains("| 1    | 'a'           |"), "{s}");
+        assert!(s.contains("(3 rows)"), "{s}");
+    }
+
+    #[test]
+    fn truncates_at_limit() {
+        let s = sample().to_table_string(2);
+        assert!(s.contains("showing first 2"), "{s}");
+        assert!(!s.contains("| 3"), "{s}");
+    }
+
+    #[test]
+    fn count_only_results() {
+        let r = SqlResult {
+            columns: vec![],
+            row_count: 42,
+            planner: PlannerKind::BDisj,
+            chosen: None,
+            timings: PlanTimings::default(),
+        };
+        assert_eq!(r.to_table_string(10), "(42 rows)\n");
+    }
+}

@@ -1,0 +1,61 @@
+//! Microbenchmark: `GeneralizeTag` (Algorithm 1) runs in O(n) in the
+//! number of predicates — measured by generalizing tags over DNF predicate
+//! trees of growing clause count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use basilisk_core::{generalize_tag, Tag};
+use basilisk_expr::{and, col, or, Expr, PredicateTree};
+use basilisk_types::Truth;
+
+fn dnf_tree(clauses: usize) -> PredicateTree {
+    let terms: Vec<Expr> = (0..clauses)
+        .map(|i| {
+            and(vec![
+                col("t1", &format!("a{i}")).lt(0.2),
+                col("t2", &format!("a{i}")).lt(0.2),
+            ])
+        })
+        .collect();
+    PredicateTree::build(&or(terms))
+}
+
+fn bench_generalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generalize_tag");
+    group.sample_size(30);
+    for clauses in [2usize, 8, 32, 128] {
+        let tree = dnf_tree(clauses);
+        // Assign false to the first atom of every clause: every AND gets
+        // falsified, the root collapses — the worst-case full propagation.
+        let atoms = tree.atom_ids();
+        let tag = Tag::from_pairs(
+            atoms
+                .iter()
+                .step_by(2)
+                .map(|&id| (id, Truth::False))
+                .collect::<Vec<_>>(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_collapse", clauses),
+            &clauses,
+            |b, _| {
+                b.iter(|| {
+                    let g = generalize_tag(&tree, &tag);
+                    assert_eq!(g.len(), 1, "root=false");
+                    g
+                })
+            },
+        );
+        // Partial: only one atom assigned (fringe stays tiny).
+        let small = Tag::from_pairs([(atoms[0], Truth::False)]);
+        group.bench_with_input(
+            BenchmarkId::new("single_assignment", clauses),
+            &clauses,
+            |b, _| b.iter(|| generalize_tag(&tree, &small)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generalize);
+criterion_main!(benches);

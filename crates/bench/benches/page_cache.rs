@@ -1,0 +1,70 @@
+//! Microbenchmark: the LFU page cache hit and miss/eviction paths.
+
+use std::convert::Infallible;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use basilisk_storage::{LfuPageCache, PageKey};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfu_page_cache");
+    group.sample_size(30);
+
+    group.bench_function("hit", |b| {
+        let cache = LfuPageCache::new(64);
+        let key = PageKey {
+            file_id: 1,
+            page_no: 0,
+        };
+        cache
+            .get_or_load::<Infallible>(key, || Ok(vec![0u8; 8192]))
+            .unwrap();
+        b.iter(|| {
+            cache
+                .get_or_load::<Infallible>(key, || Ok(vec![0u8; 8192]))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("miss_with_eviction", |b| {
+        let cache = LfuPageCache::new(16);
+        let mut page_no = 0u32;
+        b.iter(|| {
+            page_no = page_no.wrapping_add(1);
+            cache
+                .get_or_load::<Infallible>(
+                    PageKey {
+                        file_id: 1,
+                        page_no,
+                    },
+                    || Ok(vec![0u8; 8192]),
+                )
+                .unwrap()
+        })
+    });
+
+    group.bench_function("zipf_mixed", |b| {
+        // Skewed access: the hot head should become all-hits under LFU.
+        let cache = LfuPageCache::new(32);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // crude skew: 75% of accesses to 8 hot pages
+            let page_no = if i % 4 != 0 { (i % 8) as u32 } else { (i % 512) as u32 };
+            cache
+                .get_or_load::<Infallible>(
+                    PageKey {
+                        file_id: 1,
+                        page_no,
+                    },
+                    || Ok(vec![0u8; 8192]),
+                )
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Tag generalization** (§3.2) vs the naive strategy (§3.1):
+//!    measures the tag-space blowup and runtime cost of carrying
+//!    ungeneralized tags.
+//! 2. **Atom-subsumption closure** on/off: the `year>2000 ⇒ year>1980`
+//!    reasoning the paper's planner uses (§2.2).
+//! 3. **Disk vs memory** execution: the same query over disk-resident
+//!    tables through the LFU page cache (§5 "System").
+//!
+//! Usage: ablations [--rows 10000] [--reps 3] [--seed 7]
+
+use std::sync::Arc;
+
+use basilisk::{Catalog, PlannerKind, QuerySession, TagMapStrategy};
+use basilisk_bench::{measure, Args};
+use basilisk_storage::{LfuPageCache, Table};
+use basilisk_workload::{dnf_query, generate_synthetic, SyntheticConfig};
+
+fn main() {
+    let args = Args::parse();
+    let rows = args.get_usize("--rows", 10_000);
+    let reps = args.get_usize("--reps", 3);
+    let seed = args.get_usize("--seed", 7) as u64;
+
+    let cfg = SyntheticConfig {
+        rows,
+        num_attrs: 7,
+        zipf_shape: 1.5,
+        seed,
+    };
+    let tables = generate_synthetic(&cfg).expect("generate");
+    let mut catalog = Catalog::new();
+    for t in &tables {
+        catalog.add_table(t.clone()).expect("register");
+    }
+
+    ablation_generalization(&catalog, reps);
+    ablation_closure(&catalog, reps);
+    ablation_disk(&tables, reps);
+}
+
+/// §3.1 vs §3.2: run TPushdown under the naive strategy and the
+/// generalized strategy; report runtime and the number of distinct tags
+/// reaching the final operator.
+fn ablation_generalization(catalog: &Catalog, reps: usize) {
+    println!("\n== Ablation 1: tag generalization (vs naive §3.1 tags) ==");
+    println!(
+        "{:>9} {:>8} {:>12} {:>10}",
+        "strategy", "clauses", "runtime(s)", "rows"
+    );
+    for clauses in 2..=4 {
+        let q = dnf_query(clauses, 0.2, None);
+        for (name, strategy) in [
+            ("naive", TagMapStrategy::Naive),
+            ("general", TagMapStrategy::Generalized { use_closure: true }),
+        ] {
+            let session = QuerySession::new(catalog, q.clone())
+                .expect("session")
+                .with_strategy(strategy);
+            let mut secs = 0.0;
+            let mut rows = 0;
+            for _ in 0..reps {
+                let (out, t) = session.run(PlannerKind::TPushdown).expect("run");
+                secs += t.total().as_secs_f64();
+                rows = out.count();
+            }
+            println!(
+                "{:>9} {:>8} {:>12.3} {:>10}",
+                name,
+                clauses,
+                secs / reps as f64,
+                rows
+            );
+        }
+    }
+    println!("# naive tags double per filter (§3.1's 2^n blowup); generalized stay flat");
+}
+
+/// Subsumption closure on/off.
+fn ablation_closure(catalog: &Catalog, reps: usize) {
+    println!("\n== Ablation 2: atom-subsumption closure ==");
+    println!("{:>9} {:>12} {:>10}", "closure", "runtime(s)", "rows");
+    // A query with subsumable predicates on the same attribute:
+    // (t1.a1 < 0.2 ∧ t2.a1 < 0.2) ∨ (t1.a1 < 0.5 ∧ t2.a1 < 0.5)
+    use basilisk::{and, col, or, Query};
+    use basilisk_expr::ColumnRef;
+    let q = Query::new(vec![
+        ("t0".into(), "t0".into()),
+        ("t1".into(), "t1".into()),
+        ("t2".into(), "t2".into()),
+    ])
+    .join(ColumnRef::new("t0", "id"), ColumnRef::new("t1", "fid"))
+    .join(ColumnRef::new("t0", "id"), ColumnRef::new("t2", "fid"))
+    .filter(or(vec![
+        and(vec![col("t1", "a1").lt(0.2), col("t2", "a1").lt(0.2)]),
+        and(vec![col("t1", "a1").lt(0.5), col("t2", "a1").lt(0.5)]),
+    ]));
+    for (name, use_closure) in [("off", false), ("on", true)] {
+        let session = QuerySession::new(catalog, q.clone())
+            .expect("session")
+            .with_strategy(TagMapStrategy::Generalized { use_closure });
+        let mut secs = 0.0;
+        let mut rows = 0;
+        for _ in 0..reps {
+            let (out, t) = session.run(PlannerKind::TPushdown).expect("run");
+            secs += t.total().as_secs_f64();
+            rows = out.count();
+        }
+        println!("{:>9} {:>12.3} {:>10}", name, secs / reps as f64, rows);
+    }
+    println!("# closure skips redundant filter slices and prunes join pairings earlier");
+}
+
+/// Disk-resident vs in-memory execution of the same query.
+fn ablation_disk(tables: &[Table], reps: usize) {
+    println!("\n== Ablation 3: disk (LFU page cache) vs memory ==");
+    let dir = std::env::temp_dir().join(format!("basilisk-ablation-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for t in tables {
+        t.save(&dir.join(t.name())).expect("save");
+    }
+    let q = dnf_query(2, 0.2, None);
+
+    let mut mem_catalog = Catalog::new();
+    for t in tables {
+        mem_catalog.add_table(t.clone()).expect("register");
+    }
+    let mem = measure(&mem_catalog, &q, PlannerKind::TCombined, reps).expect("mem");
+
+    for cache_pages in [32usize, 4096] {
+        let cache = Arc::new(LfuPageCache::new(cache_pages));
+        let mut disk_catalog = Catalog::new();
+        for t in tables {
+            let loaded =
+                Table::load(&dir.join(t.name()), Arc::clone(&cache)).expect("load");
+            disk_catalog.add_table(loaded).expect("register");
+        }
+        let disk = measure(&disk_catalog, &q, PlannerKind::TCombined, reps).expect("disk");
+        assert_eq!(mem.rows, disk.rows);
+        let stats = cache.stats();
+        println!(
+            "disk (cache {:>5} pages): {:>8.3}s   hits {:>7} misses {:>6} evictions {:>6}",
+            cache_pages,
+            disk.total_secs(),
+            stats.hits,
+            stats.misses,
+            stats.evictions
+        );
+    }
+    println!("mem                      : {:>8.3}s", mem.total_secs());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,165 @@
+//! Figure 3 (a–d): speedups from tagged execution on the 33 JOB-style
+//! disjunctive query groups.
+//!
+//! * panel a — BDisj / TCombined on the DNF (OR-rooted) queries.
+//! * panel b — BPushConj / TCombined on the common-conjunct-factored
+//!   (AND-rooted) queries.
+//! * panel c — BPushConj / TMin, where TMin is the best runtime of any
+//!   tagged planner.
+//! * panel d — BPushConj / TPushConj: the tagged-model overhead (same plan
+//!   shape, ≈0.9 in the paper ⇒ ~10% overhead).
+//!
+//! Usage:
+//!   fig3_job [--panel a|b|c|d|all] [--scale 0.3] [--reps 3] [--seed 42]
+
+use basilisk::{factor_common_conjuncts, Catalog, PlannerKind};
+use basilisk_bench::{max, mean, measure, min, speedup, Args, Measurement};
+use basilisk_workload::{generate_imdb, job_queries, ImdbConfig, JobQuery};
+
+fn main() {
+    let args = Args::parse();
+    let panel = args.get("--panel").unwrap_or("all").to_string();
+    let scale = args.get_f64("--scale", 0.3);
+    let reps = args.get_usize("--reps", 3);
+    let seed = args.get_usize("--seed", 42) as u64;
+
+    eprintln!("# generating IMDB-like dataset (scale {scale}) …");
+    let mut catalog = Catalog::new();
+    for t in generate_imdb(&ImdbConfig { scale, seed }).expect("generate") {
+        catalog.add_table(t).expect("register");
+    }
+    let queries = job_queries(seed);
+
+    if panel == "a" || panel == "all" {
+        panel_a(&catalog, &queries, reps);
+    }
+    if panel == "b" || panel == "all" {
+        panel_bcd(&catalog, &queries, reps, Panel::B);
+    }
+    if panel == "c" || panel == "all" {
+        panel_bcd(&catalog, &queries, reps, Panel::C);
+    }
+    if panel == "d" || panel == "all" {
+        panel_bcd(&catalog, &queries, reps, Panel::D);
+    }
+}
+
+fn panel_a(catalog: &Catalog, queries: &[JobQuery], reps: usize) {
+    println!("\n== Figure 3a: BDisj / TCombined (DNF queries; >1 = tagged wins) ==");
+    println!(
+        "{:>5} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "query", "BDisj(ms)", "TComb(ms)", "speedup", "exec-spd", "rows"
+    );
+    let mut speedups = Vec::new();
+    let mut exec_speedups = Vec::new();
+    for q in queries {
+        let b = measure(catalog, &q.query, PlannerKind::BDisj, reps).expect("BDisj");
+        let t = measure(catalog, &q.query, PlannerKind::TCombined, reps).expect("TCombined");
+        assert_eq!(b.rows, t.rows, "planners disagree on group {}", q.group);
+        let s = speedup(&b, &t);
+        let es = b.exec_secs() / t.exec_secs().max(1e-9);
+        speedups.push(s);
+        exec_speedups.push(es);
+        println!(
+            "{:>5} {:>12.2} {:>12.2} {:>9.2} {:>9.2} {:>9}",
+            q.group,
+            b.total_secs() * 1e3,
+            t.total_secs() * 1e3,
+            s,
+            es,
+            t.rows
+        );
+    }
+    summary("3a (total)", &speedups);
+    summary("3a (exec-only)", &exec_speedups);
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Panel {
+    B,
+    C,
+    D,
+}
+
+fn panel_bcd(catalog: &Catalog, queries: &[JobQuery], reps: usize, panel: Panel) {
+    let (title, tagged_label) = match panel {
+        Panel::B => (
+            "Figure 3b: BPushConj / TCombined (factored queries)",
+            "TComb(ms)",
+        ),
+        Panel::C => (
+            "Figure 3c: BPushConj / TMin (best tagged planner)",
+            "TMin(ms)",
+        ),
+        Panel::D => (
+            "Figure 3d: BPushConj / TPushConj (tagged-model overhead)",
+            "TPushC(ms)",
+        ),
+    };
+    println!("\n== {title} (>1 = tagged wins) ==");
+    println!(
+        "{:>5} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "query", "BPushC(ms)", tagged_label, "speedup", "exec-spd", "rows"
+    );
+    let mut speedups = Vec::new();
+    let mut exec_speedups = Vec::new();
+    for q in queries {
+        // The factored, AND-rooted form (the §5.1 rewrite for BPushConj).
+        let mut query = q.query.clone();
+        query.predicate = Some(factor_common_conjuncts(
+            query.predicate.as_ref().unwrap(),
+        ));
+        let b = measure(catalog, &query, PlannerKind::BPushConj, reps).expect("BPushConj");
+        let t: Measurement = match panel {
+            Panel::B => measure(catalog, &query, PlannerKind::TCombined, reps).unwrap(),
+            Panel::D => measure(catalog, &query, PlannerKind::TPushConj, reps).unwrap(),
+            Panel::C => {
+                // TMin: minimum total runtime over all tagged planners.
+                let mut best: Option<Measurement> = None;
+                for kind in PlannerKind::ALL_TAGGED {
+                    let m = measure(catalog, &query, kind, reps).unwrap();
+                    if best.map(|b| m.total() < b.total()).unwrap_or(true) {
+                        best = Some(m);
+                    }
+                }
+                best.unwrap()
+            }
+        };
+        assert_eq!(b.rows, t.rows, "planners disagree on group {}", q.group);
+        let s = speedup(&b, &t);
+        let es = b.exec_secs() / t.exec_secs().max(1e-9);
+        speedups.push(s);
+        exec_speedups.push(es);
+        println!(
+            "{:>5} {:>12.2} {:>12.2} {:>9.2} {:>9.2} {:>9}",
+            q.group,
+            b.total_secs() * 1e3,
+            t.total_secs() * 1e3,
+            s,
+            es,
+            t.rows
+        );
+    }
+    let name = match panel {
+        Panel::B => "3b",
+        Panel::C => "3c",
+        Panel::D => "3d",
+    };
+    summary(&format!("{name} (total)"), &speedups);
+    summary(&format!("{name} (exec-only)"), &exec_speedups);
+    if panel == Panel::D {
+        println!(
+            "# tagged-model overhead ≈ {:.0}% (paper: ~10%)",
+            (1.0 / mean(&speedups) - 1.0) * 100.0
+        );
+    }
+}
+
+fn summary(name: &str, speedups: &[f64]) {
+    println!(
+        "# fig {name}: avg speedup {:.2}x, max {:.2}x, min {:.2}x",
+        mean(speedups),
+        max(speedups),
+        min(speedups)
+    );
+}

@@ -1,0 +1,181 @@
+//! Figure 4 (a–d): the synthetic parameter sweeps of §5.2.
+//!
+//! * panel a — predicate selectivity 0.1–0.9 (DNF: BDisj vs TCombined;
+//!   CNF: BPushConj vs TCombined).
+//! * panel b — table size (CNF primary; the baseline suffers the
+//!   quadratic join growth directly).
+//! * panel c — number of root clauses 2–7 (DNF), printing TCombined's
+//!   total and execution-only runtimes separately (planning grows with
+//!   clause count — the TPullup effect the paper reports).
+//! * panel d — outer conjunctive factor 0.1–1.0 (CNF), with the sharp jump
+//!   when the Zipf head record (T0.id = 1) enters the result.
+//!
+//! Usage:
+//!   fig4_synthetic [--panel a|b|c|d|all] [--rows 10000] [--reps 3]
+//!                  [--max-rows 20000] [--seed 1337]
+
+use basilisk::{Catalog, PlannerKind, Query};
+use basilisk_bench::{measure, speedup, Args};
+use basilisk_workload::{cnf_query, dnf_query, generate_synthetic, SyntheticConfig};
+
+fn build_catalog(rows: usize, seed: u64) -> Catalog {
+    let cfg = SyntheticConfig {
+        rows,
+        num_attrs: 7,
+        zipf_shape: 1.5,
+        seed,
+    };
+    let mut catalog = Catalog::new();
+    for t in generate_synthetic(&cfg).expect("generate") {
+        catalog.add_table(t).expect("register");
+    }
+    catalog
+}
+
+fn main() {
+    let args = Args::parse();
+    let panel = args.get("--panel").unwrap_or("all").to_string();
+    let rows = args.get_usize("--rows", 10_000);
+    let reps = args.get_usize("--reps", 3);
+    let max_rows = args.get_usize("--max-rows", 20_000);
+    let seed = args.get_usize("--seed", 1337) as u64;
+
+    if panel == "a" || panel == "all" {
+        panel_a(rows, reps, seed);
+    }
+    if panel == "b" || panel == "all" {
+        panel_b(reps, seed, max_rows);
+    }
+    if panel == "c" || panel == "all" {
+        panel_c(rows, reps, seed);
+    }
+    if panel == "d" || panel == "all" {
+        panel_d(rows, reps, seed);
+    }
+}
+
+fn run_pair(
+    catalog: &Catalog,
+    query: &Query,
+    baseline: PlannerKind,
+    reps: usize,
+) -> (f64, f64, f64, usize) {
+    let b = measure(catalog, query, baseline, reps).expect("baseline");
+    let t = measure(catalog, query, PlannerKind::TCombined, reps).expect("TCombined");
+    assert_eq!(b.rows, t.rows, "planners disagree");
+    (b.total_secs(), t.total_secs(), speedup(&b, &t), t.rows)
+}
+
+fn panel_a(rows: usize, reps: usize, seed: u64) {
+    println!("\n== Figure 4a: selectivity sweep ({rows} rows/table) ==");
+    let catalog = build_catalog(rows, seed);
+    println!(
+        "{:>5} {:>6} {:>12} {:>12} {:>9} {:>10}",
+        "form", "sel", "base(s)", "TComb(s)", "speedup", "rows"
+    );
+    for &(form, baseline) in
+        &[("DNF", PlannerKind::BDisj), ("CNF", PlannerKind::BPushConj)]
+    {
+        for sel10 in (1..=9).step_by(2) {
+            let sel = sel10 as f64 / 10.0;
+            let q = if form == "DNF" {
+                dnf_query(2, sel, None)
+            } else {
+                cnf_query(2, sel, None)
+            };
+            let (b, t, s, n) = run_pair(&catalog, &q, baseline, reps);
+            println!(
+                "{:>5} {:>6.1} {:>12.3} {:>12.3} {:>9.2} {:>10}",
+                form, sel, b, t, s, n
+            );
+        }
+    }
+}
+
+fn panel_b(reps: usize, seed: u64, max_rows: usize) {
+    println!("\n== Figure 4b: table-size sweep (selectivity 0.2) ==");
+    println!(
+        "{:>5} {:>7} {:>12} {:>12} {:>9} {:>10}",
+        "form", "rows", "base(s)", "TComb(s)", "speedup", "rows_out"
+    );
+    // The paper sweeps 1k..50k; the default here stops at 20k to stay
+    // laptop-friendly (--max-rows raises it; shapes are unchanged).
+    for &n in &[1_000usize, 2_000, 5_000, 10_000, 20_000, 50_000] {
+        if n > max_rows {
+            continue;
+        }
+        let catalog = build_catalog(n, seed);
+        for &(form, baseline) in
+            &[("CNF", PlannerKind::BPushConj), ("DNF", PlannerKind::BDisj)]
+        {
+            let q = if form == "DNF" {
+                dnf_query(2, 0.2, None)
+            } else {
+                cnf_query(2, 0.2, None)
+            };
+            let (b, t, s, out) = run_pair(&catalog, &q, baseline, reps);
+            println!(
+                "{:>5} {:>7} {:>12.3} {:>12.3} {:>9.2} {:>10}",
+                form, n, b, t, s, out
+            );
+        }
+    }
+}
+
+fn panel_c(rows: usize, reps: usize, seed: u64) {
+    println!("\n== Figure 4c: number of root clauses ({rows} rows/table) ==");
+    let catalog = build_catalog(rows, seed);
+    println!(
+        "{:>5} {:>8} {:>12} {:>14} {:>13} {:>9}",
+        "form", "clauses", "base(s)", "TComb-total(s)", "TComb-exec(s)", "speedup"
+    );
+    for &(form, baseline) in
+        &[("DNF", PlannerKind::BDisj), ("CNF", PlannerKind::BPushConj)]
+    {
+        for clauses in 2..=7 {
+            let q = if form == "DNF" {
+                dnf_query(clauses, 0.2, None)
+            } else {
+                cnf_query(clauses, 0.2, None)
+            };
+            let b = measure(&catalog, &q, baseline, reps).expect("baseline");
+            let t = measure(&catalog, &q, PlannerKind::TCombined, reps).expect("tagged");
+            assert_eq!(b.rows, t.rows);
+            println!(
+                "{:>5} {:>8} {:>12.3} {:>14.3} {:>13.3} {:>9.2}",
+                form,
+                clauses,
+                b.total_secs(),
+                t.total_secs(),
+                t.exec_secs(),
+                b.total_secs() / t.exec_secs().max(1e-9),
+            );
+        }
+    }
+}
+
+fn panel_d(rows: usize, reps: usize, seed: u64) {
+    println!("\n== Figure 4d: outer conjunctive factor ({rows} rows/table) ==");
+    let catalog = build_catalog(rows, seed);
+    println!(
+        "{:>5} {:>7} {:>12} {:>12} {:>9} {:>10}",
+        "form", "factor", "base(s)", "TComb(s)", "speedup", "rows_out"
+    );
+    for &(form, baseline) in
+        &[("CNF", PlannerKind::BPushConj), ("DNF", PlannerKind::BDisj)]
+    {
+        for f10 in 1..=10 {
+            let f = f10 as f64 / 10.0;
+            let q = if form == "DNF" {
+                dnf_query(2, 0.2, Some(f))
+            } else {
+                cnf_query(2, 0.2, Some(f))
+            };
+            let (b, t, s, out) = run_pair(&catalog, &q, baseline, reps);
+            println!(
+                "{:>5} {:>7.1} {:>12.3} {:>12.3} {:>9.2} {:>10}",
+                form, f, b, t, s, out
+            );
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared harness code for the figure-regeneration binaries.
+//!
+//! Each binary regenerates one figure of the paper's §5 evaluation and
+//! prints the same rows/series the paper plots. Absolute numbers differ
+//! from the paper (different hardware, synthetic data), but the *shape* —
+//! who wins, by roughly what factor, where the crossovers fall — is the
+//! reproduction target (see EXPERIMENTS.md).
+
+use std::time::Duration;
+
+use basilisk::{Catalog, PlannerKind, Query, QuerySession};
+use basilisk_types::Result;
+
+/// Timing of one planner on one query, averaged over repetitions (the
+/// paper runs each query 5× and averages).
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    pub planning: Duration,
+    pub execution: Duration,
+    pub rows: usize,
+}
+
+impl Measurement {
+    pub fn total(&self) -> Duration {
+        self.planning + self.execution
+    }
+
+    pub fn total_secs(&self) -> f64 {
+        self.total().as_secs_f64()
+    }
+
+    pub fn exec_secs(&self) -> f64 {
+        self.execution.as_secs_f64()
+    }
+}
+
+/// Run one planner `reps` times on a query and average the timings.
+/// The result cardinality is also returned and asserted stable across
+/// repetitions.
+pub fn measure(
+    catalog: &Catalog,
+    query: &Query,
+    kind: PlannerKind,
+    reps: usize,
+) -> Result<Measurement> {
+    let session = QuerySession::new(catalog, query.clone())?;
+    let mut planning = Duration::ZERO;
+    let mut execution = Duration::ZERO;
+    let mut rows = None;
+    for _ in 0..reps.max(1) {
+        let (out, t) = session.run(kind)?;
+        planning += t.planning;
+        execution += t.execution;
+        match rows {
+            None => rows = Some(out.count()),
+            Some(r) => assert_eq!(r, out.count(), "unstable result cardinality"),
+        }
+    }
+    let n = reps.max(1) as u32;
+    Ok(Measurement {
+        planning: planning / n,
+        execution: execution / n,
+        rows: rows.unwrap_or(0),
+    })
+}
+
+/// Speedup of `denominator` over `numerator`…  more precisely: the paper
+/// plots `baseline / tagged`, > 1 meaning tagged execution is faster.
+pub fn speedup(baseline: &Measurement, tagged: &Measurement) -> f64 {
+    baseline.total_secs() / tagged.total_secs().max(1e-9)
+}
+
+/// Geometric-mean-free summary stats used in the key-takeaway lines.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+pub fn min(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Parse `--flag value` style options from `std::env::args`.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Args {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    pub fn get_f64(&self, flag: &str, default: f64) -> f64 {
+        self.get(flag)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {flag}")))
+            .unwrap_or(default)
+    }
+
+    pub fn get_usize(&self, flag: &str, default: usize) -> usize {
+        self.get(flag)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {flag}")))
+            .unwrap_or(default)
+    }
+
+    pub fn has(&self, flag: &str) -> bool {
+        self.raw.iter().any(|a| a == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk::col;
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::DataType;
+
+    #[test]
+    fn measure_and_speedup() {
+        let mut cat = Catalog::new();
+        let mut b = TableBuilder::new("t")
+            .column("id", DataType::Int)
+            .column("a", DataType::Float);
+        for i in 0..500i64 {
+            b.push_row(vec![i.into(), ((i % 100) as f64 / 100.0).into()])
+                .unwrap();
+        }
+        cat.add_table(b.finish().unwrap()).unwrap();
+        let q = Query::new(vec![("t".into(), "t".into())]).filter(col("t", "a").lt(0.5));
+        let m = measure(&cat, &q, PlannerKind::TCombined, 2).unwrap();
+        assert_eq!(m.rows, 250);
+        assert!(m.total() >= m.planning);
+        let m2 = Measurement {
+            planning: Duration::from_millis(1),
+            execution: Duration::from_millis(9),
+            rows: 250,
+        };
+        let m1 = Measurement {
+            planning: Duration::from_millis(1),
+            execution: Duration::from_millis(4),
+            rows: 250,
+        };
+        assert!((speedup(&m2, &m1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(max(&[1.0, 3.0]), 3.0);
+        assert_eq!(min(&[1.0, 3.0]), 1.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The table registry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use basilisk_storage::Table;
+use basilisk_types::{BasiliskError, Result};
+
+use crate::stats::{compute_table_stats, TableStats};
+
+/// A registry of named tables and their statistics.
+///
+/// Statistics are computed once when a table is registered (the paper
+/// measures selectivities and uses PostgreSQL-style join estimates; both
+/// need NDV and row counts, which we compute exactly at load time — tables
+/// in this system are immutable once registered).
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+    stats: HashMap<String, Arc<TableStats>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table, computing its statistics.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        let name = table.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(BasiliskError::Schema(format!(
+                "table {name} already registered"
+            )));
+        }
+        let stats = compute_table_stats(&table)?;
+        self.tables.insert(name.clone(), Arc::new(table));
+        self.stats.insert(name, Arc::new(stats));
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BasiliskError::Schema(format!("no table named {name}")))
+    }
+
+    pub fn stats(&self, name: &str) -> Result<Arc<TableStats>> {
+        self.stats
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BasiliskError::Schema(format!("no statistics for table {name}")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::DataType;
+
+    fn t(name: &str) -> Table {
+        let mut b = TableBuilder::new(name).column("a", DataType::Int);
+        b.push_row(vec![1i64.into()]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.add_table(t("x")).unwrap();
+        c.add_table(t("y")).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.has_table("x"));
+        assert!(!c.has_table("z"));
+        assert_eq!(c.table("x").unwrap().name(), "x");
+        assert!(c.table("z").is_err());
+        assert_eq!(c.table_names(), vec!["x", "y"]);
+        assert_eq!(c.stats("x").unwrap().rows, 1);
+        assert!(c.stats("z").is_err());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut c = Catalog::new();
+        c.add_table(t("x")).unwrap();
+        assert!(c.add_table(t("x")).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Catalog and statistics (§4.1).
+//!
+//! The cost models of tagged execution need cardinality estimates. Per the
+//! paper: "For filters, we measure and use the selectivities of predicates
+//! along with the independence assumption. For joins, we use PostgreSQL's
+//! cardinality estimations of joins."
+//!
+//! * [`Catalog`] — the named-table registry shared by planners and
+//!   engines.
+//! * [`TableStats`] / [`ColumnStats`] — exact row counts, per-column NDV
+//!   (number of distinct values), null fractions and min/max, computed by
+//!   scanning at registration time.
+//! * [`Estimator`] — per-query estimator resolving *aliases* to tables:
+//!   atom selectivities are **measured** on a deterministic sample and
+//!   cached; connectives combine by independence; equi-join selectivity is
+//!   the PostgreSQL `1 / max(ndv(l), ndv(r))` rule.
+
+mod catalog;
+mod estimator;
+mod stats;
+
+pub use catalog::Catalog;
+pub use estimator::Estimator;
+pub use stats::{compute_table_stats, ColumnStats, TableStats};

@@ -1,0 +1,219 @@
+//! Table and column statistics.
+
+use std::collections::HashMap;
+
+use basilisk_storage::{Column, ColumnData, Table};
+use basilisk_types::{Result, Value};
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values (exact).
+    pub ndv: f64,
+    /// Fraction of rows that are NULL.
+    pub null_frac: f64,
+    /// Smallest non-null value, if any.
+    pub min: Option<Value>,
+    /// Largest non-null value, if any.
+    pub max: Option<Value>,
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub rows: usize,
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(name)
+    }
+}
+
+/// Scan a table and compute exact statistics for every column.
+pub fn compute_table_stats(table: &Table) -> Result<TableStats> {
+    let mut columns = HashMap::new();
+    for (name, handle) in table.columns() {
+        let col = handle.scan()?;
+        columns.insert(name.to_owned(), column_stats(&col));
+    }
+    Ok(TableStats {
+        rows: table.num_rows(),
+        columns,
+    })
+}
+
+fn column_stats(col: &Column) -> ColumnStats {
+    let n = col.len();
+    let nulls = col.null_count();
+    let null_frac = if n == 0 { 0.0 } else { nulls as f64 / n as f64 };
+
+    let (ndv, min, max) = match col.data() {
+        ColumnData::Int(v) => {
+            let mut set = std::collections::HashSet::with_capacity(v.len().min(1 << 16));
+            let mut min = None;
+            let mut max = None;
+            for i in 0..n {
+                if !col.is_valid(i) {
+                    continue;
+                }
+                let x = v[i];
+                set.insert(x);
+                min = Some(min.map_or(x, |m: i64| m.min(x)));
+                max = Some(max.map_or(x, |m: i64| m.max(x)));
+            }
+            (
+                set.len() as f64,
+                min.map(Value::Int),
+                max.map(Value::Int),
+            )
+        }
+        ColumnData::Float(v) => {
+            let mut set = std::collections::HashSet::with_capacity(v.len().min(1 << 16));
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut any = false;
+            for i in 0..n {
+                if !col.is_valid(i) {
+                    continue;
+                }
+                let x = v[i];
+                set.insert(x.to_bits());
+                min = min.min(x);
+                max = max.max(x);
+                any = true;
+            }
+            (
+                set.len() as f64,
+                any.then_some(Value::Float(min)),
+                any.then_some(Value::Float(max)),
+            )
+        }
+        ColumnData::Str(s) => {
+            let mut set = std::collections::HashSet::with_capacity(n.min(1 << 16));
+            let mut min: Option<&str> = None;
+            let mut max: Option<&str> = None;
+            for i in 0..n {
+                if !col.is_valid(i) {
+                    continue;
+                }
+                let x = s.get(i);
+                set.insert(x);
+                min = Some(min.map_or(x, |m| m.min(x)));
+                max = Some(max.map_or(x, |m| m.max(x)));
+            }
+            (
+                set.len() as f64,
+                min.map(|m| Value::Str(m.to_owned())),
+                max.map(|m| Value::Str(m.to_owned())),
+            )
+        }
+        ColumnData::Bool(v) => {
+            let mut has_t = false;
+            let mut has_f = false;
+            for i in 0..n {
+                if col.is_valid(i) {
+                    if v[i] {
+                        has_t = true;
+                    } else {
+                        has_f = true;
+                    }
+                }
+            }
+            let ndv = has_t as usize + has_f as usize;
+            let min = if has_f {
+                Some(Value::Bool(false))
+            } else if has_t {
+                Some(Value::Bool(true))
+            } else {
+                None
+            };
+            let max = if has_t {
+                Some(Value::Bool(true))
+            } else if has_f {
+                Some(Value::Bool(false))
+            } else {
+                None
+            };
+            (ndv as f64, min, max)
+        }
+    };
+    ColumnStats {
+        ndv,
+        null_frac,
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::DataType;
+
+    #[test]
+    fn int_stats() {
+        let mut b = TableBuilder::new("t").column("a", DataType::Int);
+        for v in [5i64, 1, 5, 3] {
+            b.push_row(vec![v.into()]).unwrap();
+        }
+        let t = b.finish().unwrap();
+        let s = compute_table_stats(&t).unwrap();
+        assert_eq!(s.rows, 4);
+        let a = s.column("a").unwrap();
+        assert_eq!(a.ndv, 3.0);
+        assert_eq!(a.null_frac, 0.0);
+        assert_eq!(a.min, Some(Value::Int(1)));
+        assert_eq!(a.max, Some(Value::Int(5)));
+        assert!(s.column("b").is_none());
+    }
+
+    #[test]
+    fn null_fraction_and_ndv_exclude_nulls() {
+        let mut b = TableBuilder::new("t").column("s", DataType::Str);
+        for v in [
+            Value::from("b"),
+            Value::Null,
+            Value::from("a"),
+            Value::from("a"),
+        ] {
+            b.push_row(vec![v]).unwrap();
+        }
+        let s = compute_table_stats(&b.finish().unwrap()).unwrap();
+        let c = s.column("s").unwrap();
+        assert_eq!(c.ndv, 2.0);
+        assert!((c.null_frac - 0.25).abs() < 1e-12);
+        assert_eq!(c.min, Some(Value::from("a")));
+        assert_eq!(c.max, Some(Value::from("b")));
+    }
+
+    #[test]
+    fn float_and_bool_stats() {
+        let mut b = TableBuilder::new("t")
+            .column("f", DataType::Float)
+            .column("b", DataType::Bool);
+        for (f, x) in [(0.5, true), (0.25, true), (0.5, true)] {
+            b.push_row(vec![f.into(), x.into()]).unwrap();
+        }
+        let s = compute_table_stats(&b.finish().unwrap()).unwrap();
+        let f = s.column("f").unwrap();
+        assert_eq!(f.ndv, 2.0);
+        assert_eq!(f.min, Some(Value::Float(0.25)));
+        let bl = s.column("b").unwrap();
+        assert_eq!(bl.ndv, 1.0);
+        assert_eq!(bl.min, Some(Value::Bool(true)));
+        assert_eq!(bl.max, Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn empty_table() {
+        let b = TableBuilder::new("t").column("a", DataType::Int);
+        let s = compute_table_stats(&b.finish().unwrap()).unwrap();
+        assert_eq!(s.rows, 0);
+        let a = s.column("a").unwrap();
+        assert_eq!(a.ndv, 0.0);
+        assert_eq!(a.min, None);
+    }
+}

@@ -1,0 +1,237 @@
+//! Tagged relations (§2.1, §2.5.1).
+//!
+//! > "Basilisk is a column-oriented system, so intermediate
+//! > representations of relations contain tuples of indices rather than
+//! > tuples of actual values. [...] tagged relations are constructed by
+//! > creating an accompanying hash table of bitmaps. Tags serve as keys to
+//! > the hash table, and each bitmap specifies which tuples belong to
+//! > which relational slice."
+//!
+//! Slices are mutually exclusive; tuples that belong to no slice stay in
+//! the index relation (filters never rewrite it — §2.5.2) but are invisible
+//! to downstream operators.
+
+use std::collections::HashMap;
+
+use basilisk_exec::IdxRelation;
+use basilisk_types::Bitmap;
+
+use crate::tag::Tag;
+
+/// An index relation plus its tag → bitmap slice map.
+#[derive(Clone)]
+pub struct TaggedRelation {
+    relation: IdxRelation,
+    /// Slice list (kept in insertion order for deterministic execution)
+    /// with a tag index for merging.
+    slices: Vec<(Tag, Bitmap)>,
+    by_tag: HashMap<Tag, usize>,
+}
+
+impl TaggedRelation {
+    /// Wrap a base relation: one slice with the empty tag covering all
+    /// tuples ("base tagged relations [...] contain only one relational
+    /// slice with the 'empty' tag").
+    pub fn base(relation: IdxRelation) -> TaggedRelation {
+        let all = Bitmap::all_set(relation.len());
+        TaggedRelation::from_slices(relation, vec![(Tag::empty(), all)])
+    }
+
+    /// Assemble from explicit slices. Empty slices are dropped (the paper
+    /// removes zero-tuple slices for performance); duplicate tags merge.
+    pub fn from_slices(relation: IdxRelation, slices: Vec<(Tag, Bitmap)>) -> TaggedRelation {
+        let mut out = TaggedRelation {
+            relation,
+            slices: Vec::new(),
+            by_tag: HashMap::new(),
+        };
+        for (tag, bm) in slices {
+            out.add_slice(tag, bm);
+        }
+        out
+    }
+
+    /// The underlying index relation (never rewritten by filters).
+    pub fn relation(&self) -> &IdxRelation {
+        &self.relation
+    }
+
+    /// Number of tuples in the underlying relation (tagged or not).
+    pub fn num_tuples(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// The slices, in deterministic order.
+    pub fn slices(&self) -> &[(Tag, Bitmap)] {
+        &self.slices
+    }
+
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    pub fn tags(&self) -> Vec<Tag> {
+        self.slices.iter().map(|(t, _)| t.clone()).collect()
+    }
+
+    /// Bitmap of one slice, if present.
+    pub fn slice(&self, tag: &Tag) -> Option<&Bitmap> {
+        self.by_tag.get(tag).map(|&i| &self.slices[i].1)
+    }
+
+    /// Add (or merge into) a slice. Empty bitmaps are ignored.
+    pub fn add_slice(&mut self, tag: Tag, bitmap: Bitmap) {
+        assert_eq!(
+            bitmap.len(),
+            self.relation.len(),
+            "slice bitmap length must match relation"
+        );
+        if bitmap.is_zero() {
+            return;
+        }
+        match self.by_tag.get(&tag) {
+            Some(&i) => self.slices[i].1.union_with(&bitmap),
+            None => {
+                self.by_tag.insert(tag.clone(), self.slices.len());
+                self.slices.push((tag, bitmap));
+            }
+        }
+    }
+
+    /// Number of tuples belonging to any slice.
+    pub fn num_tagged_tuples(&self) -> usize {
+        self.union_all().count_ones()
+    }
+
+    /// Union of every slice's bitmap.
+    pub fn union_all(&self) -> Bitmap {
+        let mut out = Bitmap::new(self.relation.len());
+        for (_, bm) in &self.slices {
+            out.union_with(bm);
+        }
+        out
+    }
+
+    /// Union of the slices whose tags are in `tags` (missing tags are
+    /// ignored: the planner may reference tags that turned out empty).
+    pub fn union_of(&self, tags: &[Tag]) -> Bitmap {
+        let mut out = Bitmap::new(self.relation.len());
+        for t in tags {
+            if let Some(bm) = self.slice(t) {
+                out.union_with(bm);
+            }
+        }
+        out
+    }
+
+    /// Per-tuple slice membership: `slice_of[i]` is the index (into
+    /// [`slices`](Self::slices)) of the slice containing tuple `i`, or
+    /// `None`. Relies on mutual exclusivity.
+    pub fn slice_membership(&self) -> Vec<Option<u16>> {
+        let mut out = vec![None; self.relation.len()];
+        for (s, (_, bm)) in self.slices.iter().enumerate() {
+            for i in bm.iter_ones() {
+                debug_assert!(out[i].is_none(), "slices must be mutually exclusive");
+                out[i] = Some(s as u16);
+            }
+        }
+        out
+    }
+
+    /// Verify the §2.1 invariant that slices are pairwise disjoint
+    /// (used by tests and debug assertions).
+    pub fn check_mutually_exclusive(&self) -> bool {
+        for i in 0..self.slices.len() {
+            for j in (i + 1)..self.slices.len() {
+                if !self.slices[i].1.is_disjoint(&self.slices[j].1) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_expr::ExprId;
+    use basilisk_types::Truth;
+
+    fn tag(n: u32) -> Tag {
+        Tag::from_pairs([(ExprId(n), Truth::True)])
+    }
+
+    #[test]
+    fn base_has_one_full_empty_tag_slice() {
+        let tr = TaggedRelation::base(IdxRelation::base("t", 5));
+        assert_eq!(tr.num_tuples(), 5);
+        assert_eq!(tr.num_slices(), 1);
+        assert_eq!(tr.slices()[0].0, Tag::empty());
+        assert_eq!(tr.slices()[0].1.count_ones(), 5);
+        assert_eq!(tr.num_tagged_tuples(), 5);
+        assert!(tr.check_mutually_exclusive());
+    }
+
+    #[test]
+    fn add_merge_and_drop_empty() {
+        let mut tr = TaggedRelation::from_slices(IdxRelation::base("t", 8), vec![]);
+        assert_eq!(tr.num_slices(), 0);
+        tr.add_slice(tag(1), Bitmap::from_indices(8, [0usize, 1]));
+        tr.add_slice(tag(2), Bitmap::from_indices(8, [2usize]));
+        tr.add_slice(tag(1), Bitmap::from_indices(8, [3usize]));
+        tr.add_slice(tag(3), Bitmap::new(8)); // empty → dropped
+        assert_eq!(tr.num_slices(), 2);
+        assert_eq!(tr.slice(&tag(1)).unwrap().to_indices(), vec![0, 1, 3]);
+        assert_eq!(tr.slice(&tag(2)).unwrap().to_indices(), vec![2]);
+        assert!(tr.slice(&tag(3)).is_none());
+        assert_eq!(tr.num_tagged_tuples(), 4);
+    }
+
+    #[test]
+    fn union_of_selected_tags() {
+        let tr = TaggedRelation::from_slices(
+            IdxRelation::base("t", 6),
+            vec![
+                (tag(1), Bitmap::from_indices(6, [0usize, 1])),
+                (tag(2), Bitmap::from_indices(6, [3usize])),
+                (tag(3), Bitmap::from_indices(6, [5usize])),
+            ],
+        );
+        let u = tr.union_of(&[tag(1), tag(3), tag(9)]);
+        assert_eq!(u.to_indices(), vec![0, 1, 5]);
+        assert_eq!(tr.union_all().to_indices(), vec![0, 1, 3, 5]);
+        assert_eq!(tr.tags().len(), 3);
+    }
+
+    #[test]
+    fn membership_vector() {
+        let tr = TaggedRelation::from_slices(
+            IdxRelation::base("t", 4),
+            vec![
+                (tag(1), Bitmap::from_indices(4, [2usize])),
+                (tag(2), Bitmap::from_indices(4, [0usize])),
+            ],
+        );
+        assert_eq!(
+            tr.slice_membership(),
+            vec![Some(1), None, Some(0), None]
+        );
+        assert!(tr.check_mutually_exclusive());
+    }
+
+    #[test]
+    fn exclusivity_violation_detected() {
+        let mut tr = TaggedRelation::from_slices(IdxRelation::base("t", 4), vec![]);
+        tr.add_slice(tag(1), Bitmap::from_indices(4, [1usize, 2]));
+        tr.add_slice(tag(2), Bitmap::from_indices(4, [2usize, 3]));
+        assert!(!tr.check_mutually_exclusive());
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn wrong_bitmap_length_panics() {
+        let mut tr = TaggedRelation::base(IdxRelation::base("t", 4));
+        tr.add_slice(tag(1), Bitmap::new(5));
+    }
+}

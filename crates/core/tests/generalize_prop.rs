@@ -1,0 +1,158 @@
+//! Property tests for tag generalization (Algorithm 1).
+//!
+//! Soundness: a generalized tag must be *implied* by the original tag —
+//! for every complete truth assignment to the atoms that is consistent
+//! with the original tag, every assignment in the generalized tag must
+//! hold when the predicate tree is evaluated bottom-up with SQL 3VL.
+
+use basilisk_core::{generalize_tag, Tag};
+use basilisk_expr::{col, Expr, ExprId, NodeKind, PredicateTree};
+use basilisk_types::Truth;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Random predicate trees over distinct columns (so no subsumption
+/// interaction — this tests pure Boolean propagation).
+fn tree_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = (0u32..12).prop_map(|i| col("t", &format!("c{i}")).gt(0i64));
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn truth_strategy() -> impl Strategy<Value = Truth> {
+    prop_oneof![
+        Just(Truth::True),
+        Just(Truth::False),
+        Just(Truth::Unknown)
+    ]
+}
+
+/// Evaluate every node of the tree given complete atom truths.
+fn eval_all(tree: &PredicateTree, atoms: &HashMap<ExprId, Truth>) -> HashMap<ExprId, Truth> {
+    fn rec(
+        tree: &PredicateTree,
+        id: ExprId,
+        atoms: &HashMap<ExprId, Truth>,
+        memo: &mut HashMap<ExprId, Truth>,
+    ) -> Truth {
+        if let Some(&v) = memo.get(&id) {
+            return v;
+        }
+        let v = match tree.kind(id) {
+            NodeKind::Atom(_) => atoms[&id],
+            NodeKind::Not(c) => rec(tree, *c, atoms, memo).not(),
+            NodeKind::And(cs) => {
+                Truth::all(cs.iter().map(|&c| rec(tree, c, atoms, memo)))
+            }
+            NodeKind::Or(cs) => {
+                Truth::any(cs.iter().map(|&c| rec(tree, c, atoms, memo)))
+            }
+        };
+        memo.insert(id, v);
+        v
+    }
+    let mut memo = HashMap::new();
+    rec(tree, tree.root(), atoms, &mut memo);
+    memo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness: every completion consistent with the input tag satisfies
+    /// the generalized tag.
+    #[test]
+    fn generalization_is_sound(
+        expr in tree_strategy(),
+        picks in proptest::collection::vec((0usize..64, truth_strategy()), 1..6),
+        completion in proptest::collection::vec(truth_strategy(), 16),
+    ) {
+        let tree = PredicateTree::build(&expr);
+        let atom_ids = tree.atom_ids();
+        // Build the input tag from a few atom assignments.
+        let tag = Tag::from_pairs(
+            picks
+                .iter()
+                .map(|(i, t)| (atom_ids[i % atom_ids.len()], *t))
+                .collect::<Vec<_>>(),
+        );
+        let generalized = generalize_tag(&tree, &tag);
+
+        // A completion consistent with the tag: tagged atoms keep their
+        // value, others take the random completion.
+        let mut atoms: HashMap<ExprId, Truth> = HashMap::new();
+        for (j, &id) in atom_ids.iter().enumerate() {
+            atoms.insert(id, completion[j % completion.len()]);
+        }
+        for (id, t) in tag.iter() {
+            atoms.insert(id, t);
+        }
+        let values = eval_all(&tree, &atoms);
+        for (id, t) in generalized.iter() {
+            prop_assert_eq!(
+                values[&id],
+                t,
+                "generalized assignment {} = {:?} not implied by tag {} (tree {})",
+                tree.display(id),
+                t,
+                tag.display(&tree),
+                expr
+            );
+        }
+    }
+
+    /// Idempotence: generalizing twice is a no-op.
+    #[test]
+    fn generalization_is_idempotent(
+        expr in tree_strategy(),
+        picks in proptest::collection::vec((0usize..64, truth_strategy()), 1..6),
+    ) {
+        let tree = PredicateTree::build(&expr);
+        let atom_ids = tree.atom_ids();
+        let tag = Tag::from_pairs(
+            picks
+                .iter()
+                .map(|(i, t)| (atom_ids[i % atom_ids.len()], *t))
+                .collect::<Vec<_>>(),
+        );
+        let g1 = generalize_tag(&tree, &tag);
+        let g2 = generalize_tag(&tree, &g1);
+        prop_assert_eq!(g1, g2);
+    }
+
+    /// Determinism of root classification: if the generalized tag assigns
+    /// the root, every consistent completion evaluates the root to exactly
+    /// that value.
+    #[test]
+    fn root_assignment_is_definitive(
+        expr in tree_strategy(),
+        picks in proptest::collection::vec((0usize..64, truth_strategy()), 1..8),
+        completion in proptest::collection::vec(truth_strategy(), 16),
+    ) {
+        let tree = PredicateTree::build(&expr);
+        let atom_ids = tree.atom_ids();
+        let tag = Tag::from_pairs(
+            picks
+                .iter()
+                .map(|(i, t)| (atom_ids[i % atom_ids.len()], *t))
+                .collect::<Vec<_>>(),
+        );
+        let generalized = generalize_tag(&tree, &tag);
+        if let Some(root_value) = generalized.get(tree.root()) {
+            let mut atoms: HashMap<ExprId, Truth> = HashMap::new();
+            for (j, &id) in atom_ids.iter().enumerate() {
+                atoms.insert(id, completion[j % completion.len()]);
+            }
+            for (id, t) in tag.iter() {
+                atoms.insert(id, t);
+            }
+            let values = eval_all(&tree, &atoms);
+            prop_assert_eq!(values[&tree.root()], root_value);
+        }
+    }
+}

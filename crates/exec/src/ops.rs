@@ -1,0 +1,427 @@
+//! Traditional relational operators over index relations.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use basilisk_expr::eval::eval_node;
+use basilisk_expr::{ColumnRef, ExprId, PredicateTree};
+use basilisk_storage::Column;
+use basilisk_types::{BasiliskError, Result, Truth, Value};
+
+use crate::relation::{join_key, IdxRelation, RelProvider, TableSet};
+
+/// Filter: evaluate a predicate-tree node over the relation and keep the
+/// tuples where it is *true* (SQL WHERE semantics — unknown drops).
+pub fn filter(
+    tables: &TableSet,
+    relation: &IdxRelation,
+    tree: &PredicateTree,
+    node: ExprId,
+) -> Result<IdxRelation> {
+    let provider = RelProvider::new(tables, relation);
+    let truths = eval_node(tree, node, &provider)?;
+    let keep: Vec<u32> = truths
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t == Truth::True)
+        .map(|(i, _)| i as u32)
+        .collect();
+    Ok(relation.select(&keep))
+}
+
+/// Which side of a hash join the hash table is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    Left,
+    Right,
+    /// Build from whichever input has fewer tuples (the paper estimates
+    /// both sides and picks the cheaper one).
+    Smaller,
+}
+
+/// Hash equi-join of two index relations on `left_key = right_key`.
+///
+/// NULL keys never match. The output covers the union of both sides'
+/// tables, in left-then-right column order.
+pub fn hash_join(
+    tables: &TableSet,
+    left: &IdxRelation,
+    right: &IdxRelation,
+    left_key: &ColumnRef,
+    right_key: &ColumnRef,
+    side: JoinSide,
+) -> Result<IdxRelation> {
+    if !left.covers(&left_key.table) || !right.covers(&right_key.table) {
+        return Err(BasiliskError::Exec(format!(
+            "join keys {left_key} / {right_key} not covered by inputs"
+        )));
+    }
+    let build_left = match side {
+        JoinSide::Left => true,
+        JoinSide::Right => false,
+        JoinSide::Smaller => left.len() <= right.len(),
+    };
+    let (build, probe, build_key, probe_key) = if build_left {
+        (left, right, left_key, right_key)
+    } else {
+        (right, left, right_key, left_key)
+    };
+
+    let build_col = fetch_key_column(tables, build, build_key)?;
+    let probe_col = fetch_key_column(tables, probe, probe_key)?;
+
+    // One hash table for the whole build side (§2.5.3's "one giant hash
+    // table" — in the untagged engine there are no slices to share it
+    // across, but the structure is identical).
+    let mut map: HashMap<Value, Vec<u32>> = HashMap::with_capacity(build.len());
+    for i in 0..build.len() {
+        if let Some(k) = join_key(&build_col, i) {
+            map.entry(k).or_default().push(i as u32);
+        }
+    }
+
+    let mut build_sel: Vec<u32> = Vec::new();
+    let mut probe_sel: Vec<u32> = Vec::new();
+    for j in 0..probe.len() {
+        if let Some(k) = join_key(&probe_col, j) {
+            if let Some(matches) = map.get(&k) {
+                for &i in matches {
+                    build_sel.push(i);
+                    probe_sel.push(j as u32);
+                }
+            }
+        }
+    }
+
+    let (left_sel, right_sel) = if build_left {
+        (build_sel, probe_sel)
+    } else {
+        (probe_sel, build_sel)
+    };
+    Ok(combine(left, right, &left_sel, &right_sel))
+}
+
+/// Assemble the joined relation from per-side tuple selections.
+pub fn combine(
+    left: &IdxRelation,
+    right: &IdxRelation,
+    left_sel: &[u32],
+    right_sel: &[u32],
+) -> IdxRelation {
+    debug_assert_eq!(left_sel.len(), right_sel.len());
+    let mut tables = Vec::with_capacity(left.tables().len() + right.tables().len());
+    let mut cols = Vec::with_capacity(tables.capacity());
+    for (t, c) in left.tables().iter().zip(left.cols()) {
+        tables.push(t.clone());
+        cols.push(Arc::new(
+            left_sel.iter().map(|&i| c[i as usize]).collect::<Vec<u32>>(),
+        ));
+    }
+    for (t, c) in right.tables().iter().zip(right.cols()) {
+        tables.push(t.clone());
+        cols.push(Arc::new(
+            right_sel
+                .iter()
+                .map(|&i| c[i as usize])
+                .collect::<Vec<u32>>(),
+        ));
+    }
+    IdxRelation::from_parts(tables, cols)
+}
+
+fn fetch_key_column(
+    tables: &TableSet,
+    relation: &IdxRelation,
+    key: &ColumnRef,
+) -> Result<Column> {
+    let handle = tables.column(key)?;
+    handle.gather(relation.col(&key.table)?)
+}
+
+/// Union with duplicate elimination — the operator BDisj appends to merge
+/// per-root-clause results (§5: "an additional, potentially expensive
+/// union operator is also required to filter out duplicate tuples").
+/// Tuples are identified by their base-table indices; inputs must cover
+/// the same tables (column order may differ).
+pub fn union_all_dedup(inputs: &[IdxRelation]) -> Result<IdxRelation> {
+    let Some(first) = inputs.first() else {
+        return Err(BasiliskError::Exec("union of zero inputs".into()));
+    };
+    let ref_tables: Vec<String> = first.tables().to_vec();
+    let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    let mut out_cols: Vec<Vec<u32>> = vec![Vec::new(); ref_tables.len()];
+
+    for rel in inputs {
+        // Map reference column order onto this input's order.
+        let perm: Vec<usize> = ref_tables
+            .iter()
+            .map(|t| {
+                rel.tables()
+                    .iter()
+                    .position(|u| u == t)
+                    .ok_or_else(|| {
+                        BasiliskError::Exec(format!(
+                            "union input missing table {t}"
+                        ))
+                    })
+            })
+            .collect::<Result<_>>()?;
+        if rel.tables().len() != ref_tables.len() {
+            return Err(BasiliskError::Exec(
+                "union inputs cover different table sets".into(),
+            ));
+        }
+        for i in 0..rel.len() {
+            let tuple: Vec<u32> = perm.iter().map(|&p| rel.cols()[p][i]).collect();
+            if seen.insert(tuple.clone()) {
+                for (c, v) in out_cols.iter_mut().zip(&tuple) {
+                    c.push(*v);
+                }
+            }
+        }
+    }
+    Ok(IdxRelation::from_parts(
+        ref_tables,
+        out_cols.into_iter().map(Arc::new).collect(),
+    ))
+}
+
+/// Projection: materialize the requested columns' values for every tuple.
+pub fn project(
+    tables: &TableSet,
+    relation: &IdxRelation,
+    columns: &[ColumnRef],
+) -> Result<Vec<(ColumnRef, Column)>> {
+    let mut out = Vec::with_capacity(columns.len());
+    for cref in columns {
+        let handle = tables.column(cref)?;
+        let rows = relation.col(&cref.table)?;
+        out.push((cref.clone(), handle.gather(rows)?));
+    }
+    Ok(out)
+}
+
+/// Count-only projection (the figure harnesses verify result cardinality
+/// without materializing values).
+pub fn project_count(relation: &IdxRelation) -> usize {
+    relation.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_expr::{and, col, or, PredicateTree};
+    use basilisk_storage::{Table, TableBuilder};
+    use basilisk_types::DataType;
+
+    fn title() -> Arc<Table> {
+        let mut b = TableBuilder::new("title")
+            .column("id", DataType::Int)
+            .column("year", DataType::Int);
+        for (id, year) in [(1, 2008), (2, 2001), (3, 1994), (4, 1994), (5, 1972)] {
+            b.push_row(vec![(id as i64).into(), (year as i64).into()])
+                .unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn scores() -> Arc<Table> {
+        let mut b = TableBuilder::new("scores")
+            .column("movie_id", DataType::Int)
+            .column("score", DataType::Str);
+        for (mid, s) in [(1, "9.0"), (3, "9.3"), (4, "8.9"), (5, "9.2"), (6, "7.5")] {
+            b.push_row(vec![(mid as i64).into(), s.into()]).unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn tset() -> TableSet {
+        TableSet::from_tables(vec![("t".into(), title()), ("s".into(), scores())])
+    }
+
+    #[test]
+    fn filter_keeps_true_rows() {
+        let ts = tset();
+        let rel = IdxRelation::base("t", 5);
+        let tree = PredicateTree::build(&col("t", "year").gt(2000i64));
+        let out = filter(&ts, &rel, &tree, tree.root()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(**out.col("t").unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn filter_complex_predicate() {
+        let ts = tset();
+        let rel = IdxRelation::base("t", 5);
+        let e = or(vec![
+            col("t", "year").gt(2000i64),
+            col("t", "year").lt(1980i64),
+        ]);
+        let tree = PredicateTree::build(&e);
+        let out = filter(&ts, &rel, &tree, tree.root()).unwrap();
+        assert_eq!(out.len(), 3); // 2008, 2001, 1972
+    }
+
+    #[test]
+    fn hash_join_matches_keys() {
+        let ts = tset();
+        let t = IdxRelation::base("t", 5);
+        let s = IdxRelation::base("s", 5);
+        let out = hash_join(
+            &ts,
+            &t,
+            &s,
+            &ColumnRef::new("t", "id"),
+            &ColumnRef::new("s", "movie_id"),
+            JoinSide::Smaller,
+        )
+        .unwrap();
+        // t ids 1..5 join s movie_ids {1,3,4,5,6} → 4 matches.
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.tables(), &["t".to_string(), "s".to_string()]);
+        // verify a concrete pair: t.id=1 ↔ s.movie_id=1
+        let tcol = out.col("t").unwrap();
+        let scol = out.col("s").unwrap();
+        let pos = (0..out.len()).find(|&i| tcol[i] == 0).unwrap();
+        assert_eq!(scol[pos], 0);
+    }
+
+    #[test]
+    fn hash_join_build_side_invariant() {
+        let ts = tset();
+        let t = IdxRelation::base("t", 5);
+        let s = IdxRelation::base("s", 5);
+        let lk = ColumnRef::new("t", "id");
+        let rk = ColumnRef::new("s", "movie_id");
+        let a = hash_join(&ts, &t, &s, &lk, &rk, JoinSide::Left).unwrap();
+        let b = hash_join(&ts, &t, &s, &lk, &rk, JoinSide::Right).unwrap();
+        assert_eq!(a.len(), b.len());
+        let mut pa: Vec<(u32, u32)> = (0..a.len())
+            .map(|i| (a.col("t").unwrap()[i], a.col("s").unwrap()[i]))
+            .collect();
+        let mut pb: Vec<(u32, u32)> = (0..b.len())
+            .map(|i| (b.col("t").unwrap()[i], b.col("s").unwrap()[i]))
+            .collect();
+        pa.sort_unstable();
+        pb.sort_unstable();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn hash_join_null_keys_never_match() {
+        let mut b = TableBuilder::new("l").column("k", DataType::Int);
+        b.push_row(vec![Value::Null]).unwrap();
+        b.push_row(vec![1i64.into()]).unwrap();
+        let l = Arc::new(b.finish().unwrap());
+        let mut b = TableBuilder::new("r").column("k", DataType::Int);
+        b.push_row(vec![Value::Null]).unwrap();
+        b.push_row(vec![1i64.into()]).unwrap();
+        let r = Arc::new(b.finish().unwrap());
+        let ts = TableSet::from_tables(vec![("l".into(), l), ("r".into(), r)]);
+        let out = hash_join(
+            &ts,
+            &IdxRelation::base("l", 2),
+            &IdxRelation::base("r", 2),
+            &ColumnRef::new("l", "k"),
+            &ColumnRef::new("r", "k"),
+            JoinSide::Smaller,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1, "only the 1=1 pair; NULL≠NULL");
+    }
+
+    #[test]
+    fn join_key_not_covered_errors() {
+        let ts = tset();
+        let t = IdxRelation::base("t", 5);
+        let s = IdxRelation::base("s", 5);
+        assert!(hash_join(
+            &ts,
+            &t,
+            &s,
+            &ColumnRef::new("s", "movie_id"),
+            &ColumnRef::new("t", "id"),
+            JoinSide::Smaller,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn union_dedups_across_inputs() {
+        let a = IdxRelation::base("t", 5).select(&[0, 1, 2]);
+        let b = IdxRelation::base("t", 5).select(&[2, 3]);
+        let u = union_all_dedup(&[a, b]).unwrap();
+        assert_eq!(u.len(), 4);
+        let mut rows: Vec<u32> = u.col("t").unwrap().to_vec();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn union_handles_column_order_permutation() {
+        // Build two joined relations with swapped table order.
+        let ts = tset();
+        let t = IdxRelation::base("t", 5);
+        let s = IdxRelation::base("s", 5);
+        let lk = ColumnRef::new("t", "id");
+        let rk = ColumnRef::new("s", "movie_id");
+        let ab = hash_join(&ts, &t, &s, &lk, &rk, JoinSide::Smaller).unwrap();
+        let ba = hash_join(&ts, &s, &t, &rk, &lk, JoinSide::Smaller).unwrap();
+        let u = union_all_dedup(&[ab.clone(), ba]).unwrap();
+        assert_eq!(u.len(), ab.len(), "identical content dedups fully");
+    }
+
+    #[test]
+    fn union_rejects_mismatched_tables() {
+        let a = IdxRelation::base("t", 3);
+        let b = IdxRelation::base("u", 3);
+        assert!(union_all_dedup(&[a, b]).is_err());
+        assert!(union_all_dedup(&[]).is_err());
+    }
+
+    #[test]
+    fn project_materializes_values() {
+        let ts = tset();
+        let rel = IdxRelation::base("t", 5).select(&[4, 0]);
+        let out = project(
+            &ts,
+            &rel,
+            &[ColumnRef::new("t", "id"), ColumnRef::new("t", "year")],
+        )
+        .unwrap();
+        assert_eq!(out[0].1.as_ints().unwrap(), &[5, 1]);
+        assert_eq!(out[1].1.as_ints().unwrap(), &[1972, 2008]);
+        assert_eq!(project_count(&rel), 2);
+    }
+
+    /// End-to-end Query 1 under traditional execution, all predicates
+    /// applied after the join (the "no optimization" baseline of §1).
+    #[test]
+    fn query1_join_then_filter() {
+        let ts = tset();
+        let joined = hash_join(
+            &ts,
+            &IdxRelation::base("t", 5),
+            &IdxRelation::base("s", 5),
+            &ColumnRef::new("t", "id"),
+            &ColumnRef::new("s", "movie_id"),
+            JoinSide::Smaller,
+        )
+        .unwrap();
+        let q1 = or(vec![
+            and(vec![
+                col("t", "year").gt(2000i64),
+                col("s", "score").gt("7.0"),
+            ]),
+            and(vec![
+                col("t", "year").gt(1980i64),
+                col("s", "score").gt("8.0"),
+            ]),
+        ]);
+        let tree = PredicateTree::build(&q1);
+        let out = filter(&ts, &joined, &tree, tree.root()).unwrap();
+        // Matches: (1,2008,9.0) via both clauses; (3,1994,9.3) and
+        // (4,1994,8.9) via clause 2. Movie 5 (1972) fails both.
+        assert_eq!(out.len(), 3);
+    }
+}

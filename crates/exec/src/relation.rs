@@ -1,0 +1,252 @@
+//! Index relations (§2.5.1) and their evaluation plumbing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use basilisk_catalog::Catalog;
+use basilisk_expr::eval::ColumnProvider;
+use basilisk_expr::ColumnRef;
+use basilisk_storage::{Column, Table};
+use basilisk_types::{BasiliskError, Result, Value};
+
+/// The tables visible to one query: alias → table. Built once per query
+/// from the catalog and shared by every operator.
+#[derive(Clone)]
+pub struct TableSet {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl TableSet {
+    pub fn new(catalog: &Catalog, aliases: &[(String, String)]) -> Result<TableSet> {
+        let mut tables = HashMap::with_capacity(aliases.len());
+        for (alias, name) in aliases {
+            if tables.insert(alias.clone(), catalog.table(name)?).is_some() {
+                return Err(BasiliskError::Plan(format!("duplicate alias {alias}")));
+            }
+        }
+        Ok(TableSet { tables })
+    }
+
+    /// Build directly from (alias, table) pairs — used by tests.
+    pub fn from_tables(pairs: Vec<(String, Arc<Table>)>) -> TableSet {
+        TableSet {
+            tables: pairs.into_iter().collect(),
+        }
+    }
+
+    pub fn table(&self, alias: &str) -> Result<&Arc<Table>> {
+        self.tables
+            .get(alias)
+            .ok_or_else(|| BasiliskError::Plan(format!("unknown alias {alias}")))
+    }
+
+    pub fn num_rows(&self, alias: &str) -> Result<usize> {
+        Ok(self.table(alias)?.num_rows())
+    }
+
+    /// Fetch the base-table column behind a [`ColumnRef`].
+    pub fn column(&self, col: &ColumnRef) -> Result<basilisk_storage::ColumnHandle> {
+        Ok(self.table(&col.table)?.column(&col.column)?.clone())
+    }
+}
+
+/// An intermediate relation of index tuples: `cols[i][j]` is the row in
+/// base table `tables[i]` contributed to tuple `j`. Filters on a relation
+/// produce a new (smaller) relation; under tagged execution the relation
+/// stays fixed and only bitmaps change (see `basilisk-core`).
+#[derive(Clone)]
+pub struct IdxRelation {
+    tables: Vec<String>,
+    cols: Vec<Arc<Vec<u32>>>,
+    len: usize,
+}
+
+impl IdxRelation {
+    /// The base relation of a table scan: identity indices `0..n`.
+    pub fn base(alias: impl Into<String>, rows: usize) -> IdxRelation {
+        IdxRelation {
+            tables: vec![alias.into()],
+            cols: vec![Arc::new((0..rows as u32).collect())],
+            len: rows,
+        }
+    }
+
+    /// Assemble from parts (lengths must agree).
+    pub fn from_parts(tables: Vec<String>, cols: Vec<Arc<Vec<u32>>>) -> IdxRelation {
+        let len = cols.first().map(|c| c.len()).unwrap_or(0);
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        debug_assert_eq!(tables.len(), cols.len());
+        IdxRelation { tables, cols, len }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The base-table aliases covered, in column order.
+    pub fn tables(&self) -> &[String] {
+        &self.tables
+    }
+
+    pub fn covers(&self, alias: &str) -> bool {
+        self.tables.iter().any(|t| t == alias)
+    }
+
+    /// The index column for one covered table.
+    pub fn col(&self, alias: &str) -> Result<&Arc<Vec<u32>>> {
+        self.tables
+            .iter()
+            .position(|t| t == alias)
+            .map(|i| &self.cols[i])
+            .ok_or_else(|| {
+                BasiliskError::Exec(format!("relation does not cover alias {alias}"))
+            })
+    }
+
+    pub fn cols(&self) -> &[Arc<Vec<u32>>] {
+        &self.cols
+    }
+
+    /// Keep only the tuples at `keep` (positions into this relation).
+    pub fn select(&self, keep: &[u32]) -> IdxRelation {
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| Arc::new(keep.iter().map(|&k| c[k as usize]).collect::<Vec<u32>>()))
+            .collect();
+        IdxRelation {
+            tables: self.tables.clone(),
+            cols,
+            len: keep.len(),
+        }
+    }
+
+    /// The tuple at position `i` (row per covered table) — tests/debug.
+    pub fn tuple(&self, i: usize) -> Vec<u32> {
+        self.cols.iter().map(|c| c[i]).collect()
+    }
+}
+
+/// [`ColumnProvider`] over an index relation: fetching `t.c` gathers
+/// table `t`'s column `c` at the relation's index column for `t`.
+/// Gathered columns are cached so each (predicate, column) pair touches
+/// the base table once.
+pub struct RelProvider<'a> {
+    tables: &'a TableSet,
+    relation: &'a IdxRelation,
+    cache: std::cell::RefCell<HashMap<ColumnRef, Arc<Column>>>,
+}
+
+impl<'a> RelProvider<'a> {
+    pub fn new(tables: &'a TableSet, relation: &'a IdxRelation) -> Self {
+        RelProvider {
+            tables,
+            relation,
+            cache: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+impl ColumnProvider for RelProvider<'_> {
+    fn fetch(&self, col: &ColumnRef) -> Result<Arc<Column>> {
+        if let Some(c) = self.cache.borrow().get(col) {
+            return Ok(Arc::clone(c));
+        }
+        let handle = self.tables.column(col)?;
+        let rows = self.relation.col(&col.table)?;
+        let gathered = Arc::new(handle.gather(rows)?);
+        self.cache
+            .borrow_mut()
+            .insert(col.clone(), Arc::clone(&gathered));
+        Ok(gathered)
+    }
+
+    fn num_rows(&self) -> usize {
+        self.relation.len()
+    }
+}
+
+/// Extract the join key at row `i` of a key column; `None` for NULL (SQL
+/// equi-joins never match NULLs).
+pub fn join_key(col: &Column, i: usize) -> Option<Value> {
+    if !col.is_valid(i) {
+        return None;
+    }
+    Some(col.value(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::DataType;
+
+    fn table() -> Arc<Table> {
+        let mut b = TableBuilder::new("t")
+            .column("id", DataType::Int)
+            .column("name", DataType::Str);
+        for (id, name) in [(10, "a"), (20, "b"), (30, "c")] {
+            b.push_row(vec![(id as i64).into(), name.into()]).unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn base_relation_identity() {
+        let r = IdxRelation::base("t", 3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tables(), &["t".to_string()]);
+        assert!(r.covers("t"));
+        assert!(!r.covers("u"));
+        assert_eq!(**r.col("t").unwrap(), vec![0, 1, 2]);
+        assert!(r.col("u").is_err());
+        assert_eq!(r.tuple(1), vec![1]);
+    }
+
+    #[test]
+    fn select_narrows() {
+        let r = IdxRelation::base("t", 5).select(&[4, 0]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(**r.col("t").unwrap(), vec![4, 0]);
+        let empty = r.select(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn provider_gathers_and_caches() {
+        let ts = TableSet::from_tables(vec![("t".into(), table())]);
+        let rel = IdxRelation::base("t", 3).select(&[2, 0]);
+        let p = RelProvider::new(&ts, &rel);
+        let c = p.fetch(&ColumnRef::new("t", "id")).unwrap();
+        assert_eq!(c.as_ints().unwrap(), &[30, 10]);
+        let c2 = p.fetch(&ColumnRef::new("t", "id")).unwrap();
+        assert!(Arc::ptr_eq(&c, &c2), "cached");
+        assert_eq!(p.num_rows(), 2);
+        assert!(p.fetch(&ColumnRef::new("u", "id")).is_err());
+    }
+
+    #[test]
+    fn join_key_null_handling() {
+        use basilisk_storage::ColumnBuilder;
+        let mut b = ColumnBuilder::new(DataType::Int);
+        b.push(Value::Int(5)).unwrap();
+        b.push(Value::Null).unwrap();
+        let c = b.finish();
+        assert_eq!(join_key(&c, 0), Some(Value::Int(5)));
+        assert_eq!(join_key(&c, 1), None);
+    }
+
+    #[test]
+    fn tableset_lookup() {
+        let ts = TableSet::from_tables(vec![("t".into(), table())]);
+        assert_eq!(ts.num_rows("t").unwrap(), 3);
+        assert!(ts.table("x").is_err());
+        assert!(ts.column(&ColumnRef::new("t", "id")).is_ok());
+        assert!(ts.column(&ColumnRef::new("t", "zz")).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Base predicates ("atoms"): the leaves of the predicate tree.
+
+use std::fmt;
+
+use basilisk_types::Value;
+
+/// A table-qualified column reference. `table` is the alias used in the
+/// query (e.g. `t` for `title AS t`), which is how the paper's predicates
+/// are written (`t.year > 2000`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    pub table: String,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// Comparison operators for [`Atom::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The operator `b OP a` such that `a self b == b (self.flip()) a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The operator whose *true* set is the complement of this one's
+    /// (over non-null values): `NOT (a < b) == a >= b`.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// A base predicate over a single column.
+///
+/// Atoms are deliberately single-column/constant: cross-column predicates
+/// are expressed as join constraints in this system (as in the paper's
+/// workloads). Each atom evaluates to a [`Truth`](basilisk_types::Truth):
+/// NULL inputs produce `Unknown` for every variant except `IsNull`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `col OP literal`.
+    Cmp {
+        col: ColumnRef,
+        op: CmpOp,
+        value: Value,
+    },
+    /// SQL `LIKE` / `ILIKE` (`%` any run, `_` any single char).
+    Like {
+        col: ColumnRef,
+        pattern: String,
+        case_insensitive: bool,
+    },
+    /// `col IS NULL` (never unknown: NULL-ness is always known).
+    IsNull { col: ColumnRef },
+    /// `col IN (v1, v2, …)`.
+    InList { col: ColumnRef, values: Vec<Value> },
+}
+
+impl Atom {
+    /// The column this atom reads.
+    pub fn column(&self) -> &ColumnRef {
+        match self {
+            Atom::Cmp { col, .. }
+            | Atom::Like { col, .. }
+            | Atom::IsNull { col }
+            | Atom::InList { col, .. } => col,
+        }
+    }
+
+    /// The table (alias) this atom touches.
+    pub fn table(&self) -> &str {
+        &self.column().table
+    }
+
+    /// A relative evaluation cost factor (`F_P` in the §4.1 cost model):
+    /// regex-ish string matching is an order of magnitude more expensive
+    /// than a comparison, which is what makes the paper's
+    /// TPullup/TIterPush examples interesting.
+    pub fn cost_factor(&self) -> f64 {
+        match self {
+            Atom::Cmp { .. } => 1.0,
+            Atom::IsNull { .. } => 0.5,
+            Atom::InList { values, .. } => 1.0 + values.len() as f64 * 0.25,
+            Atom::Like { pattern, .. } => 10.0 + pattern.len() as f64 * 0.1,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Cmp { col, op, value } => write!(f, "{col} {} {value}", op.symbol()),
+            Atom::Like {
+                col,
+                pattern,
+                case_insensitive,
+            } => write!(
+                f,
+                "{col} {} '{}'",
+                if *case_insensitive { "ILIKE" } else { "LIKE" },
+                pattern.replace('\'', "''")
+            ),
+            Atom::IsNull { col } => write!(f, "{col} IS NULL"),
+            Atom::InList { col, values } => {
+                write!(f, "{col} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let a = Atom::Cmp {
+            col: ColumnRef::new("t", "year"),
+            op: CmpOp::Gt,
+            value: Value::Int(2000),
+        };
+        assert_eq!(a.to_string(), "t.year > 2000");
+        let a = Atom::Like {
+            col: ColumnRef::new("t", "title"),
+            pattern: "%godfather%".into(),
+            case_insensitive: true,
+        };
+        assert_eq!(a.to_string(), "t.title ILIKE '%godfather%'");
+        let a = Atom::IsNull {
+            col: ColumnRef::new("mc", "note"),
+        };
+        assert_eq!(a.to_string(), "mc.note IS NULL");
+        let a = Atom::InList {
+            col: ColumnRef::new("it", "id"),
+            values: vec![Value::Int(1), Value::Int(2)],
+        };
+        assert_eq!(a.to_string(), "it.id IN (1, 2)");
+    }
+
+    #[test]
+    fn op_flip_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn cost_factor_ranks_like_expensive() {
+        let cmp = Atom::Cmp {
+            col: ColumnRef::new("t", "a"),
+            op: CmpOp::Lt,
+            value: Value::Float(0.5),
+        };
+        let like = Atom::Like {
+            col: ColumnRef::new("t", "s"),
+            pattern: "%x%".into(),
+            case_insensitive: false,
+        };
+        assert!(like.cost_factor() > 5.0 * cmp.cost_factor());
+    }
+
+    #[test]
+    fn accessors() {
+        let a = Atom::IsNull {
+            col: ColumnRef::new("t", "x"),
+        };
+        assert_eq!(a.table(), "t");
+        assert_eq!(a.column(), &ColumnRef::new("t", "x"));
+    }
+}

@@ -1,0 +1,451 @@
+//! Vectorized three-valued evaluation of predicate-tree nodes.
+//!
+//! Evaluation is columnar: an atom is evaluated once over a whole column
+//! slice (the values for the rows under consideration), producing a
+//! `Vec<Truth>`. Connectives combine child vectors with the SQL 3VL
+//! tables. Engines provide data through [`ColumnProvider`]: the values of
+//! any referenced column, aligned with the rows being evaluated — which is
+//! how both the base-table path (bitmap reads) and the intermediate path
+//! (index-tuple gathers, §2.5.1) plug in.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use basilisk_storage::{Column, ColumnData};
+use basilisk_types::{BasiliskError, Result, Truth, Value};
+
+use crate::atom::{Atom, CmpOp, ColumnRef};
+use crate::like::like_match;
+use crate::tree::{ExprId, NodeKind, PredicateTree};
+
+/// Supplies column values aligned with the rows being evaluated.
+pub trait ColumnProvider {
+    /// Values of `col` for each row under evaluation, in row order.
+    fn fetch(&self, col: &ColumnRef) -> Result<Arc<Column>>;
+    /// Number of rows under evaluation.
+    fn num_rows(&self) -> usize;
+}
+
+/// A trivial provider over pre-materialized columns (tests, samples).
+pub struct MapProvider {
+    columns: HashMap<ColumnRef, Arc<Column>>,
+    rows: usize,
+}
+
+impl MapProvider {
+    pub fn new(rows: usize) -> Self {
+        MapProvider {
+            columns: HashMap::new(),
+            rows,
+        }
+    }
+
+    pub fn with(mut self, col: ColumnRef, data: Column) -> Self {
+        assert_eq!(data.len(), self.rows);
+        self.columns.insert(col, Arc::new(data));
+        self
+    }
+}
+
+impl ColumnProvider for MapProvider {
+    fn fetch(&self, col: &ColumnRef) -> Result<Arc<Column>> {
+        self.columns
+            .get(col)
+            .cloned()
+            .ok_or_else(|| BasiliskError::Schema(format!("no column {col} in provider")))
+    }
+
+    fn num_rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// Evaluate any predicate-tree node over the provider's rows.
+pub fn eval_node(
+    tree: &PredicateTree,
+    id: ExprId,
+    provider: &impl ColumnProvider,
+) -> Result<Vec<Truth>> {
+    match tree.kind(id) {
+        NodeKind::Atom(atom) => {
+            let column = provider.fetch(atom.column())?;
+            eval_atom(atom, &column)
+        }
+        NodeKind::Not(c) => {
+            let mut v = eval_node(tree, *c, provider)?;
+            for t in &mut v {
+                *t = t.not();
+            }
+            Ok(v)
+        }
+        NodeKind::And(cs) => {
+            let mut acc = eval_node(tree, cs[0], provider)?;
+            for &c in &cs[1..] {
+                let v = eval_node(tree, c, provider)?;
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a = a.and(b);
+                }
+            }
+            Ok(acc)
+        }
+        NodeKind::Or(cs) => {
+            let mut acc = eval_node(tree, cs[0], provider)?;
+            for &c in &cs[1..] {
+                let v = eval_node(tree, c, provider)?;
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a = a.or(b);
+                }
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Evaluate a base predicate over a column of values.
+pub fn eval_atom(atom: &Atom, column: &Column) -> Result<Vec<Truth>> {
+    let n = column.len();
+    match atom {
+        Atom::IsNull { .. } => {
+            // NULL-ness is always definite.
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(Truth::from(!column.is_valid(i)));
+            }
+            Ok(out)
+        }
+        Atom::Cmp { op, value, col } => eval_cmp(*op, value, column)
+            .map_err(|e| annotate(e, col)),
+        Atom::Like {
+            pattern,
+            case_insensitive,
+            col,
+        } => {
+            let strs = column.as_strs().ok_or_else(|| {
+                BasiliskError::Type(format!("LIKE on non-string column {col}"))
+            })?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if !column.is_valid(i) {
+                    out.push(Truth::Unknown);
+                } else {
+                    out.push(Truth::from(like_match(
+                        strs.get(i),
+                        pattern,
+                        *case_insensitive,
+                    )));
+                }
+            }
+            Ok(out)
+        }
+        Atom::InList { values, .. } => {
+            let list_has_null = values.iter().any(Value::is_null);
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if !column.is_valid(i) {
+                    out.push(Truth::Unknown);
+                    continue;
+                }
+                let v = column.value(i);
+                let hit = values.iter().any(|w| v.sql_eq(w) == Some(true));
+                out.push(if hit {
+                    Truth::True
+                } else if list_has_null {
+                    // x IN (…, NULL) is UNKNOWN when no non-null element
+                    // matches (SQL standard).
+                    Truth::Unknown
+                } else {
+                    Truth::False
+                });
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn annotate(e: BasiliskError, col: &ColumnRef) -> BasiliskError {
+    match e {
+        BasiliskError::Type(m) => BasiliskError::Type(format!("{m} (column {col})")),
+        other => other,
+    }
+}
+
+fn eval_cmp(op: CmpOp, value: &Value, column: &Column) -> Result<Vec<Truth>> {
+    let n = column.len();
+    let mut out = Vec::with_capacity(n);
+    macro_rules! run {
+        ($data:expr, $test:expr) => {{
+            for (i, x) in $data.iter().enumerate() {
+                if !column.is_valid(i) {
+                    out.push(Truth::Unknown);
+                } else {
+                    out.push(Truth::from($test(x)));
+                }
+            }
+        }};
+    }
+    match (column.data(), value) {
+        (_, Value::Null) => {
+            // Comparing anything to NULL is always unknown.
+            out.resize(n, Truth::Unknown);
+        }
+        (ColumnData::Int(data), Value::Int(lit)) => {
+            let lit = *lit;
+            run!(data, |x: &i64| cmp_ord(op, x.cmp(&lit)));
+        }
+        (ColumnData::Int(data), Value::Float(lit)) => {
+            let lit = *lit;
+            run!(data, |x: &i64| cmp_partial(op, (*x as f64).partial_cmp(&lit)));
+        }
+        (ColumnData::Float(data), Value::Float(lit)) => {
+            let lit = *lit;
+            run!(data, |x: &f64| cmp_partial(op, x.partial_cmp(&lit)));
+        }
+        (ColumnData::Float(data), Value::Int(lit)) => {
+            let lit = *lit as f64;
+            run!(data, |x: &f64| cmp_partial(op, x.partial_cmp(&lit)));
+        }
+        (ColumnData::Str(data), Value::Str(lit)) => {
+            for i in 0..n {
+                if !column.is_valid(i) {
+                    out.push(Truth::Unknown);
+                } else {
+                    out.push(Truth::from(cmp_ord(op, data.get(i).cmp(lit.as_str()))));
+                }
+            }
+        }
+        (ColumnData::Bool(data), Value::Bool(lit)) => {
+            let lit = *lit;
+            run!(data, |x: &bool| cmp_ord(op, x.cmp(&lit)));
+        }
+        (col_data, lit) => {
+            return Err(BasiliskError::Type(format!(
+                "cannot compare {} column with literal {lit}",
+                col_data.data_type()
+            )))
+        }
+    }
+    Ok(out)
+}
+
+#[inline]
+fn cmp_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+#[inline]
+fn cmp_partial(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
+    // NaN comparisons are false for every operator except `<>`.
+    match ord {
+        Some(o) => cmp_ord(op, o),
+        None => op == CmpOp::Ne,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{and, col, not, or};
+    use basilisk_storage::ColumnBuilder;
+    use basilisk_types::DataType;
+
+    fn truths(bits: &[i8]) -> Vec<Truth> {
+        bits.iter()
+            .map(|&b| match b {
+                1 => Truth::True,
+                0 => Truth::False,
+                _ => Truth::Unknown,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cmp_ints() {
+        let c = Column::from_ints(vec![1990, 2001, 2008, 1980]);
+        let atom = Atom::Cmp {
+            col: ColumnRef::new("t", "year"),
+            op: CmpOp::Gt,
+            value: Value::Int(2000),
+        };
+        assert_eq!(eval_atom(&atom, &c).unwrap(), truths(&[0, 1, 1, 0]));
+    }
+
+    #[test]
+    fn cmp_int_column_float_literal() {
+        let c = Column::from_ints(vec![1, 2, 3]);
+        let atom = Atom::Cmp {
+            col: ColumnRef::new("t", "a"),
+            op: CmpOp::Lt,
+            value: Value::Float(2.5),
+        };
+        assert_eq!(eval_atom(&atom, &c).unwrap(), truths(&[1, 1, 0]));
+    }
+
+    #[test]
+    fn cmp_strings_lexicographic() {
+        let c = Column::from_strs(&["9.0", "7.5", "6.9", "8.0"]);
+        let atom = Atom::Cmp {
+            col: ColumnRef::new("mi_idx", "score"),
+            op: CmpOp::Gt,
+            value: Value::from("7.0"),
+        };
+        assert_eq!(eval_atom(&atom, &c).unwrap(), truths(&[1, 1, 0, 1]));
+    }
+
+    #[test]
+    fn nulls_become_unknown() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for v in [Value::Int(5), Value::Null, Value::Int(1)] {
+            b.push(v).unwrap();
+        }
+        let c = b.finish();
+        let atom = Atom::Cmp {
+            col: ColumnRef::new("t", "a"),
+            op: CmpOp::Gt,
+            value: Value::Int(3),
+        };
+        assert_eq!(eval_atom(&atom, &c).unwrap(), truths(&[1, -1, 0]));
+    }
+
+    #[test]
+    fn null_literal_always_unknown() {
+        let c = Column::from_ints(vec![1, 2]);
+        let atom = Atom::Cmp {
+            col: ColumnRef::new("t", "a"),
+            op: CmpOp::Eq,
+            value: Value::Null,
+        };
+        assert_eq!(eval_atom(&atom, &c).unwrap(), truths(&[-1, -1]));
+    }
+
+    #[test]
+    fn is_null_is_definite() {
+        let mut b = ColumnBuilder::new(DataType::Str);
+        for v in [Value::from("x"), Value::Null] {
+            b.push(v).unwrap();
+        }
+        let c = b.finish();
+        let atom = Atom::IsNull {
+            col: ColumnRef::new("t", "s"),
+        };
+        assert_eq!(eval_atom(&atom, &c).unwrap(), truths(&[0, 1]));
+    }
+
+    #[test]
+    fn like_and_ilike() {
+        let c = Column::from_strs(&["The Godfather", "Pulp Fiction", "GODFATHER II"]);
+        let atom = Atom::Like {
+            col: ColumnRef::new("t", "title"),
+            pattern: "%godfather%".into(),
+            case_insensitive: true,
+        };
+        assert_eq!(eval_atom(&atom, &c).unwrap(), truths(&[1, 0, 1]));
+        let atom = Atom::Like {
+            col: ColumnRef::new("t", "title"),
+            pattern: "%Godfather%".into(),
+            case_insensitive: false,
+        };
+        assert_eq!(eval_atom(&atom, &c).unwrap(), truths(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn like_on_ints_is_type_error() {
+        let c = Column::from_ints(vec![1]);
+        let atom = Atom::Like {
+            col: ColumnRef::new("t", "a"),
+            pattern: "%x%".into(),
+            case_insensitive: false,
+        };
+        assert!(eval_atom(&atom, &c).is_err());
+    }
+
+    #[test]
+    fn in_list_with_null_element() {
+        let c = Column::from_ints(vec![1, 2, 3]);
+        let atom = Atom::InList {
+            col: ColumnRef::new("t", "a"),
+            values: vec![Value::Int(1), Value::Null],
+        };
+        // 1 matches → T; 2,3 don't match but NULL in list → U.
+        assert_eq!(eval_atom(&atom, &c).unwrap(), truths(&[1, -1, -1]));
+    }
+
+    #[test]
+    fn mismatched_types_error() {
+        let c = Column::from_ints(vec![1]);
+        let atom = Atom::Cmp {
+            col: ColumnRef::new("t", "a"),
+            op: CmpOp::Eq,
+            value: Value::from("1"),
+        };
+        let err = eval_atom(&atom, &c).unwrap_err();
+        assert!(err.to_string().contains("t.a"));
+    }
+
+    #[test]
+    fn eval_node_connectives() {
+        // (year > 2000 AND score > '7.0') OR (year > 1980 AND score > '8.0')
+        let e = or(vec![
+            and(vec![
+                col("t", "year").gt(2000i64),
+                col("t", "score").gt("7.0"),
+            ]),
+            and(vec![
+                col("t", "year").gt(1980i64),
+                col("t", "score").gt("8.0"),
+            ]),
+        ]);
+        let tree = PredicateTree::build(&e);
+        let provider = MapProvider::new(4)
+            .with(
+                ColumnRef::new("t", "year"),
+                Column::from_ints(vec![2008, 1994, 1972, 2001]),
+            )
+            .with(
+                ColumnRef::new("t", "score"),
+                Column::from_strs(&["9.0", "9.3", "9.2", "6.0"]),
+            );
+        let result = eval_node(&tree, tree.root(), &provider).unwrap();
+        // 2008/9.0 → both clauses: T; 1994/9.3 → second clause: T;
+        // 1972/9.2 → neither (too old): F; 2001/6.0 → score too low: F.
+        assert_eq!(result, truths(&[1, 1, 0, 0]));
+    }
+
+    #[test]
+    fn eval_node_not_with_unknown() {
+        let e = not(col("t", "a").gt(5i64));
+        let tree = PredicateTree::build(&e);
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for v in [Value::Int(10), Value::Null, Value::Int(1)] {
+            b.push(v).unwrap();
+        }
+        let provider = MapProvider::new(3).with(ColumnRef::new("t", "a"), b.finish());
+        let result = eval_node(&tree, tree.root(), &provider).unwrap();
+        assert_eq!(result, truths(&[0, -1, 1]));
+    }
+
+    #[test]
+    fn unknown_propagates_through_or_per_sql() {
+        let e = or(vec![col("t", "a").gt(5i64), col("t", "b").gt(5i64)]);
+        let tree = PredicateTree::build(&e);
+        let mut a = ColumnBuilder::new(DataType::Int);
+        let mut b = ColumnBuilder::new(DataType::Int);
+        // row0: a NULL, b=9 → T; row1: a NULL, b=1 → U
+        a.push(Value::Null).unwrap();
+        a.push(Value::Null).unwrap();
+        b.push(Value::Int(9)).unwrap();
+        b.push(Value::Int(1)).unwrap();
+        let provider = MapProvider::new(2)
+            .with(ColumnRef::new("t", "a"), a.finish())
+            .with(ColumnRef::new("t", "b"), b.finish());
+        let result = eval_node(&tree, tree.root(), &provider).unwrap();
+        assert_eq!(result, truths(&[1, -1]));
+    }
+}

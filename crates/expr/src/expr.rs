@@ -1,0 +1,287 @@
+//! The construction-time expression AST and its builder DSL.
+
+use std::fmt;
+
+use basilisk_types::Value;
+
+use crate::atom::{Atom, CmpOp, ColumnRef};
+
+/// An arbitrarily nested boolean predicate expression.
+///
+/// `And`/`Or` are n-ary. This AST is what the SQL parser and the workload
+/// generators produce; it is interned into a
+/// [`PredicateTree`](crate::PredicateTree) before planning.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    Atom(Atom),
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// All atoms in the expression, in syntactic order (duplicates kept).
+    pub fn atoms(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            Expr::Atom(a) => out.push(a),
+            Expr::And(cs) | Expr::Or(cs) => {
+                for c in cs {
+                    c.collect_atoms(out);
+                }
+            }
+            Expr::Not(c) => c.collect_atoms(out),
+        }
+    }
+
+    /// The set of table aliases referenced.
+    pub fn tables(&self) -> std::collections::BTreeSet<&str> {
+        self.atoms().into_iter().map(|a| a.table()).collect()
+    }
+
+    /// Number of nodes in the AST (diagnostics).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Atom(_) => 1,
+            Expr::And(cs) | Expr::Or(cs) => 1 + cs.iter().map(Expr::size).sum::<usize>(),
+            Expr::Not(c) => 1 + c.size(),
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        let prec = match self {
+            Expr::Atom(_) => 3,
+            Expr::Not(_) => 2,
+            Expr::And(_) => 1,
+            Expr::Or(_) => 0,
+        };
+        let parens = prec < parent_prec;
+        if parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Expr::Atom(a) => write!(f, "{a}")?,
+            Expr::Not(c) => {
+                write!(f, "NOT ")?;
+                c.fmt_prec(f, 2)?;
+            }
+            Expr::And(cs) => {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    c.fmt_prec(f, 2)?;
+                }
+            }
+            Expr::Or(cs) => {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    c.fmt_prec(f, 1)?;
+                }
+            }
+        }
+        if parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl From<Atom> for Expr {
+    fn from(a: Atom) -> Expr {
+        Expr::Atom(a)
+    }
+}
+
+/// Entry point of the builder DSL: a column reference with comparison
+/// methods. `col("t", "year").gt(lit(2000))` reads like the paper's
+/// predicates.
+pub fn col(table: &str, column: &str) -> ColBuilder {
+    ColBuilder(ColumnRef::new(table, column))
+}
+
+/// Convert any rust literal into a [`Value`].
+pub fn lit(v: impl Into<Value>) -> Value {
+    v.into()
+}
+
+/// N-ary conjunction (panics on empty input — SQL has no empty AND).
+pub fn and(children: Vec<Expr>) -> Expr {
+    assert!(!children.is_empty(), "AND of zero expressions");
+    if children.len() == 1 {
+        children.into_iter().next().unwrap()
+    } else {
+        Expr::And(children)
+    }
+}
+
+/// N-ary disjunction (panics on empty input).
+pub fn or(children: Vec<Expr>) -> Expr {
+    assert!(!children.is_empty(), "OR of zero expressions");
+    if children.len() == 1 {
+        children.into_iter().next().unwrap()
+    } else {
+        Expr::Or(children)
+    }
+}
+
+/// Negation.
+pub fn not(child: Expr) -> Expr {
+    Expr::Not(Box::new(child))
+}
+
+/// Builder returned by [`col`].
+#[derive(Debug, Clone)]
+pub struct ColBuilder(pub ColumnRef);
+
+impl ColBuilder {
+    fn cmp(self, op: CmpOp, value: Value) -> Expr {
+        Expr::Atom(Atom::Cmp {
+            col: self.0,
+            op,
+            value,
+        })
+    }
+
+    pub fn eq(self, value: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Eq, value.into())
+    }
+
+    pub fn ne(self, value: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Ne, value.into())
+    }
+
+    pub fn lt(self, value: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Lt, value.into())
+    }
+
+    pub fn le(self, value: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Le, value.into())
+    }
+
+    pub fn gt(self, value: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Gt, value.into())
+    }
+
+    pub fn ge(self, value: impl Into<Value>) -> Expr {
+        self.cmp(CmpOp::Ge, value.into())
+    }
+
+    pub fn like(self, pattern: &str) -> Expr {
+        Expr::Atom(Atom::Like {
+            col: self.0,
+            pattern: pattern.to_owned(),
+            case_insensitive: false,
+        })
+    }
+
+    pub fn ilike(self, pattern: &str) -> Expr {
+        Expr::Atom(Atom::Like {
+            col: self.0,
+            pattern: pattern.to_owned(),
+            case_insensitive: true,
+        })
+    }
+
+    pub fn is_null(self) -> Expr {
+        Expr::Atom(Atom::IsNull { col: self.0 })
+    }
+
+    pub fn is_not_null(self) -> Expr {
+        not(Expr::Atom(Atom::IsNull { col: self.0 }))
+    }
+
+    pub fn in_list(self, values: Vec<Value>) -> Expr {
+        Expr::Atom(Atom::InList {
+            col: self.0,
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Query 1 predicate.
+    fn query1() -> Expr {
+        or(vec![
+            and(vec![
+                col("t", "year").gt(2000i64),
+                col("mi_idx", "score").gt("7.0"),
+            ]),
+            and(vec![
+                col("t", "year").gt(1980i64),
+                col("mi_idx", "score").gt("8.0"),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn display_matches_sql() {
+        assert_eq!(
+            query1().to_string(),
+            "t.year > 2000 AND mi_idx.score > '7.0' OR t.year > 1980 AND mi_idx.score > '8.0'"
+        );
+        let e = and(vec![
+            or(vec![col("a", "x").lt(1i64), col("b", "y").lt(2i64)]),
+            col("a", "z").eq(3i64),
+        ]);
+        assert_eq!(e.to_string(), "(a.x < 1 OR b.y < 2) AND a.z = 3");
+        let e = not(or(vec![col("a", "x").lt(1i64), col("a", "x").gt(5i64)]));
+        assert_eq!(e.to_string(), "NOT (a.x < 1 OR a.x > 5)");
+    }
+
+    #[test]
+    fn atoms_and_tables() {
+        let q = query1();
+        assert_eq!(q.atoms().len(), 4);
+        let tables: Vec<_> = q.tables().into_iter().collect();
+        assert_eq!(tables, vec!["mi_idx", "t"]);
+        assert_eq!(q.size(), 7);
+    }
+
+    #[test]
+    fn single_child_collapse() {
+        let e = and(vec![col("t", "a").eq(1i64)]);
+        assert!(matches!(e, Expr::Atom(_)));
+        let e = or(vec![col("t", "a").eq(1i64)]);
+        assert!(matches!(e, Expr::Atom(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "AND of zero")]
+    fn empty_and_panics() {
+        and(vec![]);
+    }
+
+    #[test]
+    fn builder_variants() {
+        assert_eq!(col("t", "a").ge(1i64).to_string(), "t.a >= 1");
+        assert_eq!(col("t", "a").le(1i64).to_string(), "t.a <= 1");
+        assert_eq!(col("t", "a").ne(1i64).to_string(), "t.a <> 1");
+        assert_eq!(col("t", "s").like("%x%").to_string(), "t.s LIKE '%x%'");
+        assert_eq!(col("t", "s").is_null().to_string(), "t.s IS NULL");
+        assert_eq!(
+            col("t", "s").is_not_null().to_string(),
+            "NOT t.s IS NULL"
+        );
+        assert_eq!(
+            col("t", "a").in_list(vec![lit(1i64), lit(2i64)]).to_string(),
+            "t.a IN (1, 2)"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Common-conjunct factoring (§5.1).
+//!
+//! To build the BPushConj-comparable form of each benchmark query, the
+//! paper "searched for common predicate subexpressions that were children
+//! to every root clause in a query and pulled out those predicate
+//! subexpressions to create an equivalent predicate expression with an AND
+//! root node (e.g. (A∧B∧C) ∨ (A∧B∧D) would be transformed into
+//! A∧B∧(C∨D))". This module implements that rewrite.
+
+use crate::expr::Expr;
+
+/// Factor subexpressions common to every root clause out of an OR-rooted
+/// expression. Returns the (semantically equivalent) factored expression;
+/// expressions without an OR root or without common conjuncts are returned
+/// unchanged.
+pub fn factor_common_conjuncts(expr: &Expr) -> Expr {
+    let Expr::Or(clauses) = expr else {
+        return expr.clone();
+    };
+    // Each root clause as a list of conjuncts (a non-AND clause is a
+    // single conjunct).
+    let conjunct_lists: Vec<Vec<&Expr>> = clauses
+        .iter()
+        .map(|c| match c {
+            Expr::And(cs) => cs.iter().collect(),
+            other => vec![other],
+        })
+        .collect();
+
+    // Common = conjuncts present (structurally) in every clause, keeping
+    // the first clause's order.
+    let common: Vec<&Expr> = conjunct_lists[0]
+        .iter()
+        .copied()
+        .filter(|c| conjunct_lists[1..].iter().all(|list| list.contains(c)))
+        .collect();
+    if common.is_empty() {
+        return expr.clone();
+    }
+
+    // Residual of each clause after removing the common conjuncts.
+    let mut residuals: Vec<Expr> = Vec::with_capacity(conjunct_lists.len());
+    let mut any_empty = false;
+    for list in &conjunct_lists {
+        let rest: Vec<Expr> = list
+            .iter()
+            .filter(|c| !common.contains(c))
+            .map(|c| (*c).clone())
+            .collect();
+        match rest.len() {
+            0 => {
+                // This clause is exactly the common part: the OR of
+                // residuals is a tautology given the common part, so the
+                // whole expression reduces to AND(common).
+                any_empty = true;
+                break;
+            }
+            1 => residuals.push(rest.into_iter().next().unwrap()),
+            _ => residuals.push(Expr::And(rest)),
+        }
+    }
+
+    let mut out: Vec<Expr> = common.into_iter().cloned().collect();
+    if !any_empty {
+        // Dedupe identical residuals: (A∧C)∨(A∧C) → A∧C.
+        let mut unique: Vec<Expr> = Vec::new();
+        for r in residuals {
+            if !unique.contains(&r) {
+                unique.push(r);
+            }
+        }
+        if unique.len() == 1 {
+            out.push(unique.into_iter().next().unwrap());
+        } else {
+            out.push(Expr::Or(unique));
+        }
+    }
+    if out.len() == 1 {
+        out.into_iter().next().unwrap()
+    } else {
+        Expr::And(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{and, col, or};
+
+    #[test]
+    fn paper_example() {
+        // (A∧B∧C) ∨ (A∧B∧D) → A∧B∧(C∨D)
+        let a = || col("t", "a").gt(1i64);
+        let b = || col("t", "b").gt(2i64);
+        let c = || col("t", "c").gt(3i64);
+        let d = || col("t", "d").gt(4i64);
+        let e = or(vec![and(vec![a(), b(), c()]), and(vec![a(), b(), d()])]);
+        let f = factor_common_conjuncts(&e);
+        assert_eq!(f, and(vec![a(), b(), or(vec![c(), d()])]));
+    }
+
+    #[test]
+    fn no_common_conjuncts_unchanged() {
+        let e = or(vec![
+            and(vec![col("t", "a").gt(1i64), col("t", "b").gt(2i64)]),
+            and(vec![col("t", "c").gt(3i64), col("t", "d").gt(4i64)]),
+        ]);
+        assert_eq!(factor_common_conjuncts(&e), e);
+    }
+
+    #[test]
+    fn non_or_root_unchanged() {
+        let e = and(vec![col("t", "a").gt(1i64), col("t", "b").gt(2i64)]);
+        assert_eq!(factor_common_conjuncts(&e), e);
+        let e = col("t", "a").gt(1i64);
+        assert_eq!(factor_common_conjuncts(&e), e);
+    }
+
+    #[test]
+    fn clause_equal_to_common_absorbs() {
+        // (A∧B) ∨ (A∧B∧C) = A∧B
+        let a = || col("t", "a").gt(1i64);
+        let b = || col("t", "b").gt(2i64);
+        let c = || col("t", "c").gt(3i64);
+        let e = or(vec![and(vec![a(), b()]), and(vec![a(), b(), c()])]);
+        assert_eq!(factor_common_conjuncts(&e), and(vec![a(), b()]));
+    }
+
+    #[test]
+    fn bare_atom_clause() {
+        // A ∨ (A∧C) = A
+        let a = || col("t", "a").gt(1i64);
+        let c = || col("t", "c").gt(3i64);
+        let e = or(vec![a(), and(vec![a(), c()])]);
+        assert_eq!(factor_common_conjuncts(&e), a());
+    }
+
+    #[test]
+    fn complex_common_subexpression() {
+        // Common conjunct can itself be an OR.
+        let shared = || or(vec![col("t", "k").eq(1i64), col("t", "k").eq(2i64)]);
+        let c = || col("t", "c").gt(3i64);
+        let d = || col("t", "d").gt(4i64);
+        let e = or(vec![and(vec![shared(), c()]), and(vec![shared(), d()])]);
+        let f = factor_common_conjuncts(&e);
+        assert_eq!(f, and(vec![shared(), or(vec![c(), d()])]));
+    }
+
+    #[test]
+    fn three_clauses() {
+        let a = || col("t", "a").gt(1i64);
+        let x = || col("t", "x").gt(1i64);
+        let y = || col("t", "y").gt(1i64);
+        let z = || col("t", "z").gt(1i64);
+        let e = or(vec![
+            and(vec![a(), x()]),
+            and(vec![a(), y()]),
+            and(vec![a(), z()]),
+        ]);
+        let f = factor_common_conjuncts(&e);
+        assert_eq!(f, and(vec![a(), or(vec![x(), y(), z()])]));
+    }
+
+    #[test]
+    fn duplicate_residuals_dedupe() {
+        let a = || col("t", "a").gt(1i64);
+        let c = || col("t", "c").gt(3i64);
+        let e = or(vec![and(vec![a(), c()]), and(vec![a(), c()])]);
+        assert_eq!(factor_common_conjuncts(&e), and(vec![a(), c()]));
+    }
+}

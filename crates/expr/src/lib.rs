@@ -1,0 +1,38 @@
+//! Predicate expressions and the predicate tree (§2.1, §3.2).
+//!
+//! Everything tagged execution does revolves around *predicate
+//! expressions*: tags are truth assignments to nodes of the query's
+//! predicate tree, and tag generalization is an upward propagation over
+//! that tree. This crate provides:
+//!
+//! * [`Atom`] / [`Expr`] — the construction-time AST for base predicates
+//!   and arbitrarily nested AND/OR/NOT combinations, with a builder DSL
+//!   ([`col`], [`and`], [`or`], [`not`]).
+//! * [`PredicateTree`] — the interned, normalized runtime form. Structural
+//!   duplicates share one [`ExprId`] node with *multiple parents* (the DAG
+//!   the paper's duplicate-handling in Algorithm 1 requires), and no
+//!   intermediate node has the same kind as its parent (the paper's
+//!   normalization footnote).
+//! * [`eval`] — vectorized three-valued evaluation of any node over
+//!   columnar data.
+//! * [`subsume`] — the implication closure between comparison atoms on the
+//!   same column (`year > 2000 ⇒ year > 1980`), which the paper's planner
+//!   uses to skip redundant filter work.
+//! * [`factor`] — common-conjunct factoring,
+//!   `(A∧B∧C) ∨ (A∧B∧D) → A∧B∧(C∨D)`, used to derive the
+//!   BPushConj-comparable form of each benchmark query (§5.1).
+
+mod atom;
+mod expr;
+mod factor;
+mod like;
+mod tree;
+
+pub mod eval;
+pub mod subsume;
+
+pub use atom::{Atom, CmpOp, ColumnRef};
+pub use expr::{and, col, lit, not, or, Expr};
+pub use factor::factor_common_conjuncts;
+pub use like::like_match;
+pub use tree::{ExprId, NodeKind, PredicateTree};

@@ -1,0 +1,137 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! `%` matches any run of characters (including empty), `_` matches exactly
+//! one character. This is the "expensive regex pattern matching predicate"
+//! of the paper's TPullup/TIterPush examples (`t.title ILIKE
+//! '%godfather%'`), implemented with the classic two-pointer wildcard
+//! algorithm — linear in practice, no backtracking blowup.
+
+/// Match `text` against a SQL LIKE `pattern`.
+///
+/// When `case_insensitive` is set, ASCII letters compare case-folded
+/// (matching `ILIKE` semantics for the ASCII workloads used here).
+pub fn like_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
+    let t = text.as_bytes();
+    let p = pattern.as_bytes();
+    let eq = |a: u8, b: u8| {
+        if case_insensitive {
+            a.eq_ignore_ascii_case(&b)
+        } else {
+            a == b
+        }
+    };
+
+    let (mut ti, mut pi) = (0usize, 0usize);
+    // Backtrack state: position of the last `%` and the text position we
+    // resumed from after it.
+    let (mut star_pi, mut star_ti): (Option<usize>, usize) = (None, 0);
+
+    while ti < t.len() {
+        if pi < p.len() && p[pi] == b'%' {
+            star_pi = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == b'_' || eq(p[pi], t[ti])) {
+            // `_` must consume one character; operate on bytes but avoid
+            // splitting UTF-8 sequences: `_` consumes a full code point.
+            if p[pi] == b'_' {
+                ti += utf8_len(t[ti]);
+            } else {
+                ti += 1;
+            }
+            pi += 1;
+        } else if let Some(sp) = star_pi {
+            // Retry: let the last `%` swallow one more character.
+            pi = sp + 1;
+            star_ti += utf8_len(t[star_ti]);
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    // Only trailing `%`s may remain.
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert!(like_match("abc", "abc", false));
+        assert!(!like_match("abc", "abd", false));
+        assert!(!like_match("abc", "ab", false));
+        assert!(!like_match("ab", "abc", false));
+        assert!(like_match("", "", false));
+    }
+
+    #[test]
+    fn percent_wildcard() {
+        assert!(like_match("The Godfather", "%godfather%", true));
+        assert!(!like_match("The Godfather", "%godfather%", false));
+        assert!(like_match("The Godfather", "%Godfather", false));
+        assert!(like_match("The Godfather", "The%", false));
+        assert!(like_match("abc", "%", false));
+        assert!(like_match("", "%", false));
+        assert!(like_match("abc", "%%", false));
+        assert!(like_match("abcabc", "%b%b%", false));
+        assert!(!like_match("abc", "%d%", false));
+    }
+
+    #[test]
+    fn underscore_wildcard() {
+        assert!(like_match("abc", "a_c", false));
+        assert!(!like_match("abbc", "a_c", false));
+        assert!(like_match("abc", "___", false));
+        assert!(!like_match("abc", "__", false));
+        assert!(!like_match("ab", "___", false));
+        assert!(like_match("abc", "_b_", false));
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        assert!(like_match("Iron Man 3", "%Man_3", false));
+        assert!(like_match("Iron Man 3", "Iron%_", false));
+        assert!(like_match("spider-man", "%man", false));
+        assert!(!like_match("spider-men", "%man", false));
+        assert!(like_match("xayb", "x%_b", false));
+    }
+
+    #[test]
+    fn pathological_patterns_terminate_quickly() {
+        let text = "a".repeat(2000);
+        let pattern = "%a%a%a%a%a%a%a%a%b";
+        assert!(!like_match(&text, pattern, false));
+        let pattern = format!("%{}", "a".repeat(50));
+        assert!(like_match(&text, &pattern, false));
+    }
+
+    #[test]
+    fn unicode_underscore_consumes_code_point() {
+        assert!(like_match("wörld", "w_rld", false));
+        assert!(like_match("日本", "__", false));
+        assert!(!like_match("日本", "_", false));
+        assert!(like_match("日本語", "%語", false));
+    }
+
+    #[test]
+    fn case_insensitive_is_ascii_folded() {
+        assert!(like_match("HELLO", "hello", true));
+        assert!(like_match("Hello World", "%WORLD", true));
+        assert!(!like_match("HELLO", "hello", false));
+    }
+}

@@ -1,0 +1,436 @@
+//! Abstract plans: the operator trees planners build and rewrite.
+//!
+//! An [`APlan`] is execution-model agnostic — the same tree can be costed
+//! and executed under tagged execution (where filters become tag-mapped
+//! operators) or traditional execution. `Union` only appears in BDisj
+//! plans. Filter operators are identified by the predicate-tree node they
+//! evaluate; since every predicate is applied exactly once per plan, the
+//! node id doubles as the operator's identity for the pull-up/push-down
+//! rewrites of TPullup (Algorithm 2) and TIterPush.
+
+use basilisk_expr::{ExprId, PredicateTree};
+
+use crate::query::JoinCond;
+
+/// An abstract operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum APlan {
+    /// Scan a base table by alias.
+    Scan { alias: String },
+    /// Apply predicate-tree node `node` to the child.
+    Filter { node: ExprId, child: Box<APlan> },
+    /// Equi-join two subplans.
+    Join {
+        cond: JoinCond,
+        left: Box<APlan>,
+        right: Box<APlan>,
+    },
+    /// Deduplicating union (BDisj only).
+    Union { children: Vec<APlan> },
+}
+
+impl APlan {
+    pub fn scan(alias: impl Into<String>) -> APlan {
+        APlan::Scan {
+            alias: alias.into(),
+        }
+    }
+
+    pub fn filter(node: ExprId, child: APlan) -> APlan {
+        APlan::Filter {
+            node,
+            child: Box::new(child),
+        }
+    }
+
+    pub fn join(cond: JoinCond, left: APlan, right: APlan) -> APlan {
+        APlan::Join {
+            cond,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// All filter nodes, preorder.
+    pub fn filters(&self) -> Vec<ExprId> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let APlan::Filter { node, .. } = p {
+                out.push(*node);
+            }
+        });
+        out
+    }
+
+    /// All scanned aliases, preorder.
+    pub fn scans(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let APlan::Scan { alias } = p {
+                out.push(alias.as_str());
+            }
+        });
+        out
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a APlan)) {
+        f(self);
+        match self {
+            APlan::Scan { .. } => {}
+            APlan::Filter { child, .. } => child.walk(f),
+            APlan::Join { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            APlan::Union { children } => {
+                for c in children {
+                    c.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Number of operators.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+
+    /// Can `target` be pulled up one node (i.e. it is a filter with a
+    /// parent operator)?
+    pub fn can_pull_up(&self, target: ExprId) -> bool {
+        !matches!(self, APlan::Filter { node, .. } if *node == target)
+            && self.find_parent_of_filter(target)
+    }
+
+    fn find_parent_of_filter(&self, target: ExprId) -> bool {
+        let mut found = false;
+        self.walk(&mut |p| {
+            let is_parent = match p {
+                APlan::Filter { child, .. } => {
+                    matches!(&**child, APlan::Filter { node, .. } if *node == target)
+                }
+                APlan::Join { left, right, .. } => {
+                    matches!(&**left, APlan::Filter { node, .. } if *node == target)
+                        || matches!(&**right, APlan::Filter { node, .. } if *node == target)
+                }
+                APlan::Union { children } => children
+                    .iter()
+                    .any(|c| matches!(c, APlan::Filter { node, .. } if *node == target)),
+                APlan::Scan { .. } => false,
+            };
+            found |= is_parent;
+        });
+        found
+    }
+
+    /// Pull the filter `target` up past its parent operator (one step of
+    /// Algorithm 2's `pullup_node`). Returns `None` when the filter is the
+    /// root or absent.
+    pub fn pull_up_filter(&self, target: ExprId) -> Option<APlan> {
+        if matches!(self, APlan::Filter { node, .. } if *node == target) {
+            return None; // already at the root
+        }
+        self.pull_up_rec(target)
+    }
+
+    fn pull_up_rec(&self, target: ExprId) -> Option<APlan> {
+        // If one of this node's direct children is Filter(target), absorb:
+        // replace the child by its grandchild and wrap self in the filter.
+        match self {
+            APlan::Scan { .. } => None,
+            APlan::Filter { node, child } => {
+                if let APlan::Filter {
+                    node: cnode,
+                    child: grand,
+                } = &**child
+                {
+                    if *cnode == target {
+                        let new_self = APlan::Filter {
+                            node: *node,
+                            child: grand.clone(),
+                        };
+                        return Some(APlan::filter(target, new_self));
+                    }
+                }
+                child
+                    .pull_up_rec(target)
+                    .map(|c| APlan::Filter {
+                        node: *node,
+                        child: Box::new(c),
+                    })
+            }
+            APlan::Join { cond, left, right } => {
+                if let APlan::Filter {
+                    node: cnode,
+                    child: grand,
+                } = &**left
+                {
+                    if *cnode == target {
+                        let new_self = APlan::Join {
+                            cond: cond.clone(),
+                            left: grand.clone(),
+                            right: right.clone(),
+                        };
+                        return Some(APlan::filter(target, new_self));
+                    }
+                }
+                if let APlan::Filter {
+                    node: cnode,
+                    child: grand,
+                } = &**right
+                {
+                    if *cnode == target {
+                        let new_self = APlan::Join {
+                            cond: cond.clone(),
+                            left: left.clone(),
+                            right: grand.clone(),
+                        };
+                        return Some(APlan::filter(target, new_self));
+                    }
+                }
+                if let Some(l) = left.pull_up_rec(target) {
+                    return Some(APlan::Join {
+                        cond: cond.clone(),
+                        left: Box::new(l),
+                        right: right.clone(),
+                    });
+                }
+                right.pull_up_rec(target).map(|r| APlan::Join {
+                    cond: cond.clone(),
+                    left: left.clone(),
+                    right: Box::new(r),
+                })
+            }
+            APlan::Union { children } => {
+                for (i, c) in children.iter().enumerate() {
+                    if let Some(nc) = c.pull_up_rec(target) {
+                        let mut out = children.clone();
+                        out[i] = nc;
+                        return Some(APlan::Union { children: out });
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Is the operator directly below `Filter(target)` a join? Used by the
+    /// join-juncture variant of TPullup to decide which candidate plans
+    /// are worth costing.
+    pub fn filter_sits_on_join(&self, target: ExprId) -> bool {
+        let mut found = false;
+        self.walk(&mut |p| {
+            if let APlan::Filter { node, child } = p {
+                if *node == target && matches!(&**child, APlan::Join { .. }) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Remove the filter `target` (splicing its child up). Returns the new
+    /// plan and whether it was found.
+    pub fn remove_filter(&self, target: ExprId) -> (APlan, bool) {
+        match self {
+            APlan::Filter { node, child } if *node == target => ((**child).clone(), true),
+            APlan::Filter { node, child } => {
+                let (c, found) = child.remove_filter(target);
+                (APlan::filter(*node, c), found)
+            }
+            APlan::Join { cond, left, right } => {
+                let (l, fl) = left.remove_filter(target);
+                if fl {
+                    return (APlan::join(cond.clone(), l, (**right).clone()), true);
+                }
+                let (r, fr) = right.remove_filter(target);
+                (APlan::join(cond.clone(), (**left).clone(), r), fr)
+            }
+            APlan::Union { children } => {
+                let mut out = Vec::with_capacity(children.len());
+                let mut found = false;
+                for c in children {
+                    if found {
+                        out.push(c.clone());
+                    } else {
+                        let (nc, f) = c.remove_filter(target);
+                        out.push(nc);
+                        found = f;
+                    }
+                }
+                (APlan::Union { children: out }, found)
+            }
+            APlan::Scan { .. } => (self.clone(), false),
+        }
+    }
+
+    /// Insert `Filter(target)` directly above the scan of `alias` (the
+    /// TIterPush push-to-base rewrite). Returns `None` if the scan is
+    /// absent.
+    pub fn insert_filter_above_scan(&self, target: ExprId, alias: &str) -> Option<APlan> {
+        match self {
+            APlan::Scan { alias: a } if a == alias => {
+                Some(APlan::filter(target, self.clone()))
+            }
+            APlan::Scan { .. } => None,
+            APlan::Filter { node, child } => child
+                .insert_filter_above_scan(target, alias)
+                .map(|c| APlan::filter(*node, c)),
+            APlan::Join { cond, left, right } => {
+                if let Some(l) = left.insert_filter_above_scan(target, alias) {
+                    return Some(APlan::join(cond.clone(), l, (**right).clone()));
+                }
+                right
+                    .insert_filter_above_scan(target, alias)
+                    .map(|r| APlan::join(cond.clone(), (**left).clone(), r))
+            }
+            APlan::Union { children } => {
+                for (i, c) in children.iter().enumerate() {
+                    if let Some(nc) = c.insert_filter_above_scan(target, alias) {
+                        let mut out = children.clone();
+                        out[i] = nc;
+                        return Some(APlan::Union { children: out });
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Pretty-print in the indented style the paper uses for its plan
+    /// listings (§4.2).
+    pub fn display(&self, tree: &PredicateTree) -> String {
+        let mut out = String::new();
+        self.display_rec(tree, 0, &mut out);
+        out
+    }
+
+    fn display_rec(&self, tree: &PredicateTree, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            APlan::Scan { alias } => {
+                out.push_str(&format!("{pad}Table({alias})\n"));
+            }
+            APlan::Filter { node, child } => {
+                out.push_str(&format!("{pad}Filter({})\n", tree.display(*node)));
+                child.display_rec(tree, depth + 1, out);
+            }
+            APlan::Join { cond, left, right } => {
+                out.push_str(&format!("{pad}Join({cond})\n"));
+                left.display_rec(tree, depth + 1, out);
+                right.display_rec(tree, depth + 1, out);
+            }
+            APlan::Union { children } => {
+                out.push_str(&format!("{pad}Union\n"));
+                for c in children {
+                    c.display_rec(tree, depth + 1, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_expr::{and, col, ColumnRef};
+
+    fn setup() -> (PredicateTree, ExprId, ExprId, APlan) {
+        let e = and(vec![col("t", "a").lt(1i64), col("s", "b").lt(2i64)]);
+        let tree = PredicateTree::build(&e);
+        let fa = tree
+            .atom_ids()
+            .into_iter()
+            .find(|&id| tree.display(id) == "t.a < 1")
+            .unwrap();
+        let fb = tree
+            .atom_ids()
+            .into_iter()
+            .find(|&id| tree.display(id) == "s.b < 2")
+            .unwrap();
+        let plan = APlan::join(
+            JoinCond::new(ColumnRef::new("t", "id"), ColumnRef::new("s", "tid")),
+            APlan::filter(fa, APlan::scan("t")),
+            APlan::filter(fb, APlan::scan("s")),
+        );
+        (tree, fa, fb, plan)
+    }
+
+    #[test]
+    fn walk_accessors() {
+        let (_, fa, fb, plan) = setup();
+        assert_eq!(plan.filters(), vec![fa, fb]);
+        assert_eq!(plan.scans(), vec!["t", "s"]);
+        assert_eq!(plan.size(), 5);
+    }
+
+    #[test]
+    fn pull_up_moves_filter_above_join() {
+        let (tree, fa, _fb, plan) = setup();
+        assert!(plan.can_pull_up(fa));
+        let pulled = plan.pull_up_filter(fa).unwrap();
+        let rendered = pulled.display(&tree);
+        let filter_pos = rendered.find("Filter(t.a < 1)").unwrap();
+        let join_pos = rendered.find("Join").unwrap();
+        assert!(filter_pos < join_pos, "filter now above join:\n{rendered}");
+        // Pulling again: it's at the root → None.
+        assert!(pulled.pull_up_filter(fa).is_none());
+        assert!(!pulled.can_pull_up(fa));
+    }
+
+    #[test]
+    fn pull_up_through_filter_stack() {
+        let (tree, fa, fb, _) = setup();
+        // Stack: Filter(fb) over Filter(fa) over Scan.
+        let plan = APlan::filter(fb, APlan::filter(fa, APlan::scan("t")));
+        let pulled = plan.pull_up_filter(fa).unwrap();
+        // Order swapped.
+        let r = pulled.display(&tree);
+        assert!(
+            r.find("Filter(t.a < 1)").unwrap() < r.find("Filter(s.b < 2)").unwrap(),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn remove_and_insert_filter() {
+        let (tree, fa, _fb, plan) = setup();
+        let (removed, found) = plan.remove_filter(fa);
+        assert!(found);
+        assert_eq!(removed.filters().len(), 1);
+        let back = removed.insert_filter_above_scan(fa, "t").unwrap();
+        assert_eq!(back, plan, "round trip restores the plan");
+        let r = back.display(&tree);
+        assert!(r.contains("Filter(t.a < 1)"));
+        // Unknown alias → None; unknown filter → not found.
+        assert!(removed.insert_filter_above_scan(fa, "zz").is_none());
+        let (_, found) = removed.remove_filter(fa);
+        assert!(!found);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let (tree, .., plan) = setup();
+        let r = plan.display(&tree);
+        assert_eq!(
+            r,
+            "Join(t.id = s.tid)\n  Filter(t.a < 1)\n    Table(t)\n  Filter(s.b < 2)\n    Table(s)\n"
+        );
+    }
+
+    #[test]
+    fn union_plan_walk() {
+        let (_, fa, _, _) = setup();
+        let u = APlan::Union {
+            children: vec![
+                APlan::filter(fa, APlan::scan("t")),
+                APlan::scan("t"),
+            ],
+        };
+        assert_eq!(u.size(), 4);
+        let pulled = u.pull_up_filter(fa);
+        assert!(pulled.is_none(), "filter directly under union can't rise");
+    }
+}

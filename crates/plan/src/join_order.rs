@@ -1,0 +1,309 @@
+//! Greedy join ordering (§4.2): "whichever join would produce the smallest
+//! cardinality tagged relation is performed next (this is actually the
+//! join ordering used for all our planners)".
+
+use std::collections::BTreeSet;
+
+use basilisk_catalog::Estimator;
+use basilisk_expr::{ExprId, NodeKind, PredicateTree};
+use basilisk_types::{BasiliskError, Result};
+
+use crate::aplan::APlan;
+use crate::query::JoinCond;
+
+/// Estimate the fraction of `alias`'s rows that survive tagged filtering
+/// with every predicate pushed down: a tuple is dropped only when the
+/// overall predicate can no longer be satisfied no matter what the other
+/// tables contribute. Computed by evaluating the predicate tree with this
+/// table's atoms at their measured selectivities and every other table's
+/// atom at its *optimistic* value (true under positive polarity, false
+/// under negative).
+pub fn local_survival(
+    tree: &PredicateTree,
+    est: &Estimator,
+    alias: &str,
+) -> Result<f64> {
+    fn rec(
+        tree: &PredicateTree,
+        est: &Estimator,
+        alias: &str,
+        id: ExprId,
+        positive: bool,
+    ) -> Result<f64> {
+        Ok(match tree.kind(id) {
+            NodeKind::Atom(a) => {
+                if a.table() == alias {
+                    let s = est.atom_selectivity(a)?;
+                    if positive {
+                        s
+                    } else {
+                        1.0 - s
+                    }
+                } else {
+                    1.0 // other tables can always cooperate
+                }
+            }
+            NodeKind::Not(c) => rec(tree, est, alias, *c, !positive)?,
+            NodeKind::And(cs) => {
+                let mut s = 1.0;
+                for &c in cs {
+                    s *= rec(tree, est, alias, c, positive)?;
+                }
+                s
+            }
+            NodeKind::Or(cs) => {
+                let mut miss = 1.0;
+                for &c in cs {
+                    miss *= 1.0 - rec(tree, est, alias, c, positive)?;
+                }
+                1.0 - miss
+            }
+        })
+    }
+    rec(tree, est, alias, tree.root(), true)
+}
+
+struct Component {
+    plan: APlan,
+    aliases: BTreeSet<String>,
+    card: f64,
+}
+
+/// Build a join tree greedily from per-alias leaf plans and their
+/// estimated cardinalities. The join graph must be connected and acyclic
+/// (at most one condition between any two components).
+pub fn greedy_join_tree(
+    leaves: Vec<(String, APlan, f64)>,
+    joins: &[JoinCond],
+    est: &Estimator,
+) -> Result<APlan> {
+    let mut components: Vec<Component> = leaves
+        .into_iter()
+        .map(|(alias, plan, card)| Component {
+            plan,
+            aliases: BTreeSet::from([alias]),
+            card,
+        })
+        .collect();
+    if components.is_empty() {
+        return Err(BasiliskError::Plan("no tables to join".into()));
+    }
+
+    while components.len() > 1 {
+        // Candidate merges: for each join condition crossing two
+        // components, the estimated output cardinality.
+        let mut best: Option<(usize, usize, &JoinCond, f64)> = None;
+        for cond in joins {
+            let (la, ra) = cond.aliases();
+            let ci = components.iter().position(|c| c.aliases.contains(la));
+            let cj = components.iter().position(|c| c.aliases.contains(ra));
+            let (Some(ci), Some(cj)) = (ci, cj) else {
+                return Err(BasiliskError::Plan(format!(
+                    "join condition {cond} references un-scanned alias"
+                )));
+            };
+            if ci == cj {
+                continue; // already merged (cycle edge) — checked below
+            }
+            let sel = est.join_selectivity(&cond.left, &cond.right)?;
+            let card = components[ci].card * components[cj].card * sel;
+            let better = match &best {
+                None => true,
+                Some((.., c)) => card < *c - 1e-12,
+            };
+            if better {
+                best = Some((ci, cj, cond, card));
+            }
+        }
+        let Some((ci, cj, cond, card)) = best else {
+            return Err(BasiliskError::Plan(
+                "join graph is disconnected (cross products are not planned)".into(),
+            ));
+        };
+        // Detect a second condition between the same pair (cycle): this
+        // system plans acyclic join graphs only.
+        let crossing = joins
+            .iter()
+            .filter(|c| {
+                let (la, ra) = c.aliases();
+                (components[ci].aliases.contains(la) && components[cj].aliases.contains(ra))
+                    || (components[ci].aliases.contains(ra)
+                        && components[cj].aliases.contains(la))
+            })
+            .count();
+        if crossing > 1 {
+            return Err(BasiliskError::Plan(format!(
+                "cyclic join graph: {crossing} conditions connect the same components"
+            )));
+        }
+
+        // Orient the condition so its left side is covered by the left
+        // (ci) component.
+        let oriented = if components[ci].aliases.contains(cond.aliases().0) {
+            cond.clone()
+        } else {
+            JoinCond::new(cond.right.clone(), cond.left.clone())
+        };
+        let (lo, hi) = if ci < cj { (ci, cj) } else { (cj, ci) };
+        let right_comp = components.remove(hi);
+        let left_comp = components.remove(lo);
+        // `remove` above may have reordered ci/cj; recover which is which.
+        let (lc, rc) = if left_comp.aliases.contains(oriented.left.table.as_str()) {
+            (left_comp, right_comp)
+        } else {
+            (right_comp, left_comp)
+        };
+        let mut aliases = lc.aliases;
+        aliases.extend(rc.aliases);
+        components.push(Component {
+            plan: APlan::join(oriented, lc.plan, rc.plan),
+            aliases,
+            card: card.max(1.0),
+        });
+    }
+    Ok(components.pop().expect("one component").plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_catalog::Catalog;
+    use basilisk_expr::{and, col, or, ColumnRef};
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::DataType;
+
+    /// Three tables: t0 (pk, 100 rows), t1/t2 (fk, 1000/10 rows).
+    fn setup() -> (Catalog, Estimator) {
+        let mut cat = Catalog::new();
+        let mut b = TableBuilder::new("t0")
+            .column("id", DataType::Int)
+            .column("a", DataType::Float);
+        for i in 0..100i64 {
+            b.push_row(vec![i.into(), ((i % 10) as f64 / 10.0).into()])
+                .unwrap();
+        }
+        cat.add_table(b.finish().unwrap()).unwrap();
+        let mut b = TableBuilder::new("t1")
+            .column("fid", DataType::Int)
+            .column("a", DataType::Float);
+        for i in 0..1000i64 {
+            b.push_row(vec![(i % 100).into(), ((i % 10) as f64 / 10.0).into()])
+                .unwrap();
+        }
+        cat.add_table(b.finish().unwrap()).unwrap();
+        let mut b = TableBuilder::new("t2")
+            .column("fid", DataType::Int)
+            .column("a", DataType::Float);
+        for i in 0..10i64 {
+            b.push_row(vec![(i % 100).into(), ((i % 10) as f64 / 10.0).into()])
+                .unwrap();
+        }
+        cat.add_table(b.finish().unwrap()).unwrap();
+        let est = Estimator::new(
+            &cat,
+            &[
+                ("t0".into(), "t0".into()),
+                ("t1".into(), "t1".into()),
+                ("t2".into(), "t2".into()),
+            ],
+        )
+        .unwrap();
+        (cat, est)
+    }
+
+    fn conds() -> Vec<JoinCond> {
+        vec![
+            JoinCond::new(ColumnRef::new("t0", "id"), ColumnRef::new("t1", "fid")),
+            JoinCond::new(ColumnRef::new("t0", "id"), ColumnRef::new("t2", "fid")),
+        ]
+    }
+
+    #[test]
+    fn greedy_picks_smallest_join_first() {
+        let (_cat, est) = setup();
+        let leaves = vec![
+            ("t0".to_string(), APlan::scan("t0"), 100.0),
+            ("t1".to_string(), APlan::scan("t1"), 1000.0),
+            ("t2".to_string(), APlan::scan("t2"), 10.0),
+        ];
+        let plan = greedy_join_tree(leaves, &conds(), &est).unwrap();
+        // t0⋈t2 gives ~10 rows, t0⋈t1 gives ~1000: expect t2 joined first
+        // (deeper in the tree).
+        let APlan::Join { left, .. } = &plan else {
+            panic!("root must be a join")
+        };
+        let inner_scans: Vec<&str> = left.scans();
+        assert!(
+            inner_scans.contains(&"t2"),
+            "t2 should be in the first join: {inner_scans:?}"
+        );
+        assert_eq!(plan.scans().len(), 3);
+    }
+
+    #[test]
+    fn join_cond_oriented_to_sides() {
+        let (_cat, est) = setup();
+        let leaves = vec![
+            ("t1".to_string(), APlan::scan("t1"), 1000.0),
+            ("t0".to_string(), APlan::scan("t0"), 100.0),
+        ];
+        let plan =
+            greedy_join_tree(leaves, &conds()[..1].to_vec(), &est).unwrap();
+        let APlan::Join { cond, left, .. } = &plan else {
+            panic!()
+        };
+        assert!(
+            left.scans().contains(&cond.left.table.as_str()),
+            "left key column covered by left subplan"
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_errors() {
+        let (_cat, est) = setup();
+        let leaves = vec![
+            ("t0".to_string(), APlan::scan("t0"), 100.0),
+            ("t1".to_string(), APlan::scan("t1"), 1000.0),
+        ];
+        assert!(greedy_join_tree(leaves, &[], &est).is_err());
+    }
+
+    #[test]
+    fn single_table_passthrough() {
+        let (_cat, est) = setup();
+        let leaves = vec![("t0".to_string(), APlan::scan("t0"), 100.0)];
+        let plan = greedy_join_tree(leaves, &[], &est).unwrap();
+        assert_eq!(plan, APlan::scan("t0"));
+    }
+
+    #[test]
+    fn local_survival_dnf() {
+        let (_cat, est) = setup();
+        // (t1.a<0.2 ∧ t2.a<0.2) ∨ (t1.a<0.4 ∧ t2.a<0.4)
+        let e = or(vec![
+            and(vec![col("t1", "a").lt(0.2), col("t2", "a").lt(0.2)]),
+            and(vec![col("t1", "a").lt(0.4), col("t2", "a").lt(0.4)]),
+        ]);
+        let tree = PredicateTree::build(&e);
+        // For t1: survive if a<0.2 (clause1 possible) or a<0.4 — i.e.
+        // 1-(1-0.2)(1-0.4) = 0.52.
+        let s = local_survival(&tree, &est, "t1").unwrap();
+        assert!((s - 0.52).abs() < 1e-9, "got {s}");
+        // t0 has no atoms: everything survives.
+        let s = local_survival(&tree, &est, "t0").unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_survival_with_not() {
+        let (_cat, est) = setup();
+        // NOT (t1.a < 0.2): survival for t1 is 0.8.
+        let e = basilisk_expr::not(col("t1", "a").lt(0.2));
+        let tree = PredicateTree::build(&e);
+        let s = local_survival(&tree, &est, "t1").unwrap();
+        assert!((s - 0.8).abs() < 1e-9, "got {s}");
+        // NOT over another table's atom: optimistic 1.0.
+        let s = local_survival(&tree, &est, "t2").unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,404 @@
+//! The one-stop query session: plan, execute, time.
+
+use std::time::{Duration, Instant};
+
+use basilisk_catalog::{Catalog, Estimator};
+use basilisk_core::{TagMapBuilder, TagMapStrategy};
+use basilisk_exec::{project, IdxRelation, TableSet};
+use basilisk_expr::{ColumnRef, PredicateTree};
+use basilisk_storage::Column;
+use basilisk_types::{BasiliskError, Result};
+
+use crate::cost::CostModel;
+use crate::executor::{execute_tagged, execute_traditional};
+use crate::join_order::greedy_join_tree;
+use crate::planners::{plan as run_planner, PlannedQuery, PlannerInput, PlannerKind};
+use crate::query::Query;
+use crate::aplan::APlan;
+
+/// A planned query ready for (repeated) execution.
+pub enum Plan {
+    WithPredicate(PlannedQuery),
+    /// Queries without a WHERE clause: a join-only traditional plan.
+    JoinOnly(APlan),
+}
+
+impl Plan {
+    pub fn estimated_cost(&self) -> f64 {
+        match self {
+            Plan::WithPredicate(p) => p.estimated_cost(),
+            Plan::JoinOnly(_) => 0.0,
+        }
+    }
+
+    /// The tagged planner that produced this plan, if any.
+    pub fn chosen_planner(&self) -> Option<PlannerKind> {
+        match self {
+            Plan::WithPredicate(PlannedQuery::Tagged { chosen, .. }) => Some(*chosen),
+            _ => None,
+        }
+    }
+}
+
+/// Wall-clock planning/execution split (the paper reports planning at
+/// <0.1% of total except in the root-clause sweep, Fig. 4c).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanTimings {
+    pub planning: Duration,
+    pub execution: Duration,
+}
+
+impl PlanTimings {
+    pub fn total(&self) -> Duration {
+        self.planning + self.execution
+    }
+}
+
+/// The result rows of a query (as an index relation) plus helpers.
+pub struct QueryOutput {
+    pub rows: IdxRelation,
+}
+
+impl QueryOutput {
+    pub fn count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Canonical sorted tuple list for result comparison in tests.
+    pub fn canonical_tuples(&self) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = (0..self.rows.len())
+            .map(|i| {
+                // Sort columns by alias for cross-plan comparability.
+                let mut named: Vec<(&String, u32)> = self
+                    .rows
+                    .tables()
+                    .iter()
+                    .zip(self.rows.cols())
+                    .map(|(t, c)| (t, c[i]))
+                    .collect();
+                named.sort_by(|a, b| a.0.cmp(b.0));
+                named.into_iter().map(|(_, v)| v).collect()
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// A query bound to a catalog: statistics, table handles and the predicate
+/// tree are built once; any number of planners can then be run and
+/// compared on it.
+pub struct QuerySession {
+    query: Query,
+    tree: Option<PredicateTree>,
+    est: Estimator,
+    tables: TableSet,
+    strategy: TagMapStrategy,
+    three_valued: bool,
+    cm: CostModel,
+}
+
+impl QuerySession {
+    pub fn new(catalog: &Catalog, query: Query) -> Result<QuerySession> {
+        query.validate()?;
+        let est = Estimator::new(catalog, &query.aliases)?;
+        let tables = TableSet::new(catalog, &query.aliases)?;
+        let tree = query.predicate.as_ref().map(PredicateTree::build);
+        // Three-valued tag maps are mandatory for correctness whenever a
+        // predicate can evaluate to unknown: a NULL-bearing row must flow
+        // into the unknown slice (§3.4) rather than be dropped, because it
+        // may still satisfy the overall predicate through another
+        // disjunct. Detect that from column statistics.
+        let three_valued = match &tree {
+            None => false,
+            Some(t) => t.atom_ids().iter().any(|&id| {
+                let atom = t.atom(id).expect("atom id");
+                !matches!(atom, basilisk_expr::Atom::IsNull { .. })
+                    && est.null_frac(atom.column()).map(|f| f > 0.0).unwrap_or(false)
+            }),
+        };
+        Ok(QuerySession {
+            query,
+            tree,
+            est,
+            tables,
+            strategy: TagMapStrategy::Generalized { use_closure: true },
+            three_valued,
+            cm: CostModel::default(),
+        })
+    }
+
+    /// Override the tag-map strategy (ablations).
+    pub fn with_strategy(mut self, strategy: TagMapStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enable three-valued tag maps (needed when the data contains NULLs).
+    pub fn with_three_valued(mut self, enabled: bool) -> Self {
+        self.three_valued = enabled;
+        self
+    }
+
+    pub fn with_cost_model(mut self, cm: CostModel) -> Self {
+        self.cm = cm;
+        self
+    }
+
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    pub fn tree(&self) -> Option<&PredicateTree> {
+        self.tree.as_ref()
+    }
+
+    pub fn tables(&self) -> &TableSet {
+        &self.tables
+    }
+
+    pub fn estimator(&self) -> &Estimator {
+        &self.est
+    }
+
+    /// Plan with the chosen planner.
+    pub fn plan(&self, kind: PlannerKind) -> Result<Plan> {
+        let Some(tree) = &self.tree else {
+            // No predicate: any planner degenerates to the greedy join
+            // tree executed traditionally.
+            let leaves = self
+                .query
+                .aliases
+                .iter()
+                .map(|(alias, _)| {
+                    Ok((
+                        alias.clone(),
+                        APlan::scan(alias.clone()),
+                        self.est.rows(alias)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            return Ok(Plan::JoinOnly(greedy_join_tree(
+                leaves,
+                &self.query.joins,
+                &self.est,
+            )?));
+        };
+        let builder =
+            TagMapBuilder::new(tree, self.strategy).with_three_valued(self.three_valued);
+        let input = PlannerInput {
+            query: &self.query,
+            tree,
+            est: &self.est,
+            builder: &builder,
+            cm: &self.cm,
+        };
+        Ok(Plan::WithPredicate(run_planner(kind, &input)?))
+    }
+
+    /// Execute a previously built plan.
+    pub fn execute(&self, plan: &Plan) -> Result<QueryOutput> {
+        let rows = match plan {
+            Plan::JoinOnly(aplan) => {
+                // Predicate-free: use the traditional executor with a
+                // dummy tree (never consulted — the plan has no filters).
+                let dummy = PredicateTree::build(&basilisk_expr::col("·", "·").is_null());
+                execute_traditional(aplan, &self.tables, &dummy)?
+            }
+            Plan::WithPredicate(p) => {
+                let tree = self
+                    .tree
+                    .as_ref()
+                    .ok_or_else(|| BasiliskError::Plan("plan/session mismatch".into()))?;
+                match p {
+                    PlannedQuery::Tagged { ann, .. } => {
+                        execute_tagged(&ann.plan, &ann.projection, &self.tables, tree)?
+                    }
+                    PlannedQuery::Traditional { aplan, .. } => {
+                        execute_traditional(aplan, &self.tables, tree)?
+                    }
+                }
+            }
+        };
+        Ok(QueryOutput { rows })
+    }
+
+    /// Plan + execute, reporting the timing split.
+    pub fn run(&self, kind: PlannerKind) -> Result<(QueryOutput, PlanTimings)> {
+        let t0 = Instant::now();
+        let plan = self.plan(kind)?;
+        let planning = t0.elapsed();
+        let t1 = Instant::now();
+        let out = self.execute(&plan)?;
+        let execution = t1.elapsed();
+        Ok((
+            out,
+            PlanTimings {
+                planning,
+                execution,
+            },
+        ))
+    }
+
+    /// Materialize the query's projection columns for an output.
+    pub fn project(&self, output: &QueryOutput) -> Result<Vec<(ColumnRef, Column)>> {
+        project(&self.tables, &output.rows, &self.query.projection)
+    }
+
+    /// Human-readable plan rendering (EXPLAIN).
+    pub fn explain(&self, plan: &Plan) -> String {
+        match (plan, &self.tree) {
+            (Plan::JoinOnly(aplan), _) => {
+                let dummy = PredicateTree::build(&basilisk_expr::col("·", "·").is_null());
+                format!("-- join-only plan (no predicate)\n{}", aplan.display(&dummy))
+            }
+            (Plan::WithPredicate(p), Some(tree)) => {
+                let header = match p {
+                    PlannedQuery::Tagged { chosen, ann, .. } => format!(
+                        "-- tagged plan ({}), estimated cost {:.1}, {} projection tag(s)\n",
+                        chosen,
+                        ann.cost,
+                        ann.projection.allowed.len()
+                    ),
+                    PlannedQuery::Traditional { cost, .. } => {
+                        format!("-- traditional plan, estimated cost {cost:.1}\n")
+                    }
+                };
+                format!("{header}{}", p.aplan().display(tree))
+            }
+            _ => "-- invalid plan/session pairing".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_expr::{and, col, or};
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::DataType;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut b = TableBuilder::new("title")
+            .column("id", DataType::Int)
+            .column("year", DataType::Int);
+        for i in 0..300i64 {
+            b.push_row(vec![i.into(), (1900 + i % 120).into()]).unwrap();
+        }
+        cat.add_table(b.finish().unwrap()).unwrap();
+        let mut b = TableBuilder::new("scores")
+            .column("movie_id", DataType::Int)
+            .column("score", DataType::Float);
+        for i in 0..500i64 {
+            b.push_row(vec![(i % 300).into(), ((i % 100) as f64 / 10.0).into()])
+                .unwrap();
+        }
+        cat.add_table(b.finish().unwrap()).unwrap();
+        cat
+    }
+
+    fn query() -> Query {
+        Query::new(vec![
+            ("t".into(), "title".into()),
+            ("mi".into(), "scores".into()),
+        ])
+        .join(ColumnRef::new("t", "id"), ColumnRef::new("mi", "movie_id"))
+        .filter(or(vec![
+            and(vec![col("t", "year").gt(2000i64), col("mi", "score").gt(7.0)]),
+            and(vec![col("t", "year").gt(1980i64), col("mi", "score").gt(8.0)]),
+        ]))
+        .select(vec![ColumnRef::new("t", "id")])
+    }
+
+    use basilisk_expr::ColumnRef;
+
+    /// Every planner returns the same result set.
+    #[test]
+    fn all_planners_agree() {
+        let cat = catalog();
+        let session = QuerySession::new(&cat, query()).unwrap();
+        let reference = session
+            .execute(&session.plan(PlannerKind::BPushConj).unwrap())
+            .unwrap()
+            .canonical_tuples();
+        assert!(!reference.is_empty());
+        for kind in [
+            PlannerKind::TPushdown,
+            PlannerKind::TPullup,
+            PlannerKind::TIterPush,
+            PlannerKind::TPushConj,
+            PlannerKind::TCombined,
+            PlannerKind::BDisj,
+        ] {
+            let out = session.execute(&session.plan(kind).unwrap()).unwrap();
+            assert_eq!(
+                out.canonical_tuples(),
+                reference,
+                "planner {kind} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reports_timings_and_project_works() {
+        let cat = catalog();
+        let session = QuerySession::new(&cat, query()).unwrap();
+        let (out, t) = session.run(PlannerKind::TCombined).unwrap();
+        assert!(out.count() > 0);
+        assert!(t.total() >= t.planning);
+        let cols = session.project(&out).unwrap();
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0].1.len(), out.count());
+    }
+
+    #[test]
+    fn no_predicate_query() {
+        let cat = catalog();
+        let q = Query::new(vec![
+            ("t".into(), "title".into()),
+            ("mi".into(), "scores".into()),
+        ])
+        .join(ColumnRef::new("t", "id"), ColumnRef::new("mi", "movie_id"));
+        let session = QuerySession::new(&cat, q).unwrap();
+        let plan = session.plan(PlannerKind::TCombined).unwrap();
+        let out = session.execute(&plan).unwrap();
+        assert_eq!(out.count(), 500, "every score row matches one title");
+        assert_eq!(plan.estimated_cost(), 0.0);
+        assert!(plan.chosen_planner().is_none());
+        assert!(session.explain(&plan).contains("join-only"));
+    }
+
+    #[test]
+    fn explain_renders() {
+        let cat = catalog();
+        let session = QuerySession::new(&cat, query()).unwrap();
+        let plan = session.plan(PlannerKind::TCombined).unwrap();
+        let text = session.explain(&plan);
+        assert!(text.contains("tagged plan"), "{text}");
+        assert!(text.contains("Join"), "{text}");
+        assert!(plan.chosen_planner().is_some());
+        let plan = session.plan(PlannerKind::BDisj).unwrap();
+        let text = session.explain(&plan);
+        assert!(text.contains("traditional plan"), "{text}");
+        assert!(text.contains("Union"), "{text}");
+    }
+
+    /// Naive tag strategy still yields correct results (just slower).
+    #[test]
+    fn naive_strategy_correct() {
+        let cat = catalog();
+        let session = QuerySession::new(&cat, query()).unwrap();
+        let reference = session
+            .execute(&session.plan(PlannerKind::BPushConj).unwrap())
+            .unwrap()
+            .canonical_tuples();
+        let naive = QuerySession::new(&cat, query())
+            .unwrap()
+            .with_strategy(basilisk_core::TagMapStrategy::Naive);
+        let out = naive
+            .execute(&naive.plan(PlannerKind::TPushdown).unwrap())
+            .unwrap();
+        assert_eq!(out.canonical_tuples(), reference);
+    }
+}

@@ -1,0 +1,351 @@
+//! The SQL lexer.
+
+use basilisk_types::{BasiliskError, Result};
+
+/// A lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier (already lower-cased; SQL identifiers here are
+    /// case-insensitive).
+    Ident(String),
+    /// `'…'` string literal (embedded `''` unescaped to `'`).
+    Str(String),
+    Int(i64),
+    Float(f64),
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl TokenKind {
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Str(_) => "string literal".into(),
+            TokenKind::Int(_) | TokenKind::Float(_) => "number".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`<>`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+fn err(message: impl Into<String>, offset: usize) -> BasiliskError {
+    BasiliskError::Parse {
+        message: message.into(),
+        offset,
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            b'<' => {
+                let kind = match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        i += 2;
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        i += 2;
+                        TokenKind::Ne
+                    }
+                    _ => {
+                        i += 1;
+                        TokenKind::Lt
+                    }
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            b'>' => {
+                let kind = if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(err("unexpected `!`", start));
+                }
+            }
+            b'\'' => {
+                // String literal with `''` escapes.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err("unterminated string literal", start));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // copy the full UTF-8 character
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len])
+                                .map_err(|_| err("invalid UTF-8 in string", i))?,
+                        );
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &sql[i..j];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| err(format!("bad float literal {text}"), start))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| err(format!("integer literal {text} out of range"), start))?,
+                    )
+                };
+                tokens.push(Token { kind, offset: start });
+                i = j;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(sql[i..j].to_ascii_lowercase()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(err(
+                    format!("unexpected character `{}`", other as char),
+                    start,
+                ))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: sql.len(),
+    });
+    Ok(tokens)
+}
+
+#[inline]
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT * FROM t"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Star,
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.25 0.5"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Float(0.5),
+                TokenKind::Eof
+            ]
+        );
+        // Dot after integer without digits is a Dot token (t.1 is invalid
+        // anyway, but 7. should not eat the dot).
+        assert_eq!(
+            kinds("7.x"),
+            vec![
+                TokenKind::Int(7),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'7.0' 'it''s' ''"),
+            vec![
+                TokenKind::Str("7.0".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("'wörld'"), vec![TokenKind::Str("wörld".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn identifiers_lowercased() {
+        assert_eq!(
+            kinds("Title mi_IDX _x a1"),
+            vec![
+                TokenKind::Ident("title".into()),
+                TokenKind::Ident("mi_idx".into()),
+                TokenKind::Ident("_x".into()),
+                TokenKind::Ident("a1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a -- comment here\n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_with_offsets() {
+        let e = tokenize("a 'unterminated").unwrap_err();
+        assert!(e.to_string().contains("byte 2"), "{e}");
+        let e = tokenize("a ! b").unwrap_err();
+        assert!(e.to_string().contains("`!`"), "{e}");
+        let e = tokenize("a # b").unwrap_err();
+        assert!(e.to_string().contains("unexpected character"), "{e}");
+    }
+}

@@ -1,0 +1,25 @@
+//! SQL front end for Basilisk.
+//!
+//! A hand-written lexer and recursive-descent parser for the
+//! select-project-join queries with arbitrary boolean WHERE clauses that
+//! the paper evaluates — e.g. Query 1 parses verbatim:
+//!
+//! ```sql
+//! SELECT * FROM title AS t JOIN movie_info_idx AS mi_idx
+//! ON t.id = mi_idx.movie_id
+//! WHERE (t.year > 2000 AND mi_idx.score > '7.0')
+//!    OR (t.year > 1980 AND mi_idx.score > '8.0')
+//! ```
+//!
+//! Supported predicate syntax: comparisons (`= <> != < <= > >=`) against
+//! integer/float/string/boolean literals, `LIKE`/`ILIKE`/`NOT LIKE`,
+//! `IS [NOT] NULL`, `[NOT] IN (…)`, `[NOT] BETWEEN … AND …` (desugared to
+//! range comparisons), and arbitrarily nested `AND`/`OR`/`NOT`.
+//! Projections: column lists, `*`, or `COUNT(*)`; a trailing `LIMIT n`
+//! caps materialization.
+
+mod lexer;
+mod parser;
+
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::{parse_select, Projection, SelectStmt};

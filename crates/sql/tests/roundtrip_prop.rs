@@ -1,0 +1,59 @@
+//! Property test: pretty-printing an expression and re-parsing it yields
+//! a structurally identical predicate tree.
+
+use basilisk_expr::{col, Expr, PredicateTree};
+use basilisk_sql::parse_select;
+use basilisk_types::Value;
+use proptest::prelude::*;
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(|v| col("t", "a").gt(v)),
+        (0i64..100).prop_map(|v| col("t", "b").le(v)),
+        any::<bool>().prop_map(|ci| {
+            if ci {
+                col("t", "s").ilike("%x_y%")
+            } else {
+                col("t", "s").like("100%")
+            }
+        }),
+        Just(col("t", "s").eq("it's")),
+        Just(col("t", "a").is_null()),
+        Just(col("t", "a").in_list(vec![Value::Int(1), Value::Float(2.5), Value::from("z")])),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_roundtrip(expr in expr_strategy()) {
+        let sql = format!("SELECT * FROM t WHERE {expr}");
+        let stmt = parse_select(&sql)
+            .unwrap_or_else(|e| panic!("failed to re-parse `{sql}`: {e}"));
+        let reparsed = stmt.predicate.expect("predicate survives");
+        // Compare the normalized, interned forms — the printer may rely on
+        // precedence rather than parentheses, so compare trees, not text.
+        let a = PredicateTree::build(&expr);
+        let b = PredicateTree::build(&reparsed);
+        prop_assert_eq!(
+            a.len(),
+            b.len(),
+            "tree sizes differ for `{}` vs `{}`",
+            expr,
+            reparsed
+        );
+        prop_assert_eq!(
+            a.display(a.root()),
+            b.display(b.root()),
+            "rendered trees differ"
+        );
+    }
+}

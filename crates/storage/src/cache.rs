@@ -1,0 +1,270 @@
+//! The LFU page cache (§5 "System").
+//!
+//! The paper sits an LFU (least-frequently-used) page cache between the
+//! execution engine and the disk. This is a classic O(1) LFU: pages live in
+//! frequency buckets; on access a page moves to the next bucket; eviction
+//! removes an arbitrary page from the lowest non-empty bucket (FIFO within
+//! the bucket via an ordered map of insertion stamps).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Identifies one page of one column file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    /// Registered file id (assigned by the table that owns the file).
+    pub file_id: u64,
+    /// Zero-based data page number within the file.
+    pub page_no: u32,
+}
+
+/// Hit/miss/eviction counters, cheap to copy out for tests and benches.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+struct Entry {
+    page: Arc<Vec<u8>>,
+    freq: u64,
+    stamp: u64,
+}
+
+struct Inner {
+    capacity: usize,
+    map: HashMap<PageKey, Entry>,
+    /// freq -> (stamp -> key); the eviction order book.
+    buckets: BTreeMap<u64, BTreeMap<u64, PageKey>>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+/// A thread-safe LFU cache of fixed-size pages.
+pub struct LfuPageCache {
+    inner: Mutex<Inner>,
+}
+
+impl LfuPageCache {
+    /// `capacity` is the maximum number of cached pages (must be ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "page cache capacity must be at least 1");
+        LfuPageCache {
+            inner: Mutex::new(Inner {
+                capacity,
+                map: HashMap::with_capacity(capacity),
+                buckets: BTreeMap::new(),
+                next_stamp: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Fetch a page, loading it through `load` on a miss. The load runs
+    /// under the lock: the cache is an I/O serialization point exactly like
+    /// the single-disk setup the paper benchmarks on.
+    pub fn get_or_load<E>(
+        &self,
+        key: PageKey,
+        load: impl FnOnce() -> Result<Vec<u8>, E>,
+    ) -> Result<Arc<Vec<u8>>, E> {
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&key) {
+            inner.stats.hits += 1;
+            inner.touch(key);
+            return Ok(Arc::clone(&inner.map[&key].page));
+        }
+        inner.stats.misses += 1;
+        let page = Arc::new(load()?);
+        inner.insert(key, Arc::clone(&page));
+        Ok(page)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached page (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.buckets.clear();
+    }
+
+    /// The access frequency of a resident page, if present (test hook).
+    pub fn frequency_of(&self, key: PageKey) -> Option<u64> {
+        self.inner.lock().map.get(&key).map(|e| e.freq)
+    }
+}
+
+impl Inner {
+    fn touch(&mut self, key: PageKey) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let entry = self.map.get_mut(&key).expect("touch of resident page");
+        let old_freq = entry.freq;
+        let old_stamp = entry.stamp;
+        entry.freq += 1;
+        entry.stamp = stamp;
+        let (new_freq, _) = (entry.freq, ());
+        if let Some(bucket) = self.buckets.get_mut(&old_freq) {
+            bucket.remove(&old_stamp);
+            if bucket.is_empty() {
+                self.buckets.remove(&old_freq);
+            }
+        }
+        self.buckets.entry(new_freq).or_default().insert(stamp, key);
+    }
+
+    fn insert(&mut self, key: PageKey, page: Arc<Vec<u8>>) {
+        if self.map.len() >= self.capacity {
+            self.evict_one();
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.map.insert(
+            key,
+            Entry {
+                page,
+                freq: 1,
+                stamp,
+            },
+        );
+        self.buckets.entry(1).or_default().insert(stamp, key);
+    }
+
+    fn evict_one(&mut self) {
+        // Lowest frequency bucket, oldest stamp within it.
+        let Some((&freq, bucket)) = self.buckets.iter_mut().next() else {
+            return;
+        };
+        let Some((&stamp, &victim)) = bucket.iter().next() else {
+            return;
+        };
+        bucket.remove(&stamp);
+        if bucket.is_empty() {
+            self.buckets.remove(&freq);
+        }
+        self.map.remove(&victim);
+        self.stats.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn key(p: u32) -> PageKey {
+        PageKey {
+            file_id: 1,
+            page_no: p,
+        }
+    }
+
+    fn load(cache: &LfuPageCache, p: u32) -> Arc<Vec<u8>> {
+        cache
+            .get_or_load::<Infallible>(key(p), || Ok(vec![p as u8]))
+            .unwrap()
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = LfuPageCache::new(4);
+        load(&cache, 0);
+        load(&cache, 0);
+        load(&cache, 1);
+        let s = cache.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let cache = LfuPageCache::new(2);
+        load(&cache, 0); // freq(0)=1
+        load(&cache, 0); // freq(0)=2
+        load(&cache, 1); // freq(1)=1
+        load(&cache, 2); // evicts page 1 (lowest freq), not page 0
+        assert_eq!(cache.frequency_of(key(0)), Some(2));
+        assert_eq!(cache.frequency_of(key(1)), None);
+        assert_eq!(cache.frequency_of(key(2)), Some(1));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lfu_ties_break_fifo() {
+        let cache = LfuPageCache::new(2);
+        load(&cache, 0);
+        load(&cache, 1);
+        // Both freq 1: the older (page 0) goes first.
+        load(&cache, 2);
+        assert_eq!(cache.frequency_of(key(0)), None);
+        assert_eq!(cache.frequency_of(key(1)), Some(1));
+    }
+
+    #[test]
+    fn reload_after_eviction_counts_miss() {
+        let cache = LfuPageCache::new(1);
+        load(&cache, 0);
+        load(&cache, 1);
+        load(&cache, 0);
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn returns_loaded_bytes() {
+        let cache = LfuPageCache::new(2);
+        let page = load(&cache, 7);
+        assert_eq!(*page, vec![7u8]);
+        // A hit returns the same allocation.
+        let again = load(&cache, 7);
+        assert!(Arc::ptr_eq(&page, &again));
+    }
+
+    #[test]
+    fn load_errors_do_not_insert() {
+        let cache = LfuPageCache::new(2);
+        let r = cache.get_or_load(key(3), || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let cache = LfuPageCache::new(2);
+        load(&cache, 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn heavy_workload_respects_capacity() {
+        let cache = LfuPageCache::new(8);
+        for round in 0..4 {
+            for p in 0..32 {
+                load(&cache, p);
+                // keep a hot set
+                load(&cache, round);
+            }
+        }
+        assert!(cache.len() <= 8);
+    }
+}

@@ -1,0 +1,461 @@
+//! In-memory typed columns.
+//!
+//! A [`Column`] holds one attribute of one table in a dense, typed layout:
+//! `Vec<i64>`/`Vec<f64>`/`Vec<bool>` for fixed-width types and an
+//! offsets-plus-bytes arena ([`StrData`]) for strings, with an optional
+//! validity bitmap for NULLs (set bit = value present). Intermediate query
+//! state never copies these (§2.5.1 — intermediates are tuples of *indices*
+//! into base tables); columns are only materialized at projection time or
+//! when read back from disk.
+
+use basilisk_types::{BasiliskError, Bitmap, DataType, Result, Value};
+
+/// Arena-style string storage: `offsets[i]..offsets[i+1]` spans row `i`'s
+/// bytes. Avoids one heap allocation per string.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StrData {
+    offsets: Vec<u32>,
+    bytes: Vec<u8>,
+}
+
+impl StrData {
+    pub fn new() -> Self {
+        StrData {
+            offsets: vec![0],
+            bytes: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(rows: usize, bytes: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        StrData {
+            offsets,
+            bytes: Vec::with_capacity(bytes),
+        }
+    }
+
+    pub fn push(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.offsets.push(self.bytes.len() as u32);
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        // Invariant: bytes are only appended via `push(&str)`, so every
+        // offset range is valid UTF-8.
+        std::str::from_utf8(&self.bytes[lo..hi]).expect("column bytes are UTF-8")
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Raw parts, used by the on-disk serializer.
+    pub fn raw(&self) -> (&[u32], &[u8]) {
+        (&self.offsets, &self.bytes)
+    }
+
+    pub fn from_raw(offsets: Vec<u32>, bytes: Vec<u8>) -> Result<Self> {
+        if offsets.first() != Some(&0)
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last().copied().unwrap_or(0) as usize != bytes.len()
+        {
+            return Err(BasiliskError::Corrupt("string offsets out of order".into()));
+        }
+        std::str::from_utf8(&bytes)
+            .map_err(|_| BasiliskError::Corrupt("string bytes are not UTF-8".into()))?;
+        Ok(StrData { offsets, bytes })
+    }
+}
+
+/// The typed payload of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(StrData),
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(s) => s.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+}
+
+/// One attribute of one table: typed data plus an optional validity bitmap
+/// (`None` means every row is valid; a set bit means "value present").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Bitmap>,
+}
+
+impl Column {
+    pub fn new(data: ColumnData, validity: Option<Bitmap>) -> Result<Self> {
+        if let Some(v) = &validity {
+            if v.len() != data.len() {
+                return Err(BasiliskError::Corrupt(format!(
+                    "validity length {} != data length {}",
+                    v.len(),
+                    data.len()
+                )));
+            }
+        }
+        Ok(Column { data, validity })
+    }
+
+    pub fn from_ints(v: Vec<i64>) -> Self {
+        Column {
+            data: ColumnData::Int(v),
+            validity: None,
+        }
+    }
+
+    pub fn from_floats(v: Vec<f64>) -> Self {
+        Column {
+            data: ColumnData::Float(v),
+            validity: None,
+        }
+    }
+
+    pub fn from_strs<S: AsRef<str>>(v: &[S]) -> Self {
+        let mut s = StrData::with_capacity(v.len(), v.iter().map(|x| x.as_ref().len()).sum());
+        for x in v {
+            s.push(x.as_ref());
+        }
+        Column {
+            data: ColumnData::Str(s),
+            validity: None,
+        }
+    }
+
+    pub fn from_bools(v: Vec<bool>) -> Self {
+        Column {
+            data: ColumnData::Bool(v),
+            validity: None,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    #[inline]
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    pub fn has_nulls(&self) -> bool {
+        self.validity
+            .as_ref()
+            .map(|v| v.count_ones() < v.len())
+            .unwrap_or(false)
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.validity
+            .as_ref()
+            .map(|v| v.len() - v.count_ones())
+            .unwrap_or(0)
+    }
+
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map(|v| v.get(i)).unwrap_or(true)
+    }
+
+    /// Materialize row `i` as a [`Value`] (allocates for strings).
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(s) => Value::Str(s.get(i).to_owned()),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Typed fast-path accessors for vectorized evaluation.
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_floats(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_strs(&self) -> Option<&StrData> {
+        match &self.data {
+            ColumnData::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Materialize the values at the given row indices into a fresh column
+    /// (the gather primitive behind index-tuple intermediates, §2.5.1).
+    pub fn gather(&self, rows: &[u32]) -> Column {
+        let validity = self.validity.as_ref().map(|v| {
+            let mut out = Bitmap::new(rows.len());
+            for (j, &r) in rows.iter().enumerate() {
+                if v.get(r as usize) {
+                    out.set(j);
+                }
+            }
+            out
+        });
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(rows.iter().map(|&r| v[r as usize]).collect()),
+            ColumnData::Float(v) => {
+                ColumnData::Float(rows.iter().map(|&r| v[r as usize]).collect())
+            }
+            ColumnData::Bool(v) => ColumnData::Bool(rows.iter().map(|&r| v[r as usize]).collect()),
+            ColumnData::Str(s) => {
+                let mut out = StrData::with_capacity(rows.len(), 0);
+                for &r in rows {
+                    out.push(s.get(r as usize));
+                }
+                ColumnData::Str(out)
+            }
+        };
+        Column { data, validity }
+    }
+}
+
+/// Incremental builder accepting dynamically typed [`Value`]s, used by the
+/// loaders and generators.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    dtype: DataType,
+    data: ColumnData,
+    nulls: Vec<usize>,
+    len: usize,
+}
+
+impl ColumnBuilder {
+    pub fn new(dtype: DataType) -> Self {
+        let data = match dtype {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str(StrData::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+        };
+        ColumnBuilder {
+            dtype,
+            data,
+            nulls: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (&mut self.data, value) {
+            (_, Value::Null) => {
+                self.nulls.push(self.len);
+                // Push a type-appropriate placeholder so the dense vectors
+                // stay aligned with row numbers.
+                match &mut self.data {
+                    ColumnData::Int(v) => v.push(0),
+                    ColumnData::Float(v) => v.push(0.0),
+                    ColumnData::Str(s) => s.push(""),
+                    ColumnData::Bool(v) => v.push(false),
+                }
+            }
+            (ColumnData::Int(v), Value::Int(x)) => v.push(x),
+            (ColumnData::Float(v), Value::Float(x)) => v.push(x),
+            (ColumnData::Float(v), Value::Int(x)) => v.push(x as f64),
+            (ColumnData::Str(s), Value::Str(x)) => s.push(&x),
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(x),
+            (_, other) => {
+                return Err(BasiliskError::Type(format!(
+                    "cannot store {other} in a {} column",
+                    self.dtype
+                )))
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn finish(self) -> Column {
+        let validity = if self.nulls.is_empty() {
+            None
+        } else {
+            let mut v = Bitmap::all_set(self.len);
+            for i in self.nulls {
+                v.clear(i);
+            }
+            Some(v)
+        };
+        Column {
+            data: self.data,
+            validity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strdata_roundtrip() {
+        let mut s = StrData::new();
+        s.push("hello");
+        s.push("");
+        s.push("wörld");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0), "hello");
+        assert_eq!(s.get(1), "");
+        assert_eq!(s.get(2), "wörld");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec!["hello", "", "wörld"]);
+    }
+
+    #[test]
+    fn strdata_from_raw_validates() {
+        assert!(StrData::from_raw(vec![0, 2, 1], vec![b'a', b'b']).is_err());
+        assert!(StrData::from_raw(vec![1, 2], vec![b'a', b'b']).is_err());
+        assert!(StrData::from_raw(vec![0, 2], vec![0xff, 0xfe]).is_err());
+        let ok = StrData::from_raw(vec![0, 1, 2], vec![b'a', b'b']).unwrap();
+        assert_eq!(ok.get(1), "b");
+    }
+
+    #[test]
+    fn column_value_access() {
+        let c = Column::from_ints(vec![10, 20, 30]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.data_type(), DataType::Int);
+        assert_eq!(c.value(1), Value::Int(20));
+        assert!(!c.has_nulls());
+        assert_eq!(c.null_count(), 0);
+        assert_eq!(c.as_ints(), Some(&[10, 20, 30][..]));
+        assert!(c.as_floats().is_none());
+    }
+
+    #[test]
+    fn builder_with_nulls() {
+        let mut b = ColumnBuilder::new(DataType::Str);
+        b.push(Value::from("a")).unwrap();
+        b.push(Value::Null).unwrap();
+        b.push(Value::from("c")).unwrap();
+        let c = b.finish();
+        assert!(c.has_nulls());
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(0), Value::from("a"));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::from("c"));
+        assert!(c.is_valid(0) && !c.is_valid(1));
+    }
+
+    #[test]
+    fn builder_int_to_float_coercion() {
+        let mut b = ColumnBuilder::new(DataType::Float);
+        b.push(Value::Int(2)).unwrap();
+        b.push(Value::Float(0.5)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.as_floats(), Some(&[2.0, 0.5][..]));
+    }
+
+    #[test]
+    fn builder_type_error() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        assert!(b.push(Value::from("nope")).is_err());
+    }
+
+    #[test]
+    fn gather_preserves_nulls() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for v in [Value::Int(0), Value::Null, Value::Int(2), Value::Int(3)] {
+            b.push(v).unwrap();
+        }
+        let c = b.finish();
+        let g = c.gather(&[3, 1, 1, 0]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.value(0), Value::Int(3));
+        assert_eq!(g.value(1), Value::Null);
+        assert_eq!(g.value(2), Value::Null);
+        assert_eq!(g.value(3), Value::Int(0));
+    }
+
+    #[test]
+    fn gather_strings() {
+        let c = Column::from_strs(&["x", "y", "z"]);
+        let g = c.gather(&[2, 0]);
+        assert_eq!(g.value(0), Value::from("z"));
+        assert_eq!(g.value(1), Value::from("x"));
+    }
+
+    #[test]
+    fn column_new_validates_validity_len() {
+        let v = Bitmap::all_set(2);
+        assert!(Column::new(ColumnData::Int(vec![1, 2, 3]), Some(v)).is_err());
+    }
+}

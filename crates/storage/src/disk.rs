@@ -1,0 +1,632 @@
+//! On-disk column files.
+//!
+//! Each column is one file: a fixed header, a page directory (the first row
+//! number held by each data page — the structure the bitmap reader binary
+//! searches to find "the relevant pages", §5), an optional validity bitmap,
+//! then `PAGE_SIZE`-byte data pages. Fixed-width types pack values densely;
+//! string pages carry a count, relative offsets, and a byte heap.
+//!
+//! Data pages are always fetched through the [`LfuPageCache`]; the header,
+//! directory and validity section are read once at open.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use basilisk_types::{BasiliskError, Bitmap, DataType, Result};
+
+use crate::cache::{LfuPageCache, PageKey};
+use crate::column::{Column, ColumnData, StrData};
+
+/// Size of one data page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+const MAGIC: u32 = 0xBA51_1150;
+const VERSION: u16 = 1;
+const HEADER_LEN: usize = 32;
+
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn dtype_code(d: DataType) -> u8 {
+    match d {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn dtype_from_code(c: u8) -> Result<DataType> {
+    Ok(match c {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Str,
+        3 => DataType::Bool,
+        other => {
+            return Err(BasiliskError::Corrupt(format!(
+                "unknown data type code {other}"
+            )))
+        }
+    })
+}
+
+/// A disk-resident column opened for reading.
+pub struct DiskColumn {
+    file: File,
+    file_id: u64,
+    dtype: DataType,
+    rows: usize,
+    /// `page_first_row[p]` is the row number of the first value in page `p`;
+    /// a trailing sentinel equal to `rows` simplifies range arithmetic.
+    page_first_row: Vec<u64>,
+    data_start: u64,
+    validity: Option<Bitmap>,
+    cache: Arc<LfuPageCache>,
+}
+
+impl DiskColumn {
+    /// Serialize `column` into the file at `path`.
+    pub fn write(path: &Path, column: &Column) -> Result<()> {
+        let mut pages: Vec<Vec<u8>> = Vec::new();
+        let mut page_first_row: Vec<u64> = Vec::new();
+
+        match column.data() {
+            ColumnData::Int(v) => {
+                pack_fixed(v.iter().map(|x| x.to_le_bytes()), &mut pages, &mut page_first_row)
+            }
+            ColumnData::Float(v) => {
+                pack_fixed(v.iter().map(|x| x.to_le_bytes()), &mut pages, &mut page_first_row)
+            }
+            ColumnData::Bool(v) => {
+                pack_fixed(v.iter().map(|x| [*x as u8]), &mut pages, &mut page_first_row)
+            }
+            ColumnData::Str(s) => pack_strings(s, &mut pages, &mut page_first_row)?,
+        }
+
+        let mut out: Vec<u8> = Vec::with_capacity(HEADER_LEN + pages.len() * PAGE_SIZE);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(dtype_code(column.data_type()));
+        out.push(column.validity().is_some() as u8);
+        out.extend_from_slice(&(column.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+        out.resize(HEADER_LEN, 0);
+
+        for fr in &page_first_row {
+            out.extend_from_slice(&fr.to_le_bytes());
+        }
+        if let Some(validity) = column.validity() {
+            let mut byte = 0u8;
+            for i in 0..column.len() {
+                if validity.get(i) {
+                    byte |= 1 << (i % 8);
+                }
+                if i % 8 == 7 {
+                    out.push(byte);
+                    byte = 0;
+                }
+            }
+            if column.len() % 8 != 0 {
+                out.push(byte);
+            }
+        }
+        // Align data pages to PAGE_SIZE so page reads are aligned.
+        let data_start = out.len().div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        out.resize(data_start, 0);
+        for page in &pages {
+            debug_assert_eq!(page.len(), PAGE_SIZE);
+            out.extend_from_slice(page);
+        }
+
+        let mut file = File::create(path)?;
+        file.write_all(&out)?;
+        file.sync_all()?;
+        Ok(())
+    }
+
+    /// Open a column file for reading through `cache`.
+    pub fn open(path: &Path, cache: Arc<LfuPageCache>) -> Result<DiskColumn> {
+        let mut file = File::open(path)?;
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header)?;
+        if u32::from_le_bytes(header[0..4].try_into().unwrap()) != MAGIC {
+            return Err(BasiliskError::Corrupt("bad magic".into()));
+        }
+        if u16::from_le_bytes(header[4..6].try_into().unwrap()) != VERSION {
+            return Err(BasiliskError::Corrupt("unsupported version".into()));
+        }
+        let dtype = dtype_from_code(header[6])?;
+        let has_validity = header[7] == 1;
+        let rows = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+        let page_count = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
+
+        let mut dir = vec![0u8; page_count * 8];
+        file.read_exact(&mut dir)?;
+        let mut page_first_row: Vec<u64> = dir
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if page_first_row.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(BasiliskError::Corrupt("page directory out of order".into()));
+        }
+        page_first_row.push(rows as u64);
+
+        let validity = if has_validity {
+            let mut bytes = vec![0u8; rows.div_ceil(8)];
+            file.read_exact(&mut bytes)?;
+            let mut bm = Bitmap::new(rows);
+            for i in 0..rows {
+                if bytes[i / 8] >> (i % 8) & 1 == 1 {
+                    bm.set(i);
+                }
+            }
+            Some(bm)
+        } else {
+            None
+        };
+
+        let meta_len = HEADER_LEN + page_count * 8 + if has_validity { rows.div_ceil(8) } else { 0 };
+        let data_start = (meta_len.div_ceil(PAGE_SIZE) * PAGE_SIZE) as u64;
+
+        Ok(DiskColumn {
+            file,
+            file_id: NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed),
+            dtype,
+            rows,
+            page_first_row,
+            data_start,
+            validity,
+            cache,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.dtype
+    }
+
+    pub fn page_count(&self) -> usize {
+        self.page_first_row.len() - 1
+    }
+
+    /// Sequentially read the whole column (one large read, bypassing the
+    /// page cache — this is the paper's high-selectivity path where "values
+    /// are selected in memory").
+    pub fn scan(&self) -> Result<Column> {
+        let n_pages = self.page_count();
+        let mut buf = vec![0u8; n_pages * PAGE_SIZE];
+        self.file.read_exact_at(&mut buf, self.data_start)?;
+        let mut values = DecodedValues::with_capacity(self.dtype, self.rows);
+        for p in 0..n_pages {
+            let page = &buf[p * PAGE_SIZE..(p + 1) * PAGE_SIZE];
+            let count = (self.page_first_row[p + 1] - self.page_first_row[p]) as usize;
+            decode_page(self.dtype, page, count, &mut values)?;
+        }
+        Column::new(values.finish(), self.validity.clone())
+    }
+
+    /// Read only the rows whose bits are set, touching only their pages
+    /// through the LFU cache (the paper's low-selectivity path).
+    pub fn read_selected(&self, selection: &Bitmap) -> Result<Column> {
+        if selection.len() != self.rows {
+            return Err(BasiliskError::Exec(format!(
+                "selection of length {} over column of {} rows",
+                selection.len(),
+                self.rows
+            )));
+        }
+        let mut values = DecodedValues::with_capacity(self.dtype, selection.count_ones());
+        let mut out_validity: Option<Bitmap> = self
+            .validity
+            .as_ref()
+            .map(|_| Bitmap::all_set(selection.count_ones()));
+        let mut out_idx = 0usize;
+        let mut current_page: Option<(usize, Arc<Vec<u8>>, DecodedValues)> = None;
+        for row in selection.iter_ones() {
+            let p = self.page_of_row(row);
+            let needs_load = match &current_page {
+                Some((cur, _, _)) => *cur != p,
+                None => true,
+            };
+            if needs_load {
+                if let Some((cur, page, _)) = current_page.take() {
+                    let _ = (cur, page);
+                }
+                let page = self.read_page(p)?;
+                let count = (self.page_first_row[p + 1] - self.page_first_row[p]) as usize;
+                let mut decoded = DecodedValues::with_capacity(self.dtype, count);
+                decode_page(self.dtype, &page, count, &mut decoded)?;
+                current_page = Some((p, page, decoded));
+            }
+            let (_, _, decoded) = current_page.as_ref().unwrap();
+            let in_page = row - self.page_first_row[p] as usize;
+            values.copy_from(decoded, in_page);
+            if let (Some(v), Some(out)) = (&self.validity, &mut out_validity) {
+                if !v.get(row) {
+                    out.clear(out_idx);
+                }
+            }
+            out_idx += 1;
+        }
+        Column::new(values.finish(), out_validity)
+    }
+
+    /// Materialize arbitrary row indices (may repeat / be unsorted).
+    pub fn gather(&self, rows: &[u32]) -> Result<Column> {
+        let mut values = DecodedValues::with_capacity(self.dtype, rows.len());
+        let mut out_validity: Option<Bitmap> =
+            self.validity.as_ref().map(|_| Bitmap::all_set(rows.len()));
+        for (j, &row) in rows.iter().enumerate() {
+            let row = row as usize;
+            if row >= self.rows {
+                return Err(BasiliskError::Exec(format!(
+                    "row {row} out of bounds ({} rows)",
+                    self.rows
+                )));
+            }
+            let p = self.page_of_row(row);
+            let page = self.read_page(p)?;
+            let count = (self.page_first_row[p + 1] - self.page_first_row[p]) as usize;
+            let mut decoded = DecodedValues::with_capacity(self.dtype, count);
+            decode_page(self.dtype, &page, count, &mut decoded)?;
+            values.copy_from(&decoded, row - self.page_first_row[p] as usize);
+            if let (Some(v), Some(out)) = (&self.validity, &mut out_validity) {
+                if !v.get(row) {
+                    out.clear(j);
+                }
+            }
+        }
+        Column::new(values.finish(), out_validity)
+    }
+
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    fn page_of_row(&self, row: usize) -> usize {
+        match self.page_first_row.binary_search(&(row as u64)) {
+            Ok(p) if p < self.page_count() => p,
+            Ok(p) => p - 1,
+            Err(p) => p - 1,
+        }
+    }
+
+    fn read_page(&self, page_no: usize) -> Result<Arc<Vec<u8>>> {
+        let key = PageKey {
+            file_id: self.file_id,
+            page_no: page_no as u32,
+        };
+        self.cache.get_or_load(key, || {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            self.file
+                .read_exact_at(&mut buf, self.data_start + (page_no as u64) * PAGE_SIZE as u64)?;
+            Ok::<_, BasiliskError>(buf)
+        })
+    }
+}
+
+/// Pack fixed-width encoded values into pages.
+fn pack_fixed<const W: usize>(
+    values: impl Iterator<Item = [u8; W]>,
+    pages: &mut Vec<Vec<u8>>,
+    page_first_row: &mut Vec<u64>,
+) {
+    let per_page = PAGE_SIZE / W;
+    let mut row = 0u64;
+    let mut page: Vec<u8> = Vec::with_capacity(PAGE_SIZE);
+    for v in values {
+        if page.is_empty() {
+            page_first_row.push(row);
+        }
+        page.extend_from_slice(&v);
+        row += 1;
+        if page.len() / W == per_page {
+            page.resize(PAGE_SIZE, 0);
+            pages.push(std::mem::replace(&mut page, Vec::with_capacity(PAGE_SIZE)));
+        }
+    }
+    if !page.is_empty() {
+        page.resize(PAGE_SIZE, 0);
+        pages.push(page);
+    }
+}
+
+/// Pack strings into pages: `[count u32][abs offsets u32 × (count+1)][bytes]`.
+/// Offsets are relative to the start of the byte heap within the page.
+fn pack_strings(
+    s: &StrData,
+    pages: &mut Vec<Vec<u8>>,
+    page_first_row: &mut Vec<u64>,
+) -> Result<()> {
+    let mut row = 0u64;
+    let mut current: Vec<&str> = Vec::new();
+    let mut current_bytes = 0usize;
+
+    let flush = |current: &mut Vec<&str>, pages: &mut Vec<Vec<u8>>| {
+        if current.is_empty() {
+            return;
+        }
+        let mut page = Vec::with_capacity(PAGE_SIZE);
+        page.extend_from_slice(&(current.len() as u32).to_le_bytes());
+        let mut off = 0u32;
+        page.extend_from_slice(&off.to_le_bytes());
+        for st in current.iter() {
+            off += st.len() as u32;
+            page.extend_from_slice(&off.to_le_bytes());
+        }
+        for st in current.iter() {
+            page.extend_from_slice(st.as_bytes());
+        }
+        page.resize(PAGE_SIZE, 0);
+        pages.push(page);
+        current.clear();
+    };
+
+    for i in 0..s.len() {
+        let st = s.get(i);
+        // header(4) + offsets((n+1+1)*4) + bytes
+        let needed = 4 + (current.len() + 2) * 4 + current_bytes + st.len();
+        if st.len() + 12 > PAGE_SIZE {
+            return Err(BasiliskError::Corrupt(format!(
+                "string of {} bytes exceeds page capacity",
+                st.len()
+            )));
+        }
+        if needed > PAGE_SIZE && !current.is_empty() {
+            flush(&mut current, pages);
+            current_bytes = 0;
+        }
+        if current.is_empty() {
+            page_first_row.push(row);
+        }
+        current.push(st);
+        current_bytes += st.len();
+        row += 1;
+    }
+    flush(&mut current, pages);
+    Ok(())
+}
+
+/// A growing, typed value buffer used while decoding pages.
+enum DecodedValues {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(StrData),
+    Bool(Vec<bool>),
+}
+
+impl DecodedValues {
+    fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        match dtype {
+            DataType::Int => DecodedValues::Int(Vec::with_capacity(cap)),
+            DataType::Float => DecodedValues::Float(Vec::with_capacity(cap)),
+            DataType::Str => DecodedValues::Str(StrData::with_capacity(cap, 0)),
+            DataType::Bool => DecodedValues::Bool(Vec::with_capacity(cap)),
+        }
+    }
+
+    fn copy_from(&mut self, other: &DecodedValues, idx: usize) {
+        match (self, other) {
+            (DecodedValues::Int(a), DecodedValues::Int(b)) => a.push(b[idx]),
+            (DecodedValues::Float(a), DecodedValues::Float(b)) => a.push(b[idx]),
+            (DecodedValues::Bool(a), DecodedValues::Bool(b)) => a.push(b[idx]),
+            (DecodedValues::Str(a), DecodedValues::Str(b)) => a.push(b.get(idx)),
+            _ => unreachable!("decoded value type mismatch"),
+        }
+    }
+
+    fn finish(self) -> ColumnData {
+        match self {
+            DecodedValues::Int(v) => ColumnData::Int(v),
+            DecodedValues::Float(v) => ColumnData::Float(v),
+            DecodedValues::Str(s) => ColumnData::Str(s),
+            DecodedValues::Bool(v) => ColumnData::Bool(v),
+        }
+    }
+}
+
+fn decode_page(
+    dtype: DataType,
+    page: &[u8],
+    count: usize,
+    out: &mut DecodedValues,
+) -> Result<()> {
+    match (dtype, out) {
+        (DataType::Int, DecodedValues::Int(v)) => {
+            for c in page.chunks_exact(8).take(count) {
+                v.push(i64::from_le_bytes(c.try_into().unwrap()));
+            }
+        }
+        (DataType::Float, DecodedValues::Float(v)) => {
+            for c in page.chunks_exact(8).take(count) {
+                v.push(f64::from_le_bytes(c.try_into().unwrap()));
+            }
+        }
+        (DataType::Bool, DecodedValues::Bool(v)) => {
+            for &b in page.iter().take(count) {
+                v.push(b != 0);
+            }
+        }
+        (DataType::Str, DecodedValues::Str(s)) => {
+            let stored = u32::from_le_bytes(page[0..4].try_into().unwrap()) as usize;
+            if stored != count {
+                return Err(BasiliskError::Corrupt(format!(
+                    "string page holds {stored} values, directory says {count}"
+                )));
+            }
+            let off_at = |i: usize| -> usize {
+                u32::from_le_bytes(page[4 + i * 4..8 + i * 4].try_into().unwrap()) as usize
+            };
+            let heap_start = 4 + (count + 1) * 4;
+            for i in 0..count {
+                let lo = heap_start + off_at(i);
+                let hi = heap_start + off_at(i + 1);
+                if hi > page.len() || lo > hi {
+                    return Err(BasiliskError::Corrupt("string page offsets invalid".into()));
+                }
+                let st = std::str::from_utf8(&page[lo..hi])
+                    .map_err(|_| BasiliskError::Corrupt("string page not UTF-8".into()))?;
+                s.push(st);
+            }
+        }
+        _ => unreachable!("decoded value type mismatch"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use basilisk_types::Value;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "basilisk-disk-test-{}-{}",
+            std::process::id(),
+            NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn roundtrip(col: &Column) -> (DiskColumn, std::path::PathBuf) {
+        let dir = tmpdir();
+        let path = dir.join("c.col");
+        DiskColumn::write(&path, col).unwrap();
+        let cache = Arc::new(LfuPageCache::new(16));
+        (DiskColumn::open(&path, cache).unwrap(), dir)
+    }
+
+    #[test]
+    fn int_roundtrip_multi_page() {
+        let n = 3000; // > one 1024-value page
+        let col = Column::from_ints((0..n).map(|i| i * 7 - 1000).collect());
+        let (disk, _dir) = roundtrip(&col);
+        assert_eq!(disk.len(), n as usize);
+        assert_eq!(disk.data_type(), DataType::Int);
+        assert!(disk.page_count() >= 3);
+        assert_eq!(disk.scan().unwrap(), col);
+    }
+
+    #[test]
+    fn float_and_bool_roundtrip() {
+        let col = Column::from_floats((0..2500).map(|i| i as f64 * 0.25).collect());
+        let (disk, _dir) = roundtrip(&col);
+        assert_eq!(disk.scan().unwrap(), col);
+
+        let col = Column::from_bools((0..9000).map(|i| i % 3 == 0).collect());
+        let (disk, _dir) = roundtrip(&col);
+        assert_eq!(disk.scan().unwrap(), col);
+    }
+
+    #[test]
+    fn string_roundtrip_variable_lengths() {
+        let strs: Vec<String> = (0..5000)
+            .map(|i| "x".repeat(i % 97) + &i.to_string())
+            .collect();
+        let col = Column::from_strs(&strs);
+        let (disk, _dir) = roundtrip(&col);
+        assert!(disk.page_count() > 1);
+        assert_eq!(disk.scan().unwrap(), col);
+    }
+
+    #[test]
+    fn nulls_roundtrip() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for i in 0..100 {
+            if i % 7 == 0 {
+                b.push(Value::Null).unwrap();
+            } else {
+                b.push(Value::Int(i)).unwrap();
+            }
+        }
+        let col = b.finish();
+        let (disk, _dir) = roundtrip(&col);
+        let back = disk.scan().unwrap();
+        assert_eq!(back, col);
+        assert_eq!(back.null_count(), col.null_count());
+    }
+
+    #[test]
+    fn read_selected_sparse() {
+        let n = 5000usize;
+        let col = Column::from_ints((0..n as i64).collect());
+        let (disk, _dir) = roundtrip(&col);
+        let sel = Bitmap::from_indices(n, [0usize, 1023, 1024, 4999]);
+        let out = disk.read_selected(&sel).unwrap();
+        assert_eq!(out.as_ints().unwrap(), &[0, 1023, 1024, 4999]);
+    }
+
+    #[test]
+    fn read_selected_with_nulls() {
+        let mut b = ColumnBuilder::new(DataType::Str);
+        for i in 0..50 {
+            if i % 5 == 0 {
+                b.push(Value::Null).unwrap();
+            } else {
+                b.push(Value::from(format!("s{i}"))).unwrap();
+            }
+        }
+        let (disk, _dir) = roundtrip(&b.finish());
+        let sel = Bitmap::from_indices(50, [0usize, 1, 10, 11]);
+        let out = disk.read_selected(&sel).unwrap();
+        assert_eq!(out.value(0), Value::Null);
+        assert_eq!(out.value(1), Value::from("s1"));
+        assert_eq!(out.value(2), Value::Null);
+        assert_eq!(out.value(3), Value::from("s11"));
+    }
+
+    #[test]
+    fn gather_unsorted_with_repeats() {
+        let col = Column::from_ints((0..3000).collect());
+        let (disk, _dir) = roundtrip(&col);
+        let out = disk.gather(&[2999, 0, 0, 1500]).unwrap();
+        assert_eq!(out.as_ints().unwrap(), &[2999, 0, 0, 1500]);
+        assert!(disk.gather(&[3000]).is_err());
+    }
+
+    #[test]
+    fn sparse_reads_touch_few_pages() {
+        let n = 1024 * 16; // 16 int pages
+        let col = Column::from_ints((0..n as i64).collect());
+        let dir = tmpdir();
+        let path = dir.join("c.col");
+        DiskColumn::write(&path, &col).unwrap();
+        let cache = Arc::new(LfuPageCache::new(64));
+        let disk = DiskColumn::open(&path, Arc::clone(&cache)).unwrap();
+        let sel = Bitmap::from_indices(n, [5usize, 6, 7]); // all in page 0
+        disk.read_selected(&sel).unwrap();
+        assert_eq!(cache.stats().misses, 1, "only one page should be read");
+        disk.read_selected(&sel).unwrap();
+        assert_eq!(cache.stats().hits, 1, "second read is a cache hit");
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let dir = tmpdir();
+        let path = dir.join("bad.col");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        let cache = Arc::new(LfuPageCache::new(4));
+        assert!(DiskColumn::open(&path, cache).is_err());
+    }
+
+    #[test]
+    fn empty_column_roundtrip() {
+        let col = Column::from_ints(vec![]);
+        let (disk, _dir) = roundtrip(&col);
+        assert_eq!(disk.len(), 0);
+        assert!(disk.is_empty());
+        assert_eq!(disk.scan().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Column-oriented storage engine for Basilisk (§2.5 / §5 "System").
+//!
+//! The paper's system stores data on disk and reads it through a page cache:
+//!
+//! > "Data is stored on disk. When the data for a relational slice is
+//! > needed, Basilisk consults the corresponding bitmap, and reads are done
+//! > using direct I/O calls with a LFU page cache sitting in the middle.
+//! > For bitmaps with low selectivity, only the relevant pages are read
+//! > from disk. [...] for all bitmaps with a selectivity above a certain
+//! > threshold, Basilisk instead reads the entire column sequentially, and
+//! > values are selected in memory."
+//!
+//! This crate implements exactly that: typed in-memory [`Column`]s, a fixed
+//! page on-disk format ([`DiskColumn`]), an **LFU** page cache
+//! ([`LfuPageCache`]), and a [`ColumnHandle`] whose bitmap reads switch
+//! between per-page random I/O and a sequential whole-column scan at a
+//! configurable selectivity threshold. Tables can be fully in-memory (the
+//! default for benchmarks, for determinism) or disk-backed (exercised by
+//! tests and the I/O ablation bench).
+
+mod cache;
+mod column;
+mod disk;
+mod table;
+
+pub use cache::{CacheStats, LfuPageCache, PageKey};
+pub use column::{Column, ColumnBuilder, ColumnData, StrData};
+pub use disk::{DiskColumn, PAGE_SIZE};
+pub use table::{ColumnHandle, Table, TableBuilder, DEFAULT_SEQ_SCAN_THRESHOLD};

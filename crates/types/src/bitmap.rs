@@ -1,0 +1,354 @@
+//! Dense bitsets over tuple positions.
+//!
+//! Tagged relations (§2.5.1) keep a single immutable index relation and
+//! represent each relational slice as a bitmap over its positions. Filters
+//! never move tuples; they only update bitmaps — which is exactly why the
+//! paper found the bitmap representation faster than physically separating
+//! slices. This module is the workhorse for that representation and for the
+//! storage engine's selective column reads.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length dense bitset.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zeros bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// An all-ones bitmap of `len` bits.
+    pub fn all_set(len: usize) -> Self {
+        let mut bm = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Build from an iterator of set positions (all must be `< len`).
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut bm = Bitmap::new(len);
+        for i in indices {
+            bm.set(i);
+        }
+        bm
+    }
+
+    /// Build from a boolean slice.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut bm = Bitmap::new(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                bm.set(i);
+            }
+        }
+        bm
+    }
+
+    /// Number of bits (set or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Fraction of bits set; 0 for empty bitmaps. This is the "selectivity"
+    /// the storage layer compares against its sequential-read threshold.
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / WORD_BITS] >> (idx % WORD_BITS) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, idx: usize) {
+        debug_assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / WORD_BITS] |= 1u64 << (idx % WORD_BITS);
+    }
+
+    #[inline]
+    pub fn clear(&mut self, idx: usize) {
+        debug_assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / WORD_BITS] &= !(1u64 << (idx % WORD_BITS));
+    }
+
+    #[inline]
+    pub fn assign(&mut self, idx: usize, value: bool) {
+        if value {
+            self.set(idx);
+        } else {
+            self.clear(idx);
+        }
+    }
+
+    /// `self |= other`. Panics when lengths differ.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        self.check_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        self.check_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other`.
+    pub fn difference_with(&mut self, other: &Bitmap) {
+        self.check_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Flip every bit.
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Non-mutating set operations.
+    pub fn union(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    pub fn intersect(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    pub fn difference(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// True when `self` and `other` share no set bit — the mutual-exclusivity
+    /// invariant between relational slices (§2.1).
+    pub fn is_disjoint(&self, other: &Bitmap) -> bool {
+        self.check_len(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// True when every set bit of `self` is set in `other`.
+    pub fn is_subset(&self, other: &Bitmap) -> bool {
+        self.check_len(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate set-bit positions in increasing order.
+    pub fn iter_ones(&self) -> BitmapIter<'_> {
+        BitmapIter {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collect set positions as `u32` row ids.
+    pub fn to_indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        out.extend(self.iter_ones().map(|i| i as u32));
+        out
+    }
+
+    /// Position of the first set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        self.iter_ones().next()
+    }
+
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % WORD_BITS;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn check_len(&self, other: &Bitmap) {
+        assert_eq!(
+            self.len, other.len,
+            "bitmap length mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap(len={}, ones=[", self.len)?;
+        for (i, pos) in self.iter_ones().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if i >= 16 {
+                write!(f, "…")?;
+                break;
+            }
+            write!(f, "{pos}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+/// Iterator over set-bit positions produced by [`Bitmap::iter_ones`].
+pub struct BitmapIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bm = Bitmap::new(130);
+        assert!(!bm.get(0));
+        bm.set(0);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert_eq!(bm.count_ones(), 3);
+        bm.clear(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 2);
+        bm.assign(5, true);
+        bm.assign(0, false);
+        assert_eq!(bm.to_indices(), vec![5, 129]);
+    }
+
+    #[test]
+    fn all_set_masks_tail() {
+        let bm = Bitmap::all_set(70);
+        assert_eq!(bm.count_ones(), 70);
+        assert!((bm.selectivity() - 1.0).abs() < 1e-12);
+        let mut neg = bm.clone();
+        neg.negate();
+        assert!(neg.is_zero());
+    }
+
+    #[test]
+    fn negate_within_bounds() {
+        let mut bm = Bitmap::from_indices(10, [1, 3, 5]);
+        bm.negate();
+        assert_eq!(bm.to_indices(), vec![0, 2, 4, 6, 7, 8, 9]);
+        assert_eq!(bm.len(), 10);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Bitmap::from_indices(100, [1, 2, 3, 64, 99]);
+        let b = Bitmap::from_indices(100, [2, 3, 4, 65, 99]);
+        assert_eq!(a.union(&b).to_indices(), vec![1, 2, 3, 4, 64, 65, 99]);
+        assert_eq!(a.intersect(&b).to_indices(), vec![2, 3, 99]);
+        assert_eq!(a.difference(&b).to_indices(), vec![1, 64]);
+        assert!(!a.is_disjoint(&b));
+        assert!(a
+            .difference(&b)
+            .is_disjoint(&b.difference(&a)));
+        assert!(a.intersect(&b).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let idx = vec![0usize, 63, 64, 127, 128, 200];
+        let bm = Bitmap::from_indices(256, idx.clone());
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), idx);
+        assert_eq!(bm.first_one(), Some(0));
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        let bm = Bitmap::new(0);
+        assert!(bm.is_empty());
+        assert!(bm.is_zero());
+        assert_eq!(bm.selectivity(), 0.0);
+        assert_eq!(bm.iter_ones().count(), 0);
+        assert_eq!(bm.first_one(), None);
+        let bm = Bitmap::new(17);
+        assert!(bm.is_zero());
+        assert!(!bm.is_empty());
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bools = [true, false, true, true, false];
+        let bm = Bitmap::from_bools(&bools);
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(bm.get(i), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut a = Bitmap::new(10);
+        let b = Bitmap::new(11);
+        a.union_with(&b);
+    }
+}

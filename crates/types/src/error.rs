@@ -1,0 +1,81 @@
+//! The common error type shared by every Basilisk crate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced anywhere in the Basilisk stack.
+#[derive(Debug)]
+pub enum BasiliskError {
+    /// Storage / page cache I/O failures.
+    Io(io::Error),
+    /// Corrupt or unsupported on-disk data.
+    Corrupt(String),
+    /// Schema problems: unknown table/column, duplicate names, …
+    Schema(String),
+    /// Type errors during expression evaluation or loading.
+    Type(String),
+    /// SQL syntax errors with a byte offset into the input.
+    Parse { message: String, offset: usize },
+    /// Planner failures (e.g. no join path between referenced tables).
+    Plan(String),
+    /// Runtime execution failures.
+    Exec(String),
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, BasiliskError>;
+
+impl fmt::Display for BasiliskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasiliskError::Io(e) => write!(f, "io error: {e}"),
+            BasiliskError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            BasiliskError::Schema(m) => write!(f, "schema error: {m}"),
+            BasiliskError::Type(m) => write!(f, "type error: {m}"),
+            BasiliskError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            BasiliskError::Plan(m) => write!(f, "plan error: {m}"),
+            BasiliskError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BasiliskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BasiliskError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for BasiliskError {
+    fn from(e: io::Error) -> Self {
+        BasiliskError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = BasiliskError::Schema("no such table t".into());
+        assert_eq!(e.to_string(), "schema error: no such table t");
+        let e = BasiliskError::Parse {
+            message: "expected FROM".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("byte 12"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        use std::error::Error;
+        let e: BasiliskError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared primitives for the Basilisk tagged-execution engine.
+//!
+//! This crate hosts the vocabulary types every other Basilisk crate speaks:
+//!
+//! * [`Value`] / [`DataType`] — the dynamically typed SQL values stored in
+//!   columns and produced by query results.
+//! * [`Truth`] — SQL's three-valued logic (§3.4 of the paper). Predicate
+//!   evaluation in Basilisk is ternary end-to-end so that NULL handling and
+//!   the tagged-execution extension to unknown assignments fall out
+//!   naturally.
+//! * [`Bitmap`] — the dense bitset used to represent relational slices
+//!   (§2.5.1): tagged relations keep one immutable index relation and
+//!   describe each slice as a bitmap over its positions.
+//! * [`BasiliskError`] — the common error type.
+
+mod bitmap;
+mod error;
+mod truth;
+mod value;
+
+pub use bitmap::{Bitmap, BitmapIter};
+pub use error::{BasiliskError, Result};
+pub use truth::Truth;
+pub use value::{DataType, Value};

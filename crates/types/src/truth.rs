@@ -1,0 +1,207 @@
+//! SQL three-valued logic (§3.4 of the paper).
+//!
+//! Tag assignments in tagged execution map predicate expressions to one of
+//! three truth values. The tables below are the SQL-standard Kleene logic
+//! the paper cites (Melton & Simon): e.g. `FALSE OR UNKNOWN = UNKNOWN`.
+
+use std::fmt;
+
+/// A ternary truth value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Truth {
+    False,
+    Unknown,
+    True,
+}
+
+impl Truth {
+    /// All three truth values, handy for exhaustive tests.
+    pub const ALL: [Truth; 3] = [Truth::False, Truth::Unknown, Truth::True];
+
+    /// Ternary AND: true only if both true; false if either false.
+    #[inline]
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Ternary OR: false only if both false; true if either true.
+    #[inline]
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Ternary NOT: unknown stays unknown.
+    #[inline]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Fold of [`Truth::and`] over an iterator; identity is `True`.
+    pub fn all<I: IntoIterator<Item = Truth>>(iter: I) -> Truth {
+        iter.into_iter().fold(Truth::True, Truth::and)
+    }
+
+    /// Fold of [`Truth::or`] over an iterator; identity is `False`.
+    pub fn any<I: IntoIterator<Item = Truth>>(iter: I) -> Truth {
+        iter.into_iter().fold(Truth::False, Truth::or)
+    }
+
+    /// Convert SQL's "NULL-able boolean" (`None` = unknown).
+    #[inline]
+    pub fn from_option(b: Option<bool>) -> Truth {
+        match b {
+            Some(true) => Truth::True,
+            Some(false) => Truth::False,
+            None => Truth::Unknown,
+        }
+    }
+
+    /// `Some(bool)` for definite values, `None` for unknown.
+    #[inline]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            Truth::True => Some(true),
+            Truth::False => Some(false),
+            Truth::Unknown => None,
+        }
+    }
+
+    /// A WHERE clause admits a row only when the predicate is *true*
+    /// (unknown rows are filtered out, per the SQL standard).
+    #[inline]
+    pub fn passes_where(self) -> bool {
+        self == Truth::True
+    }
+
+    /// One-letter code used in tag rendering: `T`, `F`, `U`.
+    pub fn code(self) -> char {
+        match self {
+            Truth::True => 'T',
+            Truth::False => 'F',
+            Truth::Unknown => 'U',
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Truth::*;
+
+    #[test]
+    fn and_table_matches_sql_standard() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(False.and(False), False);
+    }
+
+    #[test]
+    fn or_table_matches_sql_standard() {
+        assert_eq!(True.or(False), True);
+        assert_eq!(True.or(Unknown), True);
+        // The exact example given in §3.4: false OR unknown → unknown.
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+        assert_eq!(False.or(False), False);
+    }
+
+    #[test]
+    fn not_table() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn de_morgan_holds_in_3vl() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_are_commutative_associative() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for c in Truth::ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_holds_in_3vl() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                for c in Truth::ALL {
+                    assert_eq!(a.and(b.or(c)), a.and(b).or(a.and(c)));
+                    assert_eq!(a.or(b.and(c)), a.or(b).and(a.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folds() {
+        assert_eq!(Truth::all([True, True, True]), True);
+        assert_eq!(Truth::all([True, Unknown]), Unknown);
+        assert_eq!(Truth::all([Unknown, False]), False);
+        assert_eq!(Truth::all([]), True);
+        assert_eq!(Truth::any([False, False]), False);
+        assert_eq!(Truth::any([False, Unknown]), Unknown);
+        assert_eq!(Truth::any([Unknown, True]), True);
+        assert_eq!(Truth::any([]), False);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Truth::from_option(Some(true)), True);
+        assert_eq!(Truth::from_option(None), Unknown);
+        assert_eq!(Unknown.to_option(), None);
+        assert_eq!(Truth::from(true), True);
+        assert!(True.passes_where());
+        assert!(!Unknown.passes_where());
+        assert!(!False.passes_where());
+        assert_eq!(format!("{True}{False}{Unknown}"), "TFU");
+    }
+}

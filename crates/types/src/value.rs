@@ -1,0 +1,282 @@
+//! Dynamically typed SQL values and their data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The storage type of a column.
+///
+/// Basilisk is a column store (§2.5.1); every column has exactly one
+/// `DataType` and an optional null bitmap. The set of types mirrors what the
+/// paper's workloads need: 64-bit integers for keys and years, 64-bit floats
+/// for the synthetic `A*` attributes, UTF-8 strings for titles/scores (the
+/// IMDB `info` column stores scores as strings, hence `score > '8.0'` in the
+/// paper), and booleans for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+    Bool,
+}
+
+impl DataType {
+    /// Human-readable SQL-ish name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "BIGINT",
+            DataType::Float => "DOUBLE",
+            DataType::Str => "TEXT",
+            DataType::Bool => "BOOLEAN",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single dynamically typed SQL value.
+///
+/// `Null` is a first-class value: comparisons against it evaluate to
+/// [`Truth::Unknown`](crate::Truth::Unknown) rather than true/false, which is
+/// what drives the three-valued-logic extension of §3.4.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for `Null` (NULL is untyped).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL comparison: returns `None` when either side is NULL (unknown) or
+    /// the types are incomparable, otherwise the ordering.
+    ///
+    /// Ints and floats compare numerically against each other; strings
+    /// compare lexicographically (this is exactly why the paper's
+    /// `mi_idx.score > '7.0'` works: IMDB stores scores as strings and
+    /// `'7.5' > '7.0'` lexicographically).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality as three-valued logic would see it: `None` for NULL
+    /// operands, otherwise whether the values are equal.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Extract an `i64`, coercing floats with truncation. Used by join key
+    /// hashing for numeric keys.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// `PartialEq` is *structural* equality (NULL == NULL), used for literals in
+/// expression trees and test assertions — not SQL equality, which is
+/// [`Value::sql_eq`].
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_numeric_cross_type() {
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(4.0).sql_cmp(&Value::Int(4)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(10).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn cmp_strings_lexicographic_like_imdb_scores() {
+        // The paper's Query 1 relies on lexicographic string comparison.
+        assert_eq!(
+            Value::from("7.5").sql_cmp(&Value::from("7.0")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::from("9.3").sql_cmp(&Value::from("8.0")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::from("10.0").sql_cmp(&Value::from("9.0")),
+            Some(Ordering::Less),
+            "lexicographic, not numeric"
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn mismatched_types_incomparable() {
+        assert_eq!(Value::from("3").sql_cmp(&Value::Int(3)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn structural_eq_and_hash_handle_floats() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Float(1.5));
+        assert!(set.contains(&Value::Float(1.5)));
+        assert!(!set.contains(&Value::Float(2.5)));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::from("it's").to_string(), "'it''s'");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Null.as_int(), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+    }
+}

@@ -1,0 +1,489 @@
+//! A seeded synthetic IMDB-like dataset (the §5.1 JOB substrate).
+//!
+//! The real IMDB dump is a multi-gigabyte external download; what the
+//! paper's evaluation actually depends on is its *shape*: a star of fact
+//! tables around `title` with skewed foreign keys, ratings stored as
+//! **strings** in `movie_info_idx.info` (hence `score > '7.0'`), LIKE-able
+//! name/title/keyword text with recurring marker words, and nullable
+//! `note` columns. This generator reproduces those properties at a
+//! configurable scale with a fixed seed.
+
+use basilisk_storage::{Table, TableBuilder};
+use basilisk_types::{DataType, Result, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Marker words planted in titles (LIKE targets).
+pub const TITLE_MARKERS: [&str; 8] = [
+    "godfather", "man", "lord", "dark", "love", "war", "star", "night",
+];
+
+/// Marker words planted in character names.
+pub const CHAR_MARKERS: [&str; 6] = ["Man", "Woman", "Doctor", "Captain", "Iron", "Agent"];
+
+/// Keywords planted in the keyword table.
+pub const KEYWORD_MARKERS: [&str; 8] = [
+    "superhero",
+    "sequel",
+    "based-on-novel",
+    "revenge",
+    "dystopia",
+    "romance",
+    "heist",
+    "space",
+];
+
+/// Country codes used by `company_name.country_code`.
+pub const COUNTRY_CODES: [&str; 6] = ["[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]"];
+
+/// The `info_type` ids the generator assigns, mirroring real IMDB usage.
+pub const INFO_TYPE_RATING: i64 = 99;
+pub const INFO_TYPE_VOTES: i64 = 100;
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct ImdbConfig {
+    /// Linear scale on every table's row count (1.0 ≈ 130k rows total).
+    pub scale: f64,
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig {
+            scale: 1.0,
+            seed: 0x1BDB,
+        }
+    }
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale) as usize).max(10)
+}
+
+/// Generate the full table set:
+/// `title, movie_info_idx, movie_companies, company_name, movie_keyword,
+/// keyword, cast_info, char_name, info_type, kind_type, company_type,
+/// role_type`.
+pub fn generate_imdb(cfg: &ImdbConfig) -> Result<Vec<Table>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_title = scaled(12_000, cfg.scale);
+    let n_company = scaled(1_500, cfg.scale);
+    let n_keyword = scaled(2_000, cfg.scale);
+    let n_char = scaled(6_000, cfg.scale);
+
+    let mut tables = Vec::new();
+    tables.push(gen_title(&mut rng, n_title)?);
+    tables.push(gen_movie_info_idx(&mut rng, n_title)?);
+    tables.push(gen_movie_companies(&mut rng, n_title, n_company)?);
+    tables.push(gen_company_name(&mut rng, n_company)?);
+    tables.push(gen_movie_keyword(&mut rng, n_title, n_keyword)?);
+    tables.push(gen_keyword(&mut rng, n_keyword)?);
+    tables.push(gen_cast_info(&mut rng, n_title, n_char)?);
+    tables.push(gen_char_name(&mut rng, n_char)?);
+    tables.push(gen_info_type()?);
+    tables.push(gen_kind_type()?);
+    tables.push(gen_company_type()?);
+    tables.push(gen_role_type()?);
+    Ok(tables)
+}
+
+const ADJECTIVES: [&str; 12] = [
+    "Silent", "Broken", "Golden", "Lost", "Final", "Hidden", "Crimson", "Endless", "Burning",
+    "Frozen", "Sacred", "Savage",
+];
+const NOUNS: [&str; 12] = [
+    "Kingdom", "River", "Empire", "Garden", "Horizon", "Shadow", "Voyage", "Legacy", "Storm",
+    "Crown", "Phantom", "Echo",
+];
+
+fn gen_title(rng: &mut StdRng, n: usize) -> Result<Table> {
+    let mut b = TableBuilder::new("title")
+        .column("id", DataType::Int)
+        .column("kind_id", DataType::Int)
+        .column("production_year", DataType::Int)
+        .column("title", DataType::Str);
+    for i in 1..=n as i64 {
+        // Recent-skewed years: newer movies are far more numerous, which
+        // is what makes `year > 2000` moderately selective like in IMDB.
+        let r: f64 = rng.gen::<f64>();
+        let year = 2024 - (r * r * 95.0) as i64;
+        let kind_id = 1 + (rng.gen::<f64>().powi(3) * 6.9) as i64; // mostly 1 = movie
+        let mut title = format!(
+            "The {} {}",
+            ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())],
+            NOUNS[rng.gen_range(0..NOUNS.len())]
+        );
+        // Plant a marker word in ~25% of titles.
+        if rng.gen_bool(0.25) {
+            let m = TITLE_MARKERS[rng.gen_range(0..TITLE_MARKERS.len())];
+            title = format!("{title} of the {m}");
+        }
+        if rng.gen_bool(0.3) {
+            title = format!("{title} {}", rng.gen_range(2..9));
+        }
+        b.push_row(vec![
+            i.into(),
+            kind_id.into(),
+            year.into(),
+            title.into(),
+        ])?;
+    }
+    b.finish()
+}
+
+fn gen_movie_info_idx(rng: &mut StdRng, n_title: usize) -> Result<Table> {
+    let mut b = TableBuilder::new("movie_info_idx")
+        .column("id", DataType::Int)
+        .column("movie_id", DataType::Int)
+        .column("info_type_id", DataType::Int)
+        .column("info", DataType::Str);
+    let mut id = 1i64;
+    for movie in 1..=n_title as i64 {
+        // One rating row and one votes row per movie (like real IMDB's
+        // rating/votes pairs).
+        let rating = 1.0 + 9.0 * (0.5 + 0.5 * rng.gen::<f64>() * rng.gen::<f64>());
+        let rating = (rating.min(9.9) * 10.0).round() / 10.0;
+        b.push_row(vec![
+            id.into(),
+            movie.into(),
+            INFO_TYPE_RATING.into(),
+            format!("{rating:.1}").into(),
+        ])?;
+        id += 1;
+        let votes = 10 + (rng.gen::<f64>().powi(4) * 500_000.0) as i64;
+        b.push_row(vec![
+            id.into(),
+            movie.into(),
+            INFO_TYPE_VOTES.into(),
+            votes.to_string().into(),
+        ])?;
+        id += 1;
+    }
+    b.finish()
+}
+
+fn gen_movie_companies(rng: &mut StdRng, n_title: usize, n_company: usize) -> Result<Table> {
+    let mut b = TableBuilder::new("movie_companies")
+        .column("id", DataType::Int)
+        .column("movie_id", DataType::Int)
+        .column("company_id", DataType::Int)
+        .column("company_type_id", DataType::Int)
+        .column("note", DataType::Str);
+    let zipf = Zipf::new(n_company, 1.2);
+    let mut id = 1i64;
+    for movie in 1..=n_title as i64 {
+        let k = 1 + (rng.gen::<f64>() * 1.8) as usize;
+        for _ in 0..k {
+            let note: Value = if rng.gen_bool(0.4) {
+                Value::Null
+            } else if rng.gen_bool(0.3) {
+                "(co-production)".into()
+            } else {
+                format!("(as studio {})", rng.gen_range(1..50)).into()
+            };
+            b.push_row(vec![
+                id.into(),
+                movie.into(),
+                (zipf.sample(rng) as i64).into(),
+                (1 + rng.gen_range(0..2i64)).into(),
+                note,
+            ])?;
+            id += 1;
+        }
+    }
+    b.finish()
+}
+
+fn gen_company_name(rng: &mut StdRng, n: usize) -> Result<Table> {
+    let mut b = TableBuilder::new("company_name")
+        .column("id", DataType::Int)
+        .column("name", DataType::Str)
+        .column("country_code", DataType::Str);
+    for i in 1..=n as i64 {
+        let name = if rng.gen_bool(0.1) {
+            format!("Warner Pictures {i}")
+        } else if rng.gen_bool(0.1) {
+            format!("Universal Films {i}")
+        } else {
+            format!("Studio {i}")
+        };
+        // Zipf-ish over country codes: [us] dominates like in IMDB.
+        let cc = if rng.gen_bool(0.5) {
+            COUNTRY_CODES[0]
+        } else {
+            COUNTRY_CODES[rng.gen_range(0..COUNTRY_CODES.len())]
+        };
+        b.push_row(vec![i.into(), name.into(), cc.into()])?;
+    }
+    b.finish()
+}
+
+fn gen_keyword(rng: &mut StdRng, n: usize) -> Result<Table> {
+    let mut b = TableBuilder::new("keyword")
+        .column("id", DataType::Int)
+        .column("keyword", DataType::Str);
+    for i in 1..=n as i64 {
+        // The first ids carry the marker keywords (they will also be the
+        // Zipf heads of movie_keyword, making them common — like
+        // "superhero" or "sequel" in real IMDB).
+        let kw = if (i as usize) <= KEYWORD_MARKERS.len() {
+            KEYWORD_MARKERS[i as usize - 1].to_string()
+        } else {
+            format!("kw-{i}")
+        };
+        let _ = &rng;
+        b.push_row(vec![i.into(), kw.into()])?;
+    }
+    b.finish()
+}
+
+fn gen_movie_keyword(rng: &mut StdRng, n_title: usize, n_keyword: usize) -> Result<Table> {
+    let mut b = TableBuilder::new("movie_keyword")
+        .column("id", DataType::Int)
+        .column("movie_id", DataType::Int)
+        .column("keyword_id", DataType::Int);
+    let zipf = Zipf::new(n_keyword, 1.1);
+    let mut id = 1i64;
+    for movie in 1..=n_title as i64 {
+        let k = rng.gen_range(1..=3);
+        for _ in 0..k {
+            b.push_row(vec![
+                id.into(),
+                movie.into(),
+                (zipf.sample(rng) as i64).into(),
+            ])?;
+            id += 1;
+        }
+    }
+    b.finish()
+}
+
+fn gen_char_name(rng: &mut StdRng, n: usize) -> Result<Table> {
+    let mut b = TableBuilder::new("char_name")
+        .column("id", DataType::Int)
+        .column("name", DataType::Str);
+    for i in 1..=n as i64 {
+        let name = if rng.gen_bool(0.2) {
+            let m = CHAR_MARKERS[rng.gen_range(0..CHAR_MARKERS.len())];
+            format!("{m} {}", NOUNS[rng.gen_range(0..NOUNS.len())])
+        } else {
+            format!("Character {i}")
+        };
+        b.push_row(vec![i.into(), name.into()])?;
+    }
+    b.finish()
+}
+
+fn gen_cast_info(rng: &mut StdRng, n_title: usize, n_char: usize) -> Result<Table> {
+    let mut b = TableBuilder::new("cast_info")
+        .column("id", DataType::Int)
+        .column("movie_id", DataType::Int)
+        .column("person_role_id", DataType::Int)
+        .column("role_id", DataType::Int)
+        .column("note", DataType::Str);
+    let zipf = Zipf::new(n_char, 1.05);
+    let mut id = 1i64;
+    for movie in 1..=n_title as i64 {
+        let k = rng.gen_range(1..=4);
+        for _ in 0..k {
+            let note: Value = if rng.gen_bool(0.5) {
+                Value::Null
+            } else if rng.gen_bool(0.2) {
+                "(voice)".into()
+            } else {
+                "(uncredited)".into()
+            };
+            b.push_row(vec![
+                id.into(),
+                movie.into(),
+                (zipf.sample(rng) as i64).into(),
+                (1 + rng.gen_range(0..12i64)).into(),
+                note,
+            ])?;
+            id += 1;
+        }
+    }
+    b.finish()
+}
+
+fn gen_info_type() -> Result<Table> {
+    let mut b = TableBuilder::new("info_type")
+        .column("id", DataType::Int)
+        .column("info", DataType::Str);
+    for i in 1..=113i64 {
+        let name = match i {
+            INFO_TYPE_RATING => "rating".to_string(),
+            INFO_TYPE_VOTES => "votes".to_string(),
+            _ => format!("info-{i}"),
+        };
+        b.push_row(vec![i.into(), name.into()])?;
+    }
+    b.finish()
+}
+
+fn gen_kind_type() -> Result<Table> {
+    let mut b = TableBuilder::new("kind_type")
+        .column("id", DataType::Int)
+        .column("kind", DataType::Str);
+    for (i, kind) in [
+        "movie",
+        "tv series",
+        "tv movie",
+        "video movie",
+        "tv mini series",
+        "video game",
+        "episode",
+    ]
+    .iter()
+    .enumerate()
+    {
+        b.push_row(vec![(i as i64 + 1).into(), (*kind).into()])?;
+    }
+    b.finish()
+}
+
+fn gen_company_type() -> Result<Table> {
+    let mut b = TableBuilder::new("company_type")
+        .column("id", DataType::Int)
+        .column("kind", DataType::Str);
+    b.push_row(vec![1i64.into(), "production companies".into()])?;
+    b.push_row(vec![2i64.into(), "distributors".into()])?;
+    b.finish()
+}
+
+fn gen_role_type() -> Result<Table> {
+    let mut b = TableBuilder::new("role_type")
+        .column("id", DataType::Int)
+        .column("role", DataType::Str);
+    for (i, role) in [
+        "actor",
+        "actress",
+        "producer",
+        "writer",
+        "cinematographer",
+        "composer",
+        "costume designer",
+        "director",
+        "editor",
+        "miscellaneous crew",
+        "production designer",
+        "guest",
+    ]
+    .iter()
+    .enumerate()
+    {
+        b.push_row(vec![(i as i64 + 1).into(), (*role).into()])?;
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Vec<Table> {
+        generate_imdb(&ImdbConfig {
+            scale: 0.05,
+            seed: 7,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn all_tables_present() {
+        let tables = small();
+        let names: Vec<&str> = tables.iter().map(Table::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "title",
+                "movie_info_idx",
+                "movie_companies",
+                "company_name",
+                "movie_keyword",
+                "keyword",
+                "cast_info",
+                "char_name",
+                "info_type",
+                "kind_type",
+                "company_type",
+                "role_type",
+            ]
+        );
+    }
+
+    #[test]
+    fn referential_shapes() {
+        let tables = small();
+        let title = &tables[0];
+        let n = title.num_rows() as i64;
+        let mi = &tables[1];
+        assert_eq!(mi.num_rows(), 2 * title.num_rows(), "rating+votes per movie");
+        let movie_ids = mi.column("movie_id").unwrap().scan().unwrap();
+        assert!(movie_ids
+            .as_ints()
+            .unwrap()
+            .iter()
+            .all(|&m| (1..=n).contains(&m)));
+        // Ratings are strings like "7.4" under info_type 99.
+        let infos = mi.column("info").unwrap().scan().unwrap();
+        let types = mi.column("info_type_id").unwrap().scan().unwrap();
+        let strs = infos.as_strs().unwrap();
+        for i in 0..mi.num_rows() {
+            if types.as_ints().unwrap()[i] == INFO_TYPE_RATING {
+                let s = strs.get(i);
+                assert!(s.len() == 3 && s.contains('.'), "rating format: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn nullable_notes_exist() {
+        let tables = small();
+        let mc = tables.iter().find(|t| t.name() == "movie_companies").unwrap();
+        let notes = mc.column("note").unwrap().scan().unwrap();
+        assert!(notes.null_count() > 0, "note must be nullable");
+        assert!(notes.null_count() < notes.len(), "but not all null");
+    }
+
+    #[test]
+    fn markers_planted() {
+        let tables = small();
+        let title = &tables[0];
+        let titles = title.column("title").unwrap().scan().unwrap();
+        let strs = titles.as_strs().unwrap();
+        let with_marker = (0..strs.len())
+            .filter(|&i| TITLE_MARKERS.iter().any(|m| strs.get(i).contains(m)))
+            .count();
+        assert!(with_marker > strs.len() / 10, "markers in ≥10% of titles");
+        let kw = tables.iter().find(|t| t.name() == "keyword").unwrap();
+        let kws = kw.column("keyword").unwrap().scan().unwrap();
+        assert_eq!(kws.as_strs().unwrap().get(0), "superhero");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        let ta = a[0].column("title").unwrap().scan().unwrap();
+        let tb = b[0].column("title").unwrap().scan().unwrap();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn years_recent_skewed() {
+        let tables = small();
+        let years = tables[0].column("production_year").unwrap().scan().unwrap();
+        let years = years.as_ints().unwrap();
+        let recent = years.iter().filter(|&&y| y > 2000).count();
+        assert!(
+            recent * 2 > years.len(),
+            "most titles should be after 2000 ({recent}/{})",
+            years.len()
+        );
+        assert!(years.iter().all(|&y| (1929..=2024).contains(&y)));
+    }
+}

@@ -1,0 +1,307 @@
+//! The 33 disjunctive query groups (§5.1).
+//!
+//! JOB sorts its 113 queries into 33 groups; all queries in a group share
+//! tables and join conditions and differ only in their filter predicates,
+//! so the paper combines each group by disjunction:
+//!
+//! > "Combining queries 20a and 20c would give us one query which searches
+//! > for superhero movies either produced after 1950 with a character
+//! > named 'Iron Man' or produced after 2000 with any character with the
+//! > word 'Man' in their name."
+//!
+//! This module generates 33 such combined queries over the synthetic IMDB
+//! stand-in: each group picks a table combination (a subtree of the star
+//! around `title`), one or two *theme* conjuncts shared by every variant,
+//! and 2–4 variants of extra predicates; the final predicate is
+//! `OR_v (theme ∧ variant_v)` — exactly the shared-subexpression DNF shape
+//! §5.1 relies on (and the input `factor_common_conjuncts` turns into the
+//! BPushConj-comparable AND-rooted form for Fig. 3b–d).
+
+use basilisk_expr::{and, col, lit, or, ColumnRef, Expr};
+use basilisk_plan::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::imdb::{CHAR_MARKERS, INFO_TYPE_RATING, KEYWORD_MARKERS, TITLE_MARKERS};
+
+/// One combined disjunctive query group.
+#[derive(Debug, Clone)]
+pub struct JobQuery {
+    /// Group number, 1..=33.
+    pub group: usize,
+    /// Short description of the group's shape.
+    pub label: String,
+    /// The combined disjunctive query (OR of variants, theme repeated in
+    /// each clause).
+    pub query: Query,
+    /// Number of variants combined.
+    pub variants: usize,
+}
+
+/// Which fact-table spokes a group joins, beyond `title`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Combo {
+    mi: bool,  // movie_info_idx (ratings)
+    mk: bool,  // movie_keyword + keyword
+    mc: bool,  // movie_companies + company_name
+    ci: bool,  // cast_info + char_name
+}
+
+const COMBOS: [Combo; 8] = [
+    Combo { mi: true, mk: false, mc: false, ci: false },
+    Combo { mi: true, mk: true, mc: false, ci: false },
+    Combo { mi: false, mk: false, mc: true, ci: false },
+    Combo { mi: true, mk: false, mc: true, ci: false },
+    Combo { mi: false, mk: true, mc: false, ci: true },
+    Combo { mi: true, mk: false, mc: false, ci: true },
+    Combo { mi: false, mk: true, mc: true, ci: false },
+    Combo { mi: true, mk: true, mc: false, ci: true },
+];
+
+/// Generate the 33 combined queries with a fixed seed.
+pub fn job_queries(seed: u64) -> Vec<JobQuery> {
+    (1..=33).map(|g| job_query(g, seed)).collect()
+}
+
+/// Generate one group's combined query.
+pub fn job_query(group: usize, seed: u64) -> JobQuery {
+    assert!((1..=33).contains(&group));
+    let mut rng = StdRng::seed_from_u64(seed ^ (group as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let combo = COMBOS[(group - 1) % COMBOS.len()];
+
+    // FROM / JOIN skeleton.
+    let mut aliases: Vec<(String, String)> = vec![("t".into(), "title".into())];
+    let mut query = Query::new(vec![]); // rebuilt below
+    let mut joins: Vec<(ColumnRef, ColumnRef)> = Vec::new();
+    if combo.mi {
+        aliases.push(("mi_idx".into(), "movie_info_idx".into()));
+        joins.push((
+            ColumnRef::new("t", "id"),
+            ColumnRef::new("mi_idx", "movie_id"),
+        ));
+    }
+    if combo.mk {
+        aliases.push(("mk".into(), "movie_keyword".into()));
+        aliases.push(("k".into(), "keyword".into()));
+        joins.push((ColumnRef::new("t", "id"), ColumnRef::new("mk", "movie_id")));
+        joins.push((
+            ColumnRef::new("mk", "keyword_id"),
+            ColumnRef::new("k", "id"),
+        ));
+    }
+    if combo.mc {
+        aliases.push(("mc".into(), "movie_companies".into()));
+        aliases.push(("cn".into(), "company_name".into()));
+        joins.push((ColumnRef::new("t", "id"), ColumnRef::new("mc", "movie_id")));
+        joins.push((
+            ColumnRef::new("mc", "company_id"),
+            ColumnRef::new("cn", "id"),
+        ));
+    }
+    if combo.ci {
+        aliases.push(("ci".into(), "cast_info".into()));
+        aliases.push(("chn".into(), "char_name".into()));
+        joins.push((ColumnRef::new("t", "id"), ColumnRef::new("ci", "movie_id")));
+        joins.push((
+            ColumnRef::new("ci", "person_role_id"),
+            ColumnRef::new("chn", "id"),
+        ));
+    }
+
+    // Theme conjuncts: shared by every variant. These are the JOB-style
+    // highly selective "theme definition" predicates §5.1 describes.
+    let mut theme: Vec<Expr> = Vec::new();
+    if combo.mi {
+        theme.push(col("mi_idx", "info_type_id").eq(INFO_TYPE_RATING));
+    }
+    if combo.mk && rng.gen_bool(0.7) {
+        let kw = KEYWORD_MARKERS[rng.gen_range(0..KEYWORD_MARKERS.len())];
+        theme.push(col("k", "keyword").eq(kw));
+    }
+    if combo.mc && rng.gen_bool(0.6) {
+        theme.push(col("cn", "country_code").eq("[us]"));
+    }
+    if theme.is_empty() || rng.gen_bool(0.3) {
+        theme.push(col("t", "kind_id").eq(1i64));
+    }
+
+    // Variants: 2–4 conjunctions of extra predicates.
+    let n_variants = 2 + (group % 3);
+    let mut variants: Vec<Expr> = Vec::new();
+    for v in 0..n_variants {
+        let mut conj: Vec<Expr> = Vec::new();
+        // Always a year range (ranges differ per variant so subsumption
+        // between them matters, like Query 1's year > 2000 / year > 1980).
+        let year = 1960 + rng.gen_range(0..12) * 5 + v as i64 * 5;
+        conj.push(col("t", "production_year").gt(year.min(2015)));
+        if combo.mi {
+            // String-compared ratings, tighter for older variants —
+            // mirrors Query 1's score > '7.0' vs score > '8.0'.
+            let rating = 5.0 + rng.gen::<f64>() * 3.0 + v as f64 * 0.4;
+            conj.push(col("mi_idx", "info").gt(lit(format!("{:.1}", rating.min(9.5)))));
+        }
+        match rng.gen_range(0..4) {
+            0 => {
+                let m = TITLE_MARKERS[rng.gen_range(0..TITLE_MARKERS.len())];
+                conj.push(col("t", "title").ilike(&format!("%{m}%")));
+            }
+            1 if combo.ci => {
+                let m = CHAR_MARKERS[rng.gen_range(0..CHAR_MARKERS.len())];
+                conj.push(col("chn", "name").like(&format!("%{m}%")));
+            }
+            2 if combo.mc => {
+                if rng.gen_bool(0.5) {
+                    conj.push(col("mc", "note").is_null());
+                } else {
+                    conj.push(col("mc", "note").like("%co-production%"));
+                }
+            }
+            3 if combo.mk => {
+                let a = KEYWORD_MARKERS[rng.gen_range(0..KEYWORD_MARKERS.len())];
+                let b = KEYWORD_MARKERS[rng.gen_range(0..KEYWORD_MARKERS.len())];
+                conj.push(col("k", "keyword").in_list(vec![lit(a), lit(b)]));
+            }
+            _ => {
+                conj.push(col("t", "production_year").le(2020i64));
+            }
+        }
+        let mut clause = theme.clone();
+        clause.extend(conj);
+        variants.push(and(clause));
+    }
+
+    query.aliases = aliases;
+    for (l, r) in joins {
+        query = query.join(l, r);
+    }
+    query = query.filter(or(variants.clone()));
+
+    JobQuery {
+        group,
+        label: format!(
+            "group {group}: {}{}{}{} · {n_variants} variants",
+            if combo.mi { "mi " } else { "" },
+            if combo.mk { "mk+k " } else { "" },
+            if combo.mc { "mc+cn " } else { "" },
+            if combo.ci { "ci+chn " } else { "" },
+        ),
+        query,
+        variants: n_variants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb::{generate_imdb, ImdbConfig};
+    use basilisk_catalog::Catalog;
+    use basilisk_expr::factor_common_conjuncts;
+    use basilisk_plan::{PlannerKind, QuerySession};
+
+    #[test]
+    fn thirty_three_valid_groups() {
+        let queries = job_queries(42);
+        assert_eq!(queries.len(), 33);
+        for q in &queries {
+            q.query.validate().unwrap_or_else(|e| {
+                panic!("group {} invalid: {e}\n{:?}", q.group, q.query)
+            });
+            assert!(q.variants >= 2);
+            let p = q.query.predicate.as_ref().unwrap();
+            assert!(matches!(p, Expr::Or(cs) if cs.len() == q.variants));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = job_queries(42);
+        let b = job_queries(42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                format!("{:?}", x.query.predicate),
+                format!("{:?}", y.query.predicate)
+            );
+        }
+    }
+
+    #[test]
+    fn clauses_share_theme_so_factoring_applies() {
+        for q in job_queries(42) {
+            let p = q.query.predicate.as_ref().unwrap();
+            let f = factor_common_conjuncts(p);
+            assert!(
+                matches!(&f, Expr::And(_)),
+                "group {} should factor to an AND root (shared theme): {p}",
+                q.group
+            );
+        }
+    }
+
+    /// End-to-end: a few groups run correctly on a small dataset and all
+    /// planners agree.
+    #[test]
+    fn planners_agree_on_sample_groups() {
+        let mut cat = Catalog::new();
+        for t in generate_imdb(&ImdbConfig {
+            scale: 0.04,
+            seed: 11,
+        })
+        .unwrap()
+        {
+            cat.add_table(t).unwrap();
+        }
+        let mut nonempty = 0;
+        for q in job_queries(42).into_iter().step_by(7) {
+            let session = QuerySession::new(&cat, q.query.clone()).unwrap();
+            let reference = session
+                .execute(&session.plan(PlannerKind::BDisj).unwrap())
+                .unwrap()
+                .canonical_tuples();
+            for kind in [PlannerKind::TCombined, PlannerKind::BPushConj] {
+                let out = session.execute(&session.plan(kind).unwrap()).unwrap();
+                assert_eq!(
+                    out.canonical_tuples(),
+                    reference,
+                    "group {} planner {kind} disagrees",
+                    q.group
+                );
+            }
+            if !reference.is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty >= 2, "most sampled groups return rows");
+    }
+
+    /// The factored (AND-rooted) form returns the same rows as the DNF.
+    #[test]
+    fn factored_form_equivalent() {
+        let mut cat = Catalog::new();
+        for t in generate_imdb(&ImdbConfig {
+            scale: 0.03,
+            seed: 13,
+        })
+        .unwrap()
+        {
+            cat.add_table(t).unwrap();
+        }
+        for q in job_queries(42).into_iter().step_by(11) {
+            let dnf = q.query.clone();
+            let mut fact = q.query.clone();
+            fact.predicate = Some(factor_common_conjuncts(
+                dnf.predicate.as_ref().unwrap(),
+            ));
+            let s1 = QuerySession::new(&cat, dnf).unwrap();
+            let s2 = QuerySession::new(&cat, fact).unwrap();
+            let r1 = s1
+                .execute(&s1.plan(PlannerKind::TCombined).unwrap())
+                .unwrap()
+                .canonical_tuples();
+            let r2 = s2
+                .execute(&s2.plan(PlannerKind::BPushConj).unwrap())
+                .unwrap()
+                .canonical_tuples();
+            assert_eq!(r1, r2, "group {}", q.group);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generators for the paper's evaluation (§5).
+//!
+//! * [`zipf`] — a self-contained Zipf sampler (the foreign keys of §5.2
+//!   use shape 1.5; `rand` ships no Zipf distribution in the offline
+//!   crate set, so we build the inverse-CDF sampler ourselves).
+//! * [`synthetic`] — the §5.2 schema (`T0 ⋈ T1 ⋈ T2` with Zipfian foreign
+//!   keys and uniform `A*` attributes) and its DNF/CNF query families,
+//!   parameterized by selectivity, table size, number of root clauses and
+//!   the outer conjunctive factor.
+//! * [`imdb`] — a seeded synthetic IMDB-like dataset standing in for the
+//!   (externally hosted, multi-GB) real IMDB dump.
+//! * [`job`] — 33 disjunctive query groups mirroring how §5.1 builds its
+//!   workload from the Join Order Benchmark: every group's variants share
+//!   tables, join conditions and common "theme" subexpressions, and are
+//!   combined by disjunction.
+//!
+//! See DESIGN.md §3 for why these substitutions preserve the paper's
+//! experimental conditions.
+
+pub mod imdb;
+pub mod job;
+pub mod synthetic;
+pub mod zipf;
+
+pub use imdb::{generate_imdb, ImdbConfig};
+pub use job::{job_queries, job_query, JobQuery};
+pub use synthetic::{
+    cnf_query, dnf_query, generate_synthetic, SyntheticConfig,
+};
+pub use zipf::Zipf;

@@ -1,0 +1,243 @@
+//! The §5.2 synthetic workload.
+//!
+//! Three tables: `T0(id, A1..Ak)` with `id` a dense primary key 1..=n,
+//! and `T1`/`T2` with `fid` foreign keys drawn Zipf(1.5) over `T0.id` and
+//! uniform `[0,1)` attributes. The DNF base query is
+//!
+//! ```sql
+//! SELECT * FROM T0 JOIN T1 ON T0.id = T1.fid JOIN T2 ON T0.id = T2.fid
+//! WHERE (T1.A1 < 0.2 AND T2.A1 < 0.2) OR (T1.A2 < 0.2 AND T2.A2 < 0.2)
+//! ```
+//!
+//! and the CNF version swaps the ANDs and ORs. The generators below
+//! parameterize selectivity, table size, number of root clauses and the
+//! outer conjunctive factor — the four sweeps of Fig. 4.
+
+use basilisk_expr::{and, col, or, ColumnRef, Expr};
+use basilisk_plan::Query;
+use basilisk_storage::{Column, Table};
+use basilisk_types::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Parameters for the synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Rows per table (the paper uses 10k by default, 1k–50k in Fig. 4b).
+    pub rows: usize,
+    /// Number of `A*` attributes per table (≥ number of root clauses; the
+    /// paper sweeps up to 7 clauses).
+    pub num_attrs: usize,
+    /// Zipf shape for the foreign keys (paper: 1.5).
+    pub zipf_shape: f64,
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            rows: 10_000,
+            num_attrs: 7,
+            zipf_shape: 1.5,
+            seed: 0x5EED_BA51,
+        }
+    }
+}
+
+/// Generate `[T0, T2, T1]`… rather: `[T0, T1, T2]`.
+pub fn generate_synthetic(cfg: &SyntheticConfig) -> Result<Vec<Table>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.rows, cfg.zipf_shape);
+
+    let mut tables = Vec::with_capacity(3);
+    // T0: dense primary key.
+    let mut cols: Vec<(String, Column)> = vec![(
+        "id".to_string(),
+        Column::from_ints((1..=cfg.rows as i64).collect()),
+    )];
+    for a in 1..=cfg.num_attrs {
+        cols.push((
+            format!("a{a}"),
+            Column::from_floats((0..cfg.rows).map(|_| rng.gen::<f64>()).collect()),
+        ));
+    }
+    tables.push(Table::from_columns("t0", cols)?);
+
+    for name in ["t1", "t2"] {
+        let mut cols: Vec<(String, Column)> = vec![(
+            "fid".to_string(),
+            Column::from_ints(
+                (0..cfg.rows)
+                    .map(|_| zipf.sample(&mut rng) as i64)
+                    .collect(),
+            ),
+        )];
+        for a in 1..=cfg.num_attrs {
+            cols.push((
+                format!("a{a}"),
+                Column::from_floats((0..cfg.rows).map(|_| rng.gen::<f64>()).collect()),
+            ));
+        }
+        tables.push(Table::from_columns(name, cols)?);
+    }
+    Ok(tables)
+}
+
+fn base_query() -> Query {
+    Query::new(vec![
+        ("t0".into(), "t0".into()),
+        ("t1".into(), "t1".into()),
+        ("t2".into(), "t2".into()),
+    ])
+    .join(ColumnRef::new("t0", "id"), ColumnRef::new("t1", "fid"))
+    .join(ColumnRef::new("t0", "id"), ColumnRef::new("t2", "fid"))
+}
+
+/// The DNF query: `OR_i (T1.Ai < sel AND T2.Ai < sel)` over `clauses`
+/// root clauses. `outer_factor` adds the Fig. 4d conjunct `T0.A1 < f`
+/// *inside every clause* ("for DNF queries, the same T0.A1 < 0.1 was
+/// included in each root clause").
+pub fn dnf_query(clauses: usize, sel: f64, outer_factor: Option<f64>) -> Query {
+    assert!(clauses >= 1);
+    let mut terms: Vec<Expr> = Vec::with_capacity(clauses);
+    for i in 1..=clauses {
+        let a = format!("a{i}");
+        let mut conj = vec![
+            col("t1", &a).lt(sel),
+            col("t2", &a).lt(sel),
+        ];
+        if let Some(f) = outer_factor {
+            conj.insert(0, col("t0", "a1").lt(f));
+        }
+        terms.push(and(conj));
+    }
+    base_query().filter(or(terms))
+}
+
+/// The CNF query: `AND_i (T1.Ai < sel OR T2.Ai < sel)`, with the optional
+/// outer conjunctive factor `T0.A1 < f` as an extra top-level conjunct
+/// (the §5.2 form `T0.A1 < 0.1 AND (T1.A1 < 0.2 OR T2.A1 < 0.2) AND …`).
+pub fn cnf_query(clauses: usize, sel: f64, outer_factor: Option<f64>) -> Query {
+    assert!(clauses >= 1);
+    let mut terms: Vec<Expr> = Vec::with_capacity(clauses + 1);
+    if let Some(f) = outer_factor {
+        terms.push(col("t0", "a1").lt(f));
+    }
+    for i in 1..=clauses {
+        let a = format!("a{i}");
+        terms.push(or(vec![
+            col("t1", &a).lt(sel),
+            col("t2", &a).lt(sel),
+        ]));
+    }
+    base_query().filter(and(terms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_catalog::Catalog;
+    use basilisk_plan::{PlannerKind, QuerySession};
+
+    fn small_catalog() -> Catalog {
+        let cfg = SyntheticConfig {
+            rows: 500,
+            num_attrs: 3,
+            ..SyntheticConfig::default()
+        };
+        let mut cat = Catalog::new();
+        for t in generate_synthetic(&cfg).unwrap() {
+            cat.add_table(t).unwrap();
+        }
+        cat
+    }
+
+    #[test]
+    fn shapes_and_keys() {
+        let cfg = SyntheticConfig {
+            rows: 200,
+            num_attrs: 2,
+            ..SyntheticConfig::default()
+        };
+        let tables = generate_synthetic(&cfg).unwrap();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].name(), "t0");
+        assert_eq!(tables[0].num_rows(), 200);
+        assert_eq!(tables[0].num_columns(), 3); // id + a1 + a2
+        // T0 ids dense 1..=n.
+        let ids = tables[0].column("id").unwrap().scan().unwrap();
+        assert_eq!(ids.as_ints().unwrap()[0], 1);
+        assert_eq!(ids.as_ints().unwrap()[199], 200);
+        // Foreign keys in range, and 1 is the most frequent (Zipf head).
+        for t in &tables[1..] {
+            let fids = t.column("fid").unwrap().scan().unwrap();
+            let fids = fids.as_ints().unwrap();
+            assert!(fids.iter().all(|&f| (1..=200).contains(&f)));
+            let ones = fids.iter().filter(|&&f| f == 1).count();
+            assert!(
+                ones as f64 / fids.len() as f64 > 0.2,
+                "Zipf(1.5) head should dominate: {ones}"
+            );
+        }
+        // Attributes in [0,1).
+        let a1 = tables[1].column("a1").unwrap().scan().unwrap();
+        assert!(a1.as_floats().unwrap().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = SyntheticConfig {
+            rows: 100,
+            num_attrs: 2,
+            ..SyntheticConfig::default()
+        };
+        let a = generate_synthetic(&cfg).unwrap();
+        let b = generate_synthetic(&cfg).unwrap();
+        let fa = a[1].column("fid").unwrap().scan().unwrap();
+        let fb = b[1].column("fid").unwrap().scan().unwrap();
+        assert_eq!(fa.as_ints().unwrap(), fb.as_ints().unwrap());
+    }
+
+    #[test]
+    fn query_shapes() {
+        let q = dnf_query(2, 0.2, None);
+        assert!(q.validate().is_ok());
+        let p = q.predicate.as_ref().unwrap();
+        assert!(matches!(p, Expr::Or(cs) if cs.len() == 2));
+        let q = cnf_query(3, 0.2, Some(0.5));
+        let p = q.predicate.as_ref().unwrap();
+        assert!(matches!(p, Expr::And(cs) if cs.len() == 4));
+        let q = dnf_query(2, 0.2, Some(0.5));
+        let Expr::Or(cs) = q.predicate.as_ref().unwrap() else {
+            panic!()
+        };
+        for c in cs {
+            assert!(matches!(c, Expr::And(inner) if inner.len() == 3));
+        }
+    }
+
+    /// DNF and CNF with the same parameters are different queries, and all
+    /// planners agree on each.
+    #[test]
+    fn planners_agree_on_synthetic() {
+        let cat = small_catalog();
+        for q in [dnf_query(2, 0.3, None), cnf_query(2, 0.3, None)] {
+            let session = QuerySession::new(&cat, q).unwrap();
+            let reference = session
+                .execute(&session.plan(PlannerKind::BPushConj).unwrap())
+                .unwrap()
+                .canonical_tuples();
+            for kind in [
+                PlannerKind::TCombined,
+                PlannerKind::BDisj,
+                PlannerKind::TPushdown,
+            ] {
+                let out = session.execute(&session.plan(kind).unwrap()).unwrap();
+                assert_eq!(out.canonical_tuples(), reference, "{kind} disagrees");
+            }
+            assert!(!reference.is_empty(), "query should produce results");
+        }
+    }
+}

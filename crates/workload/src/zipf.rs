@@ -1,0 +1,123 @@
+//! Inverse-CDF Zipf sampling.
+//!
+//! §5.2: "their values were randomly generated using a Zipf distribution
+//! with a shape parameter value of 1.5". P(X = k) ∝ 1/k^s over 1..=n; the
+//! most common value is 1 — which is what drives the sharp runtime jump at
+//! outer-factor 0.6 in Fig. 4d (the head value enters the result).
+
+use rand::Rng;
+
+/// A Zipf(n, s) sampler over `1..=n` built on a precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// `n` must be ≥ 1; `s` is the shape parameter (larger = more skew).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one value");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point droop at the tail.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Draw one value in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// P(X = k) for diagnostics/tests.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k));
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(100, 1.5);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.pmf(k) >= z.pmf(k + 1));
+        }
+        assert_eq!(z.n(), 100);
+    }
+
+    #[test]
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(50, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = vec![0usize; 51];
+        for _ in 0..n {
+            let v = z.sample(&mut rng) as usize;
+            assert!((1..=50).contains(&v));
+            counts[v] += 1;
+        }
+        // Head frequency close to pmf(1) (≈ 0.38 for s=1.5, n=50).
+        let head = counts[1] as f64 / n as f64;
+        assert!((head - z.pmf(1)).abs() < 0.01, "head {head} vs {}", z.pmf(1));
+        // Monotone-ish: 1 is the most common value.
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn shape_controls_skew() {
+        let flat = Zipf::new(100, 0.5);
+        let steep = Zipf::new(100, 2.5);
+        assert!(steep.pmf(1) > flat.pmf(1));
+        assert!(steep.pmf(100) < flat.pmf(100));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let z = Zipf::new(100, 1.5);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

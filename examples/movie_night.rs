@@ -1,0 +1,77 @@
+//! A fuller tour on the synthetic IMDB-like dataset: run one of the 33
+//! disjunctive JOB-style query groups under every planner and compare.
+//!
+//! Run with: `cargo run --release --example movie_night [-- <group 1..33>]`
+
+use basilisk::{factor_common_conjuncts, Catalog, PlannerKind, QuerySession, Result};
+use basilisk_workload::{generate_imdb, job_query, ImdbConfig};
+
+fn main() -> Result<()> {
+    let group: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20); // the paper's superhero group
+
+    println!("generating IMDB-like data (scale 0.2)…");
+    let mut catalog = Catalog::new();
+    for t in generate_imdb(&ImdbConfig {
+        scale: 0.2,
+        seed: 42,
+    })? {
+        catalog.add_table(t)?;
+    }
+
+    let jq = job_query(group, 42);
+    println!("\n== {} ==", jq.label);
+    println!(
+        "predicate: {}\n",
+        jq.query.predicate.as_ref().unwrap()
+    );
+
+    // The disjunctive (OR-rooted) form: BDisj vs the tagged planners.
+    let session = QuerySession::new(&catalog, jq.query.clone())?;
+    println!("{:>11} {:>12} {:>12} {:>8}", "planner", "plan(µs)", "exec(ms)", "rows");
+    for kind in [
+        PlannerKind::BDisj,
+        PlannerKind::TPushdown,
+        PlannerKind::TPullup,
+        PlannerKind::TIterPush,
+        PlannerKind::TCombined,
+    ] {
+        let (out, t) = session.run(kind)?;
+        println!(
+            "{:>11} {:>12.0} {:>12.2} {:>8}",
+            kind.name(),
+            t.planning.as_secs_f64() * 1e6,
+            t.execution.as_secs_f64() * 1e3,
+            out.count()
+        );
+    }
+
+    // The factored (AND-rooted) form the paper uses for BPushConj.
+    let mut factored = jq.query.clone();
+    factored.predicate = Some(factor_common_conjuncts(
+        jq.query.predicate.as_ref().unwrap(),
+    ));
+    println!(
+        "\nfactored predicate: {}\n",
+        factored.predicate.as_ref().unwrap()
+    );
+    let session = QuerySession::new(&catalog, factored)?;
+    for kind in [PlannerKind::BPushConj, PlannerKind::TPushConj, PlannerKind::TCombined] {
+        let (out, t) = session.run(kind)?;
+        println!(
+            "{:>11} {:>12.0} {:>12.2} {:>8}",
+            kind.name(),
+            t.planning.as_secs_f64() * 1e6,
+            t.execution.as_secs_f64() * 1e3,
+            out.count()
+        );
+    }
+
+    println!("\nchosen tagged plan:\n{}", {
+        let plan = session.plan(PlannerKind::TCombined)?;
+        session.explain(&plan)
+    });
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! A tiny interactive SQL shell over the synthetic IMDB-like dataset.
+//!
+//! Run with: `cargo run --release --example sql_shell`
+//!
+//! Commands:
+//!   <SELECT …>;          run a query (terminate with `;`)
+//!   \explain <SELECT …>; show tagged + BDisj plans
+//!   \planner <name>      switch default planner (TCombined, BDisj, …)
+//!   \tables              list tables
+//!   \q                   quit
+//!
+//! Piped input works too:
+//!   echo "SELECT * FROM kind_type kt WHERE kt.id < 3;" | cargo run --example sql_shell
+
+use std::io::{BufRead, Write};
+
+use basilisk::{Database, PlannerKind, Result};
+use basilisk_workload::{generate_imdb, ImdbConfig};
+
+fn planner_by_name(name: &str) -> Option<PlannerKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "tpushdown" => PlannerKind::TPushdown,
+        "tpullup" => PlannerKind::TPullup,
+        "tpullupjoin" => PlannerKind::TPullupJoin,
+        "titerpush" => PlannerKind::TIterPush,
+        "tpushconj" => PlannerKind::TPushConj,
+        "tcombined" => PlannerKind::TCombined,
+        "bdisj" => PlannerKind::BDisj,
+        "bpushconj" => PlannerKind::BPushConj,
+        _ => return None,
+    })
+}
+
+fn main() -> Result<()> {
+    eprintln!("loading synthetic IMDB-like dataset (scale 0.1)…");
+    let mut db = Database::new();
+    for t in generate_imdb(&ImdbConfig {
+        scale: 0.1,
+        seed: 42,
+    })? {
+        db.register(t)?;
+    }
+    eprintln!(
+        "tables: {}\n",
+        db.catalog().table_names().join(", ")
+    );
+    eprintln!("basilisk sql shell — end queries with `;`, \\q to quit");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let mut planner = PlannerKind::TCombined;
+    loop {
+        if buffer.is_empty() {
+            eprint!("basilisk> ");
+        } else {
+            eprint!("      ... ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "\\q" | "\\quit" | "exit" => break,
+                "\\tables" => {
+                    for name in db.catalog().table_names() {
+                        let t = db.catalog().table(name)?;
+                        println!(
+                            "  {name} ({} rows): {}",
+                            t.num_rows(),
+                            t.column_names().join(", ")
+                        );
+                    }
+                    continue;
+                }
+                t if t.starts_with("\\planner") => {
+                    match t.split_whitespace().nth(1).and_then(planner_by_name) {
+                        Some(k) => {
+                            planner = k;
+                            println!("planner set to {k}");
+                        }
+                        None => println!(
+                            "usage: \\planner <TPushdown|TPullup|TIterPush|TPushConj|TCombined|BDisj|BPushConj>"
+                        ),
+                    }
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').trim().to_string();
+        buffer.clear();
+
+        if let Some(rest) = stmt.strip_prefix("\\explain ") {
+            match db.explain(rest, planner) {
+                Ok(text) => println!("{text}"),
+                Err(e) => println!("error: {e}"),
+            }
+            match db.explain(rest, PlannerKind::BDisj) {
+                Ok(text) => println!("-- vs BDisj --\n{text}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+
+        match db.sql_with(&stmt, planner) {
+            Ok(result) => {
+                print!("{}", result.to_table_string(25));
+                println!(
+                    "[{} | plan {:.1}µs | exec {:.2}ms]\n",
+                    result
+                        .chosen
+                        .map(|k| k.name())
+                        .unwrap_or(result.planner.name()),
+                    result.timings.planning.as_secs_f64() * 1e6,
+                    result.timings.execution.as_secs_f64() * 1e3
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

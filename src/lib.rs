@@ -1,0 +1,6 @@
+//! Workspace facade for the Basilisk tagged-execution reproduction.
+//!
+//! Re-exports the public API of the [`basilisk`] crate so examples and
+//! integration tests can use a single import root.
+
+pub use basilisk::*;

@@ -1,0 +1,299 @@
+//! The golden property of the reproduction: for random data (including
+//! NULLs) and random disjunctive predicates, **every planner under both
+//! execution models returns exactly the same rows**, and those rows match
+//! a brute-force oracle that evaluates the predicate per joined tuple.
+
+use basilisk::{
+    and, col, not, or, Catalog, ColumnRef, Expr, PlannerKind, Query, QuerySession, Truth,
+    Value,
+};
+use basilisk::{DataType, TableBuilder};
+use proptest::prelude::*;
+
+/// Random data for a two-table join: left(id, x, s) / right(fid, y, s).
+#[derive(Debug, Clone)]
+struct Data {
+    left: Vec<(i64, Option<i64>, &'static str)>,
+    right: Vec<(i64, Option<i64>, &'static str)>,
+}
+
+const WORDS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "man", "godman"];
+
+fn data_strategy() -> impl Strategy<Value = Data> {
+    let left_row = (0..30i64, proptest::option::of(0..20i64), 0..WORDS.len());
+    let right_row = (0..30i64, proptest::option::of(0..20i64), 0..WORDS.len());
+    (
+        proptest::collection::vec(left_row, 1..40),
+        proptest::collection::vec(right_row, 1..40),
+    )
+        .prop_map(|(l, r)| Data {
+            left: l
+                .into_iter()
+                .enumerate()
+                .map(|(i, (_, x, w))| (i as i64 % 12, x, WORDS[w]))
+                .collect(),
+            right: r
+                .into_iter()
+                .map(|(fid, y, w)| (fid % 12, y, WORDS[w]))
+                .collect(),
+        })
+}
+
+/// Random predicates over both tables: comparisons on nullable ints,
+/// LIKEs on strings, combined by AND/OR/NOT up to depth 3.
+fn pred_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..20i64).prop_map(|v| col("l", "x").lt(v)),
+        (0..20i64).prop_map(|v| col("l", "x").gt(v)),
+        (0..20i64).prop_map(|v| col("r", "y").lt(v)),
+        (0..20i64).prop_map(|v| col("r", "y").ge(v)),
+        Just(col("l", "s").like("%man%")),
+        Just(col("r", "s").eq("alpha")),
+        Just(col("l", "x").is_null()),
+        (0..20i64).prop_map(|v| col("r", "y").eq(v)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
+            inner.prop_map(|e| not(e)),
+        ]
+    })
+}
+
+fn build_catalog(data: &Data) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut b = TableBuilder::new("left")
+        .column("id", DataType::Int)
+        .column("x", DataType::Int)
+        .column("s", DataType::Str);
+    for (id, x, s) in &data.left {
+        b.push_row(vec![
+            (*id).into(),
+            x.map(Value::Int).unwrap_or(Value::Null),
+            (*s).into(),
+        ])
+        .unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    let mut b = TableBuilder::new("right")
+        .column("fid", DataType::Int)
+        .column("y", DataType::Int)
+        .column("s", DataType::Str);
+    for (fid, y, s) in &data.right {
+        b.push_row(vec![
+            (*fid).into(),
+            y.map(Value::Int).unwrap_or(Value::Null),
+            (*s).into(),
+        ])
+        .unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    cat
+}
+
+/// Brute-force oracle: nested-loop join + 3VL interpretation of the
+/// predicate per tuple.
+fn oracle(data: &Data, pred: &Expr) -> Vec<(usize, usize)> {
+    fn eval(
+        e: &Expr,
+        l: &(i64, Option<i64>, &'static str),
+        r: &(i64, Option<i64>, &'static str),
+    ) -> Truth {
+        match e {
+            Expr::And(cs) => Truth::all(cs.iter().map(|c| eval(c, l, r))),
+            Expr::Or(cs) => Truth::any(cs.iter().map(|c| eval(c, l, r))),
+            Expr::Not(c) => eval(c, l, r).not(),
+            Expr::Atom(a) => {
+                use basilisk::Atom;
+                match a {
+                    Atom::Cmp { col, op, value } => {
+                        let v: Value = match (col.table.as_str(), col.column.as_str()) {
+                            ("l", "x") => l.1.map(Value::Int).unwrap_or(Value::Null),
+                            ("r", "y") => r.1.map(Value::Int).unwrap_or(Value::Null),
+                            ("l", "s") => Value::from(l.2),
+                            ("r", "s") => Value::from(r.2),
+                            other => panic!("unexpected column {other:?}"),
+                        };
+                        match v.sql_cmp(value) {
+                            None => Truth::Unknown,
+                            Some(ord) => {
+                                use basilisk::CmpOp::*;
+                                use std::cmp::Ordering::*;
+                                Truth::from(match op {
+                                    Eq => ord == Equal,
+                                    Ne => ord != Equal,
+                                    Lt => ord == Less,
+                                    Le => ord != Greater,
+                                    Gt => ord == Greater,
+                                    Ge => ord != Less,
+                                })
+                            }
+                        }
+                    }
+                    Atom::Like { col, pattern, case_insensitive } => {
+                        let s = if col.table == "l" { l.2 } else { r.2 };
+                        Truth::from(basilisk_expr::like_match(
+                            s,
+                            pattern,
+                            *case_insensitive,
+                        ))
+                    }
+                    Atom::IsNull { col } => {
+                        let is_null = if col.table == "l" {
+                            l.1.is_none()
+                        } else {
+                            r.1.is_none()
+                        };
+                        Truth::from(is_null)
+                    }
+                    Atom::InList { .. } => unreachable!("not generated"),
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (i, lrow) in data.left.iter().enumerate() {
+        for (j, rrow) in data.right.iter().enumerate() {
+            if lrow.0 == rrow.0 && eval(pred, lrow, rrow) == Truth::True {
+                out.push((i, j));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every planner × both engines == the brute-force oracle.
+    #[test]
+    fn planners_match_oracle(data in data_strategy(), pred in pred_strategy()) {
+        let catalog = build_catalog(&data);
+        let query = Query::new(vec![
+            ("l".into(), "left".into()),
+            ("r".into(), "right".into()),
+        ])
+        .join(ColumnRef::new("l", "id"), ColumnRef::new("r", "fid"))
+        .filter(pred.clone());
+
+        let expected: Vec<Vec<u32>> = oracle(&data, &pred)
+            .into_iter()
+            .map(|(i, j)| vec![i as u32, j as u32])
+            .collect();
+
+        let session = QuerySession::new(&catalog, query).unwrap();
+        for kind in [
+            PlannerKind::TPushdown,
+            PlannerKind::TCombined,
+            PlannerKind::BDisj,
+            PlannerKind::BPushConj,
+        ] {
+            let out = session.execute(&session.plan(kind).unwrap()).unwrap();
+            prop_assert_eq!(
+                out.canonical_tuples(),
+                expected.clone(),
+                "planner {} diverges from oracle on predicate {}",
+                kind,
+                pred
+            );
+        }
+    }
+
+    /// Single-table queries: same property without the join.
+    #[test]
+    fn single_table_matches_oracle(data in data_strategy(), pred in pred_strategy()) {
+        // Restrict the predicate to the left table by rewriting r.* atoms
+        // onto l.x / l.s.
+        fn localize(e: &Expr) -> Expr {
+            match e {
+                Expr::And(cs) => Expr::And(cs.iter().map(localize).collect()),
+                Expr::Or(cs) => Expr::Or(cs.iter().map(localize).collect()),
+                Expr::Not(c) => not(localize(c)),
+                Expr::Atom(a) => {
+                    use basilisk::Atom;
+                    let fix = |c: &ColumnRef| {
+                        if c.table == "r" {
+                            ColumnRef::new(
+                                "l",
+                                if c.column == "y" { "x" } else { "s" },
+                            )
+                        } else {
+                            c.clone()
+                        }
+                    };
+                    Expr::Atom(match a {
+                        Atom::Cmp { col, op, value } => Atom::Cmp {
+                            col: fix(col),
+                            op: *op,
+                            value: value.clone(),
+                        },
+                        Atom::Like { col, pattern, case_insensitive } => Atom::Like {
+                            col: fix(col),
+                            pattern: pattern.clone(),
+                            case_insensitive: *case_insensitive,
+                        },
+                        Atom::IsNull { col } => Atom::IsNull { col: fix(col) },
+                        Atom::InList { col, values } => Atom::InList {
+                            col: fix(col),
+                            values: values.clone(),
+                        },
+                    })
+                }
+            }
+        }
+        let local = localize(&pred);
+        let catalog = build_catalog(&data);
+        let query = Query::new(vec![("l".into(), "left".into())]).filter(local.clone());
+        let session = QuerySession::new(&catalog, query).unwrap();
+        let reference = session
+            .execute(&session.plan(PlannerKind::BPushConj).unwrap())
+            .unwrap()
+            .canonical_tuples();
+        for kind in [PlannerKind::TPushdown, PlannerKind::TCombined, PlannerKind::BDisj] {
+            let out = session.execute(&session.plan(kind).unwrap()).unwrap();
+            prop_assert_eq!(
+                out.canonical_tuples(),
+                reference.clone(),
+                "planner {} disagrees on {}",
+                kind,
+                local
+            );
+        }
+    }
+
+    /// Factoring common conjuncts never changes results.
+    #[test]
+    fn factoring_preserves_semantics(data in data_strategy(), preds in proptest::collection::vec(pred_strategy(), 2..4)) {
+        // Build OR of clauses sharing a common conjunct.
+        let shared = col("l", "x").lt(10i64);
+        let clauses: Vec<Expr> = preds
+            .iter()
+            .map(|p| and(vec![shared.clone(), p.clone()]))
+            .collect();
+        let dnf = or(clauses);
+        let factored = basilisk::factor_common_conjuncts(&dnf);
+
+        let catalog = build_catalog(&data);
+        let mk = |p: Expr| {
+            Query::new(vec![
+                ("l".into(), "left".into()),
+                ("r".into(), "right".into()),
+            ])
+            .join(ColumnRef::new("l", "id"), ColumnRef::new("r", "fid"))
+            .filter(p)
+        };
+        let s1 = QuerySession::new(&catalog, mk(dnf)).unwrap();
+        let s2 = QuerySession::new(&catalog, mk(factored)).unwrap();
+        let r1 = s1
+            .execute(&s1.plan(PlannerKind::TCombined).unwrap())
+            .unwrap()
+            .canonical_tuples();
+        let r2 = s2
+            .execute(&s2.plan(PlannerKind::TCombined).unwrap())
+            .unwrap()
+            .canonical_tuples();
+        prop_assert_eq!(r1, r2);
+    }
+}

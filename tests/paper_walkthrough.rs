@@ -1,0 +1,149 @@
+//! End-to-end reproduction of the paper's running example: Query 1 over
+//! the exact rows of Examples 1–4, through the public SQL API, under every
+//! planner.
+
+use basilisk::{Database, DataType, PlannerKind, TableBuilder, Value};
+
+fn paper_db() -> Database {
+    let mut db = Database::new();
+    let mut titles = TableBuilder::new("title")
+        .column("title", DataType::Str)
+        .column("year", DataType::Int)
+        .column("id", DataType::Int);
+    for (t, y, id) in [
+        ("The Dark Knight", 2008i64, 1i64),
+        ("Evolution", 2001, 2),
+        ("The Shawshank Redemption", 1994, 3),
+        ("Pulp Fiction", 1994, 4),
+        ("The Godfather", 1972, 5),
+        ("Beetlejuice", 1988, 6),
+        ("Avatar", 2009, 7),
+    ] {
+        titles
+            .push_row(vec![t.into(), y.into(), id.into()])
+            .unwrap();
+    }
+    db.register(titles.finish().unwrap()).unwrap();
+
+    let mut scores = TableBuilder::new("movie_info_idx")
+        .column("score", DataType::Str)
+        .column("movie_id", DataType::Int);
+    for (s, mid) in [
+        ("9.0", 1i64),
+        ("9.3", 3),
+        ("8.9", 4),
+        ("9.2", 5),
+        ("7.5", 6),
+        ("7.9", 7),
+    ] {
+        scores.push_row(vec![s.into(), mid.into()]).unwrap();
+    }
+    db.register(scores.finish().unwrap()).unwrap();
+    db
+}
+
+const QUERY1: &str = "SELECT t.title, mi_idx.score FROM title AS t \
+     JOIN movie_info_idx AS mi_idx ON t.id = mi_idx.movie_id \
+     WHERE (t.year > 2000 AND mi_idx.score > '7.0') \
+        OR (t.year > 1980 AND mi_idx.score > '8.0')";
+
+/// Example 4's expected output: Dark Knight (9.0), Avatar (7.9) from the
+/// first clause; Shawshank (9.3), Pulp Fiction (8.9) from the second.
+fn expected() -> Vec<(String, String)> {
+    let mut v = vec![
+        ("The Dark Knight".to_string(), "9.0".to_string()),
+        ("Avatar".to_string(), "7.9".to_string()),
+        ("The Shawshank Redemption".to_string(), "9.3".to_string()),
+        ("Pulp Fiction".to_string(), "8.9".to_string()),
+    ];
+    v.sort();
+    v
+}
+
+fn result_pairs(db: &Database, kind: PlannerKind) -> Vec<(String, String)> {
+    let r = db.sql_with(QUERY1, kind).unwrap();
+    let titles = &r.columns[0].1;
+    let scores = &r.columns[1].1;
+    let mut out: Vec<(String, String)> = (0..r.row_count)
+        .map(|i| {
+            let t = match titles.value(i) {
+                Value::Str(s) => s,
+                other => panic!("unexpected {other:?}"),
+            };
+            let s = match scores.value(i) {
+                Value::Str(s) => s,
+                other => panic!("unexpected {other:?}"),
+            };
+            (t, s)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn query1_every_planner_reproduces_example4() {
+    let db = paper_db();
+    for kind in [
+        PlannerKind::TPushdown,
+        PlannerKind::TPullup,
+        PlannerKind::TIterPush,
+        PlannerKind::TPushConj,
+        PlannerKind::TCombined,
+        PlannerKind::BDisj,
+        PlannerKind::BPushConj,
+    ] {
+        assert_eq!(result_pairs(&db, kind), expected(), "planner {kind}");
+    }
+}
+
+/// The Godfather (1972, 9.2) fails both clauses — the §2.2 example of a
+/// tuple dropped by the second filter.
+#[test]
+fn godfather_is_excluded() {
+    let db = paper_db();
+    let pairs = result_pairs(&db, PlannerKind::TCombined);
+    assert!(pairs.iter().all(|(t, _)| !t.contains("Godfather")));
+    // Beetlejuice (1988, 7.5): satisfies year>1980 but not score>'8.0',
+    // and not year>2000 — also excluded.
+    assert!(pairs.iter().all(|(t, _)| !t.contains("Beetlejuice")));
+}
+
+/// The pullup example from §4.2: a highly selective score predicate plus
+/// an expensive ILIKE — all planners agree, and TCombined completes.
+#[test]
+fn pullup_scenario_from_section_4_2() {
+    let db = paper_db();
+    let sql = "SELECT t.title FROM title t \
+               JOIN movie_info_idx mi_idx ON t.id = mi_idx.movie_id \
+               WHERE (mi_idx.score = '9.2' OR mi_idx.score = '9.3') \
+                 AND t.title ILIKE '%godfather%'";
+    let mut counts = vec![];
+    for kind in [
+        PlannerKind::TCombined,
+        PlannerKind::TPullup,
+        PlannerKind::BPushConj,
+    ] {
+        counts.push(db.sql_with(sql, kind).unwrap().row_count);
+    }
+    assert_eq!(counts, vec![1, 1, 1], "only The Godfather matches");
+}
+
+/// CNF form of Query 1: `(y>2000 OR s>'8.0') AND (y>1980 OR s>'7.0')` —
+/// the shape BPushConj cannot push at all but tagged execution can.
+#[test]
+fn cnf_variant_agrees() {
+    let db = paper_db();
+    let sql = "SELECT t.id FROM title t \
+               JOIN movie_info_idx mi_idx ON t.id = mi_idx.movie_id \
+               WHERE (t.year > 2000 OR mi_idx.score > '8.0') \
+                 AND (t.year > 1980 OR mi_idx.score > '7.0')";
+    let reference = db.sql_with(sql, PlannerKind::BPushConj).unwrap().row_count;
+    for kind in [
+        PlannerKind::TCombined,
+        PlannerKind::TPushdown,
+        PlannerKind::BDisj,
+    ] {
+        assert_eq!(db.sql_with(sql, kind).unwrap().row_count, reference);
+    }
+}
