@@ -187,7 +187,8 @@ mod tests {
             (6, 1988, "Beetlejuice"),
             (7, 2009, "Avatar"),
         ] {
-            b.push_row(vec![id.into(), year.into(), name.into()]).unwrap();
+            b.push_row(vec![id.into(), year.into(), name.into()])
+                .unwrap();
         }
         db.register(b.finish().unwrap()).unwrap();
         let mut b = TableBuilder::new("movie_info_idx")
@@ -295,9 +296,12 @@ mod tests {
         db.register(b.finish().unwrap()).unwrap();
         // Row 2 has note NULL but satisfies year > 2000: the unknown slice
         // must keep it alive (three-valued tag maps auto-enabled).
-        let sql =
-            "SELECT t.id FROM t WHERE t.note LIKE '%co%' OR t.year > 2000";
-        for kind in [PlannerKind::TCombined, PlannerKind::TPushdown, PlannerKind::BDisj] {
+        let sql = "SELECT t.id FROM t WHERE t.note LIKE '%co%' OR t.year > 2000";
+        for kind in [
+            PlannerKind::TCombined,
+            PlannerKind::TPushdown,
+            PlannerKind::BDisj,
+        ] {
             let r = db.sql_with(sql, kind).unwrap();
             assert_eq!(r.row_count, 3, "rows 1,2,4 under {kind}");
         }
@@ -308,9 +312,7 @@ mod tests {
         let db = movie_db();
         assert!(db.sql("SELECT * FROM nope").is_err());
         assert!(db.sql("SELECT broken").is_err());
-        assert!(db
-            .sql("SELECT * FROM title t WHERE t.zz > 1")
-            .is_err());
+        assert!(db.sql("SELECT * FROM title t WHERE t.zz > 1").is_err());
         let mut db2 = movie_db();
         let mut b = TableBuilder::new("title").column("id", DataType::Int);
         b.push_row(vec![1i64.into()]).unwrap();

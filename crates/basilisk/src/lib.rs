@@ -43,8 +43,7 @@ pub use result::SqlResult;
 pub use basilisk_catalog::{Catalog, Estimator};
 pub use basilisk_core::{Tag, TagMapBuilder, TagMapStrategy};
 pub use basilisk_expr::{
-    and, col, factor_common_conjuncts, lit, not, or, Atom, CmpOp, ColumnRef, Expr,
-    PredicateTree,
+    and, col, factor_common_conjuncts, lit, not, or, Atom, CmpOp, ColumnRef, Expr, PredicateTree,
 };
 pub use basilisk_plan::{
     JoinCond, Plan, PlanTimings, PlannerKind, Query, QueryOutput, QuerySession,

@@ -93,10 +93,7 @@ mod tests {
     fn sample() -> SqlResult {
         SqlResult {
             columns: vec![
-                (
-                    ColumnRef::new("t", "id"),
-                    Column::from_ints(vec![1, 2, 3]),
-                ),
+                (ColumnRef::new("t", "id"), Column::from_ints(vec![1, 2, 3])),
                 (
                     ColumnRef::new("t", "name"),
                     Column::from_strs(&["a", "longer name", "c"]),

@@ -1,0 +1,126 @@
+//! Scalar vs vectorized predicate evaluation.
+//!
+//! Measures the two evaluation paths of `basilisk_expr::eval` on a wide
+//! (6-arm) disjunction over 64k rows at several selectivities:
+//!
+//! * `scalar` — the reference `eval_node` path: one `Vec<Truth>` per node,
+//!   per-element Kleene combines.
+//! * `vectorized` — the `eval_node_mask` path: `TruthMask` atoms plus
+//!   word-parallel connective combines (the path every engine operator
+//!   uses).
+//! * `vectorized_sparse` — the same mask path under a ~6% selection
+//!   bitmap, the tagged-filter shape (evaluate only the union of slices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use basilisk_expr::eval::{eval_node, eval_node_mask, MapProvider};
+use basilisk_expr::{and, col, or, ColumnRef, Expr, PredicateTree};
+use basilisk_storage::Column;
+use basilisk_types::Bitmap;
+
+const ROWS: usize = 65_536;
+
+/// Deterministic pseudo-random ints in [0, 1000).
+fn column(seed: u64) -> Column {
+    let mut state = seed;
+    Column::from_ints(
+        (0..ROWS)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % 1000) as i64
+            })
+            .collect(),
+    )
+}
+
+fn provider() -> MapProvider {
+    MapProvider::new(ROWS)
+        .with(ColumnRef::new("t", "a"), column(1))
+        .with(ColumnRef::new("t", "b"), column(2))
+        .with(ColumnRef::new("t", "c"), column(3))
+}
+
+/// A 6-arm disjunction of conjunctions over three columns; `t` sweeps the
+/// per-atom selectivity.
+fn wide_disjunction(t: i64) -> Expr {
+    or(vec![
+        and(vec![col("t", "a").lt(t), col("t", "b").lt(t)]),
+        and(vec![col("t", "b").lt(t), col("t", "c").lt(t)]),
+        and(vec![col("t", "a").ge(1000 - t), col("t", "c").lt(t)]),
+        and(vec![col("t", "c").ge(1000 - t), col("t", "a").lt(t)]),
+        and(vec![col("t", "b").ge(1000 - t), col("t", "c").ge(1000 - t)]),
+        and(vec![col("t", "a").lt(t), col("t", "c").ge(1000 - t)]),
+    ])
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let prov = provider();
+    let mut group = c.benchmark_group("eval_disjunction_64k");
+    group.sample_size(30);
+    for pct in [10i64, 50, 90] {
+        let tree = PredicateTree::build(&wide_disjunction(pct * 10));
+        let root = tree.root();
+        let full = Bitmap::all_set(ROWS);
+
+        group.bench_with_input(BenchmarkId::new("scalar", pct), &pct, |b, _| {
+            b.iter(|| eval_node(&tree, root, &prov).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("vectorized", pct), &pct, |b, _| {
+            b.iter(|| eval_node_mask(&tree, root, &prov, &full).unwrap())
+        });
+
+        // The tagged-filter shape: evaluate only a sparse union of slices.
+        let sparse = Bitmap::from_indices(ROWS, (0..ROWS).filter(|i| i % 16 == 0));
+        group.bench_with_input(BenchmarkId::new("vectorized_sparse", pct), &pct, |b, _| {
+            b.iter(|| eval_node_mask(&tree, root, &prov, &sparse).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_connectives_only(c: &mut Criterion) {
+    // Isolate connective combining from atom evaluation: pre-evaluate the
+    // atoms once, then compare per-element OR-folding of Vec<Truth>
+    // against word-parallel TruthMask::or_with.
+    use basilisk_types::{Truth, TruthMask};
+    let prov = provider();
+    let tree = PredicateTree::build(&wide_disjunction(500));
+    let atoms = tree.atom_ids();
+    let scalar_vecs: Vec<Vec<Truth>> = atoms
+        .iter()
+        .map(|&id| eval_node(&tree, id, &prov).unwrap())
+        .collect();
+    let masks: Vec<TruthMask> = scalar_vecs
+        .iter()
+        .map(|v| TruthMask::from_truths(v))
+        .collect();
+
+    let mut group = c.benchmark_group("or_fold_atoms_64k");
+    group.sample_size(30);
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut acc = scalar_vecs[0].clone();
+            for v in &scalar_vecs[1..] {
+                for (a, &x) in acc.iter_mut().zip(v) {
+                    *a = a.or(x);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("vectorized", |b| {
+        b.iter(|| {
+            let mut acc = masks[0].clone();
+            for m in &masks[1..] {
+                acc.or_with(m);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_connectives_only);
+criterion_main!(benches);

@@ -50,7 +50,11 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             // crude skew: 75% of accesses to 8 hot pages
-            let page_no = if i % 4 != 0 { (i % 8) as u32 } else { (i % 512) as u32 };
+            let page_no = if !i.is_multiple_of(4) {
+                (i % 8) as u32
+            } else {
+                (i % 512) as u32
+            };
             cache
                 .get_or_load::<Infallible>(
                     PageKey {

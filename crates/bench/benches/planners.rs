@@ -31,11 +31,9 @@ fn bench_synthetic_planning(c: &mut Criterion) {
             PlannerKind::TCombined,
             PlannerKind::BDisj,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), clauses),
-                &clauses,
-                |b, _| b.iter(|| session.plan(kind).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), clauses), &clauses, |b, _| {
+                b.iter(|| session.plan(kind).unwrap())
+            });
         }
     }
     group.finish();
@@ -55,7 +53,11 @@ fn bench_job_planning(c: &mut Criterion) {
     let session = QuerySession::new(&catalog, q.query.clone()).unwrap();
     let mut group = c.benchmark_group("plan_job_group20");
     group.sample_size(20);
-    for kind in [PlannerKind::TCombined, PlannerKind::BDisj, PlannerKind::BPushConj] {
+    for kind in [
+        PlannerKind::TCombined,
+        PlannerKind::BDisj,
+        PlannerKind::BPushConj,
+    ] {
         group.bench_function(kind.name(), |b| b.iter(|| session.plan(kind).unwrap()));
     }
     group.finish();

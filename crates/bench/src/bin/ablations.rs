@@ -132,8 +132,7 @@ fn ablation_disk(tables: &[Table], reps: usize) {
         let cache = Arc::new(LfuPageCache::new(cache_pages));
         let mut disk_catalog = Catalog::new();
         for t in tables {
-            let loaded =
-                Table::load(&dir.join(t.name()), Arc::clone(&cache)).expect("load");
+            let loaded = Table::load(&dir.join(t.name()), Arc::clone(&cache)).expect("load");
             disk_catalog.add_table(loaded).expect("register");
         }
         let disk = measure(&disk_catalog, &q, PlannerKind::TCombined, reps).expect("disk");

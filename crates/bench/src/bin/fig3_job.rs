@@ -106,9 +106,7 @@ fn panel_bcd(catalog: &Catalog, queries: &[JobQuery], reps: usize, panel: Panel)
     for q in queries {
         // The factored, AND-rooted form (the §5.1 rewrite for BPushConj).
         let mut query = q.query.clone();
-        query.predicate = Some(factor_common_conjuncts(
-            query.predicate.as_ref().unwrap(),
-        ));
+        query.predicate = Some(factor_common_conjuncts(query.predicate.as_ref().unwrap()));
         let b = measure(catalog, &query, PlannerKind::BPushConj, reps).expect("BPushConj");
         let t: Measurement = match panel {
             Panel::B => measure(catalog, &query, PlannerKind::TCombined, reps).unwrap(),

@@ -73,9 +73,7 @@ fn panel_a(rows: usize, reps: usize, seed: u64) {
         "{:>5} {:>6} {:>12} {:>12} {:>9} {:>10}",
         "form", "sel", "base(s)", "TComb(s)", "speedup", "rows"
     );
-    for &(form, baseline) in
-        &[("DNF", PlannerKind::BDisj), ("CNF", PlannerKind::BPushConj)]
-    {
+    for &(form, baseline) in &[("DNF", PlannerKind::BDisj), ("CNF", PlannerKind::BPushConj)] {
         for sel10 in (1..=9).step_by(2) {
             let sel = sel10 as f64 / 10.0;
             let q = if form == "DNF" {
@@ -105,9 +103,7 @@ fn panel_b(reps: usize, seed: u64, max_rows: usize) {
             continue;
         }
         let catalog = build_catalog(n, seed);
-        for &(form, baseline) in
-            &[("CNF", PlannerKind::BPushConj), ("DNF", PlannerKind::BDisj)]
-        {
+        for &(form, baseline) in &[("CNF", PlannerKind::BPushConj), ("DNF", PlannerKind::BDisj)] {
             let q = if form == "DNF" {
                 dnf_query(2, 0.2, None)
             } else {
@@ -129,9 +125,7 @@ fn panel_c(rows: usize, reps: usize, seed: u64) {
         "{:>5} {:>8} {:>12} {:>14} {:>13} {:>9}",
         "form", "clauses", "base(s)", "TComb-total(s)", "TComb-exec(s)", "speedup"
     );
-    for &(form, baseline) in
-        &[("DNF", PlannerKind::BDisj), ("CNF", PlannerKind::BPushConj)]
-    {
+    for &(form, baseline) in &[("DNF", PlannerKind::BDisj), ("CNF", PlannerKind::BPushConj)] {
         for clauses in 2..=7 {
             let q = if form == "DNF" {
                 dnf_query(clauses, 0.2, None)
@@ -161,9 +155,7 @@ fn panel_d(rows: usize, reps: usize, seed: u64) {
         "{:>5} {:>7} {:>12} {:>12} {:>9} {:>10}",
         "form", "factor", "base(s)", "TComb(s)", "speedup", "rows_out"
     );
-    for &(form, baseline) in
-        &[("CNF", PlannerKind::BPushConj), ("DNF", PlannerKind::BDisj)]
-    {
+    for &(form, baseline) in &[("CNF", PlannerKind::BPushConj), ("DNF", PlannerKind::BDisj)] {
         for f10 in 1..=10 {
             let f = f10 as f64 / 10.0;
             let q = if form == "DNF" {

@@ -69,18 +69,20 @@ impl Estimator {
     /// Fraction of NULLs in a column (0 when fully valid).
     pub fn null_frac(&self, col: &ColumnRef) -> Result<f64> {
         let info = self.alias(&col.table)?;
-        let stats = info.stats.column(&col.column).ok_or_else(|| {
-            BasiliskError::Plan(format!("no statistics for column {col}"))
-        })?;
+        let stats = info
+            .stats
+            .column(&col.column)
+            .ok_or_else(|| BasiliskError::Plan(format!("no statistics for column {col}")))?;
         Ok(stats.null_frac)
     }
 
     /// Distinct-value count of a column (non-null), at least 1.
     pub fn ndv(&self, col: &ColumnRef) -> Result<f64> {
         let info = self.alias(&col.table)?;
-        let stats = info.stats.column(&col.column).ok_or_else(|| {
-            BasiliskError::Plan(format!("no statistics for column {col}"))
-        })?;
+        let stats = info
+            .stats
+            .column(&col.column)
+            .ok_or_else(|| BasiliskError::Plan(format!("no statistics for column {col}")))?;
         Ok(stats.ndv.max(1.0))
     }
 
@@ -193,10 +195,7 @@ mod tests {
 
         let est = Estimator::new(
             &cat,
-            &[
-                ("t".into(), "title".into()),
-                ("s".into(), "scores".into()),
-            ],
+            &[("t".into(), "title".into()), ("s".into(), "scores".into())],
         )
         .unwrap();
         (cat, est)
@@ -218,9 +217,7 @@ mod tests {
     fn measured_atom_selectivity() {
         let (_c, est) = setup();
         let tree = PredicateTree::build(&col("t", "year").gt(2000i64));
-        let s = est
-            .node_selectivity(&tree, tree.root())
-            .unwrap();
+        let s = est.node_selectivity(&tree, tree.root()).unwrap();
         assert!((s - 0.49).abs() < 1e-9, "measured {s}");
         // cached path
         let s2 = est.node_selectivity(&tree, tree.root()).unwrap();
@@ -231,12 +228,18 @@ mod tests {
     fn independence_combinations() {
         let (_c, est) = setup();
         // year > 2000 (0.49) AND score < 0.5 (0.5 on s)
-        let e = and(vec![col("t", "year").gt(2000i64), col("s", "score").lt(0.5)]);
+        let e = and(vec![
+            col("t", "year").gt(2000i64),
+            col("s", "score").lt(0.5),
+        ]);
         let tree = PredicateTree::build(&e);
         let s = est.node_selectivity(&tree, tree.root()).unwrap();
         assert!((s - 0.49 * 0.5).abs() < 1e-9);
 
-        let e = or(vec![col("t", "year").gt(2000i64), col("s", "score").lt(0.5)]);
+        let e = or(vec![
+            col("t", "year").gt(2000i64),
+            col("s", "score").lt(0.5),
+        ]);
         let tree = PredicateTree::build(&e);
         let s = est.node_selectivity(&tree, tree.root()).unwrap();
         assert!((s - (1.0 - 0.51 * 0.5)).abs() < 1e-9);
@@ -280,10 +283,7 @@ mod tests {
         let (cat, _) = setup();
         let r = Estimator::new(
             &cat,
-            &[
-                ("t".into(), "title".into()),
-                ("t".into(), "scores".into()),
-            ],
+            &[("t".into(), "title".into()), ("t".into(), "scores".into())],
         );
         assert!(r.is_err());
     }

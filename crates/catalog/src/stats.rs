@@ -54,31 +54,25 @@ fn column_stats(col: &Column) -> ColumnStats {
             let mut set = std::collections::HashSet::with_capacity(v.len().min(1 << 16));
             let mut min = None;
             let mut max = None;
-            for i in 0..n {
+            for (i, &x) in v.iter().enumerate() {
                 if !col.is_valid(i) {
                     continue;
                 }
-                let x = v[i];
                 set.insert(x);
                 min = Some(min.map_or(x, |m: i64| m.min(x)));
                 max = Some(max.map_or(x, |m: i64| m.max(x)));
             }
-            (
-                set.len() as f64,
-                min.map(Value::Int),
-                max.map(Value::Int),
-            )
+            (set.len() as f64, min.map(Value::Int), max.map(Value::Int))
         }
         ColumnData::Float(v) => {
             let mut set = std::collections::HashSet::with_capacity(v.len().min(1 << 16));
             let mut min = f64::INFINITY;
             let mut max = f64::NEG_INFINITY;
             let mut any = false;
-            for i in 0..n {
+            for (i, &x) in v.iter().enumerate() {
                 if !col.is_valid(i) {
                     continue;
                 }
-                let x = v[i];
                 set.insert(x.to_bits());
                 min = min.min(x);
                 max = max.max(x);
@@ -112,9 +106,9 @@ fn column_stats(col: &Column) -> ColumnStats {
         ColumnData::Bool(v) => {
             let mut has_t = false;
             let mut has_f = false;
-            for i in 0..n {
+            for (i, &x) in v.iter().enumerate() {
                 if col.is_valid(i) {
-                    if v[i] {
+                    if x {
                         has_t = true;
                     } else {
                         has_f = true;

@@ -63,11 +63,7 @@ pub fn generalize_tag_closed(
 /// slice belongs to the final result; `Some(False)`/`Some(Unknown)` means
 /// none does (Precept 1 + §3.4); `None` means undetermined — more filters
 /// are needed.
-pub fn root_truth(
-    tree: &PredicateTree,
-    closure: Option<&Closure<'_>>,
-    tag: &Tag,
-) -> Option<Truth> {
+pub fn root_truth(tree: &PredicateTree, closure: Option<&Closure<'_>>, tag: &Tag) -> Option<Truth> {
     let mut asg = tag.to_map();
     if let Some(c) = closure {
         if !c.close(&mut asg) {
@@ -95,9 +91,10 @@ fn propagate(tree: &PredicateTree, asg: &mut BTreeMap<ExprId, Truth>) {
                     if value == Truth::True {
                         // (b) true short-circuits OR.
                         Some(Truth::True)
-                    } else if children.iter().all(|c| {
-                        matches!(asg.get(c), Some(Truth::False) | Some(Truth::Unknown))
-                    }) {
+                    } else if children
+                        .iter()
+                        .all(|c| matches!(asg.get(c), Some(Truth::False) | Some(Truth::Unknown)))
+                    {
                         // (d) all children false/unknown: 3VL OR-fold.
                         Some(Truth::any(children.iter().map(|c| asg[c])))
                     } else {
@@ -108,9 +105,10 @@ fn propagate(tree: &PredicateTree, asg: &mut BTreeMap<ExprId, Truth>) {
                     if value == Truth::False {
                         // (c) false short-circuits AND.
                         Some(Truth::False)
-                    } else if children.iter().all(|c| {
-                        matches!(asg.get(c), Some(Truth::True) | Some(Truth::Unknown))
-                    }) {
+                    } else if children
+                        .iter()
+                        .all(|c| matches!(asg.get(c), Some(Truth::True) | Some(Truth::Unknown)))
+                    {
                         // (e) all children true/unknown: 3VL AND-fold.
                         Some(Truth::all(children.iter().map(|c| asg[c])))
                     } else {
@@ -189,16 +187,8 @@ mod tests {
         let p3 = find("mi_idx.score > '8.0'");
         let p4 = find("mi_idx.score > '7.0'");
         // a1 = P1 ∧ P4, a2 = P2 ∧ P3
-        let a1 = *tree
-            .parents(p1)
-            .iter()
-            .find(|&&p| tree.is_and(p))
-            .unwrap();
-        let a2 = *tree
-            .parents(p2)
-            .iter()
-            .find(|&&p| tree.is_and(p))
-            .unwrap();
+        let a1 = *tree.parents(p1).iter().find(|&&p| tree.is_and(p)).unwrap();
+        let a2 = *tree.parents(p2).iter().find(|&&p| tree.is_and(p)).unwrap();
         (tree, [p1, p2, p3, p4], [a1, a2])
     }
 
@@ -206,11 +196,7 @@ mod tests {
     #[test]
     fn figure2_walkthrough() {
         let (tree, [p1, p2, p3, _p4], _) = query1();
-        let tag = Tag::from_pairs([
-            (p1, Truth::False),
-            (p2, Truth::True),
-            (p3, Truth::True),
-        ]);
+        let tag = Tag::from_pairs([(p1, Truth::False), (p2, Truth::True), (p3, Truth::True)]);
         let g = generalize_tag(&tree, &tag);
         assert_eq!(g, Tag::from_pairs([(tree.root(), Truth::True)]));
     }
@@ -280,11 +266,7 @@ mod tests {
                 .find(|&id| tree.display(id) == "mi_idx.score > '8.0'")
                 .unwrap()
         };
-        let tag = Tag::from_pairs([
-            (p1, Truth::False),
-            (p2, Truth::Unknown),
-            (p3, Truth::True),
-        ]);
+        let tag = Tag::from_pairs([(p1, Truth::False), (p2, Truth::Unknown), (p3, Truth::True)]);
         let g = generalize_tag(&tree, &tag);
         // A1=F (c); A2 = U∧T = U (e); root = F∨U = U (d).
         assert_eq!(g, Tag::from_pairs([(tree.root(), Truth::Unknown)]));
@@ -294,10 +276,7 @@ mod tests {
     /// NOT propagation (condition (a)) with negation of the value.
     #[test]
     fn not_propagation() {
-        let e = and(vec![
-            not(col("t", "x").is_null()),
-            col("t", "y").gt(1i64),
-        ]);
+        let e = and(vec![not(col("t", "x").is_null()), col("t", "y").gt(1i64)]);
         let tree = PredicateTree::build(&e);
         let isnull = tree
             .atom_ids()

@@ -1,12 +1,10 @@
 //! The tagged operators (§2.2–§2.5).
 
-use std::collections::HashMap;
-
-use basilisk_exec::{combine, project, IdxRelation, RelProvider, TableSet};
-use basilisk_expr::eval::eval_node;
+use basilisk_exec::{combine, project, FxHashMap, IdxRelation, JoinTable, RelProvider, TableSet};
+use basilisk_expr::eval::eval_node_mask;
 use basilisk_expr::{ColumnRef, PredicateTree};
 use basilisk_storage::Column;
-use basilisk_types::{BasiliskError, Bitmap, Result, Truth};
+use basilisk_types::{BasiliskError, Bitmap, Result};
 
 use crate::relation::TaggedRelation;
 use crate::tagmap::{FilterTagMap, JoinTagMap, ProjectionTags};
@@ -16,10 +14,15 @@ use crate::tagmap::{FilterTagMap, JoinTagMap, ProjectionTags};
 /// * The predicate is evaluated **once** over the union of all matched
 ///   slices' bitmaps ("fewer I/O calls to read the underlying data values
 ///   than evaluating the predicate expression separately for each
-///   relational slice").
+///   relational slice") — directly over the base relation under the union
+///   selection bitmap. No sub-relation is materialized and no tuples are
+///   moved; the union bitmap *is* the selection vector.
 /// * The index relation is **not** modified; only the tag → bitmap map
 ///   changes ("even tuples which no longer belong to any relational slice
 ///   remain in the relation").
+/// * Each evaluated slice's tuples are routed to its pos/neg/unk outputs
+///   with three word-parallel bitmap intersections against the result
+///   [`TruthMask`](basilisk_types::TruthMask).
 /// * Slices without a matching entry pass through untouched; entries whose
 ///   every output was pruned drop their slice without evaluation.
 pub fn tagged_filter(
@@ -50,42 +53,21 @@ pub fn tagged_filter(
     }
 
     if !union.is_zero() {
-        // Evaluate once over the union.
-        let positions = union.to_indices();
-        let sub = relation.select(&positions);
-        let provider = RelProvider::new(tables, &sub);
-        let truths = eval_node(tree, map.node, &provider)?;
-
-        // Dense position → union-index lookup.
-        let mut pos_index = vec![u32::MAX; n];
-        for (j, &p) in positions.iter().enumerate() {
-            pos_index[p as usize] = j as u32;
-        }
+        // Evaluate once over the union, straight off the base relation.
+        let provider = RelProvider::new(tables, &relation);
+        let mask = eval_node_mask(tree, map.node, &provider, &union)?;
 
         for (slice_idx, entry) in evaluated {
             let (_, bitmap) = &input.slices()[slice_idx];
-            let mut pos_bm = entry.pos.as_ref().map(|_| Bitmap::new(n));
-            let mut neg_bm = entry.neg.as_ref().map(|_| Bitmap::new(n));
-            let mut unk_bm = entry.unk.as_ref().map(|_| Bitmap::new(n));
-            for p in bitmap.iter_ones() {
-                let t = truths[pos_index[p] as usize];
-                let target = match t {
-                    Truth::True => &mut pos_bm,
-                    Truth::False => &mut neg_bm,
-                    Truth::Unknown => &mut unk_bm,
-                };
-                if let Some(bm) = target {
-                    bm.set(p);
-                }
+            let (pos_bm, neg_bm, unk_bm) = mask.split_under(bitmap);
+            if let Some(tag) = &entry.pos {
+                out_slices.push((tag.clone(), pos_bm));
             }
-            if let (Some(tag), Some(bm)) = (&entry.pos, pos_bm) {
-                out_slices.push((tag.clone(), bm));
+            if let Some(tag) = &entry.neg {
+                out_slices.push((tag.clone(), neg_bm));
             }
-            if let (Some(tag), Some(bm)) = (&entry.neg, neg_bm) {
-                out_slices.push((tag.clone(), bm));
-            }
-            if let (Some(tag), Some(bm)) = (&entry.unk, unk_bm) {
-                out_slices.push((tag.clone(), bm));
+            if let Some(tag) = &entry.unk {
+                out_slices.push((tag.clone(), unk_bm));
             }
         }
     }
@@ -117,13 +99,13 @@ pub fn tagged_join(
 
     // Resolve tag-map entries to slice indices (entries naming tags whose
     // slices are empty/absent are simply unreachable).
-    let left_slot: HashMap<&crate::Tag, u16> = left
+    let left_slot: FxHashMap<&crate::Tag, u16> = left
         .slices()
         .iter()
         .enumerate()
         .map(|(i, (t, _))| (t, i as u16))
         .collect();
-    let right_slot: HashMap<&crate::Tag, u16> = right
+    let right_slot: FxHashMap<&crate::Tag, u16> = right
         .slices()
         .iter()
         .enumerate()
@@ -131,7 +113,7 @@ pub fn tagged_join(
         .collect();
 
     let mut out_tags: Vec<crate::Tag> = Vec::new();
-    let mut pair_to_out: HashMap<(u16, u16), u16> = HashMap::new();
+    let mut pair_to_out: FxHashMap<(u16, u16), u16> = FxHashMap::default();
     for e in &map.entries {
         let (Some(&ls), Some(&rs)) = (left_slot.get(&e.left), right_slot.get(&e.right)) else {
             continue;
@@ -163,14 +145,10 @@ pub fn tagged_join(
     let left_keys = gather_keys(tables, left.relation(), left_key, &left_positions)?;
     let right_keys = gather_keys(tables, right.relation(), right_key, &right_positions)?;
 
-    // One shared hash table over all participating left slices.
-    let mut table: HashMap<basilisk_types::Value, Vec<u32>> =
-        HashMap::with_capacity(left_positions.len());
-    for (j, &pos) in left_positions.iter().enumerate() {
-        if let Some(k) = basilisk_exec::join_key(&left_keys, j) {
-            table.entry(k).or_default().push(pos);
-        }
-    }
+    // One shared hash table over all participating left slices (§2.5.3's
+    // "one giant hash table"), CSR layout keyed with FxHash: probing a key
+    // yields a contiguous slice of left positions, no per-key Vec allocs.
+    let table = JoinTable::build(&left_keys, |j| left_positions[j]);
 
     let mut left_sel: Vec<u32> = Vec::new();
     let mut right_sel: Vec<u32> = Vec::new();
@@ -179,9 +157,10 @@ pub fn tagged_join(
         let Some(k) = basilisk_exec::join_key(&right_keys, j) else {
             continue;
         };
-        let Some(matches) = table.get(&k) else {
+        let matches = table.probe(&k);
+        if matches.is_empty() {
             continue;
-        };
+        }
         let rs = right_membership[rpos as usize].expect("participating tuple has a slice");
         for &lpos in matches {
             let ls = left_membership[lpos as usize].expect("participating tuple has a slice");
@@ -217,10 +196,11 @@ fn gather_keys(
 }
 
 /// Final tag-based selection before projection (§2.4): keep only tuples in
-/// slices the projection admits.
+/// slices the projection admits, gathering straight off the union bitmap
+/// (no intermediate index vector).
 pub fn tagged_select_final(rel: &TaggedRelation, allowed: &ProjectionTags) -> IdxRelation {
     let union = rel.union_of(&allowed.allowed);
-    rel.relation().select(&union.to_indices())
+    rel.relation().select_bitmap(&union)
 }
 
 /// Tag-filtered projection: materialize `columns` for admitted tuples.
@@ -416,7 +396,10 @@ mod tests {
             &ts,
             &joined,
             &proj,
-            &[ColumnRef::new("t", "title"), ColumnRef::new("mi_idx", "score")],
+            &[
+                ColumnRef::new("t", "title"),
+                ColumnRef::new("mi_idx", "score"),
+            ],
         )
         .unwrap();
         assert_eq!(cols[0].1.len(), 4);
@@ -453,9 +436,9 @@ mod tests {
 
         let m2 = b.filter_map(p2, &tags1);
         // Only the {A1=F} slice has an entry; the pos slice passes through.
-        assert_eq!(m2.entries.len(), 1);
+        assert_eq!(m2.entries().len(), 1);
         let after2 = tagged_filter(&ts, &after1, &tree, &m2).unwrap();
-        let pos_tag = m1.entries[0].pos.as_ref().unwrap();
+        let pos_tag = m1.entries()[0].pos.as_ref().unwrap();
         assert_eq!(
             after2.slice(pos_tag),
             after1.slice(pos_tag),
@@ -470,15 +453,15 @@ mod tests {
         let tree = PredicateTree::build(&col("t", "year").gt(2000i64));
         let base = TaggedRelation::base(IdxRelation::base("t", 7));
         // Hand-build a map whose entry has no outputs.
-        let map = FilterTagMap {
-            node: tree.root(),
-            entries: vec![crate::tagmap::FilterTagEntry {
+        let map = FilterTagMap::new(
+            tree.root(),
+            vec![crate::tagmap::FilterTagEntry {
                 input: Tag::empty(),
                 pos: None,
                 neg: None,
                 unk: None,
             }],
-        };
+        );
         let out = tagged_filter(&ts, &base, &tree, &map).unwrap();
         assert_eq!(out.num_slices(), 0);
         assert_eq!(out.num_tuples(), 7);
@@ -501,15 +484,12 @@ mod tests {
         let table = Arc::new(b.finish().unwrap());
         let ts = TableSet::from_tables(vec![("t".into(), table)]);
         let tree = PredicateTree::build(&col("t", "year").gt(2000i64));
-        let builder = TagMapBuilder::new(
-            &tree,
-            TagMapStrategy::Generalized { use_closure: true },
-        )
-        .with_three_valued(true);
+        let builder = TagMapBuilder::new(&tree, TagMapStrategy::Generalized { use_closure: true })
+            .with_three_valued(true);
         let m = builder.filter_map(tree.root(), &[Tag::empty()]);
         // unknown at root is dead → no unk output, no neg output.
-        assert!(m.entries[0].unk.is_none());
-        assert!(m.entries[0].neg.is_none());
+        assert!(m.entries()[0].unk.is_none());
+        assert!(m.entries()[0].neg.is_none());
         let base = TaggedRelation::base(IdxRelation::base("t", 3));
         let out = tagged_filter(&ts, &base, &tree, &m).unwrap();
         assert_eq!(out.num_slices(), 1);
@@ -530,7 +510,7 @@ mod tests {
         let right = TaggedRelation::base(IdxRelation::base("mi_idx", 6));
 
         // Tag map joining only the pos slice with the base slice.
-        let pos_tag = m.entries[0].pos.as_ref().unwrap().clone();
+        let pos_tag = m.entries()[0].pos.as_ref().unwrap().clone();
         let jm = JoinTagMap {
             entries: vec![crate::tagmap::JoinTagEntry {
                 left: pos_tag.clone(),
@@ -629,8 +609,7 @@ mod tests {
         let proj = b.projection_tags(&tags);
         let got = tagged_select_final(&rel, &proj);
 
-        let expected =
-            plain_filter(&ts, &IdxRelation::base("t", 7), &tree, tree.root()).unwrap();
+        let expected = plain_filter(&ts, &IdxRelation::base("t", 7), &tree, tree.root()).unwrap();
         let mut a = got.col("t").unwrap().to_vec();
         let mut e2 = expected.col("t").unwrap().to_vec();
         a.sort_unstable();

@@ -213,10 +213,7 @@ mod tests {
                 (tag(2), Bitmap::from_indices(4, [0usize])),
             ],
         );
-        assert_eq!(
-            tr.slice_membership(),
-            vec![Some(1), None, Some(0), None]
-        );
+        assert_eq!(tr.slice_membership(), vec![Some(1), None, Some(0), None]);
         assert!(tr.check_mutually_exclusive());
     }
 

@@ -164,7 +164,10 @@ mod tests {
 
     #[test]
     fn display_with_tree() {
-        let e = or(vec![col("t", "year").gt(2000i64), col("t", "year").gt(1980i64)]);
+        let e = or(vec![
+            col("t", "year").gt(2000i64),
+            col("t", "year").gt(1980i64),
+        ]);
         let tree = PredicateTree::build(&e);
         let a2000 = tree
             .atom_ids()

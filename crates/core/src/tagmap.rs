@@ -51,16 +51,43 @@ pub struct FilterTagEntry {
 }
 
 /// The tag map of one filter operator.
+///
+/// Construct via [`FilterTagMap::new`]: a hashed input-tag index is built
+/// alongside the entry list so the executor's per-slice dispatch
+/// ([`FilterTagMap::entry_for`]) is O(1) instead of a linear scan over
+/// entries — tag maps on wide disjunctions can carry dozens of entries.
 #[derive(Debug, Clone)]
 pub struct FilterTagMap {
     /// The predicate-tree node this filter evaluates.
     pub node: ExprId,
-    pub entries: Vec<FilterTagEntry>,
+    /// Kept private (with [`Self::entries`] as the read path) so the entry
+    /// list cannot drift out of sync with the hashed index — build a new
+    /// map instead of mutating.
+    entries: Vec<FilterTagEntry>,
+    index: basilisk_exec::FxHashMap<Tag, u32>,
 }
 
 impl FilterTagMap {
+    pub fn new(node: ExprId, entries: Vec<FilterTagEntry>) -> FilterTagMap {
+        let index = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.input.clone(), i as u32))
+            .collect();
+        FilterTagMap {
+            node,
+            entries,
+            index,
+        }
+    }
+
+    /// The entries, in construction order.
+    pub fn entries(&self) -> &[FilterTagEntry] {
+        &self.entries
+    }
+
     pub fn entry_for(&self, tag: &Tag) -> Option<&FilterTagEntry> {
-        self.entries.iter().find(|e| &e.input == tag)
+        self.index.get(tag).map(|&i| &self.entries[i as usize])
     }
 }
 
@@ -86,6 +113,9 @@ pub struct ProjectionTags {
     pub allowed: Vec<Tag>,
 }
 
+/// Memoization table: one `RefCell<HashMap>` per derived quantity.
+type Memo<K, V> = RefCell<HashMap<K, V>>;
+
 /// Plan-time tag-map builder for one query's predicate tree.
 ///
 /// Generalization, redundancy checks and join-pair outputs are memoized:
@@ -99,12 +129,12 @@ pub struct TagMapBuilder<'t> {
     closure: Option<Closure<'t>>,
     strategy: TagMapStrategy,
     three_valued: bool,
-    finish_cache: RefCell<HashMap<Tag, Option<Tag>>>,
-    redundant_cache: RefCell<HashMap<(ExprId, Tag), bool>>,
-    pair_cache: RefCell<HashMap<(Tag, Tag), Option<Tag>>>,
-    root_cache: RefCell<HashMap<Tag, Option<Truth>>>,
-    filter_map_cache: RefCell<HashMap<(ExprId, Vec<Tag>), FilterTagMap>>,
-    join_map_cache: RefCell<HashMap<(Vec<Tag>, Vec<Tag>), JoinTagMap>>,
+    finish_cache: Memo<Tag, Option<Tag>>,
+    redundant_cache: Memo<(ExprId, Tag), bool>,
+    pair_cache: Memo<(Tag, Tag), Option<Tag>>,
+    root_cache: Memo<Tag, Option<Truth>>,
+    filter_map_cache: Memo<(ExprId, Vec<Tag>), FilterTagMap>,
+    join_map_cache: Memo<(Vec<Tag>, Vec<Tag>), JoinTagMap>,
 }
 
 impl<'t> TagMapBuilder<'t> {
@@ -171,9 +201,7 @@ impl<'t> TagMapBuilder<'t> {
                     }
                     Some(g)
                 })();
-                self.finish_cache
-                    .borrow_mut()
-                    .insert(tag, result.clone());
+                self.finish_cache.borrow_mut().insert(tag, result.clone());
                 result
             }
         }
@@ -223,9 +251,7 @@ impl<'t> TagMapBuilder<'t> {
                 TagMapStrategy::Naive => {
                     let pos = Some(input.with(node, Truth::True));
                     let neg = Some(input.with(node, Truth::False));
-                    let unk = self
-                        .three_valued
-                        .then(|| input.with(node, Truth::Unknown));
+                    let unk = self.three_valued.then(|| input.with(node, Truth::Unknown));
                     entries.push(FilterTagEntry {
                         input: input.clone(),
                         pos,
@@ -253,7 +279,7 @@ impl<'t> TagMapBuilder<'t> {
                 }
             }
         }
-        FilterTagMap { node, entries }
+        FilterTagMap::new(node, entries)
     }
 
     /// The tag set flowing out of a filter: outputs of matched entries
@@ -309,9 +335,7 @@ impl<'t> TagMapBuilder<'t> {
                         // Conflicting unions are impossible pairings;
                         // root-dead outputs are Precept 1 discards.
                         let computed = l.union(r).and_then(|u| self.finish_tag(u));
-                        self.pair_cache
-                            .borrow_mut()
-                            .insert(key, computed.clone());
+                        self.pair_cache.borrow_mut().insert(key, computed.clone());
                         computed
                     }
                 };
@@ -500,10 +524,7 @@ mod tests {
     #[test]
     fn without_closure_more_entries() {
         let q = query1();
-        let b = TagMapBuilder::new(
-            &q.tree,
-            TagMapStrategy::Generalized { use_closure: false },
-        );
+        let b = TagMapBuilder::new(&q.tree, TagMapStrategy::Generalized { use_closure: false });
         let m1 = b.filter_map(q.p1, &[Tag::empty()]);
         let tags1 = b.filter_output_tags(&m1, &[Tag::empty()]);
         // pos tag is plain {P1=T} (no enrichment).
@@ -522,12 +543,9 @@ mod tests {
     #[test]
     fn precept2_coverage_skips() {
         let q = query1();
-        let b = TagMapBuilder::new(
-            &q.tree,
-            TagMapStrategy::Generalized { use_closure: false },
-        );
+        let b = TagMapBuilder::new(&q.tree, TagMapStrategy::Generalized { use_closure: false });
         let input = Tag::from_pairs([(q.a1, Truth::False)]);
-        let m = b.filter_map(q.p4, &[input.clone()]);
+        let m = b.filter_map(q.p4, std::slice::from_ref(&input));
         assert!(
             m.entries.is_empty(),
             "P4's only instance is under A1, which is assigned"
@@ -590,11 +608,8 @@ mod tests {
     #[test]
     fn three_valued_filter_outputs() {
         let q = query1();
-        let b = TagMapBuilder::new(
-            &q.tree,
-            TagMapStrategy::Generalized { use_closure: true },
-        )
-        .with_three_valued(true);
+        let b = TagMapBuilder::new(&q.tree, TagMapStrategy::Generalized { use_closure: true })
+            .with_three_valued(true);
         let m = b.filter_map(q.p1, &[Tag::empty()]);
         let e = &m.entries[0];
         // P1=U means year IS NULL ⇒ P2=U too ⇒ A1=U, A2 undetermined
@@ -621,8 +636,7 @@ mod tests {
         // pos branch is contradictory, neg branch stays root-true.
         let e2: Expr = and(vec![col("t", "x").lt(5i64), col("t", "x").lt(100i64)]);
         let tree2 = PredicateTree::build(&e2);
-        let b2 =
-            TagMapBuilder::new(&tree2, TagMapStrategy::Generalized { use_closure: true });
+        let b2 = TagMapBuilder::new(&tree2, TagMapStrategy::Generalized { use_closure: true });
         let find = |s: &str| {
             tree2
                 .atom_ids()

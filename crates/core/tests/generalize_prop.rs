@@ -25,11 +25,7 @@ fn tree_strategy() -> impl Strategy<Value = Expr> {
 }
 
 fn truth_strategy() -> impl Strategy<Value = Truth> {
-    prop_oneof![
-        Just(Truth::True),
-        Just(Truth::False),
-        Just(Truth::Unknown)
-    ]
+    prop_oneof![Just(Truth::True), Just(Truth::False), Just(Truth::Unknown)]
 }
 
 /// Evaluate every node of the tree given complete atom truths.
@@ -46,12 +42,8 @@ fn eval_all(tree: &PredicateTree, atoms: &HashMap<ExprId, Truth>) -> HashMap<Exp
         let v = match tree.kind(id) {
             NodeKind::Atom(_) => atoms[&id],
             NodeKind::Not(c) => rec(tree, *c, atoms, memo).not(),
-            NodeKind::And(cs) => {
-                Truth::all(cs.iter().map(|&c| rec(tree, c, atoms, memo)))
-            }
-            NodeKind::Or(cs) => {
-                Truth::any(cs.iter().map(|&c| rec(tree, c, atoms, memo)))
-            }
+            NodeKind::And(cs) => Truth::all(cs.iter().map(|&c| rec(tree, c, atoms, memo))),
+            NodeKind::Or(cs) => Truth::any(cs.iter().map(|&c| rec(tree, c, atoms, memo))),
         };
         memo.insert(id, v);
         v

@@ -113,8 +113,7 @@ fn limitations_worst_case_tag_blowup() {
         })
         .collect();
     let tree = PredicateTree::build(&and(clauses));
-    let builder =
-        TagMapBuilder::new(&tree, TagMapStrategy::Generalized { use_closure: true });
+    let builder = TagMapBuilder::new(&tree, TagMapStrategy::Generalized { use_closure: true });
     let find = |s: String| {
         tree.atom_ids()
             .into_iter()

@@ -10,8 +10,10 @@
 //! tagged engine in `basilisk-core`, which differs only in carrying a
 //! tag → bitmap map alongside the index relation.
 
+mod hash;
 mod ops;
 mod relation;
 
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, JoinTable};
 pub use ops::{combine, filter, hash_join, project, project_count, union_all_dedup, JoinSide};
 pub use relation::{join_key, IdxRelation, RelProvider, TableSet};

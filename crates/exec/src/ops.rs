@@ -1,17 +1,21 @@
 //! Traditional relational operators over index relations.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use basilisk_expr::eval::eval_node;
+use basilisk_expr::eval::eval_node_mask;
 use basilisk_expr::{ColumnRef, ExprId, PredicateTree};
 use basilisk_storage::Column;
-use basilisk_types::{BasiliskError, Result, Truth, Value};
+use basilisk_types::{BasiliskError, Bitmap, Result};
 
+use crate::hash::JoinTable;
 use crate::relation::{join_key, IdxRelation, RelProvider, TableSet};
 
 /// Filter: evaluate a predicate-tree node over the relation and keep the
 /// tuples where it is *true* (SQL WHERE semantics — unknown drops).
+///
+/// Uses the vectorized [`TruthMask`](basilisk_types::TruthMask) path, so
+/// the traditional engine and the tagged engine share one evaluation
+/// kernel and their benchmark comparison stays apples-to-apples.
 pub fn filter(
     tables: &TableSet,
     relation: &IdxRelation,
@@ -19,14 +23,9 @@ pub fn filter(
     node: ExprId,
 ) -> Result<IdxRelation> {
     let provider = RelProvider::new(tables, relation);
-    let truths = eval_node(tree, node, &provider)?;
-    let keep: Vec<u32> = truths
-        .iter()
-        .enumerate()
-        .filter(|(_, &t)| t == Truth::True)
-        .map(|(i, _)| i as u32)
-        .collect();
-    Ok(relation.select(&keep))
+    let sel = Bitmap::all_set(relation.len());
+    let mask = eval_node_mask(tree, node, &provider, &sel)?;
+    Ok(relation.select_bitmap(&mask.into_trues()))
 }
 
 /// Which side of a hash join the hash table is built from.
@@ -72,23 +71,17 @@ pub fn hash_join(
 
     // One hash table for the whole build side (§2.5.3's "one giant hash
     // table" — in the untagged engine there are no slices to share it
-    // across, but the structure is identical).
-    let mut map: HashMap<Value, Vec<u32>> = HashMap::with_capacity(build.len());
-    for i in 0..build.len() {
-        if let Some(k) = join_key(&build_col, i) {
-            map.entry(k).or_default().push(i as u32);
-        }
-    }
+    // across, but the structure is identical). CSR layout + FxHash: no
+    // per-key Vec allocations, no SipHash on the hot path.
+    let table = JoinTable::build(&build_col, |i| i as u32);
 
     let mut build_sel: Vec<u32> = Vec::new();
     let mut probe_sel: Vec<u32> = Vec::new();
     for j in 0..probe.len() {
         if let Some(k) = join_key(&probe_col, j) {
-            if let Some(matches) = map.get(&k) {
-                for &i in matches {
-                    build_sel.push(i);
-                    probe_sel.push(j as u32);
-                }
+            for &i in table.probe(&k) {
+                build_sel.push(i);
+                probe_sel.push(j as u32);
             }
         }
     }
@@ -114,7 +107,10 @@ pub fn combine(
     for (t, c) in left.tables().iter().zip(left.cols()) {
         tables.push(t.clone());
         cols.push(Arc::new(
-            left_sel.iter().map(|&i| c[i as usize]).collect::<Vec<u32>>(),
+            left_sel
+                .iter()
+                .map(|&i| c[i as usize])
+                .collect::<Vec<u32>>(),
         ));
     }
     for (t, c) in right.tables().iter().zip(right.cols()) {
@@ -129,11 +125,7 @@ pub fn combine(
     IdxRelation::from_parts(tables, cols)
 }
 
-fn fetch_key_column(
-    tables: &TableSet,
-    relation: &IdxRelation,
-    key: &ColumnRef,
-) -> Result<Column> {
+fn fetch_key_column(tables: &TableSet, relation: &IdxRelation, key: &ColumnRef) -> Result<Column> {
     let handle = tables.column(key)?;
     handle.gather(relation.col(&key.table)?)
 }
@@ -148,7 +140,7 @@ pub fn union_all_dedup(inputs: &[IdxRelation]) -> Result<IdxRelation> {
         return Err(BasiliskError::Exec("union of zero inputs".into()));
     };
     let ref_tables: Vec<String> = first.tables().to_vec();
-    let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    let mut seen: crate::hash::FxHashSet<Vec<u32>> = crate::hash::FxHashSet::default();
     let mut out_cols: Vec<Vec<u32>> = vec![Vec::new(); ref_tables.len()];
 
     for rel in inputs {
@@ -159,11 +151,7 @@ pub fn union_all_dedup(inputs: &[IdxRelation]) -> Result<IdxRelation> {
                 rel.tables()
                     .iter()
                     .position(|u| u == t)
-                    .ok_or_else(|| {
-                        BasiliskError::Exec(format!(
-                            "union input missing table {t}"
-                        ))
-                    })
+                    .ok_or_else(|| BasiliskError::Exec(format!("union input missing table {t}")))
             })
             .collect::<Result<_>>()?;
         if rel.tables().len() != ref_tables.len() {
@@ -212,7 +200,7 @@ mod tests {
     use super::*;
     use basilisk_expr::{and, col, or, PredicateTree};
     use basilisk_storage::{Table, TableBuilder};
-    use basilisk_types::DataType;
+    use basilisk_types::{DataType, Value};
 
     fn title() -> Arc<Table> {
         let mut b = TableBuilder::new("title")

@@ -103,9 +103,7 @@ impl IdxRelation {
             .iter()
             .position(|t| t == alias)
             .map(|i| &self.cols[i])
-            .ok_or_else(|| {
-                BasiliskError::Exec(format!("relation does not cover alias {alias}"))
-            })
+            .ok_or_else(|| BasiliskError::Exec(format!("relation does not cover alias {alias}")))
     }
 
     pub fn cols(&self) -> &[Arc<Vec<u32>>] {
@@ -126,6 +124,28 @@ impl IdxRelation {
         }
     }
 
+    /// Keep only the tuples whose position is set in `keep`, gathering
+    /// straight off the bitmap — no intermediate index vector (the
+    /// selection-vector idiom; see `Bitmap::iter_ones`).
+    pub fn select_bitmap(&self, keep: &basilisk_types::Bitmap) -> IdxRelation {
+        assert_eq!(keep.len(), self.len, "selection bitmap length mismatch");
+        let n = keep.count_ones();
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| {
+                let mut v = Vec::with_capacity(n);
+                v.extend(keep.iter_ones().map(|i| c[i]));
+                Arc::new(v)
+            })
+            .collect();
+        IdxRelation {
+            tables: self.tables.clone(),
+            cols,
+            len: n,
+        }
+    }
+
     /// The tuple at position `i` (row per covered table) — tests/debug.
     pub fn tuple(&self, i: usize) -> Vec<u32> {
         self.cols.iter().map(|c| c[i]).collect()
@@ -140,6 +160,10 @@ pub struct RelProvider<'a> {
     tables: &'a TableSet,
     relation: &'a IdxRelation,
     cache: std::cell::RefCell<HashMap<ColumnRef, Arc<Column>>>,
+    /// Selection-aligned columns (see [`ColumnProvider::fetch_at`]): each
+    /// provider serves one operator invocation, so one selection applies
+    /// to every cached entry.
+    sel_cache: std::cell::RefCell<HashMap<ColumnRef, Arc<Column>>>,
 }
 
 impl<'a> RelProvider<'a> {
@@ -148,6 +172,7 @@ impl<'a> RelProvider<'a> {
             tables,
             relation,
             cache: std::cell::RefCell::new(HashMap::new()),
+            sel_cache: std::cell::RefCell::new(HashMap::new()),
         }
     }
 }
@@ -159,16 +184,110 @@ impl ColumnProvider for RelProvider<'_> {
         }
         let handle = self.tables.column(col)?;
         let rows = self.relation.col(&col.table)?;
-        let gathered = Arc::new(handle.gather(rows)?);
+        // Base scans carry identity index columns; share the stored column
+        // instead of copying it row by row.
+        let gathered = if is_identity(rows, handle.len()) {
+            handle.scan()?
+        } else {
+            Arc::new(handle.gather(rows)?)
+        };
         self.cache
             .borrow_mut()
             .insert(col.clone(), Arc::clone(&gathered));
         Ok(gathered)
     }
 
+    /// For sparse selections over copied (non-identity) or disk-backed
+    /// columns, gather only the selected rows — page-selective on disk —
+    /// and scatter them into a position-aligned column whose unselected
+    /// lanes are invalid. This keeps the tagged filter's "fewer I/O calls"
+    /// property without materializing a sub-relation.
+    fn fetch_at(&self, col: &ColumnRef, sel: &basilisk_types::Bitmap) -> Result<Arc<Column>> {
+        let handle = self.tables.column(col)?;
+        let rows = self.relation.col(&col.table)?;
+        // Dense selections — or zero-copy full columns — go through the
+        // shared full-column path.
+        let dense = 2 * sel.count_ones() >= sel.len();
+        let zero_copy = matches!(handle, basilisk_storage::ColumnHandle::Mem(_))
+            && is_identity(rows, handle.len());
+        if dense || zero_copy {
+            return self.fetch(col);
+        }
+        if let Some(c) = self.sel_cache.borrow().get(col) {
+            return Ok(Arc::clone(c));
+        }
+        let subset: Vec<u32> = sel.iter_ones().map(|p| rows[p]).collect();
+        let compact = handle.gather(&subset)?;
+        let aligned = Arc::new(scatter_aligned(&compact, sel));
+        self.sel_cache
+            .borrow_mut()
+            .insert(col.clone(), Arc::clone(&aligned));
+        Ok(aligned)
+    }
+
     fn num_rows(&self) -> usize {
         self.relation.len()
     }
+}
+
+/// True when `rows` is exactly `0..table_rows` — the index column of an
+/// unfiltered base scan.
+fn is_identity(rows: &[u32], table_rows: usize) -> bool {
+    rows.len() == table_rows && rows.iter().enumerate().all(|(i, &r)| r as usize == i)
+}
+
+/// Expand a compacted column (one value per set bit of `sel`, in bit
+/// order) to a `sel.len()`-lane column where value `j` sits at the `j`-th
+/// set position. Unselected lanes are invalid and default-filled; callers
+/// honoring the [`ColumnProvider::fetch_at`] contract never read them.
+fn scatter_aligned(compact: &Column, sel: &basilisk_types::Bitmap) -> Column {
+    use basilisk_storage::{ColumnData, StrData};
+    debug_assert_eq!(compact.len(), sel.count_ones());
+    let n = sel.len();
+    let mut validity = basilisk_types::Bitmap::new(n);
+    for (j, p) in sel.iter_ones().enumerate() {
+        if compact.is_valid(j) {
+            validity.set(p);
+        }
+    }
+    let data = match compact.data() {
+        ColumnData::Int(v) => {
+            let mut out = vec![0i64; n];
+            for (j, p) in sel.iter_ones().enumerate() {
+                out[p] = v[j];
+            }
+            ColumnData::Int(out)
+        }
+        ColumnData::Float(v) => {
+            let mut out = vec![0.0f64; n];
+            for (j, p) in sel.iter_ones().enumerate() {
+                out[p] = v[j];
+            }
+            ColumnData::Float(out)
+        }
+        ColumnData::Bool(v) => {
+            let mut out = vec![false; n];
+            for (j, p) in sel.iter_ones().enumerate() {
+                out[p] = v[j];
+            }
+            ColumnData::Bool(out)
+        }
+        ColumnData::Str(s) => {
+            let mut out = StrData::with_capacity(n, s.raw().1.len());
+            let mut ones = sel.iter_ones().enumerate().peekable();
+            for p in 0..n {
+                match ones.peek() {
+                    Some(&(j, q)) if q == p => {
+                        out.push(s.get(j));
+                        ones.next();
+                    }
+                    _ => out.push(""),
+                }
+            }
+            ColumnData::Str(out)
+        }
+    };
+    Column::new(data, Some(validity)).expect("scatter_aligned builds consistent columns")
 }
 
 /// Extract the join key at row `i` of a key column; `None` for NULL (SQL
@@ -228,6 +347,39 @@ mod tests {
         assert!(Arc::ptr_eq(&c, &c2), "cached");
         assert_eq!(p.num_rows(), 2);
         assert!(p.fetch(&ColumnRef::new("u", "id")).is_err());
+    }
+
+    #[test]
+    fn fetch_at_sparse_scatters_aligned() {
+        use basilisk_types::Bitmap;
+        let ts = TableSet::from_tables(vec![("t".into(), table())]);
+        // Non-identity relation: tuples map to rows 2,0,1,2,0,1,2,0 so the
+        // sparse path (selectivity < 1/2) must gather through the index
+        // column, not the base table directly.
+        let rel = IdxRelation::base("t", 3).select(&[2, 0, 1, 2, 0, 1, 2, 0]);
+        let p = RelProvider::new(&ts, &rel);
+        let sel = Bitmap::from_indices(8, [1usize, 6, 7]);
+        let c = p.fetch_at(&ColumnRef::new("t", "id"), &sel).unwrap();
+        assert_eq!(c.len(), 8, "aligned to the relation, not compacted");
+        // Selected lanes carry the right values…
+        assert_eq!(c.value(1), Value::Int(10)); // row 0
+        assert_eq!(c.value(6), Value::Int(30)); // row 2
+        assert_eq!(c.value(7), Value::Int(10)); // row 0
+                                                // …and unselected lanes are invalid, never silently wrong.
+        assert!(!c.is_valid(0));
+        assert!(!c.is_valid(5));
+        // Strings scatter too.
+        let c = p.fetch_at(&ColumnRef::new("t", "name"), &sel).unwrap();
+        assert_eq!(c.value(6), Value::from("c"));
+        assert!(!c.is_valid(2));
+        // Cached: second call returns the same Arc.
+        let again = p.fetch_at(&ColumnRef::new("t", "name"), &sel).unwrap();
+        assert!(Arc::ptr_eq(&c, &again));
+        // Dense selections fall back to the shared full-column path.
+        let dense = Bitmap::all_set(8);
+        let full = p.fetch_at(&ColumnRef::new("t", "id"), &dense).unwrap();
+        assert_eq!(full.len(), 8);
+        assert!(full.is_valid(0));
     }
 
     #[test]

@@ -196,7 +196,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
         assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
         assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
             assert_eq!(op.flip().flip(), op);
         }

@@ -196,10 +196,12 @@ impl ColBuilder {
         })
     }
 
+    #[allow(clippy::wrong_self_convention)] // builder DSL: consumes the column ref
     pub fn is_null(self) -> Expr {
         Expr::Atom(Atom::IsNull { col: self.0 })
     }
 
+    #[allow(clippy::wrong_self_convention)] // builder DSL: consumes the column ref
     pub fn is_not_null(self) -> Expr {
         not(Expr::Atom(Atom::IsNull { col: self.0 }))
     }
@@ -275,12 +277,11 @@ mod tests {
         assert_eq!(col("t", "a").ne(1i64).to_string(), "t.a <> 1");
         assert_eq!(col("t", "s").like("%x%").to_string(), "t.s LIKE '%x%'");
         assert_eq!(col("t", "s").is_null().to_string(), "t.s IS NULL");
+        assert_eq!(col("t", "s").is_not_null().to_string(), "NOT t.s IS NULL");
         assert_eq!(
-            col("t", "s").is_not_null().to_string(),
-            "NOT t.s IS NULL"
-        );
-        assert_eq!(
-            col("t", "a").in_list(vec![lit(1i64), lit(2i64)]).to_string(),
+            col("t", "a")
+                .in_list(vec![lit(1i64), lit(2i64)])
+                .to_string(),
             "t.a IN (1, 2)"
         );
     }

@@ -87,11 +87,7 @@ impl<'t> Closure<'t> {
 
     /// Would the closure of `assignments` determine `atom`? (Does not
     /// mutate the input.)
-    pub fn implied(
-        &self,
-        assignments: &BTreeMap<ExprId, Truth>,
-        atom: ExprId,
-    ) -> Option<Truth> {
+    pub fn implied(&self, assignments: &BTreeMap<ExprId, Truth>, atom: ExprId) -> Option<Truth> {
         if let Some(&t) = assignments.get(&atom) {
             return Some(t);
         }
@@ -211,18 +207,18 @@ impl ConstraintSet {
             (ConstraintSet::Range(op1, v1), ConstraintSet::Range(op2, v2)) => {
                 range_implies(*op1, v1, *op2, v2)
             }
-            (ConstraintSet::Points(ps), ConstraintSet::Range(op, v)) => ps
-                .iter()
-                .all(|p| point_satisfies(p, *op, v) == Some(true)),
+            (ConstraintSet::Points(ps), ConstraintSet::Range(op, v)) => {
+                ps.iter().all(|p| point_satisfies(p, *op, v) == Some(true))
+            }
             (ConstraintSet::Points(ps), ConstraintSet::Points(qs)) => ps
                 .iter()
                 .all(|p| qs.iter().any(|q| p.sql_eq(q) == Some(true))),
             (ConstraintSet::Points(ps), ConstraintSet::NotPoints(qs)) => ps
                 .iter()
                 .all(|p| qs.iter().all(|q| p.sql_eq(q) == Some(false))),
-            (ConstraintSet::Range(op, v), ConstraintSet::NotPoints(qs)) => qs
-                .iter()
-                .all(|q| point_satisfies(q, *op, v) == Some(false)),
+            (ConstraintSet::Range(op, v), ConstraintSet::NotPoints(qs)) => {
+                qs.iter().all(|q| point_satisfies(q, *op, v) == Some(false))
+            }
             // Complements of finite sets are unbounded; they are never
             // provably inside a range or a finite set.
             (ConstraintSet::NotPoints(_), _) => false,
@@ -239,14 +235,14 @@ fn range_implies(op1: CmpOp, v1: &Value, op2: CmpOp, v2: &Value) -> bool {
         return false;
     };
     match (op1, op2) {
-        (CmpOp::Lt, CmpOp::Lt) => ord != Greater,       // v1 <= v2
+        (CmpOp::Lt, CmpOp::Lt) => ord != Greater, // v1 <= v2
         (CmpOp::Lt, CmpOp::Le) => ord != Greater,
         (CmpOp::Le, CmpOp::Le) => ord != Greater,
-        (CmpOp::Le, CmpOp::Lt) => ord == Less,          // v1 < v2
-        (CmpOp::Gt, CmpOp::Gt) => ord != Less,          // v1 >= v2
+        (CmpOp::Le, CmpOp::Lt) => ord == Less, // v1 < v2
+        (CmpOp::Gt, CmpOp::Gt) => ord != Less, // v1 >= v2
         (CmpOp::Gt, CmpOp::Ge) => ord != Less,
         (CmpOp::Ge, CmpOp::Ge) => ord != Less,
-        (CmpOp::Ge, CmpOp::Gt) => ord == Greater,       // v1 > v2
+        (CmpOp::Ge, CmpOp::Gt) => ord == Greater, // v1 > v2
         _ => false,
     }
 }
@@ -284,7 +280,10 @@ mod tests {
     /// The paper's example: year > 2000 = T ⇒ year > 1980 = T.
     #[test]
     fn gt_subsumption_like_the_paper() {
-        let e = or(vec![col("t", "year").gt(2000i64), col("t", "year").gt(1980i64)]);
+        let e = or(vec![
+            col("t", "year").gt(2000i64),
+            col("t", "year").gt(1980i64),
+        ]);
         let tree = tree_of(&e);
         let a2000 = atom_id(&tree, "t.year > 2000");
         let a1980 = atom_id(&tree, "t.year > 1980");
@@ -369,7 +368,11 @@ mod tests {
         let mut asg = BTreeMap::from([(lt5, Truth::False)]);
         assert!(closure.close(&mut asg));
         assert_eq!(asg.get(&small), Some(&Truth::False));
-        assert_eq!(asg.get(&big), Some(&Truth::False), "x >= 5 excludes all of 1,2,3");
+        assert_eq!(
+            asg.get(&big),
+            Some(&Truth::False),
+            "x >= 5 excludes all of 1,2,3"
+        );
     }
 
     #[test]
@@ -466,10 +469,7 @@ mod tests {
         assert!(closure.close(&mut asg));
         assert_eq!(asg.get(&a), None);
         // ...but NULL reasoning applies.
-        assert_eq!(
-            asg.get(&atom_id(&tree, "t.s IS NULL")),
-            Some(&Truth::False)
-        );
+        assert_eq!(asg.get(&atom_id(&tree, "t.s IS NULL")), Some(&Truth::False));
     }
 
     #[test]

@@ -117,7 +117,10 @@ impl PredicateTree {
             .enumerate()
             .flat_map(|(i, n)| {
                 let parent = ExprId(i as u32);
-                n.children().iter().map(move |&c| (c, parent)).collect::<Vec<_>>()
+                n.children()
+                    .iter()
+                    .map(move |&c| (c, parent))
+                    .collect::<Vec<_>>()
             })
             .collect();
         for (child, parent) in edges {
@@ -491,10 +494,7 @@ mod tests {
 
     #[test]
     fn not_nodes_in_tree() {
-        let e = and(vec![
-            not(col("t", "a").is_null()),
-            col("t", "b").lt(5i64),
-        ]);
+        let e = and(vec![not(col("t", "a").is_null()), col("t", "b").lt(5i64)]);
         let tree = PredicateTree::build(&e);
         let root = tree.root();
         assert!(tree.is_and(root));

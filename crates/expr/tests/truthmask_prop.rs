@@ -1,0 +1,163 @@
+//! Property tests for the vectorized 3VL path: `TruthMask` connectives
+//! must agree with scalar `Truth` tables on every lane (including tail
+//! words), and mask-based predicate evaluation must agree lane-for-lane
+//! with the scalar reference evaluator under arbitrary selection bitmaps.
+
+use basilisk_expr::eval::{eval_node, eval_node_mask, MapProvider};
+use basilisk_expr::{col, ColumnRef, Expr, PredicateTree};
+use basilisk_storage::ColumnBuilder;
+use basilisk_types::{Bitmap, DataType, Truth, TruthMask, Value};
+use proptest::prelude::*;
+
+fn truth_strategy() -> impl Strategy<Value = Truth> {
+    prop_oneof![Just(Truth::True), Just(Truth::False), Just(Truth::Unknown)]
+}
+
+/// Lengths straddle word boundaries on purpose: 1..200 covers 0-, 1-, 2-
+/// and 3-word masks plus full-word (64, 128) and off-by-one tails.
+fn truth_vec_pair() -> impl Strategy<Value = (Vec<Truth>, Vec<Truth>)> {
+    (1usize..200).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(truth_strategy(), len),
+            proptest::collection::vec(truth_strategy(), len),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// AND/OR/NOT agree with the scalar Kleene tables on every lane.
+    #[test]
+    fn mask_connectives_agree_with_scalar((a, b) in truth_vec_pair()) {
+        let (ma, mb) = (TruthMask::from_truths(&a), TruthMask::from_truths(&b));
+        prop_assert!(ma.check_disjoint());
+
+        let mut and = ma.clone();
+        and.and_with(&mb);
+        prop_assert!(and.check_disjoint());
+        let mut or = ma.clone();
+        or.or_with(&mb);
+        prop_assert!(or.check_disjoint());
+        let mut not = ma.clone();
+        not.negate();
+        prop_assert!(not.check_disjoint());
+
+        for i in 0..a.len() {
+            prop_assert_eq!(and.get(i), a[i].and(b[i]), "AND lane {}", i);
+            prop_assert_eq!(or.get(i), a[i].or(b[i]), "OR lane {}", i);
+            prop_assert_eq!(not.get(i), a[i].not(), "NOT lane {}", i);
+        }
+
+        // Tail-word masking: counts computed from words must match lanes.
+        let trues = a.iter().filter(|&&t| t == Truth::True).count();
+        prop_assert_eq!(ma.count_true(), trues);
+        prop_assert_eq!(
+            ma.count_false() + ma.count_true() + ma.count_unknown(),
+            a.len()
+        );
+        let mut double_neg = ma.clone();
+        double_neg.negate();
+        double_neg.negate();
+        // ¬¬a collapses unknown-free lanes back; unknown lanes survive.
+        for (i, &av) in a.iter().enumerate() {
+            prop_assert_eq!(double_neg.get(i), av);
+        }
+    }
+
+    /// Round-trip through the scalar representation is lossless.
+    #[test]
+    fn mask_roundtrip((a, _b) in truth_vec_pair()) {
+        let m = TruthMask::from_truths(&a);
+        prop_assert_eq!(m.to_truths(), a);
+    }
+}
+
+/// Random nullable int data + random predicate trees over it.
+fn data_strategy() -> impl Strategy<Value = Vec<(Option<i64>, Option<i64>)>> {
+    proptest::collection::vec(
+        (
+            proptest::option::of(0i64..50),
+            proptest::option::of(0i64..50),
+        ),
+        1..150,
+    )
+}
+
+fn pred_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..50).prop_map(|v| col("t", "a").lt(v)),
+        (0i64..50).prop_map(|v| col("t", "a").gt(v)),
+        (0i64..50).prop_map(|v| col("t", "b").ge(v)),
+        (0i64..50).prop_map(|v| col("t", "b").eq(v)),
+        Just(col("t", "a").is_null()),
+        Just(col("t", "b").in_list(vec![Value::Int(1), Value::Int(7), Value::Null])),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn provider_for(data: &[(Option<i64>, Option<i64>)]) -> MapProvider {
+    let mut a = ColumnBuilder::new(DataType::Int);
+    let mut b = ColumnBuilder::new(DataType::Int);
+    for (x, y) in data {
+        a.push(x.map(Value::Int).unwrap_or(Value::Null)).unwrap();
+        b.push(y.map(Value::Int).unwrap_or(Value::Null)).unwrap();
+    }
+    MapProvider::new(data.len())
+        .with(ColumnRef::new("t", "a"), a.finish())
+        .with(ColumnRef::new("t", "b"), b.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Vectorized evaluation over a full selection equals the scalar
+    /// reference evaluator lane-for-lane.
+    #[test]
+    fn mask_eval_agrees_with_scalar(data in data_strategy(), pred in pred_strategy()) {
+        let tree = PredicateTree::build(&pred);
+        let provider = provider_for(&data);
+        let scalar = eval_node(&tree, tree.root(), &provider).unwrap();
+        let sel = Bitmap::all_set(data.len());
+        let mask = eval_node_mask(&tree, tree.root(), &provider, &sel).unwrap();
+        prop_assert!(mask.check_disjoint());
+        prop_assert_eq!(mask.to_truths(), scalar, "predicate {}", pred);
+    }
+
+    /// Under a partial selection, selected lanes agree with the scalar
+    /// evaluator and unselected lanes are False (never leak through NOT).
+    #[test]
+    fn mask_eval_respects_selection(
+        data in data_strategy(),
+        pred in pred_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let tree = PredicateTree::build(&pred);
+        let provider = provider_for(&data);
+        let scalar = eval_node(&tree, tree.root(), &provider).unwrap();
+        // Derive a deterministic ~half selection from the seed.
+        let sel = Bitmap::from_indices(
+            data.len(),
+            (0..data.len()).filter(|i| (seed >> (i % 61)) & 1 == 1),
+        );
+        let mask = eval_node_mask(&tree, tree.root(), &provider, &sel).unwrap();
+        for (i, &expected) in scalar.iter().enumerate() {
+            if sel.get(i) {
+                prop_assert_eq!(mask.get(i), expected, "lane {} of {}", i, pred);
+            } else {
+                prop_assert_eq!(
+                    mask.get(i),
+                    Truth::False,
+                    "unselected lane {} must stay false",
+                    i
+                );
+            }
+        }
+    }
+}

@@ -154,12 +154,10 @@ impl APlan {
                         return Some(APlan::filter(target, new_self));
                     }
                 }
-                child
-                    .pull_up_rec(target)
-                    .map(|c| APlan::Filter {
-                        node: *node,
-                        child: Box::new(c),
-                    })
+                child.pull_up_rec(target).map(|c| APlan::Filter {
+                    node: *node,
+                    child: Box::new(c),
+                })
             }
             APlan::Join { cond, left, right } => {
                 if let APlan::Filter {
@@ -271,9 +269,7 @@ impl APlan {
     /// absent.
     pub fn insert_filter_above_scan(&self, target: ExprId, alias: &str) -> Option<APlan> {
         match self {
-            APlan::Scan { alias: a } if a == alias => {
-                Some(APlan::filter(target, self.clone()))
-            }
+            APlan::Scan { alias: a } if a == alias => Some(APlan::filter(target, self.clone())),
             APlan::Scan { .. } => None,
             APlan::Filter { node, child } => child
                 .insert_filter_above_scan(target, alias)
@@ -424,10 +420,7 @@ mod tests {
     fn union_plan_walk() {
         let (_, fa, _, _) = setup();
         let u = APlan::Union {
-            children: vec![
-                APlan::filter(fa, APlan::scan("t")),
-                APlan::scan("t"),
-            ],
+            children: vec![APlan::filter(fa, APlan::scan("t")), APlan::scan("t")],
         };
         assert_eq!(u.size(), 4);
         let pulled = u.pull_up_filter(fa);

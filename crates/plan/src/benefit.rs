@@ -60,16 +60,10 @@ pub fn benefit_score(
         for path in ancestor_paths(tree, u) {
             // "if ∀parent ∈ parents(to_score), parent ∉ path ∨ isOr(parent)
             //  then is_and_descendant ← false"
-            if parents
-                .iter()
-                .all(|p| !path.contains(p) || tree.is_or(*p))
-            {
+            if parents.iter().all(|p| !path.contains(p) || tree.is_or(*p)) {
                 is_and_descendant = false;
             }
-            if parents
-                .iter()
-                .all(|p| !path.contains(p) || tree.is_and(*p))
-            {
+            if parents.iter().all(|p| !path.contains(p) || tree.is_and(*p)) {
                 is_or_descendant = false;
             }
         }
@@ -105,11 +99,7 @@ pub fn benefiting_order(
     while !remaining.is_empty() {
         let mut best: Option<(usize, f64)> = None;
         for (i, &f) in remaining.iter().enumerate() {
-            let others: Vec<ExprId> = remaining
-                .iter()
-                .copied()
-                .filter(|&g| g != f)
-                .collect();
+            let others: Vec<ExprId> = remaining.iter().copied().filter(|&g| g != f).collect();
             let b = benefit_score(tree, est, f, &others)?;
             let score = b / filter_cost_factor(tree, f).max(1e-9);
             let better = match best {
@@ -252,7 +242,11 @@ mod tests {
         let order = benefiting_order(
             &tree,
             &est,
-            &[find(&tree, "t.c < 90"), find(&tree, "t.a < 10"), find(&tree, "t.b < 50")],
+            &[
+                find(&tree, "t.c < 90"),
+                find(&tree, "t.a < 10"),
+                find(&tree, "t.b < 50"),
+            ],
         )
         .unwrap();
         let names: Vec<String> = order.iter().map(|&id| tree.display(id)).collect();
@@ -266,15 +260,13 @@ mod tests {
             .column("a", DataType::Int)
             .column("s", DataType::Str);
         for i in 0..100i64 {
-            b.push_row(vec![i.into(), format!("row{i}").into()]).unwrap();
+            b.push_row(vec![i.into(), format!("row{i}").into()])
+                .unwrap();
         }
         let mut cat = Catalog::new();
         cat.add_table(b.finish().unwrap()).unwrap();
         let est = Estimator::new(&cat, &[("t".into(), "t".into())]).unwrap();
-        let e = and(vec![
-            col("t", "s").like("%5%"),
-            col("t", "a").lt(19i64),
-        ]);
+        let e = and(vec![col("t", "s").like("%5%"), col("t", "a").lt(19i64)]);
         let tree = PredicateTree::build(&e);
         let like = find(&tree, "t.s LIKE '%5%'");
         let lt = find(&tree, "t.a < 19");

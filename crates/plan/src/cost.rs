@@ -11,9 +11,7 @@
 use std::collections::HashMap;
 
 use basilisk_catalog::Estimator;
-use basilisk_core::{
-    FilterTagMap, JoinTagMap, ProjectionTags, Tag, TagMapBuilder,
-};
+use basilisk_core::{FilterTagMap, JoinTagMap, ProjectionTags, Tag, TagMapBuilder};
 use basilisk_expr::{ExprId, PredicateTree};
 use basilisk_types::{BasiliskError, Result};
 
@@ -226,16 +224,13 @@ fn sim(
             // Build side: cheaper of the two (footnote 4).
             let unique_l = r_left.min(est.ndv(&cond.left)?);
             let unique_r = r_right.min(est.ndv(&cond.right)?);
-            let build_left = cm.f_hash_lookup * r_left
-                + cm.f_hash_build * unique_l
-                + cm.f_hash_lookup * r_right;
-            let build_right = cm.f_hash_lookup * r_right
-                + cm.f_hash_build * unique_r
-                + cm.f_hash_lookup * r_left;
+            let build_left =
+                cm.f_hash_lookup * r_left + cm.f_hash_build * unique_l + cm.f_hash_lookup * r_right;
+            let build_right =
+                cm.f_hash_lookup * r_right + cm.f_hash_build * unique_r + cm.f_hash_lookup * r_left;
             *total += build_left.min(build_right) + cm.f_index_build * out_total;
 
-            let out_cards: TagCards =
-                order.into_iter().map(|t| (t.clone(), out[&t])).collect();
+            let out_cards: TagCards = order.into_iter().map(|t| (t.clone(), out[&t])).collect();
             Ok((
                 TPlan::Join {
                     cond: cond.clone(),
@@ -326,7 +321,8 @@ mod tests {
             .column("movie_id", DataType::Int)
             .column("score", DataType::Float);
         for i in 0..100i64 {
-            b.push_row(vec![i.into(), ((i % 10) as f64).into()]).unwrap();
+            b.push_row(vec![i.into(), ((i % 10) as f64).into()])
+                .unwrap();
         }
         cat.add_table(b.finish().unwrap()).unwrap();
         let est = Estimator::new(
@@ -335,8 +331,14 @@ mod tests {
         )
         .unwrap();
         let e = or(vec![
-            and(vec![col("t", "year").gt(2000i64), col("mi", "score").gt(7.0)]),
-            and(vec![col("t", "year").gt(1980i64), col("mi", "score").gt(8.0)]),
+            and(vec![
+                col("t", "year").gt(2000i64),
+                col("mi", "score").gt(7.0),
+            ]),
+            and(vec![
+                col("t", "year").gt(1980i64),
+                col("mi", "score").gt(8.0),
+            ]),
         ]);
         (cat, est, PredicateTree::build(&e))
     }
@@ -381,7 +383,7 @@ mod tests {
             panic!("left child is a filter");
         };
         // The outer-left filter is year>1980 over pushdown tags.
-        assert!(fm.entries.len() <= 2);
+        assert!(fm.entries().len() <= 2);
     }
 
     #[test]
@@ -414,7 +416,12 @@ mod tests {
         // magnitude.
         assert!(a.out_rows > 0.0 && b.out_rows > 0.0);
         let ratio = a.out_rows.max(b.out_rows) / a.out_rows.min(b.out_rows);
-        assert!(ratio < 10.0, "estimates differ wildly: {} vs {}", a.out_rows, b.out_rows);
+        assert!(
+            ratio < 10.0,
+            "estimates differ wildly: {} vs {}",
+            a.out_rows,
+            b.out_rows
+        );
     }
 
     #[test]

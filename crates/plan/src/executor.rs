@@ -1,7 +1,7 @@
 //! Plan interpreters for both execution models.
 
-use basilisk_core::{tagged_filter, tagged_join, tagged_select_final, TaggedRelation};
 use basilisk_core::ProjectionTags;
+use basilisk_core::{tagged_filter, tagged_join, tagged_select_final, TaggedRelation};
 use basilisk_exec::{
     filter as plain_filter, hash_join, union_all_dedup, IdxRelation, JoinSide, TableSet,
 };
@@ -54,10 +54,7 @@ pub fn execute_traditional(
     tree: &PredicateTree,
 ) -> Result<IdxRelation> {
     match plan {
-        APlan::Scan { alias } => Ok(IdxRelation::base(
-            alias.clone(),
-            tables.num_rows(alias)?,
-        )),
+        APlan::Scan { alias } => Ok(IdxRelation::base(alias.clone(), tables.num_rows(alias)?)),
         APlan::Filter { node, child } => {
             let input = execute_traditional(child, tables, tree)?;
             plain_filter(tables, &input, tree, *node)
@@ -116,8 +113,14 @@ mod tests {
         )
         .unwrap();
         let e = or(vec![
-            and(vec![col("t", "year").gt(2000i64), col("mi", "score").gt(7.0)]),
-            and(vec![col("t", "year").gt(1980i64), col("mi", "score").gt(8.0)]),
+            and(vec![
+                col("t", "year").gt(2000i64),
+                col("mi", "score").gt(7.0),
+            ]),
+            and(vec![
+                col("t", "year").gt(1980i64),
+                col("mi", "score").gt(8.0),
+            ]),
         ]);
         (cat, tables, est, PredicateTree::build(&e))
     }
@@ -146,10 +149,8 @@ mod tests {
                 APlan::filter(find(&tree, "mi.score > 8"), APlan::scan("mi")),
             ),
         );
-        let builder =
-            TagMapBuilder::new(&tree, TagMapStrategy::Generalized { use_closure: true });
-        let ann =
-            annotate_tagged(&pushed, &tree, &builder, &est, &CostModel::default()).unwrap();
+        let builder = TagMapBuilder::new(&tree, TagMapStrategy::Generalized { use_closure: true });
+        let ann = annotate_tagged(&pushed, &tree, &builder, &est, &CostModel::default()).unwrap();
         let got = execute_tagged(&ann.plan, &ann.projection, &tables, &tree).unwrap();
 
         let reference = APlan::filter(

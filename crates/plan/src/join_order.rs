@@ -18,11 +18,7 @@ use crate::query::JoinCond;
 /// table's atoms at their measured selectivities and every other table's
 /// atom at its *optimistic* value (true under positive polarity, false
 /// under negative).
-pub fn local_survival(
-    tree: &PredicateTree,
-    est: &Estimator,
-    alias: &str,
-) -> Result<f64> {
+pub fn local_survival(tree: &PredicateTree, est: &Estimator, alias: &str) -> Result<f64> {
     fn rec(
         tree: &PredicateTree,
         est: &Estimator,
@@ -127,8 +123,7 @@ pub fn greedy_join_tree(
             .filter(|c| {
                 let (la, ra) = c.aliases();
                 (components[ci].aliases.contains(la) && components[cj].aliases.contains(ra))
-                    || (components[ci].aliases.contains(ra)
-                        && components[cj].aliases.contains(la))
+                    || (components[ci].aliases.contains(ra) && components[cj].aliases.contains(la))
             })
             .count();
         if crossing > 1 {
@@ -247,8 +242,7 @@ mod tests {
             ("t1".to_string(), APlan::scan("t1"), 1000.0),
             ("t0".to_string(), APlan::scan("t0"), 100.0),
         ];
-        let plan =
-            greedy_join_tree(leaves, &conds()[..1].to_vec(), &est).unwrap();
+        let plan = greedy_join_tree(leaves, &conds()[..1], &est).unwrap();
         let APlan::Join { cond, left, .. } = &plan else {
             panic!()
         };

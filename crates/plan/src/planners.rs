@@ -136,9 +136,7 @@ pub fn plan(kind: PlannerKind, input: &PlannerInput<'_>) -> Result<PlannedQuery>
         PlannerKind::TPullup => t_pullup(input, false),
         PlannerKind::TPullupJoin => t_pullup(input, true),
         PlannerKind::TIterPush => t_iterpush(input),
-        PlannerKind::TPushConj => {
-            tagged(input, conj_pushdown_plan(input)?, PlannerKind::TPushConj)
-        }
+        PlannerKind::TPushConj => tagged(input, conj_pushdown_plan(input)?, PlannerKind::TPushConj),
         PlannerKind::TCombined => t_combined(input),
         PlannerKind::BDisj => b_disj(input),
         PlannerKind::BPushConj => {
@@ -149,11 +147,7 @@ pub fn plan(kind: PlannerKind, input: &PlannerInput<'_>) -> Result<PlannedQuery>
     }
 }
 
-fn tagged(
-    input: &PlannerInput<'_>,
-    aplan: APlan,
-    chosen: PlannerKind,
-) -> Result<PlannedQuery> {
+fn tagged(input: &PlannerInput<'_>, aplan: APlan, chosen: PlannerKind) -> Result<PlannedQuery> {
     let ann = annotate_tagged(&aplan, input.tree, input.builder, input.est, input.cm)?;
     Ok(PlannedQuery::Tagged { aplan, ann, chosen })
 }
@@ -206,8 +200,7 @@ pub fn t_pushdown(input: &PlannerInput<'_>) -> Result<APlan> {
 /// every single-node pull).
 pub fn t_pullup(input: &PlannerInput<'_>, junctures_only: bool) -> Result<PlannedQuery> {
     let base = t_pushdown(input)?;
-    let mut best_ann =
-        annotate_tagged(&base, input.tree, input.builder, input.est, input.cm)?;
+    let mut best_ann = annotate_tagged(&base, input.tree, input.builder, input.est, input.cm)?;
     let mut best_plan = base;
 
     let mut order = benefiting_order(input.tree, input.est, &input.tree.atom_ids())?;
@@ -219,13 +212,8 @@ pub fn t_pullup(input: &PlannerInput<'_>, junctures_only: bool) -> Result<Planne
                 break;
             };
             if !junctures_only || candidate.filter_sits_on_join(filter) {
-                let cand_ann = annotate_tagged(
-                    &candidate,
-                    input.tree,
-                    input.builder,
-                    input.est,
-                    input.cm,
-                )?;
+                let cand_ann =
+                    annotate_tagged(&candidate, input.tree, input.builder, input.est, input.cm)?;
                 if cand_ann.cost < best_ann.cost {
                     best_plan = candidate.clone();
                     best_ann = cand_ann;
@@ -268,8 +256,7 @@ pub fn t_iterpush(input: &PlannerInput<'_>) -> Result<PlannedQuery> {
     for &node in &order {
         plan = APlan::filter(node, plan);
     }
-    let mut best_ann =
-        annotate_tagged(&plan, input.tree, input.builder, input.est, input.cm)?;
+    let mut best_ann = annotate_tagged(&plan, input.tree, input.builder, input.est, input.cm)?;
     let mut best_plan = plan;
 
     for &filter in &order {
@@ -286,8 +273,7 @@ pub fn t_iterpush(input: &PlannerInput<'_>) -> Result<PlannedQuery> {
         let Some(candidate) = removed.insert_filter_above_scan(filter, &alias) else {
             continue;
         };
-        let cand_ann =
-            annotate_tagged(&candidate, input.tree, input.builder, input.est, input.cm)?;
+        let cand_ann = annotate_tagged(&candidate, input.tree, input.builder, input.est, input.cm)?;
         if cand_ann.cost < best_ann.cost {
             best_plan = candidate;
             best_ann = cand_ann;
@@ -486,10 +472,7 @@ mod tests {
 
         let est = Estimator::new(
             &cat,
-            &[
-                ("t".into(), "title".into()),
-                ("mi".into(), "scores".into()),
-            ],
+            &[("t".into(), "title".into()), ("mi".into(), "scores".into())],
         )
         .unwrap();
         let tree = PredicateTree::build(query.predicate.as_ref().unwrap());
@@ -504,23 +487,33 @@ mod tests {
 
     fn dnf() -> Expr {
         or(vec![
-            and(vec![col("t", "year").gt(2000i64), col("mi", "score").gt(7.0)]),
-            and(vec![col("t", "year").gt(1980i64), col("mi", "score").gt(8.0)]),
+            and(vec![
+                col("t", "year").gt(2000i64),
+                col("mi", "score").gt(7.0),
+            ]),
+            and(vec![
+                col("t", "year").gt(1980i64),
+                col("mi", "score").gt(8.0),
+            ]),
         ])
     }
 
     fn cnf() -> Expr {
         and(vec![
-            or(vec![col("t", "year").gt(2000i64), col("mi", "score").gt(7.0)]),
-            or(vec![col("t", "year").gt(1980i64), col("mi", "score").gt(8.0)]),
+            or(vec![
+                col("t", "year").gt(2000i64),
+                col("mi", "score").gt(7.0),
+            ]),
+            or(vec![
+                col("t", "year").gt(1980i64),
+                col("mi", "score").gt(8.0),
+            ]),
         ])
     }
 
     fn run_planner(f: &Fixture, kind: PlannerKind) -> PlannedQuery {
-        let builder = TagMapBuilder::new(
-            &f.tree,
-            TagMapStrategy::Generalized { use_closure: true },
-        );
+        let builder =
+            TagMapBuilder::new(&f.tree, TagMapStrategy::Generalized { use_closure: true });
         let input = PlannerInput {
             query: &f.query,
             tree: &f.tree,
@@ -695,7 +688,10 @@ mod tests {
     fn bpushconj_pushes_single_table_conjuncts() {
         let f = fixture(and(vec![
             col("t", "year").gt(2000i64),
-            or(vec![col("t", "year").gt(2010i64), col("mi", "score").gt(9.0)]),
+            or(vec![
+                col("t", "year").gt(2010i64),
+                col("mi", "score").gt(9.0),
+            ]),
         ]));
         let p = run_planner(&f, PlannerKind::BPushConj);
         let rendered = p.aplan().display(&f.tree);

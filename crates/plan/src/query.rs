@@ -215,10 +215,7 @@ mod tests {
         assert!(q.validate().is_err());
 
         // disconnected graph
-        let q = Query::new(vec![
-            ("a".into(), "x".into()),
-            ("b".into(), "y".into()),
-        ]);
+        let q = Query::new(vec![("a".into(), "x".into()), ("b".into(), "y".into())]);
         assert!(q.validate().is_err());
 
         // empty

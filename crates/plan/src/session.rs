@@ -9,12 +9,12 @@ use basilisk_expr::{ColumnRef, PredicateTree};
 use basilisk_storage::Column;
 use basilisk_types::{BasiliskError, Result};
 
+use crate::aplan::APlan;
 use crate::cost::CostModel;
 use crate::executor::{execute_tagged, execute_traditional};
 use crate::join_order::greedy_join_tree;
 use crate::planners::{plan as run_planner, PlannedQuery, PlannerInput, PlannerKind};
 use crate::query::Query;
-use crate::aplan::APlan;
 
 /// A planned query ready for (repeated) execution.
 pub enum Plan {
@@ -114,7 +114,10 @@ impl QuerySession {
             Some(t) => t.atom_ids().iter().any(|&id| {
                 let atom = t.atom(id).expect("atom id");
                 !matches!(atom, basilisk_expr::Atom::IsNull { .. })
-                    && est.null_frac(atom.column()).map(|f| f > 0.0).unwrap_or(false)
+                    && est
+                        .null_frac(atom.column())
+                        .map(|f| f > 0.0)
+                        .unwrap_or(false)
             }),
         };
         Ok(QuerySession {
@@ -184,8 +187,7 @@ impl QuerySession {
                 &self.est,
             )?));
         };
-        let builder =
-            TagMapBuilder::new(tree, self.strategy).with_three_valued(self.three_valued);
+        let builder = TagMapBuilder::new(tree, self.strategy).with_three_valued(self.three_valued);
         let input = PlannerInput {
             query: &self.query,
             tree,
@@ -250,7 +252,10 @@ impl QuerySession {
         match (plan, &self.tree) {
             (Plan::JoinOnly(aplan), _) => {
                 let dummy = PredicateTree::build(&basilisk_expr::col("·", "·").is_null());
-                format!("-- join-only plan (no predicate)\n{}", aplan.display(&dummy))
+                format!(
+                    "-- join-only plan (no predicate)\n{}",
+                    aplan.display(&dummy)
+                )
             }
             (Plan::WithPredicate(p), Some(tree)) => {
                 let header = match p {
@@ -305,8 +310,14 @@ mod tests {
         ])
         .join(ColumnRef::new("t", "id"), ColumnRef::new("mi", "movie_id"))
         .filter(or(vec![
-            and(vec![col("t", "year").gt(2000i64), col("mi", "score").gt(7.0)]),
-            and(vec![col("t", "year").gt(1980i64), col("mi", "score").gt(8.0)]),
+            and(vec![
+                col("t", "year").gt(2000i64),
+                col("mi", "score").gt(7.0),
+            ]),
+            and(vec![
+                col("t", "year").gt(1980i64),
+                col("mi", "score").gt(8.0),
+            ]),
         ]))
         .select(vec![ColumnRef::new("t", "id")])
     }

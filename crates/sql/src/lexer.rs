@@ -81,27 +81,45 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             b'.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             b'<' => {
@@ -119,7 +137,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         TokenKind::Lt
                     }
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             b'>' => {
                 let kind = if bytes.get(i + 1) == Some(&b'=') {
@@ -129,11 +150,17 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                     i += 1;
                     TokenKind::Gt
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(err("unexpected `!`", start));
@@ -165,7 +192,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         i += ch_len;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let mut j = i;
@@ -184,25 +214,26 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                     }
                 }
                 let text = &sql[i..j];
-                let kind = if is_float {
-                    TokenKind::Float(
-                        text.parse()
-                            .map_err(|_| err(format!("bad float literal {text}"), start))?,
-                    )
-                } else {
-                    TokenKind::Int(
-                        text.parse()
-                            .map_err(|_| err(format!("integer literal {text} out of range"), start))?,
-                    )
-                };
-                tokens.push(Token { kind, offset: start });
+                let kind =
+                    if is_float {
+                        TokenKind::Float(
+                            text.parse()
+                                .map_err(|_| err(format!("bad float literal {text}"), start))?,
+                        )
+                    } else {
+                        TokenKind::Int(text.parse().map_err(|_| {
+                            err(format!("integer literal {text} out of range"), start)
+                        })?)
+                    };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
             c if c == b'_' || c.is_ascii_alphabetic() => {
                 let mut j = i;
-                while j < bytes.len()
-                    && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
-                {
+                while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
                     j += 1;
                 }
                 tokens.push(Token {
@@ -310,7 +341,10 @@ mod tests {
                 TokenKind::Eof
             ]
         );
-        assert_eq!(kinds("'wörld'"), vec![TokenKind::Str("wörld".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("'wörld'"),
+            vec![TokenKind::Str("wörld".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -207,11 +207,9 @@ impl Parser {
     fn table_ref(&mut self) -> Result<(String, String)> {
         let name = self.ident()?;
         // optional AS, optional alias
-        let alias = if self.eat_keyword("as") {
-            self.ident()?
-        } else if matches!(self.peek(), TokenKind::Ident(s)
-            if !is_reserved(s))
-        {
+        let has_alias =
+            self.eat_keyword("as") || matches!(self.peek(), TokenKind::Ident(s) if !is_reserved(s));
+        let alias = if has_alias {
             self.ident()?
         } else {
             name.clone()
@@ -391,8 +389,24 @@ impl Parser {
 fn is_reserved(word: &str) -> bool {
     matches!(
         word,
-        "select" | "from" | "join" | "on" | "where" | "and" | "or" | "not" | "like" | "ilike"
-            | "is" | "null" | "in" | "between" | "as" | "true" | "false" | "limit"
+        "select"
+            | "from"
+            | "join"
+            | "on"
+            | "where"
+            | "and"
+            | "or"
+            | "not"
+            | "like"
+            | "ilike"
+            | "is"
+            | "null"
+            | "in"
+            | "between"
+            | "as"
+            | "true"
+            | "false"
+            | "limit"
     )
 }
 
@@ -438,8 +452,7 @@ mod tests {
 
     #[test]
     fn precedence_and_binds_tighter_than_or() {
-        let stmt =
-            parse_select("SELECT * FROM t WHERE t.a = 1 OR t.b = 2 AND t.c = 3").unwrap();
+        let stmt = parse_select("SELECT * FROM t WHERE t.a = 1 OR t.b = 2 AND t.c = 3").unwrap();
         let Expr::Or(children) = stmt.predicate.unwrap() else {
             panic!("OR at the root")
         };
@@ -462,9 +475,10 @@ mod tests {
     #[test]
     fn table_aliases() {
         // explicit AS, implicit alias, no alias
-        let stmt =
-            parse_select("SELECT * FROM title AS t JOIN movie m ON t.id = m.tid JOIN cast ON t.id = cast.tid")
-                .unwrap();
+        let stmt = parse_select(
+            "SELECT * FROM title AS t JOIN movie m ON t.id = m.tid JOIN cast ON t.id = cast.tid",
+        )
+        .unwrap();
         assert_eq!(
             stmt.tables,
             vec![
@@ -480,10 +494,7 @@ mod tests {
         let stmt = parse_select("SELECT t.id, t.year FROM title t").unwrap();
         assert_eq!(
             stmt.projection,
-            Projection::Columns(vec![
-                ColumnRef::new("t", "id"),
-                ColumnRef::new("t", "year")
-            ])
+            Projection::Columns(vec![ColumnRef::new("t", "id"), ColumnRef::new("t", "year")])
         );
     }
 
@@ -498,11 +509,17 @@ mod tests {
         };
         assert!(matches!(
             &children[0],
-            Expr::Atom(Atom::Like { case_insensitive: false, .. })
+            Expr::Atom(Atom::Like {
+                case_insensitive: false,
+                ..
+            })
         ));
         assert!(matches!(
             &children[1],
-            Expr::Atom(Atom::Like { case_insensitive: true, .. })
+            Expr::Atom(Atom::Like {
+                case_insensitive: true,
+                ..
+            })
         ));
         assert!(matches!(&children[2], Expr::Not(_)));
     }
@@ -581,8 +598,7 @@ mod tests {
 
     #[test]
     fn case_insensitive_keywords() {
-        let stmt =
-            parse_select("select * from T where T.A > 1 or not T.B like 'x'").unwrap();
+        let stmt = parse_select("select * from T where T.A > 1 or not T.B like 'x'").unwrap();
         assert!(stmt.predicate.is_some());
         assert_eq!(stmt.tables[0].0, "t");
     }

@@ -9,7 +9,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Identifies one page of one column file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,7 +71,7 @@ impl LfuPageCache {
         key: PageKey,
         load: impl FnOnce() -> Result<Vec<u8>, E>,
     ) -> Result<Arc<Vec<u8>>, E> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("page cache lock poisoned");
         if inner.map.contains_key(&key) {
             inner.stats.hits += 1;
             inner.touch(key);
@@ -85,12 +85,16 @@ impl LfuPageCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        self.inner.lock().expect("page cache lock poisoned").stats
     }
 
     /// Number of resident pages.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.inner
+            .lock()
+            .expect("page cache lock poisoned")
+            .map
+            .len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -99,14 +103,19 @@ impl LfuPageCache {
 
     /// Drop every cached page (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("page cache lock poisoned");
         inner.map.clear();
         inner.buckets.clear();
     }
 
     /// The access frequency of a resident page, if present (test hook).
     pub fn frequency_of(&self, key: PageKey) -> Option<u64> {
-        self.inner.lock().map.get(&key).map(|e| e.freq)
+        self.inner
+            .lock()
+            .expect("page cache lock poisoned")
+            .map
+            .get(&key)
+            .map(|e| e.freq)
     }
 }
 

@@ -74,15 +74,21 @@ impl DiskColumn {
         let mut page_first_row: Vec<u64> = Vec::new();
 
         match column.data() {
-            ColumnData::Int(v) => {
-                pack_fixed(v.iter().map(|x| x.to_le_bytes()), &mut pages, &mut page_first_row)
-            }
-            ColumnData::Float(v) => {
-                pack_fixed(v.iter().map(|x| x.to_le_bytes()), &mut pages, &mut page_first_row)
-            }
-            ColumnData::Bool(v) => {
-                pack_fixed(v.iter().map(|x| [*x as u8]), &mut pages, &mut page_first_row)
-            }
+            ColumnData::Int(v) => pack_fixed(
+                v.iter().map(|x| x.to_le_bytes()),
+                &mut pages,
+                &mut page_first_row,
+            ),
+            ColumnData::Float(v) => pack_fixed(
+                v.iter().map(|x| x.to_le_bytes()),
+                &mut pages,
+                &mut page_first_row,
+            ),
+            ColumnData::Bool(v) => pack_fixed(
+                v.iter().map(|x| [*x as u8]),
+                &mut pages,
+                &mut page_first_row,
+            ),
             ColumnData::Str(s) => pack_strings(s, &mut pages, &mut page_first_row)?,
         }
 
@@ -109,7 +115,7 @@ impl DiskColumn {
                     byte = 0;
                 }
             }
-            if column.len() % 8 != 0 {
+            if !column.len().is_multiple_of(8) {
                 out.push(byte);
             }
         }
@@ -168,7 +174,8 @@ impl DiskColumn {
             None
         };
 
-        let meta_len = HEADER_LEN + page_count * 8 + if has_validity { rows.div_ceil(8) } else { 0 };
+        let meta_len =
+            HEADER_LEN + page_count * 8 + if has_validity { rows.div_ceil(8) } else { 0 };
         let data_start = (meta_len.div_ceil(PAGE_SIZE) * PAGE_SIZE) as u64;
 
         Ok(DiskColumn {
@@ -232,6 +239,7 @@ impl DiskColumn {
             .map(|_| Bitmap::all_set(selection.count_ones()));
         let mut out_idx = 0usize;
         let mut current_page: Option<(usize, Arc<Vec<u8>>, DecodedValues)> = None;
+        #[allow(clippy::explicit_counter_loop)] // out_idx advances only on emit
         for row in selection.iter_ones() {
             let p = self.page_of_row(row);
             let needs_load = match &current_page {
@@ -308,8 +316,10 @@ impl DiskColumn {
         };
         self.cache.get_or_load(key, || {
             let mut buf = vec![0u8; PAGE_SIZE];
-            self.file
-                .read_exact_at(&mut buf, self.data_start + (page_no as u64) * PAGE_SIZE as u64)?;
+            self.file.read_exact_at(
+                &mut buf,
+                self.data_start + (page_no as u64) * PAGE_SIZE as u64,
+            )?;
             Ok::<_, BasiliskError>(buf)
         })
     }
@@ -324,6 +334,7 @@ fn pack_fixed<const W: usize>(
     let per_page = PAGE_SIZE / W;
     let mut row = 0u64;
     let mut page: Vec<u8> = Vec::with_capacity(PAGE_SIZE);
+    #[allow(clippy::explicit_counter_loop)] // row is a u64 over an unsized iter
     for v in values {
         if page.is_empty() {
             page_first_row.push(row);
@@ -435,12 +446,7 @@ impl DecodedValues {
     }
 }
 
-fn decode_page(
-    dtype: DataType,
-    page: &[u8],
-    count: usize,
-    out: &mut DecodedValues,
-) -> Result<()> {
+fn decode_page(dtype: DataType, page: &[u8], count: usize, out: &mut DecodedValues) -> Result<()> {
     match (dtype, out) {
         (DataType::Int, DecodedValues::Int(v)) => {
             for c in page.chunks_exact(8).take(count) {

@@ -90,10 +90,7 @@ pub struct Table {
 
 impl Table {
     /// Build an in-memory table from columns (all must share a length).
-    pub fn from_columns(
-        name: impl Into<String>,
-        columns: Vec<(String, Column)>,
-    ) -> Result<Table> {
+    pub fn from_columns(name: impl Into<String>, columns: Vec<(String, Column)>) -> Result<Table> {
         let name = name.into();
         let rows = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
         let mut by_name = HashMap::with_capacity(columns.len());
@@ -182,7 +179,9 @@ impl Table {
                 Some("column") => {
                     let cname = parts
                         .next()
-                        .ok_or_else(|| BasiliskError::Corrupt("manifest missing column name".into()))?
+                        .ok_or_else(|| {
+                            BasiliskError::Corrupt("manifest missing column name".into())
+                        })?
                         .to_owned();
                     let disk =
                         DiskColumn::open(&dir.join(format!("{cname}.col")), Arc::clone(&cache))?;
@@ -270,7 +269,8 @@ mod tests {
             (3, 1994, "The Shawshank Redemption"),
             (4, 1994, "Pulp Fiction"),
         ] {
-            b.push_row(vec![id.into(), year.into(), title.into()]).unwrap();
+            b.push_row(vec![id.into(), year.into(), title.into()])
+                .unwrap();
         }
         b.finish().unwrap()
     }
@@ -347,7 +347,9 @@ mod tests {
         let sparse = Bitmap::from_indices(n as usize, [3usize, 2000, 4000]);
         let dense = Bitmap::from_indices(n as usize, (0..3000).step_by(2));
 
-        let a = h.read_selected(&sparse, DEFAULT_SEQ_SCAN_THRESHOLD).unwrap();
+        let a = h
+            .read_selected(&sparse, DEFAULT_SEQ_SCAN_THRESHOLD)
+            .unwrap();
         let b = h.read_selected(&sparse, 1.1).unwrap(); // force page path
         assert_eq!(a, b);
         assert_eq!(a.as_ints().unwrap(), &[3, 2000, 4000]);

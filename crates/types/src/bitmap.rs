@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-const WORD_BITS: usize = 64;
+pub(crate) const WORD_BITS: usize = 64;
 
 /// A fixed-length dense bitset.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
@@ -176,7 +176,10 @@ impl Bitmap {
     /// True when every set bit of `self` is set in `other`.
     pub fn is_subset(&self, other: &Bitmap) -> bool {
         self.check_len(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate set-bit positions in increasing order.
@@ -200,7 +203,19 @@ impl Bitmap {
         self.iter_ones().next()
     }
 
-    fn mask_tail(&mut self) {
+    /// The backing words (tail bits beyond `len` are always zero).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable word access for sibling modules ([`crate::TruthMask`]);
+    /// callers must re-establish the zero-tail invariant via
+    /// [`Self::mask_tail`] after setting bits past `len`.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    pub(crate) fn mask_tail(&mut self) {
         let tail_bits = self.len % WORD_BITS;
         if tail_bits != 0 {
             if let Some(last) = self.words.last_mut() {
@@ -307,9 +322,7 @@ mod tests {
         assert_eq!(a.intersect(&b).to_indices(), vec![2, 3, 99]);
         assert_eq!(a.difference(&b).to_indices(), vec![1, 64]);
         assert!(!a.is_disjoint(&b));
-        assert!(a
-            .difference(&b)
-            .is_disjoint(&b.difference(&a)));
+        assert!(a.difference(&b).is_disjoint(&b.difference(&a)));
         assert!(a.intersect(&b).is_subset(&a));
         assert!(!a.is_subset(&b));
     }

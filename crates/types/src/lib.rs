@@ -16,9 +16,11 @@
 mod bitmap;
 mod error;
 mod truth;
+mod truthmask;
 mod value;
 
 pub use bitmap::{Bitmap, BitmapIter};
 pub use error::{BasiliskError, Result};
 pub use truth::Truth;
+pub use truthmask::TruthMask;
 pub use value::{DataType, Value};

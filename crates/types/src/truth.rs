@@ -42,6 +42,7 @@ impl Truth {
 
     /// Ternary NOT: unknown stays unknown.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // 3VL not, deliberately method-form
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,

@@ -1,0 +1,393 @@
+//! Vectorized three-valued logic: a `Vec<Truth>` as two dense bitmaps.
+//!
+//! The paper's performance argument for bitmap-sliced tagged execution
+//! (§2.5.1–§2.5.2) is that slice bookkeeping should cost bitmap
+//! instructions, not per-tuple work. [`TruthMask`] extends that idea to
+//! predicate evaluation itself: a vector of Kleene truth values is stored
+//! as a *true* bitmap and an *unknown* bitmap (false = neither), so the
+//! 3VL connectives become word-parallel bitwise identities — 64 lanes per
+//! instruction instead of one `Truth::and` per element.
+//!
+//! Encoding per lane: `T ⇔ tru=1`, `U ⇔ unk=1`, `F ⇔ both 0`; `tru ∧ unk`
+//! is never set (checked in debug builds). With that encoding the SQL
+//! Kleene tables of [`Truth`] reduce to:
+//!
+//! ```text
+//! AND: t = a.t & b.t          u = (a.u|b.u) & (a.t|a.u) & (b.t|b.u)
+//! OR:  t = a.t | b.t          u = (a.u|b.u) & !t
+//! NOT: t = !(a.t | a.u)       u = a.u
+//! ```
+
+use crate::bitmap::{Bitmap, WORD_BITS};
+use crate::truth::Truth;
+
+/// A fixed-length vector of [`Truth`] values stored as two bitmaps.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct TruthMask {
+    tru: Bitmap,
+    unk: Bitmap,
+}
+
+impl TruthMask {
+    /// An all-`False` mask of `len` lanes.
+    pub fn new_false(len: usize) -> TruthMask {
+        TruthMask {
+            tru: Bitmap::new(len),
+            unk: Bitmap::new(len),
+        }
+    }
+
+    /// A mask with every lane set to `value`.
+    pub fn splat(len: usize, value: Truth) -> TruthMask {
+        match value {
+            Truth::False => TruthMask::new_false(len),
+            Truth::True => TruthMask {
+                tru: Bitmap::all_set(len),
+                unk: Bitmap::new(len),
+            },
+            Truth::Unknown => TruthMask {
+                tru: Bitmap::new(len),
+                unk: Bitmap::all_set(len),
+            },
+        }
+    }
+
+    /// Build from a scalar truth vector.
+    pub fn from_truths(truths: &[Truth]) -> TruthMask {
+        TruthMask::from_lanes(truths.len(), |i| truths[i])
+    }
+
+    /// Build by evaluating `lane` for every position, packing 64 lanes per
+    /// word write. This is the dense fast path predicate evaluation uses.
+    pub fn from_lanes(len: usize, mut lane: impl FnMut(usize) -> Truth) -> TruthMask {
+        let mut out = TruthMask::new_false(len);
+        let words = len.div_ceil(WORD_BITS);
+        for w in 0..words {
+            let base = w * WORD_BITS;
+            let top = WORD_BITS.min(len - base);
+            let mut t = 0u64;
+            let mut u = 0u64;
+            for b in 0..top {
+                match lane(base + b) {
+                    Truth::True => t |= 1 << b,
+                    Truth::Unknown => u |= 1 << b,
+                    Truth::False => {}
+                }
+            }
+            out.tru.words_mut()[w] = t;
+            out.unk.words_mut()[w] = u;
+        }
+        out
+    }
+
+    /// Build by evaluating `lane` only at positions set in `sel`; every
+    /// other lane is `False`. This is the selection-vector path: operators
+    /// evaluating a predicate under a union-of-slices bitmap touch exactly
+    /// the selected tuples.
+    pub fn from_lanes_at(
+        len: usize,
+        sel: &Bitmap,
+        mut lane: impl FnMut(usize) -> Truth,
+    ) -> TruthMask {
+        assert_eq!(sel.len(), len, "selection length must match mask length");
+        let mut out = TruthMask::new_false(len);
+        for (w, &sel_word) in sel.words().iter().enumerate() {
+            if sel_word == 0 {
+                continue;
+            }
+            let base = w * WORD_BITS;
+            let mut bits = sel_word;
+            let mut t = 0u64;
+            let mut u = 0u64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                match lane(base + b) {
+                    Truth::True => t |= 1 << b,
+                    Truth::Unknown => u |= 1 << b,
+                    Truth::False => {}
+                }
+            }
+            out.tru.words_mut()[w] = t;
+            out.unk.words_mut()[w] = u;
+        }
+        out
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tru.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tru.is_empty()
+    }
+
+    /// The truth value of one lane.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Truth {
+        if self.tru.get(idx) {
+            Truth::True
+        } else if self.unk.get(idx) {
+            Truth::Unknown
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Set one lane.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: Truth) {
+        self.tru.assign(idx, value == Truth::True);
+        self.unk.assign(idx, value == Truth::Unknown);
+    }
+
+    /// Lanes that are `True` — exactly the tuples a WHERE admits.
+    pub fn trues(&self) -> &Bitmap {
+        &self.tru
+    }
+
+    /// Lanes that are `Unknown`.
+    pub fn unknowns(&self) -> &Bitmap {
+        &self.unk
+    }
+
+    /// Lanes that are `False`, materialized (`!(tru | unk)` masked to
+    /// length). Prefer [`Self::split_under`] when a selection applies.
+    pub fn falses(&self) -> Bitmap {
+        let mut out = self.tru.union(&self.unk);
+        out.negate();
+        out
+    }
+
+    /// Consume the mask, keeping only the `True` bitmap.
+    pub fn into_trues(self) -> Bitmap {
+        self.tru
+    }
+
+    pub fn count_true(&self) -> usize {
+        self.tru.count_ones()
+    }
+
+    pub fn count_unknown(&self) -> usize {
+        self.unk.count_ones()
+    }
+
+    pub fn count_false(&self) -> usize {
+        self.len() - self.count_true() - self.count_unknown()
+    }
+
+    /// Expand back to a scalar truth vector (tests / compatibility).
+    pub fn to_truths(&self) -> Vec<Truth> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Kleene AND, 64 lanes per instruction: `self &= other`.
+    ///
+    /// Result is true only where both are true; unknown where neither side
+    /// is false but at least one is unknown.
+    pub fn and_with(&mut self, other: &TruthMask) {
+        assert_eq!(self.len(), other.len(), "truth mask length mismatch");
+        let TruthMask { tru, unk } = self;
+        let it = tru.words_mut().iter_mut().zip(unk.words_mut());
+        for ((t, u), (&bt, &bu)) in it.zip(other.tru.words().iter().zip(other.unk.words())) {
+            let (at, au) = (*t, *u);
+            *t = at & bt;
+            *u = (au | bu) & (at | au) & (bt | bu);
+        }
+        debug_assert!(self.check_disjoint());
+    }
+
+    /// Kleene OR, 64 lanes per instruction: `self |= other`.
+    ///
+    /// Result is true where either is true; unknown where neither is true
+    /// and at least one is unknown.
+    pub fn or_with(&mut self, other: &TruthMask) {
+        assert_eq!(self.len(), other.len(), "truth mask length mismatch");
+        let TruthMask { tru, unk } = self;
+        let it = tru.words_mut().iter_mut().zip(unk.words_mut());
+        for ((t, u), (&bt, &bu)) in it.zip(other.tru.words().iter().zip(other.unk.words())) {
+            let rt = *t | bt;
+            *u = (*u | bu) & !rt;
+            *t = rt;
+        }
+        debug_assert!(self.check_disjoint());
+    }
+
+    /// Kleene NOT in place: true↔false, unknown fixed.
+    pub fn negate(&mut self) {
+        let TruthMask { tru, unk } = self;
+        for (t, &u) in tru.words_mut().iter_mut().zip(unk.words()) {
+            *t = !(*t | u);
+        }
+        tru.mask_tail();
+        debug_assert!(self.check_disjoint());
+    }
+
+    /// Treat lanes outside `sel` as `False` (used after NOT, which turns
+    /// unevaluated `False` lanes into `True`).
+    pub fn restrict_to(&mut self, sel: &Bitmap) {
+        self.tru.intersect_with(sel);
+        self.unk.intersect_with(sel);
+    }
+
+    /// Route the lanes of one relational slice by outcome:
+    /// `(slice ∩ true, slice ∩ false, slice ∩ unknown)` — the §2.2 filter
+    /// dispatch as three bitmap intersections.
+    pub fn split_under(&self, slice: &Bitmap) -> (Bitmap, Bitmap, Bitmap) {
+        let pos = slice.intersect(&self.tru);
+        let unk = slice.intersect(&self.unk);
+        let mut neg = slice.difference(&self.tru);
+        neg.difference_with(&self.unk);
+        (pos, neg, unk)
+    }
+
+    /// Debug invariant: no lane is both true and unknown.
+    pub fn check_disjoint(&self) -> bool {
+        self.tru.is_disjoint(&self.unk)
+    }
+}
+
+impl std::fmt::Debug for TruthMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TruthMask(len={}, [", self.len())?;
+        for i in 0..self.len().min(64) {
+            write!(f, "{}", self.get(i).code())?;
+        }
+        if self.len() > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(t: Truth) -> TruthMask {
+        TruthMask::from_truths(&[t])
+    }
+
+    #[test]
+    fn connectives_match_scalar_tables() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                let mut m = single(a);
+                m.and_with(&single(b));
+                assert_eq!(m.get(0), a.and(b), "AND({a},{b})");
+                let mut m = single(a);
+                m.or_with(&single(b));
+                assert_eq!(m.get(0), a.or(b), "OR({a},{b})");
+            }
+            let mut m = single(a);
+            m.negate();
+            assert_eq!(m.get(0), a.not(), "NOT({a})");
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_counts_across_words() {
+        let truths: Vec<Truth> = (0..150)
+            .map(|i| match i % 3 {
+                0 => Truth::True,
+                1 => Truth::False,
+                _ => Truth::Unknown,
+            })
+            .collect();
+        let m = TruthMask::from_truths(&truths);
+        assert!(m.check_disjoint());
+        assert_eq!(m.to_truths(), truths);
+        assert_eq!(m.count_true(), 50);
+        assert_eq!(m.count_false(), 50);
+        assert_eq!(m.count_unknown(), 50);
+        assert_eq!(m.trues().count_ones(), 50);
+        assert_eq!(m.unknowns().count_ones(), 50);
+        assert_eq!(m.falses().count_ones(), 50);
+    }
+
+    #[test]
+    fn negate_masks_tail_word() {
+        // 70 lanes: negating all-false must not set bits 70..128.
+        let mut m = TruthMask::new_false(70);
+        m.negate();
+        assert_eq!(m.count_true(), 70);
+        m.negate();
+        assert_eq!(m.count_true(), 0);
+        assert_eq!(m.count_false(), 70);
+    }
+
+    #[test]
+    fn splat_and_set() {
+        let mut m = TruthMask::splat(10, Truth::Unknown);
+        assert_eq!(m.count_unknown(), 10);
+        m.set(3, Truth::True);
+        m.set(4, Truth::False);
+        assert_eq!(m.get(3), Truth::True);
+        assert_eq!(m.get(4), Truth::False);
+        assert_eq!(m.count_unknown(), 8);
+        assert!(m.check_disjoint());
+    }
+
+    #[test]
+    fn selective_lanes_default_false() {
+        let sel = Bitmap::from_indices(130, [0usize, 63, 64, 129]);
+        let m = TruthMask::from_lanes_at(130, &sel, |i| {
+            if i == 63 {
+                Truth::Unknown
+            } else {
+                Truth::True
+            }
+        });
+        assert_eq!(m.get(0), Truth::True);
+        assert_eq!(m.get(63), Truth::Unknown);
+        assert_eq!(m.get(64), Truth::True);
+        assert_eq!(m.get(129), Truth::True);
+        assert_eq!(m.get(1), Truth::False, "unselected lanes are false");
+        assert_eq!(m.count_true(), 3);
+    }
+
+    #[test]
+    fn split_under_routes_slices() {
+        let truths: Vec<Truth> = vec![
+            Truth::True,
+            Truth::False,
+            Truth::Unknown,
+            Truth::True,
+            Truth::False,
+        ];
+        let m = TruthMask::from_truths(&truths);
+        let slice = Bitmap::from_indices(5, [0usize, 1, 2]);
+        let (pos, neg, unk) = m.split_under(&slice);
+        assert_eq!(pos.to_indices(), vec![0]);
+        assert_eq!(neg.to_indices(), vec![1]);
+        assert_eq!(unk.to_indices(), vec![2]);
+    }
+
+    #[test]
+    fn restrict_to_clears_outside_lanes() {
+        let mut m = TruthMask::splat(8, Truth::True);
+        let sel = Bitmap::from_indices(8, [1usize, 2]);
+        m.restrict_to(&sel);
+        assert_eq!(m.count_true(), 2);
+        assert_eq!(m.get(0), Truth::False);
+    }
+
+    #[test]
+    fn de_morgan_word_parallel() {
+        let a: Vec<Truth> = (0..200).map(|i| Truth::ALL[i % 3]).collect();
+        let b: Vec<Truth> = (0..200).map(|i| Truth::ALL[(i / 3) % 3]).collect();
+        let (ma, mb) = (TruthMask::from_truths(&a), TruthMask::from_truths(&b));
+        // !(a & b) == !a | !b
+        let mut lhs = ma.clone();
+        lhs.and_with(&mb);
+        lhs.negate();
+        let (mut na, mut nb) = (ma, mb);
+        na.negate();
+        nb.negate();
+        na.or_with(&nb);
+        assert_eq!(lhs.to_truths(), na.to_truths());
+    }
+}

@@ -17,7 +17,14 @@ use crate::zipf::Zipf;
 
 /// Marker words planted in titles (LIKE targets).
 pub const TITLE_MARKERS: [&str; 8] = [
-    "godfather", "man", "lord", "dark", "love", "war", "star", "night",
+    "godfather",
+    "man",
+    "lord",
+    "dark",
+    "love",
+    "war",
+    "star",
+    "night",
 ];
 
 /// Marker words planted in character names.
@@ -74,19 +81,20 @@ pub fn generate_imdb(cfg: &ImdbConfig) -> Result<Vec<Table>> {
     let n_keyword = scaled(2_000, cfg.scale);
     let n_char = scaled(6_000, cfg.scale);
 
-    let mut tables = Vec::new();
-    tables.push(gen_title(&mut rng, n_title)?);
-    tables.push(gen_movie_info_idx(&mut rng, n_title)?);
-    tables.push(gen_movie_companies(&mut rng, n_title, n_company)?);
-    tables.push(gen_company_name(&mut rng, n_company)?);
-    tables.push(gen_movie_keyword(&mut rng, n_title, n_keyword)?);
-    tables.push(gen_keyword(&mut rng, n_keyword)?);
-    tables.push(gen_cast_info(&mut rng, n_title, n_char)?);
-    tables.push(gen_char_name(&mut rng, n_char)?);
-    tables.push(gen_info_type()?);
-    tables.push(gen_kind_type()?);
-    tables.push(gen_company_type()?);
-    tables.push(gen_role_type()?);
+    let tables = vec![
+        gen_title(&mut rng, n_title)?,
+        gen_movie_info_idx(&mut rng, n_title)?,
+        gen_movie_companies(&mut rng, n_title, n_company)?,
+        gen_company_name(&mut rng, n_company)?,
+        gen_movie_keyword(&mut rng, n_title, n_keyword)?,
+        gen_keyword(&mut rng, n_keyword)?,
+        gen_cast_info(&mut rng, n_title, n_char)?,
+        gen_char_name(&mut rng, n_char)?,
+        gen_info_type()?,
+        gen_kind_type()?,
+        gen_company_type()?,
+        gen_role_type()?,
+    ];
     Ok(tables)
 }
 
@@ -124,12 +132,7 @@ fn gen_title(rng: &mut StdRng, n: usize) -> Result<Table> {
         if rng.gen_bool(0.3) {
             title = format!("{title} {}", rng.gen_range(2..9));
         }
-        b.push_row(vec![
-            i.into(),
-            kind_id.into(),
-            year.into(),
-            title.into(),
-        ])?;
+        b.push_row(vec![i.into(), kind_id.into(), year.into(), title.into()])?;
     }
     b.finish()
 }
@@ -421,7 +424,11 @@ mod tests {
         let title = &tables[0];
         let n = title.num_rows() as i64;
         let mi = &tables[1];
-        assert_eq!(mi.num_rows(), 2 * title.num_rows(), "rating+votes per movie");
+        assert_eq!(
+            mi.num_rows(),
+            2 * title.num_rows(),
+            "rating+votes per movie"
+        );
         let movie_ids = mi.column("movie_id").unwrap().scan().unwrap();
         assert!(movie_ids
             .as_ints()
@@ -443,7 +450,10 @@ mod tests {
     #[test]
     fn nullable_notes_exist() {
         let tables = small();
-        let mc = tables.iter().find(|t| t.name() == "movie_companies").unwrap();
+        let mc = tables
+            .iter()
+            .find(|t| t.name() == "movie_companies")
+            .unwrap();
         let notes = mc.column("note").unwrap().scan().unwrap();
         assert!(notes.null_count() > 0, "note must be nullable");
         assert!(notes.null_count() < notes.len(), "but not all null");

@@ -41,21 +41,61 @@ pub struct JobQuery {
 /// Which fact-table spokes a group joins, beyond `title`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Combo {
-    mi: bool,  // movie_info_idx (ratings)
-    mk: bool,  // movie_keyword + keyword
-    mc: bool,  // movie_companies + company_name
-    ci: bool,  // cast_info + char_name
+    mi: bool, // movie_info_idx (ratings)
+    mk: bool, // movie_keyword + keyword
+    mc: bool, // movie_companies + company_name
+    ci: bool, // cast_info + char_name
 }
 
 const COMBOS: [Combo; 8] = [
-    Combo { mi: true, mk: false, mc: false, ci: false },
-    Combo { mi: true, mk: true, mc: false, ci: false },
-    Combo { mi: false, mk: false, mc: true, ci: false },
-    Combo { mi: true, mk: false, mc: true, ci: false },
-    Combo { mi: false, mk: true, mc: false, ci: true },
-    Combo { mi: true, mk: false, mc: false, ci: true },
-    Combo { mi: false, mk: true, mc: true, ci: false },
-    Combo { mi: true, mk: true, mc: false, ci: true },
+    Combo {
+        mi: true,
+        mk: false,
+        mc: false,
+        ci: false,
+    },
+    Combo {
+        mi: true,
+        mk: true,
+        mc: false,
+        ci: false,
+    },
+    Combo {
+        mi: false,
+        mk: false,
+        mc: true,
+        ci: false,
+    },
+    Combo {
+        mi: true,
+        mk: false,
+        mc: true,
+        ci: false,
+    },
+    Combo {
+        mi: false,
+        mk: true,
+        mc: false,
+        ci: true,
+    },
+    Combo {
+        mi: true,
+        mk: false,
+        mc: false,
+        ci: true,
+    },
+    Combo {
+        mi: false,
+        mk: true,
+        mc: true,
+        ci: false,
+    },
+    Combo {
+        mi: true,
+        mk: true,
+        mc: false,
+        ci: true,
+    },
 ];
 
 /// Generate the 33 combined queries with a fixed seed.
@@ -203,9 +243,9 @@ mod tests {
         let queries = job_queries(42);
         assert_eq!(queries.len(), 33);
         for q in &queries {
-            q.query.validate().unwrap_or_else(|e| {
-                panic!("group {} invalid: {e}\n{:?}", q.group, q.query)
-            });
+            q.query
+                .validate()
+                .unwrap_or_else(|e| panic!("group {} invalid: {e}\n{:?}", q.group, q.query));
             assert!(q.variants >= 2);
             let p = q.query.predicate.as_ref().unwrap();
             assert!(matches!(p, Expr::Or(cs) if cs.len() == q.variants));
@@ -288,9 +328,7 @@ mod tests {
         for q in job_queries(42).into_iter().step_by(11) {
             let dnf = q.query.clone();
             let mut fact = q.query.clone();
-            fact.predicate = Some(factor_common_conjuncts(
-                dnf.predicate.as_ref().unwrap(),
-            ));
+            fact.predicate = Some(factor_common_conjuncts(dnf.predicate.as_ref().unwrap()));
             let s1 = QuerySession::new(&cat, dnf).unwrap();
             let s2 = QuerySession::new(&cat, fact).unwrap();
             let r1 = s1

@@ -24,7 +24,5 @@ pub mod zipf;
 
 pub use imdb::{generate_imdb, ImdbConfig};
 pub use job::{job_queries, job_query, JobQuery};
-pub use synthetic::{
-    cnf_query, dnf_query, generate_synthetic, SyntheticConfig,
-};
+pub use synthetic::{cnf_query, dnf_query, generate_synthetic, SyntheticConfig};
 pub use zipf::Zipf;

@@ -104,10 +104,7 @@ pub fn dnf_query(clauses: usize, sel: f64, outer_factor: Option<f64>) -> Query {
     let mut terms: Vec<Expr> = Vec::with_capacity(clauses);
     for i in 1..=clauses {
         let a = format!("a{i}");
-        let mut conj = vec![
-            col("t1", &a).lt(sel),
-            col("t2", &a).lt(sel),
-        ];
+        let mut conj = vec![col("t1", &a).lt(sel), col("t2", &a).lt(sel)];
         if let Some(f) = outer_factor {
             conj.insert(0, col("t0", "a1").lt(f));
         }
@@ -127,10 +124,7 @@ pub fn cnf_query(clauses: usize, sel: f64, outer_factor: Option<f64>) -> Query {
     }
     for i in 1..=clauses {
         let a = format!("a{i}");
-        terms.push(or(vec![
-            col("t1", &a).lt(sel),
-            col("t2", &a).lt(sel),
-        ]));
+        terms.push(or(vec![col("t1", &a).lt(sel), col("t2", &a).lt(sel)]));
     }
     base_query().filter(and(terms))
 }
@@ -166,7 +160,7 @@ mod tests {
         assert_eq!(tables[0].name(), "t0");
         assert_eq!(tables[0].num_rows(), 200);
         assert_eq!(tables[0].num_columns(), 3); // id + a1 + a2
-        // T0 ids dense 1..=n.
+                                                // T0 ids dense 1..=n.
         let ids = tables[0].column("id").unwrap().scan().unwrap();
         assert_eq!(ids.as_ints().unwrap()[0], 1);
         assert_eq!(ids.as_ints().unwrap()[199], 200);
@@ -183,7 +177,11 @@ mod tests {
         }
         // Attributes in [0,1).
         let a1 = tables[1].column("a1").unwrap().scan().unwrap();
-        assert!(a1.as_floats().unwrap().iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert!(a1
+            .as_floats()
+            .unwrap()
+            .iter()
+            .all(|&x| (0.0..1.0).contains(&x)));
     }
 
     #[test]

@@ -84,7 +84,11 @@ mod tests {
         }
         // Head frequency close to pmf(1) (≈ 0.38 for s=1.5, n=50).
         let head = counts[1] as f64 / n as f64;
-        assert!((head - z.pmf(1)).abs() < 0.01, "head {head} vs {}", z.pmf(1));
+        assert!(
+            (head - z.pmf(1)).abs() < 0.01,
+            "head {head} vs {}",
+            z.pmf(1)
+        );
         // Monotone-ish: 1 is the most common value.
         assert!(counts[1] > counts[2]);
         assert!(counts[2] > counts[10]);

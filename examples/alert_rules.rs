@@ -35,7 +35,10 @@ fn main() -> Result<()> {
     // variants of the alert predicate.
     for (name, query) in [
         ("DNF — any rule fully matches", dnf_query(2, 0.2, None)),
-        ("CNF — every rule partially matches", cnf_query(2, 0.2, None)),
+        (
+            "CNF — every rule partially matches",
+            cnf_query(2, 0.2, None),
+        ),
     ] {
         println!("== {name} ==");
         println!("predicate: {}\n", query.predicate.as_ref().unwrap());
@@ -66,10 +69,12 @@ fn main() -> Result<()> {
     let query = dnf_query(3, 0.2, None);
     for (label, strategy) in [
         ("naive", TagMapStrategy::Naive),
-        ("generalized", TagMapStrategy::Generalized { use_closure: true }),
+        (
+            "generalized",
+            TagMapStrategy::Generalized { use_closure: true },
+        ),
     ] {
-        let session =
-            QuerySession::new(&catalog, query.clone())?.with_strategy(strategy);
+        let session = QuerySession::new(&catalog, query.clone())?.with_strategy(strategy);
         let (out, t) = session.run(PlannerKind::TPushdown)?;
         println!(
             "{label:>12}: {:>8.2} ms, {} alerts",

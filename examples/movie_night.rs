@@ -23,14 +23,14 @@ fn main() -> Result<()> {
 
     let jq = job_query(group, 42);
     println!("\n== {} ==", jq.label);
-    println!(
-        "predicate: {}\n",
-        jq.query.predicate.as_ref().unwrap()
-    );
+    println!("predicate: {}\n", jq.query.predicate.as_ref().unwrap());
 
     // The disjunctive (OR-rooted) form: BDisj vs the tagged planners.
     let session = QuerySession::new(&catalog, jq.query.clone())?;
-    println!("{:>11} {:>12} {:>12} {:>8}", "planner", "plan(µs)", "exec(ms)", "rows");
+    println!(
+        "{:>11} {:>12} {:>12} {:>8}",
+        "planner", "plan(µs)", "exec(ms)", "rows"
+    );
     for kind in [
         PlannerKind::BDisj,
         PlannerKind::TPushdown,
@@ -58,7 +58,11 @@ fn main() -> Result<()> {
         factored.predicate.as_ref().unwrap()
     );
     let session = QuerySession::new(&catalog, factored)?;
-    for kind in [PlannerKind::BPushConj, PlannerKind::TPushConj, PlannerKind::TCombined] {
+    for kind in [
+        PlannerKind::BPushConj,
+        PlannerKind::TPushConj,
+        PlannerKind::TCombined,
+    ] {
         let (out, t) = session.run(kind)?;
         println!(
             "{:>11} {:>12.0} {:>12.2} {:>8}",

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use basilisk::{Database, DataType, PlannerKind, Result, TableBuilder};
+use basilisk::{DataType, Database, PlannerKind, Result, TableBuilder};
 
 fn main() -> Result<()> {
     // 1. Build the two tables from the paper's Examples 1–3.
@@ -61,18 +61,21 @@ fn main() -> Result<()> {
     println!(
         "planner: {} (chose {}), planned in {:?}, executed in {:?}\n",
         result.planner,
-        result
-            .chosen
-            .map(|k| k.name())
-            .unwrap_or("n/a"),
+        result.chosen.map(|k| k.name()).unwrap_or("n/a"),
         result.timings.planning,
         result.timings.execution
     );
 
     // 4. Look at the plans: tagged pushdown vs the traditional
     //    union-of-clauses rewrite.
-    println!("-- tagged plan --\n{}", db.explain(sql, PlannerKind::TCombined)?);
-    println!("-- traditional BDisj plan --\n{}", db.explain(sql, PlannerKind::BDisj)?);
+    println!(
+        "-- tagged plan --\n{}",
+        db.explain(sql, PlannerKind::TCombined)?
+    );
+    println!(
+        "-- traditional BDisj plan --\n{}",
+        db.explain(sql, PlannerKind::BDisj)?
+    );
 
     Ok(())
 }

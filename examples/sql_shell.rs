@@ -40,10 +40,7 @@ fn main() -> Result<()> {
     })? {
         db.register(t)?;
     }
-    eprintln!(
-        "tables: {}\n",
-        db.catalog().table_names().join(", ")
-    );
+    eprintln!("tables: {}\n", db.catalog().table_names().join(", "));
     eprintln!("basilisk sql shell — end queries with `;`, \\q to quit");
 
     let stdin = std::io::stdin();

@@ -4,8 +4,7 @@
 //! a brute-force oracle that evaluates the predicate per joined tuple.
 
 use basilisk::{
-    and, col, not, or, Catalog, ColumnRef, Expr, PlannerKind, Query, QuerySession, Truth,
-    Value,
+    and, col, not, or, Catalog, ColumnRef, Expr, PlannerKind, Query, QuerySession, Truth, Value,
 };
 use basilisk::{DataType, TableBuilder};
 use proptest::prelude::*;
@@ -56,7 +55,7 @@ fn pred_strategy() -> impl Strategy<Value = Expr> {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
-            inner.prop_map(|e| not(e)),
+            inner.prop_map(not),
         ]
     })
 }
@@ -131,13 +130,13 @@ fn oracle(data: &Data, pred: &Expr) -> Vec<(usize, usize)> {
                             }
                         }
                     }
-                    Atom::Like { col, pattern, case_insensitive } => {
+                    Atom::Like {
+                        col,
+                        pattern,
+                        case_insensitive,
+                    } => {
                         let s = if col.table == "l" { l.2 } else { r.2 };
-                        Truth::from(basilisk_expr::like_match(
-                            s,
-                            pattern,
-                            *case_insensitive,
-                        ))
+                        Truth::from(basilisk_expr::like_match(s, pattern, *case_insensitive))
                     }
                     Atom::IsNull { col } => {
                         let is_null = if col.table == "l" {

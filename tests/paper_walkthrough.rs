@@ -2,7 +2,7 @@
 //! the exact rows of Examples 1–4, through the public SQL API, under every
 //! planner.
 
-use basilisk::{Database, DataType, PlannerKind, TableBuilder, Value};
+use basilisk::{DataType, Database, PlannerKind, TableBuilder, Value};
 
 fn paper_db() -> Database {
     let mut db = Database::new();

@@ -1,7 +1,7 @@
 //! SQL-level feature coverage through the Database facade: every predicate
 //! form the parser supports, executed under both execution models.
 
-use basilisk::{Database, DataType, PlannerKind, TableBuilder, Value};
+use basilisk::{DataType, Database, PlannerKind, TableBuilder, Value};
 
 fn db() -> Database {
     let mut db = Database::new();
@@ -26,7 +26,14 @@ fn db() -> Database {
     let mut b = TableBuilder::new("visits")
         .column("person_id", DataType::Int)
         .column("score", DataType::Float);
-    for (pid, s) in [(1i64, 0.9), (1, 0.2), (2, 0.5), (3, 0.7), (4, 0.1), (5, 0.8)] {
+    for (pid, s) in [
+        (1i64, 0.9),
+        (1, 0.2),
+        (2, 0.5),
+        (3, 0.7),
+        (4, 0.1),
+        (5, 0.8),
+    ] {
         b.push_row(vec![pid.into(), s.into()]).unwrap();
     }
     db.register(b.finish().unwrap()).unwrap();
@@ -54,11 +61,17 @@ fn agree(db: &Database, sql: &str) -> usize {
 fn between_desugars() {
     let db = db();
     assert_eq!(
-        agree(&db, "SELECT p.id FROM people p WHERE p.age BETWEEN 30 AND 45"),
+        agree(
+            &db,
+            "SELECT p.id FROM people p WHERE p.age BETWEEN 30 AND 45"
+        ),
         2
     );
     assert_eq!(
-        agree(&db, "SELECT p.id FROM people p WHERE p.age NOT BETWEEN 30 AND 45"),
+        agree(
+            &db,
+            "SELECT p.id FROM people p WHERE p.age NOT BETWEEN 30 AND 45"
+        ),
         2,
         "NULL ages fail both BETWEEN and NOT BETWEEN"
     );
@@ -153,14 +166,20 @@ fn nested_not_and_mixed_forms() {
 fn count_star_and_limit() {
     let db = db();
     let r = db
-        .sql_with("SELECT COUNT(*) FROM people p WHERE p.city = 'London'", PlannerKind::TCombined)
+        .sql_with(
+            "SELECT COUNT(*) FROM people p WHERE p.city = 'London'",
+            PlannerKind::TCombined,
+        )
         .unwrap();
     assert_eq!(r.row_count, 1);
     assert_eq!(r.columns[0].1.value(0), Value::Int(2));
     assert!(r.to_table_string(5).contains("count(*)"));
 
     let r = db
-        .sql_with("SELECT p.id FROM people p WHERE p.id > 0 LIMIT 3", PlannerKind::BPushConj)
+        .sql_with(
+            "SELECT p.id FROM people p WHERE p.id > 0 LIMIT 3",
+            PlannerKind::BPushConj,
+        )
         .unwrap();
     assert_eq!(r.row_count, 3);
     assert_eq!(r.columns[0].1.len(), 3);

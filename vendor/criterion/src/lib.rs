@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small wall-clock harness with criterion's API shape: `benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. No statistical regression machinery — each benchmark reports
+//! median / mean / min over its samples, which is enough to record the
+//! perf trajectory in CI logs.
+//!
+//! `--test` (what `cargo test` passes to `harness = false` targets) runs
+//! every benchmark exactly once as a smoke test. A substring filter
+//! argument (as in `cargo bench -- filter`) restricts which benchmarks
+//! run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.criterion.should_run(&full) {
+            run_benchmark(&full, self.sample_size, self.criterion.test_mode, |b| f(b));
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.criterion.should_run(&full) {
+            run_benchmark(&full, self.sample_size, self.criterion.test_mode, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            rendered: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark id: strings or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.rendered
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; its `iter` does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, test_mode: bool, mut f: F) {
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+
+    // Calibrate the per-sample iteration count towards ~5ms per sample,
+    // starting from a single timed run.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(5);
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter[0];
+    println!(
+        "{id:<48} median {:>12}  mean {:>12}  min {:>12}  ({} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        per_iter.len(),
+        iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(
+            BenchmarkId::new("f", 32).into_benchmark_id(),
+            "f/32".to_string()
+        );
+        assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_id(), "x");
+    }
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0;
+        group.sample_size(10).bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}
