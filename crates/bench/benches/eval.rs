@@ -13,50 +13,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use basilisk_expr::eval::{eval_node, eval_node_mask, MapProvider};
-use basilisk_expr::{and, col, or, ColumnRef, Expr, PredicateTree};
-use basilisk_storage::Column;
-use basilisk_types::Bitmap;
-
-const ROWS: usize = 65_536;
-
-/// Deterministic pseudo-random ints in [0, 1000).
-fn column(seed: u64) -> Column {
-    let mut state = seed;
-    Column::from_ints(
-        (0..ROWS)
-            .map(|_| {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                ((state >> 33) % 1000) as i64
-            })
-            .collect(),
-    )
-}
-
-fn provider() -> MapProvider {
-    MapProvider::new(ROWS)
-        .with(ColumnRef::new("t", "a"), column(1))
-        .with(ColumnRef::new("t", "b"), column(2))
-        .with(ColumnRef::new("t", "c"), column(3))
-}
-
-/// A 6-arm disjunction of conjunctions over three columns; `t` sweeps the
-/// per-atom selectivity.
-fn wide_disjunction(t: i64) -> Expr {
-    or(vec![
-        and(vec![col("t", "a").lt(t), col("t", "b").lt(t)]),
-        and(vec![col("t", "b").lt(t), col("t", "c").lt(t)]),
-        and(vec![col("t", "a").ge(1000 - t), col("t", "c").lt(t)]),
-        and(vec![col("t", "c").ge(1000 - t), col("t", "a").lt(t)]),
-        and(vec![col("t", "b").ge(1000 - t), col("t", "c").ge(1000 - t)]),
-        and(vec![col("t", "a").lt(t), col("t", "c").ge(1000 - t)]),
-    ])
-}
+use basilisk_bench::workload::{int_column_with_nulls, provider, wide_disjunction, ROWS};
+use basilisk_expr::eval::{eval_atom_mask, eval_node, eval_node_mask};
+use basilisk_expr::{Atom, CmpOp, ColumnRef, PredicateTree};
+use basilisk_types::{Bitmap, MaskArena, Truth, TruthMask, Value};
 
 fn bench_eval(c: &mut Criterion) {
     let prov = provider();
+    // One arena across iterations: the measured loop is the pooled,
+    // allocation-free steady state every engine operator runs in.
+    let arena = MaskArena::new();
     let mut group = c.benchmark_group("eval_disjunction_64k");
     group.sample_size(30);
     for pct in [10i64, 50, 90] {
@@ -68,15 +34,63 @@ fn bench_eval(c: &mut Criterion) {
             b.iter(|| eval_node(&tree, root, &prov).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("vectorized", pct), &pct, |b, _| {
-            b.iter(|| eval_node_mask(&tree, root, &prov, &full).unwrap())
+            b.iter(|| {
+                let m = eval_node_mask(&tree, root, &prov, &full, &arena).unwrap();
+                let n = m.count_true();
+                arena.recycle_mask(m);
+                n
+            })
         });
 
         // The tagged-filter shape: evaluate only a sparse union of slices.
         let sparse = Bitmap::from_indices(ROWS, (0..ROWS).filter(|i| i % 16 == 0));
         group.bench_with_input(BenchmarkId::new("vectorized_sparse", pct), &pct, |b, _| {
-            b.iter(|| eval_node_mask(&tree, root, &prov, &sparse).unwrap())
+            b.iter(|| {
+                let m = eval_node_mask(&tree, root, &prov, &sparse, &arena).unwrap();
+                let n = m.count_true();
+                arena.recycle_mask(m);
+                n
+            })
         });
     }
+    group.finish();
+}
+
+/// The ISSUE-2 acceptance benchmark: branchless compare-into-word Int
+/// kernel vs the per-lane branching path it replaced (validity branch +
+/// comparison per lane, rebuilt here verbatim via `from_lanes`).
+fn bench_cmp_kernel(c: &mut Criterion) {
+    let column = int_column_with_nulls(7);
+    let atom = Atom::Cmp {
+        col: ColumnRef::new("t", "a"),
+        op: CmpOp::Lt,
+        value: Value::Int(500),
+    };
+    let full = Bitmap::all_set(ROWS);
+    let arena = MaskArena::new();
+
+    let mut group = c.benchmark_group("cmp_int_64k");
+    group.sample_size(50);
+    group.bench_function("branching", |b| {
+        let data = column.as_ints().unwrap();
+        b.iter(|| {
+            TruthMask::from_lanes(ROWS, |i| {
+                if !column.is_valid(i) {
+                    Truth::Unknown
+                } else {
+                    Truth::from(data[i] < 500)
+                }
+            })
+        })
+    });
+    group.bench_function("branchless", |b| {
+        b.iter(|| {
+            let m = eval_atom_mask(&atom, &column, &full, &arena).unwrap();
+            let n = m.count_true();
+            arena.recycle_mask(m);
+            n
+        })
+    });
     group.finish();
 }
 
@@ -84,7 +98,6 @@ fn bench_connectives_only(c: &mut Criterion) {
     // Isolate connective combining from atom evaluation: pre-evaluate the
     // atoms once, then compare per-element OR-folding of Vec<Truth>
     // against word-parallel TruthMask::or_with.
-    use basilisk_types::{Truth, TruthMask};
     let prov = provider();
     let tree = PredicateTree::build(&wide_disjunction(500));
     let atoms = tree.atom_ids();
@@ -122,5 +135,10 @@ fn bench_connectives_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_eval, bench_connectives_only);
+criterion_group!(
+    benches,
+    bench_eval,
+    bench_connectives_only,
+    bench_cmp_kernel
+);
 criterion_main!(benches);

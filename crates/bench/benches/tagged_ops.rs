@@ -9,6 +9,7 @@ use basilisk_core::{
 };
 use basilisk_exec::{filter as plain_filter, hash_join, IdxRelation, JoinSide, TableSet};
 use basilisk_expr::{and, col, or, ColumnRef, PredicateTree};
+use basilisk_types::MaskArena;
 use basilisk_workload::{generate_synthetic, SyntheticConfig};
 
 struct Fixture {
@@ -55,13 +56,21 @@ fn bench_filter(c: &mut Criterion) {
     let base = TaggedRelation::base(IdxRelation::base("t1", f.rows));
     let plain_base = IdxRelation::base("t1", f.rows);
 
+    // One arena across iterations: after the first pass the pool is warm
+    // and the measured loop is the allocation-free steady state.
+    let arena = MaskArena::new();
     let mut group = c.benchmark_group("filter_20k");
     group.sample_size(20);
     group.bench_function("tagged", |b| {
-        b.iter(|| tagged_filter(&f.tables, &base, &f.tree, &map).unwrap())
+        b.iter(|| {
+            let out = tagged_filter(&f.tables, &base, &f.tree, &map, &arena).unwrap();
+            let n = out.num_slices();
+            out.recycle(&arena);
+            n
+        })
     });
     group.bench_function("traditional", |b| {
-        b.iter(|| plain_filter(&f.tables, &plain_base, &f.tree, node).unwrap())
+        b.iter(|| plain_filter(&f.tables, &plain_base, &f.tree, node, &arena).unwrap())
     });
     group.finish();
 }
@@ -73,11 +82,12 @@ fn bench_join(c: &mut Criterion) {
     let n1 = find(&f.tree, "t1.a1 < 0.2");
     let n2 = find(&f.tree, "t1.a2 < 0.2");
     let mut tags = vec![Tag::empty()];
+    let arena = MaskArena::new();
     let mut left = TaggedRelation::base(IdxRelation::base("t1", f.rows));
     for node in [n1, n2] {
         let m = builder.filter_map(node, &tags);
         tags = builder.filter_output_tags(&m, &tags);
-        left = tagged_filter(&f.tables, &left, &f.tree, &m).unwrap();
+        left = tagged_filter(&f.tables, &left, &f.tree, &m, &arena).unwrap();
     }
     let right = TaggedRelation::base(IdxRelation::base("t0", f.rows));
     let jmap = builder.join_map(&tags, &[Tag::empty()]);
@@ -90,7 +100,12 @@ fn bench_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_10k");
     group.sample_size(20);
     group.bench_function("tagged_selective_map", |b| {
-        b.iter(|| tagged_join(&f.tables, &left, &right, &lk, &rk, &jmap).unwrap())
+        b.iter(|| {
+            let out = tagged_join(&f.tables, &left, &right, &lk, &rk, &jmap, &arena).unwrap();
+            let n = out.num_tuples();
+            out.recycle(&arena);
+            n
+        })
     });
     group.bench_function("traditional_full", |b| {
         b.iter(|| {

@@ -1,0 +1,264 @@
+//! CI bench-smoke emitter and regression gate.
+//!
+//! Runs the `benches/eval.rs` workloads in quick mode with a built-in
+//! wall-clock harness (bins cannot see the criterion dev-dependency),
+//! writes the results as JSON (`BENCH_eval.json`), and — when given a
+//! baseline — fails the process if a gated metric regressed beyond the
+//! tolerance.
+//!
+//! **Gated metrics are ratios, not absolute times.** CI machines differ
+//! wildly in absolute throughput, but the *speedup* of the word-parallel
+//! or-fold over the scalar fold (and of the branchless compare kernel
+//! over the branching one) is a property of the code, measured
+//! within-run on the same box. `benches/baseline.json` stores
+//! conservative floors for those ratios; a >`tolerance` drop below a
+//! floor fails the gate.
+//!
+//! ```text
+//! bench_json [--out BENCH_eval.json] [--baseline benches/baseline.json]
+//!            [--tolerance 0.25] [--samples 30]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use basilisk_bench::workload::{int_column_with_nulls, provider, wide_disjunction, ROWS};
+use basilisk_bench::Args;
+use basilisk_expr::eval::{eval_atom_mask, eval_node, eval_node_mask};
+use basilisk_expr::{Atom, CmpOp, ColumnRef, PredicateTree};
+use basilisk_types::{Bitmap, MaskArena, Truth, TruthMask, Value};
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs (one warmup).
+fn time_ns(samples: usize, mut f: impl FnMut() -> usize) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<u128> = (0..samples.max(3))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as f64
+}
+
+struct Report {
+    entries: Vec<(String, f64)>,
+}
+
+impl Report {
+    fn push(&mut self, name: &str, median_ns: f64) {
+        println!("  {name:<40} {:>12.0} ns", median_ns);
+        self.entries.push((name.to_string(), median_ns));
+    }
+
+    fn get(&self, name: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("missing bench entry {name}"))
+    }
+
+    fn to_json(&self, derived: &[(String, f64)]) -> String {
+        let mut s = String::from("{\n  \"rows\": 65536,\n  \"benches\": {\n");
+        for (i, (name, ns)) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            let _ = writeln!(s, "    \"{name}\": {{\"median_ns\": {ns:.1}}}{sep}");
+        }
+        s.push_str("  },\n  \"derived\": {\n");
+        for (i, (name, v)) in derived.iter().enumerate() {
+            let sep = if i + 1 == derived.len() { "" } else { "," };
+            let _ = writeln!(s, "    \"{name}\": {v:.3}{sep}");
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+}
+
+/// Minimal flat-JSON number extraction: finds `"key": <number>`
+/// (sufficient for baseline.json, which this binary also documents the
+/// schema of). Scans *every* occurrence and keeps the last one followed
+/// by a colon and a number, so a key name quoted inside the `_comment`
+/// string cannot shadow the real entry and silently disable the gate.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let mut found = None;
+    let mut from = 0;
+    while let Some(pos) = doc[from..].find(&needle) {
+        let at = from + pos + needle.len();
+        from = at;
+        let Some(rest) = doc[at..].trim_start().strip_prefix(':') else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse() {
+            found = Some(v);
+        }
+    }
+    found
+}
+
+fn main() {
+    let args = Args::parse();
+    let out_path = args.get("--out").unwrap_or("BENCH_eval.json").to_string();
+    let baseline_path = args.get("--baseline").map(str::to_string);
+    let tolerance = args.get_f64("--tolerance", 0.25);
+    let samples = args.get_usize("--samples", 30);
+
+    let prov = provider();
+    let arena = MaskArena::new();
+    let mut report = Report {
+        entries: Vec::new(),
+    };
+    println!("bench_json: {samples} samples per benchmark, {ROWS} rows");
+
+    // --- or-fold of pre-evaluated atoms: scalar vs word-parallel -------
+    let tree = PredicateTree::build(&wide_disjunction(500));
+    let atoms = tree.atom_ids();
+    let scalar_vecs: Vec<Vec<Truth>> = atoms
+        .iter()
+        .map(|&id| eval_node(&tree, id, &prov).unwrap())
+        .collect();
+    let masks: Vec<TruthMask> = scalar_vecs
+        .iter()
+        .map(|v| TruthMask::from_truths(v))
+        .collect();
+    report.push(
+        "or_fold/scalar",
+        time_ns(samples, || {
+            let mut acc = scalar_vecs[0].clone();
+            for v in &scalar_vecs[1..] {
+                for (a, &x) in acc.iter_mut().zip(v) {
+                    *a = a.or(x);
+                }
+            }
+            acc.len()
+        }),
+    );
+    report.push(
+        "or_fold/vectorized",
+        time_ns(samples, || {
+            // All-false is the OR identity, so a pooled mask folds the
+            // same result the scalar clone-then-fold computes.
+            let mut m = arena.mask(ROWS);
+            m.or_with(&masks[0]);
+            for x in &masks[1..] {
+                m.or_with(x);
+            }
+            let n = m.count_true();
+            arena.recycle_mask(m);
+            n
+        }),
+    );
+
+    // --- full eval: scalar vs vectorized (dense + sparse) --------------
+    let root = tree.root();
+    let full = Bitmap::all_set(ROWS);
+    let sparse = Bitmap::from_indices(ROWS, (0..ROWS).filter(|i| i % 16 == 0));
+    report.push(
+        "eval/scalar",
+        time_ns(samples, || eval_node(&tree, root, &prov).unwrap().len()),
+    );
+    report.push(
+        "eval/vectorized",
+        time_ns(samples, || {
+            let m = eval_node_mask(&tree, root, &prov, &full, &arena).unwrap();
+            let n = m.count_true();
+            arena.recycle_mask(m);
+            n
+        }),
+    );
+    report.push(
+        "eval/vectorized_sparse",
+        time_ns(samples, || {
+            let m = eval_node_mask(&tree, root, &prov, &sparse, &arena).unwrap();
+            let n = m.count_true();
+            arena.recycle_mask(m);
+            n
+        }),
+    );
+
+    // --- Int compare kernel: branching vs branchless --------------------
+    let cmp_col = int_column_with_nulls(7);
+    let cmp_atom = Atom::Cmp {
+        col: ColumnRef::new("t", "a"),
+        op: CmpOp::Lt,
+        value: Value::Int(500),
+    };
+    let cmp_data: Vec<i64> = cmp_col.as_ints().unwrap().to_vec();
+    report.push(
+        "cmp_int/branching",
+        time_ns(samples, || {
+            TruthMask::from_lanes(ROWS, |i| {
+                if !cmp_col.is_valid(i) {
+                    Truth::Unknown
+                } else {
+                    Truth::from(cmp_data[i] < 500)
+                }
+            })
+            .count_true()
+        }),
+    );
+    report.push(
+        "cmp_int/branchless",
+        time_ns(samples, || {
+            let m = eval_atom_mask(&cmp_atom, &cmp_col, &full, &arena).unwrap();
+            let n = m.count_true();
+            arena.recycle_mask(m);
+            n
+        }),
+    );
+
+    // --- derived (gated) ratios -----------------------------------------
+    let or_fold_speedup = report.get("or_fold/scalar") / report.get("or_fold/vectorized");
+    let eval_speedup = report.get("eval/scalar") / report.get("eval/vectorized");
+    let cmp_kernel_speedup = report.get("cmp_int/branching") / report.get("cmp_int/branchless");
+    let or_fold_gelems = ROWS as f64 / report.get("or_fold/vectorized"); // elems/ns = Gelems/s
+    let derived = vec![
+        ("or_fold_speedup".to_string(), or_fold_speedup),
+        ("eval_speedup".to_string(), eval_speedup),
+        ("cmp_kernel_speedup".to_string(), cmp_kernel_speedup),
+        ("or_fold_gelems_per_s".to_string(), or_fold_gelems),
+    ];
+    println!("  or_fold_speedup      {or_fold_speedup:.1}x");
+    println!("  eval_speedup         {eval_speedup:.1}x");
+    println!("  cmp_kernel_speedup   {cmp_kernel_speedup:.1}x");
+
+    std::fs::write(&out_path, report.to_json(&derived)).expect("write BENCH_eval.json");
+    println!("wrote {out_path}");
+
+    // --- regression gate -------------------------------------------------
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let mut failed = false;
+    for (key, measured) in [
+        ("or_fold_speedup", or_fold_speedup),
+        ("cmp_kernel_speedup", cmp_kernel_speedup),
+    ] {
+        let Some(floor) = json_number(&baseline, key) else {
+            println!("baseline has no {key}; skipping");
+            continue;
+        };
+        let allowed = floor * (1.0 - tolerance);
+        if measured < allowed {
+            eprintln!(
+                "REGRESSION: {key} = {measured:.2} < {allowed:.2} \
+                 (baseline {floor:.2} - {tolerance:.0}% tolerance)",
+                tolerance = tolerance * 100.0
+            );
+            failed = true;
+        } else {
+            println!("gate ok: {key} = {measured:.2} (floor {allowed:.2})");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

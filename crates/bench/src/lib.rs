@@ -11,6 +11,8 @@ use std::time::Duration;
 use basilisk::{Catalog, PlannerKind, Query, QuerySession};
 use basilisk_types::Result;
 
+pub mod workload;
+
 /// Timing of one planner on one query, averaged over repetitions (the
 /// paper runs each query 5× and averages).
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,64 @@
+//! The shared eval-benchmark workload.
+//!
+//! Both the criterion bench (`benches/eval.rs`) and the CI gate emitter
+//! (`src/bin/bench_json.rs`) measure **this** workload; keeping it in one
+//! place guarantees the gated ratios in `benches/baseline.json` guard the
+//! same code the benchmark reports on.
+
+use basilisk_expr::eval::MapProvider;
+use basilisk_expr::{and, col, or, ColumnRef, Expr};
+use basilisk_storage::{Column, ColumnBuilder};
+use basilisk_types::{DataType, Value};
+
+/// Row count shared by every eval benchmark.
+pub const ROWS: usize = 65_536;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Deterministic pseudo-random ints in [0, 1000).
+pub fn column(seed: u64) -> Column {
+    let mut state = seed;
+    Column::from_ints((0..ROWS).map(|_| (lcg(&mut state) % 1000) as i64).collect())
+}
+
+/// An Int column with ~3% NULLs so both compare paths pay real validity
+/// handling.
+pub fn int_column_with_nulls(seed: u64) -> Column {
+    let mut state = seed;
+    let mut b = ColumnBuilder::new(DataType::Int);
+    for _ in 0..ROWS {
+        let v = lcg(&mut state) % 1000;
+        if v < 30 {
+            b.push(Value::Null).unwrap();
+        } else {
+            b.push(Value::Int(v as i64)).unwrap();
+        }
+    }
+    b.finish()
+}
+
+/// Three seeded columns `t.a` / `t.b` / `t.c` over [`ROWS`] rows.
+pub fn provider() -> MapProvider {
+    MapProvider::new(ROWS)
+        .with(ColumnRef::new("t", "a"), column(1))
+        .with(ColumnRef::new("t", "b"), column(2))
+        .with(ColumnRef::new("t", "c"), column(3))
+}
+
+/// A 6-arm disjunction of conjunctions over three columns; `t` sweeps the
+/// per-atom selectivity.
+pub fn wide_disjunction(t: i64) -> Expr {
+    or(vec![
+        and(vec![col("t", "a").lt(t), col("t", "b").lt(t)]),
+        and(vec![col("t", "b").lt(t), col("t", "c").lt(t)]),
+        and(vec![col("t", "a").ge(1000 - t), col("t", "c").lt(t)]),
+        and(vec![col("t", "c").ge(1000 - t), col("t", "a").lt(t)]),
+        and(vec![col("t", "b").ge(1000 - t), col("t", "c").ge(1000 - t)]),
+        and(vec![col("t", "a").lt(t), col("t", "c").ge(1000 - t)]),
+    ])
+}

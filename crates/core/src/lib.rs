@@ -10,17 +10,20 @@
 //!
 //! Module map:
 //!
-//! * [`tag`] — tags and their rendering.
-//! * [`generalize`] — **tag generalization** (Algorithm 1): upward
+//! * `tag` — tags and their rendering.
+//! * `generalize` — **tag generalization** (Algorithm 1): upward
 //!   propagation over the predicate tree with duplicate-instance handling
 //!   and the three-valued extension of §3.4; optionally enriched by the
 //!   atom implication closure of `basilisk-expr`.
-//! * [`relation`] — tagged relations as bitmap-sliced index relations
+//! * `relation` — tagged relations as bitmap-sliced index relations
 //!   (§2.5.1).
-//! * [`tagmap`] — tag-map construction (§3.3: Precepts 1 and 2) plus the
+//! * `tagmap` — tag-map construction (§3.3: Precepts 1 and 2) plus the
 //!   naive strategy of §3.1 kept for ablation.
-//! * [`ops`] — the tagged filter (§2.2/§2.5.2), the shared-hash-table
-//!   tagged join (§2.3/§2.5.3) and the tag-filtered projection (§2.4).
+//! * `ops` — the tagged filter (§2.2/§2.5.2), the shared-hash-table
+//!   tagged join (§2.3/§2.5.3) and the tag-filtered projection (§2.4);
+//!   every operator draws its mask/bitmap scratch from the caller's
+//!   [`basilisk_types::MaskArena`] and recycles it before returning, so
+//!   steady-state pipelines are allocation-free.
 
 mod generalize;
 mod ops;

@@ -4,7 +4,7 @@ use basilisk_exec::{combine, project, FxHashMap, IdxRelation, JoinTable, RelProv
 use basilisk_expr::eval::eval_node_mask;
 use basilisk_expr::{ColumnRef, PredicateTree};
 use basilisk_storage::Column;
-use basilisk_types::{BasiliskError, Bitmap, Result};
+use basilisk_types::{BasiliskError, Bitmap, MaskArena, Result};
 
 use crate::relation::TaggedRelation;
 use crate::tagmap::{FilterTagMap, JoinTagMap, ProjectionTags};
@@ -25,11 +25,18 @@ use crate::tagmap::{FilterTagMap, JoinTagMap, ProjectionTags};
 ///   [`TruthMask`](basilisk_types::TruthMask).
 /// * Slices without a matching entry pass through untouched; entries whose
 ///   every output was pruned drop their slice without evaluation.
+///
+/// All bitmaps — the union selection, the evaluation mask, and the output
+/// slices themselves — are checked out of `arena`; scratch is recycled
+/// before returning and the output slices go back to the pool when the
+/// executor consumes the returned relation (see
+/// [`TaggedRelation::recycle`]).
 pub fn tagged_filter(
     tables: &TableSet,
     input: &TaggedRelation,
     tree: &PredicateTree,
     map: &FilterTagMap,
+    arena: &MaskArena,
 ) -> Result<TaggedRelation> {
     let relation = input.relation().clone();
     let n = relation.len();
@@ -37,10 +44,10 @@ pub fn tagged_filter(
     // Split slices into pass-through / evaluated / dropped.
     let mut out_slices: Vec<(crate::Tag, Bitmap)> = Vec::new();
     let mut evaluated: Vec<(usize, &crate::tagmap::FilterTagEntry)> = Vec::new();
-    let mut union = Bitmap::new(n);
+    let mut union = arena.bitmap(n);
     for (i, (tag, bitmap)) in input.slices().iter().enumerate() {
         match map.entry_for(tag) {
-            None => out_slices.push((tag.clone(), bitmap.clone())),
+            None => push_slice(arena, &mut out_slices, tag, arena.bitmap_copy(bitmap)),
             Some(e) if e.pos.is_none() && e.neg.is_none() && e.unk.is_none() => {
                 // Dead entry: Precept 1 killed every branch — drop the
                 // slice without touching the data.
@@ -55,24 +62,70 @@ pub fn tagged_filter(
     if !union.is_zero() {
         // Evaluate once over the union, straight off the base relation.
         let provider = RelProvider::new(tables, &relation);
-        let mask = eval_node_mask(tree, map.node, &provider, &union)?;
+        let mask = match eval_node_mask(tree, map.node, &provider, &union, arena) {
+            Ok(m) => m,
+            Err(e) => {
+                recycle_slices(arena, out_slices);
+                arena.recycle_bitmap(union);
+                return Err(e);
+            }
+        };
 
         for (slice_idx, entry) in evaluated {
             let (_, bitmap) = &input.slices()[slice_idx];
-            let (pos_bm, neg_bm, unk_bm) = mask.split_under(bitmap);
-            if let Some(tag) = &entry.pos {
-                out_slices.push((tag.clone(), pos_bm));
-            }
-            if let Some(tag) = &entry.neg {
-                out_slices.push((tag.clone(), neg_bm));
-            }
-            if let Some(tag) = &entry.unk {
-                out_slices.push((tag.clone(), unk_bm));
-            }
+            let mut pos_bm = arena.bitmap(n);
+            let mut neg_bm = arena.bitmap(n);
+            let mut unk_bm = arena.bitmap(n);
+            mask.split_under_into(bitmap, &mut pos_bm, &mut neg_bm, &mut unk_bm);
+            push_or_recycle(arena, &mut out_slices, entry.pos.as_ref(), pos_bm);
+            push_or_recycle(arena, &mut out_slices, entry.neg.as_ref(), neg_bm);
+            push_or_recycle(arena, &mut out_slices, entry.unk.as_ref(), unk_bm);
         }
+        arena.recycle_mask(mask);
     }
+    arena.recycle_bitmap(union);
 
     Ok(TaggedRelation::from_slices(relation, out_slices))
+}
+
+/// Keep `bm` as the `tag` output slice, or hand it back to the pool when
+/// the tag map pruned that outcome or no tuple landed in it (empty slices
+/// are dropped by `from_slices` anyway; recycling here keeps the buffer).
+fn push_or_recycle(
+    arena: &MaskArena,
+    out: &mut Vec<(crate::Tag, Bitmap)>,
+    tag: Option<&crate::Tag>,
+    bm: Bitmap,
+) {
+    match tag {
+        Some(tag) if !bm.is_zero() => push_slice(arena, out, tag, bm),
+        _ => arena.recycle_bitmap(bm),
+    }
+}
+
+/// Push a `(tag, bitmap)` output slice, merging into an existing slice
+/// with the same tag (generalization maps several inputs onto one output
+/// tag). Merging here — rather than in `TaggedRelation::add_slice` — lets
+/// the merged-away buffer go back to the pool instead of being dropped.
+fn push_slice(
+    arena: &MaskArena,
+    out: &mut Vec<(crate::Tag, Bitmap)>,
+    tag: &crate::Tag,
+    bm: Bitmap,
+) {
+    match out.iter_mut().find(|(t, _)| t == tag) {
+        Some((_, existing)) => {
+            existing.union_with(&bm);
+            arena.recycle_bitmap(bm);
+        }
+        None => out.push((tag.clone(), bm)),
+    }
+}
+
+fn recycle_slices(arena: &MaskArena, slices: Vec<(crate::Tag, Bitmap)>) {
+    for (_, bm) in slices {
+        arena.recycle_bitmap(bm);
+    }
 }
 
 /// Tagged hash join (§2.3, implementation §2.5.3).
@@ -90,6 +143,7 @@ pub fn tagged_join(
     left_key: &ColumnRef,
     right_key: &ColumnRef,
     map: &JoinTagMap,
+    arena: &MaskArena,
 ) -> Result<TaggedRelation> {
     if !left.relation().covers(&left_key.table) || !right.relation().covers(&right_key.table) {
         return Err(BasiliskError::Exec(format!(
@@ -129,8 +183,8 @@ pub fn tagged_join(
     }
 
     // Participating tuples per side.
-    let mut left_union = Bitmap::new(left.num_tuples());
-    let mut right_union = Bitmap::new(right.num_tuples());
+    let mut left_union = arena.bitmap(left.num_tuples());
+    let mut right_union = arena.bitmap(right.num_tuples());
     for &(ls, rs) in pair_to_out.keys() {
         left_union.union_with(&left.slices()[ls as usize].1);
         right_union.union_with(&right.slices()[rs as usize].1);
@@ -139,20 +193,40 @@ pub fn tagged_join(
     let left_membership = left.slice_membership();
     let right_membership = right.slice_membership();
 
-    // Fetch key values for participating positions.
-    let left_positions = left_union.to_indices();
-    let right_positions = right_union.to_indices();
-    let left_keys = gather_keys(tables, left.relation(), left_key, &left_positions)?;
-    let right_keys = gather_keys(tables, right.relation(), right_key, &right_positions)?;
+    // Fetch key values for participating positions (pooled decode
+    // buffers; the unions are dead once decoded).
+    let mut left_positions = arena.indices();
+    let mut right_positions = arena.indices();
+    left_union.indices_into(&mut left_positions);
+    right_union.indices_into(&mut right_positions);
+    arena.recycle_bitmap(left_union);
+    arena.recycle_bitmap(right_union);
+    let keys = gather_keys(tables, left.relation(), left_key, &left_positions).and_then(|lk| {
+        Ok((
+            lk,
+            gather_keys(tables, right.relation(), right_key, &right_positions)?,
+        ))
+    });
+    let (left_keys, right_keys) = match keys {
+        Ok(k) => k,
+        Err(e) => {
+            // Failed executions must not shrink the pool.
+            arena.recycle_indices(left_positions);
+            arena.recycle_indices(right_positions);
+            return Err(e);
+        }
+    };
 
     // One shared hash table over all participating left slices (§2.5.3's
     // "one giant hash table"), CSR layout keyed with FxHash: probing a key
     // yields a contiguous slice of left positions, no per-key Vec allocs.
     let table = JoinTable::build(&left_keys, |j| left_positions[j]);
 
-    let mut left_sel: Vec<u32> = Vec::new();
-    let mut right_sel: Vec<u32> = Vec::new();
-    let mut tuple_out: Vec<u16> = Vec::new();
+    let mut left_sel = arena.indices();
+    let mut right_sel = arena.indices();
+    // Per-tuple output-slice index, widened to u32 so it can live in a
+    // pooled index buffer like the selection vectors beside it.
+    let mut tuple_out = arena.indices();
     for (j, &rpos) in right_positions.iter().enumerate() {
         let Some(k) = basilisk_exec::join_key(&right_keys, j) else {
             continue;
@@ -167,20 +241,34 @@ pub fn tagged_join(
             if let Some(&out_idx) = pair_to_out.get(&(ls, rs)) {
                 left_sel.push(lpos);
                 right_sel.push(rpos);
-                tuple_out.push(out_idx);
+                tuple_out.push(out_idx as u32);
             }
         }
     }
+    arena.recycle_indices(left_positions);
+    arena.recycle_indices(right_positions);
 
     let relation = combine(left.relation(), right.relation(), &left_sel, &right_sel);
+    arena.recycle_indices(left_sel);
+    arena.recycle_indices(right_sel);
     let mut bitmaps: Vec<Bitmap> = out_tags
         .iter()
-        .map(|_| Bitmap::new(relation.len()))
+        .map(|_| arena.bitmap(relation.len()))
         .collect();
     for (tuple, &out_idx) in tuple_out.iter().enumerate() {
         bitmaps[out_idx as usize].set(tuple);
     }
-    let slices = out_tags.into_iter().zip(bitmaps).collect();
+    arena.recycle_indices(tuple_out);
+    let mut slices: Vec<(crate::Tag, Bitmap)> = Vec::with_capacity(out_tags.len());
+    for (tag, bm) in out_tags.into_iter().zip(bitmaps) {
+        // Empty output slices would be dropped by `from_slices`; recycle
+        // their buffers instead of leaking them from the pool.
+        if bm.is_zero() {
+            arena.recycle_bitmap(bm);
+        } else {
+            slices.push((tag, bm));
+        }
+    }
     Ok(TaggedRelation::from_slices(relation, slices))
 }
 
@@ -196,11 +284,17 @@ fn gather_keys(
 }
 
 /// Final tag-based selection before projection (§2.4): keep only tuples in
-/// slices the projection admits, gathering straight off the union bitmap
-/// (no intermediate index vector).
-pub fn tagged_select_final(rel: &TaggedRelation, allowed: &ProjectionTags) -> IdxRelation {
-    let union = rel.union_of(&allowed.allowed);
-    rel.relation().select_bitmap(&union)
+/// slices the projection admits. The union bitmap and the index decode
+/// buffer are pooled scratch, recycled before returning.
+pub fn tagged_select_final(
+    rel: &TaggedRelation,
+    allowed: &ProjectionTags,
+    arena: &MaskArena,
+) -> IdxRelation {
+    let union = rel.union_of_in(&allowed.allowed, arena);
+    let out = rel.relation().select_bitmap_in(&union, arena);
+    arena.recycle_bitmap(union);
+    out
 }
 
 /// Tag-filtered projection: materialize `columns` for admitted tuples.
@@ -209,8 +303,9 @@ pub fn tagged_project(
     rel: &TaggedRelation,
     allowed: &ProjectionTags,
     columns: &[ColumnRef],
+    arena: &MaskArena,
 ) -> Result<Vec<(ColumnRef, Column)>> {
-    let selected = tagged_select_final(rel, allowed);
+    let selected = tagged_select_final(rel, allowed, arena);
     project(tables, &selected, columns)
 }
 
@@ -224,6 +319,10 @@ mod tests {
     use basilisk_storage::{Table, TableBuilder};
     use basilisk_types::{DataType, Value};
     use std::sync::Arc;
+
+    fn arena() -> MaskArena {
+        MaskArena::new()
+    }
 
     /// The exact data from the paper's Examples 1–4.
     fn title() -> Arc<Table> {
@@ -306,7 +405,7 @@ mod tests {
         for node in [p1, p2] {
             let m = b.filter_map(node, &tags);
             tags = b.filter_output_tags(&m, &tags);
-            left = tagged_filter(&ts, &left, &tree, &m).unwrap();
+            left = tagged_filter(&ts, &left, &tree, &m, &arena()).unwrap();
             assert!(left.check_mutually_exclusive());
         }
         // Example 2: {year>2000} slice = rows {Dark Knight, Evolution,
@@ -328,7 +427,7 @@ mod tests {
         for node in [p3, p4] {
             let m = b.filter_map(node, &rtags);
             rtags = b.filter_output_tags(&m, &rtags);
-            right = tagged_filter(&ts, &right, &tree, &m).unwrap();
+            right = tagged_filter(&ts, &right, &tree, &m, &arena()).unwrap();
         }
         // Example 3: {score>8.0} = 4 rows; {score>8.0=F, score>7.0=T} = 2.
         assert_eq!(right.num_slices(), 2);
@@ -349,6 +448,7 @@ mod tests {
             &ColumnRef::new("t", "id"),
             &ColumnRef::new("mi_idx", "movie_id"),
             &jm,
+            &arena(),
         )
         .unwrap();
         assert!(joined.check_mutually_exclusive());
@@ -356,7 +456,7 @@ mod tests {
         // Example 4: output = Dark Knight(9.0), Avatar(7.9), Shawshank
         // (9.3), Pulp Fiction(8.9) — 4 tuples.
         let proj = b.projection_tags(&b.join_output_tags(&jm));
-        let final_rel = tagged_select_final(&joined, &proj);
+        let final_rel = tagged_select_final(&joined, &proj, &arena());
         assert_eq!(final_rel.len(), 4);
 
         // Cross-check against the traditional engine.
@@ -369,7 +469,7 @@ mod tests {
             JoinSide::Smaller,
         )
         .unwrap();
-        let expected = plain_filter(&ts, &joined_plain, &tree, tree.root()).unwrap();
+        let expected = plain_filter(&ts, &joined_plain, &tree, tree.root(), &arena()).unwrap();
         assert_eq!(expected.len(), 4);
         let mut a: Vec<(u32, u32)> = (0..final_rel.len())
             .map(|i| {
@@ -400,6 +500,7 @@ mod tests {
                 ColumnRef::new("t", "title"),
                 ColumnRef::new("mi_idx", "score"),
             ],
+            &arena(),
         )
         .unwrap();
         assert_eq!(cols[0].1.len(), 4);
@@ -415,7 +516,7 @@ mod tests {
         let p1 = find(&tree, "t.year > 2000");
         let base = TaggedRelation::base(IdxRelation::base("t", 7));
         let m = b.filter_map(p1, &[Tag::empty()]);
-        let out = tagged_filter(&ts, &base, &tree, &m).unwrap();
+        let out = tagged_filter(&ts, &base, &tree, &m, &arena()).unwrap();
         assert_eq!(out.num_tuples(), 7, "relation keeps all 7 tuples");
         assert_eq!(out.num_tagged_tuples(), 7, "both outcomes kept here");
     }
@@ -431,13 +532,13 @@ mod tests {
 
         let base = TaggedRelation::base(IdxRelation::base("t", 7));
         let m1 = b.filter_map(p1, &[Tag::empty()]);
-        let after1 = tagged_filter(&ts, &base, &tree, &m1).unwrap();
+        let after1 = tagged_filter(&ts, &base, &tree, &m1, &arena()).unwrap();
         let tags1 = b.filter_output_tags(&m1, &[Tag::empty()]);
 
         let m2 = b.filter_map(p2, &tags1);
         // Only the {A1=F} slice has an entry; the pos slice passes through.
         assert_eq!(m2.entries().len(), 1);
-        let after2 = tagged_filter(&ts, &after1, &tree, &m2).unwrap();
+        let after2 = tagged_filter(&ts, &after1, &tree, &m2, &arena()).unwrap();
         let pos_tag = m1.entries()[0].pos.as_ref().unwrap();
         assert_eq!(
             after2.slice(pos_tag),
@@ -462,7 +563,7 @@ mod tests {
                 unk: None,
             }],
         );
-        let out = tagged_filter(&ts, &base, &tree, &map).unwrap();
+        let out = tagged_filter(&ts, &base, &tree, &map, &arena()).unwrap();
         assert_eq!(out.num_slices(), 0);
         assert_eq!(out.num_tuples(), 7);
     }
@@ -491,7 +592,7 @@ mod tests {
         assert!(m.entries()[0].unk.is_none());
         assert!(m.entries()[0].neg.is_none());
         let base = TaggedRelation::base(IdxRelation::base("t", 3));
-        let out = tagged_filter(&ts, &base, &tree, &m).unwrap();
+        let out = tagged_filter(&ts, &base, &tree, &m, &arena()).unwrap();
         assert_eq!(out.num_slices(), 1);
         assert_eq!(out.num_tagged_tuples(), 1, "only year=2005 survives");
     }
@@ -506,7 +607,7 @@ mod tests {
 
         let base_l = TaggedRelation::base(IdxRelation::base("t", 7));
         let m = b.filter_map(p1, &[Tag::empty()]);
-        let left = tagged_filter(&ts, &base_l, &tree, &m).unwrap();
+        let left = tagged_filter(&ts, &base_l, &tree, &m, &arena()).unwrap();
         let right = TaggedRelation::base(IdxRelation::base("mi_idx", 6));
 
         // Tag map joining only the pos slice with the base slice.
@@ -525,6 +626,7 @@ mod tests {
             &ColumnRef::new("t", "id"),
             &ColumnRef::new("mi_idx", "movie_id"),
             &jm,
+            &arena(),
         )
         .unwrap();
         // pos slice = ids {1,2,7}; mi_idx movie_ids {1,3,4,5,6,7} →
@@ -550,6 +652,7 @@ mod tests {
             &TaggedRelation::base(IdxRelation::base("t", 7)),
             &tree,
             &m_l,
+            &arena(),
         )
         .unwrap();
         let m_r = b.filter_map(p3, &[Tag::empty()]);
@@ -558,6 +661,7 @@ mod tests {
             &TaggedRelation::base(IdxRelation::base("mi_idx", 6)),
             &tree,
             &m_r,
+            &arena(),
         )
         .unwrap();
 
@@ -574,6 +678,7 @@ mod tests {
             &ColumnRef::new("t", "id"),
             &ColumnRef::new("mi_idx", "movie_id"),
             &jm,
+            &arena(),
         )
         .unwrap();
         assert!(joined.check_mutually_exclusive());
@@ -604,12 +709,19 @@ mod tests {
         for node in [g1, l1] {
             let m = b.filter_map(node, &tags);
             tags = b.filter_output_tags(&m, &tags);
-            rel = tagged_filter(&ts, &rel, &tree, &m).unwrap();
+            rel = tagged_filter(&ts, &rel, &tree, &m, &arena()).unwrap();
         }
         let proj = b.projection_tags(&tags);
-        let got = tagged_select_final(&rel, &proj);
+        let got = tagged_select_final(&rel, &proj, &arena());
 
-        let expected = plain_filter(&ts, &IdxRelation::base("t", 7), &tree, tree.root()).unwrap();
+        let expected = plain_filter(
+            &ts,
+            &IdxRelation::base("t", 7),
+            &tree,
+            tree.root(),
+            &arena(),
+        )
+        .unwrap();
         let mut a = got.col("t").unwrap().to_vec();
         let mut e2 = expected.col("t").unwrap().to_vec();
         a.sort_unstable();

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use basilisk_exec::IdxRelation;
-use basilisk_types::Bitmap;
+use basilisk_types::{Bitmap, MaskArena};
 
 use crate::tag::Tag;
 
@@ -34,6 +34,14 @@ impl TaggedRelation {
     /// slice with the 'empty' tag").
     pub fn base(relation: IdxRelation) -> TaggedRelation {
         let all = Bitmap::all_set(relation.len());
+        TaggedRelation::from_slices(relation, vec![(Tag::empty(), all)])
+    }
+
+    /// [`Self::base`] with the all-tuples bitmap drawn from `arena` (the
+    /// executor's scan leaves, so even the pipeline's source bitmap is
+    /// pooled).
+    pub fn base_in(relation: IdxRelation, arena: &MaskArena) -> TaggedRelation {
+        let all = arena.bitmap_ones(relation.len());
         TaggedRelation::from_slices(relation, vec![(Tag::empty(), all)])
     }
 
@@ -116,12 +124,34 @@ impl TaggedRelation {
     /// ignored: the planner may reference tags that turned out empty).
     pub fn union_of(&self, tags: &[Tag]) -> Bitmap {
         let mut out = Bitmap::new(self.relation.len());
+        self.union_of_into(tags, &mut out);
+        out
+    }
+
+    /// [`Self::union_of`] into a pooled buffer: checkout from `arena`,
+    /// recycle when done.
+    pub fn union_of_in(&self, tags: &[Tag], arena: &MaskArena) -> Bitmap {
+        let mut out = arena.bitmap(self.relation.len());
+        self.union_of_into(tags, &mut out);
+        out
+    }
+
+    fn union_of_into(&self, tags: &[Tag], out: &mut Bitmap) {
         for t in tags {
             if let Some(bm) = self.slice(t) {
                 out.union_with(bm);
             }
         }
-        out
+    }
+
+    /// Hand every slice bitmap back to `arena`, consuming the relation —
+    /// the recycle step executors run once an operator has consumed its
+    /// input. The index relation itself is reference-counted column data
+    /// and just drops.
+    pub fn recycle(self, arena: &MaskArena) {
+        for (_, bm) in self.slices {
+            arena.recycle_bitmap(bm);
+        }
     }
 
     /// Per-tuple slice membership: `slice_of[i]` is the index (into

@@ -12,6 +12,7 @@ use basilisk_core::{tagged_filter, Tag, TagMapBuilder, TagMapStrategy, TaggedRel
 use basilisk_exec::{IdxRelation, TableSet};
 use basilisk_expr::{and, col, or, Expr, PredicateTree};
 use basilisk_storage::{Column, Table};
+use basilisk_types::MaskArena;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -54,6 +55,7 @@ proptest! {
         pred in pred_strategy(),
     ) {
         let tables = table(&values);
+        let arena = MaskArena::new();
         let tree = PredicateTree::build(&pred);
         let builder =
             TagMapBuilder::new(&tree, TagMapStrategy::Generalized { use_closure: true });
@@ -63,7 +65,7 @@ proptest! {
             let map = builder.filter_map(node, &tags);
             tags = builder.filter_output_tags(&map, &tags);
             let prev_union = rel.union_all();
-            rel = tagged_filter(&tables, &rel, &tree, &map).unwrap();
+            rel = tagged_filter(&tables, &rel, &tree, &map, &arena).unwrap();
             // Invariants.
             prop_assert!(rel.check_mutually_exclusive());
             prop_assert_eq!(rel.num_tuples(), values.len(), "relation never rewritten");
@@ -79,12 +81,13 @@ proptest! {
         }
         // Final check: projected rows equal a direct evaluation.
         let proj = builder.projection_tags(&tags);
-        let selected = basilisk_core::tagged_select_final(&rel, &proj);
+        let selected = basilisk_core::tagged_select_final(&rel, &proj, &arena);
         let expected = basilisk_exec::filter(
             &tables,
             &IdxRelation::base("t", values.len()),
             &tree,
             tree.root(),
+            &arena,
         )
         .unwrap();
         let mut a = selected.col("t").unwrap().to_vec();

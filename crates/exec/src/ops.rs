@@ -5,7 +5,7 @@ use std::sync::Arc;
 use basilisk_expr::eval::eval_node_mask;
 use basilisk_expr::{ColumnRef, ExprId, PredicateTree};
 use basilisk_storage::Column;
-use basilisk_types::{BasiliskError, Bitmap, Result};
+use basilisk_types::{BasiliskError, MaskArena, Result};
 
 use crate::hash::JoinTable;
 use crate::relation::{join_key, IdxRelation, RelProvider, TableSet};
@@ -15,17 +15,23 @@ use crate::relation::{join_key, IdxRelation, RelProvider, TableSet};
 ///
 /// Uses the vectorized [`TruthMask`](basilisk_types::TruthMask) path, so
 /// the traditional engine and the tagged engine share one evaluation
-/// kernel and their benchmark comparison stays apples-to-apples.
+/// kernel and their benchmark comparison stays apples-to-apples. All
+/// scratch (the all-ones selection, the result mask, the index decode
+/// buffer) comes from `arena` and is recycled before returning.
 pub fn filter(
     tables: &TableSet,
     relation: &IdxRelation,
     tree: &PredicateTree,
     node: ExprId,
+    arena: &MaskArena,
 ) -> Result<IdxRelation> {
     let provider = RelProvider::new(tables, relation);
-    let sel = Bitmap::all_set(relation.len());
-    let mask = eval_node_mask(tree, node, &provider, &sel)?;
-    Ok(relation.select_bitmap(&mask.into_trues()))
+    let sel = arena.bitmap_ones(relation.len());
+    let mask = eval_node_mask(tree, node, &provider, &sel, arena)?;
+    let out = relation.select_bitmap_in(mask.trues(), arena);
+    arena.recycle_bitmap(sel);
+    arena.recycle_mask(mask);
+    Ok(out)
 }
 
 /// Which side of a hash join the hash table is built from.
@@ -200,7 +206,7 @@ mod tests {
     use super::*;
     use basilisk_expr::{and, col, or, PredicateTree};
     use basilisk_storage::{Table, TableBuilder};
-    use basilisk_types::{DataType, Value};
+    use basilisk_types::{DataType, MaskArena, Value};
 
     fn title() -> Arc<Table> {
         let mut b = TableBuilder::new("title")
@@ -232,7 +238,7 @@ mod tests {
         let ts = tset();
         let rel = IdxRelation::base("t", 5);
         let tree = PredicateTree::build(&col("t", "year").gt(2000i64));
-        let out = filter(&ts, &rel, &tree, tree.root()).unwrap();
+        let out = filter(&ts, &rel, &tree, tree.root(), &MaskArena::new()).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(**out.col("t").unwrap(), vec![0, 1]);
     }
@@ -246,7 +252,7 @@ mod tests {
             col("t", "year").lt(1980i64),
         ]);
         let tree = PredicateTree::build(&e);
-        let out = filter(&ts, &rel, &tree, tree.root()).unwrap();
+        let out = filter(&ts, &rel, &tree, tree.root(), &MaskArena::new()).unwrap();
         assert_eq!(out.len(), 3); // 2008, 2001, 1972
     }
 
@@ -407,7 +413,7 @@ mod tests {
             ]),
         ]);
         let tree = PredicateTree::build(&q1);
-        let out = filter(&ts, &joined, &tree, tree.root()).unwrap();
+        let out = filter(&ts, &joined, &tree, tree.root(), &MaskArena::new()).unwrap();
         // Matches: (1,2008,9.0) via both clauses; (3,1994,9.3) and
         // (4,1994,8.9) via clause 2. Movie 5 (1972) fails both.
         assert_eq!(out.len(), 3);

@@ -146,6 +146,22 @@ impl IdxRelation {
         }
     }
 
+    /// [`Self::select_bitmap`] with pooled scratch: the bitmap is decoded
+    /// once into a recycled index buffer (instead of once per column) and
+    /// every column gathers through it.
+    pub fn select_bitmap_in(
+        &self,
+        keep: &basilisk_types::Bitmap,
+        arena: &basilisk_types::MaskArena,
+    ) -> IdxRelation {
+        assert_eq!(keep.len(), self.len, "selection bitmap length mismatch");
+        let mut idx = arena.indices();
+        keep.indices_into(&mut idx);
+        let out = self.select(&idx);
+        arena.recycle_indices(idx);
+        out
+    }
+
     /// The tuple at position `i` (row per covered table) — tests/debug.
     pub fn tuple(&self, i: usize) -> Vec<u32> {
         self.cols.iter().map(|c| c[i]).collect()

@@ -7,6 +7,18 @@
 //! instruction. This is the execution path every engine operator uses
 //! ([`eval_node_mask`] / [`eval_atom_mask`]).
 //!
+//! The mask path is **allocation-free in steady state**: every mask it
+//! touches is checked out of the caller's [`MaskArena`], evaluated into in
+//! place, and recycled as soon as a connective has folded it into its
+//! accumulator. The returned mask is itself a pooled buffer — callers hand
+//! it back with [`MaskArena::recycle_mask`] when done.
+//!
+//! Int/Float comparison atoms additionally run **branchless**: instead of
+//! a per-lane `if valid { cmp } else { Unknown }` branch, the kernel packs
+//! 64 comparison results into a word (`cmp → bit`), ANDs in the validity
+//! word, and stores both planes with one [`TruthMask::set_word`] call —
+//! see the `eval_cmp_mask` kernels.
+//!
 //! The original per-element path ([`eval_node`] / [`eval_atom`], producing
 //! a `Vec<Truth>`) is kept as the scalar reference implementation: the
 //! property suite checks the two agree lane-for-lane, and the `eval`
@@ -21,7 +33,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use basilisk_storage::{Column, ColumnData};
-use basilisk_types::{BasiliskError, Bitmap, Result, Truth, TruthMask, Value};
+use basilisk_types::{BasiliskError, Bitmap, MaskArena, Result, Truth, TruthMask, Value};
 
 use crate::atom::{Atom, CmpOp, ColumnRef};
 use crate::like::like_match;
@@ -127,84 +139,113 @@ pub fn eval_node(
 /// masks as whole-word bitmap operations; NOT flips word-wise and is then
 /// re-restricted to `sel` (lanes outside the selection are don't-cares and
 /// must not leak in as `True`).
+///
+/// Every mask — the returned one included — is checked out of `arena`;
+/// child masks are recycled as soon as a connective folds them in, and the
+/// caller recycles the result, so repeated evaluation allocates nothing
+/// once the pool is warm.
 pub fn eval_node_mask(
     tree: &PredicateTree,
     id: ExprId,
     provider: &impl ColumnProvider,
     sel: &Bitmap,
+    arena: &MaskArena,
 ) -> Result<TruthMask> {
     match tree.kind(id) {
         NodeKind::Atom(atom) => {
             let column = provider.fetch_at(atom.column(), sel)?;
-            eval_atom_mask(atom, &column, sel)
+            eval_atom_mask(atom, &column, sel, arena)
         }
         NodeKind::Not(c) => {
-            let mut m = eval_node_mask(tree, *c, provider, sel)?;
+            let mut m = eval_node_mask(tree, *c, provider, sel, arena)?;
             m.negate();
             m.restrict_to(sel);
             Ok(m)
         }
-        NodeKind::And(cs) => {
-            let mut acc = eval_node_mask(tree, cs[0], provider, sel)?;
-            for &c in &cs[1..] {
-                let m = eval_node_mask(tree, c, provider, sel)?;
-                acc.and_with(&m);
-            }
-            Ok(acc)
-        }
-        NodeKind::Or(cs) => {
-            let mut acc = eval_node_mask(tree, cs[0], provider, sel)?;
-            for &c in &cs[1..] {
-                let m = eval_node_mask(tree, c, provider, sel)?;
-                acc.or_with(&m);
-            }
-            Ok(acc)
-        }
+        NodeKind::And(cs) => fold_children(tree, cs, provider, sel, arena, TruthMask::and_with),
+        NodeKind::Or(cs) => fold_children(tree, cs, provider, sel, arena, TruthMask::or_with),
     }
 }
 
-/// Build a mask by evaluating `lane` at the selected positions, using the
+/// Fold a connective's children into the first child's mask, recycling
+/// each child mask as soon as it is combined — and the accumulator too on
+/// an error path, so failed evaluations never shrink the pool.
+fn fold_children(
+    tree: &PredicateTree,
+    children: &[ExprId],
+    provider: &impl ColumnProvider,
+    sel: &Bitmap,
+    arena: &MaskArena,
+    combine: impl Fn(&mut TruthMask, &TruthMask),
+) -> Result<TruthMask> {
+    let mut acc = eval_node_mask(tree, children[0], provider, sel, arena)?;
+    for &c in &children[1..] {
+        match eval_node_mask(tree, c, provider, sel, arena) {
+            Ok(m) => {
+                combine(&mut acc, &m);
+                arena.recycle_mask(m);
+            }
+            Err(e) => {
+                arena.recycle_mask(acc);
+                return Err(e);
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// Fill `out` by evaluating `lane` at the selected positions, using the
 /// dense word-batched builder when the selection covers every row.
-fn mask_lanes(n: usize, sel: &Bitmap, lane: impl FnMut(usize) -> Truth) -> TruthMask {
-    if sel.count_ones() == n {
-        TruthMask::from_lanes(n, lane)
+fn fill_mask_lanes(out: &mut TruthMask, sel: &Bitmap, lane: impl FnMut(usize) -> Truth) {
+    if sel.count_ones() == out.len() {
+        out.fill_lanes(lane);
     } else {
-        TruthMask::from_lanes_at(n, sel, lane)
+        out.fill_lanes_at(sel, lane);
     }
 }
 
-/// Evaluate a base predicate over a column into a [`TruthMask`], touching
-/// only the rows set in `sel`.
-pub fn eval_atom_mask(atom: &Atom, column: &Column, sel: &Bitmap) -> Result<TruthMask> {
+/// Evaluate a base predicate over a column into a pooled [`TruthMask`],
+/// touching only the rows set in `sel`.
+pub fn eval_atom_mask(
+    atom: &Atom,
+    column: &Column,
+    sel: &Bitmap,
+    arena: &MaskArena,
+) -> Result<TruthMask> {
     let n = column.len();
     assert_eq!(sel.len(), n, "selection length must match column length");
-    match atom {
+    let mut out = arena.mask(n);
+    let filled = match atom {
         Atom::IsNull { .. } => {
             // NULL-ness is always definite.
-            Ok(mask_lanes(n, sel, |i| Truth::from(!column.is_valid(i))))
+            fill_mask_lanes(&mut out, sel, |i| Truth::from(!column.is_valid(i)));
+            Ok(())
         }
         Atom::Cmp { op, value, col } => {
-            eval_cmp_mask(*op, value, column, sel).map_err(|e| annotate(e, col))
+            eval_cmp_mask(*op, value, column, sel, &mut out).map_err(|e| annotate(e, col))
         }
         Atom::Like {
             pattern,
             case_insensitive,
             col,
-        } => {
-            let strs = column
-                .as_strs()
-                .ok_or_else(|| BasiliskError::Type(format!("LIKE on non-string column {col}")))?;
-            Ok(mask_lanes(n, sel, |i| {
-                if !column.is_valid(i) {
-                    Truth::Unknown
-                } else {
-                    Truth::from(like_match(strs.get(i), pattern, *case_insensitive))
-                }
-            }))
-        }
+        } => match column.as_strs() {
+            None => Err(BasiliskError::Type(format!(
+                "LIKE on non-string column {col}"
+            ))),
+            Some(strs) => {
+                fill_mask_lanes(&mut out, sel, |i| {
+                    if !column.is_valid(i) {
+                        Truth::Unknown
+                    } else {
+                        Truth::from(like_match(strs.get(i), pattern, *case_insensitive))
+                    }
+                });
+                Ok(())
+            }
+        },
         Atom::InList { values, .. } => {
             let list_has_null = values.iter().any(Value::is_null);
-            Ok(mask_lanes(n, sel, |i| {
+            fill_mask_lanes(&mut out, sel, |i| {
                 if !column.is_valid(i) {
                     return Truth::Unknown;
                 }
@@ -218,63 +259,129 @@ pub fn eval_atom_mask(atom: &Atom, column: &Column, sel: &Bitmap) -> Result<Trut
                 } else {
                     Truth::False
                 }
-            }))
+            });
+            Ok(())
+        }
+    };
+    match filled {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            arena.recycle_mask(out);
+            Err(e)
         }
     }
 }
 
-fn eval_cmp_mask(op: CmpOp, value: &Value, column: &Column, sel: &Bitmap) -> Result<TruthMask> {
-    let n = column.len();
-    // Hoist the type dispatch out of the per-lane loop: each arm builds
-    // the mask with a monomorphized comparison closure.
-    macro_rules! run {
+/// Branchless compare-into-word kernel for numeric columns.
+///
+/// For each 64-lane word with at least one selected lane, the comparison
+/// runs over *every* lane of the word with no validity branch — `test`
+/// compiles to a flag-setting compare (`setcc`, and with luck a SIMD
+/// compare), each result lands in its bit — then one AND with the validity
+/// word and the selection word routes invalid lanes to `Unknown` and
+/// unselected lanes to `False`:
+///
+/// ```text
+/// tru = cmp & valid & sel        unk = !valid & sel
+/// ```
+///
+/// Lanes outside the selection may hold arbitrary (but in-bounds) data —
+/// e.g. the scatter-aligned columns of `fetch_at` — which is harmless:
+/// their comparison bits are masked off by `sel`.
+fn fill_cmp_words<T: Copy>(
+    out: &mut TruthMask,
+    data: &[T],
+    validity: Option<&Bitmap>,
+    sel: &Bitmap,
+    test: impl Fn(T) -> bool,
+) {
+    let n = data.len();
+    let sel_words = sel.words();
+    let valid_words = validity.map(Bitmap::words);
+    for (w, &sel_word) in sel_words.iter().enumerate() {
+        if sel_word == 0 {
+            continue; // `out` is all-false from checkout
+        }
+        let base = w * 64;
+        let top = 64.min(n - base);
+        let lanes = &data[base..base + top];
+        let mut cmp = 0u64;
+        for (b, &x) in lanes.iter().enumerate() {
+            cmp |= (test(x) as u64) << b;
+        }
+        let valid = valid_words.map_or(u64::MAX, |v| v[w]);
+        out.set_word(w, cmp & valid & sel_word, !valid & sel_word);
+    }
+}
+
+fn eval_cmp_mask(
+    op: CmpOp,
+    value: &Value,
+    column: &Column,
+    sel: &Bitmap,
+    out: &mut TruthMask,
+) -> Result<()> {
+    // Branchless word-granular kernels for numeric columns: dispatch on
+    // the operator once, then compare straight into bit positions. The
+    // plain `<`/`<=`/… operators reproduce SQL comparison semantics for
+    // both types (for floats, IEEE makes every NaN comparison false
+    // except `!=` — exactly `cmp_partial`).
+    macro_rules! kernel {
+        ($data:expr, $lit:expr, $conv:expr) => {{
+            let data = $data;
+            let lit = $lit;
+            let conv = $conv;
+            let valid = column.validity();
+            match op {
+                CmpOp::Eq => fill_cmp_words(out, data, valid, sel, |x| conv(x) == lit),
+                CmpOp::Ne => fill_cmp_words(out, data, valid, sel, |x| conv(x) != lit),
+                CmpOp::Lt => fill_cmp_words(out, data, valid, sel, |x| conv(x) < lit),
+                CmpOp::Le => fill_cmp_words(out, data, valid, sel, |x| conv(x) <= lit),
+                CmpOp::Gt => fill_cmp_words(out, data, valid, sel, |x| conv(x) > lit),
+                CmpOp::Ge => fill_cmp_words(out, data, valid, sel, |x| conv(x) >= lit),
+            }
+            Ok(())
+        }};
+    }
+    // Per-lane fallback for non-numeric payloads.
+    macro_rules! lanes {
         ($data:expr, $test:expr) => {{
             let data = $data;
             let test = $test;
-            Ok(mask_lanes(n, sel, |i| {
+            fill_mask_lanes(out, sel, |i| {
                 if !column.is_valid(i) {
                     Truth::Unknown
                 } else {
                     Truth::from(test(&data[i]))
                 }
-            }))
+            });
+            Ok(())
         }};
     }
     match (column.data(), value) {
         (_, Value::Null) => {
             // Comparing anything to NULL is always unknown (only on the
             // selected lanes; the rest stay false/no-care).
-            Ok(mask_lanes(n, sel, |_| Truth::Unknown))
+            fill_mask_lanes(out, sel, |_| Truth::Unknown);
+            Ok(())
         }
-        (ColumnData::Int(data), Value::Int(lit)) => {
-            let lit = *lit;
-            run!(data, move |x: &i64| cmp_ord(op, x.cmp(&lit)))
+        (ColumnData::Int(data), Value::Int(lit)) => kernel!(data, *lit, |x: i64| x),
+        (ColumnData::Int(data), Value::Float(lit)) => kernel!(data, *lit, |x: i64| x as f64),
+        (ColumnData::Float(data), Value::Float(lit)) => kernel!(data, *lit, |x: f64| x),
+        (ColumnData::Float(data), Value::Int(lit)) => kernel!(data, *lit as f64, |x: f64| x),
+        (ColumnData::Str(data), Value::Str(lit)) => {
+            fill_mask_lanes(out, sel, |i| {
+                if !column.is_valid(i) {
+                    Truth::Unknown
+                } else {
+                    Truth::from(cmp_ord(op, data.get(i).cmp(lit.as_str())))
+                }
+            });
+            Ok(())
         }
-        (ColumnData::Int(data), Value::Float(lit)) => {
-            let lit = *lit;
-            run!(data, move |x: &i64| cmp_partial(
-                op,
-                (*x as f64).partial_cmp(&lit)
-            ))
-        }
-        (ColumnData::Float(data), Value::Float(lit)) => {
-            let lit = *lit;
-            run!(data, move |x: &f64| cmp_partial(op, x.partial_cmp(&lit)))
-        }
-        (ColumnData::Float(data), Value::Int(lit)) => {
-            let lit = *lit as f64;
-            run!(data, move |x: &f64| cmp_partial(op, x.partial_cmp(&lit)))
-        }
-        (ColumnData::Str(data), Value::Str(lit)) => Ok(mask_lanes(n, sel, |i| {
-            if !column.is_valid(i) {
-                Truth::Unknown
-            } else {
-                Truth::from(cmp_ord(op, data.get(i).cmp(lit.as_str())))
-            }
-        })),
         (ColumnData::Bool(data), Value::Bool(lit)) => {
             let lit = *lit;
-            run!(data, move |x: &bool| cmp_ord(op, x.cmp(&lit)))
+            lanes!(data, move |x: &bool| cmp_ord(op, x.cmp(&lit)))
         }
         (col_data, lit) => Err(BasiliskError::Type(format!(
             "cannot compare {} column with literal {lit}",

@@ -18,7 +18,7 @@
 //! * [`subsume`] — the implication closure between comparison atoms on the
 //!   same column (`year > 2000 ⇒ year > 1980`), which the paper's planner
 //!   uses to skip redundant filter work.
-//! * [`factor`] — common-conjunct factoring,
+//! * `factor` (via [`factor_common_conjuncts`]) — common-conjunct factoring,
 //!   `(A∧B∧C) ∨ (A∧B∧D) → A∧B∧(C∨D)`, used to derive the
 //!   BPushConj-comparable form of each benchmark query (§5.1).
 

@@ -6,8 +6,16 @@
 use basilisk_expr::eval::{eval_node, eval_node_mask, MapProvider};
 use basilisk_expr::{col, ColumnRef, Expr, PredicateTree};
 use basilisk_storage::ColumnBuilder;
-use basilisk_types::{Bitmap, DataType, Truth, TruthMask, Value};
+use basilisk_types::{Bitmap, DataType, MaskArena, Truth, TruthMask, Value};
 use proptest::prelude::*;
+
+thread_local! {
+    /// One arena shared across *all* property cases in this file: every
+    /// case checks masks out of a pool dirtied by previous cases (other
+    /// lengths, other truth patterns), so lane-identity with the scalar
+    /// evaluator here proves recycled buffers never leak stale bits.
+    static SHARED_ARENA: MaskArena = MaskArena::new();
+}
 
 fn truth_strategy() -> impl Strategy<Value = Truth> {
     prop_oneof![Just(Truth::True), Just(Truth::False), Just(Truth::Unknown)]
@@ -125,9 +133,12 @@ proptest! {
         let provider = provider_for(&data);
         let scalar = eval_node(&tree, tree.root(), &provider).unwrap();
         let sel = Bitmap::all_set(data.len());
-        let mask = eval_node_mask(&tree, tree.root(), &provider, &sel).unwrap();
-        prop_assert!(mask.check_disjoint());
-        prop_assert_eq!(mask.to_truths(), scalar, "predicate {}", pred);
+        SHARED_ARENA.with(|arena| {
+            let mask = eval_node_mask(&tree, tree.root(), &provider, &sel, arena).unwrap();
+            prop_assert!(mask.check_disjoint());
+            prop_assert_eq!(mask.to_truths(), scalar, "predicate {}", pred);
+            arena.recycle_mask(mask);
+        });
     }
 
     /// Under a partial selection, selected lanes agree with the scalar
@@ -146,18 +157,54 @@ proptest! {
             data.len(),
             (0..data.len()).filter(|i| (seed >> (i % 61)) & 1 == 1),
         );
-        let mask = eval_node_mask(&tree, tree.root(), &provider, &sel).unwrap();
-        for (i, &expected) in scalar.iter().enumerate() {
-            if sel.get(i) {
-                prop_assert_eq!(mask.get(i), expected, "lane {} of {}", i, pred);
-            } else {
-                prop_assert_eq!(
-                    mask.get(i),
-                    Truth::False,
-                    "unselected lane {} must stay false",
-                    i
-                );
+        SHARED_ARENA.with(|arena| {
+            let mask = eval_node_mask(&tree, tree.root(), &provider, &sel, arena).unwrap();
+            for (i, &expected) in scalar.iter().enumerate() {
+                if sel.get(i) {
+                    prop_assert_eq!(mask.get(i), expected, "lane {} of {}", i, pred);
+                } else {
+                    prop_assert_eq!(
+                        mask.get(i),
+                        Truth::False,
+                        "unselected lane {} must stay false",
+                        i
+                    );
+                }
             }
-        }
+            arena.recycle_mask(mask);
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ISSUE-2 satellite: pooled-buffer evaluation stays lane-identical to
+    /// the scalar evaluator *after buffer reuse*. The same query is run
+    /// twice through one arena — the second pass is served entirely from
+    /// buffers the first pass recycled — and both passes must match the
+    /// scalar reference (and each other) on every lane.
+    #[test]
+    fn pooled_eval_identical_after_reuse(data in data_strategy(), pred in pred_strategy()) {
+        let tree = PredicateTree::build(&pred);
+        let provider = provider_for(&data);
+        let scalar = eval_node(&tree, tree.root(), &provider).unwrap();
+        let sel = Bitmap::all_set(data.len());
+        let arena = MaskArena::new();
+
+        let first = eval_node_mask(&tree, tree.root(), &provider, &sel, &arena).unwrap();
+        let first_truths = first.to_truths();
+        arena.recycle_mask(first);
+        let warm = arena.stats();
+
+        let second = eval_node_mask(&tree, tree.root(), &provider, &sel, &arena).unwrap();
+        prop_assert_eq!(&first_truths, &scalar, "first pass vs scalar for {}", pred);
+        prop_assert_eq!(&second.to_truths(), &scalar, "reused-buffer pass for {}", pred);
+        let stats = arena.stats();
+        prop_assert_eq!(
+            stats.masks.fresh, warm.masks.fresh,
+            "second evaluation must not allocate new masks"
+        );
+        arena.recycle_mask(second);
     }
 }

@@ -1,4 +1,14 @@
 //! Plan interpreters for both execution models.
+//!
+//! Both interpreters are arena-disciplined: every operator draws its
+//! mask/bitmap scratch from the caller's [`MaskArena`], and the tagged
+//! interpreter recycles each intermediate [`TaggedRelation`]'s slice
+//! bitmaps the moment the consuming operator has produced its output —
+//! the checkout → evaluate → recycle lifecycle that makes repeated
+//! executions of one plan free of buffer (mask/bitmap/index-scratch)
+//! allocations after warmup. Output-owning allocations — `combine`'s
+//! joined index columns, projected values — are outside the pool's
+//! scope (see ROADMAP).
 
 use basilisk_core::ProjectionTags;
 use basilisk_core::{tagged_filter, tagged_join, tagged_select_final, TaggedRelation};
@@ -6,7 +16,7 @@ use basilisk_exec::{
     filter as plain_filter, hash_join, union_all_dedup, IdxRelation, JoinSide, TableSet,
 };
 use basilisk_expr::PredicateTree;
-use basilisk_types::Result;
+use basilisk_types::{MaskArena, Result};
 
 use crate::aplan::APlan;
 use crate::cost::TPlan;
@@ -18,20 +28,30 @@ pub fn execute_tagged(
     projection: &ProjectionTags,
     tables: &TableSet,
     tree: &PredicateTree,
+    arena: &MaskArena,
 ) -> Result<IdxRelation> {
-    let rel = run_tagged(plan, tables, tree)?;
-    Ok(tagged_select_final(&rel, projection))
+    let rel = run_tagged(plan, tables, tree, arena)?;
+    let out = tagged_select_final(&rel, projection, arena);
+    rel.recycle(arena);
+    Ok(out)
 }
 
-fn run_tagged(plan: &TPlan, tables: &TableSet, tree: &PredicateTree) -> Result<TaggedRelation> {
+fn run_tagged(
+    plan: &TPlan,
+    tables: &TableSet,
+    tree: &PredicateTree,
+    arena: &MaskArena,
+) -> Result<TaggedRelation> {
     match plan {
-        TPlan::Scan { alias } => Ok(TaggedRelation::base(IdxRelation::base(
-            alias.clone(),
-            tables.num_rows(alias)?,
-        ))),
+        TPlan::Scan { alias } => Ok(TaggedRelation::base_in(
+            IdxRelation::base(alias.clone(), tables.num_rows(alias)?),
+            arena,
+        )),
         TPlan::Filter { map, child, .. } => {
-            let input = run_tagged(child, tables, tree)?;
-            tagged_filter(tables, &input, tree, map)
+            let input = run_tagged(child, tables, tree, arena)?;
+            let out = tagged_filter(tables, &input, tree, map, arena);
+            input.recycle(arena);
+            out
         }
         TPlan::Join {
             cond,
@@ -39,9 +59,12 @@ fn run_tagged(plan: &TPlan, tables: &TableSet, tree: &PredicateTree) -> Result<T
             left,
             right,
         } => {
-            let l = run_tagged(left, tables, tree)?;
-            let r = run_tagged(right, tables, tree)?;
-            tagged_join(tables, &l, &r, &cond.left, &cond.right, map)
+            let l = run_tagged(left, tables, tree, arena)?;
+            let r = run_tagged(right, tables, tree, arena)?;
+            let out = tagged_join(tables, &l, &r, &cond.left, &cond.right, map, arena);
+            l.recycle(arena);
+            r.recycle(arena);
+            out
         }
     }
 }
@@ -52,22 +75,23 @@ pub fn execute_traditional(
     plan: &APlan,
     tables: &TableSet,
     tree: &PredicateTree,
+    arena: &MaskArena,
 ) -> Result<IdxRelation> {
     match plan {
         APlan::Scan { alias } => Ok(IdxRelation::base(alias.clone(), tables.num_rows(alias)?)),
         APlan::Filter { node, child } => {
-            let input = execute_traditional(child, tables, tree)?;
-            plain_filter(tables, &input, tree, *node)
+            let input = execute_traditional(child, tables, tree, arena)?;
+            plain_filter(tables, &input, tree, *node, arena)
         }
         APlan::Join { cond, left, right } => {
-            let l = execute_traditional(left, tables, tree)?;
-            let r = execute_traditional(right, tables, tree)?;
+            let l = execute_traditional(left, tables, tree, arena)?;
+            let r = execute_traditional(right, tables, tree, arena)?;
             hash_join(tables, &l, &r, &cond.left, &cond.right, JoinSide::Smaller)
         }
         APlan::Union { children } => {
             let rels: Vec<IdxRelation> = children
                 .iter()
-                .map(|c| execute_traditional(c, tables, tree))
+                .map(|c| execute_traditional(c, tables, tree, arena))
                 .collect::<Result<_>>()?;
             union_all_dedup(&rels)
         }
@@ -84,6 +108,10 @@ mod tests {
     use basilisk_expr::{and, col, or, ColumnRef};
     use basilisk_storage::TableBuilder;
     use basilisk_types::DataType;
+
+    fn arena() -> MaskArena {
+        MaskArena::new()
+    }
 
     fn setup() -> (Catalog, TableSet, Estimator, PredicateTree) {
         let mut cat = Catalog::new();
@@ -151,13 +179,13 @@ mod tests {
         );
         let builder = TagMapBuilder::new(&tree, TagMapStrategy::Generalized { use_closure: true });
         let ann = annotate_tagged(&pushed, &tree, &builder, &est, &CostModel::default()).unwrap();
-        let got = execute_tagged(&ann.plan, &ann.projection, &tables, &tree).unwrap();
+        let got = execute_tagged(&ann.plan, &ann.projection, &tables, &tree, &arena()).unwrap();
 
         let reference = APlan::filter(
             tree.root(),
             APlan::join(cond, APlan::scan("t"), APlan::scan("mi")),
         );
-        let expected = execute_traditional(&reference, &tables, &tree).unwrap();
+        let expected = execute_traditional(&reference, &tables, &tree, &arena()).unwrap();
 
         let mut a: Vec<(u32, u32)> = (0..got.len())
             .map(|i| (got.col("t").unwrap()[i], got.col("mi").unwrap()[i]))
@@ -195,12 +223,12 @@ mod tests {
                 clause("t.year > 1980", "mi.score > 8"),
             ],
         };
-        let got = execute_traditional(&u, &tables, &tree).unwrap();
+        let got = execute_traditional(&u, &tables, &tree, &arena()).unwrap();
         let reference = APlan::filter(
             tree.root(),
             APlan::join(cond, APlan::scan("t"), APlan::scan("mi")),
         );
-        let expected = execute_traditional(&reference, &tables, &tree).unwrap();
+        let expected = execute_traditional(&reference, &tables, &tree, &arena()).unwrap();
         assert_eq!(got.len(), expected.len());
     }
 }

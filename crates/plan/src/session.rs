@@ -7,7 +7,7 @@ use basilisk_core::{TagMapBuilder, TagMapStrategy};
 use basilisk_exec::{project, IdxRelation, TableSet};
 use basilisk_expr::{ColumnRef, PredicateTree};
 use basilisk_storage::Column;
-use basilisk_types::{BasiliskError, Result};
+use basilisk_types::{ArenaStats, BasiliskError, MaskArena, Result};
 
 use crate::aplan::APlan;
 use crate::cost::CostModel;
@@ -88,6 +88,15 @@ impl QueryOutput {
 /// A query bound to a catalog: statistics, table handles and the predicate
 /// tree are built once; any number of planners can then be run and
 /// compared on it.
+///
+/// The session also owns the [`MaskArena`] every execution draws its
+/// mask/bitmap buffers from: the first `execute()` warms the pool, and
+/// each subsequent execution of the same (or a same-shaped) plan performs
+/// zero *buffer* allocations — every mask, slice/selection bitmap and
+/// index scratch vector is served from the pool, which
+/// [`Self::arena_stats`] proves (`fresh() == 0`). Result-owning
+/// allocations remain: joined index columns built by `combine` and
+/// projected output columns are not pooled (see ROADMAP).
 pub struct QuerySession {
     query: Query,
     tree: Option<PredicateTree>,
@@ -96,6 +105,7 @@ pub struct QuerySession {
     strategy: TagMapStrategy,
     three_valued: bool,
     cm: CostModel,
+    arena: MaskArena,
 }
 
 impl QuerySession {
@@ -128,6 +138,7 @@ impl QuerySession {
             strategy: TagMapStrategy::Generalized { use_closure: true },
             three_valued,
             cm: CostModel::default(),
+            arena: MaskArena::new(),
         })
     }
 
@@ -162,6 +173,23 @@ impl QuerySession {
 
     pub fn estimator(&self) -> &Estimator {
         &self.est
+    }
+
+    /// The session's buffer pool (shared by every execution).
+    pub fn arena(&self) -> &MaskArena {
+        &self.arena
+    }
+
+    /// Buffer-pool checkout counters since the last
+    /// [`Self::reset_arena_stats`] — `fresh() == 0` across an `execute()`
+    /// means the run was allocation-free (steady state).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Zero the pool counters (the pooled buffers stay warm).
+    pub fn reset_arena_stats(&self) {
+        self.arena.reset_stats()
     }
 
     /// Plan with the chosen planner.
@@ -205,7 +233,7 @@ impl QuerySession {
                 // Predicate-free: use the traditional executor with a
                 // dummy tree (never consulted — the plan has no filters).
                 let dummy = PredicateTree::build(&basilisk_expr::col("·", "·").is_null());
-                execute_traditional(aplan, &self.tables, &dummy)?
+                execute_traditional(aplan, &self.tables, &dummy, &self.arena)?
             }
             Plan::WithPredicate(p) => {
                 let tree = self
@@ -214,10 +242,10 @@ impl QuerySession {
                     .ok_or_else(|| BasiliskError::Plan("plan/session mismatch".into()))?;
                 match p {
                     PlannedQuery::Tagged { ann, .. } => {
-                        execute_tagged(&ann.plan, &ann.projection, &self.tables, tree)?
+                        execute_tagged(&ann.plan, &ann.projection, &self.tables, tree, &self.arena)?
                     }
                     PlannedQuery::Traditional { aplan, .. } => {
-                        execute_traditional(aplan, &self.tables, tree)?
+                        execute_traditional(aplan, &self.tables, tree, &self.arena)?
                     }
                 }
             }

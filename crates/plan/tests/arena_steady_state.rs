@@ -1,0 +1,170 @@
+//! The ISSUE-2 acceptance test: steady-state execution is allocation-free.
+//!
+//! A `QuerySession` owns one `MaskArena`; the first `execute()` of a plan
+//! warms the pool and every later execution must be served entirely from
+//! recycled buffers. `ArenaStats::fresh()` counts pool misses — i.e. the
+//! buffer allocations the word-parallel path would otherwise perform — so
+//! `fresh() == 0` across a run *is* the zero-allocation proof for every
+//! mask, slice bitmap, selection bitmap and index decode buffer on the
+//! hot path.
+
+use basilisk_catalog::Catalog;
+use basilisk_expr::{and, col, or, ColumnRef};
+use basilisk_plan::{PlannerKind, Query, QuerySession};
+use basilisk_storage::TableBuilder;
+use basilisk_types::{DataType, Value};
+
+fn catalog(with_nulls: bool) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut b = TableBuilder::new("title")
+        .column("id", DataType::Int)
+        .column("year", DataType::Int);
+    for i in 0..4000i64 {
+        let year = if with_nulls && i % 37 == 0 {
+            Value::Null
+        } else {
+            Value::Int(1900 + i % 120)
+        };
+        b.push_row(vec![i.into(), year]).unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    let mut b = TableBuilder::new("scores")
+        .column("movie_id", DataType::Int)
+        .column("score", DataType::Float);
+    for i in 0..6000i64 {
+        b.push_row(vec![(i % 4000).into(), ((i % 100) as f64 / 10.0).into()])
+            .unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    cat
+}
+
+fn filter_query() -> Query {
+    Query::new(vec![("t".into(), "title".into())])
+        .filter(or(vec![
+            and(vec![
+                col("t", "year").gt(2000i64),
+                col("t", "id").lt(3000i64),
+            ]),
+            and(vec![
+                col("t", "year").lt(1950i64),
+                col("t", "id").gt(500i64),
+            ]),
+            col("t", "year").eq(1980i64),
+        ]))
+        .select(vec![ColumnRef::new("t", "id")])
+}
+
+fn join_query() -> Query {
+    Query::new(vec![
+        ("t".into(), "title".into()),
+        ("mi".into(), "scores".into()),
+    ])
+    .join(ColumnRef::new("t", "id"), ColumnRef::new("mi", "movie_id"))
+    .filter(or(vec![
+        and(vec![
+            col("t", "year").gt(2000i64),
+            col("mi", "score").gt(7.0),
+        ]),
+        and(vec![
+            col("t", "year").gt(1980i64),
+            col("mi", "score").gt(8.0),
+        ]),
+    ]))
+    .select(vec![ColumnRef::new("t", "id")])
+}
+
+/// Run `plan` twice on a fresh session; the second run must perform zero
+/// fresh buffer checkouts while producing the identical result.
+fn assert_steady_state(query: Query, kind: PlannerKind) {
+    let cat = catalog(false);
+    let session = QuerySession::new(&cat, query).unwrap();
+    let plan = session.plan(kind).unwrap();
+
+    let first = session.execute(&plan).unwrap();
+    let warmup = session.arena_stats();
+    assert!(
+        warmup.fresh() > 0,
+        "warmup run should populate the pool ({kind})"
+    );
+
+    session.reset_arena_stats();
+    let second = session.execute(&plan).unwrap();
+    let steady = session.arena_stats();
+    assert_eq!(
+        steady.fresh(),
+        0,
+        "steady-state execution must be allocation-free, \
+         but {kind} checked out {} fresh buffers (stats: {steady:?})",
+        steady.fresh()
+    );
+    assert!(
+        steady.reused() > 0,
+        "steady-state execution should reuse pooled buffers ({kind})"
+    );
+    assert_eq!(
+        first.canonical_tuples(),
+        second.canonical_tuples(),
+        "buffer reuse must not change results ({kind})"
+    );
+
+    // And it stays allocation-free on every further run.
+    for _ in 0..3 {
+        session.reset_arena_stats();
+        session.execute(&plan).unwrap();
+        assert_eq!(session.arena_stats().fresh(), 0, "run N stays at zero");
+    }
+}
+
+#[test]
+fn tagged_filter_pipeline_is_allocation_free_in_steady_state() {
+    assert_steady_state(filter_query(), PlannerKind::TPushdown);
+}
+
+#[test]
+fn tagged_filter_join_pipeline_is_allocation_free_in_steady_state() {
+    assert_steady_state(join_query(), PlannerKind::TCombined);
+}
+
+#[test]
+fn traditional_pipeline_is_allocation_free_in_steady_state() {
+    assert_steady_state(join_query(), PlannerKind::BPushConj);
+}
+
+/// NULL-bearing data routes tuples through the unknown slice; the extra
+/// unk bitmaps must recycle just like pos/neg.
+#[test]
+fn three_valued_pipeline_is_allocation_free_in_steady_state() {
+    let cat = catalog(true);
+    let session = QuerySession::new(&cat, filter_query()).unwrap();
+    let plan = session.plan(PlannerKind::TPushdown).unwrap();
+    session.execute(&plan).unwrap();
+    session.reset_arena_stats();
+    session.execute(&plan).unwrap();
+    assert_eq!(session.arena_stats().fresh(), 0);
+}
+
+/// Different planners share the session pool: after one planner warms it,
+/// a same-shaped plan from another planner also runs allocation-free only
+/// if its shapes fit — at minimum it must never *grow* the pool once the
+/// largest shapes are in.
+#[test]
+fn pool_survives_planner_switch() {
+    let cat = catalog(false);
+    let session = QuerySession::new(&cat, join_query()).unwrap();
+    for kind in [
+        PlannerKind::TPushdown,
+        PlannerKind::TCombined,
+        PlannerKind::TPullup,
+    ] {
+        let plan = session.plan(kind).unwrap();
+        session.execute(&plan).unwrap();
+        session.reset_arena_stats();
+        session.execute(&plan).unwrap();
+        assert_eq!(
+            session.arena_stats().fresh(),
+            0,
+            "planner {kind} not allocation-free on rerun"
+        );
+    }
+}

@@ -194,8 +194,16 @@ impl Bitmap {
     /// Collect set positions as `u32` row ids.
     pub fn to_indices(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.count_ones());
-        out.extend(self.iter_ones().map(|i| i as u32));
+        self.indices_into(&mut out);
         out
+    }
+
+    /// Like [`Self::to_indices`], but writes into a caller-supplied vector
+    /// (cleared first) so looping callers can reuse one allocation.
+    pub fn indices_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.count_ones());
+        out.extend(self.iter_ones().map(|i| i as u32));
     }
 
     /// Position of the first set bit, if any.
@@ -203,9 +211,56 @@ impl Bitmap {
         self.iter_ones().next()
     }
 
-    /// The backing words (tail bits beyond `len` are always zero).
-    pub(crate) fn words(&self) -> &[u64] {
+    /// Reinitialize to an all-zeros bitmap of `len` bits, reusing the
+    /// existing word buffer when its capacity suffices — the reset half of
+    /// the [`crate::MaskArena`] checkout → evaluate → recycle lifecycle.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+        self.len = len;
+    }
+
+    /// Set every bit (in-place counterpart of [`Self::all_set`]).
+    pub fn fill_ones(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        self.mask_tail();
+    }
+
+    /// Become a copy of `other`, reusing the existing word buffer when its
+    /// capacity suffices (unlike `Clone::clone`, never shrinks capacity).
+    pub fn copy_from(&mut self, other: &Bitmap) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// The backing words (tail bits beyond `len` are always zero). Exposed
+    /// for word-granular kernels (e.g. branchless compare-into-word atom
+    /// evaluation over validity/selection words).
+    pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Word-buffer capacity, used by [`crate::MaskArena`] to pick a pooled
+    /// buffer that can be reset without reallocating.
+    pub(crate) fn words_capacity(&self) -> usize {
+        self.words.capacity()
+    }
+
+    /// Overwrite word `w`, masking any bits beyond `len` in the tail word
+    /// so the zero-tail invariant holds. Used by the word-granular
+    /// [`crate::TruthMask::set_word`] kernel entry point.
+    #[inline]
+    pub(crate) fn store_word(&mut self, w: usize, word: u64) {
+        let tail_bits = self.len % WORD_BITS;
+        let is_tail = w + 1 == self.words.len() && tail_bits != 0;
+        self.words[w] = if is_tail {
+            word & ((1u64 << tail_bits) - 1)
+        } else {
+            word
+        };
     }
 
     /// Mutable word access for sibling modules ([`crate::TruthMask`]);

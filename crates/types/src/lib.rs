@@ -11,14 +11,23 @@
 //! * [`Bitmap`] — the dense bitset used to represent relational slices
 //!   (§2.5.1): tagged relations keep one immutable index relation and
 //!   describe each slice as a bitmap over its positions.
+//! * [`TruthMask`] — a vector of [`Truth`] stored as two bitmaps, so 3VL
+//!   connectives run word-parallel (64 lanes per instruction).
+//! * [`MaskArena`] — the per-query buffer pool behind allocation-free
+//!   steady-state execution. Operators **check out** pooled
+//!   [`TruthMask`]/[`Bitmap`]/index buffers, **evaluate** into them, and
+//!   **recycle** them once consumed; [`ArenaStats`] counts pool misses so
+//!   tests and CI can prove the hot path stops allocating after warmup.
 //! * [`BasiliskError`] — the common error type.
 
+mod arena;
 mod bitmap;
 mod error;
 mod truth;
 mod truthmask;
 mod value;
 
+pub use arena::{ArenaStats, MaskArena, PoolStats};
 pub use bitmap::{Bitmap, BitmapIter};
 pub use error::{BasiliskError, Result};
 pub use truth::Truth;

@@ -59,8 +59,34 @@ impl TruthMask {
 
     /// Build by evaluating `lane` for every position, packing 64 lanes per
     /// word write. This is the dense fast path predicate evaluation uses.
-    pub fn from_lanes(len: usize, mut lane: impl FnMut(usize) -> Truth) -> TruthMask {
+    pub fn from_lanes(len: usize, lane: impl FnMut(usize) -> Truth) -> TruthMask {
         let mut out = TruthMask::new_false(len);
+        out.fill_lanes(lane);
+        out
+    }
+
+    /// Build by evaluating `lane` only at positions set in `sel`; every
+    /// other lane is `False`. This is the selection-vector path: operators
+    /// evaluating a predicate under a union-of-slices bitmap touch exactly
+    /// the selected tuples.
+    pub fn from_lanes_at(len: usize, sel: &Bitmap, lane: impl FnMut(usize) -> Truth) -> TruthMask {
+        assert_eq!(sel.len(), len, "selection length must match mask length");
+        let mut out = TruthMask::new_false(len);
+        out.fill_lanes_at(sel, lane);
+        out
+    }
+
+    /// Reinitialize to an all-`False` mask of `len` lanes, reusing both
+    /// word buffers when their capacity suffices (see [`crate::MaskArena`]).
+    pub fn reset(&mut self, len: usize) {
+        self.tru.reset(len);
+        self.unk.reset(len);
+    }
+
+    /// In-place counterpart of [`Self::from_lanes`]: overwrite every lane
+    /// by evaluating `lane`, packing 64 lanes per word write.
+    pub fn fill_lanes(&mut self, mut lane: impl FnMut(usize) -> Truth) {
+        let len = self.len();
         let words = len.div_ceil(WORD_BITS);
         for w in 0..words {
             let base = w * WORD_BITS;
@@ -74,23 +100,17 @@ impl TruthMask {
                     Truth::False => {}
                 }
             }
-            out.tru.words_mut()[w] = t;
-            out.unk.words_mut()[w] = u;
+            self.tru.words_mut()[w] = t;
+            self.unk.words_mut()[w] = u;
         }
-        out
     }
 
-    /// Build by evaluating `lane` only at positions set in `sel`; every
-    /// other lane is `False`. This is the selection-vector path: operators
-    /// evaluating a predicate under a union-of-slices bitmap touch exactly
-    /// the selected tuples.
-    pub fn from_lanes_at(
-        len: usize,
-        sel: &Bitmap,
-        mut lane: impl FnMut(usize) -> Truth,
-    ) -> TruthMask {
-        assert_eq!(sel.len(), len, "selection length must match mask length");
-        let mut out = TruthMask::new_false(len);
+    /// In-place counterpart of [`Self::from_lanes_at`]: evaluate `lane`
+    /// only at positions set in `sel`. `self` must be all-`False` (fresh
+    /// from [`Self::new_false`] or [`Self::reset`]) — words with no
+    /// selected lane are skipped, not cleared.
+    pub fn fill_lanes_at(&mut self, sel: &Bitmap, mut lane: impl FnMut(usize) -> Truth) {
+        assert_eq!(sel.len(), self.len(), "selection length must match mask");
         for (w, &sel_word) in sel.words().iter().enumerate() {
             if sel_word == 0 {
                 continue;
@@ -108,10 +128,21 @@ impl TruthMask {
                     Truth::False => {}
                 }
             }
-            out.tru.words_mut()[w] = t;
-            out.unk.words_mut()[w] = u;
+            self.tru.words_mut()[w] = t;
+            self.unk.words_mut()[w] = u;
         }
-        out
+    }
+
+    /// Overwrite word `w` of both bitmaps at once — the store half of the
+    /// branchless compare-into-word kernels: an atom kernel computes a
+    /// comparison word and a validity word and stores `(cmp & valid,
+    /// !valid)` without any per-lane branch. Tail bits beyond `len` are
+    /// masked off; `tru & unk` must be 0 (checked in debug builds).
+    #[inline]
+    pub fn set_word(&mut self, w: usize, tru: u64, unk: u64) {
+        debug_assert_eq!(tru & unk, 0, "lane both true and unknown");
+        self.tru.store_word(w, tru);
+        self.unk.store_word(w, unk);
     }
 
     /// Number of lanes.
@@ -237,16 +268,41 @@ impl TruthMask {
     /// `(slice ∩ true, slice ∩ false, slice ∩ unknown)` — the §2.2 filter
     /// dispatch as three bitmap intersections.
     pub fn split_under(&self, slice: &Bitmap) -> (Bitmap, Bitmap, Bitmap) {
-        let pos = slice.intersect(&self.tru);
-        let unk = slice.intersect(&self.unk);
-        let mut neg = slice.difference(&self.tru);
-        neg.difference_with(&self.unk);
+        let mut pos = Bitmap::new(slice.len());
+        let mut neg = Bitmap::new(slice.len());
+        let mut unk = Bitmap::new(slice.len());
+        self.split_under_into(slice, &mut pos, &mut neg, &mut unk);
         (pos, neg, unk)
+    }
+
+    /// Allocation-free [`Self::split_under`]: write the three outcome
+    /// bitmaps into caller-supplied (typically pooled) buffers, which are
+    /// reset to `slice.len()` first.
+    pub fn split_under_into(
+        &self,
+        slice: &Bitmap,
+        pos: &mut Bitmap,
+        neg: &mut Bitmap,
+        unk: &mut Bitmap,
+    ) {
+        pos.copy_from(slice);
+        pos.intersect_with(&self.tru);
+        unk.copy_from(slice);
+        unk.intersect_with(&self.unk);
+        neg.copy_from(slice);
+        neg.difference_with(&self.tru);
+        neg.difference_with(&self.unk);
     }
 
     /// Debug invariant: no lane is both true and unknown.
     pub fn check_disjoint(&self) -> bool {
         self.tru.is_disjoint(&self.unk)
+    }
+
+    /// Smaller of the two word-buffer capacities (see
+    /// [`Bitmap::words_capacity`]); used by [`crate::MaskArena`].
+    pub(crate) fn words_capacity(&self) -> usize {
+        self.tru.words_capacity().min(self.unk.words_capacity())
     }
 }
 

@@ -359,7 +359,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Size specifications accepted by [`vec`]: a range or an exact count.
+    /// Size specifications accepted by [`vec`](fn@vec): a range or an exact count.
     pub trait IntoSizeRange {
         /// Inclusive lower bound, inclusive upper bound.
         fn bounds(&self) -> (usize, usize);
