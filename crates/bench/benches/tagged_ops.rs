@@ -116,6 +116,7 @@ fn bench_join(c: &mut Criterion) {
                 &lk,
                 &rk,
                 JoinSide::Smaller,
+                &arena,
             )
             .unwrap()
         })

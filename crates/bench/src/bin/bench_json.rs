@@ -213,20 +213,72 @@ fn main() {
         }),
     );
 
+    // --- join-output gather: fresh scalar vs pooled word-parallel -------
+    // Mirrors what `exec::combine` does per output column. Scalar = the
+    // pre-pool implementation verbatim (fresh Vec + one-at-a-time
+    // bounds-checked gather per column); kernel = pooled checkout +
+    // 8-lane word-parallel gather (`gather_u32_into`), Arc round-trip
+    // included. Four columns of 64k rows through a scattered half-density
+    // selection, the shape of a join's output assembly.
+    let src_cols: Vec<Vec<u32>> = (0..4u32)
+        .map(|c| {
+            (0..ROWS as u32)
+                .map(|i| i.wrapping_mul(2_654_435_761).wrapping_add(c))
+                .collect()
+        })
+        .collect();
+    let sel: Vec<u32> = (0..(ROWS as u32) / 2)
+        .map(|j| j.wrapping_mul(2_654_435_761) % ROWS as u32)
+        .collect();
+    report.push(
+        "gather/fresh_scalar",
+        time_ns(samples, || {
+            let cols: Vec<std::sync::Arc<Vec<u32>>> = src_cols
+                .iter()
+                .map(|c| {
+                    std::sync::Arc::new(sel.iter().map(|&i| c[i as usize]).collect::<Vec<u32>>())
+                })
+                .collect();
+            cols.iter().map(|c| c.len()).sum()
+        }),
+    );
+    report.push(
+        "gather/pooled_kernel",
+        time_ns(samples, || {
+            let cols: Vec<std::sync::Arc<Vec<u32>>> = src_cols
+                .iter()
+                .map(|c| {
+                    let mut out = arena.columns().checkout(sel.len());
+                    basilisk_types::gather_u32_into(c, &sel, &mut out);
+                    std::sync::Arc::new(out)
+                })
+                .collect();
+            let n = cols.iter().map(|c| c.len()).sum();
+            for c in cols {
+                arena.columns().recycle(c);
+            }
+            n
+        }),
+    );
+
     // --- derived (gated) ratios -----------------------------------------
     let or_fold_speedup = report.get("or_fold/scalar") / report.get("or_fold/vectorized");
     let eval_speedup = report.get("eval/scalar") / report.get("eval/vectorized");
     let cmp_kernel_speedup = report.get("cmp_int/branching") / report.get("cmp_int/branchless");
+    let gather_kernel_speedup =
+        report.get("gather/fresh_scalar") / report.get("gather/pooled_kernel");
     let or_fold_gelems = ROWS as f64 / report.get("or_fold/vectorized"); // elems/ns = Gelems/s
     let derived = vec![
         ("or_fold_speedup".to_string(), or_fold_speedup),
         ("eval_speedup".to_string(), eval_speedup),
         ("cmp_kernel_speedup".to_string(), cmp_kernel_speedup),
+        ("gather_kernel_speedup".to_string(), gather_kernel_speedup),
         ("or_fold_gelems_per_s".to_string(), or_fold_gelems),
     ];
     println!("  or_fold_speedup      {or_fold_speedup:.1}x");
     println!("  eval_speedup         {eval_speedup:.1}x");
     println!("  cmp_kernel_speedup   {cmp_kernel_speedup:.1}x");
+    println!("  gather_kernel_speedup {gather_kernel_speedup:.1}x");
 
     std::fs::write(&out_path, report.to_json(&derived)).expect("write BENCH_eval.json");
     println!("wrote {out_path}");
@@ -241,6 +293,7 @@ fn main() {
     for (key, measured) in [
         ("or_fold_speedup", or_fold_speedup),
         ("cmp_kernel_speedup", cmp_kernel_speedup),
+        ("gather_kernel_speedup", gather_kernel_speedup),
     ] {
         let Some(floor) = json_number(&baseline, key) else {
             println!("baseline has no {key}; skipping");

@@ -87,12 +87,13 @@ impl Estimator {
     }
 
     /// Measured selectivity (fraction of rows evaluating to *true*) of a
-    /// base predicate, cached per atom.
+    /// base predicate, cached per atom. Always a finite value in
+    /// `[0, 1]` — empty tables measure as 0, never `NaN`/`inf`.
     pub fn atom_selectivity(&self, atom: &Atom) -> Result<f64> {
         if let Some(&s) = self.atom_sel.borrow().get(atom) {
             return Ok(s);
         }
-        let s = self.measure(atom)?;
+        let s = clamp01(self.measure(atom)?);
         self.atom_sel.borrow_mut().insert(atom.clone(), s);
         Ok(s)
     }
@@ -102,24 +103,32 @@ impl Estimator {
         let handle = info.table.column(&atom.column().column)?;
         let n = handle.len();
         if n == 0 {
+            // Empty table: no row can satisfy the atom. Returning early
+            // also guards the sample-stride and `trues / len` divisions
+            // below against `0 / 0 = NaN`.
             return Ok(0.0);
         }
         let column = if n <= SAMPLE_CAP {
             handle.scan()?.as_ref().clone()
         } else {
-            let stride = n / SAMPLE_CAP;
+            let stride = (n / SAMPLE_CAP).max(1);
             let rows: Vec<u32> = (0..SAMPLE_CAP).map(|i| (i * stride) as u32).collect();
             handle.gather(&rows)?
         };
         let truths = eval_atom(atom, &column)?;
+        if truths.is_empty() {
+            return Ok(0.0);
+        }
         let trues = truths.iter().filter(|&&t| t == Truth::True).count();
         Ok(trues as f64 / truths.len() as f64)
     }
 
     /// Selectivity of an arbitrary predicate-tree node: measured atoms
-    /// combined under the independence assumption.
+    /// combined under the independence assumption. Clamped into `[0, 1]`
+    /// so degenerate statistics can never produce a selectivity outside
+    /// the probability range and poison the benefit-based plan search.
     pub fn node_selectivity(&self, tree: &PredicateTree, id: ExprId) -> Result<f64> {
-        Ok(match tree.kind(id) {
+        Ok(clamp01(match tree.kind(id) {
             NodeKind::Atom(a) => self.atom_selectivity(a)?,
             NodeKind::Not(c) => 1.0 - self.node_selectivity(tree, *c)?,
             NodeKind::And(cs) => {
@@ -136,14 +145,16 @@ impl Estimator {
                 }
                 1.0 - miss
             }
-        })
+        }))
     }
 
-    /// PostgreSQL-style equi-join selectivity: `1 / max(ndv(l), ndv(r))`.
+    /// PostgreSQL-style equi-join selectivity: `1 / max(ndv(l), ndv(r))`,
+    /// clamped into `[0, 1]` ([`Self::ndv`] floors at 1, so empty tables
+    /// yield selectivity 1 over 0 estimated rows rather than `inf`).
     pub fn join_selectivity(&self, left: &ColumnRef, right: &ColumnRef) -> Result<f64> {
         let l = self.ndv(left)?;
         let r = self.ndv(right)?;
-        Ok(1.0 / l.max(r))
+        Ok(clamp01(1.0 / l.max(r)))
     }
 
     /// Estimated output cardinality of `left ⋈ right` given input
@@ -163,6 +174,17 @@ impl Estimator {
         let mut v: Vec<&str> = self.aliases.keys().map(String::as_str).collect();
         v.sort_unstable();
         v
+    }
+}
+
+/// Force a selectivity into the probability range. Non-finite inputs
+/// (the `0/0` and `x/0` artifacts degenerate statistics used to produce)
+/// conservatively become 0 — an empty input satisfies nothing.
+fn clamp01(s: f64) -> f64 {
+    if s.is_finite() {
+        s.clamp(0.0, 1.0)
+    } else {
+        0.0
     }
 }
 
@@ -277,6 +299,61 @@ mod tests {
     }
 
     use basilisk_types::Value;
+
+    /// Empty tables must yield finite, in-range estimates everywhere —
+    /// no `0/0 = NaN` or `1/0 = inf` poisoning the plan search.
+    #[test]
+    fn empty_tables_yield_finite_selectivities() {
+        let mut cat = Catalog::new();
+        let b = TableBuilder::new("e1")
+            .column("id", DataType::Int)
+            .column("year", DataType::Int);
+        cat.add_table(b.finish().unwrap()).unwrap();
+        let b = TableBuilder::new("e2")
+            .column("movie_id", DataType::Int)
+            .column("score", DataType::Float);
+        cat.add_table(b.finish().unwrap()).unwrap();
+        let est = Estimator::new(
+            &cat,
+            &[("a".into(), "e1".into()), ("b".into(), "e2".into())],
+        )
+        .unwrap();
+
+        assert_eq!(est.rows("a").unwrap(), 0.0);
+        assert_eq!(est.ndv(&ColumnRef::new("a", "id")).unwrap(), 1.0, "floored");
+
+        let e = or(vec![
+            and(vec![
+                col("a", "year").gt(2000i64),
+                col("b", "score").gt(7.0),
+            ]),
+            not(col("a", "year").lt(1950i64)),
+        ]);
+        let tree = PredicateTree::build(&e);
+        for id in tree.atom_ids() {
+            let s = est.atom_selectivity(tree.atom(id).unwrap()).unwrap();
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s), "atom sel {s}");
+        }
+        let s = est.node_selectivity(&tree, tree.root()).unwrap();
+        assert!(s.is_finite() && (0.0..=1.0).contains(&s), "node sel {s}");
+
+        let jsel = est
+            .join_selectivity(&ColumnRef::new("a", "id"), &ColumnRef::new("b", "movie_id"))
+            .unwrap();
+        assert!(
+            jsel.is_finite() && (0.0..=1.0).contains(&jsel),
+            "join sel {jsel}"
+        );
+        let out = est
+            .join_output_rows(
+                0.0,
+                0.0,
+                &ColumnRef::new("a", "id"),
+                &ColumnRef::new("b", "movie_id"),
+            )
+            .unwrap();
+        assert_eq!(out, 0.0);
+    }
 
     #[test]
     fn duplicate_alias_rejected() {

@@ -201,12 +201,13 @@ pub fn tagged_join(
     right_union.indices_into(&mut right_positions);
     arena.recycle_bitmap(left_union);
     arena.recycle_bitmap(right_union);
-    let keys = gather_keys(tables, left.relation(), left_key, &left_positions).and_then(|lk| {
-        Ok((
-            lk,
-            gather_keys(tables, right.relation(), right_key, &right_positions)?,
-        ))
-    });
+    let keys =
+        gather_keys(tables, left.relation(), left_key, &left_positions, arena).and_then(|lk| {
+            Ok((
+                lk,
+                gather_keys(tables, right.relation(), right_key, &right_positions, arena)?,
+            ))
+        });
     let (left_keys, right_keys) = match keys {
         Ok(k) => k,
         Err(e) => {
@@ -248,7 +249,13 @@ pub fn tagged_join(
     arena.recycle_indices(left_positions);
     arena.recycle_indices(right_positions);
 
-    let relation = combine(left.relation(), right.relation(), &left_sel, &right_sel);
+    let relation = combine(
+        left.relation(),
+        right.relation(),
+        &left_sel,
+        &right_sel,
+        arena,
+    );
     arena.recycle_indices(left_sel);
     arena.recycle_indices(right_sel);
     let mut bitmaps: Vec<Bitmap> = out_tags
@@ -272,15 +279,24 @@ pub fn tagged_join(
     Ok(TaggedRelation::from_slices(relation, slices))
 }
 
+/// Gather the key *values* at the given relation positions. The
+/// positions → base-row translation runs through the word-parallel
+/// gather kernel into pooled index scratch; only the materialized value
+/// [`Column`] itself is an ordinary allocation (value buffers are
+/// outside the pool's scope).
 fn gather_keys(
     tables: &TableSet,
     relation: &IdxRelation,
     key: &ColumnRef,
     positions: &[u32],
+    arena: &MaskArena,
 ) -> Result<Column> {
     let idx_col = relation.col(&key.table)?;
-    let rows: Vec<u32> = positions.iter().map(|&p| idx_col[p as usize]).collect();
-    tables.column(key)?.gather(&rows)
+    let mut rows = arena.indices();
+    basilisk_types::gather_u32_into(idx_col, positions, &mut rows);
+    let out = tables.column(key).and_then(|h| h.gather(&rows));
+    arena.recycle_indices(rows);
+    out
 }
 
 /// Final tag-based selection before projection (§2.4): keep only tuples in
@@ -298,6 +314,8 @@ pub fn tagged_select_final(
 }
 
 /// Tag-filtered projection: materialize `columns` for admitted tuples.
+/// The intermediate selected relation is pooled scratch here (only the
+/// materialized values escape), so it is recycled before returning.
 pub fn tagged_project(
     tables: &TableSet,
     rel: &TaggedRelation,
@@ -306,7 +324,9 @@ pub fn tagged_project(
     arena: &MaskArena,
 ) -> Result<Vec<(ColumnRef, Column)>> {
     let selected = tagged_select_final(rel, allowed, arena);
-    project(tables, &selected, columns)
+    let out = project(tables, &selected, columns);
+    selected.recycle(arena);
+    out
 }
 
 #[cfg(test)]
@@ -467,6 +487,7 @@ mod tests {
             &ColumnRef::new("t", "id"),
             &ColumnRef::new("mi_idx", "movie_id"),
             JoinSide::Smaller,
+            &arena(),
         )
         .unwrap();
         let expected = plain_filter(&ts, &joined_plain, &tree, tree.root(), &arena()).unwrap();

@@ -42,6 +42,13 @@ impl TaggedRelation {
     /// pooled).
     pub fn base_in(relation: IdxRelation, arena: &MaskArena) -> TaggedRelation {
         let all = arena.bitmap_ones(relation.len());
+        if all.is_zero() {
+            // Zero-row scan: `from_slices` drops empty slices without
+            // recycling, which would leak the pooled bitmap — hand it
+            // back and build the (sliceless) relation directly.
+            arena.recycle_bitmap(all);
+            return TaggedRelation::from_slices(relation, vec![]);
+        }
         TaggedRelation::from_slices(relation, vec![(Tag::empty(), all)])
     }
 
@@ -144,14 +151,18 @@ impl TaggedRelation {
         }
     }
 
-    /// Hand every slice bitmap back to `arena`, consuming the relation —
-    /// the recycle step executors run once an operator has consumed its
-    /// input. The index relation itself is reference-counted column data
-    /// and just drops.
+    /// Hand every slice bitmap — and the index relation's columns — back
+    /// to `arena`, consuming the relation: the recycle step executors run
+    /// once an operator has consumed its input. Index columns still
+    /// `Arc`-shared with a downstream relation (filters never rewrite the
+    /// relation, so their outputs alias their inputs' columns) are left
+    /// to that holder's recycle; sole-owned columns are reclaimed via
+    /// `Arc::try_unwrap` into the pool.
     pub fn recycle(self, arena: &MaskArena) {
         for (_, bm) in self.slices {
             arena.recycle_bitmap(bm);
         }
+        self.relation.recycle(arena);
     }
 
     /// Per-tuple slice membership: `slice_of[i]` is the index (into

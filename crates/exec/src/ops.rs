@@ -27,9 +27,12 @@ pub fn filter(
 ) -> Result<IdxRelation> {
     let provider = RelProvider::new(tables, relation);
     let sel = arena.bitmap_ones(relation.len());
-    let mask = eval_node_mask(tree, node, &provider, &sel, arena)?;
-    let out = relation.select_bitmap_in(mask.trues(), arena);
+    let mask = eval_node_mask(tree, node, &provider, &sel, arena);
+    // Recycle the selection before propagating any evaluation error —
+    // failed executions must not strand pooled buffers.
     arena.recycle_bitmap(sel);
+    let mask = mask?;
+    let out = relation.select_bitmap_in(mask.trues(), arena);
     arena.recycle_mask(mask);
     Ok(out)
 }
@@ -47,7 +50,8 @@ pub enum JoinSide {
 /// Hash equi-join of two index relations on `left_key = right_key`.
 ///
 /// NULL keys never match. The output covers the union of both sides'
-/// tables, in left-then-right column order.
+/// tables, in left-then-right column order. Selection vectors are pooled
+/// scratch and the output columns come from the arena's column pool.
 pub fn hash_join(
     tables: &TableSet,
     left: &IdxRelation,
@@ -55,6 +59,7 @@ pub fn hash_join(
     left_key: &ColumnRef,
     right_key: &ColumnRef,
     side: JoinSide,
+    arena: &MaskArena,
 ) -> Result<IdxRelation> {
     if !left.covers(&left_key.table) || !right.covers(&right_key.table) {
         return Err(BasiliskError::Exec(format!(
@@ -72,6 +77,8 @@ pub fn hash_join(
         (right, left, right_key, left_key)
     };
 
+    // Both fetches happen before any arena checkout, so a plain `?` here
+    // cannot strand pooled buffers.
     let build_col = fetch_key_column(tables, build, build_key)?;
     let probe_col = fetch_key_column(tables, probe, probe_key)?;
 
@@ -81,8 +88,8 @@ pub fn hash_join(
     // per-key Vec allocations, no SipHash on the hot path.
     let table = JoinTable::build(&build_col, |i| i as u32);
 
-    let mut build_sel: Vec<u32> = Vec::new();
-    let mut probe_sel: Vec<u32> = Vec::new();
+    let mut build_sel = arena.indices();
+    let mut probe_sel = arena.indices();
     for j in 0..probe.len() {
         if let Some(k) = join_key(&probe_col, j) {
             for &i in table.probe(&k) {
@@ -93,40 +100,37 @@ pub fn hash_join(
     }
 
     let (left_sel, right_sel) = if build_left {
-        (build_sel, probe_sel)
+        (&build_sel, &probe_sel)
     } else {
-        (probe_sel, build_sel)
+        (&probe_sel, &build_sel)
     };
-    Ok(combine(left, right, &left_sel, &right_sel))
+    let out = combine(left, right, left_sel, right_sel, arena);
+    arena.recycle_indices(build_sel);
+    arena.recycle_indices(probe_sel);
+    Ok(out)
 }
 
-/// Assemble the joined relation from per-side tuple selections.
+/// Assemble the joined relation from per-side tuple selections: every
+/// output index column is checked out of the arena's column pool and
+/// filled with the word-parallel gather kernel
+/// ([`basilisk_types::gather_u32_into`]).
 pub fn combine(
     left: &IdxRelation,
     right: &IdxRelation,
     left_sel: &[u32],
     right_sel: &[u32],
+    arena: &MaskArena,
 ) -> IdxRelation {
     debug_assert_eq!(left_sel.len(), right_sel.len());
     let mut tables = Vec::with_capacity(left.tables().len() + right.tables().len());
     let mut cols = Vec::with_capacity(tables.capacity());
-    for (t, c) in left.tables().iter().zip(left.cols()) {
-        tables.push(t.clone());
-        cols.push(Arc::new(
-            left_sel
-                .iter()
-                .map(|&i| c[i as usize])
-                .collect::<Vec<u32>>(),
-        ));
-    }
-    for (t, c) in right.tables().iter().zip(right.cols()) {
-        tables.push(t.clone());
-        cols.push(Arc::new(
-            right_sel
-                .iter()
-                .map(|&i| c[i as usize])
-                .collect::<Vec<u32>>(),
-        ));
+    for (side, sel) in [(left, left_sel), (right, right_sel)] {
+        for (t, c) in side.tables().iter().zip(side.cols()) {
+            tables.push(t.clone());
+            let mut out = arena.columns().checkout(sel.len());
+            basilisk_types::gather_u32_into(c, sel, &mut out);
+            cols.push(Arc::new(out));
+        }
     }
     IdxRelation::from_parts(tables, cols)
 }
@@ -140,39 +144,87 @@ fn fetch_key_column(tables: &TableSet, relation: &IdxRelation, key: &ColumnRef) 
 /// per-root-clause results (§5: "an additional, potentially expensive
 /// union operator is also required to filter out duplicate tuples").
 /// Tuples are identified by their base-table indices; inputs must cover
-/// the same tables (column order may differ).
-pub fn union_all_dedup(inputs: &[IdxRelation]) -> Result<IdxRelation> {
+/// the same tables (column order may differ); first-occurrence order is
+/// preserved.
+///
+/// Deduplication is allocation-free per row: each tuple's fixed-width
+/// (`ncols × u32`) row key is written into one pooled scratch buffer,
+/// FxHash-hashed, and probed against an open-addressing slot table (also
+/// pooled scratch) that stores *output row ids* — candidate equality is
+/// checked directly against the already-emitted output columns, so no
+/// per-row `Vec` key is ever materialized. Output columns come from the
+/// arena's column pool.
+pub fn union_all_dedup(inputs: &[IdxRelation], arena: &MaskArena) -> Result<IdxRelation> {
     let Some(first) = inputs.first() else {
         return Err(BasiliskError::Exec("union of zero inputs".into()));
     };
     let ref_tables: Vec<String> = first.tables().to_vec();
-    let mut seen: crate::hash::FxHashSet<Vec<u32>> = crate::hash::FxHashSet::default();
-    let mut out_cols: Vec<Vec<u32>> = vec![Vec::new(); ref_tables.len()];
+    let ncols = ref_tables.len();
+    let total: usize = inputs.iter().map(|r| r.len()).sum();
 
-    for rel in inputs {
-        // Map reference column order onto this input's order.
-        let perm: Vec<usize> = ref_tables
-            .iter()
-            .map(|t| {
-                rel.tables()
-                    .iter()
-                    .position(|u| u == t)
-                    .ok_or_else(|| BasiliskError::Exec(format!("union input missing table {t}")))
-            })
-            .collect::<Result<_>>()?;
-        if rel.tables().len() != ref_tables.len() {
-            return Err(BasiliskError::Exec(
-                "union inputs cover different table sets".into(),
-            ));
-        }
-        for i in 0..rel.len() {
-            let tuple: Vec<u32> = perm.iter().map(|&p| rel.cols()[p][i]).collect();
-            if seen.insert(tuple.clone()) {
-                for (c, v) in out_cols.iter_mut().zip(&tuple) {
-                    c.push(*v);
+    // Open-addressing slot table (u32::MAX = empty), ≤ 50% load.
+    const EMPTY: u32 = u32::MAX;
+    let slot_mask = (2 * total + 1).next_power_of_two().max(16) - 1;
+    let mut slots = arena.indices();
+    slots.resize(slot_mask + 1, EMPTY);
+    let mut row = arena.indices(); // fixed-width row-key scratch
+    let mut out_cols: Vec<Vec<u32>> = (0..ncols)
+        .map(|_| arena.columns().checkout(total))
+        .collect();
+    let mut emitted = 0u32;
+
+    let mut fold = || -> Result<()> {
+        for rel in inputs {
+            // Map reference column order onto this input's order.
+            let perm: Vec<usize> = ref_tables
+                .iter()
+                .map(|t| {
+                    rel.tables().iter().position(|u| u == t).ok_or_else(|| {
+                        BasiliskError::Exec(format!("union input missing table {t}"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            if rel.tables().len() != ncols {
+                return Err(BasiliskError::Exec(
+                    "union inputs cover different table sets".into(),
+                ));
+            }
+            for i in 0..rel.len() {
+                row.clear();
+                row.extend(perm.iter().map(|&p| rel.cols()[p][i]));
+                let mut hasher = crate::hash::FxHasher::default();
+                for &v in &row {
+                    std::hash::Hasher::write_u32(&mut hasher, v);
+                }
+                let mut slot = std::hash::Hasher::finish(&hasher) as usize & slot_mask;
+                loop {
+                    let e = slots[slot];
+                    if e == EMPTY {
+                        slots[slot] = emitted;
+                        for (c, &v) in out_cols.iter_mut().zip(&row) {
+                            c.push(v);
+                        }
+                        emitted += 1;
+                        break;
+                    }
+                    if out_cols.iter().zip(&row).all(|(c, &v)| c[e as usize] == v) {
+                        break; // duplicate
+                    }
+                    slot = (slot + 1) & slot_mask;
                 }
             }
         }
+        Ok(())
+    };
+    let folded = fold();
+    arena.recycle_indices(slots);
+    arena.recycle_indices(row);
+    if let Err(e) = folded {
+        // Failed unions must not leak pooled output columns.
+        for c in out_cols {
+            arena.columns().recycle_vec(c);
+        }
+        return Err(e);
     }
     Ok(IdxRelation::from_parts(
         ref_tables,
@@ -268,6 +320,7 @@ mod tests {
             &ColumnRef::new("t", "id"),
             &ColumnRef::new("s", "movie_id"),
             JoinSide::Smaller,
+            &MaskArena::new(),
         )
         .unwrap();
         // t ids 1..5 join s movie_ids {1,3,4,5,6} → 4 matches.
@@ -287,8 +340,9 @@ mod tests {
         let s = IdxRelation::base("s", 5);
         let lk = ColumnRef::new("t", "id");
         let rk = ColumnRef::new("s", "movie_id");
-        let a = hash_join(&ts, &t, &s, &lk, &rk, JoinSide::Left).unwrap();
-        let b = hash_join(&ts, &t, &s, &lk, &rk, JoinSide::Right).unwrap();
+        let arena = MaskArena::new();
+        let a = hash_join(&ts, &t, &s, &lk, &rk, JoinSide::Left, &arena).unwrap();
+        let b = hash_join(&ts, &t, &s, &lk, &rk, JoinSide::Right, &arena).unwrap();
         assert_eq!(a.len(), b.len());
         let mut pa: Vec<(u32, u32)> = (0..a.len())
             .map(|i| (a.col("t").unwrap()[i], a.col("s").unwrap()[i]))
@@ -319,6 +373,7 @@ mod tests {
             &ColumnRef::new("l", "k"),
             &ColumnRef::new("r", "k"),
             JoinSide::Smaller,
+            &MaskArena::new(),
         )
         .unwrap();
         assert_eq!(out.len(), 1, "only the 1=1 pair; NULL≠NULL");
@@ -336,6 +391,7 @@ mod tests {
             &ColumnRef::new("s", "movie_id"),
             &ColumnRef::new("t", "id"),
             JoinSide::Smaller,
+            &MaskArena::new(),
         )
         .is_err());
     }
@@ -344,7 +400,7 @@ mod tests {
     fn union_dedups_across_inputs() {
         let a = IdxRelation::base("t", 5).select(&[0, 1, 2]);
         let b = IdxRelation::base("t", 5).select(&[2, 3]);
-        let u = union_all_dedup(&[a, b]).unwrap();
+        let u = union_all_dedup(&[a, b], &MaskArena::new()).unwrap();
         assert_eq!(u.len(), 4);
         let mut rows: Vec<u32> = u.col("t").unwrap().to_vec();
         rows.sort_unstable();
@@ -359,9 +415,10 @@ mod tests {
         let s = IdxRelation::base("s", 5);
         let lk = ColumnRef::new("t", "id");
         let rk = ColumnRef::new("s", "movie_id");
-        let ab = hash_join(&ts, &t, &s, &lk, &rk, JoinSide::Smaller).unwrap();
-        let ba = hash_join(&ts, &s, &t, &rk, &lk, JoinSide::Smaller).unwrap();
-        let u = union_all_dedup(&[ab.clone(), ba]).unwrap();
+        let arena = MaskArena::new();
+        let ab = hash_join(&ts, &t, &s, &lk, &rk, JoinSide::Smaller, &arena).unwrap();
+        let ba = hash_join(&ts, &s, &t, &rk, &lk, JoinSide::Smaller, &arena).unwrap();
+        let u = union_all_dedup(&[ab.clone(), ba], &arena).unwrap();
         assert_eq!(u.len(), ab.len(), "identical content dedups fully");
     }
 
@@ -369,8 +426,74 @@ mod tests {
     fn union_rejects_mismatched_tables() {
         let a = IdxRelation::base("t", 3);
         let b = IdxRelation::base("u", 3);
-        assert!(union_all_dedup(&[a, b]).is_err());
-        assert!(union_all_dedup(&[]).is_err());
+        let arena = MaskArena::new();
+        assert!(union_all_dedup(&[a, b], &arena).is_err());
+        assert!(union_all_dedup(&[], &arena).is_err());
+        assert_eq!(arena.outstanding(), 0, "failed unions leak no buffers");
+    }
+
+    /// The open-addressing dedup must agree with the obvious slow path
+    /// (`HashSet<Vec<u32>>` in first-occurrence order) on randomized
+    /// inputs — duplicate-heavy, multi-column, and with permuted column
+    /// order between inputs.
+    #[test]
+    fn union_dedup_matches_slow_path_on_randomized_inputs() {
+        fn xorshift(state: &mut u64) -> u64 {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            *state
+        }
+
+        fn slow_union(inputs: &[IdxRelation]) -> Vec<Vec<u32>> {
+            let ref_tables = inputs[0].tables().to_vec();
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for rel in inputs {
+                let perm: Vec<usize> = ref_tables
+                    .iter()
+                    .map(|t| rel.tables().iter().position(|u| u == t).unwrap())
+                    .collect();
+                for i in 0..rel.len() {
+                    let tuple: Vec<u32> = perm.iter().map(|&p| rel.cols()[p][i]).collect();
+                    if seen.insert(tuple.clone()) {
+                        out.push(tuple);
+                    }
+                }
+            }
+            out
+        }
+
+        let arena = MaskArena::new();
+        let mut state = 0x9e37_79b9_7f4a_7c15;
+        for trial in 0..20 {
+            // Small value domain → lots of duplicates within and across
+            // inputs; varying sizes exercise the power-of-two table.
+            let domain = 1 + (xorshift(&mut state) % 40) as u32;
+            let make = |state: &mut u64, n: usize, swap: bool| {
+                let a: Vec<u32> = (0..n).map(|_| xorshift(state) as u32 % domain).collect();
+                let b: Vec<u32> = (0..n).map(|_| xorshift(state) as u32 % domain).collect();
+                let (tables, cols) = if swap {
+                    (vec!["y".to_string(), "x".to_string()], vec![b, a])
+                } else {
+                    (vec!["x".to_string(), "y".to_string()], vec![a, b])
+                };
+                IdxRelation::from_parts(tables, cols.into_iter().map(Arc::new).collect())
+            };
+            let n1 = (xorshift(&mut state) % 200) as usize;
+            let n2 = (xorshift(&mut state) % 200) as usize;
+            let inputs = vec![
+                make(&mut state, n1, false),
+                make(&mut state, n2, trial % 2 == 0),
+            ];
+            let got = union_all_dedup(&inputs, &arena).unwrap();
+            let got_tuples: Vec<Vec<u32>> = (0..got.len()).map(|i| got.tuple(i)).collect();
+            assert_eq!(
+                got_tuples,
+                slow_union(&inputs),
+                "trial {trial} (domain {domain}, sizes {n1}/{n2})"
+            );
+        }
     }
 
     #[test]
@@ -400,6 +523,7 @@ mod tests {
             &ColumnRef::new("t", "id"),
             &ColumnRef::new("s", "movie_id"),
             JoinSide::Smaller,
+            &MaskArena::new(),
         )
         .unwrap();
         let q1 = or(vec![

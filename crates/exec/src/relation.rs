@@ -71,6 +71,24 @@ impl IdxRelation {
         }
     }
 
+    /// [`Self::base`] with the identity column drawn from the arena's
+    /// [`ColumnPool`](basilisk_types::ColumnPool), so repeated executions
+    /// of a plan re-fill one pooled buffer instead of allocating a fresh
+    /// `0..n` vector per scan.
+    pub fn base_in(
+        alias: impl Into<String>,
+        rows: usize,
+        arena: &basilisk_types::MaskArena,
+    ) -> IdxRelation {
+        let mut ids = arena.columns().checkout(rows);
+        ids.extend(0..rows as u32);
+        IdxRelation {
+            tables: vec![alias.into()],
+            cols: vec![Arc::new(ids)],
+            len: rows,
+        }
+    }
+
     /// Assemble from parts (lengths must agree).
     pub fn from_parts(tables: Vec<String>, cols: Vec<Arc<Vec<u32>>>) -> IdxRelation {
         let len = cols.first().map(|c| c.len()).unwrap_or(0);
@@ -111,16 +129,54 @@ impl IdxRelation {
     }
 
     /// Keep only the tuples at `keep` (positions into this relation).
+    /// Columns gather through the word-parallel kernel into fresh
+    /// allocations; the hot path uses the pooled [`Self::select_in`].
     pub fn select(&self, keep: &[u32]) -> IdxRelation {
         let cols = self
             .cols
             .iter()
-            .map(|c| Arc::new(keep.iter().map(|&k| c[k as usize]).collect::<Vec<u32>>()))
+            .map(|c| {
+                let mut out = Vec::new();
+                basilisk_types::gather_u32_into(c, keep, &mut out);
+                Arc::new(out)
+            })
             .collect();
         IdxRelation {
             tables: self.tables.clone(),
             cols,
             len: keep.len(),
+        }
+    }
+
+    /// [`Self::select`] with every output column checked out of the
+    /// arena's [`ColumnPool`](basilisk_types::ColumnPool) and filled by
+    /// the word-parallel gather kernel — allocation-free once the pool is
+    /// warm. The produced columns follow the pool's `Arc`-share →
+    /// `try_unwrap` reclaim lifecycle (see [`Self::recycle`]).
+    pub fn select_in(&self, keep: &[u32], arena: &basilisk_types::MaskArena) -> IdxRelation {
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| {
+                let mut out = arena.columns().checkout(keep.len());
+                basilisk_types::gather_u32_into(c, keep, &mut out);
+                Arc::new(out)
+            })
+            .collect();
+        IdxRelation {
+            tables: self.tables.clone(),
+            cols,
+            len: keep.len(),
+        }
+    }
+
+    /// Hand this relation's index columns back to the arena's column
+    /// pool. Columns still `Arc`-shared with a live relation are left to
+    /// that holder (its own recycle — or the result sweep — reclaims
+    /// them); sole-owned buffers go straight back to the pool.
+    pub fn recycle(self, arena: &basilisk_types::MaskArena) {
+        for col in self.cols {
+            arena.columns().recycle(col);
         }
     }
 
@@ -148,7 +204,7 @@ impl IdxRelation {
 
     /// [`Self::select_bitmap`] with pooled scratch: the bitmap is decoded
     /// once into a recycled index buffer (instead of once per column) and
-    /// every column gathers through it.
+    /// every column gathers through it into pooled output columns.
     pub fn select_bitmap_in(
         &self,
         keep: &basilisk_types::Bitmap,
@@ -157,7 +213,7 @@ impl IdxRelation {
         assert_eq!(keep.len(), self.len, "selection bitmap length mismatch");
         let mut idx = arena.indices();
         keep.indices_into(&mut idx);
-        let out = self.select(&idx);
+        let out = self.select_in(&idx, arena);
         arena.recycle_indices(idx);
         out
     }

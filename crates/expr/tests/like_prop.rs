@@ -1,0 +1,180 @@
+//! Property tests for SQL `LIKE` over multi-byte UTF-8 text.
+//!
+//! The production matcher (`basilisk_expr::like_match`) is a two-pointer
+//! wildcard algorithm over *bytes* whose `%`-backtracking and `_`
+//! advancement step by UTF-8 code-point lengths. These tests pin its
+//! equivalence to a naive `chars()`-based dynamic-programming reference
+//! on text/patterns mixing ASCII with 2-, 3- and 4-byte code points —
+//! the ISSUE-3 bugfix sweep item for the byte-wise backtracking.
+
+use basilisk_expr::like_match;
+use proptest::prelude::*;
+
+/// Reference matcher: O(n·m) DP over code points. `%` matches any run of
+/// characters (including empty), `_` exactly one; literals compare
+/// ASCII-case-folded when `ci` is set (`ILIKE` semantics).
+fn like_ref(text: &str, pattern: &str, ci: bool) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // dp[j] = does p[..j] match t[..i] for the current row i.
+    let mut dp = vec![false; p.len() + 1];
+    dp[0] = true;
+    for j in 1..=p.len() {
+        dp[j] = dp[j - 1] && p[j - 1] == '%';
+    }
+    for i in 1..=t.len() {
+        let mut prev_diag = dp[0]; // dp[i-1][0]
+        dp[0] = false;
+        for j in 1..=p.len() {
+            let cur = dp[j]; // dp[i-1][j]
+            dp[j] = match p[j - 1] {
+                '%' => dp[j - 1] || cur,
+                '_' => prev_diag,
+                c => {
+                    let tc = t[i - 1];
+                    let eq = if ci {
+                        c.eq_ignore_ascii_case(&tc)
+                    } else {
+                        c == tc
+                    };
+                    prev_diag && eq
+                }
+            };
+            prev_diag = cur;
+        }
+    }
+    dp[p.len()]
+}
+
+/// Alphabet mixing byte widths: ASCII (upper/lower for the `ci` cases),
+/// 2-byte (é, Ä), 3-byte (日, €), 4-byte (𝄞, 😀). `ß` exercises a char
+/// whose ASCII fold is the identity but whose Unicode fold is not.
+fn text_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        Just('a'),
+        Just('A'),
+        Just('b'),
+        Just('z'),
+        Just('é'),
+        Just('Ä'),
+        Just('ß'),
+        Just('日'),
+        Just('€'),
+        Just('𝄞'),
+        Just('😀'),
+    ]
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(text_char(), 0..12).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Patterns are built from the same alphabet plus `%` and `_` so that
+/// wildcard/backtracking interactions with multi-byte text are dense.
+fn pattern_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        Just('%'),
+        Just('%'),
+        Just('_'),
+        Just('_'),
+        Just('a'),
+        Just('A'),
+        Just('b'),
+        Just('é'),
+        Just('日'),
+        Just('𝄞'),
+    ]
+}
+
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(pattern_char(), 0..10).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Exhaustive sweep of every (text, pattern) pair up to 3 characters
+/// each over a width-mixed alphabet — denser than random sampling around
+/// the `%`-backtracking boundary cases.
+#[test]
+fn exhaustive_small_cases_match_reference() {
+    const TEXT_ALPHA: [char; 4] = ['a', 'é', '日', '𝄞'];
+    const PAT_ALPHA: [char; 6] = ['a', 'é', '日', '𝄞', '%', '_'];
+    fn words(alpha: &[char], max_len: usize) -> Vec<String> {
+        let mut out = vec![String::new()];
+        let mut layer = vec![String::new()];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &layer {
+                for &c in alpha {
+                    let mut s = w.clone();
+                    s.push(c);
+                    next.push(s);
+                }
+            }
+            out.extend(next.iter().cloned());
+            layer = next;
+        }
+        out
+    }
+    let mut checked = 0usize;
+    for text in words(&TEXT_ALPHA, 3) {
+        for pattern in words(&PAT_ALPHA, 3) {
+            for ci in [false, true] {
+                assert_eq!(
+                    like_match(&text, &pattern, ci),
+                    like_ref(&text, &pattern, ci),
+                    "text {text:?} pattern {pattern:?} ci {ci}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 40_000, "sweep actually ran ({checked} cases)");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Byte-wise matcher ≡ chars()-based reference, case-sensitive.
+    #[test]
+    fn like_matches_reference(text in text_strategy(), pattern in pattern_strategy()) {
+        prop_assert_eq!(
+            like_match(&text, &pattern, false),
+            like_ref(&text, &pattern, false),
+            "text {:?} pattern {:?}", text, pattern
+        );
+    }
+
+    /// Same under ASCII case folding (ILIKE).
+    #[test]
+    fn ilike_matches_reference(text in text_strategy(), pattern in pattern_strategy()) {
+        prop_assert_eq!(
+            like_match(&text, &pattern, true),
+            like_ref(&text, &pattern, true),
+            "text {:?} pattern {:?}", text, pattern
+        );
+    }
+
+    /// The `%x%` containment idiom agrees with a `chars()`-window scan
+    /// for every single-character needle in the alphabet.
+    #[test]
+    fn contains_idiom(text in text_strategy(), needle in text_char()) {
+        let pattern = format!("%{needle}%");
+        prop_assert_eq!(
+            like_match(&text, &pattern, false),
+            text.chars().any(|c| c == needle),
+            "text {:?} needle {:?}", text, needle
+        );
+    }
+
+    /// `_` consumes exactly one code point: a pattern of n underscores
+    /// matches exactly the texts with n characters, whatever their byte
+    /// widths.
+    #[test]
+    fn underscores_count_code_points(text in text_strategy(), n in 0usize..8) {
+        let pattern: String = std::iter::repeat_n('_', n).collect();
+        prop_assert_eq!(
+            like_match(&text, &pattern, false),
+            text.chars().count() == n,
+            "text {:?} n {}", text, n
+        );
+    }
+}

@@ -1,14 +1,18 @@
 //! Plan interpreters for both execution models.
 //!
 //! Both interpreters are arena-disciplined: every operator draws its
-//! mask/bitmap scratch from the caller's [`MaskArena`], and the tagged
-//! interpreter recycles each intermediate [`TaggedRelation`]'s slice
-//! bitmaps the moment the consuming operator has produced its output —
-//! the checkout → evaluate → recycle lifecycle that makes repeated
-//! executions of one plan free of buffer (mask/bitmap/index-scratch)
-//! allocations after warmup. Output-owning allocations — `combine`'s
-//! joined index columns, projected values — are outside the pool's
-//! scope (see ROADMAP).
+//! mask/bitmap scratch from the caller's [`MaskArena`], and each
+//! intermediate relation — a [`TaggedRelation`]'s slice bitmaps *and*
+//! its `Arc`-shared index columns, or a traditional [`IdxRelation`] —
+//! is recycled the moment the consuming operator has produced its
+//! output. Together with the arena's
+//! [`ColumnPool`](basilisk_types::ColumnPool) serving scan identities,
+//! join outputs (`combine`) and union outputs, repeated executions of
+//! one plan perform zero allocations of the pooled buffer shapes
+//! (masks, bitmaps, `u32` index scratch, index columns) after warmup.
+//! Only *value*-column materializations — projected outputs and gathered
+//! join-key/predicate values — remain ordinary allocations (see
+//! ROADMAP).
 
 use basilisk_core::ProjectionTags;
 use basilisk_core::{tagged_filter, tagged_join, tagged_select_final, TaggedRelation};
@@ -44,7 +48,7 @@ fn run_tagged(
 ) -> Result<TaggedRelation> {
     match plan {
         TPlan::Scan { alias } => Ok(TaggedRelation::base_in(
-            IdxRelation::base(alias.clone(), tables.num_rows(alias)?),
+            IdxRelation::base_in(alias.clone(), tables.num_rows(alias)?, arena),
             arena,
         )),
         TPlan::Filter { map, child, .. } => {
@@ -60,7 +64,14 @@ fn run_tagged(
             right,
         } => {
             let l = run_tagged(left, tables, tree, arena)?;
-            let r = run_tagged(right, tables, tree, arena)?;
+            // A failing right subtree must not strand the left's buffers.
+            let r = match run_tagged(right, tables, tree, arena) {
+                Ok(r) => r,
+                Err(e) => {
+                    l.recycle(arena);
+                    return Err(e);
+                }
+            };
             let out = tagged_join(tables, &l, &r, &cond.left, &cond.right, map, arena);
             l.recycle(arena);
             r.recycle(arena);
@@ -71,6 +82,11 @@ fn run_tagged(
 
 /// Execute an abstract plan under the traditional model: filters keep
 /// *true* tuples, joins are plain hash joins, unions deduplicate.
+///
+/// Intermediate relations are recycled into the arena's column pool as
+/// soon as the consuming operator has produced its output, mirroring the
+/// tagged interpreter's discipline — so the traditional path is equally
+/// allocation-free in steady state.
 pub fn execute_traditional(
     plan: &APlan,
     tables: &TableSet,
@@ -78,22 +94,60 @@ pub fn execute_traditional(
     arena: &MaskArena,
 ) -> Result<IdxRelation> {
     match plan {
-        APlan::Scan { alias } => Ok(IdxRelation::base(alias.clone(), tables.num_rows(alias)?)),
+        APlan::Scan { alias } => Ok(IdxRelation::base_in(
+            alias.clone(),
+            tables.num_rows(alias)?,
+            arena,
+        )),
         APlan::Filter { node, child } => {
             let input = execute_traditional(child, tables, tree, arena)?;
-            plain_filter(tables, &input, tree, *node, arena)
+            let out = plain_filter(tables, &input, tree, *node, arena);
+            input.recycle(arena);
+            out
         }
         APlan::Join { cond, left, right } => {
             let l = execute_traditional(left, tables, tree, arena)?;
-            let r = execute_traditional(right, tables, tree, arena)?;
-            hash_join(tables, &l, &r, &cond.left, &cond.right, JoinSide::Smaller)
+            // A failing right subtree must not strand the left's buffers.
+            let r = match execute_traditional(right, tables, tree, arena) {
+                Ok(r) => r,
+                Err(e) => {
+                    l.recycle(arena);
+                    return Err(e);
+                }
+            };
+            let out = hash_join(
+                tables,
+                &l,
+                &r,
+                &cond.left,
+                &cond.right,
+                JoinSide::Smaller,
+                arena,
+            );
+            l.recycle(arena);
+            r.recycle(arena);
+            out
         }
         APlan::Union { children } => {
-            let rels: Vec<IdxRelation> = children
-                .iter()
-                .map(|c| execute_traditional(c, tables, tree, arena))
-                .collect::<Result<_>>()?;
-            union_all_dedup(&rels)
+            // Collect child results by hand so that a failing later child
+            // recycles every earlier child's relation before propagating.
+            let mut rels: Vec<IdxRelation> = Vec::with_capacity(children.len());
+            for c in children {
+                match execute_traditional(c, tables, tree, arena) {
+                    Ok(rel) => rels.push(rel),
+                    Err(e) => {
+                        for rel in rels {
+                            rel.recycle(arena);
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            let out = union_all_dedup(&rels, arena);
+            for rel in rels {
+                rel.recycle(arena);
+            }
+            out
         }
     }
 }

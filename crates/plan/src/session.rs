@@ -90,13 +90,18 @@ impl QueryOutput {
 /// compared on it.
 ///
 /// The session also owns the [`MaskArena`] every execution draws its
-/// mask/bitmap buffers from: the first `execute()` warms the pool, and
-/// each subsequent execution of the same (or a same-shaped) plan performs
-/// zero *buffer* allocations — every mask, slice/selection bitmap and
-/// index scratch vector is served from the pool, which
-/// [`Self::arena_stats`] proves (`fresh() == 0`). Result-owning
-/// allocations remain: joined index columns built by `combine` and
-/// projected output columns are not pooled (see ROADMAP).
+/// buffers from: the first `execute()` warms the pool, and each
+/// subsequent execution of the same (or a same-shaped) plan performs
+/// zero buffer allocations — every mask, slice/selection bitmap, index
+/// scratch vector **and output index column** (scan identities, joined
+/// columns from `combine`, union/select outputs, via the arena's
+/// [`ColumnPool`](basilisk_types::ColumnPool)) is served from the pool,
+/// which [`Self::arena_stats`] proves (`fresh() == 0`). Result columns
+/// escape to the caller inside [`QueryOutput`]; the session defers them
+/// and reclaims their buffers on the next `execute()` once the caller
+/// has dropped the output. *Value*-column materializations — projected
+/// outputs ([`Self::project`]) and gathered join-key/predicate values —
+/// remain ordinary allocations.
 pub struct QuerySession {
     query: Query,
     tree: Option<PredicateTree>,
@@ -228,6 +233,10 @@ impl QuerySession {
 
     /// Execute a previously built plan.
     pub fn execute(&self, plan: &Plan) -> Result<QueryOutput> {
+        // Sweep result columns deferred by earlier executions: once the
+        // caller has dropped those outputs, their buffers return to the
+        // pool and this run re-checks them out instead of allocating.
+        self.arena.columns().reclaim();
         let rows = match plan {
             Plan::JoinOnly(aplan) => {
                 // Predicate-free: use the traditional executor with a
@@ -250,6 +259,12 @@ impl QuerySession {
                 }
             }
         };
+        // The output's index columns are pooled buffers that now escape
+        // to the caller; park a handle so the pool can reclaim them via
+        // `Arc::try_unwrap` once the caller releases the result.
+        for col in rows.cols() {
+            self.arena.columns().defer(std::sync::Arc::clone(col));
+        }
         Ok(QueryOutput { rows })
     }
 

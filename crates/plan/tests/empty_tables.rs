@@ -1,0 +1,78 @@
+//! Degenerate-statistics regression test: planning over **empty tables**
+//! must stay well-defined. Before the estimator clamped its outputs,
+//! empty tables could surface `NaN`/`inf` selectivities that poisoned
+//! the benefit-based plan search ordering; every planner must now
+//! produce a finite-cost plan that executes to an empty result.
+
+use basilisk_catalog::Catalog;
+use basilisk_expr::{and, col, or, ColumnRef};
+use basilisk_plan::{PlannerKind, Query, QuerySession};
+use basilisk_storage::TableBuilder;
+use basilisk_types::DataType;
+
+fn empty_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let b = TableBuilder::new("title")
+        .column("id", DataType::Int)
+        .column("year", DataType::Int);
+    cat.add_table(b.finish().unwrap()).unwrap();
+    let b = TableBuilder::new("scores")
+        .column("movie_id", DataType::Int)
+        .column("score", DataType::Float);
+    cat.add_table(b.finish().unwrap()).unwrap();
+    cat
+}
+
+fn query() -> Query {
+    Query::new(vec![
+        ("t".into(), "title".into()),
+        ("mi".into(), "scores".into()),
+    ])
+    .join(ColumnRef::new("t", "id"), ColumnRef::new("mi", "movie_id"))
+    .filter(or(vec![
+        and(vec![
+            col("t", "year").gt(2000i64),
+            col("mi", "score").gt(7.0),
+        ]),
+        and(vec![
+            col("t", "year").gt(1980i64),
+            col("mi", "score").gt(8.0),
+        ]),
+    ]))
+    .select(vec![ColumnRef::new("t", "id")])
+}
+
+#[test]
+fn every_planner_handles_empty_tables() {
+    let cat = empty_catalog();
+    let session = QuerySession::new(&cat, query()).unwrap();
+    for kind in [
+        PlannerKind::TPushdown,
+        PlannerKind::TPullup,
+        PlannerKind::TIterPush,
+        PlannerKind::TPushConj,
+        PlannerKind::TCombined,
+        PlannerKind::BPushConj,
+        PlannerKind::BDisj,
+    ] {
+        let plan = session.plan(kind).unwrap_or_else(|e| {
+            panic!("planner {kind} failed on empty tables: {e}");
+        });
+        let cost = plan.estimated_cost();
+        assert!(cost.is_finite(), "planner {kind} cost {cost} not finite");
+        assert!(cost >= 0.0, "planner {kind} cost {cost} negative");
+        let out = session.execute(&plan).unwrap();
+        assert_eq!(out.count(), 0, "planner {kind} on empty tables");
+    }
+}
+
+#[test]
+fn empty_tables_are_allocation_free_too() {
+    let cat = empty_catalog();
+    let session = QuerySession::new(&cat, query()).unwrap();
+    let plan = session.plan(PlannerKind::TCombined).unwrap();
+    session.execute(&plan).unwrap();
+    session.reset_arena_stats();
+    session.execute(&plan).unwrap();
+    assert_eq!(session.arena_stats().fresh(), 0, "zero-row plans also pool");
+}

@@ -1,0 +1,86 @@
+//! Interpreter-level error-path leak tests: when one subtree of a plan
+//! fails mid-execution, every *sibling* intermediate relation built
+//! before the failure must still be recycled into the arena — operator-
+//! level recycling (covered in `core/tests/arena_leaks.rs`) is not
+//! enough if the interpreter drops a finished left input on the floor
+//! while propagating the right input's error.
+
+use basilisk_catalog::Catalog;
+use basilisk_exec::TableSet;
+use basilisk_expr::{and, col, ColumnRef, PredicateTree};
+use basilisk_plan::{execute_traditional, APlan, JoinCond};
+use basilisk_storage::TableBuilder;
+use basilisk_types::{DataType, MaskArena};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let mut b = TableBuilder::new("t")
+        .column("id", DataType::Int)
+        .column("year", DataType::Int);
+    for i in 0..50i64 {
+        b.push_row(vec![i.into(), (1980 + i % 40).into()]).unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    let mut b = TableBuilder::new("s").column("movie_id", DataType::Int);
+    for i in 0..30i64 {
+        b.push_row(vec![i.into()]).unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    cat
+}
+
+fn tables(cat: &Catalog) -> TableSet {
+    TableSet::new(cat, &[("t".into(), "t".into()), ("s".into(), "s".into())]).unwrap()
+}
+
+/// Predicate whose second conjunct references a missing column: the
+/// filter evaluating it fails after its input relation was built.
+fn failing_tree() -> PredicateTree {
+    PredicateTree::build(&and(vec![
+        col("s", "movie_id").gt(0i64),
+        col("s", "no_such_column").gt(0i64),
+    ]))
+}
+
+#[test]
+fn join_with_failing_right_subtree_leaks_nothing() {
+    let cat = catalog();
+    let ts = tables(&cat);
+    let tree = failing_tree();
+    let arena = MaskArena::new();
+    // Left scan succeeds (pooled identity column built), right filter
+    // fails — the left relation must still be recycled.
+    let plan = APlan::join(
+        JoinCond::new(ColumnRef::new("t", "id"), ColumnRef::new("s", "movie_id")),
+        APlan::scan("t"),
+        APlan::filter(tree.root(), APlan::scan("s")),
+    );
+    assert!(execute_traditional(&plan, &ts, &tree, &arena).is_err());
+    assert_eq!(
+        arena.outstanding(),
+        0,
+        "failed right subtree stranded the left scan's buffers"
+    );
+}
+
+#[test]
+fn union_with_failing_later_child_leaks_nothing() {
+    let cat = catalog();
+    let ts = tables(&cat);
+    let tree = failing_tree();
+    let arena = MaskArena::new();
+    // First child succeeds, second fails — the first child's relation
+    // must still be recycled.
+    let plan = APlan::Union {
+        children: vec![
+            APlan::scan("s"),
+            APlan::filter(tree.root(), APlan::scan("s")),
+        ],
+    };
+    assert!(execute_traditional(&plan, &ts, &tree, &arena).is_err());
+    assert_eq!(
+        arena.outstanding(),
+        0,
+        "failed later union child stranded earlier children's buffers"
+    );
+}

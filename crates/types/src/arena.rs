@@ -26,9 +26,12 @@
 //! and [`ArenaStats`] proves it: the steady-state test asserts
 //! `fresh` checkouts stay at zero from the second execution on. Stats are
 //! intentionally part of the public API — they are the observability hook
-//! the CI allocation test and the bench harness key off. The pool's scope
-//! is the three scratch shapes above; buffers that *are* the query result
-//! (joined index columns, projected values) are allocated normally.
+//! the CI allocation test and the bench harness key off. The arena also
+//! carries a [`ColumnPool`] ([`MaskArena::columns`]) for the fourth hot
+//! shape — the `Arc`-shared `Vec<u32>` index columns that joins, selects
+//! and unions *output* — whose lifecycle (checkout → `Arc`-share →
+//! `try_unwrap` reclaim) is documented on [`ColumnPool`]. Projected
+//! *value* columns remain ordinary allocations.
 //!
 //! The arena is deliberately *not* thread-safe (`RefCell`): it is owned by
 //! one `QuerySession` and follows the paper's one-query-one-pipeline
@@ -38,6 +41,7 @@
 use std::cell::{Cell, RefCell};
 
 use crate::bitmap::{Bitmap, WORD_BITS};
+use crate::colpool::ColumnPool;
 use crate::truthmask::TruthMask;
 
 /// Upper bound on pooled buffers per shape. A query pipeline only ever has
@@ -60,17 +64,19 @@ pub struct ArenaStats {
     pub masks: PoolStats,
     pub bitmaps: PoolStats,
     pub indices: PoolStats,
+    /// `Arc`-shared output index columns (see [`crate::ColumnPool`]).
+    pub columns: PoolStats,
 }
 
 impl ArenaStats {
     /// Total pool misses — zero in steady state.
     pub fn fresh(&self) -> usize {
-        self.masks.fresh + self.bitmaps.fresh + self.indices.fresh
+        self.masks.fresh + self.bitmaps.fresh + self.indices.fresh + self.columns.fresh
     }
 
     /// Total pool hits.
     pub fn reused(&self) -> usize {
-        self.masks.reused + self.bitmaps.reused + self.indices.reused
+        self.masks.reused + self.bitmaps.reused + self.indices.reused + self.columns.reused
     }
 }
 
@@ -81,12 +87,14 @@ pub struct MaskArena {
     masks: RefCell<Vec<TruthMask>>,
     bitmaps: RefCell<Vec<Bitmap>>,
     indices: RefCell<Vec<Vec<u32>>>,
+    columns: ColumnPool,
     mask_fresh: Cell<usize>,
     mask_reused: Cell<usize>,
     bitmap_fresh: Cell<usize>,
     bitmap_reused: Cell<usize>,
     index_fresh: Cell<usize>,
     index_reused: Cell<usize>,
+    live: Cell<usize>,
 }
 
 impl MaskArena {
@@ -94,8 +102,17 @@ impl MaskArena {
         MaskArena::default()
     }
 
+    /// The sibling pool for `Arc`-shared output index columns. It lives
+    /// inside the arena so every operator that already threads a
+    /// `&MaskArena` reaches it without new plumbing, and so
+    /// [`Self::stats`] covers all four buffer shapes at once.
+    pub fn columns(&self) -> &ColumnPool {
+        &self.columns
+    }
+
     /// Check out an all-`False` mask of `len` lanes.
     pub fn mask(&self, len: usize) -> TruthMask {
+        self.live.set(self.live.get() + 1);
         let words = len.div_ceil(WORD_BITS);
         let pooled = take_fitting(&mut self.masks.borrow_mut(), words, |m| m.words_capacity());
         match pooled {
@@ -113,6 +130,7 @@ impl MaskArena {
 
     /// Check out an all-zeros bitmap of `len` bits.
     pub fn bitmap(&self, len: usize) -> Bitmap {
+        self.live.set(self.live.get() + 1);
         let words = len.div_ceil(WORD_BITS);
         let pooled = take_fitting(&mut self.bitmaps.borrow_mut(), words, |b| {
             b.words_capacity()
@@ -147,6 +165,7 @@ impl MaskArena {
     /// Check out an empty `u32` index buffer (its capacity is whatever its
     /// previous life grew it to, so steady-state pushes never reallocate).
     pub fn indices(&self) -> Vec<u32> {
+        self.live.set(self.live.get() + 1);
         match self.indices.borrow_mut().pop() {
             Some(mut v) => {
                 self.index_reused.set(self.index_reused.get() + 1);
@@ -162,6 +181,7 @@ impl MaskArena {
 
     /// Return a mask to the pool.
     pub fn recycle_mask(&self, mask: TruthMask) {
+        self.live.set(self.live.get().saturating_sub(1));
         let mut pool = self.masks.borrow_mut();
         if pool.len() < MAX_POOLED {
             pool.push(mask);
@@ -170,6 +190,7 @@ impl MaskArena {
 
     /// Return a bitmap to the pool.
     pub fn recycle_bitmap(&self, bitmap: Bitmap) {
+        self.live.set(self.live.get().saturating_sub(1));
         let mut pool = self.bitmaps.borrow_mut();
         if pool.len() < MAX_POOLED {
             pool.push(bitmap);
@@ -178,6 +199,7 @@ impl MaskArena {
 
     /// Return an index buffer to the pool.
     pub fn recycle_indices(&self, indices: Vec<u32>) {
+        self.live.set(self.live.get().saturating_sub(1));
         let mut pool = self.indices.borrow_mut();
         if pool.len() < MAX_POOLED {
             pool.push(indices);
@@ -199,6 +221,7 @@ impl MaskArena {
                 fresh: self.index_fresh.get(),
                 reused: self.index_reused.get(),
             },
+            columns: self.columns.stats(),
         }
     }
 
@@ -211,11 +234,23 @@ impl MaskArena {
         self.bitmap_reused.set(0);
         self.index_fresh.set(0);
         self.index_reused.set(0);
+        self.columns.reset_stats();
     }
 
     /// Number of buffers currently parked in the pools.
     pub fn pooled(&self) -> usize {
-        self.masks.borrow().len() + self.bitmaps.borrow().len() + self.indices.borrow().len()
+        self.masks.borrow().len()
+            + self.bitmaps.borrow().len()
+            + self.indices.borrow().len()
+            + self.columns.pooled()
+    }
+
+    /// Buffers checked out and not yet recycled (or, for result columns,
+    /// deferred) across all four shapes. Returns to zero once an
+    /// execution fully unwinds — including on error paths, which the
+    /// leak tests pin.
+    pub fn outstanding(&self) -> usize {
+        self.live.get() + self.columns.outstanding()
     }
 }
 

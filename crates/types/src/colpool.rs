@@ -1,0 +1,237 @@
+//! Per-query pool of `Arc`-shared `u32` index columns.
+//!
+//! [`MaskArena`](crate::MaskArena) covers the *scratch* shapes of the hot
+//! path (masks, bitmaps, decode buffers), but join and projection outputs
+//! are different: `combine` and `select` build `Vec<u32>` index columns
+//! that end up **inside** the produced relation, `Arc`-shared between the
+//! operator's output and whoever else clones the relation. Those columns
+//! used to be plain `Vec` allocations on every `execute()` — the last
+//! malloc left on the tagged path.
+//!
+//! [`ColumnPool`] extends the checkout → evaluate → recycle lifecycle to
+//! these shared buffers:
+//!
+//! 1. **checkout** — [`ColumnPool::checkout`] pops the best-fitting pooled
+//!    buffer (smallest capacity ≥ the requested length), cleared in place;
+//!    a pool miss allocates and bumps the `fresh` counter.
+//! 2. **share** — the operator fills the buffer, wraps it in `Arc`, and
+//!    hands it to the output relation. The pool does not track it while
+//!    it is live; it is an ordinary `Arc<Vec<u32>>`.
+//! 3. **reclaim** — when a relation dies, each column goes back through
+//!    [`ColumnPool::recycle`]: `Arc::try_unwrap` recovers the buffer when
+//!    this was the last reference, otherwise the handle is simply dropped
+//!    and a later holder's recycle (or the buffer's `Drop`) ends its life.
+//!    Columns that escape to the *query result* are parked with
+//!    [`ColumnPool::defer`] instead and swept by [`ColumnPool::reclaim`]
+//!    at the start of the next execution, once the caller has dropped the
+//!    result.
+//!
+//! With every producer and consumer on this protocol, repeated
+//! `execute()` of one plan performs zero index-column allocations after
+//! warmup — `crates/plan/tests/arena_steady_state.rs` pins
+//! `ArenaStats::fresh() == 0` for join- and union-producing plans.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+use crate::arena::PoolStats;
+
+/// Upper bound on parked buffers (pool + deferred). A query pipeline only
+/// holds a handful of columns at once; the cap keeps a pathological
+/// caller from hoarding memory through the pool.
+const MAX_POOLED: usize = 256;
+
+/// A per-query pool of `Vec<u32>` index columns with `Arc::try_unwrap`
+/// reclamation (see the module docs for the lifecycle).
+#[derive(Default)]
+pub struct ColumnPool {
+    bufs: RefCell<Vec<Vec<u32>>>,
+    /// Result columns awaiting their last external reference to drop.
+    deferred: RefCell<Vec<Arc<Vec<u32>>>>,
+    fresh: Cell<usize>,
+    reused: Cell<usize>,
+    live: Cell<usize>,
+}
+
+impl ColumnPool {
+    pub fn new() -> ColumnPool {
+        ColumnPool::default()
+    }
+
+    /// Check out an empty column able to hold `len` values without
+    /// reallocating: the best-fitting pooled buffer (smallest capacity
+    /// ≥ `len`), or a fresh allocation on a pool miss.
+    pub fn checkout(&self, len: usize) -> Vec<u32> {
+        let mut pool = self.bufs.borrow_mut();
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, b) in pool.iter().enumerate().rev() {
+            let cap = b.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        self.live.set(self.live.get() + 1);
+        match best {
+            Some((i, _)) => {
+                self.reused.set(self.reused.get() + 1);
+                let mut v = pool.swap_remove(i);
+                v.clear();
+                v
+            }
+            None => {
+                self.fresh.set(self.fresh.get() + 1);
+                Vec::with_capacity(len)
+            }
+        }
+    }
+
+    /// Return a shared column: reclaims the buffer when `col` is the last
+    /// reference, otherwise drops the handle (a surviving holder — e.g.
+    /// the query result — still owns the buffer and recycles or defers it
+    /// through its own path).
+    pub fn recycle(&self, col: Arc<Vec<u32>>) {
+        if let Ok(buf) = Arc::try_unwrap(col) {
+            self.recycle_vec(buf);
+        }
+    }
+
+    /// Return a column that was never shared.
+    pub fn recycle_vec(&self, buf: Vec<u32>) {
+        self.live.set(self.live.get().saturating_sub(1));
+        let mut pool = self.bufs.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+
+    /// Park a *result* column for later reclamation: the caller still
+    /// holds a reference now, but once it drops the result, the next
+    /// [`Self::reclaim`] sweep recovers the buffer.
+    pub fn defer(&self, col: Arc<Vec<u32>>) {
+        self.live.set(self.live.get().saturating_sub(1));
+        let mut deferred = self.deferred.borrow_mut();
+        if deferred.len() < MAX_POOLED {
+            deferred.push(col);
+        }
+    }
+
+    /// Sweep the deferred list: columns whose external references are gone
+    /// move back into the pool; the rest stay parked.
+    pub fn reclaim(&self) {
+        let mut deferred = self.deferred.borrow_mut();
+        let mut pool = self.bufs.borrow_mut();
+        deferred.retain_mut(|arc| {
+            if Arc::strong_count(arc) > 1 {
+                return true;
+            }
+            let buf = std::mem::take(Arc::get_mut(arc).expect("sole owner"));
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+            false
+        });
+    }
+
+    /// Checkout counters since construction or [`Self::reset_stats`].
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh: self.fresh.get(),
+            reused: self.reused.get(),
+        }
+    }
+
+    /// Zero the checkout counters (pooled buffers stay warm).
+    pub fn reset_stats(&self) {
+        self.fresh.set(0);
+        self.reused.set(0);
+    }
+
+    /// Buffers currently parked (reusable pool + deferred result columns).
+    pub fn pooled(&self) -> usize {
+        self.bufs.borrow().len() + self.deferred.borrow().len()
+    }
+
+    /// Columns checked out and not yet recycled or deferred — zero after
+    /// an execution fully unwinds (error paths included).
+    pub fn outstanding(&self) -> usize {
+        self.live.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_recycle_roundtrip() {
+        let pool = ColumnPool::new();
+        let mut v = pool.checkout(100);
+        assert_eq!(pool.stats().fresh, 1);
+        assert!(v.capacity() >= 100);
+        v.extend(0..100);
+        pool.recycle(Arc::new(v));
+        pool.reset_stats();
+
+        let v = pool.checkout(80);
+        assert!(v.is_empty(), "recycled buffer comes back cleared");
+        assert!(v.capacity() >= 100, "capacity survives the round-trip");
+        assert_eq!(pool.stats().fresh, 0);
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn shared_columns_are_dropped_not_pooled() {
+        let pool = ColumnPool::new();
+        let a = Arc::new(pool.checkout(10));
+        let b = Arc::clone(&a);
+        pool.recycle(a); // b still live → buffer not reclaimed
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(pool.outstanding(), 1);
+        pool.recycle(b); // last reference → reclaimed
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let pool = ColumnPool::new();
+        pool.recycle_vec(Vec::with_capacity(1000));
+        pool.recycle_vec(Vec::with_capacity(64));
+        pool.reset_stats();
+        let small = pool.checkout(32);
+        assert!(
+            small.capacity() < 1000,
+            "small request keeps the big buffer free"
+        );
+        let big = pool.checkout(900);
+        assert!(big.capacity() >= 1000);
+        assert_eq!(pool.stats().fresh, 0);
+    }
+
+    #[test]
+    fn deferred_columns_reclaim_after_release() {
+        let pool = ColumnPool::new();
+        let col = Arc::new(pool.checkout(50));
+        let result_handle = Arc::clone(&col);
+        pool.defer(col);
+        pool.reclaim();
+        assert_eq!(pool.pooled(), 1, "still parked in deferred");
+        assert_eq!(pool.stats().fresh, 1);
+        // Caller drops the result → next sweep recovers the buffer.
+        drop(result_handle);
+        pool.reclaim();
+        pool.reset_stats();
+        pool.checkout(40);
+        assert_eq!(pool.stats().reused, 1);
+        assert_eq!(pool.stats().fresh, 0);
+    }
+
+    #[test]
+    fn pool_respects_cap() {
+        let pool = ColumnPool::new();
+        for _ in 0..(MAX_POOLED + 10) {
+            pool.recycle_vec(Vec::new());
+        }
+        assert!(pool.pooled() <= MAX_POOLED);
+    }
+}

