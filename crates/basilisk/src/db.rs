@@ -17,6 +17,10 @@ pub struct Database {
     catalog: Catalog,
     cache: Arc<LfuPageCache>,
     default_planner: PlannerKind,
+    /// Worker-count override for sessions this database builds; `None`
+    /// defers to the engine default (`BASILISK_THREADS`, else the
+    /// machine's available parallelism).
+    workers: Option<usize>,
 }
 
 impl Default for Database {
@@ -37,12 +41,20 @@ impl Database {
             catalog: Catalog::new(),
             cache: Arc::new(LfuPageCache::new(pages)),
             default_planner: PlannerKind::TCombined,
+            workers: None,
         }
     }
 
     /// Change the planner used by [`Database::sql`] (default TCombined).
     pub fn set_default_planner(&mut self, kind: PlannerKind) {
         self.default_planner = kind;
+    }
+
+    /// Set the worker count for intra-query parallelism on every session
+    /// this database builds (`1` = serial execution; the default follows
+    /// `BASILISK_THREADS`, else the machine's available parallelism).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = Some(workers.max(1));
     }
 
     /// Register an in-memory table (statistics are computed on the spot).
@@ -72,7 +84,11 @@ impl Database {
 
     /// Build a planning/execution session for a programmatic [`Query`].
     pub fn session(&self, query: Query) -> Result<QuerySession> {
-        QuerySession::new(&self.catalog, query)
+        let session = QuerySession::new(&self.catalog, query)?;
+        Ok(match self.workers {
+            Some(w) => session.with_workers(w),
+            None => session,
+        })
     }
 
     /// Parse a SQL SELECT, resolving `*` against the catalog. `LIMIT` and
@@ -127,7 +143,7 @@ impl Database {
             (
                 vec![(
                     basilisk_expr::ColumnRef::new("", "count(*)"),
-                    basilisk_storage::Column::from_ints(vec![full_count as i64]),
+                    Arc::new(basilisk_storage::Column::from_ints(vec![full_count as i64])),
                 )],
                 1,
             )
@@ -138,7 +154,7 @@ impl Database {
                 if l < row_count {
                     let keep: Vec<u32> = (0..l as u32).collect();
                     for (_, col) in &mut columns {
-                        *col = col.gather(&keep);
+                        *col = Arc::new(col.gather(&keep));
                     }
                     row_count = l;
                 }

@@ -1,13 +1,17 @@
 //! Materialized query results with terminal-friendly rendering.
 
+use std::sync::Arc;
+
 use basilisk_expr::ColumnRef;
 use basilisk_plan::{PlanTimings, PlannerKind};
 use basilisk_storage::Column;
 
 /// The result of [`Database::sql`](crate::Database::sql): materialized
-/// projection columns plus planner/timing metadata.
+/// projection columns plus planner/timing metadata. Columns are
+/// `Arc`-shared with the session's value pool, which reclaims their
+/// buffers once the result is dropped.
 pub struct SqlResult {
-    pub columns: Vec<(ColumnRef, Column)>,
+    pub columns: Vec<(ColumnRef, Arc<Column>)>,
     pub row_count: usize,
     /// The planner that was requested.
     pub planner: PlannerKind,
@@ -93,10 +97,13 @@ mod tests {
     fn sample() -> SqlResult {
         SqlResult {
             columns: vec![
-                (ColumnRef::new("t", "id"), Column::from_ints(vec![1, 2, 3])),
+                (
+                    ColumnRef::new("t", "id"),
+                    Arc::new(Column::from_ints(vec![1, 2, 3])),
+                ),
                 (
                     ColumnRef::new("t", "name"),
-                    Column::from_strs(&["a", "longer name", "c"]),
+                    Arc::new(Column::from_strs(&["a", "longer name", "c"])),
                 ),
             ],
             row_count: 3,

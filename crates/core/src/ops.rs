@@ -1,8 +1,12 @@
 //! The tagged operators (§2.2–§2.5).
 
-use basilisk_exec::{combine, project, FxHashMap, IdxRelation, JoinTable, RelProvider, TableSet};
+use basilisk_exec::{
+    combine, eval_mask_parallel, partitioned_probe, project, FxHashMap, IdxRelation, JoinTable,
+    RelProvider, TableSet,
+};
 use basilisk_expr::eval::eval_node_mask;
 use basilisk_expr::{ColumnRef, PredicateTree};
+use basilisk_sched::WorkerPool;
 use basilisk_storage::Column;
 use basilisk_types::{BasiliskError, Bitmap, MaskArena, Result};
 
@@ -38,6 +42,36 @@ pub fn tagged_filter(
     map: &FilterTagMap,
     arena: &MaskArena,
 ) -> Result<TaggedRelation> {
+    tagged_filter_impl(tables, input, tree, map, arena, None)
+}
+
+/// [`tagged_filter`] with the predicate evaluated morsel-parallel on
+/// `pool`'s workers: each worker evaluates its morsels of the
+/// union-of-slices selection into masks from its private arena, the
+/// coordinator stitches the disjoint word ranges back into one
+/// relation-length mask, and the per-slice pos/neg/unk routing happens
+/// on the stitched mask exactly as in the serial operator — so output
+/// slices are bit-for-bit identical. Falls back to the serial path when
+/// the pool or the relation is too small to fan out.
+pub fn tagged_filter_par(
+    tables: &TableSet,
+    input: &TaggedRelation,
+    tree: &PredicateTree,
+    map: &FilterTagMap,
+    arena: &MaskArena,
+    pool: &WorkerPool,
+) -> Result<TaggedRelation> {
+    tagged_filter_impl(tables, input, tree, map, arena, Some(pool))
+}
+
+fn tagged_filter_impl(
+    tables: &TableSet,
+    input: &TaggedRelation,
+    tree: &PredicateTree,
+    map: &FilterTagMap,
+    arena: &MaskArena,
+    pool: Option<&WorkerPool>,
+) -> Result<TaggedRelation> {
     let relation = input.relation().clone();
     let n = relation.len();
 
@@ -60,9 +94,14 @@ pub fn tagged_filter(
     }
 
     if !union.is_zero() {
-        // Evaluate once over the union, straight off the base relation.
+        // Evaluate once over the union, straight off the base relation —
+        // morsel-parallel when a pool is supplied.
         let provider = RelProvider::new(tables, &relation);
-        let mask = match eval_node_mask(tree, map.node, &provider, &union, arena) {
+        let mask = match pool {
+            Some(pool) => eval_mask_parallel(tree, map.node, &provider, &union, arena, pool),
+            None => eval_node_mask(tree, map.node, &provider, &union, arena),
+        };
+        let mask = match mask {
             Ok(m) => m,
             Err(e) => {
                 recycle_slices(arena, out_slices);
@@ -145,6 +184,51 @@ pub fn tagged_join(
     map: &JoinTagMap,
     arena: &MaskArena,
 ) -> Result<TaggedRelation> {
+    tagged_join_impl(tables, left, right, left_key, right_key, map, arena, None)
+}
+
+/// [`tagged_join`] with a **parallel partitioned probe** over the shared
+/// single-build hash table: the build side (union of participating left
+/// slices) is built once serially, the participating right positions are
+/// split into morsel-sized chunks probed on `pool`'s workers, and each
+/// chunk's `(left, right, out-slice)` match triples are concatenated in
+/// chunk order — the same order the serial probe loop emits, so the
+/// joined relation and its tag slices are identical. Falls back to the
+/// serial path when the probe side is too small to fan out.
+#[allow(clippy::too_many_arguments)]
+pub fn tagged_join_par(
+    tables: &TableSet,
+    left: &TaggedRelation,
+    right: &TaggedRelation,
+    left_key: &ColumnRef,
+    right_key: &ColumnRef,
+    map: &JoinTagMap,
+    arena: &MaskArena,
+    pool: &WorkerPool,
+) -> Result<TaggedRelation> {
+    tagged_join_impl(
+        tables,
+        left,
+        right,
+        left_key,
+        right_key,
+        map,
+        arena,
+        Some(pool),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tagged_join_impl(
+    tables: &TableSet,
+    left: &TaggedRelation,
+    right: &TaggedRelation,
+    left_key: &ColumnRef,
+    right_key: &ColumnRef,
+    map: &JoinTagMap,
+    arena: &MaskArena,
+    pool: Option<&WorkerPool>,
+) -> Result<TaggedRelation> {
     if !left.relation().covers(&left_key.table) || !right.relation().covers(&right_key.table) {
         return Err(BasiliskError::Exec(format!(
             "join keys {left_key} / {right_key} not covered by inputs"
@@ -203,10 +287,13 @@ pub fn tagged_join(
     arena.recycle_bitmap(right_union);
     let keys =
         gather_keys(tables, left.relation(), left_key, &left_positions, arena).and_then(|lk| {
-            Ok((
-                lk,
-                gather_keys(tables, right.relation(), right_key, &right_positions, arena)?,
-            ))
+            match gather_keys(tables, right.relation(), right_key, &right_positions, arena) {
+                Ok(rk) => Ok((lk, rk)),
+                Err(e) => {
+                    lk.recycle(arena);
+                    Err(e)
+                }
+            }
         });
     let (left_keys, right_keys) = match keys {
         Ok(k) => k,
@@ -221,32 +308,93 @@ pub fn tagged_join(
     // One shared hash table over all participating left slices (§2.5.3's
     // "one giant hash table"), CSR layout keyed with FxHash: probing a key
     // yields a contiguous slice of left positions, no per-key Vec allocs.
+    // The table interns key values, so the build keys recycle right away.
     let table = JoinTable::build(&left_keys, |j| left_positions[j]);
+    left_keys.recycle(arena);
+    arena.recycle_indices(left_positions);
+
+    // The probe half, over one contiguous chunk of participating right
+    // positions: both the serial path (one full-range chunk) and each
+    // parallel worker run exactly this loop, so chunk outputs
+    // concatenated in range order equal the serial output.
+    let probe_chunk = |range: std::ops::Range<usize>,
+                       left_sel: &mut Vec<u32>,
+                       right_sel: &mut Vec<u32>,
+                       tuple_out: &mut Vec<u32>| {
+        for (j, &rpos) in right_positions[range.clone()].iter().enumerate() {
+            let Some(k) = basilisk_exec::join_key(&right_keys, range.start + j) else {
+                continue;
+            };
+            let matches = table.probe(&k);
+            if matches.is_empty() {
+                continue;
+            }
+            let rs = right_membership[rpos as usize].expect("participating tuple has a slice");
+            for &lpos in matches {
+                let ls = left_membership[lpos as usize].expect("participating tuple has a slice");
+                if let Some(&out_idx) = pair_to_out.get(&(ls, rs)) {
+                    left_sel.push(lpos);
+                    right_sel.push(rpos);
+                    tuple_out.push(out_idx as u32);
+                }
+            }
+        }
+    };
 
     let mut left_sel = arena.indices();
     let mut right_sel = arena.indices();
     // Per-tuple output-slice index, widened to u32 so it can live in a
     // pooled index buffer like the selection vectors beside it.
     let mut tuple_out = arena.indices();
-    for (j, &rpos) in right_positions.iter().enumerate() {
-        let Some(k) = basilisk_exec::join_key(&right_keys, j) else {
-            continue;
-        };
-        let matches = table.probe(&k);
-        if matches.is_empty() {
-            continue;
+    let fanned_out = match pool {
+        None => Ok(false),
+        Some(pool) => partitioned_probe(
+            pool,
+            right_positions.len(),
+            |worker_arena, range| {
+                let mut ls = worker_arena.indices();
+                let mut rs = worker_arena.indices();
+                let mut to = worker_arena.indices();
+                probe_chunk(range, &mut ls, &mut rs, &mut to);
+                Ok((ls, rs, to))
+            },
+            |worker_arena, (ls, rs, to)| {
+                worker_arena.recycle_indices(ls);
+                worker_arena.recycle_indices(rs);
+                worker_arena.recycle_indices(to);
+            },
+            |worker, (ls, rs, to), pool| {
+                left_sel.extend_from_slice(&ls);
+                right_sel.extend_from_slice(&rs);
+                tuple_out.extend_from_slice(&to);
+                pool.with_arena(worker, |a| {
+                    a.recycle_indices(ls);
+                    a.recycle_indices(rs);
+                    a.recycle_indices(to);
+                });
+            },
+        ),
+    };
+    let fanned_out = match fanned_out {
+        Ok(f) => f,
+        Err(e) => {
+            arena.recycle_indices(left_sel);
+            arena.recycle_indices(right_sel);
+            arena.recycle_indices(tuple_out);
+            right_keys.recycle(arena);
+            arena.recycle_indices(right_positions);
+            return Err(e);
         }
-        let rs = right_membership[rpos as usize].expect("participating tuple has a slice");
-        for &lpos in matches {
-            let ls = left_membership[lpos as usize].expect("participating tuple has a slice");
-            if let Some(&out_idx) = pair_to_out.get(&(ls, rs)) {
-                left_sel.push(lpos);
-                right_sel.push(rpos);
-                tuple_out.push(out_idx as u32);
-            }
-        }
+    };
+    if !fanned_out {
+        probe_chunk(
+            0..right_positions.len(),
+            &mut left_sel,
+            &mut right_sel,
+            &mut tuple_out,
+        );
     }
-    arena.recycle_indices(left_positions);
+    right_keys.recycle(arena);
     arena.recycle_indices(right_positions);
 
     let relation = combine(
@@ -281,9 +429,9 @@ pub fn tagged_join(
 
 /// Gather the key *values* at the given relation positions. The
 /// positions → base-row translation runs through the word-parallel
-/// gather kernel into pooled index scratch; only the materialized value
-/// [`Column`] itself is an ordinary allocation (value buffers are
-/// outside the pool's scope).
+/// gather kernel into pooled index scratch, and the materialized value
+/// [`Column`] draws its buffers from the arena's value pool — the caller
+/// recycles it once the build/probe consuming it is done.
 fn gather_keys(
     tables: &TableSet,
     relation: &IdxRelation,
@@ -294,7 +442,7 @@ fn gather_keys(
     let idx_col = relation.col(&key.table)?;
     let mut rows = arena.indices();
     basilisk_types::gather_u32_into(idx_col, positions, &mut rows);
-    let out = tables.column(key).and_then(|h| h.gather(&rows));
+    let out = tables.column(key).and_then(|h| h.gather_in(&rows, arena));
     arena.recycle_indices(rows);
     out
 }

@@ -4,11 +4,13 @@ use std::sync::Arc;
 
 use basilisk_expr::eval::eval_node_mask;
 use basilisk_expr::{ColumnRef, ExprId, PredicateTree};
+use basilisk_sched::WorkerPool;
 use basilisk_storage::Column;
 use basilisk_types::{BasiliskError, MaskArena, Result};
 
 use crate::hash::JoinTable;
-use crate::relation::{join_key, IdxRelation, RelProvider, TableSet};
+use crate::par::{eval_mask_parallel, partitioned_probe, probe_range};
+use crate::relation::{IdxRelation, RelProvider, TableSet};
 
 /// Filter: evaluate a predicate-tree node over the relation and keep the
 /// tuples where it is *true* (SQL WHERE semantics — unknown drops).
@@ -25,9 +27,38 @@ pub fn filter(
     node: ExprId,
     arena: &MaskArena,
 ) -> Result<IdxRelation> {
+    filter_impl(tables, relation, tree, node, arena, None)
+}
+
+/// [`filter`] with morsel-parallel predicate evaluation on `pool`'s
+/// workers (see [`eval_mask_parallel`]); identical output, and the plain
+/// serial path whenever the pool or the relation is too small to fan
+/// out.
+pub fn filter_par(
+    tables: &TableSet,
+    relation: &IdxRelation,
+    tree: &PredicateTree,
+    node: ExprId,
+    arena: &MaskArena,
+    pool: &WorkerPool,
+) -> Result<IdxRelation> {
+    filter_impl(tables, relation, tree, node, arena, Some(pool))
+}
+
+fn filter_impl(
+    tables: &TableSet,
+    relation: &IdxRelation,
+    tree: &PredicateTree,
+    node: ExprId,
+    arena: &MaskArena,
+    pool: Option<&WorkerPool>,
+) -> Result<IdxRelation> {
     let provider = RelProvider::new(tables, relation);
     let sel = arena.bitmap_ones(relation.len());
-    let mask = eval_node_mask(tree, node, &provider, &sel, arena);
+    let mask = match pool {
+        Some(pool) => eval_mask_parallel(tree, node, &provider, &sel, arena, pool),
+        None => eval_node_mask(tree, node, &provider, &sel, arena),
+    };
     // Recycle the selection before propagating any evaluation error —
     // failed executions must not strand pooled buffers.
     arena.recycle_bitmap(sel);
@@ -61,6 +92,49 @@ pub fn hash_join(
     side: JoinSide,
     arena: &MaskArena,
 ) -> Result<IdxRelation> {
+    hash_join_impl(tables, left, right, left_key, right_key, side, arena, None)
+}
+
+/// [`hash_join`] with a **parallel partitioned probe**: one shared build
+/// table (built serially — the build side is the smaller input), probe
+/// positions split into morsel-sized chunks run on `pool`'s workers,
+/// per-chunk match lists concatenated in chunk order. Identical output
+/// to the serial join, and the serial path whenever the probe side is
+/// too small to fan out.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_par(
+    tables: &TableSet,
+    left: &IdxRelation,
+    right: &IdxRelation,
+    left_key: &ColumnRef,
+    right_key: &ColumnRef,
+    side: JoinSide,
+    arena: &MaskArena,
+    pool: &WorkerPool,
+) -> Result<IdxRelation> {
+    hash_join_impl(
+        tables,
+        left,
+        right,
+        left_key,
+        right_key,
+        side,
+        arena,
+        Some(pool),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join_impl(
+    tables: &TableSet,
+    left: &IdxRelation,
+    right: &IdxRelation,
+    left_key: &ColumnRef,
+    right_key: &ColumnRef,
+    side: JoinSide,
+    arena: &MaskArena,
+    pool: Option<&WorkerPool>,
+) -> Result<IdxRelation> {
     if !left.covers(&left_key.table) || !right.covers(&right_key.table) {
         return Err(BasiliskError::Exec(format!(
             "join keys {left_key} / {right_key} not covered by inputs"
@@ -77,27 +151,71 @@ pub fn hash_join(
         (right, left, right_key, left_key)
     };
 
-    // Both fetches happen before any arena checkout, so a plain `?` here
-    // cannot strand pooled buffers.
-    let build_col = fetch_key_column(tables, build, build_key)?;
-    let probe_col = fetch_key_column(tables, probe, probe_key)?;
+    // Both fetches happen before any other arena checkout, so an error on
+    // the second fetch only has the first column to return to the pool.
+    let build_col = fetch_key_column(tables, build, build_key, arena)?;
+    let probe_col = match fetch_key_column(tables, probe, probe_key, arena) {
+        Ok(c) => c,
+        Err(e) => {
+            build_col.recycle(arena);
+            return Err(e);
+        }
+    };
 
     // One hash table for the whole build side (§2.5.3's "one giant hash
     // table" — in the untagged engine there are no slices to share it
     // across, but the structure is identical). CSR layout + FxHash: no
-    // per-key Vec allocations, no SipHash on the hot path.
+    // per-key Vec allocations, no SipHash on the hot path. The table
+    // interns key values, so the build column is dead once it's built.
     let table = JoinTable::build(&build_col, |i| i as u32);
+    build_col.recycle(arena);
 
     let mut build_sel = arena.indices();
     let mut probe_sel = arena.indices();
-    for j in 0..probe.len() {
-        if let Some(k) = join_key(&probe_col, j) {
-            for &i in table.probe(&k) {
-                build_sel.push(i);
-                probe_sel.push(j as u32);
-            }
+    let fanned_out = match pool {
+        None => Ok(false),
+        Some(pool) => partitioned_probe(
+            pool,
+            probe.len(),
+            |worker_arena, range| {
+                let mut bs = worker_arena.indices();
+                let mut ps = worker_arena.indices();
+                probe_range(&table, &probe_col, range, &mut bs, &mut ps);
+                Ok((bs, ps))
+            },
+            |worker_arena, (bs, ps)| {
+                worker_arena.recycle_indices(bs);
+                worker_arena.recycle_indices(ps);
+            },
+            |worker, (bs, ps), pool| {
+                build_sel.extend_from_slice(&bs);
+                probe_sel.extend_from_slice(&ps);
+                pool.with_arena(worker, |a| {
+                    a.recycle_indices(bs);
+                    a.recycle_indices(ps);
+                });
+            },
+        ),
+    };
+    let fanned_out = match fanned_out {
+        Ok(f) => f,
+        Err(e) => {
+            arena.recycle_indices(build_sel);
+            arena.recycle_indices(probe_sel);
+            probe_col.recycle(arena);
+            return Err(e);
         }
+    };
+    if !fanned_out {
+        probe_range(
+            &table,
+            &probe_col,
+            0..probe.len(),
+            &mut build_sel,
+            &mut probe_sel,
+        );
     }
+    probe_col.recycle(arena);
 
     let (left_sel, right_sel) = if build_left {
         (&build_sel, &probe_sel)
@@ -135,9 +253,17 @@ pub fn combine(
     IdxRelation::from_parts(tables, cols)
 }
 
-fn fetch_key_column(tables: &TableSet, relation: &IdxRelation, key: &ColumnRef) -> Result<Column> {
+/// Gather a join-key value column into pooled value buffers. The caller
+/// recycles it (`Column::recycle`) once the build/probe that consumes it
+/// is done, so repeated joins materialize keys allocation-free.
+fn fetch_key_column(
+    tables: &TableSet,
+    relation: &IdxRelation,
+    key: &ColumnRef,
+    arena: &MaskArena,
+) -> Result<Column> {
     let handle = tables.column(key)?;
-    handle.gather(relation.col(&key.table)?)
+    handle.gather_in(relation.col(&key.table)?, arena)
 }
 
 /// Union with duplicate elimination — the operator BDisj appends to merge
@@ -149,11 +275,13 @@ fn fetch_key_column(tables: &TableSet, relation: &IdxRelation, key: &ColumnRef) 
 ///
 /// Deduplication is allocation-free per row: each tuple's fixed-width
 /// (`ncols × u32`) row key is written into one pooled scratch buffer,
-/// FxHash-hashed, and probed against an open-addressing slot table (also
-/// pooled scratch) that stores *output row ids* — candidate equality is
-/// checked directly against the already-emitted output columns, so no
-/// per-row `Vec` key is ever materialized. Output columns come from the
-/// arena's column pool.
+/// FxHash-hashed, and probed against a **persistent-capacity**
+/// generation-stamped slot table ([`basilisk_types::SlotTable`], pooled
+/// in the arena like the join side retains its build table) that stores
+/// *output row ids* — candidate equality is checked directly against the
+/// already-emitted output columns, so no per-row `Vec` key is ever
+/// materialized, and repeated unions skip even the O(capacity)
+/// empty-slot refill. Output columns come from the arena's column pool.
 pub fn union_all_dedup(inputs: &[IdxRelation], arena: &MaskArena) -> Result<IdxRelation> {
     let Some(first) = inputs.first() else {
         return Err(BasiliskError::Exec("union of zero inputs".into()));
@@ -162,11 +290,9 @@ pub fn union_all_dedup(inputs: &[IdxRelation], arena: &MaskArena) -> Result<IdxR
     let ncols = ref_tables.len();
     let total: usize = inputs.iter().map(|r| r.len()).sum();
 
-    // Open-addressing slot table (u32::MAX = empty), ≤ 50% load.
-    const EMPTY: u32 = u32::MAX;
-    let slot_mask = (2 * total + 1).next_power_of_two().max(16) - 1;
-    let mut slots = arena.indices();
-    slots.resize(slot_mask + 1, EMPTY);
+    // Open-addressing slot table at ≤ 50% load; `begin` inside
+    // `slot_table` makes the previous union's entries vanish in O(1).
+    let mut slots = arena.slot_table(total);
     let mut row = arena.indices(); // fixed-width row-key scratch
     let mut out_cols: Vec<Vec<u32>> = (0..ncols)
         .map(|_| arena.columns().checkout(total))
@@ -196,28 +322,27 @@ pub fn union_all_dedup(inputs: &[IdxRelation], arena: &MaskArena) -> Result<IdxR
                 for &v in &row {
                     std::hash::Hasher::write_u32(&mut hasher, v);
                 }
-                let mut slot = std::hash::Hasher::finish(&hasher) as usize & slot_mask;
+                let mut slot = std::hash::Hasher::finish(&hasher) as usize & slots.mask();
                 loop {
-                    let e = slots[slot];
-                    if e == EMPTY {
-                        slots[slot] = emitted;
+                    let Some(e) = slots.get(slot) else {
+                        slots.set(slot, emitted);
                         for (c, &v) in out_cols.iter_mut().zip(&row) {
                             c.push(v);
                         }
                         emitted += 1;
                         break;
-                    }
+                    };
                     if out_cols.iter().zip(&row).all(|(c, &v)| c[e as usize] == v) {
                         break; // duplicate
                     }
-                    slot = (slot + 1) & slot_mask;
+                    slot = (slot + 1) & slots.mask();
                 }
             }
         }
         Ok(())
     };
     let folded = fold();
-    arena.recycle_indices(slots);
+    arena.recycle_slot_table(slots);
     arena.recycle_indices(row);
     if let Err(e) = folded {
         // Failed unions must not leak pooled output columns.
@@ -243,6 +368,36 @@ pub fn project(
         let handle = tables.column(cref)?;
         let rows = relation.col(&cref.table)?;
         out.push((cref.clone(), handle.gather(rows)?));
+    }
+    Ok(out)
+}
+
+/// [`project`] into pooled value buffers: every output column's typed
+/// payload (and validity bitmap) comes from the arena, closing the last
+/// per-execute allocation on the serving path. The produced columns must
+/// return through `Column::recycle` — the session defers result columns
+/// and sweeps them once the caller releases the output. A failing later
+/// column recycles the earlier ones before propagating.
+pub fn project_in(
+    tables: &TableSet,
+    relation: &IdxRelation,
+    columns: &[ColumnRef],
+    arena: &MaskArena,
+) -> Result<Vec<(ColumnRef, Column)>> {
+    let mut out: Vec<(ColumnRef, Column)> = Vec::with_capacity(columns.len());
+    for cref in columns {
+        let gathered = tables
+            .column(cref)
+            .and_then(|handle| handle.gather_in(relation.col(&cref.table)?, arena));
+        match gathered {
+            Ok(col) => out.push((cref.clone(), col)),
+            Err(e) => {
+                for (_, col) in out {
+                    col.recycle(arena);
+                }
+                return Err(e);
+            }
+        }
     }
     Ok(out)
 }

@@ -1,0 +1,231 @@
+//! Morsel-parallel drivers for the shared execution kernels.
+//!
+//! These are the fan-out halves of the operators in [`crate::ops`]: the
+//! serial kernels stay where they are (and remain the `workers == 1`
+//! path, bit-for-bit), while this module splits their row ranges into
+//! [`Morsel`]s, runs them on a [`WorkerPool`]'s workers against
+//! per-worker arenas, and merges the per-morsel results **in morsel
+//! order** — word-range stitching for masks (disjoint word ranges mean
+//! the merge is concatenation, not re-intersection) and ordered
+//! concatenation for join match lists — so parallel output is
+//! indistinguishable from serial output.
+//!
+//! Arena discipline (see `basilisk-sched`): workers check scratch out of
+//! *their own* arena; per-morsel results ride back to the coordinating
+//! thread tagged with the producing worker id and are recycled into that
+//! worker's arena after merging. The coordinator's own scratch (the
+//! stitched mask, the concatenated selection vectors) comes from the
+//! session arena, exactly like the serial path — which is why session
+//! steady-state stats stay at `fresh() == 0` in parallel mode too.
+
+use basilisk_expr::eval::{eval_node_mask, eval_node_mask_morsel, ColumnProvider, ColumnSet};
+use basilisk_expr::{ExprId, PredicateTree};
+use basilisk_sched::WorkerPool;
+use basilisk_types::{Bitmap, MaskArena, Result, TruthMask};
+
+use crate::hash::JoinTable;
+use crate::relation::join_key;
+
+/// Morsel-parallel [`eval_node_mask`]: evaluate a predicate subtree over
+/// the rows selected by `sel`, one morsel per task, and stitch the
+/// per-morsel masks into one relation-length mask checked out of the
+/// *session* arena.
+///
+/// Falls back to the serial evaluator when the pool has one worker or
+/// the relation fits in a single morsel, so callers can use this
+/// unconditionally. Column fetches happen up front on the calling thread
+/// (via [`ColumnSet::prefetch`]), both because the lazy providers are
+/// not `Sync` and so fetch errors surface before any worker spawns.
+pub fn eval_mask_parallel(
+    tree: &PredicateTree,
+    id: ExprId,
+    provider: &impl ColumnProvider,
+    sel: &Bitmap,
+    arena: &MaskArena,
+    pool: &WorkerPool,
+) -> Result<TruthMask> {
+    let n = sel.len();
+    if !pool.would_parallelize(n) {
+        return eval_node_mask(tree, id, provider, sel, arena);
+    }
+    let columns = ColumnSet::prefetch(tree, id, provider, sel)?;
+    let morsels = pool.morsels(n);
+    let results = pool.run(
+        morsels.clone(),
+        |ctx, m| eval_node_mask_morsel(tree, id, &columns, sel, ctx.arena, m),
+        |worker_arena, mask| worker_arena.recycle_mask(mask),
+    )?;
+    let mut out = arena.mask(n);
+    for (m, (worker, mask)) in morsels.into_iter().zip(results) {
+        out.stitch(m, &mask);
+        pool.with_arena(worker, |a| a.recycle_mask(mask));
+    }
+    Ok(out)
+}
+
+/// The probe half of a hash join over one contiguous range of probe
+/// positions: for each position `j` in `range`, append every matching
+/// `(build_row, j)` pair. Both the serial join and each parallel probe
+/// task run exactly this loop, so chunked outputs concatenated in range
+/// order equal the serial output.
+pub(crate) fn probe_range(
+    table: &JoinTable,
+    probe_col: &basilisk_storage::Column,
+    range: std::ops::Range<usize>,
+    build_sel: &mut Vec<u32>,
+    probe_sel: &mut Vec<u32>,
+) {
+    for j in range {
+        if let Some(k) = join_key(probe_col, j) {
+            for &i in table.probe(&k) {
+                build_sel.push(i);
+                probe_sel.push(j as u32);
+            }
+        }
+    }
+}
+
+/// Partitioned-probe driver shared by the plain and tagged joins: run
+/// `probe` over each morsel-sized chunk of `0..probe_len` on the pool's
+/// workers (match buffers from the worker's arena), then hand the chunk
+/// outputs to `merge` **in chunk order**. Returns `false` — leaving the
+/// caller on its serial path — when the pool or the probe size doesn't
+/// warrant fanning out.
+pub fn partitioned_probe<R: Send>(
+    pool: &WorkerPool,
+    probe_len: usize,
+    probe: impl Fn(&MaskArena, std::ops::Range<usize>) -> Result<R> + Sync,
+    discard: impl Fn(&MaskArena, R),
+    mut merge: impl FnMut(u32, R, &WorkerPool),
+) -> Result<bool> {
+    if !pool.would_parallelize(probe_len) {
+        return Ok(false);
+    }
+    let chunks: Vec<std::ops::Range<usize>> = pool
+        .morsels(probe_len)
+        .into_iter()
+        .map(|m| m.start()..m.end())
+        .collect();
+    let results = pool.run(
+        chunks,
+        |ctx, range| probe(ctx.arena, range),
+        |worker_arena, r| discard(worker_arena, r),
+    )?;
+    for (worker, r) in results {
+        merge(worker, r, pool);
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{IdxRelation, RelProvider, TableSet};
+    use basilisk_expr::{and, col, not, or};
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::{DataType, Value};
+    use std::sync::Arc;
+
+    fn tset(rows: usize) -> TableSet {
+        let mut b = TableBuilder::new("t")
+            .column("id", DataType::Int)
+            .column("year", DataType::Int)
+            .column("name", DataType::Str);
+        for i in 0..rows as i64 {
+            let year = if i % 19 == 0 {
+                Value::Null
+            } else {
+                Value::Int(1900 + i % 120)
+            };
+            b.push_row(vec![i.into(), year, format!("n{}", i % 37).into()])
+                .unwrap();
+        }
+        TableSet::from_tables(vec![("t".into(), Arc::new(b.finish().unwrap()))])
+    }
+
+    /// The pinned differential: parallel eval over many morsels equals
+    /// serial eval lane-for-lane, across connectives, NULLs, strings and
+    /// a non-word-aligned tail.
+    #[test]
+    fn parallel_eval_equals_serial() {
+        let rows = 1000; // not a multiple of 64 → ragged tail morsel
+        let ts = tset(rows);
+        let rel = IdxRelation::base("t", rows);
+        let tree = PredicateTree::build(&or(vec![
+            and(vec![
+                col("t", "year").gt(1980i64),
+                col("t", "name").like("%3%"),
+            ]),
+            col("t", "year").lt(1910i64),
+            not(col("t", "year").is_null()),
+        ]));
+        let serial_arena = MaskArena::new();
+        let provider = RelProvider::new(&ts, &rel);
+        let sel = Bitmap::from_indices(rows, (0..rows).filter(|i| i % 3 != 1));
+        let serial = eval_node_mask(&tree, tree.root(), &provider, &sel, &serial_arena).unwrap();
+
+        for workers in [2, 3, 8] {
+            let pool = WorkerPool::new(workers).with_morsel_rows(128);
+            let arena = MaskArena::new();
+            let provider = RelProvider::new(&ts, &rel);
+            let par =
+                eval_mask_parallel(&tree, tree.root(), &provider, &sel, &arena, &pool).unwrap();
+            assert_eq!(
+                par.to_truths(),
+                serial.to_truths(),
+                "{workers} workers diverged"
+            );
+            arena.recycle_mask(par);
+            assert_eq!(arena.outstanding(), 0);
+            assert_eq!(pool.outstanding(), 0, "worker arenas drained");
+        }
+        serial_arena.recycle_mask(serial);
+    }
+
+    /// Single-worker pools and single-morsel relations take the serial
+    /// path (no prefetch, no spawn) and still agree.
+    #[test]
+    fn parallel_eval_degenerate_cases() {
+        let rows = 200;
+        let ts = tset(rows);
+        let rel = IdxRelation::base("t", rows);
+        let tree = PredicateTree::build(&col("t", "year").gt(1950i64));
+        let sel = Bitmap::all_set(rows);
+        let arena = MaskArena::new();
+        let provider = RelProvider::new(&ts, &rel);
+        let serial = eval_node_mask(&tree, tree.root(), &provider, &sel, &arena).unwrap();
+        for pool in [
+            WorkerPool::new(1).with_morsel_rows(64),
+            WorkerPool::new(4), // default morsels ≫ 200 rows → one morsel
+        ] {
+            let provider = RelProvider::new(&ts, &rel);
+            let m = eval_mask_parallel(&tree, tree.root(), &provider, &sel, &arena, &pool).unwrap();
+            assert_eq!(m.to_truths(), serial.to_truths());
+            arena.recycle_mask(m);
+        }
+        arena.recycle_mask(serial);
+        assert_eq!(arena.outstanding(), 0);
+    }
+
+    /// A mid-evaluation type error (Str column vs Int literal) inside
+    /// worker tasks must strand nothing in any arena.
+    #[test]
+    fn parallel_eval_error_leaks_nothing() {
+        let rows = 600;
+        let ts = tset(rows);
+        let rel = IdxRelation::base("t", rows);
+        // First disjunct evaluates fine; second explodes at eval time.
+        let tree = PredicateTree::build(&or(vec![
+            col("t", "year").gt(1950i64),
+            col("t", "name").gt(5i64),
+        ]));
+        let pool = WorkerPool::new(3).with_morsel_rows(64);
+        let arena = MaskArena::new();
+        let provider = RelProvider::new(&ts, &rel);
+        let sel = Bitmap::all_set(rows);
+        let err = eval_mask_parallel(&tree, tree.root(), &provider, &sel, &arena, &pool);
+        assert!(err.is_err(), "type mismatch must fail evaluation");
+        assert_eq!(arena.outstanding(), 0, "session arena drained");
+        assert_eq!(pool.outstanding(), 0, "every worker arena drained");
+    }
+}

@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use basilisk_storage::{Column, ColumnData};
-use basilisk_types::{BasiliskError, Bitmap, MaskArena, Result, Truth, TruthMask, Value};
+use basilisk_types::{BasiliskError, Bitmap, MaskArena, Morsel, Result, Truth, TruthMask, Value};
 
 use crate::atom::{Atom, CmpOp, ColumnRef};
 use crate::like::like_match;
@@ -90,6 +90,81 @@ impl ColumnProvider for MapProvider {
         self.rows
     }
 }
+
+/// An immutable, pre-fetched column set: every column a predicate subtree
+/// references, resolved once on the coordinating thread. Unlike the lazy
+/// engine providers (whose interior caches make them `!Sync`), a
+/// `ColumnSet` is plain shared data — `Sync` — so worker threads of the
+/// morsel-parallel executor can evaluate against it concurrently. Fetch
+/// errors (missing columns, failed disk reads) surface during
+/// [`ColumnSet::prefetch`], *before* any worker is spawned or any worker
+/// arena touched.
+pub struct ColumnSet {
+    columns: HashMap<ColumnRef, Arc<Column>>,
+    rows: usize,
+}
+
+impl ColumnSet {
+    /// Fetch every column referenced by the subtree rooted at `id`
+    /// through `provider` (honoring the selection hint, exactly as the
+    /// serial evaluation of that subtree would).
+    pub fn prefetch(
+        tree: &PredicateTree,
+        id: ExprId,
+        provider: &impl ColumnProvider,
+        sel: &Bitmap,
+    ) -> Result<ColumnSet> {
+        fn collect(
+            tree: &PredicateTree,
+            id: ExprId,
+            provider: &impl ColumnProvider,
+            sel: &Bitmap,
+            out: &mut HashMap<ColumnRef, Arc<Column>>,
+        ) -> Result<()> {
+            match tree.kind(id) {
+                NodeKind::Atom(atom) => {
+                    let col = atom.column();
+                    if !out.contains_key(col) {
+                        out.insert(col.clone(), provider.fetch_at(col, sel)?);
+                    }
+                    Ok(())
+                }
+                NodeKind::Not(c) => collect(tree, *c, provider, sel, out),
+                NodeKind::And(cs) | NodeKind::Or(cs) => {
+                    for &c in cs {
+                        collect(tree, c, provider, sel, out)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        let mut columns = HashMap::new();
+        collect(tree, id, provider, sel, &mut columns)?;
+        Ok(ColumnSet {
+            columns,
+            rows: provider.num_rows(),
+        })
+    }
+}
+
+impl ColumnProvider for ColumnSet {
+    fn fetch(&self, col: &ColumnRef) -> Result<Arc<Column>> {
+        self.columns
+            .get(col)
+            .cloned()
+            .ok_or_else(|| BasiliskError::Schema(format!("column {col} was not prefetched")))
+    }
+
+    fn num_rows(&self) -> usize {
+        self.rows
+    }
+}
+
+// Worker threads share one `&ColumnSet`; keep the property pinned.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<ColumnSet>();
+};
 
 /// Evaluate any predicate-tree node over the provider's rows.
 pub fn eval_node(
@@ -151,19 +226,45 @@ pub fn eval_node_mask(
     sel: &Bitmap,
     arena: &MaskArena,
 ) -> Result<TruthMask> {
+    eval_node_mask_morsel(tree, id, provider, sel, arena, Morsel::full(sel.len()))
+}
+
+/// Morsel-granular [`eval_node_mask`]: evaluate only the rows of
+/// `morsel`, producing a **morsel-length** mask whose lane `j` is row
+/// `morsel.start() + j`. This is the unit of work the parallel executor
+/// hands to a worker: `sel` and the provider's columns span the whole
+/// relation (shared, read-only), every mask is checked out of the
+/// worker's private `arena`, and because morsels are word-aligned the
+/// caller merges results with [`TruthMask::stitch`] — plain word
+/// concatenation over disjoint ranges.
+///
+/// The serial path *is* this function over [`Morsel::full`], so the two
+/// agree bit-for-bit by construction.
+pub fn eval_node_mask_morsel(
+    tree: &PredicateTree,
+    id: ExprId,
+    provider: &impl ColumnProvider,
+    sel: &Bitmap,
+    arena: &MaskArena,
+    morsel: Morsel,
+) -> Result<TruthMask> {
     match tree.kind(id) {
         NodeKind::Atom(atom) => {
             let column = provider.fetch_at(atom.column(), sel)?;
-            eval_atom_mask(atom, &column, sel, arena)
+            eval_atom_mask_morsel(atom, &column, sel, arena, morsel)
         }
         NodeKind::Not(c) => {
-            let mut m = eval_node_mask(tree, *c, provider, sel, arena)?;
+            let mut m = eval_node_mask_morsel(tree, *c, provider, sel, arena, morsel)?;
             m.negate();
-            m.restrict_to(sel);
+            m.restrict_to_words(&sel.words()[morsel.word_range()]);
             Ok(m)
         }
-        NodeKind::And(cs) => fold_children(tree, cs, provider, sel, arena, TruthMask::and_with),
-        NodeKind::Or(cs) => fold_children(tree, cs, provider, sel, arena, TruthMask::or_with),
+        NodeKind::And(cs) => {
+            fold_children(tree, cs, provider, sel, arena, morsel, TruthMask::and_with)
+        }
+        NodeKind::Or(cs) => {
+            fold_children(tree, cs, provider, sel, arena, morsel, TruthMask::or_with)
+        }
     }
 }
 
@@ -176,11 +277,12 @@ fn fold_children(
     provider: &impl ColumnProvider,
     sel: &Bitmap,
     arena: &MaskArena,
+    morsel: Morsel,
     combine: impl Fn(&mut TruthMask, &TruthMask),
 ) -> Result<TruthMask> {
-    let mut acc = eval_node_mask(tree, children[0], provider, sel, arena)?;
+    let mut acc = eval_node_mask_morsel(tree, children[0], provider, sel, arena, morsel)?;
     for &c in &children[1..] {
-        match eval_node_mask(tree, c, provider, sel, arena) {
+        match eval_node_mask_morsel(tree, c, provider, sel, arena, morsel) {
             Ok(m) => {
                 combine(&mut acc, &m);
                 arena.recycle_mask(m);
@@ -194,14 +296,19 @@ fn fold_children(
     Ok(acc)
 }
 
-/// Fill `out` by evaluating `lane` at the selected positions, using the
-/// dense word-batched builder when the selection covers every row.
-fn fill_mask_lanes(out: &mut TruthMask, sel: &Bitmap, lane: impl FnMut(usize) -> Truth) {
-    if sel.count_ones() == out.len() {
-        out.fill_lanes(lane);
-    } else {
-        out.fill_lanes_at(sel, lane);
-    }
+/// Fill the morsel-length `out` by evaluating `lane` (which receives
+/// **relation-global** row indices) at the positions of `sel` that fall
+/// inside `morsel`.
+fn fill_mask_lanes(
+    out: &mut TruthMask,
+    sel: &Bitmap,
+    morsel: Morsel,
+    mut lane: impl FnMut(usize) -> Truth,
+) {
+    let start = morsel.start();
+    out.fill_lanes_at_words(&sel.words()[morsel.word_range()], |local| {
+        lane(start + local)
+    });
 }
 
 /// Evaluate a base predicate over a column into a pooled [`TruthMask`],
@@ -212,17 +319,31 @@ pub fn eval_atom_mask(
     sel: &Bitmap,
     arena: &MaskArena,
 ) -> Result<TruthMask> {
+    eval_atom_mask_morsel(atom, column, sel, arena, Morsel::full(sel.len()))
+}
+
+/// Morsel-granular [`eval_atom_mask`]: `column` and `sel` span the whole
+/// relation, the returned mask covers only `morsel`'s rows (see
+/// [`eval_node_mask_morsel`]).
+pub fn eval_atom_mask_morsel(
+    atom: &Atom,
+    column: &Column,
+    sel: &Bitmap,
+    arena: &MaskArena,
+    morsel: Morsel,
+) -> Result<TruthMask> {
     let n = column.len();
     assert_eq!(sel.len(), n, "selection length must match column length");
-    let mut out = arena.mask(n);
+    assert!(morsel.end() <= n, "morsel beyond column length");
+    let mut out = arena.mask(morsel.len());
     let filled = match atom {
         Atom::IsNull { .. } => {
             // NULL-ness is always definite.
-            fill_mask_lanes(&mut out, sel, |i| Truth::from(!column.is_valid(i)));
+            fill_mask_lanes(&mut out, sel, morsel, |i| Truth::from(!column.is_valid(i)));
             Ok(())
         }
         Atom::Cmp { op, value, col } => {
-            eval_cmp_mask(*op, value, column, sel, &mut out).map_err(|e| annotate(e, col))
+            eval_cmp_mask(*op, value, column, sel, &mut out, morsel).map_err(|e| annotate(e, col))
         }
         Atom::Like {
             pattern,
@@ -233,7 +354,7 @@ pub fn eval_atom_mask(
                 "LIKE on non-string column {col}"
             ))),
             Some(strs) => {
-                fill_mask_lanes(&mut out, sel, |i| {
+                fill_mask_lanes(&mut out, sel, morsel, |i| {
                     if !column.is_valid(i) {
                         Truth::Unknown
                     } else {
@@ -245,7 +366,7 @@ pub fn eval_atom_mask(
         },
         Atom::InList { values, .. } => {
             let list_has_null = values.iter().any(Value::is_null);
-            fill_mask_lanes(&mut out, sel, |i| {
+            fill_mask_lanes(&mut out, sel, morsel, |i| {
                 if !column.is_valid(i) {
                     return Truth::Unknown;
                 }
@@ -293,11 +414,18 @@ fn fill_cmp_words<T: Copy>(
     data: &[T],
     validity: Option<&Bitmap>,
     sel: &Bitmap,
+    morsel: Morsel,
     test: impl Fn(T) -> bool,
 ) {
+    // Word-aligned morsels make the restriction free: slice the data and
+    // the selection/validity word arrays to the morsel's range and run
+    // the same kernel with morsel-local word indices (the serial path is
+    // the full-relation morsel).
+    let wr = morsel.word_range();
+    let data = &data[morsel.start()..morsel.end()];
     let n = data.len();
-    let sel_words = sel.words();
-    let valid_words = validity.map(Bitmap::words);
+    let sel_words = &sel.words()[wr.clone()];
+    let valid_words = validity.map(|v| &v.words()[wr]);
     for (w, &sel_word) in sel_words.iter().enumerate() {
         if sel_word == 0 {
             continue; // `out` is all-false from checkout
@@ -320,6 +448,7 @@ fn eval_cmp_mask(
     column: &Column,
     sel: &Bitmap,
     out: &mut TruthMask,
+    morsel: Morsel,
 ) -> Result<()> {
     // Branchless word-granular kernels for numeric columns: dispatch on
     // the operator once, then compare straight into bit positions. The
@@ -333,12 +462,12 @@ fn eval_cmp_mask(
             let conv = $conv;
             let valid = column.validity();
             match op {
-                CmpOp::Eq => fill_cmp_words(out, data, valid, sel, |x| conv(x) == lit),
-                CmpOp::Ne => fill_cmp_words(out, data, valid, sel, |x| conv(x) != lit),
-                CmpOp::Lt => fill_cmp_words(out, data, valid, sel, |x| conv(x) < lit),
-                CmpOp::Le => fill_cmp_words(out, data, valid, sel, |x| conv(x) <= lit),
-                CmpOp::Gt => fill_cmp_words(out, data, valid, sel, |x| conv(x) > lit),
-                CmpOp::Ge => fill_cmp_words(out, data, valid, sel, |x| conv(x) >= lit),
+                CmpOp::Eq => fill_cmp_words(out, data, valid, sel, morsel, |x| conv(x) == lit),
+                CmpOp::Ne => fill_cmp_words(out, data, valid, sel, morsel, |x| conv(x) != lit),
+                CmpOp::Lt => fill_cmp_words(out, data, valid, sel, morsel, |x| conv(x) < lit),
+                CmpOp::Le => fill_cmp_words(out, data, valid, sel, morsel, |x| conv(x) <= lit),
+                CmpOp::Gt => fill_cmp_words(out, data, valid, sel, morsel, |x| conv(x) > lit),
+                CmpOp::Ge => fill_cmp_words(out, data, valid, sel, morsel, |x| conv(x) >= lit),
             }
             Ok(())
         }};
@@ -348,7 +477,7 @@ fn eval_cmp_mask(
         ($data:expr, $test:expr) => {{
             let data = $data;
             let test = $test;
-            fill_mask_lanes(out, sel, |i| {
+            fill_mask_lanes(out, sel, morsel, |i| {
                 if !column.is_valid(i) {
                     Truth::Unknown
                 } else {
@@ -362,7 +491,7 @@ fn eval_cmp_mask(
         (_, Value::Null) => {
             // Comparing anything to NULL is always unknown (only on the
             // selected lanes; the rest stay false/no-care).
-            fill_mask_lanes(out, sel, |_| Truth::Unknown);
+            fill_mask_lanes(out, sel, morsel, |_| Truth::Unknown);
             Ok(())
         }
         (ColumnData::Int(data), Value::Int(lit)) => kernel!(data, *lit, |x: i64| x),
@@ -370,7 +499,7 @@ fn eval_cmp_mask(
         (ColumnData::Float(data), Value::Float(lit)) => kernel!(data, *lit, |x: f64| x),
         (ColumnData::Float(data), Value::Int(lit)) => kernel!(data, *lit as f64, |x: f64| x),
         (ColumnData::Str(data), Value::Str(lit)) => {
-            fill_mask_lanes(out, sel, |i| {
+            fill_mask_lanes(out, sel, morsel, |i| {
                 if !column.is_valid(i) {
                     Truth::Unknown
                 } else {

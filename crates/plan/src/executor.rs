@@ -15,11 +15,16 @@
 //! ROADMAP).
 
 use basilisk_core::ProjectionTags;
-use basilisk_core::{tagged_filter, tagged_join, tagged_select_final, TaggedRelation};
+use basilisk_core::{
+    tagged_filter, tagged_filter_par, tagged_join, tagged_join_par, tagged_select_final,
+    TaggedRelation,
+};
 use basilisk_exec::{
-    filter as plain_filter, hash_join, union_all_dedup, IdxRelation, JoinSide, TableSet,
+    filter as plain_filter, filter_par, hash_join, hash_join_par, union_all_dedup, IdxRelation,
+    JoinSide, TableSet,
 };
 use basilisk_expr::PredicateTree;
+use basilisk_sched::WorkerPool;
 use basilisk_types::{MaskArena, Result};
 
 use crate::aplan::APlan;
@@ -34,7 +39,34 @@ pub fn execute_tagged(
     tree: &PredicateTree,
     arena: &MaskArena,
 ) -> Result<IdxRelation> {
-    let rel = run_tagged(plan, tables, tree, arena)?;
+    execute_tagged_impl(plan, projection, tables, tree, arena, None)
+}
+
+/// [`execute_tagged`] in **parallel mode**: every filter evaluates
+/// morsel-parallel and every join probes partitioned on `pool`'s workers
+/// (the operators fall back to their serial paths per relation when it
+/// is too small to fan out, so this is safe to use unconditionally).
+/// Output is identical to serial execution.
+pub fn execute_tagged_with(
+    plan: &TPlan,
+    projection: &ProjectionTags,
+    tables: &TableSet,
+    tree: &PredicateTree,
+    arena: &MaskArena,
+    pool: &WorkerPool,
+) -> Result<IdxRelation> {
+    execute_tagged_impl(plan, projection, tables, tree, arena, Some(pool))
+}
+
+fn execute_tagged_impl(
+    plan: &TPlan,
+    projection: &ProjectionTags,
+    tables: &TableSet,
+    tree: &PredicateTree,
+    arena: &MaskArena,
+    pool: Option<&WorkerPool>,
+) -> Result<IdxRelation> {
+    let rel = run_tagged(plan, tables, tree, arena, pool)?;
     let out = tagged_select_final(&rel, projection, arena);
     rel.recycle(arena);
     Ok(out)
@@ -45,6 +77,7 @@ fn run_tagged(
     tables: &TableSet,
     tree: &PredicateTree,
     arena: &MaskArena,
+    pool: Option<&WorkerPool>,
 ) -> Result<TaggedRelation> {
     match plan {
         TPlan::Scan { alias } => Ok(TaggedRelation::base_in(
@@ -52,8 +85,11 @@ fn run_tagged(
             arena,
         )),
         TPlan::Filter { map, child, .. } => {
-            let input = run_tagged(child, tables, tree, arena)?;
-            let out = tagged_filter(tables, &input, tree, map, arena);
+            let input = run_tagged(child, tables, tree, arena, pool)?;
+            let out = match pool {
+                Some(p) => tagged_filter_par(tables, &input, tree, map, arena, p),
+                None => tagged_filter(tables, &input, tree, map, arena),
+            };
             input.recycle(arena);
             out
         }
@@ -63,16 +99,19 @@ fn run_tagged(
             left,
             right,
         } => {
-            let l = run_tagged(left, tables, tree, arena)?;
+            let l = run_tagged(left, tables, tree, arena, pool)?;
             // A failing right subtree must not strand the left's buffers.
-            let r = match run_tagged(right, tables, tree, arena) {
+            let r = match run_tagged(right, tables, tree, arena, pool) {
                 Ok(r) => r,
                 Err(e) => {
                     l.recycle(arena);
                     return Err(e);
                 }
             };
-            let out = tagged_join(tables, &l, &r, &cond.left, &cond.right, map, arena);
+            let out = match pool {
+                Some(p) => tagged_join_par(tables, &l, &r, &cond.left, &cond.right, map, arena, p),
+                None => tagged_join(tables, &l, &r, &cond.left, &cond.right, map, arena),
+            };
             l.recycle(arena);
             r.recycle(arena);
             out
@@ -93,6 +132,31 @@ pub fn execute_traditional(
     tree: &PredicateTree,
     arena: &MaskArena,
 ) -> Result<IdxRelation> {
+    execute_traditional_impl(plan, tables, tree, arena, None)
+}
+
+/// [`execute_traditional`] in **parallel mode** (see
+/// [`execute_tagged_with`]): parallel filters and partitioned join
+/// probes; unions deduplicate serially (the dedup table is inherently
+/// order-dependent), over child plans that were themselves executed in
+/// parallel.
+pub fn execute_traditional_with(
+    plan: &APlan,
+    tables: &TableSet,
+    tree: &PredicateTree,
+    arena: &MaskArena,
+    pool: &WorkerPool,
+) -> Result<IdxRelation> {
+    execute_traditional_impl(plan, tables, tree, arena, Some(pool))
+}
+
+fn execute_traditional_impl(
+    plan: &APlan,
+    tables: &TableSet,
+    tree: &PredicateTree,
+    arena: &MaskArena,
+    pool: Option<&WorkerPool>,
+) -> Result<IdxRelation> {
     match plan {
         APlan::Scan { alias } => Ok(IdxRelation::base_in(
             alias.clone(),
@@ -100,30 +164,45 @@ pub fn execute_traditional(
             arena,
         )),
         APlan::Filter { node, child } => {
-            let input = execute_traditional(child, tables, tree, arena)?;
-            let out = plain_filter(tables, &input, tree, *node, arena);
+            let input = execute_traditional_impl(child, tables, tree, arena, pool)?;
+            let out = match pool {
+                Some(p) => filter_par(tables, &input, tree, *node, arena, p),
+                None => plain_filter(tables, &input, tree, *node, arena),
+            };
             input.recycle(arena);
             out
         }
         APlan::Join { cond, left, right } => {
-            let l = execute_traditional(left, tables, tree, arena)?;
+            let l = execute_traditional_impl(left, tables, tree, arena, pool)?;
             // A failing right subtree must not strand the left's buffers.
-            let r = match execute_traditional(right, tables, tree, arena) {
+            let r = match execute_traditional_impl(right, tables, tree, arena, pool) {
                 Ok(r) => r,
                 Err(e) => {
                     l.recycle(arena);
                     return Err(e);
                 }
             };
-            let out = hash_join(
-                tables,
-                &l,
-                &r,
-                &cond.left,
-                &cond.right,
-                JoinSide::Smaller,
-                arena,
-            );
+            let out = match pool {
+                Some(p) => hash_join_par(
+                    tables,
+                    &l,
+                    &r,
+                    &cond.left,
+                    &cond.right,
+                    JoinSide::Smaller,
+                    arena,
+                    p,
+                ),
+                None => hash_join(
+                    tables,
+                    &l,
+                    &r,
+                    &cond.left,
+                    &cond.right,
+                    JoinSide::Smaller,
+                    arena,
+                ),
+            };
             l.recycle(arena);
             r.recycle(arena);
             out
@@ -133,7 +212,7 @@ pub fn execute_traditional(
             // recycles every earlier child's relation before propagating.
             let mut rels: Vec<IdxRelation> = Vec::with_capacity(children.len());
             for c in children {
-                match execute_traditional(c, tables, tree, arena) {
+                match execute_traditional_impl(c, tables, tree, arena, pool) {
                     Ok(rel) => rels.push(rel),
                     Err(e) => {
                         for rel in rels {

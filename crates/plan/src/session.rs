@@ -1,17 +1,22 @@
 //! The one-stop query session: plan, execute, time.
 
+use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use basilisk_catalog::{Catalog, Estimator};
 use basilisk_core::{TagMapBuilder, TagMapStrategy};
-use basilisk_exec::{project, IdxRelation, TableSet};
+use basilisk_exec::{project_in, IdxRelation, TableSet};
 use basilisk_expr::{ColumnRef, PredicateTree};
+use basilisk_sched::WorkerPool;
 use basilisk_storage::Column;
 use basilisk_types::{ArenaStats, BasiliskError, MaskArena, Result};
 
 use crate::aplan::APlan;
 use crate::cost::CostModel;
-use crate::executor::{execute_tagged, execute_traditional};
+use crate::executor::{
+    execute_tagged, execute_tagged_with, execute_traditional, execute_traditional_with,
+};
 use crate::join_order::greedy_join_tree;
 use crate::planners::{plan as run_planner, PlannedQuery, PlannerInput, PlannerKind};
 use crate::query::Query;
@@ -99,9 +104,21 @@ impl QueryOutput {
 /// which [`Self::arena_stats`] proves (`fresh() == 0`). Result columns
 /// escape to the caller inside [`QueryOutput`]; the session defers them
 /// and reclaims their buffers on the next `execute()` once the caller
-/// has dropped the output. *Value*-column materializations — projected
-/// outputs ([`Self::project`]) and gathered join-key/predicate values —
-/// remain ordinary allocations.
+/// has dropped the output. Projected *value* columns
+/// ([`Self::project`]) follow the same deferral through the arena's
+/// value pool, and gathered join-key values are pooled inside the join
+/// operators — so steady-state serving (execute → project → release) is
+/// allocation-free end to end.
+///
+/// **Parallelism**: the session owns a [`WorkerPool`] of
+/// [`Self::workers`] workers (default: the `BASILISK_THREADS`
+/// environment variable, else the machine's available parallelism),
+/// each with a private arena. With more than one worker, `execute`
+/// runs the plan interpreters in morsel-parallel mode: filters evaluate
+/// per-morsel on the workers and stitch, joins probe partitioned.
+/// `workers == 1` — or any relation smaller than one morsel — takes
+/// today's serial path, bit for bit; parallel output is pinned equal to
+/// serial output by the differential suite.
 pub struct QuerySession {
     query: Query,
     tree: Option<PredicateTree>,
@@ -111,6 +128,10 @@ pub struct QuerySession {
     three_valued: bool,
     cm: CostModel,
     arena: MaskArena,
+    pool: WorkerPool,
+    /// Projected value columns still referenced by caller-held results;
+    /// swept (and their buffers recycled) at the start of each execute.
+    deferred_values: RefCell<Vec<Arc<Column>>>,
 }
 
 impl QuerySession {
@@ -144,6 +165,8 @@ impl QuerySession {
             three_valued,
             cm: CostModel::default(),
             arena: MaskArena::new(),
+            pool: WorkerPool::new(WorkerPool::default_workers()),
+            deferred_values: RefCell::new(Vec::new()),
         })
     }
 
@@ -151,6 +174,32 @@ impl QuerySession {
     pub fn with_strategy(mut self, strategy: TagMapStrategy) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    /// Override the worker count (see the struct docs). `1` disables
+    /// parallel execution entirely — the serial interpreters run,
+    /// untouched. Replaces the worker pool, so call before executing.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.pool = WorkerPool::new(workers).with_morsel_rows(self.pool.morsel_rows());
+        self
+    }
+
+    /// Override the morsel granularity (rows per parallel task; must be
+    /// a positive multiple of 64). Mainly for tests and benchmarks.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.pool = WorkerPool::new(self.pool.workers()).with_morsel_rows(rows);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The session's worker pool (per-worker arenas included) —
+    /// observability for tests and benchmarks.
+    pub fn scheduler(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Enable three-valued tag maps (needed when the data contains NULLs).
@@ -235,27 +284,48 @@ impl QuerySession {
     pub fn execute(&self, plan: &Plan) -> Result<QueryOutput> {
         // Sweep result columns deferred by earlier executions: once the
         // caller has dropped those outputs, their buffers return to the
-        // pool and this run re-checks them out instead of allocating.
+        // pools and this run re-checks them out instead of allocating.
         self.arena.columns().reclaim();
+        self.sweep_deferred_values();
+        let parallel = self.pool.workers() > 1;
         let rows = match plan {
             Plan::JoinOnly(aplan) => {
                 // Predicate-free: use the traditional executor with a
                 // dummy tree (never consulted — the plan has no filters).
                 let dummy = PredicateTree::build(&basilisk_expr::col("·", "·").is_null());
-                execute_traditional(aplan, &self.tables, &dummy, &self.arena)?
+                if parallel {
+                    execute_traditional_with(aplan, &self.tables, &dummy, &self.arena, &self.pool)?
+                } else {
+                    execute_traditional(aplan, &self.tables, &dummy, &self.arena)?
+                }
             }
             Plan::WithPredicate(p) => {
                 let tree = self
                     .tree
                     .as_ref()
                     .ok_or_else(|| BasiliskError::Plan("plan/session mismatch".into()))?;
-                match p {
-                    PlannedQuery::Tagged { ann, .. } => {
+                match (p, parallel) {
+                    (PlannedQuery::Tagged { ann, .. }, false) => {
                         execute_tagged(&ann.plan, &ann.projection, &self.tables, tree, &self.arena)?
                     }
-                    PlannedQuery::Traditional { aplan, .. } => {
+                    (PlannedQuery::Tagged { ann, .. }, true) => execute_tagged_with(
+                        &ann.plan,
+                        &ann.projection,
+                        &self.tables,
+                        tree,
+                        &self.arena,
+                        &self.pool,
+                    )?,
+                    (PlannedQuery::Traditional { aplan, .. }, false) => {
                         execute_traditional(aplan, &self.tables, tree, &self.arena)?
                     }
+                    (PlannedQuery::Traditional { aplan, .. }, true) => execute_traditional_with(
+                        aplan,
+                        &self.tables,
+                        tree,
+                        &self.arena,
+                        &self.pool,
+                    )?,
                 }
             }
         };
@@ -285,9 +355,46 @@ impl QuerySession {
         ))
     }
 
-    /// Materialize the query's projection columns for an output.
-    pub fn project(&self, output: &QueryOutput) -> Result<Vec<(ColumnRef, Column)>> {
-        project(&self.tables, &output.rows, &self.query.projection)
+    /// Materialize the query's projection columns for an output. The
+    /// columns draw their typed buffers from the session's value pool
+    /// and are deferred like result index columns: once the caller drops
+    /// them, the next `execute()` sweep recycles the buffers — so a
+    /// serving loop (execute → project → release) allocates nothing in
+    /// steady state, value columns included.
+    pub fn project(&self, output: &QueryOutput) -> Result<Vec<(ColumnRef, Arc<Column>)>> {
+        let cols = project_in(
+            &self.tables,
+            &output.rows,
+            &self.query.projection,
+            &self.arena,
+        )?;
+        let mut deferred = self.deferred_values.borrow_mut();
+        Ok(cols
+            .into_iter()
+            .map(|(cref, col)| {
+                let col = Arc::new(col);
+                // Every pooled column must eventually recycle (skipping
+                // one would leave its checkout counted outstanding
+                // forever). The list is bounded by the caller's own live
+                // results: each execute sweeps released entries.
+                deferred.push(Arc::clone(&col));
+                (cref, col)
+            })
+            .collect())
+    }
+
+    /// Reclaim deferred projection columns whose caller-held references
+    /// are gone (the value-pool counterpart of `ColumnPool::reclaim`).
+    fn sweep_deferred_values(&self) {
+        let mut deferred = self.deferred_values.borrow_mut();
+        let mut still: Vec<Arc<Column>> = Vec::with_capacity(deferred.len());
+        for arc in deferred.drain(..) {
+            match Arc::try_unwrap(arc) {
+                Ok(col) => col.recycle(&self.arena),
+                Err(arc) => still.push(arc),
+            }
+        }
+        *deferred = still;
     }
 
     /// Human-readable plan rendering (EXPLAIN).

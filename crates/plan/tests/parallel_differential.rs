@@ -1,0 +1,310 @@
+//! Session-level differential suite: a `QuerySession` in parallel mode
+//! (workers > 1, small morsels so every operator really fans out) must
+//! produce results identical to the serial session, for every planner
+//! family — tagged filter pipelines, tagged joins, traditional
+//! pipelines and union (BDisj) plans — plus empty tables, steady-state
+//! allocation freedom of the *session* arena in parallel mode, and
+//! plan-time/eval-time error paths.
+
+use basilisk_catalog::Catalog;
+use basilisk_expr::{and, col, or, ColumnRef};
+use basilisk_plan::{Plan, PlannerKind, Query, QuerySession};
+use basilisk_storage::TableBuilder;
+use basilisk_types::{DataType, Value};
+
+const TITLE_ROWS: i64 = 5000; // ≫ the 256-row test morsel, ragged tail
+const SCORE_ROWS: i64 = 7000;
+
+fn catalog(with_nulls: bool) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut b = TableBuilder::new("title")
+        .column("id", DataType::Int)
+        .column("year", DataType::Int);
+    for i in 0..TITLE_ROWS {
+        let year = if with_nulls && i % 37 == 0 {
+            Value::Null
+        } else {
+            Value::Int(1900 + (i * 11) % 120)
+        };
+        b.push_row(vec![i.into(), year]).unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    let mut b = TableBuilder::new("scores")
+        .column("movie_id", DataType::Int)
+        .column("score", DataType::Float);
+    for i in 0..SCORE_ROWS {
+        b.push_row(vec![
+            (i % (TITLE_ROWS + 100)).into(),
+            (((i * 13) % 100) as f64 / 10.0).into(),
+        ])
+        .unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    cat
+}
+
+fn join_query() -> Query {
+    Query::new(vec![
+        ("t".into(), "title".into()),
+        ("mi".into(), "scores".into()),
+    ])
+    .join(ColumnRef::new("t", "id"), ColumnRef::new("mi", "movie_id"))
+    .filter(or(vec![
+        and(vec![
+            col("t", "year").gt(2000i64),
+            col("mi", "score").gt(7.0),
+        ]),
+        and(vec![
+            col("t", "year").gt(1980i64),
+            col("mi", "score").gt(8.0),
+        ]),
+        col("t", "year").lt(1905i64),
+    ]))
+    .select(vec![ColumnRef::new("t", "id")])
+}
+
+fn filter_query() -> Query {
+    Query::new(vec![("t".into(), "title".into())])
+        .filter(or(vec![
+            and(vec![
+                col("t", "year").gt(2000i64),
+                col("t", "id").lt(4000i64),
+            ]),
+            and(vec![
+                col("t", "year").lt(1950i64),
+                col("t", "id").gt(500i64),
+            ]),
+            col("t", "year").eq(1980i64),
+        ]))
+        .select(vec![ColumnRef::new("t", "id")])
+}
+
+const PLANNERS: [PlannerKind; 5] = [
+    PlannerKind::TPushdown,
+    PlannerKind::TCombined,
+    PlannerKind::TPullup,
+    PlannerKind::BDisj,
+    PlannerKind::BPushConj,
+];
+
+fn differential(query: fn() -> Query, with_nulls: bool) {
+    let cat = catalog(with_nulls);
+    for kind in PLANNERS {
+        let serial = QuerySession::new(&cat, query()).unwrap().with_workers(1);
+        let reference = serial
+            .execute(&serial.plan(kind).unwrap())
+            .unwrap()
+            .canonical_tuples();
+        for workers in [2, 3, 8] {
+            let session = QuerySession::new(&cat, query())
+                .unwrap()
+                .with_workers(workers)
+                .with_morsel_rows(256);
+            let plan = session.plan(kind).unwrap();
+            let out = session.execute(&plan).unwrap().canonical_tuples();
+            assert_eq!(
+                out, reference,
+                "{kind} with {workers} workers diverged from serial"
+            );
+            assert_eq!(session.scheduler().outstanding(), 0);
+            assert_eq!(session.arena().outstanding(), 0);
+        }
+    }
+}
+
+#[test]
+fn join_pipelines_parallel_equals_serial_all_planners() {
+    differential(join_query, false);
+}
+
+#[test]
+fn filter_pipelines_parallel_equals_serial_all_planners() {
+    differential(filter_query, false);
+}
+
+/// NULL-bearing data: the three-valued splits must route identically.
+#[test]
+fn three_valued_parallel_equals_serial() {
+    differential(join_query, true);
+    differential(filter_query, true);
+}
+
+/// Parallel mode must also reach steady state on the **session** arena:
+/// stitched masks, split bitmaps, concatenated selection vectors and
+/// output columns are deterministic shapes, so the second execution is
+/// allocation-free there. (Worker arenas converge per worker but task
+/// assignment is nondeterministic, so only the session arena is pinned.)
+#[test]
+fn parallel_steady_state_session_arena_allocation_free() {
+    let cat = catalog(false);
+    for kind in [PlannerKind::TCombined, PlannerKind::BDisj] {
+        let session = QuerySession::new(&cat, join_query())
+            .unwrap()
+            .with_workers(4)
+            .with_morsel_rows(256);
+        let plan = session.plan(kind).unwrap();
+        let first = session.execute(&plan).unwrap().canonical_tuples();
+        assert!(session.arena_stats().fresh() > 0, "warmup populates pools");
+        // Deferred result columns re-enter the pool one run after their
+        // output is dropped, which can shift greedy best-fit matching
+        // once — so the pool may take a second warmup run to reach its
+        // fixpoint. It must then *stay* allocation-free.
+        session.reset_arena_stats();
+        let second = session.execute(&plan).unwrap().canonical_tuples();
+        assert_eq!(first, second);
+        for run in 0..3 {
+            session.reset_arena_stats();
+            let again = session.execute(&plan).unwrap().canonical_tuples();
+            assert_eq!(again, first);
+            assert_eq!(
+                session.arena_stats().fresh(),
+                0,
+                "{kind} run {run}: parallel steady state must not allocate \
+                 on the session arena"
+            );
+        }
+    }
+}
+
+/// Projection value columns are pooled and deferred: a serving loop that
+/// projects and releases reaches `fresh() == 0` including the value
+/// pool; held results stay intact.
+#[test]
+fn projection_value_columns_reach_steady_state() {
+    let cat = catalog(false);
+    let session = QuerySession::new(&cat, join_query())
+        .unwrap()
+        .with_workers(1);
+    let plan = session.plan(PlannerKind::TCombined).unwrap();
+    let serve = || {
+        let out = session.execute(&plan).unwrap();
+        let cols = session.project(&out).unwrap();
+        assert_eq!(cols.len(), 1);
+        cols[0].1.len()
+    };
+    let n = serve();
+    assert!(n > 0);
+    session.reset_arena_stats();
+    assert_eq!(serve(), n);
+    let stats = session.arena_stats();
+    assert_eq!(
+        stats.fresh(),
+        0,
+        "projection must be allocation-free in steady state (stats: {stats:?})"
+    );
+    assert!(stats.values.reused > 0, "value buffers were pooled");
+
+    // Held projections are not corrupted by later executions.
+    let out = session.execute(&plan).unwrap();
+    let held = session.project(&out).unwrap();
+    let snapshot: Vec<i64> = held[0].1.as_ints().unwrap().to_vec();
+    session.execute(&plan).unwrap();
+    session.execute(&plan).unwrap();
+    assert_eq!(held[0].1.as_ints().unwrap(), &snapshot[..]);
+}
+
+/// Zero-row tables through a fully parallel session.
+#[test]
+fn empty_tables_parallel() {
+    let mut cat = Catalog::new();
+    let b = TableBuilder::new("title")
+        .column("id", DataType::Int)
+        .column("year", DataType::Int);
+    cat.add_table(b.finish().unwrap()).unwrap();
+    let b = TableBuilder::new("scores")
+        .column("movie_id", DataType::Int)
+        .column("score", DataType::Float);
+    cat.add_table(b.finish().unwrap()).unwrap();
+    for kind in PLANNERS {
+        let session = QuerySession::new(&cat, join_query())
+            .unwrap()
+            .with_workers(4)
+            .with_morsel_rows(64);
+        let out = session.execute(&session.plan(kind).unwrap()).unwrap();
+        assert_eq!(out.count(), 0, "{kind} on empty tables");
+        assert_eq!(session.scheduler().outstanding(), 0);
+    }
+}
+
+/// Plan-shaped error paths in parallel mode: a broken predicate fails
+/// cleanly (here at plan/validate time — eval-time failures are pinned
+/// at operator level in `core/tests/parallel_ops.rs`) and the session
+/// keeps serving afterwards with no stranded buffers.
+#[test]
+fn error_then_recovery_parallel() {
+    let cat = catalog(false);
+    // A predicate over a missing column builds a session (statistics
+    // lookups are lazy) but must fail by execution time — cleanly, with
+    // nothing stranded in any arena.
+    let bad = Query::new(vec![("t".into(), "title".into())])
+        .filter(and(vec![
+            col("t", "year").gt(0i64),
+            col("t", "no_such_column").gt(0i64),
+        ]))
+        .select(vec![ColumnRef::new("t", "id")]);
+    if let Ok(bad_session) = QuerySession::new(&cat, bad) {
+        let bad_session = bad_session.with_workers(4).with_morsel_rows(256);
+        let failed = bad_session
+            .plan(PlannerKind::TPushdown)
+            .and_then(|p| bad_session.execute(&p).map(|_| ()));
+        assert!(failed.is_err(), "missing column must fail by execution");
+        assert_eq!(bad_session.scheduler().outstanding(), 0);
+        assert_eq!(bad_session.arena().outstanding(), 0);
+    }
+
+    let session = QuerySession::new(&cat, filter_query())
+        .unwrap()
+        .with_workers(4)
+        .with_morsel_rows(256);
+    let plan = session.plan(PlannerKind::TCombined).unwrap();
+    let out = session.execute(&plan).unwrap();
+    assert!(out.count() > 0);
+    assert_eq!(session.scheduler().outstanding(), 0);
+    // Result index columns are *parked* (deferred), not outstanding.
+    assert_eq!(session.arena().outstanding(), 0);
+    drop(out);
+    session.execute(&plan).unwrap();
+}
+
+/// `with_workers(1)` is the serial engine, and a workers=1 session says
+/// so through its accessors.
+#[test]
+fn workers_one_is_serial() {
+    let cat = catalog(false);
+    let session = QuerySession::new(&cat, filter_query())
+        .unwrap()
+        .with_workers(1);
+    assert_eq!(session.workers(), 1);
+    let plan = session.plan(PlannerKind::TPushdown).unwrap();
+    session.execute(&plan).unwrap();
+    assert_eq!(
+        session.scheduler().fresh(),
+        0,
+        "serial execution must never touch worker arenas"
+    );
+}
+
+/// Join-only (no predicate) plans in parallel mode.
+#[test]
+fn join_only_parallel() {
+    let cat = catalog(false);
+    let q = Query::new(vec![
+        ("t".into(), "title".into()),
+        ("mi".into(), "scores".into()),
+    ])
+    .join(ColumnRef::new("t", "id"), ColumnRef::new("mi", "movie_id"));
+    let serial = QuerySession::new(&cat, q.clone()).unwrap().with_workers(1);
+    let reference = serial
+        .execute(&serial.plan(PlannerKind::TCombined).unwrap())
+        .unwrap()
+        .canonical_tuples();
+    let parallel = QuerySession::new(&cat, q)
+        .unwrap()
+        .with_workers(4)
+        .with_morsel_rows(256);
+    let plan: Plan = parallel.plan(PlannerKind::TCombined).unwrap();
+    assert_eq!(
+        parallel.execute(&plan).unwrap().canonical_tuples(),
+        reference
+    );
+}

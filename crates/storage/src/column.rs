@@ -8,7 +8,7 @@
 //! into base tables); columns are only materialized at projection time or
 //! when read back from disk.
 
-use basilisk_types::{BasiliskError, Bitmap, DataType, Result, Value};
+use basilisk_types::{BasiliskError, Bitmap, DataType, MaskArena, Result, Value};
 
 /// Arena-style string storage: `offsets[i]..offsets[i+1]` spans row `i`'s
 /// bytes. Avoids one heap allocation per string.
@@ -279,6 +279,72 @@ impl Column {
             }
         };
         Column { data, validity }
+    }
+
+    /// [`Self::gather`] with every output buffer checked out of the
+    /// arena's pools ([`ValuePool`](basilisk_types::ValuePool) for typed
+    /// payloads and string bytes, the index pool for string offsets, the
+    /// bitmap pool for validity). The produced column must eventually go
+    /// back through [`Self::recycle`] — synchronously by operators that
+    /// consume it (gathered join keys), or deferred by the session for
+    /// columns that escape inside a query result (projections).
+    pub fn gather_in(&self, rows: &[u32], arena: &MaskArena) -> Column {
+        let validity = self.validity.as_ref().map(|v| {
+            let mut out = arena.bitmap(rows.len());
+            for (j, &r) in rows.iter().enumerate() {
+                if v.get(r as usize) {
+                    out.set(j);
+                }
+            }
+            out
+        });
+        let data = match &self.data {
+            ColumnData::Int(v) => {
+                let mut out = arena.values().checkout_ints(rows.len());
+                out.extend(rows.iter().map(|&r| v[r as usize]));
+                ColumnData::Int(out)
+            }
+            ColumnData::Float(v) => {
+                let mut out = arena.values().checkout_floats(rows.len());
+                out.extend(rows.iter().map(|&r| v[r as usize]));
+                ColumnData::Float(out)
+            }
+            ColumnData::Bool(v) => {
+                let mut out = arena.values().checkout_bools(rows.len());
+                out.extend(rows.iter().map(|&r| v[r as usize]));
+                ColumnData::Bool(out)
+            }
+            ColumnData::Str(s) => {
+                let mut offsets = arena.indices();
+                offsets.push(0);
+                let bytes = arena.values().checkout_bytes(0);
+                let mut out = StrData { offsets, bytes };
+                for &r in rows {
+                    out.push(s.get(r as usize));
+                }
+                ColumnData::Str(out)
+            }
+        };
+        Column { data, validity }
+    }
+
+    /// Hand a pooled column's buffers back to the arena (the recycle step
+    /// of the [`Self::gather_in`] lifecycle). Also safe on columns built
+    /// without the pool — their buffers simply *join* the pool, which is
+    /// how disk-gathered columns warm it.
+    pub fn recycle(self, arena: &MaskArena) {
+        if let Some(v) = self.validity {
+            arena.recycle_bitmap(v);
+        }
+        match self.data {
+            ColumnData::Int(v) => arena.values().recycle_ints(v),
+            ColumnData::Float(v) => arena.values().recycle_floats(v),
+            ColumnData::Bool(v) => arena.values().recycle_bools(v),
+            ColumnData::Str(s) => {
+                arena.recycle_indices(s.offsets);
+                arena.values().recycle_bytes(s.bytes);
+            }
+        }
     }
 }
 

@@ -62,6 +62,26 @@ impl ColumnHandle {
         }
     }
 
+    /// [`Self::gather`] into pooled value buffers (see
+    /// [`Column::gather_in`]). Disk columns gather through the page reads
+    /// first and then re-land in pooled buffers (an extra in-memory copy
+    /// the page I/O dwarfs) — so the returned column is *always* backed
+    /// by checked-out pool buffers and [`Column::recycle`] keeps every
+    /// arena's `outstanding()` accounting exact.
+    pub fn gather_in(&self, rows: &[u32], arena: &basilisk_types::MaskArena) -> Result<Column> {
+        match self {
+            ColumnHandle::Mem(c) => Ok(c.gather_in(rows, arena)),
+            ColumnHandle::Disk(d) => {
+                let fresh = d.gather(rows)?;
+                let mut identity = arena.indices();
+                identity.extend(0..fresh.len() as u32);
+                let pooled = fresh.gather_in(&identity, arena);
+                arena.recycle_indices(identity);
+                Ok(pooled)
+            }
+        }
+    }
+
     /// Read the values selected by `bitmap`, in ascending row order,
     /// applying the sequential-vs-random policy for disk columns.
     pub fn read_selected(&self, bitmap: &Bitmap, threshold: f64) -> Result<Column> {

@@ -30,19 +30,31 @@
 //! carries a [`ColumnPool`] ([`MaskArena::columns`]) for the fourth hot
 //! shape — the `Arc`-shared `Vec<u32>` index columns that joins, selects
 //! and unions *output* — whose lifecycle (checkout → `Arc`-share →
-//! `try_unwrap` reclaim) is documented on [`ColumnPool`]. Projected
-//! *value* columns remain ordinary allocations.
+//! `try_unwrap` reclaim) is documented on [`ColumnPool`] — plus a
+//! [`ValuePool`] ([`MaskArena::values`]) for typed *value* buffers
+//! (gathered join keys, projected output columns; recycled via
+//! `Column::recycle` in the storage crate, with projected result columns
+//! deferred by the session) and pooled [`SlotTable`]s
+//! ([`MaskArena::slot_table`]) for union deduplication.
 //!
-//! The arena is deliberately *not* thread-safe (`RefCell`): it is owned by
-//! one `QuerySession` and follows the paper's one-query-one-pipeline
-//! execution model. Cross-query sharing would serialize on a lock exactly
-//! where the hot path is.
+//! The arena is deliberately *not* `Sync` (`RefCell`): sharing one pool
+//! between threads would serialize on a lock exactly where the hot path
+//! is. It **is** `Send`, though, and that is the concurrency model of the
+//! morsel-parallel executor (`basilisk-sched`): every worker *owns* a
+//! private arena — handed into its scoped thread by `&mut` — so the
+//! checkout → evaluate → recycle lifecycle and the `fresh() == 0`
+//! steady-state guarantee hold per worker without any locking. Buffers
+//! must return to the arena they were checked out of (the scheduler
+//! routes morsel results back to their producing worker's arena), which
+//! keeps every arena's [`MaskArena::outstanding`] accounting exact.
 
 use std::cell::{Cell, RefCell};
 
 use crate::bitmap::{Bitmap, WORD_BITS};
 use crate::colpool::ColumnPool;
+use crate::slots::SlotTable;
 use crate::truthmask::TruthMask;
+use crate::valpool::ValuePool;
 
 /// Upper bound on pooled buffers per shape. A query pipeline only ever has
 /// a handful of buffers live at once; the cap just keeps a pathological
@@ -66,17 +78,32 @@ pub struct ArenaStats {
     pub indices: PoolStats,
     /// `Arc`-shared output index columns (see [`crate::ColumnPool`]).
     pub columns: PoolStats,
+    /// Typed value buffers — gathered key columns, projected outputs
+    /// (see [`crate::ValuePool`]).
+    pub values: PoolStats,
+    /// Generation-stamped dedup tables (see [`crate::SlotTable`]).
+    pub slot_tables: PoolStats,
 }
 
 impl ArenaStats {
     /// Total pool misses — zero in steady state.
     pub fn fresh(&self) -> usize {
-        self.masks.fresh + self.bitmaps.fresh + self.indices.fresh + self.columns.fresh
+        self.masks.fresh
+            + self.bitmaps.fresh
+            + self.indices.fresh
+            + self.columns.fresh
+            + self.values.fresh
+            + self.slot_tables.fresh
     }
 
     /// Total pool hits.
     pub fn reused(&self) -> usize {
-        self.masks.reused + self.bitmaps.reused + self.indices.reused + self.columns.reused
+        self.masks.reused
+            + self.bitmaps.reused
+            + self.indices.reused
+            + self.columns.reused
+            + self.values.reused
+            + self.slot_tables.reused
     }
 }
 
@@ -88,12 +115,16 @@ pub struct MaskArena {
     bitmaps: RefCell<Vec<Bitmap>>,
     indices: RefCell<Vec<Vec<u32>>>,
     columns: ColumnPool,
+    values: ValuePool,
+    slot_tables: RefCell<Vec<SlotTable>>,
     mask_fresh: Cell<usize>,
     mask_reused: Cell<usize>,
     bitmap_fresh: Cell<usize>,
     bitmap_reused: Cell<usize>,
     index_fresh: Cell<usize>,
     index_reused: Cell<usize>,
+    slot_fresh: Cell<usize>,
+    slot_reused: Cell<usize>,
     live: Cell<usize>,
 }
 
@@ -108,6 +139,41 @@ impl MaskArena {
     /// [`Self::stats`] covers all four buffer shapes at once.
     pub fn columns(&self) -> &ColumnPool {
         &self.columns
+    }
+
+    /// The pool for typed *value* buffers (gathered key columns,
+    /// projected outputs) — see [`ValuePool`].
+    pub fn values(&self) -> &ValuePool {
+        &self.values
+    }
+
+    /// Check out a [`SlotTable`] ready for a probing session over
+    /// `entries` distinct values. Pooled tables keep their slot-array
+    /// capacity, so repeated unions over similar cardinalities pay a
+    /// generation bump instead of an O(capacity) clear.
+    pub fn slot_table(&self, entries: usize) -> SlotTable {
+        self.live.set(self.live.get() + 1);
+        let mut table = match self.slot_tables.borrow_mut().pop() {
+            Some(t) => {
+                self.slot_reused.set(self.slot_reused.get() + 1);
+                t
+            }
+            None => {
+                self.slot_fresh.set(self.slot_fresh.get() + 1);
+                SlotTable::new()
+            }
+        };
+        table.begin(entries);
+        table
+    }
+
+    /// Return a slot table to the pool (its capacity stays warm).
+    pub fn recycle_slot_table(&self, table: SlotTable) {
+        self.live.set(self.live.get().saturating_sub(1));
+        let mut pool = self.slot_tables.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(table);
+        }
     }
 
     /// Check out an all-`False` mask of `len` lanes.
@@ -222,6 +288,11 @@ impl MaskArena {
                 reused: self.index_reused.get(),
             },
             columns: self.columns.stats(),
+            values: self.values.stats(),
+            slot_tables: PoolStats {
+                fresh: self.slot_fresh.get(),
+                reused: self.slot_reused.get(),
+            },
         }
     }
 
@@ -234,7 +305,10 @@ impl MaskArena {
         self.bitmap_reused.set(0);
         self.index_fresh.set(0);
         self.index_reused.set(0);
+        self.slot_fresh.set(0);
+        self.slot_reused.set(0);
         self.columns.reset_stats();
+        self.values.reset_stats();
     }
 
     /// Number of buffers currently parked in the pools.
@@ -242,7 +316,9 @@ impl MaskArena {
         self.masks.borrow().len()
             + self.bitmaps.borrow().len()
             + self.indices.borrow().len()
+            + self.slot_tables.borrow().len()
             + self.columns.pooled()
+            + self.values.pooled()
     }
 
     /// Buffers checked out and not yet recycled (or, for result columns,
@@ -250,7 +326,7 @@ impl MaskArena {
     /// execution fully unwinds — including on error paths, which the
     /// leak tests pin.
     pub fn outstanding(&self) -> usize {
-        self.live.get() + self.columns.outstanding()
+        self.live.get() + self.columns.outstanding() + self.values.outstanding()
     }
 }
 

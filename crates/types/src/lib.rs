@@ -37,8 +37,11 @@ mod bitmap;
 mod colpool;
 mod error;
 mod gather;
+mod morsel;
+mod slots;
 mod truth;
 mod truthmask;
+mod valpool;
 mod value;
 
 pub use arena::{ArenaStats, MaskArena, PoolStats};
@@ -46,6 +49,9 @@ pub use bitmap::{Bitmap, BitmapIter};
 pub use colpool::ColumnPool;
 pub use error::{BasiliskError, Result};
 pub use gather::{gather_u32_into, gather_u32_scalar_into};
+pub use morsel::{Morsel, DEFAULT_MORSEL_ROWS};
+pub use slots::SlotTable;
 pub use truth::Truth;
 pub use truthmask::TruthMask;
+pub use valpool::ValuePool;
 pub use value::{DataType, Value};

@@ -1,0 +1,172 @@
+//! Morsels: word-aligned row ranges for intra-query parallelism.
+//!
+//! Morsel-driven execution (Leis et al., SIGMOD 2014) splits a base
+//! relation into fixed-size row ranges and lets a work-stealing scheduler
+//! hand them to workers. Basilisk's twist is that every hot-path data
+//! structure is a bitmap ([`Bitmap`](crate::Bitmap) slices,
+//! [`TruthMask`](crate::TruthMask) lanes), so morsel boundaries are
+//! **aligned to 64-bit word boundaries**: a morsel then owns a disjoint
+//! word range of every bitmap over the relation, per-morsel evaluation
+//! results can be *stitched* back together by copying whole words
+//! ([`TruthMask::stitch`](crate::TruthMask::stitch)) — concatenation, not
+//! re-intersection — and two workers never write the same word.
+
+use std::ops::Range;
+
+use crate::bitmap::WORD_BITS;
+
+/// The default morsel granularity: 64 Ki rows (a multiple of the 64-bit
+/// word size, and large enough that scheduling overhead vanishes next to
+/// the per-morsel kernel work).
+pub const DEFAULT_MORSEL_ROWS: usize = 64 * 1024;
+
+/// A half-open, word-aligned row range `[start, end)` over a relation.
+///
+/// Invariants (enforced by the constructors): `start <= end`, and `start`
+/// is a multiple of 64. Only the *last* morsel of a relation may end off
+/// a word boundary (at the relation length itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    start: usize,
+    end: usize,
+}
+
+impl Morsel {
+    /// A morsel over `[start, end)`. Panics unless `start` is 64-aligned
+    /// and `start <= end`.
+    pub fn new(start: usize, end: usize) -> Morsel {
+        assert!(
+            start.is_multiple_of(WORD_BITS),
+            "morsel start {start} must be word-aligned"
+        );
+        assert!(start <= end, "morsel range reversed: {start}..{end}");
+        Morsel { start, end }
+    }
+
+    /// The single morsel covering a whole relation of `len` rows — what
+    /// serial execution is, seen through the morsel API.
+    pub fn full(len: usize) -> Morsel {
+        Morsel { start: 0, end: len }
+    }
+
+    /// Split `len` rows into morsels of `rows_per_morsel` rows (the last
+    /// one may be shorter). `rows_per_morsel` must be a positive multiple
+    /// of 64 so every split point is word-aligned.
+    pub fn split(len: usize, rows_per_morsel: usize) -> Vec<Morsel> {
+        assert!(
+            rows_per_morsel > 0 && rows_per_morsel.is_multiple_of(WORD_BITS),
+            "morsel size {rows_per_morsel} must be a positive multiple of 64"
+        );
+        if len == 0 {
+            return vec![Morsel::full(0)];
+        }
+        (0..len)
+            .step_by(rows_per_morsel)
+            .map(|start| Morsel {
+                start,
+                end: (start + rows_per_morsel).min(len),
+            })
+            .collect()
+    }
+
+    /// First row of the range.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last row of the range.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The bitmap-word range this morsel owns: index it into
+    /// [`Bitmap::words`](crate::Bitmap::words) of any bitmap over the
+    /// relation to get exactly this morsel's lanes.
+    #[inline]
+    pub fn word_range(&self) -> Range<usize> {
+        self.start / WORD_BITS..self.end.div_ceil(WORD_BITS)
+    }
+
+    /// Translate a morsel-local lane index to the relation-global row.
+    #[inline]
+    pub fn global(&self, local: usize) -> usize {
+        debug_assert!(local < self.len());
+        self.start + local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_exactly() {
+        let ms = Morsel::split(1000, 256);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms[0], Morsel::new(0, 256));
+        assert_eq!(ms[3], Morsel::new(768, 1000));
+        let total: usize = ms.iter().map(Morsel::len).sum();
+        assert_eq!(total, 1000);
+        // Consecutive, disjoint.
+        for w in ms.windows(2) {
+            assert_eq!(w[0].end(), w[1].start());
+        }
+    }
+
+    #[test]
+    fn word_ranges_are_disjoint_and_cover() {
+        let ms = Morsel::split(1000, 128);
+        let words = 1000usize.div_ceil(64);
+        let mut next = 0;
+        for m in &ms {
+            let r = m.word_range();
+            assert_eq!(r.start, next, "word ranges must tile");
+            next = r.end;
+        }
+        assert_eq!(next, words);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let m = Morsel::full(77);
+        assert_eq!((m.start(), m.end(), m.len()), (0, 77, 77));
+        assert_eq!(m.word_range(), 0..2);
+        assert_eq!(m.global(5), 5);
+        let z = Morsel::full(0);
+        assert!(z.is_empty());
+        assert_eq!(z.word_range(), 0..0);
+        assert_eq!(Morsel::split(0, 64), vec![Morsel::full(0)]);
+    }
+
+    #[test]
+    fn exact_multiple_split() {
+        let ms = Morsel::split(256, 128);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[1], Morsel::new(128, 256));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn unaligned_morsel_size_panics() {
+        Morsel::split(100, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_start_panics() {
+        Morsel::new(10, 20);
+    }
+}

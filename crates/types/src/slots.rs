@@ -1,0 +1,146 @@
+//! A persistent-capacity open-addressing slot table.
+//!
+//! `union_all_dedup` probes each incoming tuple against the tuples it has
+//! already emitted. Its slot array used to be rebuilt per union: a pooled
+//! `Vec<u32>` resized and **refilled with the empty sentinel** every call
+//! — an O(capacity) memset even when the pool already held a big-enough
+//! buffer. [`SlotTable`] keeps the capacity *and* skips the clear: every
+//! slot stores a generation stamp next to its payload, and
+//! [`SlotTable::begin`] simply bumps the current generation — slots
+//! written by earlier unions become logically empty in O(1). The table is
+//! pooled in [`MaskArena`](crate::MaskArena) (checkout →
+//! [`begin`](SlotTable::begin) → probe/insert → recycle), so repeated
+//! unions over similar cardinalities reuse one allocation, mirroring how
+//! the join side retains its build-table capacity.
+//!
+//! The table stores `u32` payloads only (output row ids in the union's
+//! case); key equality is the caller's job — it probes with
+//! [`get`](SlotTable::get), compares the candidate against its own data,
+//! and either stops (duplicate) or advances to the next slot (linear
+//! probing with [`mask`](SlotTable::mask)).
+
+/// Generation-stamped open-addressing slot array (see module docs).
+#[derive(Default)]
+pub struct SlotTable {
+    /// `(generation << 32) | payload`; a slot is empty unless its stamped
+    /// generation equals the current one.
+    slots: Vec<u64>,
+    gen: u32,
+    mask: usize,
+}
+
+impl SlotTable {
+    pub fn new() -> SlotTable {
+        SlotTable::default()
+    }
+
+    /// Start a new probing session able to hold `entries` distinct values
+    /// at ≤ 50% load. Grows (and then keeps) the slot array as needed;
+    /// when the capacity already suffices this is O(1) — a generation
+    /// bump, no clearing.
+    pub fn begin(&mut self, entries: usize) {
+        let want = (2 * entries + 1).next_power_of_two().max(16);
+        if want > self.slots.len() {
+            self.slots.clear();
+            self.slots.resize(want, 0);
+            self.gen = 1;
+        } else {
+            self.gen = self.gen.wrapping_add(1);
+            if self.gen == 0 {
+                // Generation wrapped: stale stamps could collide. Clear
+                // once every 2^32 sessions — effectively never.
+                self.slots.fill(0);
+                self.gen = 1;
+            }
+        }
+        self.mask = self.slots.len() - 1;
+    }
+
+    /// Bitmask for reducing a hash to a slot index (`hash & mask()`), and
+    /// for linear-probe wraparound (`(slot + 1) & mask()`).
+    #[inline]
+    pub fn mask(&self) -> usize {
+        self.mask
+    }
+
+    /// The payload at `slot`, or `None` when the slot is empty in the
+    /// current session.
+    #[inline]
+    pub fn get(&self, slot: usize) -> Option<u32> {
+        let e = self.slots[slot];
+        if (e >> 32) as u32 == self.gen {
+            Some(e as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Store `value` at `slot` for the current session.
+    #[inline]
+    pub fn set(&mut self, slot: usize, value: u32) {
+        self.slots[slot] = ((self.gen as u64) << 32) | value as u64;
+    }
+
+    /// Current slot-array capacity (a power of two once `begin` ran).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_empties_without_clearing() {
+        let mut t = SlotTable::new();
+        t.begin(10);
+        let cap = t.capacity();
+        assert!(cap >= 21 && cap.is_power_of_two());
+        t.set(3, 99);
+        assert_eq!(t.get(3), Some(99));
+        assert_eq!(t.get(4), None);
+        // New session, same capacity: old entries are gone.
+        t.begin(10);
+        assert_eq!(t.capacity(), cap, "capacity persists");
+        assert_eq!(t.get(3), None, "generation bump empties the table");
+        t.set(3, 7);
+        assert_eq!(t.get(3), Some(7));
+    }
+
+    #[test]
+    fn grows_when_needed_and_keeps_larger_capacity() {
+        let mut t = SlotTable::new();
+        t.begin(4);
+        let small = t.capacity();
+        t.begin(1000);
+        let big = t.capacity();
+        assert!(big > small);
+        // A smaller session keeps the big array (persistent capacity).
+        t.begin(4);
+        assert_eq!(t.capacity(), big);
+    }
+
+    #[test]
+    fn payload_range() {
+        let mut t = SlotTable::new();
+        t.begin(2);
+        t.set(0, u32::MAX);
+        assert_eq!(t.get(0), Some(u32::MAX), "whole u32 payload range works");
+    }
+
+    #[test]
+    fn generation_wrap_clears() {
+        let mut t = SlotTable::new();
+        t.begin(2);
+        t.set(1, 5);
+        // Force the wrap path.
+        t.gen = u32::MAX;
+        t.set(2, 6);
+        t.begin(2);
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.get(2), None);
+        t.set(2, 8);
+        assert_eq!(t.get(2), Some(8));
+    }
+}

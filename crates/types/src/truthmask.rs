@@ -19,6 +19,7 @@
 //! ```
 
 use crate::bitmap::{Bitmap, WORD_BITS};
+use crate::morsel::Morsel;
 use crate::truth::Truth;
 
 /// A fixed-length vector of [`Truth`] values stored as two bitmaps.
@@ -109,23 +110,50 @@ impl TruthMask {
     /// only at positions set in `sel`. `self` must be all-`False` (fresh
     /// from [`Self::new_false`] or [`Self::reset`]) — words with no
     /// selected lane are skipped, not cleared.
-    pub fn fill_lanes_at(&mut self, sel: &Bitmap, mut lane: impl FnMut(usize) -> Truth) {
+    pub fn fill_lanes_at(&mut self, sel: &Bitmap, lane: impl FnMut(usize) -> Truth) {
         assert_eq!(sel.len(), self.len(), "selection length must match mask");
-        for (w, &sel_word) in sel.words().iter().enumerate() {
+        self.fill_lanes_at_words(sel.words(), lane);
+    }
+
+    /// Word-granular [`Self::fill_lanes_at`], the morsel-local entry
+    /// point: `sel_words` is a selection *word slice* aligned with this
+    /// mask (typically `sel.words()[morsel.word_range()]` of a
+    /// relation-length selection), and `lane` receives **mask-local**
+    /// lane indices — callers add the morsel's row offset themselves.
+    /// Bits beyond the mask length must be zero in the last word (true
+    /// for any word slice of a well-formed [`Bitmap`]).
+    pub fn fill_lanes_at_words(&mut self, sel_words: &[u64], mut lane: impl FnMut(usize) -> Truth) {
+        assert_eq!(
+            sel_words.len(),
+            self.len().div_ceil(WORD_BITS),
+            "selection word count must match mask"
+        );
+        for (w, &sel_word) in sel_words.iter().enumerate() {
             if sel_word == 0 {
                 continue;
             }
             let base = w * WORD_BITS;
-            let mut bits = sel_word;
             let mut t = 0u64;
             let mut u = 0u64;
-            while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                match lane(base + b) {
-                    Truth::True => t |= 1 << b,
-                    Truth::Unknown => u |= 1 << b,
-                    Truth::False => {}
+            if sel_word == u64::MAX {
+                // Dense word: straight loop, no per-bit scan.
+                for b in 0..WORD_BITS {
+                    match lane(base + b) {
+                        Truth::True => t |= 1 << b,
+                        Truth::Unknown => u |= 1 << b,
+                        Truth::False => {}
+                    }
+                }
+            } else {
+                let mut bits = sel_word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    match lane(base + b) {
+                        Truth::True => t |= 1 << b,
+                        Truth::Unknown => u |= 1 << b,
+                        Truth::False => {}
+                    }
                 }
             }
             self.tru.words_mut()[w] = t;
@@ -262,6 +290,46 @@ impl TruthMask {
     pub fn restrict_to(&mut self, sel: &Bitmap) {
         self.tru.intersect_with(sel);
         self.unk.intersect_with(sel);
+    }
+
+    /// Word-granular [`Self::restrict_to`] for morsel-local masks:
+    /// `sel_words` is the selection word slice covering this mask
+    /// (typically `sel.words()[morsel.word_range()]`).
+    pub fn restrict_to_words(&mut self, sel_words: &[u64]) {
+        assert_eq!(
+            sel_words.len(),
+            self.len().div_ceil(WORD_BITS),
+            "selection word count must match mask"
+        );
+        let TruthMask { tru, unk } = self;
+        for ((t, u), &s) in tru
+            .words_mut()
+            .iter_mut()
+            .zip(unk.words_mut())
+            .zip(sel_words)
+        {
+            *t &= s;
+            *u &= s;
+        }
+    }
+
+    /// Copy a morsel-local mask into this relation-length mask at the
+    /// morsel's word range — the merge step of morsel-parallel
+    /// evaluation. Because morsels own **disjoint word ranges**, merging
+    /// is pure word concatenation: no re-intersection, and two morsels
+    /// never touch the same word. The morsel must end on a word boundary
+    /// or at this mask's length (true for any [`Morsel::split`] tiling).
+    pub fn stitch(&mut self, morsel: Morsel, src: &TruthMask) {
+        assert_eq!(src.len(), morsel.len(), "morsel mask length mismatch");
+        assert!(morsel.end() <= self.len(), "morsel beyond mask");
+        debug_assert!(
+            morsel.end().is_multiple_of(WORD_BITS) || morsel.end() == self.len(),
+            "morsel must end word-aligned or at the mask length"
+        );
+        let wr = morsel.word_range();
+        self.tru.words_mut()[wr.clone()].copy_from_slice(src.tru.words());
+        self.unk.words_mut()[wr].copy_from_slice(src.unk.words());
+        debug_assert!(self.check_disjoint());
     }
 
     /// Route the lanes of one relational slice by outcome:

@@ -1,0 +1,174 @@
+//! Per-query pool of typed *value* buffers.
+//!
+//! The index-column pools ([`MaskArena`](crate::MaskArena) /
+//! [`ColumnPool`](crate::ColumnPool)) made the tagged pipeline
+//! allocation-free for every `u32`/bitmap shape, but value
+//! materializations stayed ordinary allocations: the gathered join-key
+//! columns inside every hash join and the projected output columns of
+//! every `project` allocate typed vectors (`Vec<i64>`, `Vec<f64>`,
+//! `Vec<bool>`, string bytes) per execution. [`ValuePool`] closes that
+//! last gap with the same checkout → fill → recycle lifecycle, one pool
+//! per primitive payload shape (string *offsets* ride the arena's
+//! existing `u32` index pool; only the byte arena is new).
+//!
+//! Beyond steady-state allocation-freedom, pooling value buffers matters
+//! for parallel execution: per-worker arenas each carry their own value
+//! pool, so N workers gathering key columns concurrently never contend on
+//! the global allocator.
+//!
+//! Deferred value columns: projected columns escape to the caller inside
+//! the query result, so — like result index columns — they cannot be
+//! recycled synchronously. The session parks them (`Arc<Column>`) and
+//! sweeps on the next execution; a parked column's buffers count as
+//! outstanding until the sweep returns them (see
+//! `QuerySession::project`).
+
+use std::cell::{Cell, RefCell};
+
+use crate::arena::PoolStats;
+
+/// Upper bound on pooled buffers per shape, mirroring the other pools.
+const MAX_POOLED: usize = 256;
+
+/// A per-query pool of typed value buffers (see the module docs).
+#[derive(Default)]
+pub struct ValuePool {
+    ints: RefCell<Vec<Vec<i64>>>,
+    floats: RefCell<Vec<Vec<f64>>>,
+    bools: RefCell<Vec<Vec<bool>>>,
+    bytes: RefCell<Vec<Vec<u8>>>,
+    fresh: Cell<usize>,
+    reused: Cell<usize>,
+    live: Cell<usize>,
+}
+
+macro_rules! shape {
+    ($checkout:ident, $recycle:ident, $field:ident, $t:ty) => {
+        /// Check out an empty buffer able to hold `len` values without
+        /// reallocating (best-fitting pooled buffer, or a fresh
+        /// allocation on a pool miss).
+        pub fn $checkout(&self, len: usize) -> Vec<$t> {
+            let mut pool = self.$field.borrow_mut();
+            let mut best: Option<(usize, usize)> = None; // (index, capacity)
+            for (i, b) in pool.iter().enumerate().rev() {
+                let cap = b.capacity();
+                if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                    best = Some((i, cap));
+                }
+            }
+            self.live.set(self.live.get() + 1);
+            match best {
+                Some((i, _)) => {
+                    self.reused.set(self.reused.get() + 1);
+                    let mut v = pool.swap_remove(i);
+                    v.clear();
+                    v
+                }
+                None => {
+                    self.fresh.set(self.fresh.get() + 1);
+                    Vec::with_capacity(len)
+                }
+            }
+        }
+
+        /// Return a buffer to the pool.
+        pub fn $recycle(&self, buf: Vec<$t>) {
+            self.live.set(self.live.get().saturating_sub(1));
+            let mut pool = self.$field.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        }
+    };
+}
+
+impl ValuePool {
+    pub fn new() -> ValuePool {
+        ValuePool::default()
+    }
+
+    shape!(checkout_ints, recycle_ints, ints, i64);
+    shape!(checkout_floats, recycle_floats, floats, f64);
+    shape!(checkout_bools, recycle_bools, bools, bool);
+    shape!(checkout_bytes, recycle_bytes, bytes, u8);
+
+    /// Checkout counters since construction or [`Self::reset_stats`].
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh: self.fresh.get(),
+            reused: self.reused.get(),
+        }
+    }
+
+    pub fn reset_stats(&self) {
+        self.fresh.set(0);
+        self.reused.set(0);
+    }
+
+    /// Buffers currently parked in the pools.
+    pub fn pooled(&self) -> usize {
+        self.ints.borrow().len()
+            + self.floats.borrow().len()
+            + self.bools.borrow().len()
+            + self.bytes.borrow().len()
+    }
+
+    /// Buffers checked out and not yet recycled. Deferred (result-held)
+    /// value columns count here until their sweep recycles them.
+    pub fn outstanding(&self) -> usize {
+        self.live.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_recycle_all_shapes() {
+        let pool = ValuePool::new();
+        let mut i = pool.checkout_ints(10);
+        i.extend([1, 2, 3]);
+        let mut f = pool.checkout_floats(10);
+        f.push(0.5);
+        let b = pool.checkout_bools(4);
+        let by = pool.checkout_bytes(100);
+        assert_eq!(pool.stats().fresh, 4);
+        assert_eq!(pool.outstanding(), 4);
+        pool.recycle_ints(i);
+        pool.recycle_floats(f);
+        pool.recycle_bools(b);
+        pool.recycle_bytes(by);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.pooled(), 4);
+
+        pool.reset_stats();
+        let i = pool.checkout_ints(3);
+        assert!(i.is_empty(), "recycled buffer comes back cleared");
+        assert!(i.capacity() >= 10, "capacity survives the round-trip");
+        assert_eq!(pool.stats().fresh, 0);
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let pool = ValuePool::new();
+        pool.recycle_bytes(Vec::with_capacity(1000));
+        pool.recycle_bytes(Vec::with_capacity(64));
+        pool.reset_stats();
+        let small = pool.checkout_bytes(32);
+        assert!(small.capacity() < 1000);
+        let big = pool.checkout_bytes(900);
+        assert!(big.capacity() >= 1000);
+        assert_eq!(pool.stats().fresh, 0);
+    }
+
+    #[test]
+    fn pool_respects_cap() {
+        let pool = ValuePool::new();
+        for _ in 0..(MAX_POOLED + 10) {
+            pool.recycle_ints(Vec::new());
+        }
+        assert!(pool.pooled() <= MAX_POOLED);
+    }
+}

@@ -1,0 +1,102 @@
+//! Workload-level differential suite for morsel-parallel execution: the
+//! paper's synthetic §5.2 queries (DNF and CNF families) and a spread of
+//! the 33 JOB-style disjunctive groups, executed with workers ∈
+//! {1, 2, 3, 8} over small morsels, must produce identical results to
+//! the serial engine under every planner family.
+
+use basilisk::{Catalog, PlannerKind, Query, QuerySession};
+use basilisk_workload::{
+    cnf_query, dnf_query, generate_imdb, generate_synthetic, job_query, ImdbConfig, SyntheticConfig,
+};
+
+fn synthetic_catalog() -> Catalog {
+    let cfg = SyntheticConfig {
+        rows: 3000,
+        num_attrs: 4,
+        ..SyntheticConfig::default()
+    };
+    let mut cat = Catalog::new();
+    for t in generate_synthetic(&cfg).unwrap() {
+        cat.add_table(t).unwrap();
+    }
+    cat
+}
+
+fn assert_parallel_equals_serial(cat: &Catalog, query: &Query, kinds: &[PlannerKind], ctx: &str) {
+    for &kind in kinds {
+        let serial = QuerySession::new(cat, query.clone())
+            .unwrap()
+            .with_workers(1);
+        let reference = serial
+            .execute(&serial.plan(kind).unwrap())
+            .unwrap()
+            .canonical_tuples();
+        for workers in [2, 8] {
+            let session = QuerySession::new(cat, query.clone())
+                .unwrap()
+                .with_workers(workers)
+                .with_morsel_rows(256);
+            let out = session
+                .execute(&session.plan(kind).unwrap())
+                .unwrap()
+                .canonical_tuples();
+            assert_eq!(
+                out, reference,
+                "{ctx}: {kind} with {workers} workers diverged from serial"
+            );
+            assert_eq!(session.scheduler().outstanding(), 0, "{ctx}: worker leak");
+        }
+    }
+}
+
+#[test]
+fn synthetic_dnf_parallel_equals_serial() {
+    let cat = synthetic_catalog();
+    let q = dnf_query(3, 0.25, None);
+    assert_parallel_equals_serial(
+        &cat,
+        &q,
+        &[PlannerKind::TCombined, PlannerKind::BDisj],
+        "dnf",
+    );
+    // The Fig. 4d outer-conjunct variant.
+    let q = dnf_query(3, 0.3, Some(0.4));
+    assert_parallel_equals_serial(&cat, &q, &[PlannerKind::TCombined], "dnf/outer");
+}
+
+#[test]
+fn synthetic_cnf_parallel_equals_serial() {
+    let cat = synthetic_catalog();
+    let q = cnf_query(3, 0.35, None);
+    assert_parallel_equals_serial(
+        &cat,
+        &q,
+        &[PlannerKind::TCombined, PlannerKind::BPushConj],
+        "cnf",
+    );
+}
+
+/// A spread of JOB groups (one per table-combination shape) at a scale
+/// big enough that the 256-row morsels actually fan out on the `title`
+/// spine.
+#[test]
+fn job_groups_parallel_equals_serial() {
+    let mut cat = Catalog::new();
+    for t in generate_imdb(&ImdbConfig {
+        scale: 0.08,
+        seed: 42,
+    })
+    .unwrap()
+    {
+        cat.add_table(t).unwrap();
+    }
+    for group in [1, 7, 19, 33] {
+        let jq = job_query(group, 42);
+        assert_parallel_equals_serial(
+            &cat,
+            &jq.query,
+            &[PlannerKind::TCombined, PlannerKind::BDisj],
+            &format!("job/group{group}"),
+        );
+    }
+}
