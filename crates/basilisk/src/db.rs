@@ -1,18 +1,26 @@
 //! The top-level database object.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use basilisk_catalog::Catalog;
 use basilisk_plan::{PlannerKind, Query, QuerySession};
+use basilisk_serve::{Prepared, Server, ServerConfig};
 use basilisk_sql::{parse_select, Projection};
 use basilisk_storage::{LfuPageCache, Table};
-use basilisk_types::Result;
+use basilisk_types::{Result, Value};
 
 use crate::result::SqlResult;
 
 /// A Basilisk database: a catalog of registered tables plus the page cache
 /// used for disk-resident tables.
+///
+/// SQL entry points ([`Database::sql`], [`Database::prepare`] /
+/// [`Database::execute_prepared`]) run on an internal resident
+/// [`Server`]: one shared worker pool, reusable execution contexts and a
+/// prepared-statement plan cache, so repeated statements skip parsing and
+/// planning (byte-identical repeats skip even lexing). The server is a
+/// catalog *snapshot*, rebuilt lazily after any registration.
 pub struct Database {
     catalog: Catalog,
     cache: Arc<LfuPageCache>,
@@ -21,6 +29,9 @@ pub struct Database {
     /// defers to the engine default (`BASILISK_THREADS`, else the
     /// machine's available parallelism).
     workers: Option<usize>,
+    /// The lazily built internal serving core; dropped (and rebuilt on
+    /// next use) whenever the catalog or engine configuration changes.
+    engine: Mutex<Option<Arc<Server>>>,
 }
 
 impl Default for Database {
@@ -42,12 +53,14 @@ impl Database {
             cache: Arc::new(LfuPageCache::new(pages)),
             default_planner: PlannerKind::TCombined,
             workers: None,
+            engine: Mutex::new(None),
         }
     }
 
     /// Change the planner used by [`Database::sql`] (default TCombined).
     pub fn set_default_planner(&mut self, kind: PlannerKind) {
         self.default_planner = kind;
+        self.invalidate_engine();
     }
 
     /// Set the worker count for intra-query parallelism on every session
@@ -55,18 +68,52 @@ impl Database {
     /// `BASILISK_THREADS`, else the machine's available parallelism).
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = Some(workers.max(1));
+        self.invalidate_engine();
     }
 
     /// Register an in-memory table (statistics are computed on the spot).
     pub fn register(&mut self, table: Table) -> Result<()> {
-        self.catalog.add_table(table)
+        self.catalog.add_table(table)?;
+        self.invalidate_engine();
+        Ok(())
     }
 
     /// Open a table previously saved with [`Database::save_table`] and
     /// register it (data pages stay on disk, read through the LFU cache).
     pub fn open_table(&mut self, dir: &Path) -> Result<()> {
         let table = Table::load(dir, Arc::clone(&self.cache))?;
-        self.catalog.add_table(table)
+        self.catalog.add_table(table)?;
+        self.invalidate_engine();
+        Ok(())
+    }
+
+    fn invalidate_engine(&mut self) {
+        *self.engine.get_mut().unwrap() = None;
+    }
+
+    /// The internal serving core, built on first use. Cached plans and
+    /// warm arenas live here, which is what makes repeated
+    /// [`Database::sql`] calls bind-and-execute instead of
+    /// parse-plan-execute.
+    fn engine(&self) -> Arc<Server> {
+        let mut slot = self.engine.lock().unwrap();
+        Arc::clone(slot.get_or_insert_with(|| {
+            Arc::new(Server::new(
+                self.catalog.clone(),
+                ServerConfig {
+                    // Concurrent `sql` callers on one Database execute on
+                    // up to this many contexts; admission is effectively
+                    // unbounded so no caller is ever rejected (the
+                    // standalone `serve()` server is where backpressure
+                    // policy belongs).
+                    contexts: 2,
+                    queue_limit: usize::MAX / 2,
+                    workers: self.workers,
+                    default_planner: self.default_planner,
+                    ..ServerConfig::default()
+                },
+            ))
+        }))
     }
 
     /// Persist a registered table to `dir`.
@@ -118,59 +165,55 @@ impl Database {
         Ok((query, limit, is_count))
     }
 
-    /// Run a SQL query with the default planner.
+    /// Run a SQL query with the default planner, through the internal
+    /// plan cache: the first occurrence of a statement shape parses and
+    /// plans, every later occurrence binds its literals into the cached
+    /// plan and executes.
     pub fn sql(&self, sql: &str) -> Result<SqlResult> {
         self.sql_with(sql, self.default_planner)
     }
 
-    /// Run a SQL query with an explicit planner.
+    /// Run a SQL query with an explicit planner (plans are cached per
+    /// planner kind).
     pub fn sql_with(&self, sql: &str, kind: PlannerKind) -> Result<SqlResult> {
-        let (query, limit, is_count) = self.parse_full(sql)?;
-        let session = self.session(query)?;
-        let plan = {
-            let t0 = std::time::Instant::now();
-            let p = session.plan(kind)?;
-            (p, t0.elapsed())
-        };
-        let t1 = std::time::Instant::now();
-        let output = session.execute(&plan.0)?;
-        let execution = t1.elapsed();
-        let full_count = output.count();
+        Ok(SqlResult::from_serve(self.engine().sql_with(sql, kind)?))
+    }
 
-        let (columns, row_count) = if is_count {
-            // COUNT(*): one row, one synthetic column (LIMIT 0 still
-            // yields the count row, matching SQL aggregates).
-            (
-                vec![(
-                    basilisk_expr::ColumnRef::new("", "count(*)"),
-                    Arc::new(basilisk_storage::Column::from_ints(vec![full_count as i64])),
-                )],
-                1,
-            )
-        } else {
-            let mut columns = session.project(&output)?;
-            let mut row_count = full_count;
-            if let Some(l) = limit {
-                if l < row_count {
-                    let keep: Vec<u32> = (0..l as u32).collect();
-                    for (_, col) in &mut columns {
-                        *col = Arc::new(col.gather(&keep));
-                    }
-                    row_count = l;
-                }
-            }
-            (columns, row_count)
-        };
-        Ok(SqlResult {
-            row_count,
-            columns,
-            planner: kind,
-            chosen: plan.0.chosen_planner(),
-            timings: basilisk_plan::PlanTimings {
-                planning: plan.1,
-                execution,
-            },
+    /// Parse, normalize and plan a statement once, returning a reusable
+    /// handle for [`Database::execute_prepared`]. Literals in the text
+    /// become `?n` parameters in predicate walk order.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        self.engine().prepare(sql)
+    }
+
+    /// Execute a prepared statement with fresh parameter values — zero
+    /// parse and zero plan work.
+    pub fn execute_prepared(&self, stmt: &Prepared, params: &[Value]) -> Result<SqlResult> {
+        Ok(SqlResult::from_serve(
+            self.engine().execute_prepared(stmt, params)?,
+        ))
+    }
+
+    /// Counter snapshot of the internal serving core (cache hits/misses/
+    /// evictions, latency histogram).
+    pub fn serve_stats(&self) -> basilisk_serve::ServeStats {
+        self.engine().stats()
+    }
+
+    /// Build a standalone concurrent [`Server`] over a snapshot of this
+    /// database's catalog, with this database's planner and worker
+    /// configuration. Share it behind an `Arc` across client threads.
+    pub fn serve(&self) -> Server {
+        self.serve_with(ServerConfig {
+            workers: self.workers,
+            default_planner: self.default_planner,
+            ..ServerConfig::default()
         })
+    }
+
+    /// [`Database::serve`] with explicit sizing.
+    pub fn serve_with(&self, config: ServerConfig) -> Server {
+        Server::new(self.catalog.clone(), config)
     }
 
     /// EXPLAIN: render the plan a planner would choose for a SQL query.
@@ -333,6 +376,91 @@ mod tests {
         let mut b = TableBuilder::new("title").column("id", DataType::Int);
         b.push_row(vec![1i64.into()]).unwrap();
         assert!(db2.register(b.finish().unwrap()).is_err(), "duplicate");
+    }
+
+    /// Satellite of the serving PR: identical statements must not
+    /// re-parse or re-plan — the second call is bind + execute.
+    #[test]
+    fn repeated_sql_hits_the_plan_cache() {
+        let db = movie_db();
+        let sql = "SELECT t.id FROM title t WHERE t.year > 2000";
+        let a = db.sql(sql).unwrap();
+        let s = db.serve_stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 1));
+        assert_eq!(s.statements_prepared, 1);
+        let b = db.sql(sql).unwrap();
+        assert_eq!(a.row_count, b.row_count);
+        // Same shape, new literal: still no parse/plan.
+        let c = db
+            .sql("SELECT t.id FROM title t WHERE t.year > 1980")
+            .unwrap();
+        assert!(c.row_count >= b.row_count);
+        let s = db.serve_stats();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.statements_prepared, 1, "hot path is bind + execute");
+        // Registration invalidates the snapshot (fresh server, cold cache).
+        let mut db = db;
+        let mut t = TableBuilder::new("extra").column("x", DataType::Int);
+        t.push_row(vec![1i64.into()]).unwrap();
+        db.register(t.finish().unwrap()).unwrap();
+        db.sql("SELECT e.x FROM extra e").unwrap();
+        assert_eq!(db.serve_stats().cache_misses, 1, "rebuilt engine");
+    }
+
+    #[test]
+    fn prepare_and_execute_prepared() {
+        let db = movie_db();
+        let stmt = db
+            .prepare(
+                "SELECT t.id FROM title t JOIN movie_info_idx mi ON t.id = mi.movie_id \
+                 WHERE t.year > 2000 AND mi.score > '7.0' OR t.year > 1980 AND mi.score > '8.0'",
+            )
+            .unwrap();
+        assert_eq!(stmt.param_count(), 4);
+        let r = db
+            .execute_prepared(
+                &stmt,
+                &[
+                    Value::Int(2000),
+                    Value::from("7.0"),
+                    Value::Int(1980),
+                    Value::from("8.0"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(r.row_count, 4, "query 1 verbatim");
+        let r = db
+            .execute_prepared(
+                &stmt,
+                &[
+                    Value::Int(0),
+                    Value::from("0"),
+                    Value::Int(1),
+                    Value::from("1"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(r.row_count, 6, "all scored movies");
+        assert_eq!(db.serve_stats().statements_prepared, 1);
+    }
+
+    #[test]
+    fn standalone_server_from_database() {
+        let db = movie_db();
+        let srv = std::sync::Arc::new(db.serve());
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let srv = std::sync::Arc::clone(&srv);
+            handles.push(std::thread::spawn(move || {
+                srv.sql("SELECT t.id FROM title t WHERE t.year > 2000")
+                    .unwrap()
+                    .row_count
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3);
+        }
+        assert_eq!(srv.outstanding(), 0);
     }
 
     #[test]

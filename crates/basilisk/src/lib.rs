@@ -31,7 +31,16 @@
 //! The crate re-exports the full stack: storage ([`Table`],
 //! [`TableBuilder`]), expressions ([`col`], [`and`], [`or`]), the tagged
 //! core ([`Tag`], [`TagMapStrategy`]), planning ([`Query`],
-//! [`PlannerKind`], [`QuerySession`]) and SQL ([`parse_select`]).
+//! [`PlannerKind`], [`QuerySession`]), SQL ([`parse_select`]) and the
+//! resident serving layer ([`Server`], [`Prepared`], [`ServeStats`]).
+//!
+//! [`Database::sql`] itself runs on an internal server: repeated
+//! statement shapes skip parsing and planning (the plan cache binds
+//! fresh literals into the cached plan), and [`Database::prepare`] /
+//! [`Database::execute_prepared`] expose the prepared-statement path
+//! directly. [`Database::serve`] builds a standalone concurrent
+//! [`Server`] — bounded FIFO admission, reusable execution contexts,
+//! one shared resident worker pool — for multi-client serving loops.
 
 mod db;
 mod result;
@@ -46,8 +55,9 @@ pub use basilisk_expr::{
     and, col, factor_common_conjuncts, lit, not, or, Atom, CmpOp, ColumnRef, Expr, PredicateTree,
 };
 pub use basilisk_plan::{
-    JoinCond, Plan, PlanTimings, PlannerKind, Query, QueryOutput, QuerySession,
+    ExecContext, JoinCond, Plan, PlanTimings, PlannerKind, Query, QueryOutput, QuerySession,
 };
-pub use basilisk_sql::{parse_select, Projection, SelectStmt};
+pub use basilisk_serve::{Prepared, ServeResult, ServeStats, Server, ServerConfig};
+pub use basilisk_sql::{normalize_select, parse_select, Projection, SelectStmt};
 pub use basilisk_storage::{Column, LfuPageCache, Table, TableBuilder};
 pub use basilisk_types::{BasiliskError, Bitmap, DataType, Result, Truth, Value};

@@ -21,6 +21,19 @@ pub struct SqlResult {
 }
 
 impl SqlResult {
+    /// Adopt a serving-layer result (same shape, minus the cache-hit
+    /// flag, which [`Database`](crate::Database) callers read from
+    /// [`Database::serve_stats`](crate::Database::serve_stats)).
+    pub fn from_serve(r: basilisk_serve::ServeResult) -> SqlResult {
+        SqlResult {
+            columns: r.columns,
+            row_count: r.row_count,
+            planner: r.planner,
+            chosen: r.chosen,
+            timings: r.timings,
+        }
+    }
+
     /// Render up to `limit` rows as an ASCII table.
     pub fn to_table_string(&self, limit: usize) -> String {
         if self.columns.is_empty() {

@@ -14,7 +14,11 @@ use crate::stats::{compute_table_stats, TableStats};
 /// measures selectivities and uses PostgreSQL-style join estimates; both
 /// need NDV and row counts, which we compute exactly at load time — tables
 /// in this system are immutable once registered).
-#[derive(Default)]
+///
+/// Cloning is cheap (tables and statistics are `Arc`-shared) and yields
+/// a snapshot: the serving layer clones the catalog it was built from,
+/// so later registrations in the source are not seen by a live server.
+#[derive(Default, Clone)]
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
     stats: HashMap<String, Arc<TableStats>>,

@@ -18,7 +18,7 @@
 //! session arena, exactly like the serial path — which is why session
 //! steady-state stats stay at `fresh() == 0` in parallel mode too.
 
-use basilisk_expr::eval::{eval_node_mask, eval_node_mask_morsel, ColumnProvider, ColumnSet};
+use basilisk_expr::eval::{eval_node_mask, eval_node_mask_morsel, ColumnProvider};
 use basilisk_expr::{ExprId, PredicateTree};
 use basilisk_sched::WorkerPool;
 use basilisk_types::{Bitmap, MaskArena, Result, TruthMask};
@@ -33,13 +33,16 @@ use crate::relation::join_key;
 ///
 /// Falls back to the serial evaluator when the pool has one worker or
 /// the relation fits in a single morsel, so callers can use this
-/// unconditionally. Column fetches happen up front on the calling thread
-/// (via [`ColumnSet::prefetch`]), both because the lazy providers are
-/// not `Sync` and so fetch errors surface before any worker spawns.
+/// unconditionally. The provider is shared by every worker (hence the
+/// `Sync` bound): [`RelProvider`](crate::RelProvider)'s sharded column
+/// cache lets sparse selections keep their page-selective `fetch_at`
+/// read path from worker threads — columns are gathered once by
+/// whichever worker asks first and shared by the rest, instead of being
+/// dense-prefetched on the coordinator.
 pub fn eval_mask_parallel(
     tree: &PredicateTree,
     id: ExprId,
-    provider: &impl ColumnProvider,
+    provider: &(impl ColumnProvider + Sync),
     sel: &Bitmap,
     arena: &MaskArena,
     pool: &WorkerPool,
@@ -48,11 +51,10 @@ pub fn eval_mask_parallel(
     if !pool.would_parallelize(n) {
         return eval_node_mask(tree, id, provider, sel, arena);
     }
-    let columns = ColumnSet::prefetch(tree, id, provider, sel)?;
     let morsels = pool.morsels(n);
     let results = pool.run(
         morsels.clone(),
-        |ctx, m| eval_node_mask_morsel(tree, id, &columns, sel, ctx.arena, m),
+        |ctx, m| eval_node_mask_morsel(tree, id, provider, sel, ctx.arena, m),
         |worker_arena, mask| worker_arena.recycle_mask(mask),
     )?;
     let mut out = arena.mask(n);

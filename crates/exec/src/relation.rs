@@ -1,7 +1,7 @@
 //! Index relations (§2.5.1) and their evaluation plumbing.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use basilisk_catalog::Catalog;
 use basilisk_expr::eval::ColumnProvider;
@@ -224,49 +224,129 @@ impl IdxRelation {
     }
 }
 
+/// A per-column slot: the gathered column once ready, guarded by its own
+/// lock so exactly one thread computes while racers wait on the result
+/// instead of re-gathering.
+type ColumnSlot = Arc<Mutex<Option<Arc<Column>>>>;
+
+/// A small sharded column cache: `ColumnRef → Arc<Column>` behind
+/// per-shard locks, so concurrent worker threads taking the sparse
+/// [`ColumnProvider::fetch_at`] path contend only when they race on the
+/// *same* column. The shard lock covers only the map probe; the actual
+/// gather runs under a per-column slot lock, which makes cold starts
+/// thundering-herd-free: when a parallel region begins and every worker
+/// asks for the same column at once, the first one gathers and the rest
+/// block on the slot and share the result (errors are not cached — a
+/// loser retries, hitting the same deterministic error).
+struct ShardedColumnCache {
+    shards: [Mutex<HashMap<ColumnRef, ColumnSlot>>; Self::SHARDS],
+}
+
+impl ShardedColumnCache {
+    const SHARDS: usize = 8;
+
+    fn new() -> Self {
+        ShardedColumnCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, col: &ColumnRef) -> &Mutex<HashMap<ColumnRef, ColumnSlot>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        col.hash(&mut h);
+        &self.shards[(h.finish() as usize) % Self::SHARDS]
+    }
+
+    /// Return the cached column for `col`, computing it with `gather` if
+    /// absent — at most one concurrent computation per column.
+    fn get_or_compute(
+        &self,
+        col: &ColumnRef,
+        gather: impl FnOnce() -> Result<Arc<Column>>,
+    ) -> Result<Arc<Column>> {
+        let slot = Arc::clone(
+            self.shard(col)
+                .lock()
+                .unwrap()
+                .entry(col.clone())
+                .or_default(),
+        );
+        let mut slot = slot.lock().unwrap();
+        if let Some(c) = &*slot {
+            return Ok(Arc::clone(c));
+        }
+        let c = gather()?;
+        *slot = Some(Arc::clone(&c));
+        Ok(c)
+    }
+}
+
 /// [`ColumnProvider`] over an index relation: fetching `t.c` gathers
 /// table `t`'s column `c` at the relation's index column for `t`.
 /// Gathered columns are cached so each (predicate, column) pair touches
 /// the base table once.
+///
+/// The caches are **sharded and `Sync`**: the morsel-parallel evaluator
+/// hands one `&RelProvider` to every worker thread, so sparse
+/// selections keep their page-selective `fetch_at` read path under
+/// parallelism instead of being forced through a dense whole-column
+/// prefetch (the historical `ColumnSet` workaround).
 pub struct RelProvider<'a> {
     tables: &'a TableSet,
     relation: &'a IdxRelation,
-    cache: std::cell::RefCell<HashMap<ColumnRef, Arc<Column>>>,
+    cache: ShardedColumnCache,
     /// Selection-aligned columns (see [`ColumnProvider::fetch_at`]): each
     /// provider serves one operator invocation, so one selection applies
     /// to every cached entry.
-    sel_cache: std::cell::RefCell<HashMap<ColumnRef, Arc<Column>>>,
+    sel_cache: ShardedColumnCache,
+    /// Aliases whose index column is the identity `0..n` (an unfiltered
+    /// base scan) — precomputed so the per-fetch checks are O(1) even
+    /// when every morsel of every worker asks.
+    identity: HashMap<String, bool>,
 }
 
 impl<'a> RelProvider<'a> {
     pub fn new(tables: &'a TableSet, relation: &'a IdxRelation) -> Self {
+        let identity = relation
+            .tables()
+            .iter()
+            .map(|alias| {
+                let ident = tables
+                    .num_rows(alias)
+                    .ok()
+                    .zip(relation.col(alias).ok())
+                    .is_some_and(|(n, rows)| is_identity(rows, n));
+                (alias.clone(), ident)
+            })
+            .collect();
         RelProvider {
             tables,
             relation,
-            cache: std::cell::RefCell::new(HashMap::new()),
-            sel_cache: std::cell::RefCell::new(HashMap::new()),
+            cache: ShardedColumnCache::new(),
+            sel_cache: ShardedColumnCache::new(),
+            identity,
         }
+    }
+
+    fn is_identity_alias(&self, alias: &str) -> bool {
+        self.identity.get(alias).copied().unwrap_or(false)
     }
 }
 
 impl ColumnProvider for RelProvider<'_> {
     fn fetch(&self, col: &ColumnRef) -> Result<Arc<Column>> {
-        if let Some(c) = self.cache.borrow().get(col) {
-            return Ok(Arc::clone(c));
-        }
-        let handle = self.tables.column(col)?;
-        let rows = self.relation.col(&col.table)?;
-        // Base scans carry identity index columns; share the stored column
-        // instead of copying it row by row.
-        let gathered = if is_identity(rows, handle.len()) {
-            handle.scan()?
-        } else {
-            Arc::new(handle.gather(rows)?)
-        };
-        self.cache
-            .borrow_mut()
-            .insert(col.clone(), Arc::clone(&gathered));
-        Ok(gathered)
+        self.cache.get_or_compute(col, || {
+            let handle = self.tables.column(col)?;
+            let rows = self.relation.col(&col.table)?;
+            // Base scans carry identity index columns; share the stored
+            // column instead of copying it row by row.
+            if self.is_identity_alias(&col.table) {
+                handle.scan()
+            } else {
+                Ok(Arc::new(handle.gather(rows)?))
+            }
+        })
     }
 
     /// For sparse selections over copied (non-identity) or disk-backed
@@ -275,32 +355,37 @@ impl ColumnProvider for RelProvider<'_> {
     /// lanes are invalid. This keeps the tagged filter's "fewer I/O calls"
     /// property without materializing a sub-relation.
     fn fetch_at(&self, col: &ColumnRef, sel: &basilisk_types::Bitmap) -> Result<Arc<Column>> {
-        let handle = self.tables.column(col)?;
-        let rows = self.relation.col(&col.table)?;
         // Dense selections — or zero-copy full columns — go through the
-        // shared full-column path.
-        let dense = 2 * sel.count_ones() >= sel.len();
-        let zero_copy = matches!(handle, basilisk_storage::ColumnHandle::Mem(_))
-            && is_identity(rows, handle.len());
-        if dense || zero_copy {
+        // shared full-column path. Density is re-derived per call (a
+        // word-parallel popcount, cheap even once per morsel per atom).
+        if 2 * sel.count_ones() >= sel.len() {
             return self.fetch(col);
         }
-        if let Some(c) = self.sel_cache.borrow().get(col) {
-            return Ok(Arc::clone(c));
+        let handle = self.tables.column(col)?;
+        let zero_copy = matches!(handle, basilisk_storage::ColumnHandle::Mem(_))
+            && self.is_identity_alias(&col.table);
+        if zero_copy {
+            return self.fetch(col);
         }
-        let subset: Vec<u32> = sel.iter_ones().map(|p| rows[p]).collect();
-        let compact = handle.gather(&subset)?;
-        let aligned = Arc::new(scatter_aligned(&compact, sel));
-        self.sel_cache
-            .borrow_mut()
-            .insert(col.clone(), Arc::clone(&aligned));
-        Ok(aligned)
+        self.sel_cache.get_or_compute(col, || {
+            let rows = self.relation.col(&col.table)?;
+            let subset: Vec<u32> = sel.iter_ones().map(|p| rows[p]).collect();
+            let compact = handle.gather(&subset)?;
+            Ok(Arc::new(scatter_aligned(&compact, sel)))
+        })
     }
 
     fn num_rows(&self) -> usize {
         self.relation.len()
     }
 }
+
+// The morsel-parallel evaluator shares one `&RelProvider` across worker
+// threads; keep the property pinned at compile time.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<RelProvider<'static>>();
+};
 
 /// True when `rows` is exactly `0..table_rows` — the index column of an
 /// unfiltered base scan.

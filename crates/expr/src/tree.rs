@@ -302,6 +302,69 @@ impl PredicateTree {
     pub fn display(&self, id: ExprId) -> String {
         self.to_expr(id).to_string()
     }
+
+    /// True when `other` has exactly this tree's DAG — node for node, id
+    /// for id — with atoms allowed to differ **only in their literal
+    /// values** (same column, same comparison operator, same LIKE case
+    /// mode, same IN-list arity, same variant).
+    ///
+    /// This is the soundness guard for reusing a cached plan under
+    /// parameter rebinding: plans address the tree by [`ExprId`], and
+    /// because interning dedups *by content*, two bindings of the same
+    /// statement template can intern to different DAGs (e.g. `t.a = ?1
+    /// OR t.a = ?2` collapses to a single node when both parameters
+    /// coincide). A congruent rebound tree is guaranteed to give every
+    /// cached id the same meaning; a non-congruent one must be re-planned.
+    pub fn congruent_modulo_values(&self, other: &PredicateTree) -> bool {
+        use crate::atom::Atom;
+        if self.nodes.len() != other.nodes.len() || self.root != other.root {
+            return false;
+        }
+        self.nodes
+            .iter()
+            .zip(&other.nodes)
+            .all(|(a, b)| match (&a.kind, &b.kind) {
+                (NodeKind::Atom(x), NodeKind::Atom(y)) => match (x, y) {
+                    (
+                        Atom::Cmp {
+                            col: ca, op: oa, ..
+                        },
+                        Atom::Cmp {
+                            col: cb, op: ob, ..
+                        },
+                    ) => ca == cb && oa == ob,
+                    (
+                        Atom::Like {
+                            col: ca,
+                            case_insensitive: ia,
+                            ..
+                        },
+                        Atom::Like {
+                            col: cb,
+                            case_insensitive: ib,
+                            ..
+                        },
+                    ) => ca == cb && ia == ib,
+                    (Atom::IsNull { col: ca }, Atom::IsNull { col: cb }) => ca == cb,
+                    (
+                        Atom::InList {
+                            col: ca,
+                            values: va,
+                        },
+                        Atom::InList {
+                            col: cb,
+                            values: vb,
+                        },
+                    ) => ca == cb && va.len() == vb.len(),
+                    _ => false,
+                },
+                (NodeKind::And(xs), NodeKind::And(ys)) | (NodeKind::Or(xs), NodeKind::Or(ys)) => {
+                    xs == ys
+                }
+                (NodeKind::Not(x), NodeKind::Not(y)) => x == y,
+                _ => false,
+            })
+    }
 }
 
 impl Node {
@@ -507,6 +570,37 @@ mod tests {
         assert_eq!(tree.children(not_node).len(), 1);
         assert!(tree.is_atom(tree.children(not_node)[0]));
         assert_eq!(tree.atoms_under(root).len(), 2);
+    }
+
+    #[test]
+    fn congruence_modulo_values() {
+        let shape = |a: i64, b: i64| {
+            or(vec![
+                and(vec![col("t", "x").gt(a), col("t", "y").lt(b)]),
+                col("t", "z").is_null(),
+            ])
+        };
+        let t1 = PredicateTree::build(&shape(1, 2));
+        let t2 = PredicateTree::build(&shape(100, -7));
+        assert!(t1.congruent_modulo_values(&t2), "values are free");
+        assert!(t1.congruent_modulo_values(&t1));
+        // Different operator → not congruent.
+        let t3 = PredicateTree::build(&or(vec![
+            and(vec![col("t", "x").ge(1i64), col("t", "y").lt(2i64)]),
+            col("t", "z").is_null(),
+        ]));
+        assert!(!t1.congruent_modulo_values(&t3));
+        // Value-dependent collapse: two equal atoms intern to ONE node,
+        // so binding equal parameters changes the DAG — must be caught.
+        let tpl = PredicateTree::build(&Expr::Or(vec![
+            col("t", "a").gt(1i64),
+            col("t", "a").gt(2i64),
+        ]));
+        let collapsed = PredicateTree::build(&Expr::Or(vec![
+            col("t", "a").gt(5i64),
+            col("t", "a").gt(5i64),
+        ]));
+        assert!(!tpl.congruent_modulo_values(&collapsed));
     }
 
     #[test]

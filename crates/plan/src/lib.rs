@@ -33,4 +33,6 @@ pub use executor::{
 pub use join_order::{greedy_join_tree, local_survival};
 pub use planners::PlannerKind;
 pub use query::{JoinCond, Query};
-pub use session::{Plan, PlanTimings, QueryOutput, QuerySession};
+pub use session::{
+    atom_has_null_literal, ExecContext, Plan, PlanTimings, QueryOutput, QuerySession,
+};

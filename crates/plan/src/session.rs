@@ -90,6 +90,92 @@ impl QueryOutput {
     }
 }
 
+/// Whether an atom's own literal can make it evaluate to unknown
+/// (comparing against NULL is unknown on every row). The serving layer
+/// applies the same rule to parameter bindings: a NULL bound into a
+/// statement planned two-valued forces a three-valued re-plan.
+pub fn atom_has_null_literal(atom: &basilisk_expr::Atom) -> bool {
+    use basilisk_types::Value;
+    match atom {
+        basilisk_expr::Atom::Cmp { value, .. } => matches!(value, Value::Null),
+        basilisk_expr::Atom::InList { values, .. } => {
+            values.iter().any(|v| matches!(v, Value::Null))
+        }
+        basilisk_expr::Atom::Like { .. } | basilisk_expr::Atom::IsNull { .. } => false,
+    }
+}
+
+/// The reusable execution resources behind a [`QuerySession`]: the
+/// session [`MaskArena`] (with its column/value pools and the deferred
+/// result columns awaiting reclaim) plus a shared handle to a
+/// [`WorkerPool`].
+///
+/// A context outlives any single query. The serving layer keeps a pool
+/// of contexts and moves one into each request's session
+/// ([`QuerySession::with_context`]); when the request completes,
+/// [`QuerySession::into_context`] hands the context back — warm pools,
+/// deferred columns and all — so arena steady state (`fresh() == 0`)
+/// holds **across statements**, not just across executions of one
+/// statement. Several contexts may share one `Arc<WorkerPool>`: worker
+/// arenas belong to the pool, the session arena to the context, and the
+/// pool serializes parallel regions internally.
+pub struct ExecContext {
+    arena: MaskArena,
+    pool: Arc<WorkerPool>,
+    /// Projected value columns still referenced by caller-held results;
+    /// swept (and their buffers recycled) at the start of each execute.
+    deferred_values: RefCell<Vec<Arc<Column>>>,
+}
+
+impl ExecContext {
+    /// A fresh context with its own private worker pool.
+    pub fn new(workers: usize) -> ExecContext {
+        ExecContext::with_pool(Arc::new(WorkerPool::new(workers)))
+    }
+
+    /// A fresh context executing on a shared worker pool.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> ExecContext {
+        ExecContext {
+            arena: MaskArena::new(),
+            pool,
+            deferred_values: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The context's buffer pool.
+    pub fn arena(&self) -> &MaskArena {
+        &self.arena
+    }
+
+    /// The worker pool this context executes on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Reclaim deferred result buffers whose caller-held references are
+    /// gone: pooled index columns via the column pool's own deferral
+    /// list, projected value columns via `Arc::try_unwrap`. Runs at the
+    /// start of every execute, and the serving layer calls it when a
+    /// context is returned so held results are the only thing keeping
+    /// buffers out of the pools.
+    pub fn sweep(&self) {
+        self.arena.columns().reclaim();
+        let mut deferred = self.deferred_values.borrow_mut();
+        let mut still: Vec<Arc<Column>> = Vec::with_capacity(deferred.len());
+        for arc in deferred.drain(..) {
+            match Arc::try_unwrap(arc) {
+                Ok(col) => col.recycle(&self.arena),
+                Err(arc) => still.push(arc),
+            }
+        }
+        *deferred = still;
+    }
+
+    fn defer_value(&self, col: &Arc<Column>) {
+        self.deferred_values.borrow_mut().push(Arc::clone(col));
+    }
+}
+
 /// A query bound to a catalog: statistics, table handles and the predicate
 /// tree are built once; any number of planners can then be run and
 /// compared on it.
@@ -127,11 +213,7 @@ pub struct QuerySession {
     strategy: TagMapStrategy,
     three_valued: bool,
     cm: CostModel,
-    arena: MaskArena,
-    pool: WorkerPool,
-    /// Projected value columns still referenced by caller-held results;
-    /// swept (and their buffers recycled) at the start of each execute.
-    deferred_values: RefCell<Vec<Arc<Column>>>,
+    ctx: ExecContext,
 }
 
 impl QuerySession {
@@ -144,16 +226,20 @@ impl QuerySession {
         // predicate can evaluate to unknown: a NULL-bearing row must flow
         // into the unknown slice (§3.4) rather than be dropped, because it
         // may still satisfy the overall predicate through another
-        // disjunct. Detect that from column statistics.
+        // disjunct. Two sources of unknown: NULLs in the scanned column
+        // (detected from statistics) and NULL *literals* in the predicate
+        // itself (`x > NULL` is unknown on every row, NULL-free column or
+        // not).
         let three_valued = match &tree {
             None => false,
             Some(t) => t.atom_ids().iter().any(|&id| {
                 let atom = t.atom(id).expect("atom id");
                 !matches!(atom, basilisk_expr::Atom::IsNull { .. })
-                    && est
-                        .null_frac(atom.column())
-                        .map(|f| f > 0.0)
-                        .unwrap_or(false)
+                    && (atom_has_null_literal(atom)
+                        || est
+                            .null_frac(atom.column())
+                            .map(|f| f > 0.0)
+                            .unwrap_or(false))
             }),
         };
         Ok(QuerySession {
@@ -164,10 +250,36 @@ impl QuerySession {
             strategy: TagMapStrategy::Generalized { use_closure: true },
             three_valued,
             cm: CostModel::default(),
-            arena: MaskArena::new(),
-            pool: WorkerPool::new(WorkerPool::default_workers()),
-            deferred_values: RefCell::new(Vec::new()),
+            ctx: ExecContext::new(WorkerPool::default_workers()),
         })
+    }
+
+    /// Build a session for a statement whose catalog-derived parts were
+    /// computed once at prepare time, reusing a checked-out execution
+    /// context — the plan-cache hit path. Skips validation, table-set
+    /// resolution and three-valued detection (all properties of the
+    /// statement's *shape*, not its literal values). Infallible by
+    /// design: the serving layer must never lose a pooled context to a
+    /// constructor error (the estimator, a per-alias handle map that a
+    /// re-driven cached plan never consults, is built by the caller).
+    pub fn prepared(
+        est: Estimator,
+        query: Query,
+        tables: TableSet,
+        three_valued: bool,
+        ctx: ExecContext,
+    ) -> QuerySession {
+        let tree = query.predicate.as_ref().map(PredicateTree::build);
+        QuerySession {
+            query,
+            tree,
+            est,
+            tables,
+            strategy: TagMapStrategy::Generalized { use_closure: true },
+            three_valued,
+            cm: CostModel::default(),
+            ctx,
+        }
     }
 
     /// Override the tag-map strategy (ablations).
@@ -180,26 +292,43 @@ impl QuerySession {
     /// parallel execution entirely — the serial interpreters run,
     /// untouched. Replaces the worker pool, so call before executing.
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.pool = WorkerPool::new(workers).with_morsel_rows(self.pool.morsel_rows());
+        let rows = self.ctx.pool.morsel_rows();
+        self.ctx.pool = Arc::new(WorkerPool::new(workers).with_morsel_rows(rows));
         self
     }
 
     /// Override the morsel granularity (rows per parallel task; must be
     /// a positive multiple of 64). Mainly for tests and benchmarks.
     pub fn with_morsel_rows(mut self, rows: usize) -> Self {
-        self.pool = WorkerPool::new(self.pool.workers()).with_morsel_rows(rows);
+        let workers = self.ctx.pool.workers();
+        self.ctx.pool = Arc::new(WorkerPool::new(workers).with_morsel_rows(rows));
         self
+    }
+
+    /// Replace the session's execution context (arena, deferred results,
+    /// worker-pool handle) with one supplied by the caller — how the
+    /// serving layer threads a warm, reusable context through a request.
+    pub fn with_context(mut self, ctx: ExecContext) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Tear the session down, handing its execution context back (after
+    /// a sweep) for the next statement to reuse.
+    pub fn into_context(self) -> ExecContext {
+        self.ctx.sweep();
+        self.ctx
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
-        self.pool.workers()
+        self.ctx.pool.workers()
     }
 
     /// The session's worker pool (per-worker arenas included) —
     /// observability for tests and benchmarks.
     pub fn scheduler(&self) -> &WorkerPool {
-        &self.pool
+        &self.ctx.pool
     }
 
     /// Enable three-valued tag maps (needed when the data contains NULLs).
@@ -225,25 +354,36 @@ impl QuerySession {
         &self.tables
     }
 
+    /// Whether three-valued tag maps are in force (NULL-bearing columns
+    /// under the predicate; see [`Self::new`]).
+    pub fn three_valued(&self) -> bool {
+        self.three_valued
+    }
+
     pub fn estimator(&self) -> &Estimator {
         &self.est
     }
 
     /// The session's buffer pool (shared by every execution).
     pub fn arena(&self) -> &MaskArena {
-        &self.arena
+        self.ctx.arena()
+    }
+
+    /// The session's execution context (arena + worker-pool handle).
+    pub fn context(&self) -> &ExecContext {
+        &self.ctx
     }
 
     /// Buffer-pool checkout counters since the last
     /// [`Self::reset_arena_stats`] — `fresh() == 0` across an `execute()`
     /// means the run was allocation-free (steady state).
     pub fn arena_stats(&self) -> ArenaStats {
-        self.arena.stats()
+        self.ctx.arena.stats()
     }
 
     /// Zero the pool counters (the pooled buffers stay warm).
     pub fn reset_arena_stats(&self) {
-        self.arena.reset_stats()
+        self.ctx.arena.reset_stats()
     }
 
     /// Plan with the chosen planner.
@@ -285,18 +425,19 @@ impl QuerySession {
         // Sweep result columns deferred by earlier executions: once the
         // caller has dropped those outputs, their buffers return to the
         // pools and this run re-checks them out instead of allocating.
-        self.arena.columns().reclaim();
-        self.sweep_deferred_values();
-        let parallel = self.pool.workers() > 1;
+        self.ctx.sweep();
+        let arena = &self.ctx.arena;
+        let pool = &*self.ctx.pool;
+        let parallel = pool.workers() > 1;
         let rows = match plan {
             Plan::JoinOnly(aplan) => {
                 // Predicate-free: use the traditional executor with a
                 // dummy tree (never consulted — the plan has no filters).
                 let dummy = PredicateTree::build(&basilisk_expr::col("·", "·").is_null());
                 if parallel {
-                    execute_traditional_with(aplan, &self.tables, &dummy, &self.arena, &self.pool)?
+                    execute_traditional_with(aplan, &self.tables, &dummy, arena, pool)?
                 } else {
-                    execute_traditional(aplan, &self.tables, &dummy, &self.arena)?
+                    execute_traditional(aplan, &self.tables, &dummy, arena)?
                 }
             }
             Plan::WithPredicate(p) => {
@@ -306,26 +447,22 @@ impl QuerySession {
                     .ok_or_else(|| BasiliskError::Plan("plan/session mismatch".into()))?;
                 match (p, parallel) {
                     (PlannedQuery::Tagged { ann, .. }, false) => {
-                        execute_tagged(&ann.plan, &ann.projection, &self.tables, tree, &self.arena)?
+                        execute_tagged(&ann.plan, &ann.projection, &self.tables, tree, arena)?
                     }
                     (PlannedQuery::Tagged { ann, .. }, true) => execute_tagged_with(
                         &ann.plan,
                         &ann.projection,
                         &self.tables,
                         tree,
-                        &self.arena,
-                        &self.pool,
+                        arena,
+                        pool,
                     )?,
                     (PlannedQuery::Traditional { aplan, .. }, false) => {
-                        execute_traditional(aplan, &self.tables, tree, &self.arena)?
+                        execute_traditional(aplan, &self.tables, tree, arena)?
                     }
-                    (PlannedQuery::Traditional { aplan, .. }, true) => execute_traditional_with(
-                        aplan,
-                        &self.tables,
-                        tree,
-                        &self.arena,
-                        &self.pool,
-                    )?,
+                    (PlannedQuery::Traditional { aplan, .. }, true) => {
+                        execute_traditional_with(aplan, &self.tables, tree, arena, pool)?
+                    }
                 }
             }
         };
@@ -333,7 +470,7 @@ impl QuerySession {
         // to the caller; park a handle so the pool can reclaim them via
         // `Arc::try_unwrap` once the caller releases the result.
         for col in rows.cols() {
-            self.arena.columns().defer(std::sync::Arc::clone(col));
+            arena.columns().defer(std::sync::Arc::clone(col));
         }
         Ok(QueryOutput { rows })
     }
@@ -366,9 +503,8 @@ impl QuerySession {
             &self.tables,
             &output.rows,
             &self.query.projection,
-            &self.arena,
+            &self.ctx.arena,
         )?;
-        let mut deferred = self.deferred_values.borrow_mut();
         Ok(cols
             .into_iter()
             .map(|(cref, col)| {
@@ -377,24 +513,10 @@ impl QuerySession {
                 // one would leave its checkout counted outstanding
                 // forever). The list is bounded by the caller's own live
                 // results: each execute sweeps released entries.
-                deferred.push(Arc::clone(&col));
+                self.ctx.defer_value(&col);
                 (cref, col)
             })
             .collect())
-    }
-
-    /// Reclaim deferred projection columns whose caller-held references
-    /// are gone (the value-pool counterpart of `ColumnPool::reclaim`).
-    fn sweep_deferred_values(&self) {
-        let mut deferred = self.deferred_values.borrow_mut();
-        let mut still: Vec<Arc<Column>> = Vec::with_capacity(deferred.len());
-        for arc in deferred.drain(..) {
-            match Arc::try_unwrap(arc) {
-                Ok(col) => col.recycle(&self.arena),
-                Err(arc) => still.push(arc),
-            }
-        }
-        *deferred = still;
     }
 
     /// Human-readable plan rendering (EXPLAIN).

@@ -1,4 +1,5 @@
-//! Morsel-driven parallel execution for tagged plans.
+//! Morsel-driven parallel execution for tagged plans, on a **resident**
+//! worker pool.
 //!
 //! Basilisk's hot path is allocation-free and word-parallel *per core*;
 //! this crate is how it uses more than one core. The model is
@@ -16,22 +17,36 @@
 //!   re-intersection, and never a data race.
 //!
 //! * **Work stealing** — [`WorkerPool::run`] distributes tasks into
-//!   per-worker deques and spawns scoped threads
-//!   (`std::thread::scope`; no external dependencies). A worker drains its
-//!   own deque from the front (preserving the cache-friendly ascending
-//!   row order of its block) and steals from the *back* of a victim's
-//!   deque when it runs dry, so skewed morsels (one worker's rows all
-//!   match, another's none) still load-balance. Results are returned in
-//!   task order, which is how parallel output stays **bit-for-bit equal**
-//!   to serial output: producing `results[i]` for morsel `i` commutes
-//!   with who computed it.
+//!   per-worker deques. A worker drains its own deque from the front
+//!   (preserving the cache-friendly ascending row order of its block) and
+//!   steals from the *back* of a victim's deque when it runs dry, so
+//!   skewed morsels (one worker's rows all match, another's none) still
+//!   load-balance. Results are returned in task order, which is how
+//!   parallel output stays **bit-for-bit equal** to serial output:
+//!   producing `results[i]` for morsel `i` commutes with who computed it.
+//!
+//! * **Resident threads** — the pool spawns its `workers - 1` threads
+//!   once, at construction, and parks them on a condvar between parallel
+//!   regions. A region is an *epoch*: [`WorkerPool::run`] publishes a
+//!   type-erased job pointer under the epoch lock, bumps the epoch
+//!   counter and wakes every worker; each worker executes the job exactly
+//!   once and decrements a completion count the coordinator waits on.
+//!   Waking a parked thread costs a condvar signal instead of a
+//!   `clone`+`mmap`+schedule, so short parallel regions stop paying spawn
+//!   cost — and because the threads persist, one pool can serve parallel
+//!   regions from **many sessions over its lifetime** (the serving layer
+//!   shares one `Arc<WorkerPool>` across every execution context;
+//!   concurrent callers' regions serialize on an internal region lock,
+//!   while the serial parts of their queries overlap freely).
 //!
 //! * **Per-worker arenas** — each worker *owns* a private
-//!   [`MaskArena`]. Arenas are `Send` but deliberately not `Sync`; the
-//!   pool moves each one into its worker's scope by `&mut`, so the
-//!   checkout → evaluate → recycle lifecycle (and the `fresh() == 0`
-//!   steady-state guarantee, per worker) holds without a single lock.
-//!   The ownership rule every parallel operator follows:
+//!   [`MaskArena`]. Arenas are `Send` but deliberately not `Sync`; each
+//!   lives behind its own `Mutex` that is only ever locked by its worker
+//!   during an epoch (uncontended by construction) or by the coordinator
+//!   between epochs, so the checkout → evaluate → recycle lifecycle (and
+//!   the `fresh() == 0` steady-state guarantee, per worker) holds without
+//!   a single *contended* lock. The ownership rule every parallel
+//!   operator follows:
 //!
 //!   1. a worker checks morsel-local buffers out of **its own** arena;
 //!   2. buffers that survive the task (the per-morsel result) are
@@ -44,16 +59,14 @@
 //!      produced before a failure through the caller's `discard`
 //!      callback, per producing worker).
 //!
-//! The pool is retained by its owner (one `QuerySession`), so worker
-//! arenas stay warm across executions just like the session arena.
-//! Worker *threads* are not retained: a parallel region spawns scoped
-//! threads and joins them before returning, which keeps the scheduler
-//! free of shutdown protocols and makes `workers == 1` (or a single
-//! task) run inline on the calling thread — the serial path, exactly.
+//! `workers == 1` (or a single task) runs inline on the calling thread —
+//! the serial path, exactly; a one-worker pool never spawns a thread.
+//! Dropping the pool signals shutdown and joins the resident threads.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use basilisk_types::{BasiliskError, MaskArena, Result, DEFAULT_MORSEL_ROWS};
 
@@ -68,24 +81,145 @@ pub struct WorkerCtx<'a> {
     pub arena: &'a MaskArena,
 }
 
-/// A retained set of workers: per-worker arenas plus the morsel
-/// configuration. See the module docs for the execution model.
+/// The per-epoch job: a type-erased pointer to a `Fn(worker_index)`
+/// closure living on the coordinator's stack. Validity is guaranteed by
+/// the epoch protocol — the coordinator does not leave [`WorkerPool::run`]
+/// until every participating worker has decremented the epoch's
+/// completion count, so the pointee outlives every dereference.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared by every worker of the epoch) and
+// the epoch protocol bounds its lifetime; the pointer itself is just an
+// address carried to the worker threads.
+unsafe impl Send for Job {}
+
+struct EpochState {
+    /// Bumped once per parallel region; workers track the last epoch they
+    /// executed so one wakeup runs one job exactly once per worker.
+    epoch: u64,
+    job: Option<Job>,
+    /// Resident workers still executing the current epoch's job.
+    running: usize,
+    /// Resident workers whose job invocation panicked this epoch.
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    /// One arena per worker (index 0 = the coordinating thread). Each
+    /// mutex is uncontended by design: locked by its worker for the span
+    /// of an epoch, and by the coordinator only between epochs.
+    arenas: Vec<Mutex<MaskArena>>,
+    state: Mutex<EpochState>,
+    /// Workers park here between epochs.
+    work: Condvar,
+    /// The coordinator parks here until `running == 0`.
+    done: Condvar,
+}
+
+/// Recover a guard from a poisoned lock. Pool state stays consistent
+/// across a task panic (the panic is re-raised on the coordinator after
+/// the epoch completes); poisoning would otherwise wedge every later
+/// region of a shared pool.
+fn relock<T>(r: std::sync::LockResult<MutexGuard<'_, T>>) -> MutexGuard<'_, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_main(shared: Arc<Shared>, worker: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = relock(shared.state.lock());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    break;
+                }
+                st = relock(shared.work.wait(st));
+            }
+            seen = st.epoch;
+            st.job.expect("epoch published without a job")
+        };
+        // SAFETY: see `Job` — the coordinator keeps the pointee alive
+        // until this worker decrements `running` below.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(worker) }));
+        let mut st = relock(shared.state.lock());
+        if outcome.is_err() {
+            st.panicked += 1;
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// A resident set of workers: parked threads, per-worker arenas and the
+/// morsel configuration. See the module docs for the execution model.
+///
+/// The pool is `Send + Sync`: wrap it in an `Arc` to share one set of
+/// resident threads across sessions (the serving layer does exactly
+/// this). Concurrent [`WorkerPool::run`] calls are admitted one region
+/// at a time.
 pub struct WorkerPool {
     workers: usize,
     morsel_rows: usize,
-    arenas: std::cell::RefCell<Vec<MaskArena>>,
+    shared: Arc<Shared>,
+    /// Serializes parallel regions across concurrent `run` callers. Held
+    /// for the whole region; do **not** call `run` from inside a task
+    /// closure (it would self-deadlock here).
+    region: Mutex<()>,
+    /// Resident threads, spawned lazily by the first region that fans
+    /// out (so plan-only sessions and small-table pools cost nothing)
+    /// and retained until drop.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl WorkerPool {
     /// A pool of `workers` workers (clamped to ≥ 1) with the default
-    /// morsel size.
+    /// morsel size. Construction is cheap: the `workers - 1` resident
+    /// threads are spawned by the first parallel region and parked
+    /// between regions thereafter; a one-worker pool never spawns any.
     pub fn new(workers: usize) -> WorkerPool {
         let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            arenas: (0..workers).map(|_| Mutex::new(MaskArena::new())).collect(),
+            state: Mutex::new(EpochState {
+                epoch: 0,
+                job: None,
+                running: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
         WorkerPool {
             workers,
             morsel_rows: DEFAULT_MORSEL_ROWS,
-            arenas: std::cell::RefCell::new((0..workers).map(|_| MaskArena::new()).collect()),
+            shared,
+            region: Mutex::new(()),
+            handles: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Spawn the resident threads if this is the pool's first parallel
+    /// region (called with the region lock held).
+    fn ensure_resident(&self) {
+        let mut handles = relock(self.handles.lock());
+        if !handles.is_empty() || self.workers <= 1 {
+            return;
+        }
+        handles.extend((1..self.workers).map(|w| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("basilisk-worker-{w}"))
+                .spawn(move || worker_main(shared, w))
+                .expect("spawn resident worker thread")
+        }));
     }
 
     /// Override the morsel granularity (must be a positive multiple of
@@ -134,9 +268,9 @@ impl WorkerPool {
         self.workers > 1 && len > self.morsel_rows
     }
 
-    /// Run `f` over every task, work-stealing across the pool's workers,
-    /// and return the results **in task order**, each tagged with the id
-    /// of the worker whose arena produced it.
+    /// Run `f` over every task, work-stealing across the pool's resident
+    /// workers, and return the results **in task order**, each tagged
+    /// with the id of the worker whose arena produced it.
     ///
     /// On error, every already-produced result is handed to `discard`
     /// together with **its producing worker's arena** (so pooled buffers
@@ -146,7 +280,7 @@ impl WorkerPool {
     /// a deterministic choice even though scheduling is not.
     ///
     /// With one worker or at most one task, everything runs inline on the
-    /// calling thread against worker 0's arena — no threads are spawned.
+    /// calling thread against worker 0's arena — no wakeups, no epoch.
     pub fn run<T, R, F, D>(&self, tasks: Vec<T>, f: F, discard: D) -> Result<Vec<(u32, R)>>
     where
         T: Send,
@@ -158,12 +292,11 @@ impl WorkerPool {
         if n == 0 {
             return Ok(Vec::new());
         }
-        let mut arenas = self.arenas.borrow_mut();
-        let spawned = self.workers.min(n);
-        if spawned == 1 {
+        if self.workers == 1 || n == 1 {
+            let arena = relock(self.shared.arenas[0].lock());
             let ctx = WorkerCtx {
                 worker: 0,
-                arena: &arenas[0],
+                arena: &arena,
             };
             let mut out = Vec::with_capacity(n);
             for task in tasks {
@@ -171,7 +304,7 @@ impl WorkerPool {
                     Ok(r) => out.push((0u32, r)),
                     Err(e) => {
                         for (_, r) in out {
-                            discard(&arenas[0], r);
+                            discard(&arena, r);
                         }
                         return Err(e);
                     }
@@ -180,22 +313,30 @@ impl WorkerPool {
             return Ok(out);
         }
 
+        // One region at a time: concurrent sessions sharing this pool
+        // interleave whole regions, never single morsels.
+        let _region = relock(self.region.lock());
+        self.ensure_resident();
+
         // Distribute tasks into per-worker deques in contiguous blocks:
         // worker w starts on morsels ⌊w·n/W⌋.., so its own work scans
         // ascending row ranges (cache-friendly) and thieves take from the
-        // far end of a victim's block.
-        let mut deques: Vec<Mutex<VecDeque<(usize, T)>>> =
-            (0..spawned).map(|_| Mutex::new(VecDeque::new())).collect();
+        // far end of a victim's block. With fewer tasks than workers the
+        // tail workers start empty and immediately look for steals.
+        let workers = self.workers;
+        let loaded = workers.min(n);
+        let deques: Vec<Mutex<VecDeque<(usize, T)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, task) in tasks.into_iter().enumerate() {
-            let w = i * spawned / n;
-            deques[w].get_mut().unwrap().push_back((i, task));
+            let w = i * loaded / n;
+            relock(deques[w].lock()).push_back((i, task));
         }
         let deques = &deques[..];
         let stop = &AtomicBool::new(false);
         let f = &f;
 
         type WorkerOut<R> = (Vec<(usize, R)>, Option<(usize, BasiliskError)>);
-        let worker_loop = |worker: usize, arena: &MaskArena| -> WorkerOut<R> {
+        let worker_loop = move |worker: usize, arena: &MaskArena| -> WorkerOut<R> {
             let ctx = WorkerCtx { worker, arena };
             let mut done: Vec<(usize, R)> = Vec::new();
             loop {
@@ -203,12 +344,12 @@ impl WorkerPool {
                     return (done, None);
                 }
                 // Own deque first (front: ascending order)…
-                let mut claimed = deques[worker].lock().unwrap().pop_front();
+                let mut claimed = relock(deques[worker].lock()).pop_front();
                 // …then steal from the back of the first non-empty victim.
                 if claimed.is_none() {
-                    for v in 1..spawned {
-                        let victim = (worker + v) % spawned;
-                        claimed = deques[victim].lock().unwrap().pop_back();
+                    for v in 1..workers {
+                        let victim = (worker + v) % workers;
+                        claimed = relock(deques[victim].lock()).pop_back();
                         if claimed.is_some() {
                             break;
                         }
@@ -227,29 +368,64 @@ impl WorkerPool {
             }
         };
 
-        let (first_arena, rest_arenas) = arenas.split_at_mut(1);
-        let mut per_worker: Vec<WorkerOut<R>> = std::thread::scope(|s| {
-            let handles: Vec<_> = rest_arenas
-                .iter_mut()
-                .take(spawned - 1)
-                .enumerate()
-                .map(|(i, arena)| {
-                    // `&mut MaskArena` is Send (exclusive ownership moves
-                    // into the worker); a shared `&MaskArena` would not
-                    // be, because the arena is deliberately not Sync.
-                    s.spawn(move || worker_loop(i + 1, &*arena))
-                })
-                .collect();
-            let own = worker_loop(0, &first_arena[0]);
-            let mut outs = vec![own];
-            for h in handles {
-                // Worker closures don't panic on task errors (those are
-                // Results); a propagated panic here is a real bug in a
-                // task closure and should surface as a panic.
-                outs.push(h.join().expect("worker thread panicked"));
-            }
-            outs
+        // Per-worker result slots, written once per epoch by each worker.
+        let outs: Vec<Mutex<Option<WorkerOut<R>>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
+        let shared = &self.shared;
+        let body = |w: usize| {
+            // A worker's arena lock is uncontended while the epoch runs
+            // (the coordinator only touches worker arenas between
+            // epochs); locking it here upholds "one arena per worker".
+            let arena = relock(shared.arenas[w].lock());
+            let out = worker_loop(w, &arena);
+            *relock(outs[w].lock()) = Some(out);
+        };
+
+        // Publish the epoch: type-erase `body`, wake every resident
+        // worker, run worker 0 inline, then wait for the others. SAFETY:
+        // the transmute only erases the borrow lifetime of the trait
+        // object; the wait-for-`running == 0` below keeps `body` (and
+        // everything it captures) alive past the last dereference, even
+        // if worker 0's inline invocation panics.
+        let body_ref: &(dyn Fn(usize) + Sync) = &body;
+        let job = Job(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+                body_ref,
+            )
         });
+        {
+            let mut st = relock(shared.state.lock());
+            st.job = Some(job);
+            st.running = workers - 1;
+            st.panicked = 0;
+            st.epoch = st.epoch.wrapping_add(1);
+            shared.work.notify_all();
+        }
+        let own = std::panic::catch_unwind(AssertUnwindSafe(|| body(0)));
+        let worker_panics = {
+            let mut st = relock(shared.state.lock());
+            while st.running > 0 {
+                st = relock(shared.done.wait(st));
+            }
+            st.job = None;
+            st.panicked
+        };
+        if let Err(p) = own {
+            std::panic::resume_unwind(p);
+        }
+        // Worker closures don't panic on task errors (those are Results);
+        // a panic inside a task closure is a real bug and surfaces here,
+        // exactly like the scoped-join propagation the pool replaced.
+        assert!(worker_panics == 0, "worker thread panicked");
+
+        let mut per_worker: Vec<WorkerOut<R>> = Vec::with_capacity(workers);
+        for slot in outs {
+            per_worker.push(
+                relock(slot.lock())
+                    .take()
+                    .expect("every worker writes its epoch result"),
+            );
+        }
 
         let mut error: Option<(usize, BasiliskError)> = None;
         for (_, err) in &mut per_worker {
@@ -264,13 +440,9 @@ impl WorkerPool {
             // Route every produced result back through the caller's
             // discard hook with its producing worker's arena.
             for (w, (done, _)) in per_worker.into_iter().enumerate() {
-                let arena = if w == 0 {
-                    &first_arena[0]
-                } else {
-                    &rest_arenas[w - 1]
-                };
+                let arena = relock(shared.arenas[w].lock());
                 for (_, r) in done {
-                    discard(arena, r);
+                    discard(&arena, r);
                 }
             }
             return Err(e);
@@ -289,45 +461,74 @@ impl WorkerPool {
             .collect())
     }
 
-    /// Main-thread access to one worker's arena — how callers recycle the
-    /// pooled buffers inside a task result back into the arena that
-    /// produced them. Panics if called while a `run` is in flight (it
-    /// never is: `run` joins its workers before returning).
+    /// Coordinator-side access to one worker's arena — how callers
+    /// recycle the pooled buffers inside a task result back into the
+    /// arena that produced them. Safe between regions; while a region is
+    /// in flight the lock simply blocks until that worker's epoch ends.
     pub fn with_arena<R>(&self, worker: u32, f: impl FnOnce(&MaskArena) -> R) -> R {
-        f(&self.arenas.borrow()[worker as usize])
+        f(&relock(self.shared.arenas[worker as usize].lock()))
     }
 
     /// Sum of `outstanding()` across all worker arenas — zero whenever no
     /// parallel region is in flight, error paths included (the leak
     /// tests' invariant).
     pub fn outstanding(&self) -> usize {
-        self.arenas.borrow().iter().map(|a| a.outstanding()).sum()
+        self.shared
+            .arenas
+            .iter()
+            .map(|a| relock(a.lock()).outstanding())
+            .sum()
     }
 
     /// Sum of parked buffers across all worker arenas.
     pub fn pooled(&self) -> usize {
-        self.arenas.borrow().iter().map(|a| a.pooled()).sum()
+        self.shared
+            .arenas
+            .iter()
+            .map(|a| relock(a.lock()).pooled())
+            .sum()
     }
 
     /// Sum of fresh checkouts across all worker arenas since the last
     /// [`Self::reset_stats`].
     pub fn fresh(&self) -> usize {
-        self.arenas.borrow().iter().map(|a| a.stats().fresh()).sum()
+        self.shared
+            .arenas
+            .iter()
+            .map(|a| relock(a.lock()).stats().fresh())
+            .sum()
     }
 
     /// Zero every worker arena's counters (pools stay warm).
     pub fn reset_stats(&self) {
-        for a in self.arenas.borrow().iter() {
-            a.reset_stats();
+        for a in &self.shared.arenas {
+            relock(a.lock()).reset_stats();
         }
     }
 }
 
-// The whole handoff model rests on arenas being movable into worker
-// scopes; keep that property pinned at compile time.
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = relock(self.shared.state.lock());
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in relock(self.handles.lock()).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// The handoff model rests on arenas being movable into the resident
+// workers and on the pool being shareable across sessions; keep both
+// properties pinned at compile time.
 const _: fn() = || {
     fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
     assert_send::<MaskArena>();
+    assert_send::<WorkerPool>();
+    assert_sync::<WorkerPool>();
 };
 
 #[cfg(test)]
@@ -520,6 +721,79 @@ mod tests {
             .unwrap();
         let values: Vec<usize> = out.iter().map(|&(_, r)| r).collect();
         assert_eq!(values, (0..8).collect::<Vec<_>>());
+    }
+
+    /// The resident property itself: across regions, the same worker id
+    /// is served by the same OS thread (no per-region spawning), and
+    /// worker 0 is always the calling thread.
+    #[test]
+    fn resident_threads_persist_across_regions() {
+        use std::collections::HashMap;
+        use std::thread::ThreadId;
+        let pool = WorkerPool::new(3).with_morsel_rows(64);
+        let main_thread = std::thread::current().id();
+        let observe = || -> HashMap<usize, ThreadId> {
+            let out = pool
+                .run(
+                    (0..24).collect::<Vec<usize>>(),
+                    |ctx, _t| {
+                        // Slow tasks down slightly so every worker gets a
+                        // chance to participate on busy hosts.
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        Ok((ctx.worker, std::thread::current().id()))
+                    },
+                    |_a, _r: (usize, ThreadId)| {},
+                )
+                .unwrap();
+            let mut map = HashMap::new();
+            for (_, (w, tid)) in out {
+                let prev = map.insert(w, tid);
+                assert!(prev.is_none_or(|p| p == tid), "worker {w} switched threads");
+            }
+            map
+        };
+        let first = observe();
+        let second = observe();
+        if let Some(tid) = first.get(&0) {
+            assert_eq!(*tid, main_thread, "worker 0 is the coordinator");
+        }
+        for (w, tid) in &second {
+            if let Some(prev) = first.get(w) {
+                assert_eq!(prev, tid, "worker {w} migrated between regions");
+            }
+        }
+    }
+
+    /// One pool, shared by several client threads via `Arc`: regions
+    /// serialize internally and every caller still gets its own results
+    /// in task order.
+    #[test]
+    fn shared_pool_serves_concurrent_callers() {
+        let pool = Arc::new(WorkerPool::new(3).with_morsel_rows(64));
+        let mut handles = Vec::new();
+        for c in 0..4u32 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for _round in 0..5 {
+                    let out = pool
+                        .run(
+                            (0..16u32).collect::<Vec<u32>>(),
+                            |_ctx, t| Ok(t * 2 + c * 1000),
+                            |_a, _r: u32| {},
+                        )
+                        .unwrap();
+                    let values: Vec<u32> = out.into_iter().map(|(_, r)| r).collect();
+                    assert_eq!(
+                        values,
+                        (0..16u32).map(|t| t * 2 + c * 1000).collect::<Vec<_>>()
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.outstanding(), 0);
     }
 
     #[test]

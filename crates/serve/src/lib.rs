@@ -1,0 +1,374 @@
+//! # basilisk-serve — the resident serving layer
+//!
+//! Everything below this crate executes *one* query as fast as the
+//! hardware allows; this crate is what keeps that machinery **resident**
+//! and shared so a serving loop — many clients, repeated statement
+//! shapes — stops paying per-request setup:
+//!
+//! * **One worker pool.** A [`Server`] owns a single
+//!   [`WorkerPool`](basilisk_sched::WorkerPool) of parked resident
+//!   threads; every request's parallel regions run on it (serialized
+//!   region-at-a-time by the pool, while the serial parts of concurrent
+//!   requests overlap freely). No thread is ever spawned on the request
+//!   path.
+//! * **Reusable execution contexts.** A pool of
+//!   [`ExecContext`](basilisk_plan::ExecContext)s — session arena +
+//!   deferred-result ledger — is checked out per request through a
+//!   **bounded FIFO admission gate** ([`ServerConfig::contexts`]
+//!   concurrent executions, [`ServerConfig::queue_limit`] total in
+//!   flight, strict arrival-order dispatch) and swept on return, so
+//!   arena steady state (`fresh() == 0`) holds across *statements*, not
+//!   just across executions of one statement.
+//! * **A prepared-statement plan cache.** [`Server::prepare`] normalizes
+//!   literals to `?n` placeholders, plans once, and caches the parsed
+//!   [`Query`](basilisk_plan::Query) + chosen
+//!   [`Plan`](basilisk_plan::Plan) (tag maps included) in an LRU keyed
+//!   by the normalized text; [`Server::execute_prepared`] binds fresh
+//!   values and re-drives the cached plan — **zero parse, zero plan**.
+//!   [`Server::sql`] routes through the same cache (with an extra
+//!   raw-text level so byte-identical repeats skip even lexing). A
+//!   congruence guard re-plans the rare binding whose literal values
+//!   change the predicate DAG (content interning can merge equal atoms).
+//! * **Observability.** [`ServeStats`] snapshots cache
+//!   hits/misses/evictions, admission-queue depth and high-water mark,
+//!   and a power-of-two latency histogram.
+//!
+//! Concurrent output is **bit-for-bit equal** to serial single-session
+//! output: requests never share mutable execution state (contexts are
+//! exclusive, worker arenas belong to the pool, merges stay ordered),
+//! which the repository-level soak suite (`tests/serve_concurrent.rs`)
+//! pins across client counts and planner kinds.
+
+mod cache;
+mod server;
+mod stats;
+
+pub use cache::Prepared;
+pub use server::{ServeResult, Server, ServerConfig};
+pub use stats::{ServeStats, LATENCY_BUCKETS};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basilisk_catalog::Catalog;
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::{DataType, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut b = TableBuilder::new("title")
+            .column("id", DataType::Int)
+            .column("year", DataType::Int)
+            .column("name", DataType::Str);
+        for i in 0..500i64 {
+            b.push_row(vec![
+                i.into(),
+                (1900 + i % 120).into(),
+                format!("film {}", i % 40).into(),
+            ])
+            .unwrap();
+        }
+        cat.add_table(b.finish().unwrap()).unwrap();
+        let mut b = TableBuilder::new("scores")
+            .column("movie_id", DataType::Int)
+            .column("score", DataType::Float);
+        for i in 0..800i64 {
+            b.push_row(vec![(i % 500).into(), ((i % 100) as f64 / 10.0).into()])
+                .unwrap();
+        }
+        cat.add_table(b.finish().unwrap()).unwrap();
+        cat
+    }
+
+    fn server() -> Server {
+        Server::new(
+            catalog(),
+            ServerConfig {
+                contexts: 2,
+                workers: Some(1),
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    const Q: &str = "SELECT t.id FROM title t JOIN scores s ON t.id = s.movie_id \
+                     WHERE t.year > 2000 AND s.score > 7.0 OR t.year < 1910";
+
+    #[test]
+    fn sql_hits_cache_on_repeat_and_on_same_shape() {
+        let srv = server();
+        let first = srv.sql(Q).unwrap();
+        assert!(!first.cache_hit);
+        let s = srv.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 1));
+        assert_eq!(s.statements_prepared, 1);
+
+        // Byte-identical repeat: raw-text hit, same answer.
+        let again = srv.sql(Q).unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.row_count, first.row_count);
+
+        // Same shape, different literals: normalized hit, no new plan.
+        let shifted = srv
+            .sql(
+                "SELECT t.id FROM title t JOIN scores s ON t.id = s.movie_id \
+                 WHERE t.year > 1990 AND s.score > 9.0 OR t.year < 1905",
+            )
+            .unwrap();
+        assert!(shifted.cache_hit);
+        let s = srv.stats();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.statements_prepared, 1, "hit path does zero plan work");
+        assert_eq!(s.statements_executed, 3);
+        assert_eq!(srv.cached_statements(), 1);
+    }
+
+    #[test]
+    fn prepare_execute_binds_params() {
+        let srv = server();
+        let stmt = srv.prepare(Q).unwrap();
+        assert_eq!(stmt.param_count(), 3);
+        let r1 = srv
+            .execute_prepared(
+                &stmt,
+                &[Value::Int(2000), Value::Float(7.0), Value::Int(1910)],
+            )
+            .unwrap();
+        let r2 = srv
+            .execute_prepared(
+                &stmt,
+                &[Value::Int(1800), Value::Float(0.0), Value::Int(1800)],
+            )
+            .unwrap();
+        assert!(r2.row_count > r1.row_count, "looser predicate, more rows");
+        let s = srv.stats();
+        assert_eq!(s.statements_prepared, 1, "executions planned nothing");
+        // Arity errors are reported, not executed.
+        assert!(srv.execute_prepared(&stmt, &[Value::Int(1)]).is_err());
+        assert_eq!(srv.stats().errors, 1);
+        // Same answer as the SQL path with those literals.
+        let direct = srv
+            .sql(
+                "SELECT t.id FROM title t JOIN scores s ON t.id = s.movie_id \
+                 WHERE t.year > 2000 AND s.score > 7.0 OR t.year < 1910",
+            )
+            .unwrap();
+        assert_eq!(direct.row_count, r1.row_count);
+    }
+
+    #[test]
+    fn prepare_twice_is_a_hit_and_handles_survive_eviction() {
+        let srv = Server::new(
+            catalog(),
+            ServerConfig {
+                contexts: 1,
+                workers: Some(1),
+                cache_capacity: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let a = srv
+            .prepare("SELECT t.id FROM title t WHERE t.year > 2000")
+            .unwrap();
+        let a2 = srv
+            .prepare("SELECT t.id FROM title t WHERE t.year > 1990")
+            .unwrap();
+        assert_eq!(a.key(), a2.key(), "same shape");
+        assert_eq!(srv.stats().cache_hits, 1);
+        // A second shape evicts the first (capacity 1)…
+        let b = srv
+            .prepare("SELECT t.id FROM title t WHERE t.year < 1920")
+            .unwrap();
+        assert_eq!(srv.stats().cache_evictions, 1);
+        assert_eq!(srv.cached_statements(), 1);
+        // …but the held handle still executes without replanning.
+        let r = srv.execute_prepared(&a, &[Value::Int(2000)]).unwrap();
+        assert!(r.row_count > 0);
+        let r = srv.execute_prepared(&b, &[Value::Int(1920)]).unwrap();
+        assert!(r.row_count > 0);
+        assert_eq!(
+            srv.stats().statements_prepared,
+            2,
+            "evictions never force a held handle to replan"
+        );
+    }
+
+    #[test]
+    fn value_coincident_binding_replans_safely() {
+        let srv = server();
+        // Template with two distinct atoms over the same column.
+        let stmt = srv
+            .prepare("SELECT t.id FROM title t WHERE t.year > 2000 OR t.year > 1910")
+            .unwrap();
+        let planned_before = srv.stats().statements_prepared;
+        // Bind both parameters to the SAME value: the two atoms intern to
+        // one node, the DAG changes, and the cached plan must not be
+        // driven over the rebound tree.
+        let r = srv
+            .execute_prepared(&stmt, &[Value::Int(1950), Value::Int(1950)])
+            .unwrap();
+        let direct = srv
+            .sql("SELECT t.id FROM title t WHERE t.year > 1950 OR t.year > 1950")
+            .unwrap();
+        assert_eq!(r.row_count, direct.row_count);
+        assert!(
+            srv.stats().statements_prepared > planned_before,
+            "non-congruent binding re-planned"
+        );
+        // A congruent binding afterwards still reuses the cached plan.
+        let planned = srv.stats().statements_prepared;
+        let r = srv
+            .execute_prepared(&stmt, &[Value::Int(2000), Value::Int(1910)])
+            .unwrap();
+        assert!(r.row_count > 0);
+        assert_eq!(srv.stats().statements_prepared, planned);
+    }
+
+    /// Binding NULL into a statement planned two-valued must upgrade to
+    /// a three-valued re-plan: `t.year > NULL` is unknown on every row,
+    /// and only 3VL tag maps keep such rows alive for the other
+    /// disjunct. The answer must match both SQL semantics and the
+    /// literal-NULL text form.
+    #[test]
+    fn null_binding_upgrades_to_three_valued() {
+        let srv = server();
+        let stmt = srv
+            .prepare("SELECT t.id FROM title t WHERE t.year > 2100 OR t.id < 7")
+            .unwrap();
+        let planned = srv.stats().statements_prepared;
+        let null_bound = srv
+            .execute_prepared(&stmt, &[Value::Null, Value::Int(7)])
+            .unwrap();
+        // year > NULL is unknown everywhere; id < 7 keeps rows 0..=6.
+        assert_eq!(null_bound.row_count, 7, "unknown OR true must keep the row");
+        assert!(
+            !null_bound.cache_hit,
+            "NULL binding cannot reuse the 2VL plan"
+        );
+        assert!(
+            srv.stats().statements_prepared > planned,
+            "NULL binding re-planned three-valued"
+        );
+        drop(null_bound);
+        // The literal-NULL text form agrees (exercises the session-level
+        // NULL-literal detection on a fresh plan).
+        let direct = srv
+            .sql("SELECT t.id FROM title t WHERE t.year > NULL OR t.id < 7")
+            .unwrap();
+        assert_eq!(direct.row_count, 7);
+        drop(direct);
+        // A non-NULL rebinding of the same handle still reuses the plan.
+        let planned = srv.stats().statements_prepared;
+        let rebound = srv
+            .execute_prepared(&stmt, &[Value::Int(2100), Value::Int(7)])
+            .unwrap();
+        assert_eq!(rebound.row_count, 7);
+        assert_eq!(srv.stats().statements_prepared, planned);
+        // Live results pin their pooled columns (and a shadowed binding
+        // would stay live to end of scope!); release explicitly before
+        // the leak check.
+        drop(rebound);
+        assert_eq!(srv.outstanding(), 0);
+    }
+
+    #[test]
+    fn count_star_limit_and_star_lowering() {
+        let srv = server();
+        let c = srv
+            .sql("SELECT COUNT(*) FROM title t WHERE t.year > 2000")
+            .unwrap();
+        assert_eq!(c.row_count, 1);
+        assert_eq!(c.columns.len(), 1);
+        let star = srv.sql("SELECT * FROM title t LIMIT 7").unwrap();
+        assert_eq!(star.row_count, 7);
+        assert_eq!(star.columns.len(), 3, "star expanded at prepare time");
+        assert_eq!(star.columns[0].1.len(), 7, "limit gathered");
+        // Different LIMIT is a different shape (never a stale hit).
+        let star3 = srv.sql("SELECT * FROM title t LIMIT 3").unwrap();
+        assert!(!star3.cache_hit);
+        assert_eq!(star3.row_count, 3);
+    }
+
+    #[test]
+    fn errors_surface_and_leak_nothing() {
+        let srv = server();
+        assert!(srv.sql("SELECT * FROM nope").is_err());
+        assert!(srv.sql("SELECT broken").is_err());
+        assert!(srv.prepare("SELECT * FROM title t WHERE t.zz > 1").is_err());
+        // Type error at bind time (LIKE bound to an int).
+        let stmt = srv
+            .prepare("SELECT t.id FROM title t WHERE t.name LIKE '%film%'")
+            .unwrap();
+        assert!(srv.execute_prepared(&stmt, &[Value::Int(3)]).is_err());
+        // Runtime type error (string column vs int literal) — after a
+        // successful prepare of a congruent shape.
+        let stmt = srv
+            .prepare("SELECT t.id FROM title t WHERE t.name > 'zzz'")
+            .unwrap();
+        assert!(srv.execute_prepared(&stmt, &[Value::Int(9)]).is_err());
+        assert!(srv.stats().errors >= 4);
+        assert_eq!(srv.outstanding(), 0, "error paths strand no buffers");
+    }
+
+    #[test]
+    fn admission_rejects_beyond_queue_limit() {
+        // queue_limit 1 with a held context: a second concurrent request
+        // must be rejected, not queued forever.
+        let srv = std::sync::Arc::new(Server::new(
+            catalog(),
+            ServerConfig {
+                contexts: 1,
+                queue_limit: 1,
+                workers: Some(1),
+                ..ServerConfig::default()
+            },
+        ));
+        // Saturate from another thread by running many queries while the
+        // main thread hammers; with limit 1, at least one side must see a
+        // rejection OR all succeed serially — assert the invariant that
+        // rejections are counted iff they errored with "busy".
+        let srv2 = std::sync::Arc::clone(&srv);
+        let h = std::thread::spawn(move || {
+            let mut busy = 0u64;
+            for _ in 0..50 {
+                match srv2.sql(Q) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        assert!(e.to_string().contains("busy"), "{e}");
+                        busy += 1;
+                    }
+                }
+            }
+            busy
+        });
+        let mut busy = 0u64;
+        for _ in 0..50 {
+            match srv.sql(Q) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(e.to_string().contains("busy"), "{e}");
+                    busy += 1;
+                }
+            }
+        }
+        busy += h.join().unwrap();
+        let s = srv.stats();
+        assert_eq!(s.rejected, busy, "every rejection was counted");
+        assert_eq!(s.queue_depth, 0, "system drained");
+        assert!(s.queue_high_water <= 1);
+        assert_eq!(s.statements_executed + s.rejected, 100);
+    }
+
+    #[test]
+    fn stats_latency_histogram_records_queries() {
+        let srv = server();
+        for _ in 0..5 {
+            srv.sql(Q).unwrap();
+        }
+        let s = srv.stats();
+        assert_eq!(s.latency_count(), 5);
+        assert!(s.mean_latency() > std::time::Duration::ZERO);
+        assert!(s.quantile_latency(1.0) >= s.quantile_latency(0.5));
+    }
+}

@@ -1,0 +1,519 @@
+//! The resident server: one shared worker pool, a pool of reusable
+//! execution contexts, a bounded FIFO admission gate and the plan cache.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! client thread ──► admission gate ──► context checkout ──► bind params
+//!        ──► congruence guard ──► execute cached plan ──► project/limit
+//!        ──► context return (sweep) ──► ServeResult
+//! ```
+//!
+//! * **Admission** is a bounded FIFO: at most `queue_limit` requests may
+//!   be in the system (queued + executing); the rest are rejected
+//!   immediately with an `Exec` error so clients can back off. Waiting
+//!   requests are granted contexts strictly in arrival order (ticket
+//!   numbers), so no request starves.
+//! * **Contexts** ([`ExecContext`]) carry a warm session arena and a
+//!   handle to the server's one [`WorkerPool`]. A context serves one
+//!   request at a time and is swept on return, so arena steady state
+//!   holds *across statements*: repeated traffic of cached shapes
+//!   allocates nothing once each context's pools are warm.
+//! * **The plan cache** keys on normalized statement text (literals →
+//!   `?n`); hits bind fresh literal values into the cached template and
+//!   re-drive the cached plan — zero parse, zero plan. A congruence
+//!   guard re-plans the rare binding whose literal values change the
+//!   predicate DAG itself (see
+//!   [`PredicateTree::congruent_modulo_values`]).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use basilisk_catalog::{Catalog, Estimator};
+use basilisk_expr::{ColumnRef, PredicateTree};
+use basilisk_plan::{
+    ExecContext, Plan, PlanTimings, PlannerKind, Query, QueryOutput, QuerySession,
+};
+use basilisk_sched::WorkerPool;
+use basilisk_sql::{bind_params, normalize_select, Projection};
+use basilisk_storage::Column;
+use basilisk_types::{BasiliskError, Result, Value};
+
+use crate::cache::{PlanCache, Prepared, PreparedStatement};
+use crate::stats::{ServeStats, StatsRecorder};
+
+/// Server sizing knobs. `Default` targets a small interactive server;
+/// the serving benchmark and the soak suite size explicitly.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of reusable execution contexts = maximum concurrently
+    /// *executing* requests.
+    pub contexts: usize,
+    /// Maximum requests in the system (queued + executing) before
+    /// admission rejects.
+    pub queue_limit: usize,
+    /// Plan-cache capacity (distinct statement shapes × planner kinds).
+    pub cache_capacity: usize,
+    /// Workers in the shared pool; `None` = the engine default
+    /// (`BASILISK_THREADS`, else available parallelism).
+    pub workers: Option<usize>,
+    /// Morsel granularity override for the shared pool.
+    pub morsel_rows: Option<usize>,
+    /// Planner used by [`Server::sql`] / [`Server::prepare`].
+    pub default_planner: PlannerKind,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            contexts: 4,
+            queue_limit: 256,
+            cache_capacity: 256,
+            workers: None,
+            morsel_rows: None,
+            default_planner: PlannerKind::TCombined,
+        }
+    }
+}
+
+/// Materialized projection columns of one response.
+type OutputColumns = Vec<(ColumnRef, Arc<Column>)>;
+
+/// A served query result: materialized projection columns plus
+/// planner/cache/timing metadata. Columns are `Arc`-shared with the
+/// producing context's pools and are reclaimed once the result is
+/// dropped (on a later sweep of that context).
+pub struct ServeResult {
+    pub columns: OutputColumns,
+    pub row_count: usize,
+    /// The planner that was requested.
+    pub planner: PlannerKind,
+    /// For TCombined, the winning subplanner.
+    pub chosen: Option<PlannerKind>,
+    /// On cache hits, `planning` is the bind time.
+    pub timings: PlanTimings,
+    /// Whether this request was served from the plan cache.
+    pub cache_hit: bool,
+}
+
+struct GateState {
+    free: Vec<ExecContext>,
+    next_ticket: u64,
+    now_serving: u64,
+    in_system: usize,
+}
+
+/// Bounded FIFO admission + context checkout (see the module docs).
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    queue_limit: usize,
+}
+
+impl Gate {
+    fn new(contexts: Vec<ExecContext>, queue_limit: usize) -> Gate {
+        Gate {
+            state: Mutex::new(GateState {
+                free: contexts,
+                next_ticket: 0,
+                now_serving: 0,
+                in_system: 0,
+            }),
+            cv: Condvar::new(),
+            queue_limit: queue_limit.max(1),
+        }
+    }
+
+    fn acquire(&self, stats: &StatsRecorder) -> Result<ExecContext> {
+        let mut st = self.state.lock().unwrap();
+        if st.in_system >= self.queue_limit {
+            stats.rejected();
+            return Err(BasiliskError::Exec(format!(
+                "server busy: admission queue full ({} in flight)",
+                st.in_system
+            )));
+        }
+        st.in_system += 1;
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        stats.enqueued();
+        // Strict FIFO: a context is granted only to the oldest waiter.
+        while st.now_serving != ticket || st.free.is_empty() {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.now_serving += 1;
+        let ctx = st.free.pop().expect("guarded by the wait condition");
+        // Wake the next ticket (it may be runnable if more contexts are
+        // free).
+        self.cv.notify_all();
+        Ok(ctx)
+    }
+
+    fn release(&self, ctx: ExecContext, stats: &StatsRecorder) {
+        // Reclaim everything the finished request no longer references
+        // before the context goes back on the shelf.
+        ctx.sweep();
+        let mut st = self.state.lock().unwrap();
+        st.free.push(ctx);
+        st.in_system -= 1;
+        stats.dequeued();
+        self.cv.notify_all();
+    }
+
+    fn with_free<R>(&self, f: impl FnMut(&ExecContext) -> R) -> Vec<R> {
+        self.state.lock().unwrap().free.iter().map(f).collect()
+    }
+}
+
+/// A resident Basilisk server (see the module and crate docs).
+///
+/// `Server` is `Send + Sync`: share one behind an `Arc` across any
+/// number of client threads and call [`Server::sql`] /
+/// [`Server::execute_prepared`] concurrently.
+pub struct Server {
+    catalog: Catalog,
+    pool: Arc<WorkerPool>,
+    gate: Gate,
+    cache: PlanCache,
+    stats: StatsRecorder,
+    default_planner: PlannerKind,
+}
+
+impl Server {
+    /// Build a server over a catalog snapshot.
+    pub fn new(catalog: Catalog, config: ServerConfig) -> Server {
+        let workers = config.workers.unwrap_or_else(WorkerPool::default_workers);
+        let mut pool = WorkerPool::new(workers);
+        if let Some(rows) = config.morsel_rows {
+            pool = pool.with_morsel_rows(rows);
+        }
+        let pool = Arc::new(pool);
+        let contexts: Vec<ExecContext> = (0..config.contexts.max(1))
+            .map(|_| ExecContext::with_pool(Arc::clone(&pool)))
+            .collect();
+        Server {
+            catalog,
+            pool: Arc::clone(&pool),
+            gate: Gate::new(contexts, config.queue_limit),
+            cache: PlanCache::new(config.cache_capacity),
+            stats: StatsRecorder::default(),
+            default_planner: config.default_planner,
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shared worker pool (per-worker arenas included).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    pub fn default_planner(&self) -> PlannerKind {
+        self.default_planner
+    }
+
+    /// Counter snapshot (cache hits/misses/evictions, queue high-water,
+    /// latency histogram).
+    pub fn stats(&self) -> ServeStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of statement shapes currently cached.
+    pub fn cached_statements(&self) -> usize {
+        self.cache.cached_statements()
+    }
+
+    /// Sweep every idle context (reclaiming buffers of dropped results)
+    /// and return the total count of still-outstanding pooled buffers
+    /// across idle-context arenas and the shared pool's worker arenas.
+    /// With no request in flight and every result dropped, this is zero
+    /// — the leak-test invariant.
+    pub fn outstanding(&self) -> usize {
+        let per_ctx: usize = self
+            .gate
+            .with_free(|ctx| {
+                ctx.sweep();
+                ctx.arena().outstanding()
+            })
+            .into_iter()
+            .sum();
+        per_ctx + self.pool.outstanding()
+    }
+
+    /// Run a SQL statement with the default planner.
+    pub fn sql(&self, sql: &str) -> Result<ServeResult> {
+        self.sql_with(sql, self.default_planner)
+    }
+
+    /// Run a SQL statement with an explicit planner, through the plan
+    /// cache: byte-identical repeats skip even lexing; same-shape
+    /// statements with different literals skip parsing and planning and
+    /// just bind.
+    pub fn sql_with(&self, sql: &str, planner: PlannerKind) -> Result<ServeResult> {
+        // Level 1: exact text. The parameters were extracted when this
+        // text first came through, so the hot path is bind + execute.
+        if let Some((stmt, params)) = self.cache.get_text(planner, sql) {
+            self.stats.cache_hit();
+            return self.run_statement(&stmt, &params, true);
+        }
+        // Level 2: normalized shape.
+        let normalized = normalize_select(sql).inspect_err(|_| self.stats.error())?;
+        if let Some(stmt) = self.cache.get_statement(planner, &normalized.key) {
+            self.stats.cache_hit();
+            let params = Arc::new(normalized.params);
+            self.cache
+                .put_text(planner, sql, &stmt, Arc::clone(&params));
+            return self.run_statement(&stmt, &params, true);
+        }
+        // Miss: plan, cache, execute.
+        self.stats.cache_miss();
+        let params = Arc::new(normalized.params);
+        let stmt = self
+            .plan_statement(normalized.key, params.len(), normalized.stmt, planner)
+            .inspect_err(|_| self.stats.error())?;
+        self.stats.evicted(self.cache.put_statement(&stmt));
+        self.cache
+            .put_text(planner, sql, &stmt, Arc::clone(&params));
+        self.run_statement(&stmt, &params, false)
+    }
+
+    /// Parse, normalize and plan `sql`, returning a reusable handle.
+    /// Re-preparing an already-cached shape is a cache hit and does no
+    /// planning.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        self.prepare_with(sql, self.default_planner)
+    }
+
+    pub fn prepare_with(&self, sql: &str, planner: PlannerKind) -> Result<Prepared> {
+        let normalized = normalize_select(sql).inspect_err(|_| self.stats.error())?;
+        if let Some(inner) = self.cache.get_statement(planner, &normalized.key) {
+            self.stats.cache_hit();
+            return Ok(Prepared { inner });
+        }
+        self.stats.cache_miss();
+        let inner = self
+            .plan_statement(
+                normalized.key,
+                normalized.params.len(),
+                normalized.stmt,
+                planner,
+            )
+            .inspect_err(|_| self.stats.error())?;
+        self.stats.evicted(self.cache.put_statement(&inner));
+        Ok(Prepared { inner })
+    }
+
+    /// Execute a prepared statement with fresh parameter values — never
+    /// parses, and re-plans only if the binding changes the predicate's
+    /// DAG (value-coincidence; see the module docs).
+    pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<ServeResult> {
+        if params.len() != prepared.inner.param_count {
+            self.stats.error();
+            return Err(BasiliskError::Plan(format!(
+                "statement takes {} parameter(s), {} supplied",
+                prepared.inner.param_count,
+                params.len()
+            )));
+        }
+        self.run_statement(&prepared.inner, params, true)
+    }
+
+    /// Full parse-and-plan of one statement shape (the cache-miss path).
+    fn plan_statement(
+        &self,
+        key: String,
+        param_count: usize,
+        parsed: basilisk_sql::SelectStmt,
+        planner: PlannerKind,
+    ) -> Result<Arc<PreparedStatement>> {
+        self.stats.prepared();
+        let limit = parsed.limit;
+        let star = matches!(parsed.projection, Projection::Star);
+        let is_count = matches!(parsed.projection, Projection::Count);
+        let mut query = parsed.into_query();
+        if star {
+            let mut cols = Vec::new();
+            for (alias, table_name) in &query.aliases {
+                let table = self.catalog.table(table_name)?;
+                for name in table.column_names() {
+                    cols.push(ColumnRef::new(alias.clone(), name));
+                }
+            }
+            query.projection = cols;
+        }
+        // Plan on a throwaway serial context: planning never executes,
+        // so it needs no workers and warms no arena.
+        let session = QuerySession::new(&self.catalog, query)?.with_context(ExecContext::new(1));
+        let plan = session.plan(planner)?;
+        Ok(Arc::new(PreparedStatement {
+            key,
+            query: session.query().clone(),
+            tree: session.tree().cloned(),
+            param_count,
+            chosen: plan.chosen_planner(),
+            plan,
+            planner,
+            tables: session.tables().clone(),
+            three_valued: session.three_valued(),
+            limit,
+            is_count,
+        }))
+    }
+
+    /// Bind, admit, execute, materialize, release.
+    fn run_statement(
+        &self,
+        stmt: &Arc<PreparedStatement>,
+        params: &[Value],
+        cache_hit: bool,
+    ) -> Result<ServeResult> {
+        let t_bind = Instant::now();
+        let mut query = stmt.query.clone();
+        if stmt.param_count > 0 {
+            let template = query
+                .predicate
+                .as_ref()
+                .expect("parameters imply a predicate");
+            query.predicate = Some(bind_params(template, params).inspect_err(|_| {
+                self.stats.error();
+            })?);
+        }
+        // Two reasons the cached plan may not be reusable for this
+        // binding, both rare and both re-planned on the spot:
+        //  * congruence — the plan addresses the prepare-time predicate
+        //    DAG by node id, and a binding whose values collapse or
+        //    split nodes changes the DAG;
+        //  * NULL upgrade — a NULL bound into a statement planned
+        //    two-valued makes its atom evaluate to unknown on every
+        //    row, which only three-valued tag maps handle (the re-plan
+        //    detects the NULL literal and builds them).
+        let bound_tree = query.predicate.as_ref().map(PredicateTree::build);
+        let congruent = match (&stmt.tree, &bound_tree) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.congruent_modulo_values(b),
+            _ => false,
+        };
+        let null_upgrade = !stmt.three_valued && params.iter().any(|v| matches!(v, Value::Null));
+        let reusable = congruent && !null_upgrade;
+        let bind_time = t_bind.elapsed();
+
+        let ctx = self.gate.acquire(&self.stats)?;
+        let (ctx, result) = self.execute_on_context(stmt, query, reusable, bind_time, ctx);
+        self.gate.release(ctx, &self.stats);
+        match result {
+            Ok(mut r) => {
+                r.cache_hit = cache_hit && reusable;
+                self.stats.executed(r.timings.total());
+                Ok(r)
+            }
+            Err(e) => {
+                self.stats.error();
+                Err(e)
+            }
+        }
+    }
+
+    /// The context-holding span of a request. Always returns the context
+    /// (error paths included) so the gate never leaks capacity.
+    fn execute_on_context(
+        &self,
+        stmt: &PreparedStatement,
+        query: Query,
+        reusable: bool,
+        bind_time: Duration,
+        ctx: ExecContext,
+    ) -> (ExecContext, Result<ServeResult>) {
+        // Build the session without surrendering the context on failure.
+        let (session, plan, planning) = if reusable {
+            let est = match Estimator::new(&self.catalog, &query.aliases) {
+                Ok(e) => e,
+                Err(e) => return (ctx, Err(e)),
+            };
+            let session =
+                QuerySession::prepared(est, query, stmt.tables.clone(), stmt.three_valued, ctx);
+            (session, None, bind_time)
+        } else {
+            // The binding invalidated the cached plan (value-coincident
+            // DAG change, or a NULL requiring three-valued maps):
+            // re-plan this execution from scratch on the checked-out
+            // context (`QuerySession::new` re-derives the three-valued
+            // flag from the bound predicate, NULL literals included).
+            let t0 = Instant::now();
+            self.stats.prepared();
+            let session = match QuerySession::new(&self.catalog, query) {
+                Ok(s) => s,
+                Err(e) => return (ctx, Err(e)),
+            };
+            let session = session.with_context(ctx);
+            match session.plan(stmt.planner) {
+                Ok(p) => (session, Some(p), bind_time + t0.elapsed()),
+                Err(e) => return (session.into_context(), Err(e)),
+            }
+        };
+        let plan: &Plan = plan.as_ref().unwrap_or(&stmt.plan);
+
+        let t1 = Instant::now();
+        let result = (|| -> Result<ServeResult> {
+            let output = session.execute(plan)?;
+            let execution = t1.elapsed();
+            let (columns, row_count) =
+                self.materialize(&session, &output, stmt.limit, stmt.is_count)?;
+            Ok(ServeResult {
+                columns,
+                row_count,
+                planner: stmt.planner,
+                chosen: stmt.chosen,
+                timings: PlanTimings {
+                    planning,
+                    execution,
+                },
+                cache_hit: false, // set by the caller
+            })
+        })();
+        (session.into_context(), result)
+    }
+
+    /// Shared lowering of an executed output: `COUNT(*)`, projection and
+    /// `LIMIT`.
+    fn materialize(
+        &self,
+        session: &QuerySession,
+        output: &QueryOutput,
+        limit: Option<usize>,
+        is_count: bool,
+    ) -> Result<(OutputColumns, usize)> {
+        let full_count = output.count();
+        if is_count {
+            // COUNT(*): one row, one synthetic column (LIMIT 0 still
+            // yields the count row, matching SQL aggregates).
+            return Ok((
+                vec![(
+                    ColumnRef::new("", "count(*)"),
+                    Arc::new(Column::from_ints(vec![full_count as i64])),
+                )],
+                1,
+            ));
+        }
+        let mut columns = session.project(output)?;
+        let mut row_count = full_count;
+        if let Some(l) = limit {
+            if l < row_count {
+                let keep: Vec<u32> = (0..l as u32).collect();
+                for (_, col) in &mut columns {
+                    *col = Arc::new(col.gather(&keep));
+                }
+                row_count = l;
+            }
+        }
+        Ok((columns, row_count))
+    }
+}
+
+// One server, many client threads: keep the property pinned.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Server>();
+    assert_send_sync::<Prepared>();
+};

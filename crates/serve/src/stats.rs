@@ -1,0 +1,239 @@
+//! Serving-loop observability: cache counters, admission-queue depth and
+//! a per-query latency histogram.
+//!
+//! All counters are lock-free atomics updated on the request path and
+//! read as a consistent-enough [`ServeStats`] snapshot (individual
+//! counters are exact; cross-counter relations like `hits + misses ==
+//! statements` hold whenever no request is mid-flight).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts queries with
+/// latency in `[2^i, 2^(i+1))` microseconds (bucket 0 additionally takes
+/// sub-microsecond queries, the last bucket everything slower).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// The recorder half: shared by every request, snapshot via
+/// [`StatsRecorder::snapshot`].
+#[derive(Default)]
+pub(crate) struct StatsRecorder {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Statements actually parsed + planned (misses and explicit
+    /// prepares). The zero-parse/zero-plan property of the hit path is
+    /// pinned by asserting this does not move across cached traffic.
+    prepared: AtomicU64,
+    executed: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_high_water: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    latency_total_micros: AtomicU64,
+}
+
+impl StatsRecorder {
+    pub(crate) fn cache_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cache_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn evicted(&self, n: u64) {
+        if n > 0 {
+            self.evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn prepared(&self) {
+        self.prepared.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn executed(&self, latency: Duration) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.latency_total_micros
+            .fetch_add(micros, Ordering::Relaxed);
+        let bucket = (64 - micros.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered the admission queue; returns nothing but keeps
+    /// the high-water mark exact under concurrency (CAS loop).
+    pub(crate) fn enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut high = self.queue_high_water.load(Ordering::Relaxed);
+        while depth > high {
+            match self.queue_high_water.compare_exchange_weak(
+                high,
+                depth,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(h) => high = h,
+            }
+        }
+    }
+
+    pub(crate) fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_evictions: self.evictions.load(Ordering::Relaxed),
+            statements_prepared: self.prepared.load(Ordering::Relaxed),
+            statements_executed: self.executed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            latency_buckets: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
+            latency_total_micros: self.latency_total_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a server's counters (see
+/// [`Server::stats`](crate::Server::stats)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests served from the plan cache (no parse, no plan).
+    pub cache_hits: u64,
+    /// Requests that had to parse + plan (and then populated the cache).
+    pub cache_misses: u64,
+    /// Cached statements evicted by LRU capacity pressure.
+    pub cache_evictions: u64,
+    /// Statements parsed + planned (cache misses and explicit prepares).
+    pub statements_prepared: u64,
+    /// Statements executed to completion.
+    pub statements_executed: u64,
+    /// Requests that returned an error (after admission).
+    pub errors: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// Requests currently queued or executing.
+    pub queue_depth: u64,
+    /// Highest simultaneous queue depth observed.
+    pub queue_high_water: u64,
+    /// Power-of-two microsecond buckets, `buckets[i]` counting latencies
+    /// in `[2^i, 2^(i+1))` µs.
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
+    pub latency_total_micros: u64,
+}
+
+impl ServeStats {
+    /// Total queries recorded in the histogram.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// Mean query latency.
+    pub fn mean_latency(&self) -> Duration {
+        let n = self.latency_count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.latency_total_micros / n)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 < q ≤ 1)
+    /// — e.g. `quantile_latency(0.99)` for a p99 estimate.
+    pub fn quantile_latency(&self, q: f64) -> Duration {
+        let n = self.latency_count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.latency_buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_micros(1u64 << (i + 1));
+            }
+        }
+        Duration::from_micros(1u64 << LATENCY_BUCKETS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_snapshot() {
+        let r = StatsRecorder::default();
+        r.cache_miss();
+        r.prepared();
+        r.cache_hit();
+        r.cache_hit();
+        r.evicted(0);
+        r.evicted(2);
+        r.error();
+        r.rejected();
+        let s = r.snapshot();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_evictions, 2);
+        assert_eq!(s.statements_prepared, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.rejected, 1);
+    }
+
+    #[test]
+    fn queue_high_water_tracks_peak() {
+        let r = StatsRecorder::default();
+        r.enqueued();
+        r.enqueued();
+        r.enqueued();
+        r.dequeued();
+        r.enqueued();
+        let s = r.snapshot();
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.queue_high_water, 3, "peak was 3, never 4");
+        r.dequeued();
+        r.dequeued();
+        r.dequeued();
+        assert_eq!(r.snapshot().queue_depth, 0);
+        assert_eq!(r.snapshot().queue_high_water, 3, "high water is sticky");
+    }
+
+    #[test]
+    fn latency_buckets_power_of_two() {
+        let r = StatsRecorder::default();
+        r.executed(Duration::from_micros(0)); // bucket 0
+        r.executed(Duration::from_micros(1)); // bucket 0
+        r.executed(Duration::from_micros(3)); // [2,4) → bucket 1
+        r.executed(Duration::from_micros(1000)); // [512,1024)·µs → bucket 9
+        r.executed(Duration::from_secs(4000)); // beyond range → last bucket
+        let s = r.snapshot();
+        assert_eq!(s.latency_buckets[0], 2);
+        assert_eq!(s.latency_buckets[1], 1);
+        assert_eq!(s.latency_buckets[9], 1);
+        assert_eq!(s.latency_buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(s.latency_count(), 5);
+        assert!(s.mean_latency() > Duration::ZERO);
+        assert!(s.quantile_latency(0.5) <= Duration::from_micros(4));
+        assert!(s.quantile_latency(1.0) >= Duration::from_secs(1));
+        let empty = StatsRecorder::default().snapshot();
+        assert_eq!(empty.mean_latency(), Duration::ZERO);
+        assert_eq!(empty.quantile_latency(0.99), Duration::ZERO);
+    }
+}

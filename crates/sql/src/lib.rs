@@ -17,9 +17,18 @@
 //! range comparisons), and arbitrarily nested `AND`/`OR`/`NOT`.
 //! Projections: column lists, `*`, or `COUNT(*)`; a trailing `LIMIT n`
 //! caps materialization.
+//!
+//! For the serving layer, [`normalize_select`] additionally rewrites
+//! every predicate literal into an ordinal placeholder, producing the
+//! plan-cache key and the extracted parameter vector ([`bind_params`]
+//! substitutes fresh values back in the same order).
 
 mod lexer;
+mod normalize;
 mod parser;
 
 pub use lexer::{tokenize, Token, TokenKind};
+pub use normalize::{
+    bind_params, count_params, extract_params, normalize_select, statement_key, NormalizedStatement,
+};
 pub use parser::{parse_select, Projection, SelectStmt};

@@ -1,0 +1,331 @@
+//! Literal → parameter normalization for prepared statements.
+//!
+//! The serving layer caches plans keyed by a statement's **shape**: the
+//! SQL text with every predicate literal replaced by an ordinal
+//! placeholder (`?1`, `?2`, …). Two statements that differ only in their
+//! literal values — the overwhelmingly common case in a serving loop —
+//! normalize to the same key, so the second one skips parsing and
+//! planning entirely and just binds its extracted literals into the
+//! cached template.
+//!
+//! Parameter order is the **pre-order walk** of the parsed predicate:
+//! OR/AND children left to right, through NOT, and within an atom the
+//! comparison value, the LIKE pattern, or the IN-list values in list
+//! order. [`extract_params`] and [`bind_params`] share that walk, so
+//! extraction at normalize time and substitution at execute time can
+//! never disagree about which literal is `?n`.
+//!
+//! Only *predicate* literals are parameterized. `LIMIT` (and the
+//! projection, table list and join conditions) stay in the key: they
+//! change the plan's shape, not just its constants. IN-list arity is
+//! likewise part of the key (`IN (?1, ?2)` ≠ `IN (?1, ?2, ?3)`).
+
+use std::fmt::Write as _;
+
+use basilisk_expr::{Atom, Expr};
+use basilisk_types::{BasiliskError, Result, Value};
+
+use crate::parser::{parse_select, Projection, SelectStmt};
+
+/// A parsed statement together with its parameterized cache key and the
+/// literal values extracted from the predicate (in `?n` order).
+pub struct NormalizedStatement {
+    /// Canonical parameterized text — the plan-cache key. Not meant to be
+    /// re-parsed; it is a stable fingerprint of the statement's shape.
+    pub key: String,
+    /// The parsed statement, literals still in place (they become the
+    /// template's prepare-time values).
+    pub stmt: SelectStmt,
+    /// The extracted predicate literals, `params[i]` ↔ placeholder
+    /// `?i+1`.
+    pub params: Vec<Value>,
+}
+
+/// Parse `sql` and normalize it (see the module docs).
+pub fn normalize_select(sql: &str) -> Result<NormalizedStatement> {
+    let stmt = parse_select(sql)?;
+    let (key, params) = statement_key(&stmt);
+    Ok(NormalizedStatement { key, stmt, params })
+}
+
+/// The parameterized cache key of a parsed statement, plus its extracted
+/// predicate literals in placeholder order.
+pub fn statement_key(stmt: &SelectStmt) -> (String, Vec<Value>) {
+    let mut key = String::from("SELECT ");
+    match &stmt.projection {
+        Projection::Star => key.push('*'),
+        Projection::Count => key.push_str("COUNT(*)"),
+        Projection::Columns(cols) => {
+            for (i, c) in cols.iter().enumerate() {
+                if i > 0 {
+                    key.push_str(", ");
+                }
+                let _ = write!(key, "{c}");
+            }
+        }
+    }
+    key.push_str(" FROM ");
+    for (i, (alias, table)) in stmt.tables.iter().enumerate() {
+        if i > 0 {
+            key.push_str(", ");
+        }
+        let _ = write!(key, "{table} AS {alias}");
+    }
+    for (l, r) in &stmt.joins {
+        let _ = write!(key, " JOIN ON {l} = {r}");
+    }
+    let mut params = Vec::new();
+    if let Some(pred) = &stmt.predicate {
+        key.push_str(" WHERE ");
+        render_parameterized(pred, &mut key, &mut params);
+    }
+    if let Some(l) = stmt.limit {
+        let _ = write!(key, " LIMIT {l}");
+    }
+    (key, params)
+}
+
+/// Append `expr` to `out` with every literal replaced by `?n`, pushing
+/// the literal values onto `params` in placeholder order. Connectives are
+/// fully parenthesized — the key never needs precedence to round-trip.
+fn render_parameterized(expr: &Expr, out: &mut String, params: &mut Vec<Value>) {
+    match expr {
+        Expr::And(cs) | Expr::Or(cs) => {
+            let sep = if matches!(expr, Expr::And(_)) {
+                " AND "
+            } else {
+                " OR "
+            };
+            out.push('(');
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(sep);
+                }
+                render_parameterized(c, out, params);
+            }
+            out.push(')');
+        }
+        Expr::Not(c) => {
+            out.push_str("(NOT ");
+            render_parameterized(c, out, params);
+            out.push(')');
+        }
+        Expr::Atom(a) => match a {
+            Atom::Cmp { col, op, value } => {
+                params.push(value.clone());
+                let _ = write!(out, "{col} {} ?{}", op.symbol(), params.len());
+            }
+            Atom::Like {
+                col,
+                pattern,
+                case_insensitive,
+            } => {
+                params.push(Value::Str(pattern.clone()));
+                let _ = write!(
+                    out,
+                    "{col} {} ?{}",
+                    if *case_insensitive { "ILIKE" } else { "LIKE" },
+                    params.len()
+                );
+            }
+            Atom::IsNull { col } => {
+                let _ = write!(out, "{col} IS NULL");
+            }
+            Atom::InList { col, values } => {
+                let _ = write!(out, "{col} IN (");
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    params.push(v.clone());
+                    let _ = write!(out, "?{}", params.len());
+                }
+                out.push(')');
+            }
+        },
+    }
+}
+
+/// The predicate's literal values in placeholder order — what a raw
+/// statement binds when it hits a cached template.
+pub fn extract_params(expr: &Expr) -> Vec<Value> {
+    let mut out = String::new();
+    let mut params = Vec::new();
+    render_parameterized(expr, &mut out, &mut params);
+    params
+}
+
+/// Number of parameters a predicate exposes.
+pub fn count_params(expr: &Expr) -> usize {
+    extract_params(expr).len()
+}
+
+/// Rebuild `expr` with its literals replaced by `params`, in the same
+/// walk order [`extract_params`] uses. Errors when the arity disagrees,
+/// or when a LIKE pattern is bound to a non-string value.
+pub fn bind_params(expr: &Expr, params: &[Value]) -> Result<Expr> {
+    let mut iter = params.iter();
+    let bound = bind_walk(expr, &mut iter)?;
+    let leftover = iter.count();
+    if leftover != 0 {
+        return Err(BasiliskError::Plan(format!(
+            "statement takes {} parameter(s), {} supplied",
+            params.len() - leftover,
+            params.len()
+        )));
+    }
+    Ok(bound)
+}
+
+fn bind_walk<'a>(expr: &Expr, params: &mut impl Iterator<Item = &'a Value>) -> Result<Expr> {
+    let mut next = |what: &str| -> Result<Value> {
+        params
+            .next()
+            .cloned()
+            .ok_or_else(|| BasiliskError::Plan(format!("missing parameter for {what}")))
+    };
+    Ok(match expr {
+        Expr::And(cs) => Expr::And(
+            cs.iter()
+                .map(|c| bind_walk(c, params))
+                .collect::<Result<_>>()?,
+        ),
+        Expr::Or(cs) => Expr::Or(
+            cs.iter()
+                .map(|c| bind_walk(c, params))
+                .collect::<Result<_>>()?,
+        ),
+        Expr::Not(c) => Expr::Not(Box::new(bind_walk(c, params)?)),
+        Expr::Atom(a) => Expr::Atom(match a {
+            Atom::Cmp { col, op, .. } => Atom::Cmp {
+                col: col.clone(),
+                op: *op,
+                value: next(&format!("{col} {}", op.symbol()))?,
+            },
+            Atom::Like {
+                col,
+                case_insensitive,
+                ..
+            } => {
+                let v = next(&format!("{col} LIKE"))?;
+                let Value::Str(pattern) = v else {
+                    return Err(BasiliskError::Type(format!(
+                        "LIKE pattern parameter for {col} must be a string, got {v}"
+                    )));
+                };
+                Atom::Like {
+                    col: col.clone(),
+                    pattern,
+                    case_insensitive: *case_insensitive,
+                }
+            }
+            Atom::IsNull { col } => Atom::IsNull { col: col.clone() },
+            Atom::InList { col, values } => Atom::InList {
+                col: col.clone(),
+                values: values
+                    .iter()
+                    .map(|_| next(&format!("{col} IN")))
+                    .collect::<Result<_>>()?,
+            },
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_shape_same_key_different_params() {
+        let a = normalize_select(
+            "SELECT t.id FROM title t JOIN m ON t.id = m.tid \
+             WHERE t.year > 2000 AND m.score > '7.0' OR t.name LIKE '%x%'",
+        )
+        .unwrap();
+        let b = normalize_select(
+            "SELECT t.id FROM title t JOIN m ON t.id = m.tid \
+             WHERE t.year > 1990 AND m.score > '9.9' OR t.name LIKE '%zz%'",
+        )
+        .unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.params.len(), 3);
+        assert_eq!(a.params[0], Value::Int(2000));
+        assert_eq!(b.params[0], Value::Int(1990));
+        assert_eq!(b.params[2], Value::Str("%zz%".into()));
+        assert!(a.key.contains("?1") && a.key.contains("?3"), "{}", a.key);
+        assert!(!a.key.contains("2000"), "{}", a.key);
+    }
+
+    #[test]
+    fn shape_changes_change_the_key() {
+        let base = normalize_select("SELECT * FROM t WHERE t.a > 1").unwrap();
+        for other in [
+            "SELECT * FROM t WHERE t.a < 1",         // operator
+            "SELECT * FROM t WHERE t.b > 1",         // column
+            "SELECT t.a FROM t WHERE t.a > 1",       // projection
+            "SELECT * FROM t WHERE t.a > 1 LIMIT 5", // limit
+            "SELECT COUNT(*) FROM t WHERE t.a > 1",  // count
+            "SELECT * FROM t WHERE NOT t.a > 1",     // NOT
+            "SELECT * FROM t WHERE t.a IN (1, 2)",   // different atom
+        ] {
+            let n = normalize_select(other).unwrap();
+            assert_ne!(base.key, n.key, "{other}");
+        }
+        // IN-list arity is part of the shape.
+        let in2 = normalize_select("SELECT * FROM t WHERE t.a IN (1, 2)").unwrap();
+        let in3 = normalize_select("SELECT * FROM t WHERE t.a IN (1, 2, 3)").unwrap();
+        assert_ne!(in2.key, in3.key);
+        assert_eq!(in3.params.len(), 3);
+    }
+
+    #[test]
+    fn bind_roundtrips_extraction() {
+        let n = normalize_select(
+            "SELECT * FROM t WHERE (t.a BETWEEN 1 AND 5 OR t.s ILIKE '%q%') \
+             AND t.c IN (7, 8) AND t.d IS NULL",
+        )
+        .unwrap();
+        let pred = n.stmt.predicate.clone().unwrap();
+        let params = extract_params(&pred);
+        // BETWEEN desugars to two comparisons: 2 + 1 LIKE + 2 IN = 5.
+        assert_eq!(params.len(), 5);
+        assert_eq!(count_params(&pred), 5);
+        let rebound = bind_params(&pred, &params).unwrap();
+        assert_eq!(rebound, pred, "identity binding");
+        // Fresh values land in walk order.
+        let fresh: Vec<Value> = vec![
+            Value::Int(10),
+            Value::Int(50),
+            Value::Str("%zz%".into()),
+            Value::Int(70),
+            Value::Int(80),
+        ];
+        let rebound = bind_params(&pred, &fresh).unwrap();
+        assert_eq!(extract_params(&rebound), fresh);
+    }
+
+    #[test]
+    fn bind_arity_and_type_errors() {
+        let n = normalize_select("SELECT * FROM t WHERE t.a > 1 AND t.s LIKE 'x'").unwrap();
+        let pred = n.stmt.predicate.unwrap();
+        assert!(bind_params(&pred, &[Value::Int(1)]).is_err(), "too few");
+        assert!(
+            bind_params(
+                &pred,
+                &[Value::Int(1), Value::Str("y".into()), Value::Int(9)]
+            )
+            .is_err(),
+            "too many"
+        );
+        let e = bind_params(&pred, &[Value::Int(1), Value::Int(2)]).unwrap_err();
+        assert!(e.to_string().contains("LIKE"), "{e}");
+    }
+
+    #[test]
+    fn no_predicate_no_params() {
+        let n = normalize_select("SELECT * FROM a JOIN b ON a.x = b.y LIMIT 3").unwrap();
+        assert!(n.params.is_empty());
+        assert!(n.key.contains("JOIN ON a.x = b.y"), "{}", n.key);
+        assert!(n.key.ends_with("LIMIT 3"), "{}", n.key);
+    }
+}

@@ -1,0 +1,469 @@
+//! Concurrent serving soak/differential suite.
+//!
+//! N client threads fire a mixed workload — synthetic DNF/CNF joins and
+//! JOB-style disjunctive statements, several literal variants per shape —
+//! at one shared [`Server`], and every response must be **bit-for-bit
+//! equal** to the serial single-session reference (ordered merges make
+//! parallel output deterministic; exclusive contexts make concurrent
+//! output session-clean). Error paths and cache evictions must strand
+//! nothing in any arena (`outstanding() == 0`), and plan-cache hit
+//! accounting must stay exact under eviction pressure.
+//!
+//! The CI tier-1 matrix runs this suite under `BASILISK_THREADS=4` (the
+//! servers below also pin explicit worker counts, so the parallel path
+//! is exercised on every matrix entry).
+
+use std::sync::Arc;
+
+use basilisk::{Catalog, ServeResult, Server, ServerConfig, Value};
+use basilisk_workload::{generate_imdb, generate_synthetic, ImdbConfig, SyntheticConfig};
+
+fn soak_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    // Small tables: the zipf-skewed fid columns make the 3-way join
+    // output superlinear in row count, and this suite's job is
+    // concurrency coverage, not scale.
+    for t in generate_synthetic(&SyntheticConfig {
+        rows: 600,
+        num_attrs: 4,
+        ..SyntheticConfig::default()
+    })
+    .unwrap()
+    {
+        cat.add_table(t).unwrap();
+    }
+    for t in generate_imdb(&ImdbConfig {
+        scale: 0.08,
+        seed: 42,
+    })
+    .unwrap()
+    {
+        cat.add_table(t).unwrap();
+    }
+    cat
+}
+
+/// The statement mix: every entry is one *shape* with several literal
+/// variants (all variants normalize to the same plan-cache key).
+fn workload() -> Vec<Vec<String>> {
+    let synth_dnf = |s: f64| {
+        format!(
+            "SELECT t0.id FROM t0 JOIN t1 ON t0.id = t1.fid JOIN t2 ON t0.id = t2.fid \
+             WHERE t1.a1 < {s} AND t2.a1 < {s:.3} OR t1.a2 < {s} AND t2.a2 < {s:.4} \
+             OR t1.a3 < {s} AND t2.a3 < {s:.5}"
+        )
+    };
+    let synth_cnf = |s: f64| {
+        format!(
+            "SELECT t0.id FROM t0 JOIN t1 ON t0.id = t1.fid JOIN t2 ON t0.id = t2.fid \
+             WHERE (t1.a1 < {s} OR t2.a1 < {s:.3}) AND (t1.a2 < {s} OR t2.a2 < {s:.4})"
+        )
+    };
+    let job_scores = |y1: i64, s1: &str, y2: i64, s2: &str| {
+        format!(
+            "SELECT t.id, t.production_year FROM title t \
+             JOIN movie_info_idx mi ON t.id = mi.movie_id \
+             WHERE (t.production_year > {y1} AND mi.info > '{s1}') \
+             OR (t.production_year > {y2} AND mi.info > '{s2}')"
+        )
+    };
+    let job_companies = |pat: &str, y: i64| {
+        format!(
+            "SELECT t.id FROM title t JOIN movie_companies mc ON t.id = mc.movie_id \
+             WHERE mc.note LIKE '{pat}' OR t.production_year < {y} OR t.title ILIKE '%a%'"
+        )
+    };
+    let single_table = |lo: i64, hi: i64| {
+        format!(
+            "SELECT t.id FROM title t \
+             WHERE t.production_year BETWEEN {lo} AND {hi} OR t.kind_id IN (1, 2)"
+        )
+    };
+    vec![
+        vec![synth_dnf(0.2), synth_dnf(0.3), synth_dnf(0.1)],
+        vec![synth_cnf(0.3), synth_cnf(0.45)],
+        vec![
+            job_scores(2000, "6.0", 1980, "8.0"),
+            job_scores(1990, "5.0", 1950, "9.0"),
+        ],
+        vec![job_companies("%co%", 1950), job_companies("%(2%", 1990)],
+        vec![single_table(1950, 1980), single_table(1900, 1930)],
+        vec![
+            "SELECT COUNT(*) FROM title t WHERE t.production_year > 1990 \
+             OR t.title LIKE '%e%'"
+                .to_string(),
+        ],
+    ]
+}
+
+/// Bit-for-bit fingerprint of a result: column names and every value of
+/// every row, in engine order.
+fn fingerprint(r: &ServeResult) -> Vec<(String, Vec<Value>)> {
+    r.columns
+        .iter()
+        .map(|(cref, col)| {
+            (
+                cref.to_string(),
+                (0..r.row_count).map(|i| col.value(i)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn serial_reference(cat: &Catalog) -> Server {
+    Server::new(
+        cat.clone(),
+        ServerConfig {
+            contexts: 1,
+            workers: Some(1),
+            ..ServerConfig::default()
+        },
+    )
+}
+
+/// The tentpole differential: 6 client threads × mixed statements ×
+/// rounds against one parallel server ≡ serial single-session output.
+#[test]
+fn concurrent_soak_matches_serial() {
+    let cat = soak_catalog();
+    let statements: Vec<String> = workload().into_iter().flatten().collect();
+    let reference = {
+        let serial = serial_reference(&cat);
+        statements
+            .iter()
+            .map(|sql| fingerprint(&serial.sql(sql).unwrap()))
+            .collect::<Vec<_>>()
+    };
+
+    let server = Arc::new(Server::new(
+        cat.clone(),
+        ServerConfig {
+            contexts: 3,
+            workers: Some(4),
+            morsel_rows: Some(256),
+            ..ServerConfig::default()
+        },
+    ));
+    // Warm the plan cache serially so the concurrent phase is pure
+    // cached traffic — which makes the accounting below exact (cold
+    // concurrent misses may legitimately double-plan a shape).
+    for sql in statements.iter() {
+        server.sql(sql).unwrap();
+    }
+    let warm = server.stats();
+    assert_eq!(
+        warm.statements_prepared,
+        workload().len() as u64,
+        "one plan per shape after warm-up"
+    );
+
+    let statements = Arc::new(statements);
+    let reference = Arc::new(reference);
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 2;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let statements = Arc::clone(&statements);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    for i in 0..statements.len() {
+                        // Rotate per client so different statements are in
+                        // flight simultaneously.
+                        let k = (i + c + round) % statements.len();
+                        let r = server.sql(&statements[k]).unwrap();
+                        assert_eq!(
+                            fingerprint(&r),
+                            reference[k],
+                            "client {c} round {round} diverged on: {}",
+                            statements[k]
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = server.stats();
+    let total = (CLIENTS * ROUNDS * statements.len()) as u64;
+    assert_eq!(stats.statements_executed - warm.statements_executed, total);
+    assert_eq!(
+        stats.cache_hits - warm.cache_hits,
+        total,
+        "warm concurrent traffic is pure hits: {stats:?}"
+    );
+    assert_eq!(
+        stats.statements_prepared, warm.statements_prepared,
+        "the concurrent phase did zero parse/plan work"
+    );
+    assert_eq!(stats.queue_depth, 0, "system drained");
+    assert!(stats.queue_high_water >= 1);
+    assert_eq!(server.outstanding(), 0, "all arenas clean after the soak");
+}
+
+/// Prepared-statement traffic from many threads over one shared handle:
+/// zero plan work after prepare, per-binding results equal to the serial
+/// reference.
+#[test]
+fn concurrent_prepared_bindings_match_serial() {
+    let cat = soak_catalog();
+    let serial = serial_reference(&cat);
+    let shape = |y: i64, s: &str| {
+        format!(
+            "SELECT t.id FROM title t JOIN movie_info_idx mi ON t.id = mi.movie_id \
+             WHERE t.production_year > {y} OR mi.info > '{s}'"
+        )
+    };
+    let bindings: Vec<(i64, &str)> = vec![(2000, "7.0"), (1980, "9.5"), (1930, "2.0"), (2015, "0")];
+    let reference: Vec<_> = bindings
+        .iter()
+        .map(|(y, s)| fingerprint(&serial.sql(&shape(*y, s)).unwrap()))
+        .collect();
+
+    let server = Arc::new(Server::new(
+        cat,
+        ServerConfig {
+            contexts: 4,
+            workers: Some(2),
+            morsel_rows: Some(256),
+            ..ServerConfig::default()
+        },
+    ));
+    let prepared = server.prepare(&shape(2000, "7.0")).unwrap();
+    assert_eq!(prepared.param_count(), 2);
+    let reference = Arc::new(reference);
+    let bindings = Arc::new(bindings);
+
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let prepared = prepared.clone();
+            let reference = Arc::clone(&reference);
+            let bindings = Arc::clone(&bindings);
+            std::thread::spawn(move || {
+                for round in 0..4 {
+                    let k = (c + round) % bindings.len();
+                    let (y, s) = bindings[k];
+                    let r = server
+                        .execute_prepared(&prepared, &[Value::Int(y), Value::from(s)])
+                        .unwrap();
+                    assert_eq!(fingerprint(&r), reference[k], "binding {k}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        server.stats().statements_prepared,
+        1,
+        "16 executions, one plan"
+    );
+    assert_eq!(server.outstanding(), 0);
+}
+
+/// Error paths under concurrency: parse errors, plan errors, bind-type
+/// errors and runtime eval errors (serial and parallel) must all surface
+/// as errors — and leave every arena with `outstanding() == 0`.
+#[test]
+fn concurrent_errors_strand_nothing() {
+    let cat = soak_catalog();
+    let server = Arc::new(Server::new(
+        cat,
+        ServerConfig {
+            contexts: 2,
+            workers: Some(4),
+            morsel_rows: Some(256),
+            ..ServerConfig::default()
+        },
+    ));
+    // A runtime type error (Str column vs Int literal) that fails *mid
+    // evaluation* on worker threads.
+    let runtime_err = "SELECT t.id FROM title t \
+                       WHERE t.production_year > 1900 OR t.title > 5";
+    let good = "SELECT t.id FROM title t WHERE t.production_year > 1990";
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                for round in 0..6 {
+                    match (c + round) % 4 {
+                        0 => assert!(server.sql(runtime_err).is_err()),
+                        1 => assert!(server.sql("SELECT * FROM nope").is_err()),
+                        2 => assert!(server.sql("SELECT broken").is_err()),
+                        _ => assert!(server.sql(good).unwrap().row_count > 0),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Bind-type error through a prepared handle.
+    let stmt = server
+        .prepare("SELECT t.id FROM title t WHERE t.title LIKE '%x%'")
+        .unwrap();
+    assert!(server.execute_prepared(&stmt, &[Value::Int(7)]).is_err());
+    let stats = server.stats();
+    assert!(stats.errors >= 13, "{stats:?}");
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(
+        server.outstanding(),
+        0,
+        "error paths recycled every buffer into its own arena"
+    );
+}
+
+/// Plan-cache behavior under eviction pressure: thrashing shapes beyond
+/// capacity evicts (counted), a held prepared handle keeps working, and
+/// a stable working set returns to pure hits.
+#[test]
+fn cache_eviction_pressure_keeps_hits_exact() {
+    let cat = soak_catalog();
+    let server = Server::new(
+        cat,
+        ServerConfig {
+            contexts: 1,
+            workers: Some(1),
+            cache_capacity: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let shape = |col: &str, v: i64| format!("SELECT t.id FROM title t WHERE t.{col} > {v}");
+    let a = shape("production_year", 1990);
+    let b = shape("kind_id", 3);
+    let c = shape("id", 100);
+    // Prepare A and hold the handle across the eviction storm.
+    let held = server.prepare(&a).unwrap();
+    let after_prepare = server.stats();
+
+    // Cycle three shapes through a two-slot cache: every round trips at
+    // least one eviction once warm.
+    for _ in 0..4 {
+        for sql in [&a, &b, &c] {
+            server.sql(sql).unwrap();
+        }
+    }
+    let s = server.stats();
+    assert!(s.cache_evictions > 0, "{s:?}");
+    assert_eq!(
+        (s.cache_hits + s.cache_misses) - (after_prepare.cache_hits + after_prepare.cache_misses),
+        12
+    );
+    assert!(s.cache_misses >= 3, "three shapes, capacity two");
+
+    // The held handle still executes with zero plan work, evicted or not.
+    let planned = server.stats().statements_prepared;
+    let r = server.execute_prepared(&held, &[Value::Int(2000)]).unwrap();
+    assert!(r.row_count > 0);
+    assert_eq!(server.stats().statements_prepared, planned);
+    // A live result pins its pooled columns; release it so the final
+    // leak check sees a fully drained server.
+    drop(r);
+
+    // A stable working set (≤ capacity) becomes pure hits again.
+    let before = server.stats();
+    for _ in 0..6 {
+        server.sql(&a).unwrap();
+        server.sql(&b).unwrap();
+    }
+    let after = server.stats();
+    let new_hits = after.cache_hits - before.cache_hits;
+    let new_misses = after.cache_misses - before.cache_misses;
+    assert!(new_misses <= 2, "at most one reload per shape: {after:?}");
+    assert_eq!(new_hits + new_misses, 12);
+    assert_eq!(server.outstanding(), 0, "evictions leak nothing");
+}
+
+/// Admission under pressure: more clients than queue slots; rejected
+/// requests error with "busy", accepted ones are all answered, and the
+/// high-water mark reflects real concurrency.
+#[test]
+fn bounded_admission_under_load() {
+    let cat = soak_catalog();
+    let server = Arc::new(Server::new(
+        cat,
+        ServerConfig {
+            contexts: 1,
+            queue_limit: 2,
+            workers: Some(1),
+            ..ServerConfig::default()
+        },
+    ));
+    let sql = "SELECT t.id FROM title t WHERE t.production_year > 1950 \
+               AND t.title LIKE '%a%' OR t.kind_id IN (1, 2, 3)";
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut busy = 0u64;
+                for _ in 0..20 {
+                    match server.sql(sql) {
+                        Ok(r) => {
+                            assert!(r.row_count > 0);
+                            ok += 1;
+                        }
+                        Err(e) => {
+                            assert!(e.to_string().contains("busy"), "{e}");
+                            busy += 1;
+                        }
+                    }
+                }
+                (ok, busy)
+            })
+        })
+        .collect();
+    let (mut ok, mut busy) = (0, 0);
+    for h in handles {
+        let (o, b) = h.join().unwrap();
+        ok += o;
+        busy += b;
+    }
+    assert_eq!(ok + busy, 120);
+    let s = server.stats();
+    assert_eq!(s.statements_executed, ok);
+    assert_eq!(s.rejected, busy);
+    assert!(s.queue_high_water <= 2, "bounded by the queue limit");
+    assert_eq!(s.queue_depth, 0);
+    assert_eq!(server.outstanding(), 0);
+}
+
+#[test]
+#[ignore]
+fn profile_single_client() {
+    let cat = soak_catalog();
+    let server = Server::new(
+        cat,
+        ServerConfig {
+            contexts: 3,
+            workers: Some(4),
+            morsel_rows: Some(256),
+            ..ServerConfig::default()
+        },
+    );
+    for sql in workload().into_iter().flatten() {
+        let t0 = std::time::Instant::now();
+        let r = server.sql(&sql).unwrap();
+        println!(
+            "{:>10.1?} rows={:<6} {}",
+            t0.elapsed(),
+            r.row_count,
+            &sql[..60.min(sql.len())]
+        );
+        let t0 = std::time::Instant::now();
+        let r2 = server.sql(&sql).unwrap();
+        println!(
+            "{:>10.1?} rows={:<6} (cached repeat)",
+            t0.elapsed(),
+            r2.row_count
+        );
+    }
+}
