@@ -420,6 +420,120 @@ fn main() {
         }),
     );
 
+    // --- interleaved parallel regions: shared vs exclusive admission ----
+    // The multi-query scaling regime the region table targets: 16 clients
+    // fire a mixed filter/join workload at a 4-worker server whose
+    // statements fan out *narrow* regions (2 morsels at this table size),
+    // so no single region can keep all four workers busy. With a
+    // single-slot region table (`region_slots: Some(1)`, the old
+    // exclusive-region admission) overlapping regions serialize and half
+    // the pool idles; the default table lets regions from different
+    // contexts interleave on the same workers. Same statements, same
+    // worker count — the ratio isolates region admission.
+    let inter_rows: i64 = 64 * 1024;
+    let mut cat_int = Catalog::new();
+    let mut b = TableBuilder::new("ititle")
+        .column("id", DataType::Int)
+        .column("year", DataType::Int)
+        .column("votes", DataType::Int);
+    for i in 0..inter_rows {
+        b.push_row(vec![
+            i.into(),
+            (1900 + (i * 11) % 120).into(),
+            ((i * 37) % 100_000).into(),
+        ])
+        .unwrap();
+    }
+    cat_int.add_table(b.finish().unwrap()).unwrap();
+    let mut b = TableBuilder::new("iscores")
+        .column("movie_id", DataType::Int)
+        .column("score", DataType::Float);
+    for i in 0..inter_rows {
+        b.push_row(vec![
+            ((i * 17) % (inter_rows + 1000)).into(),
+            (((i * 13) % 100) as f64 / 10.0).into(),
+        ])
+        .unwrap();
+    }
+    cat_int.add_table(b.finish().unwrap()).unwrap();
+    let filter_sql = |y: i64, v: i64| {
+        format!(
+            "SELECT t.id FROM ititle t WHERE (t.year > {y} AND t.votes > {v}) \
+             OR (t.year < 1910 AND t.votes < 500) OR t.votes > 99000"
+        )
+    };
+    let join_sql = |y: i64, s: f64| {
+        format!(
+            "SELECT t.id FROM ititle t JOIN iscores s ON t.id = s.movie_id \
+             WHERE (t.year > {y} AND s.score > {s:.1}) OR t.year < 1905"
+        )
+    };
+    const INT_CLIENTS: usize = 16;
+    const INT_REQS: usize = 8; // per client per sample
+    let mixed: Vec<String> = (0..INT_CLIENTS * INT_REQS)
+        .map(|i| {
+            if i % 2 == 0 {
+                filter_sql(1960 + (i % 5) as i64, 40_000 + ((i % 3) * 1000) as i64)
+            } else {
+                join_sql(1970 + (i % 7) as i64, 6.0 + (i % 4) as f64 / 2.0)
+            }
+        })
+        .collect();
+    let make_server = |region_slots: Option<usize>| {
+        let server = std::sync::Arc::new(basilisk::Server::new(
+            cat_int.clone(),
+            basilisk::ServerConfig {
+                contexts: 4,
+                workers: Some(4),
+                // 2 morsels per operator at 64k rows: narrow regions.
+                morsel_rows: Some(32 * 1024),
+                region_slots,
+                ..basilisk::ServerConfig::default()
+            },
+        ));
+        for sql in &mixed {
+            server.sql(sql).unwrap(); // warm the plan cache
+        }
+        server
+    };
+    let mixed_ref = &mixed;
+    let fan_out = |server: &std::sync::Arc<basilisk::Server>| {
+        let handles: Vec<_> = (0..INT_CLIENTS)
+            .map(|c| {
+                let server = std::sync::Arc::clone(server);
+                let reqs: Vec<String> = mixed_ref[c * INT_REQS..(c + 1) * INT_REQS].to_vec();
+                std::thread::spawn(move || {
+                    reqs.iter()
+                        .map(|sql| server.sql(sql).unwrap().row_count)
+                        .sum::<usize>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    };
+    let exclusive = make_server(Some(1));
+    report.push(
+        "serve/exclusive_region_baseline",
+        time_ns(samples.min(10), || fan_out(&exclusive)),
+    );
+    let s = exclusive.stats();
+    println!(
+        "    exclusive: {} regions, {} slot waits (mean {:?})",
+        s.parallel_regions,
+        s.region_waits,
+        s.mean_region_wait()
+    );
+    let interleaved = make_server(None);
+    report.push(
+        "serve/interleaved_16clients",
+        time_ns(samples.min(10), || fan_out(&interleaved)),
+    );
+    let s = interleaved.stats();
+    println!(
+        "    interleaved: {} regions, {} slot waits, {} concurrent peak",
+        s.parallel_regions, s.region_waits, s.region_max_concurrent
+    );
+
     // --- derived (gated) ratios -----------------------------------------
     let or_fold_speedup = report.get("or_fold/scalar") / report.get("or_fold/vectorized");
     let eval_speedup = report.get("eval/scalar") / report.get("eval/vectorized");
@@ -430,6 +544,8 @@ fn main() {
         report.get("pipeline/serial_1worker") / report.get("pipeline/parallel_4workers");
     let serve_throughput =
         report.get("serve/parse_plan_execute") / report.get("serve/cached_concurrent");
+    let region_interleaving =
+        report.get("serve/exclusive_region_baseline") / report.get("serve/interleaved_16clients");
     let or_fold_gelems = ROWS as f64 / report.get("or_fold/vectorized"); // elems/ns = Gelems/s
     let derived = vec![
         ("or_fold_speedup".to_string(), or_fold_speedup),
@@ -438,6 +554,7 @@ fn main() {
         ("gather_kernel_speedup".to_string(), gather_kernel_speedup),
         ("parallel_scaling".to_string(), parallel_scaling),
         ("serve_throughput".to_string(), serve_throughput),
+        ("region_interleaving".to_string(), region_interleaving),
         ("or_fold_gelems_per_s".to_string(), or_fold_gelems),
     ];
     println!("  or_fold_speedup      {or_fold_speedup:.1}x");
@@ -448,6 +565,7 @@ fn main() {
     println!(
         "  serve_throughput     {serve_throughput:.2}x (cached concurrent vs parse-plan-execute)"
     );
+    println!("  region_interleaving  {region_interleaving:.2}x (shared region table vs exclusive)");
 
     std::fs::write(&out_path, report.to_json(&derived)).expect("write BENCH_eval.json");
     println!("wrote {out_path}");
@@ -473,11 +591,18 @@ fn main() {
         ("gather_kernel_speedup", gather_kernel_speedup),
         ("parallel_scaling", parallel_scaling),
         ("serve_throughput", serve_throughput),
+        ("region_interleaving", region_interleaving),
     ] {
-        // Both multi-worker/multi-client ratios only measure the code
+        // The multi-worker/multi-client ratios only measure the code
         // (not timeslicing) on hosts with ≥ 4 cores: parallel_scaling
-        // needs 4 workers, serve_throughput 4 concurrent clients.
-        if matches!(key, "parallel_scaling" | "serve_throughput") && cores < 4 {
+        // needs 4 workers, serve_throughput 4 concurrent clients, and
+        // region_interleaving needs idle cores for the shared table to
+        // fill that exclusive admission leaves empty.
+        if matches!(
+            key,
+            "parallel_scaling" | "serve_throughput" | "region_interleaving"
+        ) && cores < 4
+        {
             println!("gate skipped: {key} = {measured:.2} (host has {cores} core(s), need 4)");
             continue;
         }

@@ -277,41 +277,107 @@ fn tagged_join_impl(
     let left_membership = left.slice_membership();
     let right_membership = right.slice_membership();
 
-    // Fetch key values for participating positions (pooled decode
-    // buffers; the unions are dead once decoded).
-    let mut left_positions = arena.indices();
-    let mut right_positions = arena.indices();
-    left_union.indices_into(&mut left_positions);
-    right_union.indices_into(&mut right_positions);
-    arena.recycle_bitmap(left_union);
-    arena.recycle_bitmap(right_union);
-    let keys =
-        gather_keys(tables, left.relation(), left_key, &left_positions, arena).and_then(|lk| {
-            match gather_keys(tables, right.relation(), right_key, &right_positions, arena) {
-                Ok(rk) => Ok((lk, rk)),
-                Err(e) => {
-                    lk.recycle(arena);
-                    Err(e)
+    // Build/probe preparation. One shared hash table over all
+    // participating left slices (§2.5.3's "one giant hash table"), CSR
+    // layout keyed with FxHash: probing a key yields a contiguous slice
+    // of left positions, no per-key Vec allocs. The table interns key
+    // values, so the build keys recycle right away.
+    //
+    // When both sides are big enough to fan out, the **build side ships
+    // to the pool as a schedulable task**: one worker decodes the left
+    // union, gathers build keys and builds the table while a second
+    // gathers the probe-side keys — the two halves overlap each other
+    // (and any other region in flight). Each task draws scratch from its
+    // own worker arena; the build task recycles everything in-task (only
+    // the interned table escapes), while the probe task's buffers come
+    // back tagged with their producing worker (`probe_home`) and are
+    // recycled there once the probe is done.
+    let overlaps = pool.is_some_and(|p| {
+        p.would_parallelize(left.num_tuples()) && p.would_parallelize(right.num_tuples())
+    });
+    let (table, right_positions, right_keys, probe_home) = if overlaps {
+        let p = pool.expect("overlap implies a pool");
+        let pair = p.run_pair(
+            |ctx| {
+                let mut pos = ctx.arena.indices();
+                left_union.indices_into(&mut pos);
+                let keys = match gather_keys(tables, left.relation(), left_key, &pos, ctx.arena) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        ctx.arena.recycle_indices(pos);
+                        return Err(e);
+                    }
+                };
+                let table = JoinTable::build(&keys, |j| pos[j]);
+                keys.recycle(ctx.arena);
+                ctx.arena.recycle_indices(pos);
+                Ok(table)
+            },
+            |ctx| {
+                let mut pos = ctx.arena.indices();
+                right_union.indices_into(&mut pos);
+                match gather_keys(tables, right.relation(), right_key, &pos, ctx.arena) {
+                    Ok(keys) => Ok((pos, keys)),
+                    Err(e) => {
+                        ctx.arena.recycle_indices(pos);
+                        Err(e)
+                    }
                 }
+            },
+            |_a, _table| {},
+            |a, (pos, keys)| {
+                keys.recycle(a);
+                a.recycle_indices(pos);
+            },
+        );
+        arena.recycle_bitmap(left_union);
+        arena.recycle_bitmap(right_union);
+        let ((_wt, table), (wp, (pos, keys))) = pair?;
+        (table, pos, keys, Some(wp))
+    } else {
+        // Serial preparation: pooled decode buffers from the session
+        // arena; the unions are dead once decoded.
+        let mut left_positions = arena.indices();
+        let mut right_positions = arena.indices();
+        left_union.indices_into(&mut left_positions);
+        right_union.indices_into(&mut right_positions);
+        arena.recycle_bitmap(left_union);
+        arena.recycle_bitmap(right_union);
+        let keys =
+            gather_keys(tables, left.relation(), left_key, &left_positions, arena).and_then(|lk| {
+                match gather_keys(tables, right.relation(), right_key, &right_positions, arena) {
+                    Ok(rk) => Ok((lk, rk)),
+                    Err(e) => {
+                        lk.recycle(arena);
+                        Err(e)
+                    }
+                }
+            });
+        let (left_keys, right_keys) = match keys {
+            Ok(k) => k,
+            Err(e) => {
+                // Failed executions must not shrink the pool.
+                arena.recycle_indices(left_positions);
+                arena.recycle_indices(right_positions);
+                return Err(e);
             }
-        });
-    let (left_keys, right_keys) = match keys {
-        Ok(k) => k,
-        Err(e) => {
-            // Failed executions must not shrink the pool.
-            arena.recycle_indices(left_positions);
-            arena.recycle_indices(right_positions);
-            return Err(e);
+        };
+        let table = JoinTable::build(&left_keys, |j| left_positions[j]);
+        left_keys.recycle(arena);
+        arena.recycle_indices(left_positions);
+        (table, right_positions, right_keys, None)
+    };
+    // Recycle the probe-side buffers into the arena that produced them.
+    let recycle_probe = |pos, keys: Column| match probe_home {
+        Some(w) => pool.expect("probe_home implies a pool").with_arena(w, |a| {
+            keys.recycle(a);
+            a.recycle_indices(pos);
+        }),
+        None => {
+            keys.recycle(arena);
+            arena.recycle_indices(pos);
         }
     };
-
-    // One shared hash table over all participating left slices (§2.5.3's
-    // "one giant hash table"), CSR layout keyed with FxHash: probing a key
-    // yields a contiguous slice of left positions, no per-key Vec allocs.
-    // The table interns key values, so the build keys recycle right away.
-    let table = JoinTable::build(&left_keys, |j| left_positions[j]);
-    left_keys.recycle(arena);
-    arena.recycle_indices(left_positions);
 
     // The probe half, over one contiguous chunk of participating right
     // positions: both the serial path (one full-range chunk) and each
@@ -381,8 +447,7 @@ fn tagged_join_impl(
             arena.recycle_indices(left_sel);
             arena.recycle_indices(right_sel);
             arena.recycle_indices(tuple_out);
-            right_keys.recycle(arena);
-            arena.recycle_indices(right_positions);
+            recycle_probe(right_positions, right_keys);
             return Err(e);
         }
     };
@@ -394,8 +459,7 @@ fn tagged_join_impl(
             &mut tuple_out,
         );
     }
-    right_keys.recycle(arena);
-    arena.recycle_indices(right_positions);
+    recycle_probe(right_positions, right_keys);
 
     let relation = combine(
         left.relation(),

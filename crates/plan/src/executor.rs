@@ -30,6 +30,55 @@ use basilisk_types::{MaskArena, Result};
 use crate::aplan::APlan;
 use crate::cost::TPlan;
 
+/// Largest base-relation cardinality under a tagged subtree — the
+/// size proxy the subtree-shipping heuristic compares against the morsel
+/// threshold (unknown aliases pessimize to `usize::MAX`, which simply
+/// keeps the subtree on the coordinator; the real error surfaces when the
+/// subtree executes).
+fn max_base_rows_tagged(plan: &TPlan, tables: &TableSet) -> usize {
+    match plan {
+        TPlan::Scan { alias } => tables.num_rows(alias).unwrap_or(usize::MAX),
+        TPlan::Filter { child, .. } => max_base_rows_tagged(child, tables),
+        TPlan::Join { left, right, .. } => {
+            max_base_rows_tagged(left, tables).max(max_base_rows_tagged(right, tables))
+        }
+    }
+}
+
+/// Largest base-relation cardinality under an abstract subtree.
+fn max_base_rows_abstract(plan: &APlan, tables: &TableSet) -> usize {
+    match plan {
+        APlan::Scan { alias } => tables.num_rows(alias).unwrap_or(usize::MAX),
+        APlan::Filter { child, .. } => max_base_rows_abstract(child, tables),
+        APlan::Join { left, right, .. } => {
+            max_base_rows_abstract(left, tables).max(max_base_rows_abstract(right, tables))
+        }
+        APlan::Union { children } => children
+            .iter()
+            .map(|c| max_base_rows_abstract(c, tables))
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+/// Whether a tagged subtree should be **shipped** to the pool as one
+/// schedulable task: it does real work (not a bare scan, whose pooled
+/// identity allocation is cheaper than a region) and it is small enough
+/// that none of its operators would have fanned out morsel-parallel —
+/// shipping it serial therefore *adds* parallelism (the subtree overlaps
+/// its sibling and other sessions' regions) without ever taking
+/// morsel-level parallelism away from a large subtree.
+fn ships_tagged(pool: &WorkerPool, plan: &TPlan, tables: &TableSet) -> bool {
+    !matches!(plan, TPlan::Scan { .. })
+        && !pool.would_parallelize(max_base_rows_tagged(plan, tables))
+}
+
+/// [`ships_tagged`] for abstract subtrees (the traditional interpreter).
+fn ships_abstract(pool: &WorkerPool, plan: &APlan, tables: &TableSet) -> bool {
+    !matches!(plan, APlan::Scan { .. })
+        && !pool.would_parallelize(max_base_rows_abstract(plan, tables))
+}
+
 /// Execute a tagged physical plan, returning the final (projected) index
 /// relation.
 pub fn execute_tagged(
@@ -99,6 +148,29 @@ fn run_tagged(
             left,
             right,
         } => {
+            // Independent-subtree parallelism: when both inputs are
+            // small serial subtrees, ship them as one two-task region —
+            // they evaluate concurrently on two workers (and interleave
+            // with other sessions' regions) while this thread waits.
+            // Each result's buffers live in the producing worker's arena
+            // and are recycled back into it; the join output itself is
+            // built from the session arena as usual. Shipped subtrees run
+            // with `pool: None` — a task must never re-enter the pool.
+            if let Some(p) = pool {
+                if ships_tagged(p, left, tables) && ships_tagged(p, right, tables) {
+                    let ((wl, l), (wr, r)) = p.run_pair(
+                        |ctx| run_tagged(left, tables, tree, ctx.arena, None),
+                        |ctx| run_tagged(right, tables, tree, ctx.arena, None),
+                        |a, rel| rel.recycle(a),
+                        |a, rel| rel.recycle(a),
+                    )?;
+                    let out =
+                        tagged_join_par(tables, &l, &r, &cond.left, &cond.right, map, arena, p);
+                    p.with_arena(wl, |a| l.recycle(a));
+                    p.with_arena(wr, |a| r.recycle(a));
+                    return out;
+                }
+            }
             let l = run_tagged(left, tables, tree, arena, pool)?;
             // A failing right subtree must not strand the left's buffers.
             let r = match run_tagged(right, tables, tree, arena, pool) {
@@ -173,6 +245,32 @@ fn execute_traditional_impl(
             out
         }
         APlan::Join { cond, left, right } => {
+            // Same independent-subtree shipping as the tagged
+            // interpreter (see `run_tagged`): both small inputs evaluate
+            // concurrently as one region.
+            if let Some(p) = pool {
+                if ships_abstract(p, left, tables) && ships_abstract(p, right, tables) {
+                    let ((wl, l), (wr, r)) = p.run_pair(
+                        |ctx| execute_traditional_impl(left, tables, tree, ctx.arena, None),
+                        |ctx| execute_traditional_impl(right, tables, tree, ctx.arena, None),
+                        |a, rel| rel.recycle(a),
+                        |a, rel| rel.recycle(a),
+                    )?;
+                    let out = hash_join_par(
+                        tables,
+                        &l,
+                        &r,
+                        &cond.left,
+                        &cond.right,
+                        JoinSide::Smaller,
+                        arena,
+                        p,
+                    );
+                    p.with_arena(wl, |a| l.recycle(a));
+                    p.with_arena(wr, |a| r.recycle(a));
+                    return out;
+                }
+            }
             let l = execute_traditional_impl(left, tables, tree, arena, pool)?;
             // A failing right subtree must not strand the left's buffers.
             let r = match execute_traditional_impl(right, tables, tree, arena, pool) {
@@ -208,6 +306,66 @@ fn execute_traditional_impl(
             out
         }
         APlan::Union { children } => {
+            // BDisj clause parallelism: every small serial clause ships
+            // to the pool as one task of a single region, while large
+            // clauses stay on this thread with full morsel parallelism.
+            // The dedup fold itself runs here — its output escapes into
+            // the session arena, and folding on a worker would recycle
+            // session buffers into a worker arena (corrupting per-arena
+            // accounting) — but it folds in original child order over
+            // results produced concurrently, so output is bit-for-bit
+            // the serial order.
+            let shipped_idx: Vec<usize> = match pool {
+                Some(p) => (0..children.len())
+                    .filter(|&i| ships_abstract(p, &children[i], tables))
+                    .collect(),
+                None => Vec::new(),
+            };
+            if shipped_idx.len() >= 2 {
+                let p = pool.expect("shipping implies a pool");
+                let shipped = p.run(
+                    shipped_idx.iter().map(|&i| &children[i]).collect(),
+                    |ctx, c: &APlan| execute_traditional_impl(c, tables, tree, ctx.arena, None),
+                    |a, rel: IdxRelation| rel.recycle(a),
+                )?;
+                // Reassemble in child order: `home[i]` remembers which
+                // arena child i's relation must be recycled into.
+                let mut slots: Vec<Option<(Option<u32>, IdxRelation)>> =
+                    children.iter().map(|_| None).collect();
+                for (k, (w, rel)) in shipped.into_iter().enumerate() {
+                    slots[shipped_idx[k]] = Some((Some(w), rel));
+                }
+                let mut failure = None;
+                for (i, c) in children.iter().enumerate() {
+                    if slots[i].is_some() {
+                        continue;
+                    }
+                    match execute_traditional_impl(c, tables, tree, arena, pool) {
+                        Ok(rel) => slots[i] = Some((None, rel)),
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let mut homes: Vec<Option<u32>> = Vec::with_capacity(children.len());
+                let mut rels: Vec<IdxRelation> = Vec::with_capacity(children.len());
+                for (home, rel) in slots.into_iter().flatten() {
+                    homes.push(home);
+                    rels.push(rel);
+                }
+                let out = match failure {
+                    Some(e) => Err(e),
+                    None => union_all_dedup(&rels, arena),
+                };
+                for (home, rel) in homes.into_iter().zip(rels) {
+                    match home {
+                        Some(w) => p.with_arena(w, |a| rel.recycle(a)),
+                        None => rel.recycle(arena),
+                    }
+                }
+                return out;
+            }
             // Collect child results by hand so that a failing later child
             // recycles every earlier child's relation before propagating.
             let mut rels: Vec<IdxRelation> = Vec::with_capacity(children.len());

@@ -1,5 +1,5 @@
 //! Morsel-driven parallel execution for tagged plans, on a **resident**
-//! worker pool.
+//! worker pool with **interleaved parallel regions**.
 //!
 //! Basilisk's hot path is allocation-free and word-parallel *per core*;
 //! this crate is how it uses more than one core. The model is
@@ -25,28 +25,44 @@
 //!   parallel output stays **bit-for-bit equal** to serial output:
 //!   producing `results[i]` for morsel `i` commutes with who computed it.
 //!
-//! * **Resident threads** — the pool spawns its `workers - 1` threads
-//!   once, at construction, and parks them on a condvar between parallel
-//!   regions. A region is an *epoch*: [`WorkerPool::run`] publishes a
-//!   type-erased job pointer under the epoch lock, bumps the epoch
-//!   counter and wakes every worker; each worker executes the job exactly
-//!   once and decrements a completion count the coordinator waits on.
-//!   Waking a parked thread costs a condvar signal instead of a
+//! * **Region-tagged scheduling** — a parallel region is no longer an
+//!   exclusive epoch. [`WorkerPool::run`] publishes its type-erased job
+//!   into a free slot of a fixed **region table**, stamped with a
+//!   monotonically increasing region id. Workers drain a *mixed* queue:
+//!   each worker scans the table for regions it has not executed yet
+//!   (a per-worker `seen` stamp keeps the join-once guarantee without
+//!   allocation), runs the region's work-stealing body against its own
+//!   arena, and moves on to the next live region. Completion accounting
+//!   is **per region**: each slot counts the workers currently inside its
+//!   body, and the last one out retires the slot (the body only returns
+//!   once the region's deques are drained or its stop flag is set) and
+//!   wakes the region's coordinator. Concurrent `run` calls from
+//!   different sessions therefore fan out **simultaneously** — the only
+//!   wait left is for a free slot when more regions are in flight than
+//!   the table holds, and that wait is counted and timed
+//!   ([`WorkerPool::region_stats`]).
+//!
+//! * **Resident threads** — the pool spawns its `workers` threads once,
+//!   at the first region that fans out, and parks them on a condvar when
+//!   the region table is empty. The coordinator publishes and waits; it
+//!   never executes task bodies itself, so a session blocked in `run` is
+//!   exactly a session whose region is being executed by the resident
+//!   set. Waking a parked thread costs a condvar signal instead of a
 //!   `clone`+`mmap`+schedule, so short parallel regions stop paying spawn
-//!   cost — and because the threads persist, one pool can serve parallel
-//!   regions from **many sessions over its lifetime** (the serving layer
-//!   shares one `Arc<WorkerPool>` across every execution context;
-//!   concurrent callers' regions serialize on an internal region lock,
-//!   while the serial parts of their queries overlap freely).
+//!   cost — and because the threads persist, one pool serves regions from
+//!   **many sessions over its lifetime** (the serving layer shares one
+//!   `Arc<WorkerPool>` across every execution context).
 //!
 //! * **Per-worker arenas** — each worker *owns* a private
 //!   [`MaskArena`]. Arenas are `Send` but deliberately not `Sync`; each
 //!   lives behind its own `Mutex` that is only ever locked by its worker
-//!   during an epoch (uncontended by construction) or by the coordinator
-//!   between epochs, so the checkout → evaluate → recycle lifecycle (and
-//!   the `fresh() == 0` steady-state guarantee, per worker) holds without
-//!   a single *contended* lock. The ownership rule every parallel
-//!   operator follows:
+//!   for the span of one region body (uncontended by construction) or by
+//!   a coordinator recycling results between bodies. A worker that
+//!   interleaves tasks from two regions still uses **one arena** — it
+//!   runs one region's body to completion before claiming the next, so
+//!   checkouts from different regions never interleave *within* a body,
+//!   and buffers that escape a body are tagged with the producing worker
+//!   id. The ownership rule every parallel operator follows:
 //!
 //!   1. a worker checks morsel-local buffers out of **its own** arena;
 //!   2. buffers that survive the task (the per-morsel result) are
@@ -54,23 +70,42 @@
 //!   3. the caller stitches them into session-arena buffers and recycles
 //!      each one **back into the arena it came from**
 //!      ([`WorkerPool::with_arena`]), keeping every arena's
-//!      [`outstanding()`](MaskArena::outstanding) accounting exact —
-//!      error paths included ([`WorkerPool::run`] routes results
-//!      produced before a failure through the caller's `discard`
-//!      callback, per producing worker).
+//!      [`outstanding()`](MaskArena::outstanding) accounting exact.
+//!
+//!   Error and discard routing is **per region**: each region's stop
+//!   flag, error slot and produced-result set live on its coordinator's
+//!   stack, so a failure in one region routes exactly that region's
+//!   results through its caller's `discard` callback (per producing
+//!   worker) while unrelated regions proceed untouched.
 //!
 //! `workers == 1` (or a single task) runs inline on the calling thread —
 //! the serial path, exactly; a one-worker pool never spawns a thread.
-//! Dropping the pool signals shutdown and joins the resident threads.
+//! Pools with more than one worker keep a dedicated **inline arena**
+//! (index `workers`) for the single-task path, so tiny queries never
+//! contend with resident workers mid-region. Dropping the pool signals
+//! shutdown and joins the resident threads.
 
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 use basilisk_types::{BasiliskError, MaskArena, Result, DEFAULT_MORSEL_ROWS};
 
 pub use basilisk_types::Morsel;
+
+/// Default size of the region table: how many parallel regions can be in
+/// flight on one pool before a new [`WorkerPool::run`] waits for a slot.
+/// Sized comfortably above the serving layer's default context count so
+/// slot waits are an overload signal, not steady-state behavior.
+pub const DEFAULT_REGION_SLOTS: usize = 16;
+
+/// Number of power-of-two buckets in the region slot-wait histogram:
+/// bucket `i` counts waits in `[2^i, 2^(i+1))` microseconds (bucket 0
+/// additionally takes sub-microsecond waits, the last bucket everything
+/// slower). Mirrors the serving layer's latency histogram shape.
+pub const REGION_WAIT_BUCKETS: usize = 24;
 
 /// What a task closure sees: the executing worker's id and its private
 /// arena. Buffers checked out here must either be recycled here or
@@ -81,117 +116,203 @@ pub struct WorkerCtx<'a> {
     pub arena: &'a MaskArena,
 }
 
-/// The per-epoch job: a type-erased pointer to a `Fn(worker_index)`
-/// closure living on the coordinator's stack. Validity is guaranteed by
-/// the epoch protocol — the coordinator does not leave [`WorkerPool::run`]
-/// until every participating worker has decremented the epoch's
-/// completion count, so the pointee outlives every dereference.
+/// A region's type-erased job: a pointer to a `Fn(worker, arena)` body
+/// living on the coordinating caller's stack. Validity is guaranteed by
+/// the region protocol — a worker only dereferences the pointer between
+/// incrementing the slot's `running` count (under the scheduler lock) and
+/// decrementing it, and the coordinator does not leave
+/// [`WorkerPool::run`] until the slot is retired, which requires
+/// `running == 0`; the pointee therefore outlives every dereference.
 #[derive(Clone, Copy)]
-struct Job(*const (dyn Fn(usize) + Sync + 'static));
+struct Job(*const (dyn Fn(usize, &MaskArena) + Sync));
 
-// SAFETY: the pointee is `Sync` (shared by every worker of the epoch) and
-// the epoch protocol bounds its lifetime; the pointer itself is just an
-// address carried to the worker threads.
+// SAFETY: the pointee is `Sync` (shared by every worker that joins the
+// region) and the region protocol bounds its lifetime; the pointer itself
+// is just an address carried to the worker threads.
 unsafe impl Send for Job {}
 
-struct EpochState {
-    /// Bumped once per parallel region; workers track the last epoch they
-    /// executed so one wakeup runs one job exactly once per worker.
-    epoch: u64,
+/// One entry of the region table. `id == 0` means free; live slots carry
+/// the region's epoch-stamped id, its job, and the number of workers
+/// currently inside its body.
+struct RegionSlot {
+    id: u64,
     job: Option<Job>,
-    /// Resident workers still executing the current epoch's job.
     running: usize,
-    /// Resident workers whose job invocation panicked this epoch.
-    panicked: usize,
+}
+
+struct SchedState {
+    slots: Vec<RegionSlot>,
+    /// Monotonic region id allocator; never reused, so a stale per-worker
+    /// `seen` stamp can never alias a new region.
+    next_id: u64,
+    /// Occupied slots right now.
+    active: usize,
+    /// High-water mark of simultaneously live regions.
+    max_active: u64,
     shutdown: bool,
 }
 
+/// Lock-free counters behind [`WorkerPool::region_stats`].
+struct RegionCounters {
+    regions: AtomicU64,
+    waits: AtomicU64,
+    wait_total_micros: AtomicU64,
+    wait_buckets: [AtomicU64; REGION_WAIT_BUCKETS],
+}
+
+/// A point-in-time copy of the pool's region-scheduling counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Fanned-out parallel regions admitted (inline runs not counted).
+    pub regions: u64,
+    /// Regions that had to wait for a free region-table slot.
+    pub waits: u64,
+    /// Total microseconds spent waiting for a slot.
+    pub wait_total_micros: u64,
+    /// Power-of-two microsecond buckets of individual slot waits.
+    pub wait_buckets: [u64; REGION_WAIT_BUCKETS],
+    /// Size of the region table.
+    pub slots: u64,
+    /// Highest number of simultaneously live regions observed.
+    pub max_concurrent: u64,
+}
+
 struct Shared {
-    /// One arena per worker (index 0 = the coordinating thread). Each
-    /// mutex is uncontended by design: locked by its worker for the span
-    /// of an epoch, and by the coordinator only between epochs.
+    /// One arena per worker, plus (on multi-worker pools) a trailing
+    /// inline arena at index `workers` for the single-task fast path.
+    /// Each mutex is uncontended by design: locked by its worker for the
+    /// span of one region body, and by coordinators only to recycle
+    /// escaped buffers.
     arenas: Vec<Mutex<MaskArena>>,
-    state: Mutex<EpochState>,
-    /// Workers park here between epochs.
+    state: Mutex<SchedState>,
+    /// Workers park here when the region table has nothing for them.
     work: Condvar,
-    /// The coordinator parks here until `running == 0`.
+    /// Coordinators park here, both for their region to retire and for a
+    /// free slot when the table is full.
     done: Condvar,
 }
 
 /// Recover a guard from a poisoned lock. Pool state stays consistent
 /// across a task panic (the panic is re-raised on the coordinator after
-/// the epoch completes); poisoning would otherwise wedge every later
+/// its region completes); poisoning would otherwise wedge every later
 /// region of a shared pool.
 fn relock<T>(r: std::sync::LockResult<MutexGuard<'_, T>>) -> MutexGuard<'_, T> {
     r.unwrap_or_else(|e| e.into_inner())
 }
 
 fn worker_main(shared: Arc<Shared>, worker: usize) {
-    let mut seen = 0u64;
+    let slot_count = relock(shared.state.lock()).slots.len();
+    // Last region id executed per slot: the allocation-free join-once
+    // guard (ids are never reused, so equality is exact).
+    let mut seen = vec![0u64; slot_count];
     loop {
-        let job = {
+        let (slot_idx, job) = {
             let mut st = relock(shared.state.lock());
-            loop {
+            'claim: loop {
                 if st.shutdown {
                     return;
                 }
-                if st.epoch != seen {
-                    break;
+                // Scan the region table for a region this worker has not
+                // joined yet; start at a worker-dependent offset so
+                // concurrent regions spread across the resident set
+                // instead of convoying on slot 0.
+                for off in 0..slot_count {
+                    let i = (worker + off) % slot_count;
+                    let slot = &mut st.slots[i];
+                    if slot.id != 0 && seen[i] != slot.id {
+                        seen[i] = slot.id;
+                        slot.running += 1;
+                        break 'claim (i, slot.job.expect("published region has a job"));
+                    }
                 }
                 st = relock(shared.work.wait(st));
             }
-            seen = st.epoch;
-            st.job.expect("epoch published without a job")
         };
-        // SAFETY: see `Job` — the coordinator keeps the pointee alive
-        // until this worker decrements `running` below.
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(worker) }));
-        let mut st = relock(shared.state.lock());
-        if outcome.is_err() {
-            st.panicked += 1;
+        {
+            // A worker's arena lock is uncontended while the body runs
+            // (coordinators only touch worker arenas to recycle escaped
+            // results); locking it here upholds "one arena per worker",
+            // even when this worker interleaves bodies from different
+            // regions back to back.
+            let arena = relock(shared.arenas[worker].lock());
+            // SAFETY: see `Job` — `running` was incremented under the
+            // scheduler lock above, so the coordinator keeps the pointee
+            // alive until the decrement below. The body catches its own
+            // panics; the outer guard is defense in depth for the pool's
+            // accounting.
+            let _ =
+                std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(worker, &arena) }));
         }
-        st.running -= 1;
-        if st.running == 0 {
+        let mut st = relock(shared.state.lock());
+        let slot = &mut st.slots[slot_idx];
+        slot.running -= 1;
+        if slot.running == 0 {
+            // The body only returns once the region's deques are drained
+            // or its stop flag is set, so last-one-out retires the slot:
+            // frees it for waiting submitters and wakes the region's
+            // coordinator. No late join is possible — claims and this
+            // retirement are serialized by the scheduler lock.
+            slot.id = 0;
+            slot.job = None;
+            st.active -= 1;
             shared.done.notify_all();
         }
     }
 }
 
-/// A resident set of workers: parked threads, per-worker arenas and the
-/// morsel configuration. See the module docs for the execution model.
+/// A resident set of workers: parked threads, per-worker arenas, the
+/// region table and the morsel configuration. See the module docs for
+/// the execution model.
 ///
 /// The pool is `Send + Sync`: wrap it in an `Arc` to share one set of
 /// resident threads across sessions (the serving layer does exactly
-/// this). Concurrent [`WorkerPool::run`] calls are admitted one region
-/// at a time.
+/// this). Concurrent [`WorkerPool::run`] calls interleave — each gets its
+/// own region-table slot and the resident workers drain all live regions'
+/// tasks as a mixed queue.
 pub struct WorkerPool {
     workers: usize,
     morsel_rows: usize,
     shared: Arc<Shared>,
-    /// Serializes parallel regions across concurrent `run` callers. Held
-    /// for the whole region; do **not** call `run` from inside a task
-    /// closure (it would self-deadlock here).
-    region: Mutex<()>,
+    counters: RegionCounters,
     /// Resident threads, spawned lazily by the first region that fans
     /// out (so plan-only sessions and small-table pools cost nothing)
     /// and retained until drop.
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
+/// Heterogeneous two-task result carrier for [`WorkerPool::run_pair`].
+enum Pair<A, B> {
+    A(A),
+    B(B),
+}
+
 impl WorkerPool {
     /// A pool of `workers` workers (clamped to ≥ 1) with the default
-    /// morsel size. Construction is cheap: the `workers - 1` resident
-    /// threads are spawned by the first parallel region and parked
-    /// between regions thereafter; a one-worker pool never spawns any.
+    /// morsel size and region table. Construction is cheap: the resident
+    /// threads are spawned by the first parallel region and parked when
+    /// the region table is empty thereafter; a one-worker pool never
+    /// spawns any.
     pub fn new(workers: usize) -> WorkerPool {
         let workers = workers.max(1);
+        // Multi-worker pools get a trailing inline arena so the
+        // single-task fast path never contends with a resident worker
+        // that is mid-region.
+        let arena_count = if workers > 1 { workers + 1 } else { 1 };
         let shared = Arc::new(Shared {
-            arenas: (0..workers).map(|_| Mutex::new(MaskArena::new())).collect(),
-            state: Mutex::new(EpochState {
-                epoch: 0,
-                job: None,
-                running: 0,
-                panicked: 0,
+            arenas: (0..arena_count)
+                .map(|_| Mutex::new(MaskArena::new()))
+                .collect(),
+            state: Mutex::new(SchedState {
+                slots: (0..DEFAULT_REGION_SLOTS)
+                    .map(|_| RegionSlot {
+                        id: 0,
+                        job: None,
+                        running: 0,
+                    })
+                    .collect(),
+                next_id: 0,
+                active: 0,
+                max_active: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -201,19 +322,24 @@ impl WorkerPool {
             workers,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             shared,
-            region: Mutex::new(()),
+            counters: RegionCounters {
+                regions: AtomicU64::new(0),
+                waits: AtomicU64::new(0),
+                wait_total_micros: AtomicU64::new(0),
+                wait_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            },
             handles: Mutex::new(Vec::new()),
         }
     }
 
     /// Spawn the resident threads if this is the pool's first parallel
-    /// region (called with the region lock held).
+    /// region.
     fn ensure_resident(&self) {
         let mut handles = relock(self.handles.lock());
         if !handles.is_empty() || self.workers <= 1 {
             return;
         }
-        handles.extend((1..self.workers).map(|w| {
+        handles.extend((0..self.workers).map(|w| {
             let shared = Arc::clone(&self.shared);
             std::thread::Builder::new()
                 .name(format!("basilisk-worker-{w}"))
@@ -230,6 +356,30 @@ impl WorkerPool {
             "morsel size must be a positive multiple of 64"
         );
         self.morsel_rows = rows;
+        self
+    }
+
+    /// Override the region-table size (must be ≥ 1). A builder: call
+    /// before the pool serves its first region. `1` restores the old
+    /// exclusive-region admission — one parallel region at a time, every
+    /// concurrent caller waiting (and counted) — which is exactly what
+    /// the interleaving benchmarks use as their baseline.
+    pub fn with_region_slots(self, slots: usize) -> WorkerPool {
+        assert!(slots >= 1, "region table needs at least one slot");
+        assert!(
+            relock(self.handles.lock()).is_empty(),
+            "region table must be sized before the first parallel region"
+        );
+        {
+            let mut st = relock(self.shared.state.lock());
+            st.slots = (0..slots)
+                .map(|_| RegionSlot {
+                    id: 0,
+                    job: None,
+                    running: 0,
+                })
+                .collect();
+        }
         self
     }
 
@@ -268,6 +418,16 @@ impl WorkerPool {
         self.workers > 1 && len > self.morsel_rows
     }
 
+    /// The arena index used by the inline (single-task / single-worker)
+    /// fast path.
+    fn inline_arena(&self) -> usize {
+        if self.workers > 1 {
+            self.workers
+        } else {
+            0
+        }
+    }
+
     /// Run `f` over every task, work-stealing across the pool's resident
     /// workers, and return the results **in task order**, each tagged
     /// with the id of the worker whose arena produced it.
@@ -277,10 +437,18 @@ impl WorkerPool {
     /// inside results flow back to the right pool and no arena's
     /// `outstanding()` count is left dangling), remaining tasks are
     /// abandoned, and the error with the lowest task index is returned —
-    /// a deterministic choice even though scheduling is not.
+    /// a deterministic choice even though scheduling is not. Both the
+    /// stop flag and the discard routing are private to this call's
+    /// region: a failure here never perturbs other regions in flight on
+    /// the same pool.
     ///
     /// With one worker or at most one task, everything runs inline on the
-    /// calling thread against worker 0's arena — no wakeups, no epoch.
+    /// calling thread against the inline arena — no wakeups, no region.
+    ///
+    /// Task closures must not call back into [`WorkerPool::run`] (or
+    /// [`WorkerPool::run_pair`]) on the same pool: a body that blocks a
+    /// resident worker on a nested region can deadlock the resident set.
+    /// Nested work runs serially inside the task instead.
     pub fn run<T, R, F, D>(&self, tasks: Vec<T>, f: F, discard: D) -> Result<Vec<(u32, R)>>
     where
         T: Send,
@@ -293,15 +461,16 @@ impl WorkerPool {
             return Ok(Vec::new());
         }
         if self.workers == 1 || n == 1 {
-            let arena = relock(self.shared.arenas[0].lock());
+            let inline = self.inline_arena();
+            let arena = relock(self.shared.arenas[inline].lock());
             let ctx = WorkerCtx {
-                worker: 0,
+                worker: inline,
                 arena: &arena,
             };
             let mut out = Vec::with_capacity(n);
             for task in tasks {
                 match f(&ctx, task) {
-                    Ok(r) => out.push((0u32, r)),
+                    Ok(r) => out.push((inline as u32, r)),
                     Err(e) => {
                         for (_, r) in out {
                             discard(&arena, r);
@@ -313,9 +482,6 @@ impl WorkerPool {
             return Ok(out);
         }
 
-        // One region at a time: concurrent sessions sharing this pool
-        // interleave whole regions, never single morsels.
-        let _region = relock(self.region.lock());
         self.ensure_resident();
 
         // Distribute tasks into per-worker deques in contiguous blocks:
@@ -368,67 +534,98 @@ impl WorkerPool {
             }
         };
 
-        // Per-worker result slots, written once per epoch by each worker.
+        // Per-worker result slots; a worker writes its slot at most once
+        // per region (the join-once guard), and only participants write.
         let outs: Vec<Mutex<Option<WorkerOut<R>>>> =
             (0..workers).map(|_| Mutex::new(None)).collect();
-        let shared = &self.shared;
-        let body = |w: usize| {
-            // A worker's arena lock is uncontended while the epoch runs
-            // (the coordinator only touches worker arenas between
-            // epochs); locking it here upholds "one arena per worker".
-            let arena = relock(shared.arenas[w].lock());
-            let out = worker_loop(w, &arena);
-            *relock(outs[w].lock()) = Some(out);
+        let panicked = &AtomicUsize::new(0);
+        let body = |w: usize, arena: &MaskArena| {
+            // Catch task-closure panics *inside* the body so the region's
+            // accounting (and the shared pool) survives; the coordinator
+            // re-raises below. Task errors are `Result`s, not panics.
+            match std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(w, arena))) {
+                Ok(out) => *relock(outs[w].lock()) = Some(out),
+                Err(_) => {
+                    panicked.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         };
 
-        // Publish the epoch: type-erase `body`, wake every resident
-        // worker, run worker 0 inline, then wait for the others. SAFETY:
-        // the transmute only erases the borrow lifetime of the trait
-        // object; the wait-for-`running == 0` below keeps `body` (and
-        // everything it captures) alive past the last dereference, even
-        // if worker 0's inline invocation panics.
-        let body_ref: &(dyn Fn(usize) + Sync) = &body;
+        // Publish the region: type-erase `body` and stamp it into a free
+        // slot of the region table. SAFETY: the transmute only erases the
+        // borrow lifetime of the trait object; the wait-for-retirement
+        // below keeps `body` (and everything it captures) alive past the
+        // last dereference.
+        let body_ref: &(dyn Fn(usize, &MaskArena) + Sync) = &body;
         let job = Job(unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
-                body_ref,
-            )
+            std::mem::transmute::<
+                &(dyn Fn(usize, &MaskArena) + Sync),
+                *const (dyn Fn(usize, &MaskArena) + Sync + 'static),
+            >(body_ref)
         });
-        {
-            let mut st = relock(shared.state.lock());
-            st.job = Some(job);
-            st.running = workers - 1;
-            st.panicked = 0;
-            st.epoch = st.epoch.wrapping_add(1);
-            shared.work.notify_all();
-        }
-        let own = std::panic::catch_unwind(AssertUnwindSafe(|| body(0)));
-        let worker_panics = {
-            let mut st = relock(shared.state.lock());
-            while st.running > 0 {
-                st = relock(shared.done.wait(st));
+        let (slot_idx, my_id) = {
+            let mut st = relock(self.shared.state.lock());
+            let mut wait_start: Option<Instant> = None;
+            let slot_idx = loop {
+                if let Some(i) = st.slots.iter().position(|s| s.id == 0) {
+                    break i;
+                }
+                if wait_start.is_none() {
+                    wait_start = Some(Instant::now());
+                    self.counters.waits.fetch_add(1, Ordering::Relaxed);
+                }
+                st = relock(self.shared.done.wait(st));
+            };
+            if let Some(t0) = wait_start {
+                let micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                self.counters
+                    .wait_total_micros
+                    .fetch_add(micros, Ordering::Relaxed);
+                let bucket = (64 - micros.leading_zeros() as usize)
+                    .saturating_sub(1)
+                    .min(REGION_WAIT_BUCKETS - 1);
+                self.counters.wait_buckets[bucket].fetch_add(1, Ordering::Relaxed);
             }
-            st.job = None;
-            st.panicked
+            self.counters.regions.fetch_add(1, Ordering::Relaxed);
+            st.next_id += 1;
+            let id = st.next_id;
+            st.slots[slot_idx] = RegionSlot {
+                id,
+                job: Some(job),
+                running: 0,
+            };
+            st.active += 1;
+            st.max_active = st.max_active.max(st.active as u64);
+            self.shared.work.notify_all();
+            (slot_idx, id)
         };
-        if let Err(p) = own {
-            std::panic::resume_unwind(p);
+
+        // Wait for the last participating worker to retire the slot. Ids
+        // are never reused, so `id != my_id` (freed, or freed and already
+        // reused by another caller) is exactly "my region is done".
+        {
+            let mut st = relock(self.shared.state.lock());
+            while st.slots[slot_idx].id == my_id {
+                st = relock(self.shared.done.wait(st));
+            }
         }
         // Worker closures don't panic on task errors (those are Results);
         // a panic inside a task closure is a real bug and surfaces here,
         // exactly like the scoped-join propagation the pool replaced.
-        assert!(worker_panics == 0, "worker thread panicked");
+        assert!(
+            panicked.load(Ordering::Relaxed) == 0,
+            "worker thread panicked"
+        );
 
-        let mut per_worker: Vec<WorkerOut<R>> = Vec::with_capacity(workers);
-        for slot in outs {
-            per_worker.push(
-                relock(slot.lock())
-                    .take()
-                    .expect("every worker writes its epoch result"),
-            );
+        let mut per_worker: Vec<(usize, WorkerOut<R>)> = Vec::with_capacity(workers);
+        for (w, slot) in outs.iter().enumerate() {
+            if let Some(out) = relock(slot.lock()).take() {
+                per_worker.push((w, out));
+            }
         }
 
         let mut error: Option<(usize, BasiliskError)> = None;
-        for (_, err) in &mut per_worker {
+        for (_, (_, err)) in &mut per_worker {
             let failed_at = err.as_ref().map(|(idx, _)| *idx);
             if let Some(idx) = failed_at {
                 if error.as_ref().is_none_or(|(best, _)| idx < *best) {
@@ -438,9 +635,11 @@ impl WorkerPool {
         }
         if let Some((_, e)) = error {
             // Route every produced result back through the caller's
-            // discard hook with its producing worker's arena.
-            for (w, (done, _)) in per_worker.into_iter().enumerate() {
-                let arena = relock(shared.arenas[w].lock());
+            // discard hook with its producing worker's arena. This is the
+            // per-region half of the `outstanding() == 0` guarantee:
+            // other regions' results are not here and stay untouched.
+            for (w, (done, _)) in per_worker {
+                let arena = relock(self.shared.arenas[w].lock());
                 for (_, r) in done {
                     discard(&arena, r);
                 }
@@ -449,7 +648,7 @@ impl WorkerPool {
         }
 
         let mut slots: Vec<Option<(u32, R)>> = (0..n).map(|_| None).collect();
-        for (w, (done, _)) in per_worker.into_iter().enumerate() {
+        for (w, (done, _)) in per_worker {
             for (idx, r) in done {
                 debug_assert!(slots[idx].is_none(), "task {idx} produced twice");
                 slots[idx] = Some((w as u32, r));
@@ -461,17 +660,69 @@ impl WorkerPool {
             .collect())
     }
 
+    /// Run two *different* jobs as one two-task region and return both
+    /// results, each tagged with its producing worker id — how plan
+    /// interpreters ship a pair of independent subtrees (both inputs of a
+    /// join; a build side overlapping probe-side preparation) over the
+    /// same pool that runs their morsels.
+    ///
+    /// Ordering contract: with one worker the pair runs inline, `fa`
+    /// strictly before `fb` — exactly the serial engine. In a fanned
+    /// region, if both fail the error of `fa` wins (lowest task index),
+    /// matching serial left-to-right evaluation. On any failure the
+    /// surviving result is routed through its discard callback with the
+    /// producing worker's arena, like [`WorkerPool::run`].
+    ///
+    /// Like `run`, the closures must not call back into the pool.
+    pub fn run_pair<A, B, FA, FB, DA, DB>(
+        &self,
+        fa: FA,
+        fb: FB,
+        da: DA,
+        db: DB,
+    ) -> Result<((u32, A), (u32, B))>
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce(&WorkerCtx<'_>) -> Result<A> + Send,
+        FB: FnOnce(&WorkerCtx<'_>) -> Result<B> + Send,
+        DA: Fn(&MaskArena, A),
+        DB: Fn(&MaskArena, B),
+    {
+        let fa = Mutex::new(Some(fa));
+        let fb = Mutex::new(Some(fb));
+        let mut out = self.run(
+            vec![0u8, 1u8],
+            |ctx, which| match which {
+                0 => (relock(fa.lock()).take().expect("task 0 claimed once"))(ctx).map(Pair::A),
+                _ => (relock(fb.lock()).take().expect("task 1 claimed once"))(ctx).map(Pair::B),
+            },
+            |arena, r| match r {
+                Pair::A(a) => da(arena, a),
+                Pair::B(b) => db(arena, b),
+            },
+        )?;
+        let second = out.pop().expect("pair region returns two results");
+        let first = out.pop().expect("pair region returns two results");
+        match (first, second) {
+            ((wa, Pair::A(a)), (wb, Pair::B(b))) => Ok(((wa, a), (wb, b))),
+            _ => unreachable!("pair results come back in task order"),
+        }
+    }
+
     /// Coordinator-side access to one worker's arena — how callers
     /// recycle the pooled buffers inside a task result back into the
-    /// arena that produced them. Safe between regions; while a region is
-    /// in flight the lock simply blocks until that worker's epoch ends.
+    /// arena that produced them (the inline arena included). Safe while
+    /// regions are in flight: the lock simply blocks until that worker's
+    /// current body ends.
     pub fn with_arena<R>(&self, worker: u32, f: impl FnOnce(&MaskArena) -> R) -> R {
         f(&relock(self.shared.arenas[worker as usize].lock()))
     }
 
     /// Sum of `outstanding()` across all worker arenas — zero whenever no
     /// parallel region is in flight, error paths included (the leak
-    /// tests' invariant).
+    /// tests' invariant, now holding per region: a failed region discards
+    /// its own results while concurrent regions proceed).
     pub fn outstanding(&self) -> usize {
         self.shared
             .arenas
@@ -505,6 +756,27 @@ impl WorkerPool {
             relock(a.lock()).reset_stats();
         }
     }
+
+    /// Snapshot the region-scheduling counters: regions admitted, slot
+    /// waits (count, total time, histogram) and the concurrency
+    /// high-water mark. The serving layer surfaces these as its
+    /// region-occupancy stats.
+    pub fn region_stats(&self) -> RegionStats {
+        let (slots, max_concurrent) = {
+            let st = relock(self.shared.state.lock());
+            (st.slots.len() as u64, st.max_active)
+        };
+        RegionStats {
+            regions: self.counters.regions.load(Ordering::Relaxed),
+            waits: self.counters.waits.load(Ordering::Relaxed),
+            wait_total_micros: self.counters.wait_total_micros.load(Ordering::Relaxed),
+            wait_buckets: std::array::from_fn(|i| {
+                self.counters.wait_buckets[i].load(Ordering::Relaxed)
+            }),
+            slots,
+            max_concurrent,
+        }
+    }
 }
 
 impl Drop for WorkerPool {
@@ -535,6 +807,7 @@ const _: fn() = || {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
 
     #[test]
     fn results_come_back_in_task_order() {
@@ -548,7 +821,7 @@ mod tests {
             assert_eq!(*r, i * 10);
         }
         // Which workers actually ran is machine-dependent (on a busy or
-        // single-core host, worker 0 can legally drain every deque by
+        // single-core host, one worker can legally drain every deque by
         // stealing before the other threads are scheduled), so only the
         // worker-id *range* is pinned here; order and completeness above
         // are the real contract.
@@ -583,14 +856,22 @@ mod tests {
         let out = pool
             .run(
                 vec![7usize],
-                |_ctx, t| {
+                |ctx, t| {
                     assert_eq!(std::thread::current().id(), main_thread);
+                    // The inline path owns the dedicated trailing arena,
+                    // so tiny queries never contend with resident
+                    // workers mid-region.
+                    assert_eq!(ctx.worker, pool.workers());
                     Ok(t)
                 },
                 |_a, _r: usize| {},
             )
             .unwrap();
-        assert_eq!(out, vec![(0, 7)]);
+        assert_eq!(out, vec![(pool.workers() as u32, 7)]);
+        // Results recycle home through the same id.
+        let m = pool.with_arena(out[0].0, |a| a.mask(64));
+        pool.with_arena(out[0].0, |a| a.recycle_mask(m));
+        assert_eq!(pool.outstanding(), 0);
     }
 
     #[test]
@@ -724,8 +1005,8 @@ mod tests {
     }
 
     /// The resident property itself: across regions, the same worker id
-    /// is served by the same OS thread (no per-region spawning), and
-    /// worker 0 is always the calling thread.
+    /// is served by the same OS thread (no per-region spawning), and the
+    /// coordinator never executes task bodies — it publishes and waits.
     #[test]
     fn resident_threads_persist_across_regions() {
         use std::collections::HashMap;
@@ -747,6 +1028,7 @@ mod tests {
                 .unwrap();
             let mut map = HashMap::new();
             for (_, (w, tid)) in out {
+                assert_ne!(tid, main_thread, "coordinator never runs task bodies");
                 let prev = map.insert(w, tid);
                 assert!(prev.is_none_or(|p| p == tid), "worker {w} switched threads");
             }
@@ -754,9 +1036,6 @@ mod tests {
         };
         let first = observe();
         let second = observe();
-        if let Some(tid) = first.get(&0) {
-            assert_eq!(*tid, main_thread, "worker 0 is the coordinator");
-        }
         for (w, tid) in &second {
             if let Some(prev) = first.get(w) {
                 assert_eq!(prev, tid, "worker {w} migrated between regions");
@@ -765,8 +1044,8 @@ mod tests {
     }
 
     /// One pool, shared by several client threads via `Arc`: regions
-    /// serialize internally and every caller still gets its own results
-    /// in task order.
+    /// interleave and every caller still gets its own results in task
+    /// order.
     #[test]
     fn shared_pool_serves_concurrent_callers() {
         let pool = Arc::new(WorkerPool::new(3).with_morsel_rows(64));
@@ -796,6 +1075,188 @@ mod tests {
         assert_eq!(pool.outstanding(), 0);
     }
 
+    /// The tentpole property: two regions from different callers are in
+    /// flight *simultaneously* — their tasks rendezvous on one barrier
+    /// that can only be crossed if both regions' tasks run at the same
+    /// time. Under exclusive-region admission this would deadlock.
+    #[test]
+    fn regions_interleave_across_callers() {
+        let pool = Arc::new(WorkerPool::new(4).with_morsel_rows(64));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for caller in 0..2u32 {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let out = pool
+                    .run(
+                        vec![0u32, 1],
+                        |_ctx, t| {
+                            barrier.wait();
+                            Ok(caller * 10 + t)
+                        },
+                        |_a, _r: u32| {},
+                    )
+                    .unwrap();
+                let values: Vec<u32> = out.into_iter().map(|(_, r)| r).collect();
+                assert_eq!(values, vec![caller * 10, caller * 10 + 1]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = pool.region_stats();
+        assert_eq!(stats.regions, 2);
+        assert_eq!(stats.max_concurrent, 2, "both regions were live at once");
+        assert_eq!(stats.waits, 0, "default table never fills with 2 regions");
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    /// Per-region error isolation: a failure in one region discards only
+    /// that region's results; a concurrent region completes untouched and
+    /// every arena settles back to `outstanding() == 0`.
+    #[test]
+    fn failing_region_leaves_concurrent_region_intact() {
+        let pool = Arc::new(WorkerPool::new(4).with_morsel_rows(64));
+        let barrier = Arc::new(Barrier::new(4));
+        let ok_pool = Arc::clone(&pool);
+        let ok_barrier = Arc::clone(&barrier);
+        let ok = std::thread::spawn(move || {
+            let out = ok_pool
+                .run(
+                    vec![0usize, 1],
+                    |ctx, t| {
+                        ok_barrier.wait();
+                        Ok(ctx.arena.mask(64 + t))
+                    },
+                    |a, m| a.recycle_mask(m),
+                )
+                .unwrap();
+            assert_eq!(out.len(), 2, "healthy region completed fully");
+            for (w, m) in out {
+                ok_pool.with_arena(w, |a| a.recycle_mask(m));
+            }
+        });
+        let err_pool = Arc::clone(&pool);
+        let err_barrier = Arc::clone(&barrier);
+        let failing = std::thread::spawn(move || {
+            let err = err_pool
+                .run(
+                    vec![0usize, 1],
+                    |ctx, t| {
+                        err_barrier.wait();
+                        if t == 1 {
+                            Err(BasiliskError::Exec("one region fails".into()))
+                        } else {
+                            Ok(ctx.arena.bitmap(64))
+                        }
+                    },
+                    |a, bm| a.recycle_bitmap(bm),
+                )
+                .unwrap_err();
+            assert!(err.to_string().contains("one region fails"));
+        });
+        ok.join().unwrap();
+        failing.join().unwrap();
+        assert_eq!(pool.outstanding(), 0, "both regions settled their arenas");
+    }
+
+    /// A one-slot region table restores exclusive admission: overlapping
+    /// callers serialize, and the wait is counted and timed.
+    #[test]
+    fn single_slot_table_serializes_and_counts_waits() {
+        let pool = Arc::new(WorkerPool::new(2).with_morsel_rows(64).with_region_slots(1));
+        let entered = Arc::new(Barrier::new(2));
+        let first_pool = Arc::clone(&pool);
+        let first_entered = Arc::clone(&entered);
+        let first = std::thread::spawn(move || {
+            first_pool
+                .run(
+                    vec![0u32, 1],
+                    |_ctx, t| {
+                        if t == 0 {
+                            // Hold the only slot until the main thread is
+                            // provably inside its own `run` call…
+                            first_entered.wait();
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                        }
+                        Ok(t)
+                    },
+                    |_a, _r: u32| {},
+                )
+                .unwrap();
+        });
+        // …which cannot admit a region until the first one retires.
+        entered.wait();
+        pool.run(vec![0u32, 1], |_ctx, t| Ok(t), |_a, _r: u32| {})
+            .unwrap();
+        first.join().unwrap();
+        let stats = pool.region_stats();
+        assert_eq!(stats.slots, 1);
+        assert_eq!(stats.regions, 2);
+        assert_eq!(stats.max_concurrent, 1, "one slot admits one region");
+        assert!(stats.waits >= 1, "the second region waited for the slot");
+        assert!(stats.wait_total_micros > 0);
+        assert_eq!(
+            stats.wait_buckets.iter().sum::<u64>(),
+            stats.waits,
+            "every wait lands in exactly one histogram bucket"
+        );
+    }
+
+    /// `run_pair` ships two heterogeneous jobs as one region: both
+    /// results come back tagged, serial pools run `fa` before `fb`, and a
+    /// failure routes the surviving result through its discard hook.
+    #[test]
+    fn run_pair_returns_both_and_discards_on_failure() {
+        // Serial ordering: fa strictly before fb.
+        let serial = WorkerPool::new(1);
+        let order = Mutex::new(Vec::new());
+        let ((_, a), (_, b)) = serial
+            .run_pair(
+                |_ctx| {
+                    relock(order.lock()).push('a');
+                    Ok(1u32)
+                },
+                |_ctx| {
+                    relock(order.lock()).push('b');
+                    Ok("two")
+                },
+                |_a, _r| {},
+                |_a, _r| {},
+            )
+            .unwrap();
+        assert_eq!((a, b), (1, "two"));
+        assert_eq!(*relock(order.lock()), vec!['a', 'b']);
+
+        // Parallel: results carry producing workers; buffers recycle home.
+        let pool = WorkerPool::new(3).with_morsel_rows(64);
+        let ((wa, ma), (wb, mb)) = pool
+            .run_pair(
+                |ctx| Ok(ctx.arena.mask(128)),
+                |ctx| Ok(ctx.arena.mask(256)),
+                |a, m| a.recycle_mask(m),
+                |a, m| a.recycle_mask(m),
+            )
+            .unwrap();
+        assert_eq!(pool.outstanding(), 2);
+        pool.with_arena(wa, |a| a.recycle_mask(ma));
+        pool.with_arena(wb, |a| a.recycle_mask(mb));
+        assert_eq!(pool.outstanding(), 0);
+
+        // Failure in fb discards fa's already-produced result.
+        let err = pool
+            .run_pair(
+                |ctx| Ok(ctx.arena.indices()),
+                |_ctx| -> Result<u32> { Err(BasiliskError::Exec("pair b failed".into())) },
+                |a, v| a.recycle_indices(v),
+                |_a, _r| {},
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("pair b failed"));
+        assert_eq!(pool.outstanding(), 0);
+    }
+
     #[test]
     fn default_workers_parses_env_shape() {
         // Not asserting the ambient value (the test runner may set the
@@ -816,5 +1277,11 @@ mod tests {
     #[should_panic(expected = "multiple of 64")]
     fn bad_morsel_size_panics() {
         let _ = WorkerPool::new(2).with_morsel_rows(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_region_slots_panics() {
+        let _ = WorkerPool::new(2).with_region_slots(0);
     }
 }

@@ -59,6 +59,12 @@ pub struct ServerConfig {
     pub workers: Option<usize>,
     /// Morsel granularity override for the shared pool.
     pub morsel_rows: Option<usize>,
+    /// Region-table size override for the shared pool; `None` = the
+    /// scheduler default
+    /// ([`DEFAULT_REGION_SLOTS`](basilisk_sched::DEFAULT_REGION_SLOTS)).
+    /// `Some(1)` restores exclusive-region admission (one parallel
+    /// region at a time) — the interleaving benchmark's baseline.
+    pub region_slots: Option<usize>,
     /// Planner used by [`Server::sql`] / [`Server::prepare`].
     pub default_planner: PlannerKind,
 }
@@ -71,6 +77,7 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             workers: None,
             morsel_rows: None,
+            region_slots: None,
             default_planner: PlannerKind::TCombined,
         }
     }
@@ -187,6 +194,9 @@ impl Server {
         if let Some(rows) = config.morsel_rows {
             pool = pool.with_morsel_rows(rows);
         }
+        if let Some(slots) = config.region_slots {
+            pool = pool.with_region_slots(slots);
+        }
         let pool = Arc::new(pool);
         let contexts: Vec<ExecContext> = (0..config.contexts.max(1))
             .map(|_| ExecContext::with_pool(Arc::clone(&pool)))
@@ -215,9 +225,19 @@ impl Server {
     }
 
     /// Counter snapshot (cache hits/misses/evictions, queue high-water,
-    /// latency histogram).
+    /// latency histogram), overlaid with the shared pool's
+    /// region-occupancy counters (regions fanned out, slot waits and
+    /// their µs histogram, concurrency high-water).
     pub fn stats(&self) -> ServeStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        let r = self.pool.region_stats();
+        s.parallel_regions = r.regions;
+        s.region_waits = r.waits;
+        s.region_wait_total_micros = r.wait_total_micros;
+        s.region_wait_buckets = r.wait_buckets;
+        s.region_slots = r.slots;
+        s.region_max_concurrent = r.max_concurrent;
+        s
     }
 
     /// Number of statement shapes currently cached.

@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use basilisk_sched::REGION_WAIT_BUCKETS;
+
 /// Number of power-of-two latency buckets: bucket `i` counts queries with
 /// latency in `[2^i, 2^(i+1))` microseconds (bucket 0 additionally takes
 /// sub-microsecond queries, the last bucket everything slower).
@@ -107,6 +109,14 @@ impl StatsRecorder {
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             latency_buckets: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
             latency_total_micros: self.latency_total_micros.load(Ordering::Relaxed),
+            // Region-occupancy counters live on the shared worker pool;
+            // `Server::stats` overlays them onto this snapshot.
+            parallel_regions: 0,
+            region_waits: 0,
+            region_wait_total_micros: 0,
+            region_wait_buckets: [0; REGION_WAIT_BUCKETS],
+            region_slots: 0,
+            region_max_concurrent: 0,
         }
     }
 }
@@ -137,6 +147,24 @@ pub struct ServeStats {
     /// in `[2^i, 2^(i+1))` µs.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
     pub latency_total_micros: u64,
+    /// Parallel regions fanned out on the shared pool (inline/serial
+    /// executions not counted).
+    pub parallel_regions: u64,
+    /// Requests whose parallel region had to **wait** for a region-table
+    /// slot. With interleaved admission this stays at ~0 until more
+    /// regions are in flight than the table holds; a single-slot table
+    /// (the exclusive-region baseline) counts every overlapping region
+    /// here.
+    pub region_waits: u64,
+    /// Total microseconds spent in region-slot waits.
+    pub region_wait_total_micros: u64,
+    /// Power-of-two microsecond buckets of individual region-slot waits.
+    pub region_wait_buckets: [u64; REGION_WAIT_BUCKETS],
+    /// Size of the pool's region table.
+    pub region_slots: u64,
+    /// Highest number of simultaneously live parallel regions observed —
+    /// the occupancy high-water mark (> 1 proves interleaving happened).
+    pub region_max_concurrent: u64,
 }
 
 impl ServeStats {
@@ -152,6 +180,15 @@ impl ServeStats {
             return Duration::ZERO;
         }
         Duration::from_micros(self.latency_total_micros / n)
+    }
+
+    /// Mean time a slot-waiting region spent blocked, across the
+    /// requests counted by `region_waits`.
+    pub fn mean_region_wait(&self) -> Duration {
+        if self.region_waits == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.region_wait_total_micros / self.region_waits)
     }
 
     /// Upper bound of the bucket containing the `q`-quantile (0 < q ≤ 1)

@@ -106,6 +106,18 @@ fn main() {
         s.quantile_latency(0.5),
         s.quantile_latency(0.99),
     );
+    println!(
+        "region table: {} parallel regions | peak {} concurrent | \
+         {} slot waits (mean {:?})",
+        s.parallel_regions,
+        s.region_max_concurrent,
+        s.region_waits,
+        s.mean_region_wait(),
+    );
+    assert_eq!(
+        s.region_waits, 0,
+        "default region table never makes a request wait"
+    );
     assert_eq!(s.statements_prepared, 1, "one shape, one plan");
     assert_eq!(server.outstanding(), 0, "server drained");
     println!("zero parse/plan on the hot path; all arenas clean");

@@ -11,7 +11,12 @@
 //!
 //! The CI tier-1 matrix runs this suite under `BASILISK_THREADS=4` (the
 //! servers below also pin explicit worker counts, so the parallel path
-//! is exercised on every matrix entry).
+//! is exercised on every matrix entry), and a dedicated `--release`
+//! stress entry re-runs the interleaved-regions soak.
+//!
+//! Region interleaving is covered by [`interleaved_regions_soak`]: many
+//! clients fan out parallel regions on one shared pool at once, and the
+//! region table must admit all of them without a single slot wait.
 
 use std::sync::Arc;
 
@@ -266,6 +271,114 @@ fn concurrent_prepared_bindings_match_serial() {
         "16 executions, one plan"
     );
     assert_eq!(server.outstanding(), 0);
+}
+
+/// Interleaved-regions soak: several clients fan out parallel regions on
+/// one shared pool *simultaneously* (no exclusive-region admission), at
+/// `workers ∈ {2, 4}`. Checks, per worker count:
+///
+/// - every response is bit-for-bit equal to the serial reference even
+///   while other clients' regions are in flight on the same workers;
+/// - the default region table admits every in-flight region — zero slot
+///   waits (`region_waits == 0`), since live regions are bounded by the
+///   context pool;
+/// - an injected **mid-region eval failure** in one client's statement
+///   (runtime type error on worker threads) discards that region's
+///   buffers into their producing arenas while concurrent regions keep
+///   running — `outstanding() == 0` at the end proves both directions.
+#[test]
+fn interleaved_regions_soak() {
+    let cat = soak_catalog();
+    let statements: Vec<String> = workload().into_iter().flatten().collect();
+    let reference = {
+        let serial = serial_reference(&cat);
+        statements
+            .iter()
+            .map(|sql| fingerprint(&serial.sql(sql).unwrap()))
+            .collect::<Vec<_>>()
+    };
+    let statements = Arc::new(statements);
+    let reference = Arc::new(reference);
+    // Fails mid evaluation on worker threads (Str column vs Int literal
+    // inside a fanned-out region) — not at parse or plan time.
+    let runtime_err = "SELECT t.id FROM title t \
+                       WHERE t.production_year > 1900 OR t.title > 5";
+
+    for workers in [2usize, 4] {
+        const CONTEXTS: usize = 4;
+        let server = Arc::new(Server::new(
+            cat.clone(),
+            ServerConfig {
+                contexts: CONTEXTS,
+                workers: Some(workers),
+                // Narrow morsels so even the small soak tables fan out.
+                morsel_rows: Some(128),
+                ..ServerConfig::default()
+            },
+        ));
+        for sql in statements.iter() {
+            server.sql(sql).unwrap();
+        }
+
+        const CLIENTS: usize = 6;
+        const ROUNDS: usize = 2;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                let statements = Arc::clone(&statements);
+                let reference = Arc::clone(&reference);
+                std::thread::spawn(move || {
+                    for round in 0..ROUNDS {
+                        for i in 0..statements.len() {
+                            // One client poisons its own region mid-round;
+                            // everyone else keeps streaming good traffic.
+                            if c == 0 && i == statements.len() / 2 {
+                                assert!(server.sql(runtime_err).is_err());
+                            }
+                            let k = (2 * i + c + round) % statements.len();
+                            let r = server.sql(&statements[k]).unwrap();
+                            assert_eq!(
+                                fingerprint(&r),
+                                reference[k],
+                                "workers={workers} client {c} round {round} \
+                                 diverged on: {}",
+                                statements[k]
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let stats = server.stats();
+        assert!(
+            stats.parallel_regions > 0,
+            "workload fanned out regions: {stats:?}"
+        );
+        assert_eq!(
+            stats.region_waits, 0,
+            "default region table admits every in-flight region: {stats:?}"
+        );
+        assert_eq!(stats.region_wait_total_micros, 0);
+        assert_eq!(stats.mean_region_wait(), std::time::Duration::ZERO);
+        assert!(
+            stats.region_max_concurrent as usize <= CONTEXTS,
+            "a coordinator holds at most one region slot at a time: {stats:?}"
+        );
+        assert!(
+            stats.errors >= ROUNDS as u64,
+            "injected failures surfaced: {stats:?}"
+        );
+        assert_eq!(
+            server.outstanding(),
+            0,
+            "workers={workers}: failed regions discarded into their \
+             producing arenas while concurrent regions proceeded"
+        );
+    }
 }
 
 /// Error paths under concurrency: parse errors, plan errors, bind-type
