@@ -98,21 +98,18 @@ impl Database {
     fn engine(&self) -> Arc<Server> {
         let mut slot = self.engine.lock().unwrap();
         Arc::clone(slot.get_or_insert_with(|| {
-            Arc::new(Server::new(
-                self.catalog.clone(),
-                ServerConfig {
-                    // Concurrent `sql` callers on one Database execute on
-                    // up to this many contexts; admission is effectively
-                    // unbounded so no caller is ever rejected (the
-                    // standalone `serve()` server is where backpressure
-                    // policy belongs).
-                    contexts: 2,
-                    queue_limit: usize::MAX / 2,
-                    workers: self.workers,
-                    default_planner: self.default_planner,
-                    ..ServerConfig::default()
-                },
-            ))
+            // Concurrent `sql` callers on one Database execute on up to
+            // `contexts` contexts; admission is effectively unbounded so
+            // no caller is ever rejected (the standalone `serve()`
+            // server is where backpressure policy belongs).
+            let config = ServerConfig::builder()
+                .contexts(2)
+                .queue_limit(usize::MAX / 2)
+                .workers_opt(self.workers)
+                .default_planner(self.default_planner)
+                .build()
+                .expect("static sizing is valid");
+            Arc::new(Server::new(self.catalog.clone(), config))
         }))
     }
 
@@ -204,16 +201,35 @@ impl Database {
     /// database's catalog, with this database's planner and worker
     /// configuration. Share it behind an `Arc` across client threads.
     pub fn serve(&self) -> Server {
-        self.serve_with(ServerConfig {
-            workers: self.workers,
-            default_planner: self.default_planner,
-            ..ServerConfig::default()
-        })
+        let config = ServerConfig::builder()
+            .workers_opt(self.workers)
+            .default_planner(self.default_planner)
+            .build()
+            .expect("static sizing is valid");
+        self.serve_with(config)
     }
 
     /// [`Database::serve`] with explicit sizing.
     pub fn serve_with(&self, config: ServerConfig) -> Server {
         Server::new(self.catalog.clone(), config)
+    }
+
+    /// Serve this database over the HTTP/JSON wire protocol: build a
+    /// standalone server (as [`Database::serve`]) and bind the
+    /// `basilisk-net` listener to `addr` (use `"127.0.0.1:0"` for an
+    /// ephemeral port; the bound address is on
+    /// [`Listener::local_addr`](basilisk_net::Listener::local_addr)).
+    pub fn listen(&self, addr: &str) -> std::io::Result<basilisk_net::Listener> {
+        basilisk_net::Listener::bind(Arc::new(self.serve()), addr)
+    }
+
+    /// [`Database::listen`] with explicit server sizing.
+    pub fn listen_with(
+        &self,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<basilisk_net::Listener> {
+        basilisk_net::Listener::bind(Arc::new(self.serve_with(config)), addr)
     }
 
     /// EXPLAIN: render the plan a planner would choose for a SQL query.

@@ -39,8 +39,10 @@
 //! fresh literals into the cached plan), and [`Database::prepare`] /
 //! [`Database::execute_prepared`] expose the prepared-statement path
 //! directly. [`Database::serve`] builds a standalone concurrent
-//! [`Server`] — bounded FIFO admission, reusable execution contexts,
-//! one shared resident worker pool — for multi-client serving loops.
+//! [`Server`] — fair per-client admission lanes, reusable execution
+//! contexts, one shared resident worker pool — for multi-client serving
+//! loops, and [`Database::listen`] puts the HTTP/JSON wire front end
+//! ([`Listener`]) on one.
 
 mod db;
 mod result;
@@ -54,10 +56,14 @@ pub use basilisk_core::{Tag, TagMapBuilder, TagMapStrategy};
 pub use basilisk_expr::{
     and, col, factor_common_conjuncts, lit, not, or, Atom, CmpOp, ColumnRef, Expr, PredicateTree,
 };
+pub use basilisk_net::{Client, Listener, RemotePrepared, WireResponse};
 pub use basilisk_plan::{
     ExecContext, JoinCond, Plan, PlanTimings, PlannerKind, Query, QueryOutput, QuerySession,
 };
-pub use basilisk_serve::{Prepared, ServeResult, ServeStats, Server, ServerConfig};
+pub use basilisk_serve::{
+    ErrorKind, LaneStats, Prepared, Priority, Request, Response, ServeError, ServeResult,
+    ServeStats, Server, ServerConfig, ServerConfigBuilder,
+};
 pub use basilisk_sql::{normalize_select, parse_select, Projection, SelectStmt};
 pub use basilisk_storage::{Column, LfuPageCache, Table, TableBuilder};
 pub use basilisk_types::{BasiliskError, Bitmap, DataType, Result, Truth, Value};

@@ -387,11 +387,11 @@ fn main() {
     // Serve: one resident server, 4 concurrent clients, cached plans.
     let server = std::sync::Arc::new(basilisk::Server::new(
         cat_srv.clone(),
-        basilisk::ServerConfig {
-            contexts: 4,
-            workers: Some(1),
-            ..basilisk::ServerConfig::default()
-        },
+        basilisk::ServerConfig::builder()
+            .contexts(4)
+            .workers(1)
+            .build()
+            .unwrap(),
     ));
     for sql in requests_ref {
         server.sql(sql).unwrap(); // warm the plan cache
@@ -480,17 +480,17 @@ fn main() {
         })
         .collect();
     let make_server = |region_slots: Option<usize>| {
-        let server = std::sync::Arc::new(basilisk::Server::new(
-            cat_int.clone(),
-            basilisk::ServerConfig {
-                contexts: 4,
-                workers: Some(4),
+        let server = std::sync::Arc::new(basilisk::Server::new(cat_int.clone(), {
+            let mut b = basilisk::ServerConfig::builder()
+                .contexts(4)
+                .workers(4)
                 // 2 morsels per operator at 64k rows: narrow regions.
-                morsel_rows: Some(32 * 1024),
-                region_slots,
-                ..basilisk::ServerConfig::default()
-            },
-        ));
+                .morsel_rows(32 * 1024);
+            if let Some(slots) = region_slots {
+                b = b.region_slots(slots);
+            }
+            b.build().unwrap()
+        }));
         for sql in &mixed {
             server.sql(sql).unwrap(); // warm the plan cache
         }
@@ -534,6 +534,82 @@ fn main() {
         s.parallel_regions, s.region_waits, s.region_max_concurrent
     );
 
+    // --- wire front end: loopback HTTP/JSON vs in-process dispatch ------
+    // The same 32 cached statements through the same warm server, split
+    // over 8 client threads; the only delta between the two entries is
+    // the wire (TCP + HTTP framing + JSON encode/decode both ways), so
+    // `net_overhead` is the front-end cost multiple. Client-observed
+    // per-request latency is collected across every sample for the p99.
+    // Both are gated as *ceilings* (`_max` keys in baseline.json): lower
+    // is better, a rise past ceiling × (1 + tolerance) fails CI.
+    report.push(
+        "serve/in_process_baseline",
+        time_ns(samples.min(10), || {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..8)
+                    .map(|c| {
+                        let server = &server;
+                        scope.spawn(move || {
+                            requests_ref
+                                .iter()
+                                .skip(c * (SERVE_REQS / 8))
+                                .take(SERVE_REQS / 8)
+                                .map(|sql| server.sql(sql).unwrap().row_count)
+                                .sum::<usize>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+        }),
+    );
+    let listener = basilisk::Listener::bind(std::sync::Arc::clone(&server), "127.0.0.1:0")
+        .expect("bind loopback listener");
+    let addr = listener.local_addr();
+    let mut wire_clients: Vec<basilisk::Client> = (0..8)
+        .map(|c| {
+            basilisk::Client::connect(addr)
+                .expect("connect loopback client")
+                .with_client_id(format!("bench-{c}"))
+        })
+        .collect();
+    let net_latencies = std::sync::Mutex::new(Vec::<u64>::new());
+    report.push(
+        "net/loopback_8clients",
+        time_ns(samples.min(10), || {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = wire_clients
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(c, client)| {
+                        let net_latencies = &net_latencies;
+                        scope.spawn(move || {
+                            let mut rows = 0usize;
+                            let mut lats = Vec::with_capacity(SERVE_REQS / 8);
+                            for sql in requests_ref
+                                .iter()
+                                .skip(c * (SERVE_REQS / 8))
+                                .take(SERVE_REQS / 8)
+                            {
+                                let t = Instant::now();
+                                rows += client.sql(sql).expect("wire sql").row_count;
+                                lats.push(t.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                            }
+                            net_latencies.lock().unwrap().extend(lats);
+                            rows
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+        }),
+    );
+    drop(wire_clients);
+    drop(listener);
+    let mut net_latencies = net_latencies.into_inner().unwrap();
+    net_latencies.sort_unstable();
+    let net_p99_micros = net_latencies[(net_latencies.len() - 1) * 99 / 100] as f64;
+
     // --- derived (gated) ratios -----------------------------------------
     let or_fold_speedup = report.get("or_fold/scalar") / report.get("or_fold/vectorized");
     let eval_speedup = report.get("eval/scalar") / report.get("eval/vectorized");
@@ -546,6 +622,8 @@ fn main() {
         report.get("serve/parse_plan_execute") / report.get("serve/cached_concurrent");
     let region_interleaving =
         report.get("serve/exclusive_region_baseline") / report.get("serve/interleaved_16clients");
+    let net_overhead =
+        report.get("net/loopback_8clients") / report.get("serve/in_process_baseline");
     let or_fold_gelems = ROWS as f64 / report.get("or_fold/vectorized"); // elems/ns = Gelems/s
     let derived = vec![
         ("or_fold_speedup".to_string(), or_fold_speedup),
@@ -555,6 +633,8 @@ fn main() {
         ("parallel_scaling".to_string(), parallel_scaling),
         ("serve_throughput".to_string(), serve_throughput),
         ("region_interleaving".to_string(), region_interleaving),
+        ("net_overhead".to_string(), net_overhead),
+        ("net_p99_micros".to_string(), net_p99_micros),
         ("or_fold_gelems_per_s".to_string(), or_fold_gelems),
     ];
     println!("  or_fold_speedup      {or_fold_speedup:.1}x");
@@ -566,6 +646,10 @@ fn main() {
         "  serve_throughput     {serve_throughput:.2}x (cached concurrent vs parse-plan-execute)"
     );
     println!("  region_interleaving  {region_interleaving:.2}x (shared region table vs exclusive)");
+    println!(
+        "  net_overhead         {net_overhead:.2}x (loopback HTTP/JSON vs in-process, 8 clients)"
+    );
+    println!("  net_p99_micros       {net_p99_micros:.0} us (client-observed wire p99)");
 
     std::fs::write(&out_path, report.to_json(&derived)).expect("write BENCH_eval.json");
     println!("wrote {out_path}");
@@ -620,6 +704,35 @@ fn main() {
             failed = true;
         } else {
             println!("gate ok: {key} = {measured:.2} (floor {allowed:.2})");
+        }
+    }
+    // Ceiling gates: lower is better, the baseline key carries a `_max`
+    // suffix, and a measurement above ceiling × (1 + tolerance) fails.
+    // Both wire metrics need 8 genuinely concurrent clients, so the
+    // gates follow the same < 4 cores skip rule as the ratio floors.
+    for (key, measured) in [
+        ("net_overhead", net_overhead),
+        ("net_p99_micros", net_p99_micros),
+    ] {
+        if cores < 4 {
+            println!("gate skipped: {key} = {measured:.2} (host has {cores} core(s), need 4)");
+            continue;
+        }
+        let ceiling_key = format!("{key}_max");
+        let Some(ceiling) = json_number(&baseline, &ceiling_key) else {
+            println!("baseline has no {ceiling_key}; skipping");
+            continue;
+        };
+        let allowed = ceiling * (1.0 + tolerance);
+        if measured > allowed {
+            eprintln!(
+                "REGRESSION: {key} = {measured:.2} > {allowed:.2} \
+                 (baseline ceiling {ceiling:.2} + {tolerance:.0}% tolerance)",
+                tolerance = tolerance * 100.0
+            );
+            failed = true;
+        } else {
+            println!("gate ok: {key} = {measured:.2} (ceiling {allowed:.2})");
         }
     }
     if failed {

@@ -1,0 +1,172 @@
+//! Loopback load harness for the HTTP/JSON wire front end.
+//!
+//! Boots a [`basilisk::Listener`] on an ephemeral loopback port, fans
+//! `--clients` real TCP clients at it — each mixing prepared-statement
+//! executions and ad-hoc SQL, tagged with its own client id so every
+//! connection gets its own fairness lane — and reports client-observed
+//! p50/p99/max latency plus the server's own serving stats.
+//!
+//! The CI `net-smoke` job runs this in release mode with
+//! `BASILISK_THREADS=4` and a generous `--max-p99-micros` ceiling; the
+//! harness exits non-zero when the ceiling is exceeded or any serving
+//! invariant breaks (errors, rejections, undrained queues, leaked
+//! arena buffers).
+//!
+//! ```text
+//! net_load [--clients 8] [--requests 64] [--max-p99-micros N]
+//! ```
+
+use std::time::Instant;
+
+use basilisk::{Client, Database, ServerConfig, Value};
+use basilisk_bench::Args;
+use basilisk_workload::{generate_imdb, generate_synthetic, ImdbConfig, SyntheticConfig};
+
+const PREPARED_SHAPE: &str =
+    "SELECT t.id FROM title t JOIN movie_info_idx mi ON t.id = mi.movie_id \
+     WHERE t.production_year > 1990 OR mi.info > '7.0'";
+
+fn ad_hoc(r: usize) -> String {
+    format!(
+        "SELECT t.id, t.title FROM title t \
+         WHERE t.production_year > {} OR t.title LIKE '%x{}%'",
+        1950 + (r % 50),
+        r % 7
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let clients = args.get_usize("--clients", 8);
+    let requests = args.get_usize("--requests", 64);
+    let max_p99_micros = args
+        .get("--max-p99-micros")
+        .map(|v| v.parse::<u64>().expect("bad --max-p99-micros"));
+
+    let mut db = Database::new();
+    for t in generate_synthetic(&SyntheticConfig {
+        rows: 400,
+        num_attrs: 3,
+        ..SyntheticConfig::default()
+    })
+    .expect("synthetic tables")
+    {
+        db.register(t).expect("register");
+    }
+    for t in generate_imdb(&ImdbConfig {
+        scale: 0.05,
+        seed: 7,
+    })
+    .expect("imdb tables")
+    {
+        db.register(t).expect("register");
+    }
+    let listener = db
+        .listen_with(
+            "127.0.0.1:0",
+            ServerConfig::builder()
+                .contexts(clients.max(2))
+                .build()
+                .expect("static sizing is valid"),
+        )
+        .expect("bind loopback listener");
+    let addr = listener.local_addr();
+    println!("net_load: {clients} clients x {requests} requests against {addr}");
+
+    // Warm the plan cache so the measured window is the steady serving
+    // state, not first-statement planning.
+    {
+        let mut warm = Client::connect(addr).expect("warm client");
+        let stmt = warm.prepare(PREPARED_SHAPE).expect("warm prepare");
+        warm.execute(stmt, &[Value::Int(1990), Value::from("7.0")])
+            .expect("warm execute");
+        warm.sql(&ad_hoc(0)).expect("warm sql");
+    }
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr)
+                    .expect("connect")
+                    .with_client_id(format!("load-{c}"));
+                let stmt = client.prepare(PREPARED_SHAPE).expect("prepare");
+                let mut latencies = Vec::with_capacity(requests);
+                let mut rows = 0usize;
+                for r in 0..requests {
+                    let t = Instant::now();
+                    let resp = if (c + r) % 2 == 0 {
+                        let params = [
+                            Value::Int(1950 + (r % 60) as i64),
+                            Value::from(format!("{}.{}", 5 + r % 5, r % 10)),
+                        ];
+                        client.execute(stmt, &params).expect("execute")
+                    } else {
+                        client.sql(&ad_hoc(c * requests + r)).expect("sql")
+                    };
+                    latencies.push(t.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    rows += resp.row_count;
+                }
+                (latencies, rows)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(clients * requests);
+    let mut rows = 0usize;
+    for h in handles {
+        let (l, r) = h.join().expect("client thread");
+        latencies.extend(l);
+        rows += r;
+    }
+    let wall = t0.elapsed();
+
+    latencies.sort_unstable();
+    let q = |f: f64| latencies[((latencies.len() - 1) as f64 * f) as usize];
+    let (p50, p99, max) = (q(0.50), q(0.99), *latencies.last().expect("non-empty"));
+    let total = latencies.len();
+    println!(
+        "client-side: {total} requests, {rows} rows, {:.0} req/s",
+        total as f64 / wall.as_secs_f64()
+    );
+    println!("  p50 {p50} us   p99 {p99} us   max {max} us");
+
+    let stats = listener.server().stats();
+    println!(
+        "server-side: {} executed ({} hits / {} misses), p50 {:?} p99 {:?}",
+        stats.statements_executed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.quantile_latency(0.50),
+        stats.quantile_latency(0.99),
+    );
+    for lane in &stats.lanes {
+        println!(
+            "  lane {:<10} admitted {:<5} dispatched {:<5} max_depth {}",
+            lane.client, lane.admitted, lane.dispatched, lane.max_depth
+        );
+    }
+
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+    check(stats.errors == 0, "server counted errors");
+    check(stats.rejected == 0, "server rejected requests");
+    check(stats.queue_depth == 0, "admission queue did not drain");
+    check(stats.region_waits == 0, "parallel regions waited for slots");
+    check(listener.server().outstanding() == 0, "arena buffers leaked");
+    if let Some(ceiling) = max_p99_micros {
+        check(
+            p99 <= ceiling,
+            &format!("client p99 {p99} us exceeds ceiling {ceiling} us"),
+        );
+    }
+    drop(listener);
+    if failed {
+        std::process::exit(1);
+    }
+    println!("net_load: ok");
+}

@@ -1,0 +1,171 @@
+//! A tiny blocking client for the wire protocol: one persistent
+//! connection, synchronous request/response. Built for tests and the
+//! load harness, not as a production driver — but it speaks the full
+//! protocol (ad-hoc SQL, prepared statements, stats, typed errors with
+//! retryability).
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use basilisk_serve::{ErrorKind, Priority, ServeError};
+use basilisk_types::Value;
+
+use crate::http;
+use crate::json::Json;
+use crate::wire::{self, WireResponse};
+
+/// A remote prepared statement: the server-side handle plus its
+/// parameter count. Valid for the lifetime of the listener that issued
+/// it (handles survive reconnects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemotePrepared {
+    pub handle: u64,
+    pub params: usize,
+}
+
+/// A blocking protocol client over one keep-alive connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Tag sent as the `client` field of every request (the fairness
+    /// lane this connection's traffic queues in). Empty = anonymous.
+    pub client_id: String,
+    /// Priority sent with every request.
+    pub priority: Priority,
+}
+
+fn transport(e: io::Error) -> ServeError {
+    ServeError {
+        kind: ErrorKind::Io,
+        message: format!("transport: {e}"),
+        // A torn connection is worth one reconnect-and-retry; the
+        // caller decides (unlike engine Io errors, which are not
+        // retryable).
+        retryable: false,
+        offset: None,
+        in_flight: None,
+        queue_depth: None,
+    }
+}
+
+impl Client {
+    /// Connect to a listener (see
+    /// [`Listener::local_addr`](crate::Listener::local_addr)).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            client_id: String::new(),
+            priority: Priority::Normal,
+        })
+    }
+
+    /// Set the fairness-lane tag for subsequent requests.
+    pub fn with_client_id(mut self, id: impl Into<String>) -> Client {
+        self.client_id = id.into();
+        self
+    }
+
+    /// Set the priority for subsequent requests.
+    pub fn with_priority(mut self, priority: Priority) -> Client {
+        self.priority = priority;
+        self
+    }
+
+    fn call(&mut self, method: &str, path: &str, body: &Json) -> Result<Json, ServeError> {
+        let payload = if matches!(body, Json::Null) {
+            Vec::new()
+        } else {
+            body.to_string().into_bytes()
+        };
+        http::write_request(&mut self.writer, method, path, &payload).map_err(transport)?;
+        let response = http::read_response(&mut self.reader).map_err(transport)?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| ServeError::protocol("response body is not utf-8"))?;
+        let doc = Json::parse(text)
+            .map_err(|e| ServeError::protocol(format!("bad response json: {e}")))?;
+        if response.status == 200 {
+            Ok(doc)
+        } else {
+            // Typed failure: the envelope carries the real error.
+            Err(wire::parse_error(&doc)
+                .unwrap_or_else(|e| ServeError::protocol(format!("bad error envelope: {e}"))))
+        }
+    }
+
+    fn meta_fields(&self) -> Vec<(String, Json)> {
+        let mut fields = Vec::new();
+        if !self.client_id.is_empty() {
+            fields.push(("client".to_string(), Json::Str(self.client_id.clone())));
+        }
+        if self.priority != Priority::Normal {
+            fields.push((
+                "priority".to_string(),
+                Json::Str(self.priority.as_str().to_string()),
+            ));
+        }
+        fields
+    }
+
+    /// Run ad-hoc SQL.
+    pub fn sql(&mut self, sql: &str) -> Result<WireResponse, ServeError> {
+        let mut fields = vec![("sql".to_string(), Json::Str(sql.to_string()))];
+        fields.extend(self.meta_fields());
+        let doc = self.call("POST", "/v1/sql", &Json::Object(fields))?;
+        wire::parse_response(&doc).map_err(ServeError::protocol)
+    }
+
+    /// Prepare a statement server-side, returning a reusable handle.
+    pub fn prepare(&mut self, sql: &str) -> Result<RemotePrepared, ServeError> {
+        let body = Json::Object(vec![("sql".to_string(), Json::Str(sql.to_string()))]);
+        let doc = self.call("POST", "/v1/prepare", &body)?;
+        let handle = doc
+            .get("handle")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServeError::protocol("prepare reply missing handle"))?;
+        let params = doc
+            .get("params")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServeError::protocol("prepare reply missing params"))?
+            as usize;
+        Ok(RemotePrepared { handle, params })
+    }
+
+    /// Execute a prepared handle with fresh parameter values.
+    pub fn execute(
+        &mut self,
+        stmt: RemotePrepared,
+        params: &[Value],
+    ) -> Result<WireResponse, ServeError> {
+        let mut fields = vec![
+            ("handle".to_string(), Json::Int(stmt.handle as i64)),
+            (
+                "params".to_string(),
+                Json::Array(params.iter().map(wire::encode_value).collect()),
+            ),
+        ];
+        fields.extend(self.meta_fields());
+        let doc = self.call("POST", "/v1/execute", &Json::Object(fields))?;
+        wire::parse_response(&doc).map_err(ServeError::protocol)
+    }
+
+    /// Drop a server-side prepared handle.
+    pub fn close(&mut self, stmt: RemotePrepared) -> Result<bool, ServeError> {
+        let body = Json::Object(vec![("handle".to_string(), Json::Int(stmt.handle as i64))]);
+        let doc = self.call("POST", "/v1/close", &body)?;
+        Ok(doc.get("closed").and_then(Json::as_bool).unwrap_or(false))
+    }
+
+    /// Fetch the server's stats document (see the crate docs).
+    pub fn stats(&mut self) -> Result<Json, ServeError> {
+        self.call("GET", "/v1/stats", &Json::Null)
+    }
+
+    /// Liveness probe.
+    pub fn health(&mut self) -> Result<(), ServeError> {
+        self.call("GET", "/v1/health", &Json::Null).map(|_| ())
+    }
+}

@@ -1,0 +1,260 @@
+//! Minimal HTTP/1.1 framing over blocking streams: request-line +
+//! headers + `Content-Length` body, persistent connections. Just enough
+//! protocol for the wire format in the crate docs — no chunked encoding,
+//! no trailers, no TLS.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted head (request/status line + headers) in bytes.
+const MAX_HEAD: usize = 64 * 1024;
+/// Largest accepted body in bytes (result sets stream back as one
+/// document; this bounds hostile peers, not honest responses).
+const MAX_BODY: usize = 256 * 1024 * 1024;
+
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
+    }
+
+    /// Whether the sender asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Read one CRLF-terminated line (without the terminator). `Ok(None)`
+/// means clean EOF *before any byte* — the peer closed an idle
+/// keep-alive connection.
+fn read_line(r: &mut impl BufRead, budget: &mut usize) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(invalid("eof mid-line"));
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(invalid("head too large"));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let s = String::from_utf8(line).map_err(|_| invalid("non-utf8 head"))?;
+                    return Ok(Some(s));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn read_headers(r: &mut impl BufRead, budget: &mut usize) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, budget)?.ok_or_else(|| invalid("eof in headers"))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| invalid("malformed header"))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+}
+
+fn read_body(r: &mut impl BufRead, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+    let len = match header(headers, "content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| invalid("bad content-length"))?,
+        None => 0,
+    };
+    if len > MAX_BODY {
+        return Err(invalid("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Read one request off a persistent connection. `Ok(None)` = the peer
+/// closed the connection between requests.
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let mut budget = MAX_HEAD;
+    let Some(line) = read_line(r, &mut budget)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(invalid("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported http version"));
+    }
+    let headers = read_headers(r, &mut budget)?;
+    let body = read_body(r, &headers)?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Read one response (client side).
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
+    let mut budget = MAX_HEAD;
+    let line = read_line(r, &mut budget)?.ok_or_else(|| invalid("connection closed"))?;
+    let mut parts = line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| invalid("malformed status"))?,
+        _ => return Err(invalid("malformed status line")),
+    };
+    let headers = read_headers(r, &mut budget)?;
+    let body = read_body(r, &headers)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+pub fn write_request(w: &mut impl Write, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
+    write!(
+        w,
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\ncontent-type: application/json\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\ncontent-length: {}\r\ncontent-type: application/json\r\n",
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_roundtrip_keep_alive() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/v1/sql", br#"{"sql":"SELECT 1"}"#).unwrap();
+        write_request(&mut wire, "GET", "/v1/stats", b"").unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let one = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(
+            (one.method.as_str(), one.path.as_str()),
+            ("POST", "/v1/sql")
+        );
+        assert_eq!(one.body, br#"{"sql":"SELECT 1"}"#);
+        assert!(!one.wants_close());
+        let two = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(two.method, "GET");
+        assert!(two.body.is_empty());
+        assert!(read_request(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn response_roundtrip_with_extra_headers() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            503,
+            "Service Unavailable",
+            &[("retry-after", "1".to_string())],
+            br#"{"ok":false}"#,
+        )
+        .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("Retry-After"), Some("1"));
+        assert_eq!(resp.body, br#"{"ok":false}"#);
+    }
+
+    #[test]
+    fn malformed_heads_error() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            "GET /x HTTP/1.1\r\ncontent-length: wat\r\n\r\n",
+        ] {
+            let r = read_request(&mut BufReader::new(bad.as_bytes()));
+            assert!(r.is_err(), "{bad:?}");
+        }
+        // Truncated body: the read itself fails.
+        let bad = "GET /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nab";
+        assert!(read_request(&mut BufReader::new(bad.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut wire = format!("GET /x HTTP/1.1\r\nbig: {}\r\n\r\n", "a".repeat(MAX_HEAD));
+        wire.push_str("\r\n");
+        assert!(read_request(&mut BufReader::new(wire.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! # basilisk-net — the HTTP/JSON wire front end
+//!
+//! Puts a network protocol on the serving layer: a [`Listener`] accepts
+//! TCP connections, speaks a minimal HTTP/1.1, and funnels every request
+//! through [`Server::submit`](basilisk_serve::Server::submit) — so
+//! remote traffic gets exactly the same admission fairness, typed
+//! errors, and backpressure as in-process callers, and the serving
+//! layer needs no knowledge that a network exists.
+//!
+//! Everything is hand-rolled on `std` (`TcpListener` + blocking threads,
+//! no async runtime, no external dependencies): connections are few and
+//! long-lived, concurrency comes from the *server's* admission lanes,
+//! and the protocol below is small enough that a framework would cost
+//! more than it saves.
+//!
+//! ## Wire format
+//!
+//! HTTP/1.1 over TCP, persistent connections, JSON bodies both ways
+//! (`content-length` framing; no chunked encoding). Endpoints:
+//!
+//! | Route | Body | Reply (200) |
+//! |---|---|---|
+//! | `POST /v1/sql` | `{"sql", "client"?, "priority"?}` | result envelope |
+//! | `POST /v1/prepare` | `{"sql"}` | `{"ok", "handle", "params"}` |
+//! | `POST /v1/execute` | `{"handle", "params", "client"?, "priority"?}` | result envelope |
+//! | `POST /v1/close` | `{"handle"}` | `{"ok", "closed"}` |
+//! | `GET /v1/stats` | — | counters + per-lane fairness stats |
+//! | `GET /v1/health` | — | `{"ok": true}` |
+//!
+//! `client` tags the request's fairness lane; `priority` is `"high"` /
+//! `"normal"` / `"low"` (see [`basilisk_serve::Priority`]). Prepared
+//! handles are per-listener and survive reconnects.
+//!
+//! **Result envelope** (200):
+//!
+//! ```json
+//! {"ok": true, "row_count": 2,
+//!  "columns": [{"name": "t.id", "values": [1, 2]}],
+//!  "planner": "t_combined", "chosen": "t_pushdown",
+//!  "cache_hit": true, "queue_wait_micros": 0}
+//! ```
+//!
+//! Values are encoded losslessly: ints as bare JSON integers (`i64`
+//! exact), finite floats with shortest-round-trip formatting (always
+//! carrying a `.` or exponent, so `7` and `7.0` stay distinct),
+//! non-finite floats as `{"$f": "<f64 bits in hex>"}`, strings/bools/
+//! nulls as their JSON namesakes. The end-to-end suite pins that rows
+//! fetched over the wire equal the in-process result **bit for bit**.
+//!
+//! **Error envelope** (any non-200; see
+//! [`basilisk_serve::ServeError`]):
+//!
+//! ```json
+//! {"ok": false, "error": {"kind": "busy", "message": "",
+//!  "retryable": true, "in_flight": 4, "queue_depth": 12}}
+//! ```
+//!
+//! Status mapping: overload (`kind == "busy"`) is **503** with a
+//! `retry-after` header; client-fixable failures (`parse`, `plan`,
+//! `type`, `schema`, `protocol`) are **400**; engine-side failures
+//! (`io`, `corrupt`, `exec`) are **500**. `kind` strings match
+//! [`BasiliskError::kind`](basilisk_types::BasiliskError::kind), and a
+//! property test pins that every error round-trips the envelope with
+//! kind, message, offset and retryability intact.
+
+pub mod http;
+pub mod json;
+pub mod wire;
+
+mod client;
+mod listener;
+
+pub use client::{Client, RemotePrepared};
+pub use json::Json;
+pub use listener::Listener;
+pub use wire::WireResponse;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use basilisk_catalog::Catalog;
+    use basilisk_serve::{ErrorKind, Server, ServerConfig};
+    use basilisk_storage::TableBuilder;
+    use basilisk_types::{DataType, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut b = TableBuilder::new("title")
+            .column("id", DataType::Int)
+            .column("year", DataType::Int)
+            .column("score", DataType::Float)
+            .column("name", DataType::Str);
+        for i in 0..200i64 {
+            b.push_row(vec![
+                i.into(),
+                (1900 + i % 120).into(),
+                ((i % 100) as f64 / 10.0).into(),
+                format!("film {}", i % 40).into(),
+            ])
+            .unwrap();
+        }
+        cat.add_table(b.finish().unwrap()).unwrap();
+        cat
+    }
+
+    fn listener(config: ServerConfig) -> Listener {
+        let server = Arc::new(Server::new(catalog(), config));
+        Listener::bind(server, "127.0.0.1:0").unwrap()
+    }
+
+    fn small() -> ServerConfig {
+        ServerConfig::builder()
+            .contexts(2)
+            .workers(1)
+            .build()
+            .unwrap()
+    }
+
+    const Q: &str = "SELECT t.id, t.score, t.name FROM title t \
+                     WHERE t.year > 2000 OR t.score > 7.5";
+
+    #[test]
+    fn sql_over_wire_matches_in_process_bit_for_bit() {
+        let l = listener(small());
+        let mut c = Client::connect(l.local_addr()).unwrap();
+        let wire = c.sql(Q).unwrap();
+        let local = l.server().sql(Q).unwrap();
+        assert_eq!(wire.row_count, local.row_count);
+        assert_eq!(wire.columns.len(), local.columns.len());
+        for ((name, values), (cref, col)) in wire.columns.iter().zip(&local.columns) {
+            assert_eq!(name, &cref.to_string());
+            for (i, v) in values.iter().enumerate() {
+                // Bit-for-bit: float compare via bits, not ==.
+                match (v, &col.value(i)) {
+                    (Value::Float(a), Value::Float(b)) => {
+                        assert_eq!(a.to_bits(), b.to_bits())
+                    }
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+        assert!(!wire.planner.is_empty());
+    }
+
+    #[test]
+    fn prepare_execute_and_close_over_wire() {
+        let l = listener(small());
+        let mut c = Client::connect(l.local_addr()).unwrap();
+        let stmt = c.prepare(Q).unwrap();
+        assert_eq!(stmt.params, 2);
+        assert_eq!(l.prepared_handles(), 1);
+        let r1 = c
+            .execute(stmt, &[Value::Int(2000), Value::Float(7.5)])
+            .unwrap();
+        let local = l
+            .server()
+            .sql("SELECT t.id, t.score, t.name FROM title t WHERE t.year > 2000 OR t.score > 7.5")
+            .unwrap();
+        assert_eq!(r1.row_count, local.row_count);
+        assert!(r1.cache_hit, "prepared execution reuses the cached plan");
+        // A second connection can execute the same handle.
+        let mut c2 = Client::connect(l.local_addr()).unwrap();
+        let r2 = c2
+            .execute(stmt, &[Value::Int(1900), Value::Float(0.0)])
+            .unwrap();
+        assert!(r2.row_count >= r1.row_count);
+        assert!(c.close(stmt).unwrap());
+        assert_eq!(l.prepared_handles(), 0);
+        let err = c
+            .execute(stmt, &[Value::Int(2000), Value::Float(7.5)])
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Protocol, "closed handle: {err}");
+    }
+
+    /// Send a raw HTTP request and return (status, parsed body).
+    fn raw_call(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        http::write_request(&mut writer, method, path, body.as_bytes()).unwrap();
+        let resp = http::read_response(&mut reader).unwrap();
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, doc)
+    }
+
+    #[test]
+    fn typed_errors_cross_the_wire() {
+        let l = listener(small());
+        let mut c = Client::connect(l.local_addr()).unwrap();
+        // Parse error: kind + byte offset survive, with a 400 status.
+        let err = c.sql("SELECT t.id FROM").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+        assert!(err.offset.is_some(), "{err:?}");
+        assert!(!err.retryable);
+        // Schema error.
+        let err = c.sql("SELECT t.id FROM nope t").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Schema);
+        // The connection keeps working after errors (keep-alive).
+        assert!(c.sql(Q).is_ok());
+        assert_eq!(l.server().stats().errors, 2);
+    }
+
+    #[test]
+    fn protocol_errors_are_400_and_never_reach_the_engine() {
+        let l = listener(small());
+        let addr = l.local_addr();
+        for (method, path, body) in [
+            ("POST", "/v1/nope", "{}"),
+            ("GET", "/v1/sql", ""),
+            ("POST", "/v1/sql", "not json"),
+            ("POST", "/v1/sql", "{\"nosql\":1}"),
+            (
+                "POST",
+                "/v1/sql",
+                &format!("{{\"sql\":\"{Q}\",\"priority\":\"urgent\"}}"),
+            ),
+            ("POST", "/v1/execute", "{\"handle\":999999}"),
+        ] {
+            let (status, doc) = raw_call(addr, method, path, body);
+            assert_eq!(status, 400, "{method} {path} {body}");
+            let err = wire::parse_error(&doc).unwrap();
+            assert_eq!(err.kind, ErrorKind::Protocol, "{method} {path}");
+            assert!(!err.retryable);
+        }
+        let stats = l.server().stats();
+        assert_eq!(stats.errors, 0, "protocol failures never hit the engine");
+        assert_eq!(stats.statements_executed, 0);
+    }
+
+    #[test]
+    fn health_and_stats_endpoints() {
+        let l = listener(small());
+        let mut c = Client::connect(l.local_addr())
+            .unwrap()
+            .with_client_id("probe");
+        c.health().unwrap();
+        c.sql(Q).unwrap();
+        c.sql(Q).unwrap();
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats.get("statements_executed").and_then(Json::as_u64),
+            Some(2)
+        );
+        let lanes = stats.get("lanes").and_then(Json::as_array).unwrap();
+        let probe = lanes
+            .iter()
+            .find(|l| l.get("client").and_then(Json::as_str) == Some("probe"))
+            .expect("probe lane present");
+        assert_eq!(probe.get("dispatched").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn overload_maps_to_retryable_503() {
+        // contexts=1, queue_limit=1: while one statement executes, a
+        // second concurrent one is rejected with Busy.
+        let l = listener(
+            ServerConfig::builder()
+                .contexts(1)
+                .queue_limit(1)
+                .workers(1)
+                .build()
+                .unwrap(),
+        );
+        let addr = l.local_addr();
+        let slow = "SELECT COUNT(*) FROM title t WHERE t.name ILIKE '%film%' \
+                    OR t.year > 1900 OR t.score > 0.1";
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let mut busy = 0u32;
+                    for _ in 0..25 {
+                        match c.sql(slow) {
+                            Ok(_) => {}
+                            Err(e) => {
+                                assert_eq!(e.kind, ErrorKind::Busy, "{e}");
+                                assert!(e.retryable);
+                                assert!(e.in_flight.is_some());
+                                busy += 1;
+                            }
+                        }
+                    }
+                    busy
+                })
+            })
+            .collect();
+        let total_busy: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let stats = l.server().stats();
+        assert_eq!(stats.rejected, total_busy as u64);
+        assert_eq!(stats.queue_depth, 0, "system drained");
+    }
+}

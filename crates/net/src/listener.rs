@@ -1,0 +1,335 @@
+//! The serving side of the wire: a [`Listener`] owns a
+//! `std::net::TcpListener`, an accept thread, and one plain OS thread
+//! per live connection (connections are few and long-lived — remote
+//! clients multiplex *requests*, not sockets). Every request funnels
+//! into [`Server::submit`], so remote traffic obeys exactly the same
+//! admission, fairness and backpressure rules as in-process callers.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use basilisk_serve::{Prepared, Priority, Request, ServeError, Server};
+
+use crate::http;
+use crate::json::Json;
+use crate::wire;
+
+/// How often parked connection threads check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+struct Shared {
+    server: Arc<Server>,
+    /// Remote prepared statements, by handle. Handles are per-listener
+    /// (any connection may execute any handle — clients that reconnect
+    /// keep their statements).
+    prepared: Mutex<HashMap<u64, Prepared>>,
+    next_handle: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A live HTTP/JSON listener over a [`Server`] (see the crate docs for
+/// the wire format). Dropping it stops the accept loop and joins every
+/// connection thread.
+pub struct Listener {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Listener {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `server` on it.
+    pub fn bind(server: Arc<Server>, addr: &str) -> io::Result<Listener> {
+        let tcp = TcpListener::bind(addr)?;
+        let local_addr = tcp.local_addr()?;
+        let shared = Arc::new(Shared {
+            server,
+            prepared: Mutex::new(HashMap::new()),
+            next_handle: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+        });
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || {
+                for stream in tcp.incoming() {
+                    if shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    let handle = std::thread::spawn(move || serve_connection(stream, &shared));
+                    connections.lock().unwrap().push(handle);
+                }
+            })
+        };
+        Ok(Listener {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            connections,
+        })
+    }
+
+    /// The bound address (with the real port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server this listener fronts.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.shared.server
+    }
+
+    /// Remote prepared statements currently registered.
+    pub fn prepared_handles(&self) -> usize {
+        self.shared.prepared.lock().unwrap().len()
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connection threads poll the stop flag between requests, so
+        // this join completes within ~POLL_INTERVAL even for clients
+        // that keep their sockets open.
+        let handles: Vec<_> = std::mem::take(&mut *self.connections.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One persistent connection: read request, serve, write response,
+/// repeat until the peer hangs up or the listener shuts down.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Park on fill_buf (not read_request) so an idle keep-alive
+        // connection can notice shutdown without consuming bytes.
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        let request = match http::read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(_) => {
+                // Framing is broken; answer if the socket still works,
+                // then drop the connection.
+                let e = ServeError::protocol("malformed http request");
+                let _ = write_error(&mut write_half, &e);
+                return;
+            }
+        };
+        let close = request.wants_close();
+        let outcome = route(&request, shared);
+        let ok = match outcome {
+            Ok(body) => write_json(&mut write_half, 200, "OK", &[], &body),
+            Err(e) => write_error(&mut write_half, &e),
+        };
+        if ok.is_err() || close {
+            return;
+        }
+    }
+}
+
+fn write_json(
+    w: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, String)],
+    body: &Json,
+) -> io::Result<()> {
+    http::write_response(w, status, reason, extra, body.to_string().as_bytes())
+}
+
+fn write_error(w: &mut TcpStream, e: &ServeError) -> io::Result<()> {
+    let (status, reason) = wire::status_for(e);
+    let mut extra = Vec::new();
+    if e.retryable {
+        // Back off at least a beat; the envelope's queue_depth is the
+        // finer-grained hint.
+        extra.push(("retry-after", "1".to_string()));
+    }
+    write_json(w, status, reason, &extra, &wire::encode_error(e))
+}
+
+fn route(request: &http::Request, shared: &Shared) -> Result<Json, ServeError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/sql") => {
+            let body = parse_body(&request.body)?;
+            let sql = required_str(&body, "sql")?;
+            let (client, priority) = serving_meta(&body)?;
+            let response = shared
+                .server
+                .submit(Request::sql(sql).client(client).priority(priority))?;
+            Ok(wire::encode_response(&response))
+        }
+        ("POST", "/v1/prepare") => {
+            let body = parse_body(&request.body)?;
+            let sql = required_str(&body, "sql")?;
+            let stmt = shared.server.prepare(sql).map_err(ServeError::from)?;
+            let params = stmt.param_count();
+            let handle = shared.next_handle.fetch_add(1, Ordering::Relaxed);
+            shared.prepared.lock().unwrap().insert(handle, stmt);
+            Ok(Json::Object(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("handle".to_string(), Json::Int(handle as i64)),
+                ("params".to_string(), Json::Int(params as i64)),
+            ]))
+        }
+        ("POST", "/v1/execute") => {
+            let body = parse_body(&request.body)?;
+            let handle = body
+                .get("handle")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServeError::protocol("missing field: handle"))?;
+            let params = body
+                .get("params")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .map(wire::decode_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| ServeError::protocol(format!("bad params: {e}")))?;
+            let (client, priority) = serving_meta(&body)?;
+            // Clone the handle out so the registry lock is not held
+            // across execution (Prepared is an Arc'd plan).
+            let stmt = shared
+                .prepared
+                .lock()
+                .unwrap()
+                .get(&handle)
+                .cloned()
+                .ok_or_else(|| ServeError::protocol(format!("unknown handle: {handle}")))?;
+            let response = shared.server.submit(
+                Request::prepared(&stmt, &params)
+                    .client(client)
+                    .priority(priority),
+            )?;
+            Ok(wire::encode_response(&response))
+        }
+        ("POST", "/v1/close") => {
+            let body = parse_body(&request.body)?;
+            let handle = body
+                .get("handle")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServeError::protocol("missing field: handle"))?;
+            let removed = shared.prepared.lock().unwrap().remove(&handle).is_some();
+            Ok(Json::Object(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("closed".to_string(), Json::Bool(removed)),
+            ]))
+        }
+        ("GET", "/v1/stats") => Ok(stats_json(&shared.server)),
+        ("GET", "/v1/health") => Ok(Json::Object(vec![("ok".to_string(), Json::Bool(true))])),
+        (method, path) => Err(ServeError::protocol(format!("no route: {method} {path}"))),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ServeError> {
+    let text = std::str::from_utf8(body).map_err(|_| ServeError::protocol("body is not utf-8"))?;
+    Json::parse(text).map_err(|e| ServeError::protocol(format!("bad json: {e}")))
+}
+
+fn required_str<'a>(body: &'a Json, field: &str) -> Result<&'a str, ServeError> {
+    body.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::protocol(format!("missing field: {field}")))
+}
+
+/// The optional serving metadata shared by /v1/sql and /v1/execute.
+fn serving_meta(body: &Json) -> Result<(&str, Priority), ServeError> {
+    let client = body.get("client").and_then(Json::as_str).unwrap_or("");
+    let priority = match body.get("priority") {
+        None => Priority::Normal,
+        Some(p) => {
+            let name = p
+                .as_str()
+                .ok_or_else(|| ServeError::protocol("priority must be a string"))?;
+            Priority::parse(name)
+                .ok_or_else(|| ServeError::protocol(format!("unknown priority: {name}")))?
+        }
+    };
+    Ok((client, priority))
+}
+
+/// The `/v1/stats` document: the counters a remote load driver needs
+/// (totals, latency quantiles, per-lane fairness counters).
+fn stats_json(server: &Server) -> Json {
+    let s = server.stats();
+    let lanes = s
+        .lanes
+        .iter()
+        .map(|l| {
+            Json::Object(vec![
+                ("client".to_string(), Json::Str(l.client.clone())),
+                ("admitted".to_string(), Json::Int(l.admitted as i64)),
+                ("dispatched".to_string(), Json::Int(l.dispatched as i64)),
+                ("rejected".to_string(), Json::Int(l.rejected as i64)),
+                ("depth".to_string(), Json::Int(l.depth as i64)),
+                ("max_depth".to_string(), Json::Int(l.max_depth as i64)),
+                (
+                    "wait_total_micros".to_string(),
+                    Json::Int(l.wait_total_micros as i64),
+                ),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        (
+            "statements_executed".to_string(),
+            Json::Int(s.statements_executed as i64),
+        ),
+        ("cache_hits".to_string(), Json::Int(s.cache_hits as i64)),
+        ("cache_misses".to_string(), Json::Int(s.cache_misses as i64)),
+        ("errors".to_string(), Json::Int(s.errors as i64)),
+        ("rejected".to_string(), Json::Int(s.rejected as i64)),
+        (
+            "queue_high_water".to_string(),
+            Json::Int(s.queue_high_water as i64),
+        ),
+        (
+            "p50_micros".to_string(),
+            Json::Int(s.quantile_latency(0.5).as_micros().min(i64::MAX as u128) as i64),
+        ),
+        (
+            "p99_micros".to_string(),
+            Json::Int(s.quantile_latency(0.99).as_micros().min(i64::MAX as u128) as i64),
+        ),
+        ("region_waits".to_string(), Json::Int(s.region_waits as i64)),
+        ("lanes".to_string(), Json::Array(lanes)),
+    ])
+}

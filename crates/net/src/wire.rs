@@ -1,0 +1,316 @@
+//! The JSON bodies of the wire protocol: value codec, result envelope,
+//! error envelope, and the HTTP status mapping (see the crate docs for
+//! the full format).
+
+use basilisk_serve::{ErrorKind, Response, ServeError};
+use basilisk_types::Value;
+
+use crate::json::Json;
+
+/// Encode one engine [`Value`] losslessly:
+///
+/// * `Null` / `Bool` / `Str` map to their JSON namesakes;
+/// * `Int` is a bare JSON integer (`i64` exact — the parser never
+///   detours through `f64`);
+/// * finite `Float`s serialize with shortest-round-trip formatting and
+///   always carry a `.` or exponent, so `7` (int) and `7.0` (float)
+///   stay distinct on the wire;
+/// * non-finite `Float`s, which JSON cannot represent, travel as
+///   `{"$f": "<16 hex digits>"}` carrying the raw `f64` bits.
+pub fn encode_value(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) if f.is_finite() => Json::Float(*f),
+        Value::Float(f) => Json::Object(vec![(
+            "$f".to_string(),
+            Json::Str(format!("{:016x}", f.to_bits())),
+        )]),
+        Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+pub fn decode_value(j: &Json) -> Result<Value, String> {
+    Ok(match j {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Int(i) => Value::Int(*i),
+        Json::Float(f) => Value::Float(*f),
+        Json::Str(s) => Value::Str(s.clone()),
+        Json::Object(_) => {
+            let bits = j
+                .get("$f")
+                .and_then(Json::as_str)
+                .ok_or("object is not a $f float")?;
+            let bits = u64::from_str_radix(bits, 16).map_err(|_| "bad $f bits")?;
+            Value::Float(f64::from_bits(bits))
+        }
+        Json::Array(_) => return Err("array is not a value".into()),
+    })
+}
+
+/// A deserialized result envelope — the client-side mirror of
+/// [`basilisk_serve::Response`] with columns materialized into plain
+/// [`Value`] vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// `(column name, row values)`, in projection order; every vector
+    /// has `row_count` entries.
+    pub columns: Vec<(String, Vec<Value>)>,
+    pub row_count: usize,
+    /// The planner that served the request (its stable name).
+    pub planner: String,
+    /// For combined planners, the winning subplanner's name.
+    pub chosen: Option<String>,
+    pub cache_hit: bool,
+    /// How long admission queued the request server-side.
+    pub queue_wait_micros: u64,
+}
+
+/// Serialize a served [`Response`] into the result envelope.
+pub fn encode_response(r: &Response) -> Json {
+    let columns = r
+        .columns
+        .iter()
+        .map(|(cref, col)| {
+            Json::Object(vec![
+                ("name".to_string(), Json::Str(cref.to_string())),
+                (
+                    "values".to_string(),
+                    Json::Array(
+                        (0..r.row_count)
+                            .map(|i| encode_value(&col.value(i)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("row_count".to_string(), Json::Int(r.row_count as i64)),
+        ("columns".to_string(), Json::Array(columns)),
+        (
+            "planner".to_string(),
+            Json::Str(r.planner.name().to_string()),
+        ),
+    ];
+    if let Some(chosen) = r.chosen {
+        fields.push(("chosen".to_string(), Json::Str(chosen.name().to_string())));
+    }
+    fields.push(("cache_hit".to_string(), Json::Bool(r.cache_hit)));
+    fields.push((
+        "queue_wait_micros".to_string(),
+        Json::Int(r.queue_wait.as_micros().min(i64::MAX as u128) as i64),
+    ));
+    Json::Object(fields)
+}
+
+pub fn parse_response(j: &Json) -> Result<WireResponse, String> {
+    if j.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err("not a success envelope".into());
+    }
+    let row_count = j
+        .get("row_count")
+        .and_then(Json::as_u64)
+        .ok_or("missing row_count")? as usize;
+    let mut columns = Vec::new();
+    for col in j
+        .get("columns")
+        .and_then(Json::as_array)
+        .ok_or("missing columns")?
+    {
+        let name = col
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("column missing name")?
+            .to_string();
+        let values = col
+            .get("values")
+            .and_then(Json::as_array)
+            .ok_or("column missing values")?;
+        if values.len() != row_count {
+            return Err(format!(
+                "column {name}: {} values for {row_count} rows",
+                values.len()
+            ));
+        }
+        let values = values
+            .iter()
+            .map(decode_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        columns.push((name, values));
+    }
+    Ok(WireResponse {
+        columns,
+        row_count,
+        planner: j
+            .get("planner")
+            .and_then(Json::as_str)
+            .ok_or("missing planner")?
+            .to_string(),
+        chosen: j.get("chosen").and_then(Json::as_str).map(str::to_string),
+        cache_hit: j
+            .get("cache_hit")
+            .and_then(Json::as_bool)
+            .ok_or("missing cache_hit")?,
+        queue_wait_micros: j
+            .get("queue_wait_micros")
+            .and_then(Json::as_u64)
+            .ok_or("missing queue_wait_micros")?,
+    })
+}
+
+/// Serialize a [`ServeError`] into the error envelope. Optional fields
+/// (`offset`, `in_flight`, `queue_depth`) are omitted when absent, never
+/// null.
+pub fn encode_error(e: &ServeError) -> Json {
+    let mut fields = vec![
+        ("kind".to_string(), Json::Str(e.kind.as_str().to_string())),
+        ("message".to_string(), Json::Str(e.message.clone())),
+        ("retryable".to_string(), Json::Bool(e.retryable)),
+    ];
+    if let Some(offset) = e.offset {
+        fields.push(("offset".to_string(), Json::Int(offset as i64)));
+    }
+    if let Some(n) = e.in_flight {
+        fields.push(("in_flight".to_string(), Json::Int(n as i64)));
+    }
+    if let Some(n) = e.queue_depth {
+        fields.push(("queue_depth".to_string(), Json::Int(n as i64)));
+    }
+    Json::Object(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Object(fields)),
+    ])
+}
+
+pub fn parse_error(j: &Json) -> Result<ServeError, String> {
+    if j.get("ok").and_then(Json::as_bool) != Some(false) {
+        return Err("not an error envelope".into());
+    }
+    let e = j.get("error").ok_or("missing error object")?;
+    let kind = e
+        .get("kind")
+        .and_then(Json::as_str)
+        .and_then(ErrorKind::parse)
+        .ok_or("missing or unknown error kind")?;
+    Ok(ServeError {
+        kind,
+        message: e
+            .get("message")
+            .and_then(Json::as_str)
+            .ok_or("missing message")?
+            .to_string(),
+        retryable: e
+            .get("retryable")
+            .and_then(Json::as_bool)
+            .ok_or("missing retryable")?,
+        offset: e.get("offset").and_then(Json::as_u64).map(|n| n as usize),
+        in_flight: e
+            .get("in_flight")
+            .and_then(Json::as_u64)
+            .map(|n| n as usize),
+        queue_depth: e
+            .get("queue_depth")
+            .and_then(Json::as_u64)
+            .map(|n| n as usize),
+    })
+}
+
+/// HTTP status for a serving error: overload is `503` (the listener adds
+/// `Retry-After`), anything the client can fix is `400`, engine-side
+/// failures are `500`.
+pub fn status_for(e: &ServeError) -> (u16, &'static str) {
+    match e.kind {
+        ErrorKind::Busy => (503, "Service Unavailable"),
+        ErrorKind::Parse
+        | ErrorKind::Plan
+        | ErrorKind::Type
+        | ErrorKind::Schema
+        | ErrorKind::Protocol => (400, "Bad Request"),
+        ErrorKind::Io | ErrorKind::Corrupt | ErrorKind::Exec => (500, "Internal Server Error"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_roundtrip_bit_for_bit() {
+        let values = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int((1 << 53) + 1),
+            Value::Float(0.1),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Str("x \" \\ \n 端".into()),
+        ];
+        for v in values {
+            let wire = encode_value(&v).to_string();
+            let back = decode_value(&Json::parse(&wire).unwrap()).unwrap();
+            match (&v, &back) {
+                (Value::Float(a), Value::Float(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{v:?} → {wire}")
+                }
+                _ => assert_eq!(v, back, "{wire}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_envelope_roundtrips() {
+        let e = ServeError {
+            kind: ErrorKind::Busy,
+            message: String::new(),
+            retryable: true,
+            offset: None,
+            in_flight: Some(3),
+            queue_depth: Some(12),
+        };
+        let wire = encode_error(&e).to_string();
+        let back = parse_error(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(status_for(&back), (503, "Service Unavailable"));
+    }
+
+    #[test]
+    fn status_classes() {
+        let mk = |kind| ServeError {
+            kind,
+            message: "m".into(),
+            retryable: false,
+            offset: None,
+            in_flight: None,
+            queue_depth: None,
+        };
+        assert_eq!(status_for(&mk(ErrorKind::Parse)).0, 400);
+        assert_eq!(status_for(&mk(ErrorKind::Protocol)).0, 400);
+        assert_eq!(status_for(&mk(ErrorKind::Exec)).0, 500);
+        assert_eq!(status_for(&mk(ErrorKind::Io)).0, 500);
+        assert_eq!(status_for(&mk(ErrorKind::Busy)).0, 503);
+    }
+
+    #[test]
+    fn envelopes_reject_mismatches() {
+        assert!(parse_response(&Json::parse(r#"{"ok":false}"#).unwrap()).is_err());
+        assert!(parse_error(&Json::parse(r#"{"ok":true}"#).unwrap()).is_err());
+        assert!(parse_error(
+            &Json::parse(r#"{"ok":false,"error":{"kind":"weird","message":"","retryable":false}}"#)
+                .unwrap()
+        )
+        .is_err());
+        // Row-count mismatch against column lengths is detected.
+        let bad = r#"{"ok":true,"row_count":2,"columns":[{"name":"c","values":[1]}],
+                      "planner":"x","cache_hit":false,"queue_wait_micros":0}"#;
+        assert!(parse_response(&Json::parse(bad).unwrap()).is_err());
+    }
+}

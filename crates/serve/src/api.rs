@@ -1,0 +1,439 @@
+//! The wire-ready serving API: [`Request`] in, [`Response`] or
+//! [`ServeError`] out.
+//!
+//! [`Server::submit`](crate::Server::submit) is the one public entry
+//! point every front end (in-process callers, the `basilisk-net`
+//! HTTP/JSON listener, future protocols) goes through:
+//!
+//! * a [`Request`] names the work — ad-hoc SQL text or a prepared handle
+//!   plus parameter values — and carries the *serving* metadata the
+//!   engine itself never sees: the client id (which fairness lane the
+//!   request queues in) and a [`Priority`];
+//! * a [`Response`] is the materialized result plus everything a caller
+//!   needs to reason about the serving path: planner/cache metadata,
+//!   timings, and how long admission queued the request;
+//! * a [`ServeError`] is machine-readable: a stable [`ErrorKind`], a
+//!   `retryable` flag, the parse offset when there is one, and — for
+//!   overload rejections — the load snapshot (`in_flight`,
+//!   `queue_depth`) a client needs to back off intelligently. It
+//!   round-trips through the JSON error envelope losslessly (kind,
+//!   message, offset, retryability), which `basilisk-net` pins with a
+//!   property test.
+//!
+//! [`Server::sql`](crate::Server::sql) and
+//! [`Server::execute_prepared`](crate::Server::execute_prepared) are
+//! thin wrappers over the same path that keep returning the engine's
+//! [`BasiliskError`] for embedded callers.
+
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use basilisk_expr::ColumnRef;
+use basilisk_plan::{PlanTimings, PlannerKind};
+use basilisk_storage::Column;
+use basilisk_types::{BasiliskError, Value};
+
+use crate::cache::Prepared;
+
+/// Dispatch priority of a [`Request`] within its fairness lane.
+///
+/// Priorities shape *bandwidth*, not ordering guarantees: the admission
+/// scheduler charges each dispatch a deficit-round-robin cost
+/// (`High` = 1, `Normal` = 2, `Low` = 4 against a per-visit quantum of
+/// 2), so a lane full of high-priority requests drains four times as
+/// fast as a low-priority one — but no priority can starve another
+/// lane, and no request is reordered behind a *later* request of the
+/// same priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    High,
+    #[default]
+    Normal,
+    Low,
+}
+
+impl Priority {
+    /// Deficit-round-robin cost of one dispatch at this priority.
+    pub(crate) fn cost(self) -> u32 {
+        match self {
+            Priority::High => 1,
+            Priority::Normal => 2,
+            Priority::Low => 4,
+        }
+    }
+
+    /// Stable wire name (`"high"` / `"normal"` / `"low"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parse a wire name produced by [`Priority::as_str`].
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a [`Request`] asks the server to run.
+pub(crate) enum Command<'a> {
+    /// Ad-hoc SQL text (served through the plan cache).
+    Sql(&'a str),
+    /// A prepared handle plus fresh parameter values.
+    Execute(&'a Prepared, &'a [Value]),
+}
+
+/// One serving request: the work plus its serving metadata (see the
+/// module docs). Build with [`Request::sql`] or [`Request::prepared`],
+/// then chain the optional setters:
+///
+/// ```ignore
+/// server.submit(Request::sql("SELECT …").client("tenant-7").priority(Priority::Low))?;
+/// ```
+pub struct Request<'a> {
+    pub(crate) command: Command<'a>,
+    pub(crate) client: &'a str,
+    pub(crate) priority: Priority,
+    pub(crate) planner: Option<PlannerKind>,
+}
+
+impl<'a> Request<'a> {
+    /// An ad-hoc SQL request.
+    pub fn sql(sql: &'a str) -> Request<'a> {
+        Request {
+            command: Command::Sql(sql),
+            client: "",
+            priority: Priority::Normal,
+            planner: None,
+        }
+    }
+
+    /// Execute a prepared statement with fresh parameter values.
+    pub fn prepared(stmt: &'a Prepared, params: &'a [Value]) -> Request<'a> {
+        Request {
+            command: Command::Execute(stmt, params),
+            client: "",
+            priority: Priority::Normal,
+            planner: None,
+        }
+    }
+
+    /// Queue this request in `client`'s fairness lane. Requests that
+    /// never set a client share the anonymous lane (`""`), so untagged
+    /// traffic competes with itself, not with tagged clients.
+    pub fn client(mut self, client: &'a str) -> Request<'a> {
+        self.client = client;
+        self
+    }
+
+    /// Dispatch priority within the lane (default [`Priority::Normal`]).
+    pub fn priority(mut self, priority: Priority) -> Request<'a> {
+        self.priority = priority;
+        self
+    }
+
+    /// Planner override for SQL requests (default: the server's
+    /// configured planner; ignored for prepared handles, which fixed
+    /// their planner at prepare time).
+    pub fn planner(mut self, planner: PlannerKind) -> Request<'a> {
+        self.planner = Some(planner);
+        self
+    }
+}
+
+/// Materialized projection columns of one response.
+pub type OutputColumns = Vec<(ColumnRef, Arc<Column>)>;
+
+/// A served query result: materialized projection columns plus
+/// planner/cache/timing metadata. Columns are `Arc`-shared with the
+/// producing context's pools and are reclaimed once the result is
+/// dropped (on a later sweep of that context).
+pub struct Response {
+    pub columns: OutputColumns,
+    pub row_count: usize,
+    /// The planner that was requested.
+    pub planner: PlannerKind,
+    /// For TCombined, the winning subplanner.
+    pub chosen: Option<PlannerKind>,
+    /// On cache hits, `planning` is the bind time.
+    pub timings: PlanTimings,
+    /// Whether this request was served from the plan cache.
+    pub cache_hit: bool,
+    /// How long admission held this request in its lane before a context
+    /// was granted (zero when a context was free on arrival).
+    pub queue_wait: Duration,
+}
+
+/// Pre-PR-7 name of [`Response`], kept for embedded callers.
+pub type ServeResult = Response;
+
+/// Machine-readable error class of a [`ServeError`] — the `kind` field
+/// of the wire envelope. Mirrors the [`BasiliskError`] variants plus
+/// [`ErrorKind::Protocol`] for wire-layer failures (malformed JSON,
+/// unknown routes) that never reach the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    Io,
+    Corrupt,
+    Schema,
+    Type,
+    Parse,
+    Plan,
+    Exec,
+    Busy,
+    Protocol,
+}
+
+impl ErrorKind {
+    /// The stable wire string (matches [`BasiliskError::kind`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Io => "io",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::Schema => "schema",
+            ErrorKind::Type => "type",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Plan => "plan",
+            ErrorKind::Exec => "exec",
+            ErrorKind::Busy => "busy",
+            ErrorKind::Protocol => "protocol",
+        }
+    }
+
+    /// Parse a wire string produced by [`ErrorKind::as_str`].
+    pub fn parse(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "io" => ErrorKind::Io,
+            "corrupt" => ErrorKind::Corrupt,
+            "schema" => ErrorKind::Schema,
+            "type" => ErrorKind::Type,
+            "parse" => ErrorKind::Parse,
+            "plan" => ErrorKind::Plan,
+            "exec" => ErrorKind::Exec,
+            "busy" => ErrorKind::Busy,
+            "protocol" => ErrorKind::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The typed serving error (see the module docs). Everything a client —
+/// local or remote — needs to handle the failure without parsing prose:
+/// the class, whether a plain retry can succeed, the parse offset, and
+/// the overload snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    pub kind: ErrorKind,
+    /// Human-readable detail (the *payload* of the engine error, without
+    /// the `kind` prefix — `Display` re-renders the full form).
+    pub message: String,
+    /// Whether retrying the same request later can succeed unchanged.
+    pub retryable: bool,
+    /// Byte offset into the SQL text for parse errors.
+    pub offset: Option<usize>,
+    /// Requests executing when an overload rejection happened.
+    pub in_flight: Option<usize>,
+    /// Requests queued when an overload rejection happened — the
+    /// backpressure hint a client should scale its backoff by.
+    pub queue_depth: Option<usize>,
+}
+
+impl ServeError {
+    /// A wire-layer protocol failure (never produced by the engine).
+    pub fn protocol(message: impl Into<String>) -> ServeError {
+        ServeError {
+            kind: ErrorKind::Protocol,
+            message: message.into(),
+            retryable: false,
+            offset: None,
+            in_flight: None,
+            queue_depth: None,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render exactly like the engine error it wraps so logs agree
+        // across the wire (pinned by the envelope property test).
+        BasiliskError::from(self.clone()).fmt(f)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BasiliskError> for ServeError {
+    fn from(e: BasiliskError) -> ServeError {
+        let retryable = e.is_retryable();
+        let (kind, message, offset, in_flight, queue_depth) = match e {
+            BasiliskError::Io(e) => (ErrorKind::Io, e.to_string(), None, None, None),
+            BasiliskError::Corrupt(m) => (ErrorKind::Corrupt, m, None, None, None),
+            BasiliskError::Schema(m) => (ErrorKind::Schema, m, None, None, None),
+            BasiliskError::Type(m) => (ErrorKind::Type, m, None, None, None),
+            BasiliskError::Parse { message, offset } => {
+                (ErrorKind::Parse, message, Some(offset), None, None)
+            }
+            BasiliskError::Plan(m) => (ErrorKind::Plan, m, None, None, None),
+            BasiliskError::Exec(m) => (ErrorKind::Exec, m, None, None, None),
+            BasiliskError::Busy {
+                in_flight,
+                queue_depth,
+            } => (
+                ErrorKind::Busy,
+                String::new(),
+                None,
+                Some(in_flight),
+                Some(queue_depth),
+            ),
+        };
+        ServeError {
+            kind,
+            message,
+            retryable,
+            offset,
+            in_flight,
+            queue_depth,
+        }
+    }
+}
+
+impl From<ServeError> for BasiliskError {
+    fn from(e: ServeError) -> BasiliskError {
+        match e.kind {
+            // `io::Error::other(msg)` displays as the bare message, so
+            // Display round-trips even though the concrete source type
+            // is lost at the wire boundary.
+            ErrorKind::Io => BasiliskError::Io(io::Error::other(e.message)),
+            ErrorKind::Corrupt => BasiliskError::Corrupt(e.message),
+            ErrorKind::Schema => BasiliskError::Schema(e.message),
+            ErrorKind::Type => BasiliskError::Type(e.message),
+            ErrorKind::Parse => BasiliskError::Parse {
+                message: e.message,
+                offset: e.offset.unwrap_or(0),
+            },
+            ErrorKind::Plan => BasiliskError::Plan(e.message),
+            ErrorKind::Exec => BasiliskError::Exec(e.message),
+            ErrorKind::Busy => BasiliskError::Busy {
+                in_flight: e.in_flight.unwrap_or(0),
+                queue_depth: e.queue_depth.unwrap_or(0),
+            },
+            ErrorKind::Protocol => BasiliskError::Exec(format!("protocol error: {}", e.message)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_engine_error_maps_losslessly() {
+        let cases = vec![
+            BasiliskError::Io(io::Error::other("disk gone")),
+            BasiliskError::Corrupt("bad page".into()),
+            BasiliskError::Schema("no such table".into()),
+            BasiliskError::Type("int vs str".into()),
+            BasiliskError::Parse {
+                message: "expected FROM".into(),
+                offset: 17,
+            },
+            BasiliskError::Plan("no join path".into()),
+            BasiliskError::Exec("boom".into()),
+            BasiliskError::Busy {
+                in_flight: 3,
+                queue_depth: 12,
+            },
+        ];
+        for original in cases {
+            let display = original.to_string();
+            let kind = original.kind();
+            let retryable = original.is_retryable();
+            let serve = ServeError::from(original);
+            assert_eq!(serve.kind.as_str(), kind);
+            assert_eq!(serve.retryable, retryable);
+            assert_eq!(serve.to_string(), display, "Display agrees both ways");
+            let back = BasiliskError::from(serve);
+            assert_eq!(back.kind(), kind);
+            assert_eq!(back.to_string(), display);
+            assert_eq!(back.is_retryable(), retryable);
+        }
+    }
+
+    #[test]
+    fn busy_carries_the_load_snapshot() {
+        let e = ServeError::from(BasiliskError::Busy {
+            in_flight: 4,
+            queue_depth: 9,
+        });
+        assert_eq!(e.kind, ErrorKind::Busy);
+        assert!(e.retryable);
+        assert_eq!(e.in_flight, Some(4));
+        assert_eq!(e.queue_depth, Some(9));
+    }
+
+    #[test]
+    fn parse_offset_survives() {
+        let e = ServeError::from(BasiliskError::Parse {
+            message: "oops".into(),
+            offset: 42,
+        });
+        assert_eq!(e.offset, Some(42));
+        match BasiliskError::from(e) {
+            BasiliskError::Parse { offset, .. } => assert_eq!(offset, 42),
+            other => panic!("wrong variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn kind_and_priority_wire_names_roundtrip() {
+        for k in [
+            ErrorKind::Io,
+            ErrorKind::Corrupt,
+            ErrorKind::Schema,
+            ErrorKind::Type,
+            ErrorKind::Parse,
+            ErrorKind::Plan,
+            ErrorKind::Exec,
+            ErrorKind::Busy,
+            ErrorKind::Protocol,
+        ] {
+            assert_eq!(ErrorKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(ErrorKind::parse("nope"), None);
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            assert_eq!(Priority::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Priority::parse("urgent"), None);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn protocol_errors_fold_into_exec() {
+        let e = ServeError::protocol("bad json");
+        assert!(!e.retryable);
+        let b = BasiliskError::from(e);
+        assert_eq!(b.kind(), "exec");
+        assert!(b.to_string().contains("protocol error: bad json"));
+    }
+}

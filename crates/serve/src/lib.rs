@@ -14,11 +14,19 @@
 //! * **Reusable execution contexts.** A pool of
 //!   [`ExecContext`](basilisk_plan::ExecContext)s — session arena +
 //!   deferred-result ledger — is checked out per request through a
-//!   **bounded FIFO admission gate** ([`ServerConfig::contexts`]
+//!   **bounded fair admission gate** ([`ServerConfig::contexts`]
 //!   concurrent executions, [`ServerConfig::queue_limit`] total in
-//!   flight, strict arrival-order dispatch) and swept on return, so
-//!   arena steady state (`fresh() == 0`) holds across *statements*, not
-//!   just across executions of one statement.
+//!   flight, per-client deficit-round-robin dispatch) and swept on
+//!   return, so arena steady state (`fresh() == 0`) holds across
+//!   *statements*, not just across executions of one statement.
+//! * **A wire-ready request surface.** [`Server::submit`] takes a
+//!   [`Request`] (ad-hoc SQL or a prepared handle + params, tagged with
+//!   a client id and a [`Priority`]) and returns a [`Response`] or a
+//!   typed [`ServeError`] (machine-readable [`ErrorKind`], retryable
+//!   flag, load snapshot on overload) — the contract the
+//!   `basilisk-net` HTTP/JSON front end serializes verbatim.
+//!   [`Server::sql`] / [`Server::execute_prepared`] are thin wrappers
+//!   over the same path for embedded callers.
 //! * **A prepared-statement plan cache.** [`Server::prepare`] normalizes
 //!   literals to `?n` placeholders, plans once, and caches the parsed
 //!   [`Query`](basilisk_plan::Query) + chosen
@@ -39,13 +47,16 @@
 //! which the repository-level soak suite (`tests/serve_concurrent.rs`)
 //! pins across client counts and planner kinds.
 
+mod admission;
+mod api;
 mod cache;
 mod server;
 mod stats;
 
+pub use api::{ErrorKind, OutputColumns, Priority, Request, Response, ServeError, ServeResult};
 pub use cache::Prepared;
-pub use server::{ServeResult, Server, ServerConfig};
-pub use stats::{ServeStats, LATENCY_BUCKETS};
+pub use server::{Server, ServerConfig, ServerConfigBuilder};
+pub use stats::{LaneStats, ServeStats, LATENCY_BUCKETS};
 
 #[cfg(test)]
 mod tests {
@@ -83,11 +94,11 @@ mod tests {
     fn server() -> Server {
         Server::new(
             catalog(),
-            ServerConfig {
-                contexts: 2,
-                workers: Some(1),
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder()
+                .contexts(2)
+                .workers(1)
+                .build()
+                .unwrap(),
         )
     }
 
@@ -161,12 +172,12 @@ mod tests {
     fn prepare_twice_is_a_hit_and_handles_survive_eviction() {
         let srv = Server::new(
             catalog(),
-            ServerConfig {
-                contexts: 1,
-                workers: Some(1),
-                cache_capacity: 1,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder()
+                .contexts(1)
+                .workers(1)
+                .cache_capacity(1)
+                .build()
+                .unwrap(),
         );
         let a = srv
             .prepare("SELECT t.id FROM title t WHERE t.year > 2000")
@@ -317,12 +328,12 @@ mod tests {
         // must be rejected, not queued forever.
         let srv = std::sync::Arc::new(Server::new(
             catalog(),
-            ServerConfig {
-                contexts: 1,
-                queue_limit: 1,
-                workers: Some(1),
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder()
+                .contexts(1)
+                .queue_limit(1)
+                .workers(1)
+                .build()
+                .unwrap(),
         ));
         // Saturate from another thread by running many queries while the
         // main thread hammers; with limit 1, at least one side must see a

@@ -1,19 +1,22 @@
 //! The resident server: one shared worker pool, a pool of reusable
-//! execution contexts, a bounded FIFO admission gate and the plan cache.
+//! execution contexts, fair lane-based admission and the plan cache.
 //!
 //! # Request lifecycle
 //!
 //! ```text
-//! client thread ──► admission gate ──► context checkout ──► bind params
+//! client thread ──► Request (client tag, priority) ──► admission lane
+//!        ──► DRR dispatch / context grant ──► bind params
 //!        ──► congruence guard ──► execute cached plan ──► project/limit
-//!        ──► context return (sweep) ──► ServeResult
+//!        ──► context return (sweep) ──► Response
 //! ```
 //!
-//! * **Admission** is a bounded FIFO: at most `queue_limit` requests may
-//!   be in the system (queued + executing); the rest are rejected
-//!   immediately with an `Exec` error so clients can back off. Waiting
-//!   requests are granted contexts strictly in arrival order (ticket
-//!   numbers), so no request starves.
+//! * **Admission** queues every request as a *ticket* in its client's
+//!   fairness lane; a deficit-round-robin dispatcher grants contexts
+//!   across lanes so no client can starve another (see the
+//!   [`admission`](crate::admission) module docs). At most
+//!   `queue_limit` requests may be in the system (queued + executing);
+//!   beyond that, admission rejects immediately with the typed,
+//!   retryable [`BasiliskError::Busy`] so clients can back off.
 //! * **Contexts** ([`ExecContext`]) carry a warm session arena and a
 //!   handle to the server's one [`WorkerPool`]. A context serves one
 //!   request at a time and is swept on return, so arena steady state
@@ -25,8 +28,13 @@
 //!   guard re-plans the rare binding whose literal values change the
 //!   predicate DAG itself (see
 //!   [`PredicateTree::congruent_modulo_values`]).
+//!
+//! [`Server::submit`] is the one public entry point (a [`Request`] in, a
+//! [`Response`] or typed [`ServeError`] out — what the wire layer
+//! speaks); [`Server::sql`] and [`Server::execute_prepared`] are thin
+//! wrappers over the same path for embedded callers.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use basilisk_catalog::{Catalog, Estimator};
@@ -39,34 +47,24 @@ use basilisk_sql::{bind_params, normalize_select, Projection};
 use basilisk_storage::Column;
 use basilisk_types::{BasiliskError, Result, Value};
 
+use crate::admission::Admission;
+use crate::api::{Command, OutputColumns, Priority, Request, Response, ServeError};
 use crate::cache::{PlanCache, Prepared, PreparedStatement};
 use crate::stats::{ServeStats, StatsRecorder};
 
 /// Server sizing knobs. `Default` targets a small interactive server;
-/// the serving benchmark and the soak suite size explicitly.
+/// build a custom configuration through the validating
+/// [`ServerConfig::builder`] (fields are checked at construction, so a
+/// [`Server`] never discovers a bad sizing at first request).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Number of reusable execution contexts = maximum concurrently
-    /// *executing* requests.
-    pub contexts: usize,
-    /// Maximum requests in the system (queued + executing) before
-    /// admission rejects.
-    pub queue_limit: usize,
-    /// Plan-cache capacity (distinct statement shapes × planner kinds).
-    pub cache_capacity: usize,
-    /// Workers in the shared pool; `None` = the engine default
-    /// (`BASILISK_THREADS`, else available parallelism).
-    pub workers: Option<usize>,
-    /// Morsel granularity override for the shared pool.
-    pub morsel_rows: Option<usize>,
-    /// Region-table size override for the shared pool; `None` = the
-    /// scheduler default
-    /// ([`DEFAULT_REGION_SLOTS`](basilisk_sched::DEFAULT_REGION_SLOTS)).
-    /// `Some(1)` restores exclusive-region admission (one parallel
-    /// region at a time) — the interleaving benchmark's baseline.
-    pub region_slots: Option<usize>,
-    /// Planner used by [`Server::sql`] / [`Server::prepare`].
-    pub default_planner: PlannerKind,
+    contexts: usize,
+    queue_limit: usize,
+    cache_capacity: usize,
+    workers: Option<usize>,
+    morsel_rows: Option<usize>,
+    region_slots: Option<usize>,
+    default_planner: PlannerKind,
 }
 
 impl Default for ServerConfig {
@@ -83,104 +81,169 @@ impl Default for ServerConfig {
     }
 }
 
-/// Materialized projection columns of one response.
-type OutputColumns = Vec<(ColumnRef, Arc<Column>)>;
-
-/// A served query result: materialized projection columns plus
-/// planner/cache/timing metadata. Columns are `Arc`-shared with the
-/// producing context's pools and are reclaimed once the result is
-/// dropped (on a later sweep of that context).
-pub struct ServeResult {
-    pub columns: OutputColumns,
-    pub row_count: usize,
-    /// The planner that was requested.
-    pub planner: PlannerKind,
-    /// For TCombined, the winning subplanner.
-    pub chosen: Option<PlannerKind>,
-    /// On cache hits, `planning` is the bind time.
-    pub timings: PlanTimings,
-    /// Whether this request was served from the plan cache.
-    pub cache_hit: bool,
-}
-
-struct GateState {
-    free: Vec<ExecContext>,
-    next_ticket: u64,
-    now_serving: u64,
-    in_system: usize,
-}
-
-/// Bounded FIFO admission + context checkout (see the module docs).
-struct Gate {
-    state: Mutex<GateState>,
-    cv: Condvar,
-    queue_limit: usize,
-}
-
-impl Gate {
-    fn new(contexts: Vec<ExecContext>, queue_limit: usize) -> Gate {
-        Gate {
-            state: Mutex::new(GateState {
-                free: contexts,
-                next_ticket: 0,
-                now_serving: 0,
-                in_system: 0,
-            }),
-            cv: Condvar::new(),
-            queue_limit: queue_limit.max(1),
+impl ServerConfig {
+    /// Start a validating builder from the default configuration.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+            queue_limit: None,
         }
     }
 
-    fn acquire(&self, stats: &StatsRecorder) -> Result<ExecContext> {
-        let mut st = self.state.lock().unwrap();
-        if st.in_system >= self.queue_limit {
-            stats.rejected();
-            return Err(BasiliskError::Exec(format!(
-                "server busy: admission queue full ({} in flight)",
-                st.in_system
-            )));
-        }
-        st.in_system += 1;
-        let ticket = st.next_ticket;
-        st.next_ticket += 1;
-        stats.enqueued();
-        // Strict FIFO: a context is granted only to the oldest waiter.
-        while st.now_serving != ticket || st.free.is_empty() {
-            st = self.cv.wait(st).unwrap();
-        }
-        st.now_serving += 1;
-        let ctx = st.free.pop().expect("guarded by the wait condition");
-        // Wake the next ticket (it may be runnable if more contexts are
-        // free).
-        self.cv.notify_all();
-        Ok(ctx)
+    /// Number of reusable execution contexts = maximum concurrently
+    /// *executing* requests.
+    pub fn contexts(&self) -> usize {
+        self.contexts
     }
 
-    fn release(&self, ctx: ExecContext, stats: &StatsRecorder) {
-        // Reclaim everything the finished request no longer references
-        // before the context goes back on the shelf.
-        ctx.sweep();
-        let mut st = self.state.lock().unwrap();
-        st.free.push(ctx);
-        st.in_system -= 1;
-        stats.dequeued();
-        self.cv.notify_all();
+    /// Maximum requests in the system (queued + executing) before
+    /// admission rejects with [`BasiliskError::Busy`].
+    pub fn queue_limit(&self) -> usize {
+        self.queue_limit
     }
 
-    fn with_free<R>(&self, f: impl FnMut(&ExecContext) -> R) -> Vec<R> {
-        self.state.lock().unwrap().free.iter().map(f).collect()
+    /// Plan-cache capacity (distinct statement shapes × planner kinds).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Workers in the shared pool; `None` = the engine default
+    /// (`BASILISK_THREADS`, else available parallelism).
+    pub fn workers(&self) -> Option<usize> {
+        self.workers
+    }
+
+    /// Morsel granularity override for the shared pool.
+    pub fn morsel_rows(&self) -> Option<usize> {
+        self.morsel_rows
+    }
+
+    /// Region-table size override for the shared pool; `None` = the
+    /// scheduler default
+    /// ([`DEFAULT_REGION_SLOTS`](basilisk_sched::DEFAULT_REGION_SLOTS)).
+    /// `Some(1)` restores exclusive-region admission (one parallel
+    /// region at a time) — the interleaving benchmark's baseline.
+    pub fn region_slots(&self) -> Option<usize> {
+        self.region_slots
+    }
+
+    /// Planner used by [`Server::sql`] / [`Server::prepare`].
+    pub fn default_planner(&self) -> PlannerKind {
+        self.default_planner
+    }
+}
+
+/// Validating builder for [`ServerConfig`] (see the field accessors for
+/// what each knob means). Invalid sizings fail at [`build`] time with a
+/// [`BasiliskError::Plan`], not at the first request:
+///
+/// * `contexts >= 1` — a server with no execution contexts can serve
+///   nothing;
+/// * `queue_limit >= contexts` — a system bound below the context count
+///   would strand idle contexts (left unset, the limit grows with the
+///   context count: `max(256, contexts)`);
+/// * `region_slots != Some(0)` — a zero-slot region table would
+///   deadlock every parallel region.
+///
+/// [`build`]: ServerConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+    /// Explicit queue limit, if any; the default scales with `contexts`.
+    queue_limit: Option<usize>,
+}
+
+impl ServerConfigBuilder {
+    pub fn contexts(mut self, contexts: usize) -> Self {
+        self.config.contexts = contexts;
+        self
+    }
+
+    pub fn queue_limit(mut self, queue_limit: usize) -> Self {
+        self.queue_limit = Some(queue_limit);
+        self
+    }
+
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.config.cache_capacity = cache_capacity;
+        self
+    }
+
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = Some(workers);
+        self
+    }
+
+    /// `None` (the default) defers to the engine default; this setter
+    /// exists for callers forwarding an optional override.
+    pub fn workers_opt(mut self, workers: Option<usize>) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    pub fn morsel_rows(mut self, morsel_rows: usize) -> Self {
+        self.config.morsel_rows = Some(morsel_rows);
+        self
+    }
+
+    pub fn region_slots(mut self, region_slots: usize) -> Self {
+        self.config.region_slots = Some(region_slots);
+        self
+    }
+
+    pub fn default_planner(mut self, planner: PlannerKind) -> Self {
+        self.config.default_planner = planner;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ServerConfig> {
+        let mut config = self.config;
+        if config.contexts == 0 {
+            return Err(BasiliskError::Plan(
+                "server config: contexts must be >= 1".into(),
+            ));
+        }
+        config.queue_limit = match self.queue_limit {
+            Some(limit) if limit < config.contexts => {
+                return Err(BasiliskError::Plan(format!(
+                    "server config: queue_limit ({limit}) must be >= contexts ({})",
+                    config.contexts
+                )));
+            }
+            Some(limit) => limit,
+            None => config.queue_limit.max(config.contexts),
+        };
+        if config.workers == Some(0) {
+            return Err(BasiliskError::Plan(
+                "server config: workers must be >= 1".into(),
+            ));
+        }
+        if config.morsel_rows == Some(0) {
+            return Err(BasiliskError::Plan(
+                "server config: morsel_rows must be >= 1".into(),
+            ));
+        }
+        if config.region_slots == Some(0) {
+            return Err(BasiliskError::Plan(
+                "server config: region_slots must be >= 1 \
+                 (a zero-slot region table deadlocks every parallel region)"
+                    .into(),
+            ));
+        }
+        Ok(config)
     }
 }
 
 /// A resident Basilisk server (see the module and crate docs).
 ///
 /// `Server` is `Send + Sync`: share one behind an `Arc` across any
-/// number of client threads and call [`Server::sql`] /
-/// [`Server::execute_prepared`] concurrently.
+/// number of client threads and call [`Server::submit`] /
+/// [`Server::sql`] / [`Server::execute_prepared`] concurrently.
 pub struct Server {
     catalog: Catalog,
     pool: Arc<WorkerPool>,
-    gate: Gate,
+    gate: Admission,
     cache: PlanCache,
     stats: StatsRecorder,
     default_planner: PlannerKind,
@@ -204,7 +267,7 @@ impl Server {
         Server {
             catalog,
             pool: Arc::clone(&pool),
-            gate: Gate::new(contexts, config.queue_limit),
+            gate: Admission::new(contexts, config.queue_limit),
             cache: PlanCache::new(config.cache_capacity),
             stats: StatsRecorder::default(),
             default_planner: config.default_planner,
@@ -227,7 +290,8 @@ impl Server {
     /// Counter snapshot (cache hits/misses/evictions, queue high-water,
     /// latency histogram), overlaid with the shared pool's
     /// region-occupancy counters (regions fanned out, slot waits and
-    /// their µs histogram, concurrency high-water).
+    /// their µs histogram, concurrency high-water) and the admission
+    /// gate's per-client lane counters.
     pub fn stats(&self) -> ServeStats {
         let mut s = self.stats.snapshot();
         let r = self.pool.region_stats();
@@ -237,6 +301,7 @@ impl Server {
         s.region_wait_buckets = r.wait_buckets;
         s.region_slots = r.slots;
         s.region_max_concurrent = r.max_concurrent;
+        s.lanes = self.gate.lane_stats();
         s
     }
 
@@ -262,8 +327,27 @@ impl Server {
         per_ctx + self.pool.outstanding()
     }
 
-    /// Run a SQL statement with the default planner.
-    pub fn sql(&self, sql: &str) -> Result<ServeResult> {
+    /// The wire-ready entry point: one [`Request`] in, a [`Response`] or
+    /// a typed [`ServeError`] out. Every front end — in-process callers,
+    /// the `basilisk-net` HTTP/JSON listener — funnels through here; the
+    /// request's client tag picks its fairness lane and its priority its
+    /// deficit-round-robin cost (see the `admission` module docs).
+    pub fn submit(&self, request: Request<'_>) -> std::result::Result<Response, ServeError> {
+        match request.command {
+            Command::Sql(sql) => {
+                let planner = request.planner.unwrap_or(self.default_planner);
+                self.sql_inner(sql, planner, request.client, request.priority)
+            }
+            Command::Execute(stmt, params) => {
+                self.execute_inner(stmt, params, request.client, request.priority)
+            }
+        }
+        .map_err(ServeError::from)
+    }
+
+    /// Run a SQL statement with the default planner (a thin wrapper over
+    /// the [`Server::submit`] path for embedded callers).
+    pub fn sql(&self, sql: &str) -> Result<Response> {
         self.sql_with(sql, self.default_planner)
     }
 
@@ -271,12 +355,22 @@ impl Server {
     /// cache: byte-identical repeats skip even lexing; same-shape
     /// statements with different literals skip parsing and planning and
     /// just bind.
-    pub fn sql_with(&self, sql: &str, planner: PlannerKind) -> Result<ServeResult> {
+    pub fn sql_with(&self, sql: &str, planner: PlannerKind) -> Result<Response> {
+        self.sql_inner(sql, planner, "", Priority::Normal)
+    }
+
+    fn sql_inner(
+        &self,
+        sql: &str,
+        planner: PlannerKind,
+        client: &str,
+        priority: Priority,
+    ) -> Result<Response> {
         // Level 1: exact text. The parameters were extracted when this
         // text first came through, so the hot path is bind + execute.
         if let Some((stmt, params)) = self.cache.get_text(planner, sql) {
             self.stats.cache_hit();
-            return self.run_statement(&stmt, &params, true);
+            return self.run_statement(&stmt, &params, true, client, priority);
         }
         // Level 2: normalized shape.
         let normalized = normalize_select(sql).inspect_err(|_| self.stats.error())?;
@@ -285,7 +379,7 @@ impl Server {
             let params = Arc::new(normalized.params);
             self.cache
                 .put_text(planner, sql, &stmt, Arc::clone(&params));
-            return self.run_statement(&stmt, &params, true);
+            return self.run_statement(&stmt, &params, true, client, priority);
         }
         // Miss: plan, cache, execute.
         self.stats.cache_miss();
@@ -296,7 +390,7 @@ impl Server {
         self.stats.evicted(self.cache.put_statement(&stmt));
         self.cache
             .put_text(planner, sql, &stmt, Arc::clone(&params));
-        self.run_statement(&stmt, &params, false)
+        self.run_statement(&stmt, &params, false, client, priority)
     }
 
     /// Parse, normalize and plan `sql`, returning a reusable handle.
@@ -327,8 +421,19 @@ impl Server {
 
     /// Execute a prepared statement with fresh parameter values — never
     /// parses, and re-plans only if the binding changes the predicate's
-    /// DAG (value-coincidence; see the module docs).
-    pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<ServeResult> {
+    /// DAG (value-coincidence; see the module docs). A thin wrapper over
+    /// the [`Server::submit`] path.
+    pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<Response> {
+        self.execute_inner(prepared, params, "", Priority::Normal)
+    }
+
+    fn execute_inner(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+        client: &str,
+        priority: Priority,
+    ) -> Result<Response> {
         if params.len() != prepared.inner.param_count {
             self.stats.error();
             return Err(BasiliskError::Plan(format!(
@@ -337,7 +442,7 @@ impl Server {
                 params.len()
             )));
         }
-        self.run_statement(&prepared.inner, params, true)
+        self.run_statement(&prepared.inner, params, true, client, priority)
     }
 
     /// Full parse-and-plan of one statement shape (the cache-miss path).
@@ -388,7 +493,9 @@ impl Server {
         stmt: &Arc<PreparedStatement>,
         params: &[Value],
         cache_hit: bool,
-    ) -> Result<ServeResult> {
+        client: &str,
+        priority: Priority,
+    ) -> Result<Response> {
         let t_bind = Instant::now();
         let mut query = stmt.query.clone();
         if stmt.param_count > 0 {
@@ -419,12 +526,13 @@ impl Server {
         let reusable = congruent && !null_upgrade;
         let bind_time = t_bind.elapsed();
 
-        let ctx = self.gate.acquire(&self.stats)?;
+        let (ctx, queue_wait) = self.gate.acquire(client, priority, &self.stats)?;
         let (ctx, result) = self.execute_on_context(stmt, query, reusable, bind_time, ctx);
         self.gate.release(ctx, &self.stats);
         match result {
             Ok(mut r) => {
                 r.cache_hit = cache_hit && reusable;
+                r.queue_wait = queue_wait;
                 self.stats.executed(r.timings.total());
                 Ok(r)
             }
@@ -444,7 +552,7 @@ impl Server {
         reusable: bool,
         bind_time: Duration,
         ctx: ExecContext,
-    ) -> (ExecContext, Result<ServeResult>) {
+    ) -> (ExecContext, Result<Response>) {
         // Build the session without surrendering the context on failure.
         let (session, plan, planning) = if reusable {
             let est = match Estimator::new(&self.catalog, &query.aliases) {
@@ -475,12 +583,12 @@ impl Server {
         let plan: &Plan = plan.as_ref().unwrap_or(&stmt.plan);
 
         let t1 = Instant::now();
-        let result = (|| -> Result<ServeResult> {
+        let result = (|| -> Result<Response> {
             let output = session.execute(plan)?;
             let execution = t1.elapsed();
             let (columns, row_count) =
                 self.materialize(&session, &output, stmt.limit, stmt.is_count)?;
-            Ok(ServeResult {
+            Ok(Response {
                 columns,
                 row_count,
                 planner: stmt.planner,
@@ -489,7 +597,8 @@ impl Server {
                     planning,
                     execution,
                 },
-                cache_hit: false, // set by the caller
+                cache_hit: false,           // set by the caller
+                queue_wait: Duration::ZERO, // set by the caller
             })
         })();
         (session.into_context(), result)
@@ -537,3 +646,56 @@ const _: fn() = || {
     assert_send_sync::<Server>();
     assert_send_sync::<Prepared>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = ServerConfig::builder().build().unwrap();
+        let default = ServerConfig::default();
+        assert_eq!(built.contexts(), default.contexts());
+        assert_eq!(built.queue_limit(), default.queue_limit());
+        assert_eq!(built.cache_capacity(), default.cache_capacity());
+        assert_eq!(built.workers(), default.workers());
+        assert_eq!(built.morsel_rows(), default.morsel_rows());
+        assert_eq!(built.region_slots(), default.region_slots());
+        assert_eq!(built.default_planner(), default.default_planner());
+    }
+
+    #[test]
+    fn builder_validates_at_construction() {
+        assert!(ServerConfig::builder().contexts(0).build().is_err());
+        assert!(ServerConfig::builder()
+            .contexts(4)
+            .queue_limit(3)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder().region_slots(0).build().is_err());
+        assert!(ServerConfig::builder().workers(0).build().is_err());
+        assert!(ServerConfig::builder().morsel_rows(0).build().is_err());
+        // Every rejection is a Plan error (configuration, not runtime).
+        match ServerConfig::builder().contexts(0).build() {
+            Err(BasiliskError::Plan(m)) => assert!(m.contains("contexts"), "{m}"),
+            other => panic!("expected Plan error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_scales_default_queue_limit_with_contexts() {
+        // Unset queue_limit tracks large context pools instead of
+        // failing the `queue_limit >= contexts` check.
+        let c = ServerConfig::builder().contexts(1000).build().unwrap();
+        assert_eq!(c.queue_limit(), 1000);
+        let c = ServerConfig::builder().contexts(2).build().unwrap();
+        assert_eq!(c.queue_limit(), 256, "default floor kept");
+        // Explicit values are taken verbatim when valid.
+        let c = ServerConfig::builder()
+            .contexts(2)
+            .queue_limit(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.queue_limit(), 2);
+    }
+}

@@ -109,21 +109,45 @@ impl StatsRecorder {
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             latency_buckets: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
             latency_total_micros: self.latency_total_micros.load(Ordering::Relaxed),
-            // Region-occupancy counters live on the shared worker pool;
-            // `Server::stats` overlays them onto this snapshot.
+            // Region-occupancy counters live on the shared worker pool
+            // and lane counters on the admission gate; `Server::stats`
+            // overlays both onto this snapshot.
             parallel_regions: 0,
             region_waits: 0,
             region_wait_total_micros: 0,
             region_wait_buckets: [0; REGION_WAIT_BUCKETS],
             region_slots: 0,
             region_max_concurrent: 0,
+            lanes: Vec::new(),
         }
     }
 }
 
+/// Per-client admission-lane counters (see the fairness docs on
+/// [`crate::Request::client`]): one entry per distinct client tag the
+/// server has seen, sorted by tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneStats {
+    /// The client tag naming this lane (`""` is the anonymous lane).
+    pub client: String,
+    /// Requests admitted into the lane (queued; excludes rejections).
+    pub admitted: u64,
+    /// Requests the DRR dispatcher granted a context.
+    pub dispatched: u64,
+    /// Requests rejected at admission while targeting this lane.
+    pub rejected: u64,
+    /// Tickets currently queued in the lane.
+    pub depth: u64,
+    /// Highest queue depth this lane has seen.
+    pub max_depth: u64,
+    /// Total microseconds admitted requests spent queued before their
+    /// context grant.
+    pub wait_total_micros: u64,
+}
+
 /// A point-in-time copy of a server's counters (see
 /// [`Server::stats`](crate::Server::stats)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests served from the plan cache (no parse, no plan).
     pub cache_hits: u64,
@@ -165,6 +189,12 @@ pub struct ServeStats {
     /// Highest number of simultaneously live parallel regions observed —
     /// the occupancy high-water mark (> 1 proves interleaving happened).
     pub region_max_concurrent: u64,
+    /// Per-client admission-lane counters (sorted by client tag). Lane
+    /// relations hold whenever no request is mid-flight:
+    /// `sum(dispatched) == statements_executed + post-admission errors`,
+    /// `sum(rejected) == rejected`, and every `depth` is zero once the
+    /// system drains.
+    pub lanes: Vec<LaneStats>,
 }
 
 impl ServeStats {

@@ -20,10 +20,44 @@ pub enum BasiliskError {
     Plan(String),
     /// Runtime execution failures.
     Exec(String),
+    /// Admission overload: the server's queue is full. Carries the load
+    /// snapshot at rejection time so clients (and the wire layer, which
+    /// maps this to HTTP 503 + `Retry-After`) can back off intelligently.
+    Busy {
+        /// Requests executing when the rejection happened.
+        in_flight: usize,
+        /// Requests waiting in the admission queue.
+        queue_depth: usize,
+    },
 }
 
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, BasiliskError>;
+
+impl BasiliskError {
+    /// Machine-readable error class, stable across the wire (the JSON
+    /// error envelope carries exactly this string as its `kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BasiliskError::Io(_) => "io",
+            BasiliskError::Corrupt(_) => "corrupt",
+            BasiliskError::Schema(_) => "schema",
+            BasiliskError::Type(_) => "type",
+            BasiliskError::Parse { .. } => "parse",
+            BasiliskError::Plan(_) => "plan",
+            BasiliskError::Exec(_) => "exec",
+            BasiliskError::Busy { .. } => "busy",
+        }
+    }
+
+    /// Whether retrying the *same* request later can succeed without any
+    /// change on the client's side. Only overload rejections qualify: a
+    /// parse error will parse the same way tomorrow, but a full queue
+    /// drains.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, BasiliskError::Busy { .. })
+    }
+}
 
 impl fmt::Display for BasiliskError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -37,6 +71,13 @@ impl fmt::Display for BasiliskError {
             }
             BasiliskError::Plan(m) => write!(f, "plan error: {m}"),
             BasiliskError::Exec(m) => write!(f, "execution error: {m}"),
+            BasiliskError::Busy {
+                in_flight,
+                queue_depth,
+            } => write!(
+                f,
+                "server busy: {in_flight} executing, {queue_depth} queued"
+            ),
         }
     }
 }
@@ -69,6 +110,33 @@ mod tests {
             offset: 12,
         };
         assert!(e.to_string().contains("byte 12"));
+    }
+
+    #[test]
+    fn busy_is_the_only_retryable_kind() {
+        let busy = BasiliskError::Busy {
+            in_flight: 4,
+            queue_depth: 9,
+        };
+        assert!(busy.is_retryable());
+        assert_eq!(busy.kind(), "busy");
+        assert!(busy.to_string().contains("busy"));
+        assert!(busy.to_string().contains('4') && busy.to_string().contains('9'));
+        for e in [
+            BasiliskError::Corrupt("x".into()),
+            BasiliskError::Schema("x".into()),
+            BasiliskError::Type("x".into()),
+            BasiliskError::Parse {
+                message: "x".into(),
+                offset: 3,
+            },
+            BasiliskError::Plan("x".into()),
+            BasiliskError::Exec("x".into()),
+            io::Error::other("x").into(),
+        ] {
+            assert!(!e.is_retryable(), "{e}");
+            assert!(!e.kind().is_empty());
+        }
     }
 
     #[test]

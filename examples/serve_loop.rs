@@ -30,11 +30,15 @@ fn main() {
         db.register(table).expect("register table");
     }
 
-    let server = Arc::new(db.serve_with(ServerConfig {
-        contexts: 4,
-        workers: Some(2),
-        ..ServerConfig::default()
-    }));
+    let server = Arc::new(
+        db.serve_with(
+            ServerConfig::builder()
+                .contexts(4)
+                .workers(2)
+                .build()
+                .expect("valid sizing"),
+        ),
+    );
 
     // Four clients, each sweeping a different decade band of the same
     // statement shape.

@@ -1,0 +1,297 @@
+//! End-to-end wire suite: a real `basilisk-net` listener on loopback,
+//! driven through the blocking client.
+//!
+//! Pins the PR-7 serving contract from the outside:
+//!
+//! * rows fetched over HTTP/JSON are **bit-for-bit** equal to the same
+//!   statement served in-process (ints, floats by bit pattern, strings);
+//! * the prepared-statement path works remotely (prepare once, execute
+//!   with fresh bindings, zero extra plan work server-side);
+//! * overload surfaces as a *typed, retryable* 503 with the busy
+//!   envelope and a `retry-after` header — never a stringly error;
+//! * every `BasiliskError` variant survives serialize → wire →
+//!   deserialize with kind, message, offset and retryability intact
+//!   (property test over the JSON error envelope).
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use basilisk::{
+    BasiliskError, DataType, Database, ErrorKind, Response, ServeError, ServerConfig, TableBuilder,
+    Value,
+};
+use basilisk_net::{http, wire, Client, Json, WireResponse};
+use basilisk_workload::{generate_imdb, generate_synthetic, ImdbConfig, SyntheticConfig};
+use proptest::prelude::*;
+
+fn wire_db() -> Database {
+    let mut db = Database::new();
+    // Synthetic tables carry Float columns; IMDB carries Int + Str —
+    // together they cover every Value variant a query can produce.
+    for t in generate_synthetic(&SyntheticConfig {
+        rows: 400,
+        num_attrs: 3,
+        ..SyntheticConfig::default()
+    })
+    .unwrap()
+    {
+        db.register(t).unwrap();
+    }
+    for t in generate_imdb(&ImdbConfig {
+        scale: 0.05,
+        seed: 11,
+    })
+    .unwrap()
+    {
+        db.register(t).unwrap();
+    }
+    db
+}
+
+/// Bit-for-bit comparison of a wire response against an in-process one.
+fn assert_wire_equals_local(wire: &WireResponse, local: &Response) {
+    assert_eq!(wire.row_count, local.row_count);
+    assert_eq!(wire.columns.len(), local.columns.len());
+    for ((name, values), (cref, col)) in wire.columns.iter().zip(&local.columns) {
+        assert_eq!(name, &cref.to_string());
+        assert_eq!(values.len(), local.row_count);
+        for (i, v) in values.iter().enumerate() {
+            match (v, &col.value(i)) {
+                (Value::Float(a), Value::Float(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{name}[{i}]: {a} != {b} bitwise")
+                }
+                (a, b) => assert_eq!(a, b, "{name}[{i}]"),
+            }
+        }
+    }
+}
+
+#[test]
+fn wire_rows_match_in_process_bit_for_bit() {
+    let db = wire_db();
+    let listener = db
+        .listen_with(
+            "127.0.0.1:0",
+            ServerConfig::builder()
+                .contexts(2)
+                .workers(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let mut client = Client::connect(listener.local_addr()).unwrap();
+
+    // Mixed statements: disjunctive join (floats), string predicates,
+    // COUNT(*), star projection, LIMIT — every materialization shape
+    // crosses the wire.
+    let statements = [
+        "SELECT t0.id, t1.a1, t1.a2 FROM t0 JOIN t1 ON t0.id = t1.fid \
+         WHERE t1.a1 < 0.3 OR t1.a2 > 0.8",
+        "SELECT t.id, t.title FROM title t \
+         WHERE t.production_year > 2000 OR t.title LIKE '%a%'",
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 1980",
+        "SELECT * FROM title t LIMIT 13",
+    ];
+    for sql in statements {
+        let over_wire = client.sql(sql).unwrap();
+        let local = listener.server().sql(sql).unwrap();
+        assert_wire_equals_local(&over_wire, &local);
+    }
+    assert_eq!(listener.server().outstanding(), 0);
+}
+
+#[test]
+fn remote_prepared_statements_bind_fresh_values() {
+    let db = wire_db();
+    let listener = db
+        .listen_with(
+            "127.0.0.1:0",
+            ServerConfig::builder()
+                .contexts(2)
+                .workers(1)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let mut client = Client::connect(listener.local_addr()).unwrap();
+
+    let shape = "SELECT t.id FROM title t JOIN movie_info_idx mi ON t.id = mi.movie_id \
+                 WHERE t.production_year > 1990 OR mi.info > '7.0'";
+    let stmt = client.prepare(shape).unwrap();
+    assert_eq!(stmt.params, 2);
+    let planned = listener.server().stats().statements_prepared;
+
+    for (year, info) in [(1990i64, "7.0"), (2005, "9.0"), (1930, "1.0")] {
+        let over_wire = client
+            .execute(stmt, &[Value::Int(year), Value::from(info)])
+            .unwrap();
+        let local = listener
+            .server()
+            .sql(&format!(
+                "SELECT t.id FROM title t JOIN movie_info_idx mi ON t.id = mi.movie_id \
+                 WHERE t.production_year > {year} OR mi.info > '{info}'"
+            ))
+            .unwrap();
+        assert_wire_equals_local(&over_wire, &local);
+    }
+    // Remote executions bind into the cached plan, and the ad-hoc
+    // reference statements hit the same cache entry: zero plan work
+    // after the one prepare.
+    assert_eq!(listener.server().stats().statements_prepared, planned);
+}
+
+/// Raw HTTP exchange, to observe status codes and headers directly.
+fn raw_call(addr: std::net::SocketAddr, body: &str) -> (u16, Option<String>, Json) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    http::write_request(&mut writer, "POST", "/v1/sql", body.as_bytes()).unwrap();
+    let resp = http::read_response(&mut reader).unwrap();
+    let retry_after = resp.header("retry-after").map(str::to_string);
+    let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    (resp.status, retry_after, doc)
+}
+
+#[test]
+fn overload_is_a_typed_retryable_503() {
+    let db = wire_db();
+    // One context, no queue headroom: concurrent remote clients must
+    // overlap into rejections.
+    let listener = Arc::new(
+        db.listen_with(
+            "127.0.0.1:0",
+            ServerConfig::builder()
+                .contexts(1)
+                .queue_limit(1)
+                .workers(1)
+                .build()
+                .unwrap(),
+        )
+        .unwrap(),
+    );
+    let addr = listener.local_addr();
+    let slow = "SELECT t.id FROM title t JOIN movie_companies mc ON t.id = mc.movie_id \
+                WHERE t.title ILIKE '%a%' OR mc.note LIKE '%co%' OR t.production_year > 1900";
+    let body = format!("{{\"sql\":\"{slow}\"}}");
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut busy = 0u64;
+                for _ in 0..25 {
+                    let (status, retry_after, doc) = raw_call(addr, &body);
+                    match status {
+                        200 => {}
+                        503 => {
+                            busy += 1;
+                            // The typed contract: machine-readable kind,
+                            // retryable flag, load snapshot, backoff hint.
+                            assert_eq!(retry_after.as_deref(), Some("1"));
+                            let e = wire::parse_error(&doc).unwrap();
+                            assert_eq!(e.kind, ErrorKind::Busy);
+                            assert!(e.retryable);
+                            assert!(e.in_flight.is_some() && e.queue_depth.is_some());
+                        }
+                        other => panic!("unexpected status {other}: {doc}"),
+                    }
+                }
+                busy
+            })
+        })
+        .collect();
+    let busy: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(
+        busy > 0,
+        "4 clients × 1 context × queue_limit 1 must overlap into rejections"
+    );
+    let stats = listener.server().stats();
+    assert_eq!(stats.rejected, busy, "every 503 was a counted rejection");
+    assert_eq!(stats.queue_depth, 0, "system drained");
+    assert_eq!(listener.server().outstanding(), 0);
+}
+
+#[test]
+fn listener_shutdown_is_clean() {
+    // Dropping the listener while a keep-alive client is parked must
+    // not hang (connection threads poll the stop flag).
+    let mut db = Database::new();
+    let mut b = TableBuilder::new("t").column("id", DataType::Int);
+    b.push_row(vec![1i64.into()]).unwrap();
+    db.register(b.finish().unwrap()).unwrap();
+    let listener = db.listen("127.0.0.1:0").unwrap();
+    let mut client = Client::connect(listener.local_addr()).unwrap();
+    client.health().unwrap();
+    drop(listener); // joins accept + connection threads
+    assert!(client.health().is_err(), "server is gone");
+}
+
+// ---------------------------------------------------------------------
+// Property test: the JSON error envelope is lossless for every
+// BasiliskError variant.
+// ---------------------------------------------------------------------
+
+/// Messages exercise escaping: quotes, backslashes, control characters,
+/// multi-byte unicode, braces.
+const MESSAGE_CLASS: &str = "[a-z0-9 \"\\\n\t:{}端]{0,24}";
+
+fn error_strategy() -> impl Strategy<Value = BasiliskError> {
+    let msg = || MESSAGE_CLASS;
+    prop_oneof![
+        msg().prop_map(|m| BasiliskError::Io(std::io::Error::other(m))),
+        msg().prop_map(BasiliskError::Corrupt),
+        msg().prop_map(BasiliskError::Schema),
+        msg().prop_map(BasiliskError::Type),
+        (msg(), 0usize..10_000)
+            .prop_map(|(message, offset)| BasiliskError::Parse { message, offset }),
+        msg().prop_map(BasiliskError::Plan),
+        msg().prop_map(BasiliskError::Exec),
+        (0usize..64, 0usize..100_000).prop_map(|(in_flight, queue_depth)| {
+            BasiliskError::Busy {
+                in_flight,
+                queue_depth,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// serialize → wire bytes → parse → deserialize preserves kind,
+    /// offset, retryability, Display, and the HTTP status class.
+    #[test]
+    fn error_envelope_roundtrips_every_variant(original in error_strategy()) {
+        let kind = original.kind();
+        let display = original.to_string();
+        let retryable = original.is_retryable();
+
+        let serve = ServeError::from(original);
+        let bytes = wire::encode_error(&serve).to_string();
+        let parsed = Json::parse(&bytes).unwrap();
+        let back = wire::parse_error(&parsed).unwrap();
+
+        prop_assert_eq!(&back, &serve, "envelope: {}", bytes);
+        prop_assert_eq!(back.kind.as_str(), kind);
+        prop_assert_eq!(back.retryable, retryable);
+        prop_assert_eq!(wire::status_for(&back), wire::status_for(&serve));
+
+        // And the full loop back into the engine's error type.
+        let engine = BasiliskError::from(back);
+        prop_assert_eq!(engine.kind(), kind);
+        prop_assert_eq!(engine.to_string(), display);
+        prop_assert_eq!(engine.is_retryable(), retryable);
+    }
+}
+
+/// The one non-engine kind: protocol errors round-trip too (they fold
+/// into `Exec` only when forced back into a `BasiliskError`).
+#[test]
+fn protocol_error_envelope_roundtrips() {
+    let e = ServeError::protocol("no route: BREW /v1/coffee");
+    let bytes = wire::encode_error(&e).to_string();
+    let back = wire::parse_error(&Json::parse(&bytes).unwrap()).unwrap();
+    assert_eq!(back, e);
+    assert_eq!(wire::status_for(&back).0, 400);
+}

@@ -18,9 +18,10 @@
 //! clients fan out parallel regions on one shared pool at once, and the
 //! region table must admit all of them without a single slot wait.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use basilisk::{Catalog, ServeResult, Server, ServerConfig, Value};
+use basilisk::{Catalog, Priority, Request, ServeResult, Server, ServerConfig, Value};
 use basilisk_workload::{generate_imdb, generate_synthetic, ImdbConfig, SyntheticConfig};
 
 fn soak_catalog() -> Catalog {
@@ -118,11 +119,11 @@ fn fingerprint(r: &ServeResult) -> Vec<(String, Vec<Value>)> {
 fn serial_reference(cat: &Catalog) -> Server {
     Server::new(
         cat.clone(),
-        ServerConfig {
-            contexts: 1,
-            workers: Some(1),
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .contexts(1)
+            .workers(1)
+            .build()
+            .unwrap(),
     )
 }
 
@@ -142,12 +143,12 @@ fn concurrent_soak_matches_serial() {
 
     let server = Arc::new(Server::new(
         cat.clone(),
-        ServerConfig {
-            contexts: 3,
-            workers: Some(4),
-            morsel_rows: Some(256),
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .contexts(3)
+            .workers(4)
+            .morsel_rows(256)
+            .build()
+            .unwrap(),
     ));
     // Warm the plan cache serially so the concurrent phase is pure
     // cached traffic — which makes the accounting below exact (cold
@@ -232,12 +233,12 @@ fn concurrent_prepared_bindings_match_serial() {
 
     let server = Arc::new(Server::new(
         cat,
-        ServerConfig {
-            contexts: 4,
-            workers: Some(2),
-            morsel_rows: Some(256),
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .contexts(4)
+            .workers(2)
+            .morsel_rows(256)
+            .build()
+            .unwrap(),
     ));
     let prepared = server.prepare(&shape(2000, "7.0")).unwrap();
     assert_eq!(prepared.param_count(), 2);
@@ -308,13 +309,13 @@ fn interleaved_regions_soak() {
         const CONTEXTS: usize = 4;
         let server = Arc::new(Server::new(
             cat.clone(),
-            ServerConfig {
-                contexts: CONTEXTS,
-                workers: Some(workers),
+            ServerConfig::builder()
+                .contexts(CONTEXTS)
+                .workers(workers)
                 // Narrow morsels so even the small soak tables fan out.
-                morsel_rows: Some(128),
-                ..ServerConfig::default()
-            },
+                .morsel_rows(128)
+                .build()
+                .unwrap(),
         ));
         for sql in statements.iter() {
             server.sql(sql).unwrap();
@@ -389,12 +390,12 @@ fn concurrent_errors_strand_nothing() {
     let cat = soak_catalog();
     let server = Arc::new(Server::new(
         cat,
-        ServerConfig {
-            contexts: 2,
-            workers: Some(4),
-            morsel_rows: Some(256),
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .contexts(2)
+            .workers(4)
+            .morsel_rows(256)
+            .build()
+            .unwrap(),
     ));
     // A runtime type error (Str column vs Int literal) that fails *mid
     // evaluation* on worker threads.
@@ -442,12 +443,12 @@ fn cache_eviction_pressure_keeps_hits_exact() {
     let cat = soak_catalog();
     let server = Server::new(
         cat,
-        ServerConfig {
-            contexts: 1,
-            workers: Some(1),
-            cache_capacity: 2,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .contexts(1)
+            .workers(1)
+            .cache_capacity(2)
+            .build()
+            .unwrap(),
     );
     let shape = |col: &str, v: i64| format!("SELECT t.id FROM title t WHERE t.{col} > {v}");
     let a = shape("production_year", 1990);
@@ -503,12 +504,12 @@ fn bounded_admission_under_load() {
     let cat = soak_catalog();
     let server = Arc::new(Server::new(
         cat,
-        ServerConfig {
-            contexts: 1,
-            queue_limit: 2,
-            workers: Some(1),
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .contexts(1)
+            .queue_limit(2)
+            .workers(1)
+            .build()
+            .unwrap(),
     ));
     let sql = "SELECT t.id FROM title t WHERE t.production_year > 1950 \
                AND t.title LIKE '%a%' OR t.kind_id IN (1, 2, 3)";
@@ -549,18 +550,150 @@ fn bounded_admission_under_load() {
     assert_eq!(server.outstanding(), 0);
 }
 
+/// The PR-7 fairness pin: one flood client hammering ad-hoc SQL from
+/// three threads — at *High* priority, the most bandwidth the
+/// deficit-round-robin dispatcher will sell — must not starve polite
+/// single-threaded prepared clients, and must not be starved itself.
+///
+/// Checks, on one shared two-context server:
+///
+/// - every polite client completes its fixed run while the flood is
+///   live (the old strict-FIFO gate let the flood take 3 of every 4
+///   grants);
+/// - per-lane throughput stays within a 4× band: DRR grants the
+///   high-priority flood lane at most ~2× a normal lane's bandwidth, no
+///   matter how many threads feed it;
+/// - lane counters reconcile exactly with the server totals
+///   (`sum(dispatched) == statements_executed`, all lanes drained,
+///   nothing rejected) and the usual invariants hold (`region_waits ==
+///   0`, `outstanding() == 0`).
+#[test]
+fn flood_client_cannot_starve_polite_lanes() {
+    let cat = soak_catalog();
+    let server = Arc::new(Server::new(
+        cat,
+        ServerConfig::builder()
+            .contexts(2)
+            .workers(1)
+            .build()
+            .unwrap(),
+    ));
+    const POLITE: usize = 3;
+    const PER: u64 = 30;
+
+    let prepared = server
+        .prepare(
+            "SELECT t0.id FROM t0 JOIN t1 ON t0.id = t1.fid \
+             WHERE t1.a1 < 0.4 OR t1.a2 < 0.3",
+        )
+        .unwrap();
+    let polite: Vec<_> = (0..POLITE)
+        .map(|p| {
+            let server = Arc::clone(&server);
+            let prepared = prepared.clone();
+            std::thread::spawn(move || {
+                let tag = format!("polite-{p}");
+                for i in 0..PER {
+                    let x = 0.2 + 0.01 * (i % 7) as f64;
+                    let params = [Value::Float(x), Value::Float(x / 2.0)];
+                    let r = server
+                        .submit(Request::prepared(&prepared, &params).client(&tag))
+                        .unwrap();
+                    assert!(r.cache_hit, "prepared bindings re-use the plan");
+                }
+            })
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flood: Vec<_> = (0..3)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let x = 0.1 + 0.001 * (n % 50) as f64;
+                    let sql = format!(
+                        "SELECT t0.id FROM t0 JOIN t1 ON t0.id = t1.fid \
+                         WHERE t1.a2 < {x} OR t1.a3 < {x:.4}"
+                    );
+                    server
+                        .submit(Request::sql(&sql).client("flood").priority(Priority::High))
+                        .unwrap();
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    for h in polite {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let flood_done: u64 = flood.into_iter().map(|h| h.join().unwrap()).sum();
+
+    let s = server.stats();
+    assert_eq!(s.errors, 0);
+    assert_eq!(s.lanes.len(), POLITE + 1, "one lane per client tag");
+    for lane in &s.lanes {
+        assert_eq!(lane.depth, 0, "lane {} drained", lane.client);
+        assert_eq!(lane.rejected, 0, "queue_limit was never hit");
+        assert_eq!(
+            lane.admitted, lane.dispatched,
+            "lane {}: every admitted ticket was granted",
+            lane.client
+        );
+        if lane.client != "flood" {
+            assert_eq!(
+                lane.dispatched, PER,
+                "lane {} finished its run",
+                lane.client
+            );
+        }
+    }
+    let flood_lane = s.lanes.iter().find(|l| l.client == "flood").unwrap();
+    assert_eq!(flood_lane.dispatched, flood_done);
+    assert!(
+        flood_lane.wait_total_micros > 0,
+        "the flood actually queued"
+    );
+
+    // The fairness band: three threads of high-priority flood buy at
+    // most ~2× one polite lane's bandwidth, and the flood is not
+    // starved either.
+    let max = s.lanes.iter().map(|l| l.dispatched).max().unwrap();
+    let min = s.lanes.iter().map(|l| l.dispatched).min().unwrap();
+    assert!(
+        max <= 4 * min,
+        "lane throughput spread {max}/{min} exceeds the DRR band \
+         (flood {flood_done}, polite {PER} each)"
+    );
+
+    // Counters reconcile exactly with the server totals.
+    assert_eq!(
+        s.lanes.iter().map(|l| l.dispatched).sum::<u64>(),
+        s.statements_executed
+    );
+    assert!(s.queue_high_water >= 1, "contention actually happened");
+    assert_eq!(s.queue_depth, 0);
+    assert_eq!(s.region_waits, 0);
+    assert_eq!(server.outstanding(), 0);
+}
+
 #[test]
 #[ignore]
 fn profile_single_client() {
     let cat = soak_catalog();
     let server = Server::new(
         cat,
-        ServerConfig {
-            contexts: 3,
-            workers: Some(4),
-            morsel_rows: Some(256),
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .contexts(3)
+            .workers(4)
+            .morsel_rows(256)
+            .build()
+            .unwrap(),
     );
     for sql in workload().into_iter().flatten() {
         let t0 = std::time::Instant::now();
