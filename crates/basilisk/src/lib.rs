@@ -44,6 +44,8 @@
 //! loops, and [`Database::listen`] puts the HTTP/JSON wire front end
 //! ([`Listener`]) on one.
 
+#![forbid(unsafe_code)]
+
 mod db;
 mod result;
 

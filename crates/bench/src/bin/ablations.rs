@@ -10,6 +10,8 @@
 //!
 //! Usage: ablations [--rows 10000] [--reps 3] [--seed 7]
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use basilisk::{Catalog, PlannerKind, QuerySession, TagMapStrategy};

@@ -19,6 +19,8 @@
 //!            [--tolerance 0.25] [--samples 30]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 

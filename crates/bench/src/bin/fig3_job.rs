@@ -12,6 +12,8 @@
 //! Usage:
 //!   fig3_job [--panel a|b|c|d|all] [--scale 0.3] [--reps 3] [--seed 42]
 
+#![forbid(unsafe_code)]
+
 use basilisk::{factor_common_conjuncts, Catalog, PlannerKind};
 use basilisk_bench::{max, mean, measure, min, speedup, Args, Measurement};
 use basilisk_workload::{generate_imdb, job_queries, ImdbConfig, JobQuery};

@@ -14,6 +14,8 @@
 //!   fig4_synthetic [--panel a|b|c|d|all] [--rows 10000] [--reps 3]
 //!                  [--max-rows 20000] [--seed 1337]
 
+#![forbid(unsafe_code)]
+
 use basilisk::{Catalog, PlannerKind, Query};
 use basilisk_bench::{measure, speedup, Args};
 use basilisk_workload::{cnf_query, dnf_query, generate_synthetic, SyntheticConfig};

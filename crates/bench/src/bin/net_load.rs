@@ -16,6 +16,8 @@
 //! net_load [--clients 8] [--requests 64] [--max-p99-micros N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use basilisk::{Client, Database, ServerConfig, Value};

@@ -6,6 +6,8 @@
 //! who wins, by roughly what factor, where the crossovers fall — is the
 //! reproduction target (see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use basilisk::{Catalog, PlannerKind, Query, QuerySession};

@@ -15,6 +15,8 @@
 //!   cached; connectives combine by independence; equi-join selectivity is
 //!   the PostgreSQL `1 / max(ndv(l), ndv(r))` rule.
 
+#![forbid(unsafe_code)]
+
 mod catalog;
 mod estimator;
 mod stats;

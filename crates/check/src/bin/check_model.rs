@@ -1,0 +1,228 @@
+//! The schedule-exploration driver CI runs (`check-model` job) and the
+//! replay tool for its findings.
+//!
+//! ```text
+//! RUSTFLAGS='--cfg basilisk_check' cargo run --release -p basilisk-check --bin check_model -- \
+//!     [--seeds N] [--seed S] [--scenario NAME] [--canary] [--stall-millis MS] [--list] [--verbose]
+//! ```
+//!
+//! Default mode runs every scenario under seeds `0..N` (default 1000)
+//! and exits nonzero if any run fails, printing each finding with the
+//! exact `--scenario NAME --seed S` command that replays it. `--seed`
+//! replays a single seed with the panic hook live so the full assertion
+//! and backtrace are visible. `--canary` arms the sched retirement
+//! mutation and fails unless the corpus catches it — proof the checker
+//! still detects protocol breakage.
+
+#![forbid(unsafe_code)]
+
+#[cfg(not(basilisk_check))]
+fn main() -> std::process::ExitCode {
+    eprintln!(
+        "check_model does nothing in a normal build: the sync facade compiled to plain \
+         std::sync aliases.\nRebuild with the instrumented runtime:\n\n    \
+         RUSTFLAGS='--cfg basilisk_check' cargo run --release -p basilisk-check --bin check_model"
+    );
+    std::process::ExitCode::from(2)
+}
+
+#[cfg(basilisk_check)]
+fn main() -> std::process::ExitCode {
+    real::main()
+}
+
+#[cfg(basilisk_check)]
+mod real {
+    use std::process::ExitCode;
+
+    use basilisk_check::scenarios::{self, Scenario};
+    use basilisk_check::{quiet_panics, run_corpus, run_seed};
+    use basilisk_types::sync::check;
+
+    struct Args {
+        seeds: u64,
+        seed: Option<u64>,
+        scenario: Option<String>,
+        canary: bool,
+        stall_millis: u64,
+        list: bool,
+        verbose: bool,
+    }
+
+    fn usage() -> ! {
+        eprintln!(
+            "usage: check_model [--seeds N] [--seed S] [--scenario NAME] [--canary] \
+             [--stall-millis MS] [--list] [--verbose]"
+        );
+        std::process::exit(2)
+    }
+
+    fn parse_args() -> Args {
+        let mut args = Args {
+            seeds: 1000,
+            seed: None,
+            scenario: None,
+            canary: false,
+            stall_millis: 2000,
+            list: false,
+            verbose: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut num = |name: &str| -> u64 {
+                it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("{name} needs an integer argument");
+                    usage()
+                })
+            };
+            match flag.as_str() {
+                "--seeds" => args.seeds = num("--seeds"),
+                "--seed" => args.seed = Some(num("--seed")),
+                "--stall-millis" => args.stall_millis = num("--stall-millis"),
+                "--scenario" => args.scenario = it.next().or_else(|| usage()),
+                "--canary" => args.canary = true,
+                "--list" => args.list = true,
+                "--verbose" => args.verbose = true,
+                "--help" | "-h" => usage(),
+                other => {
+                    eprintln!("unknown flag: {other}");
+                    usage()
+                }
+            }
+        }
+        args
+    }
+
+    fn selected(args: &Args) -> Vec<&'static Scenario> {
+        match &args.scenario {
+            None => scenarios::ALL.iter().collect(),
+            Some(name) => match scenarios::find(name) {
+                Some(s) => vec![s],
+                None => {
+                    eprintln!("unknown scenario `{name}` — available:");
+                    for s in scenarios::ALL {
+                        eprintln!("  {}", s.name);
+                    }
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    pub fn main() -> ExitCode {
+        let args = parse_args();
+        if args.list {
+            for s in scenarios::ALL {
+                println!("{:14} {}", s.name, s.about);
+            }
+            return ExitCode::SUCCESS;
+        }
+        check::set_stall_millis(args.stall_millis);
+        let picked = selected(&args);
+
+        // Single-seed replay: leave the panic hook alone so the full
+        // assertion message and backtrace reach the user.
+        if let Some(seed) = args.seed {
+            let mut failed = false;
+            for s in &picked {
+                println!("replaying {} under seed {seed}…", s.name);
+                match run_seed(s, seed) {
+                    None => println!("  clean"),
+                    Some(f) => {
+                        println!("  FAILED: {}", f.message);
+                        failed = true;
+                    }
+                }
+            }
+            return if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+
+        if args.canary {
+            return canary(&args);
+        }
+
+        let report = quiet_panics(|| {
+            let mut report = basilisk_check::CorpusReport::default();
+            let chunk = 100u64.min(args.seeds.max(1));
+            let mut next = 0u64;
+            while next < args.seeds && report.findings.len() < 5 {
+                let hi = (next + chunk).min(args.seeds);
+                let part = run_corpus(&picked, next..hi, 5 - report.findings.len());
+                report.runs += part.runs;
+                report.findings.extend(part.findings);
+                if args.verbose {
+                    eprintln!(
+                        "… seeds {next}..{hi}: {} runs, {} findings",
+                        report.runs,
+                        report.findings.len()
+                    );
+                }
+                next = hi;
+            }
+            report
+        });
+
+        if report.is_clean() {
+            println!(
+                "check_model: clean — {} runs ({} scenarios × {} seeds)",
+                report.runs,
+                picked.len(),
+                args.seeds
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "check_model: {} finding(s) in {} runs:",
+                report.findings.len(),
+                report.runs
+            );
+            for f in &report.findings {
+                eprintln!("{f}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+
+    /// Mutation canary: break the region-retirement protocol on purpose
+    /// (collect results *before* the retirement wait) and demand the
+    /// corpus notices. If the explorer can no longer catch a protocol
+    /// mutation this blunt, it has rotted — fail CI.
+    fn canary(args: &Args) -> ExitCode {
+        let region_scenarios: Vec<&'static Scenario> = scenarios::ALL
+            .iter()
+            .filter(|s| s.name.starts_with("region"))
+            .collect();
+        let seeds = args.seeds.min(64).max(1);
+
+        basilisk_sched::canary::set_collect_before_retire(true);
+        let armed = quiet_panics(|| run_corpus(&region_scenarios, 0..seeds, 1));
+        basilisk_sched::canary::set_collect_before_retire(false);
+
+        let Some(caught) = armed.findings.first() else {
+            eprintln!(
+                "canary NOT detected in {} runs — the explorer failed to catch a deliberate \
+                 retirement-protocol mutation; the checker has rotted",
+                armed.runs
+            );
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "canary caught: scenario {} at seed {} ({})",
+            caught.scenario, caught.seed, caught.message
+        );
+
+        // Disarmed, the same seeds must be clean again.
+        let clean = quiet_panics(|| run_corpus(&region_scenarios, 0..seeds.min(8), 1));
+        if clean.is_clean() {
+            println!("disarmed re-run clean — canary wiring verified");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("still failing after disarm: {}", clean.findings[0]);
+            ExitCode::FAILURE
+        }
+    }
+}

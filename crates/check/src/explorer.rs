@@ -1,0 +1,127 @@
+//! The seed loop: run a scenario under one perturbation seed, turn
+//! panics into replayable findings.
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+
+use basilisk_types::sync::check;
+
+use crate::scenarios::Scenario;
+
+/// One failed scenario run: the scenario, the seed whose decision
+/// stream produced the failure, and the panic message that describes it
+/// (a lock-order cycle, a stall, an ownership violation or a protocol
+/// assertion inside the scenario itself).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Name of the scenario that failed (see [`crate::scenarios`]).
+    pub scenario: &'static str,
+    /// The exploration seed to replay.
+    pub seed: u64,
+    /// The panic message of the failure.
+    pub message: String,
+}
+
+impl Finding {
+    /// The exact command that replays this finding's perturbation
+    /// pattern from a clean checkout.
+    pub fn replay_command(&self) -> String {
+        format!(
+            "RUSTFLAGS='--cfg basilisk_check' cargo run --release -p basilisk-check \
+             --bin check_model -- --scenario {} --seed {}",
+            self.scenario, self.seed
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} seed {}] {}\n  replay: {}",
+            self.scenario,
+            self.seed,
+            self.message,
+            self.replay_command()
+        )
+    }
+}
+
+/// What a corpus run covered and what it found.
+#[derive(Debug, Default)]
+pub struct CorpusReport {
+    /// Scenario runs executed (scenarios × seeds, minus any early stop).
+    pub runs: u64,
+    /// Failures, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl CorpusReport {
+    /// True when every executed run passed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one scenario under one seed on a freshly reset check runtime.
+/// Returns `None` on success, or the failure as a [`Finding`].
+pub fn run_seed(scenario: &Scenario, seed: u64) -> Option<Finding> {
+    check::reset();
+    check::set_seed(seed);
+    let result = panic::catch_unwind(AssertUnwindSafe(scenario.run));
+    match result {
+        Ok(()) => None,
+        Err(payload) => Some(Finding {
+            scenario: scenario.name,
+            seed,
+            message: payload_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Run every scenario under every seed in `seeds`. Stops early once
+/// `max_findings` failures have been collected (`0` = never stop
+/// early). Seeds iterate in the outer loop so an interrupted run still
+/// gives every scenario roughly equal coverage.
+pub fn run_corpus(
+    scenarios: &[&Scenario],
+    seeds: std::ops::Range<u64>,
+    max_findings: usize,
+) -> CorpusReport {
+    let mut report = CorpusReport::default();
+    'outer: for seed in seeds {
+        for scenario in scenarios {
+            report.runs += 1;
+            if let Some(finding) = run_seed(scenario, seed) {
+                report.findings.push(finding);
+                if max_findings != 0 && report.findings.len() >= max_findings {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Run `f` with the default panic hook silenced, restoring it after.
+/// Corpus runs catch every panic and re-render it as a [`Finding`]; the
+/// default hook's backtrace spam (one per explored failure, including
+/// expected canary trips) would bury the actual report.
+pub fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    panic::set_hook(prev);
+    out
+}

@@ -1,0 +1,43 @@
+//! Schedule exploration for the basilisk concurrency protocols.
+//!
+//! This crate only does real work when the workspace is compiled with
+//! `RUSTFLAGS="--cfg basilisk_check"`, which swaps the
+//! [`basilisk_types::sync`] façade from plain `std::sync` re-exports to
+//! an instrumented runtime: every lock, condvar wait and atomic op
+//! becomes a *schedule point* where a seeded PRNG may inject a
+//! preemption, lock acquisition order feeds a global cycle detector,
+//! condvar waits carry a stall budget (missed-wakeup detection), and
+//! pooled buffers are tagged with their producing arena so cross-arena
+//! recycling trips an assertion.
+//!
+//! On top of that runtime, this crate defines **scenarios** — small
+//! closed-loop workloads that drive the region-table protocol in
+//! `basilisk-sched` (slot claim → publish → drain → last-worker-out
+//! retirement) and the DRR admission gate in `basilisk-serve` (ticket
+//! park → grant → sweep → return) — and an **explorer** that runs each
+//! scenario under many seeds, converting any panic (a protocol
+//! assertion, a lock-order cycle, a stall, an ownership violation) into
+//! a `Finding` that names the scenario and the seed that produced it
+//! (the type is only compiled — and documented — under the check cfg).
+//!
+//! The perturbation stream is a pure function of `(seed, thread name,
+//! op index)`, so a failing seed replays the same decision pattern:
+//!
+//! ```text
+//! RUSTFLAGS='--cfg basilisk_check' cargo run --release -p basilisk-check \
+//!     --bin check_model -- --scenario region_table --seed 1234
+//! ```
+//!
+//! In normal builds the façade is zero-cost aliases, this library is
+//! empty, and the `check_model` binary exits with a pointer at the
+//! required `RUSTFLAGS`.
+
+#![forbid(unsafe_code)]
+
+#[cfg(basilisk_check)]
+mod explorer;
+#[cfg(basilisk_check)]
+pub mod scenarios;
+
+#[cfg(basilisk_check)]
+pub use explorer::{quiet_panics, run_corpus, run_seed, CorpusReport, Finding};

@@ -1,0 +1,325 @@
+//! Closed-loop workloads the explorer perturbs.
+//!
+//! Each scenario is a plain `fn()` that builds its world from scratch,
+//! drives one of the repo's concurrency protocols from several named
+//! threads, asserts the protocol's contract (result order,
+//! completeness, arena settlement, lane accounting) and tears
+//! everything down. A scenario must be silent on success and panic on
+//! violation — the explorer converts panics into seeded findings.
+//!
+//! Threads are spawned with stable names (`basilisk-check-client-N`)
+//! because the instrumented runtime keys each thread's decision stream
+//! by thread name: same seed + same names → same perturbation pattern,
+//! which is what makes findings replayable.
+
+use std::any::Any;
+use std::panic;
+use std::thread;
+
+use basilisk_catalog::Catalog;
+use basilisk_plan::ExecContext;
+use basilisk_sched::WorkerPool;
+use basilisk_serve::admission::Admission;
+use basilisk_serve::stats::StatsRecorder;
+use basilisk_serve::{Priority, Request, Server, ServerConfig};
+use basilisk_storage::TableBuilder;
+use basilisk_types::sync::Arc;
+use basilisk_types::{BasiliskError, DataType};
+
+/// A named, self-contained concurrency workload.
+pub struct Scenario {
+    /// Stable name used by `--scenario` and in findings.
+    pub name: &'static str,
+    /// One-line description for `--list`.
+    pub about: &'static str,
+    /// The workload body; panics on contract violation.
+    pub run: fn(),
+}
+
+/// Every scenario, in the order the corpus runs them.
+pub const ALL: &[Scenario] = &[
+    Scenario {
+        name: "region_table",
+        about: "three clients fan regions on one pool; order, completeness, \
+                error routing and arena settlement",
+        run: region_table,
+    },
+    Scenario {
+        name: "region_pair",
+        about: "run_pair ordering contract and discard routing on failure",
+        run: region_pair,
+    },
+    Scenario {
+        name: "admission_drr",
+        about: "DRR admission gate: concurrent lanes, accounting, typed \
+                overload rejection",
+        run: admission_drr,
+    },
+    Scenario {
+        name: "serve_submit",
+        about: "end-to-end server submits across admission, plan cache, \
+                stats and the shared pool",
+        run: serve_submit,
+    },
+];
+
+/// Look up a scenario by its stable name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    ALL.iter().find(|s| s.name == name)
+}
+
+fn named(i: usize, f: impl FnOnce() + Send + 'static) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("basilisk-check-client-{i}"))
+        .spawn(f)
+        .expect("spawn scenario client")
+}
+
+/// Join every handle, then re-raise the first panic. Joining all before
+/// unwinding matters: a detached client would keep issuing sync ops
+/// into the *next* seed's freshly reset runtime.
+fn join_all(handles: Vec<thread::JoinHandle<()>>) {
+    let mut first: Option<Box<dyn Any + Send>> = None;
+    for h in handles {
+        if let Err(p) = h.join() {
+            first.get_or_insert(p);
+        }
+    }
+    if let Some(p) = first {
+        panic::resume_unwind(p);
+    }
+}
+
+/// The region-table protocol under concurrent coordinators: three
+/// clients each fan two regions of eight mask-producing tasks on a
+/// shared three-worker pool, one round injecting a task failure. Checks
+/// the `run` contract — results complete and in task order, the failed
+/// region's lowest-index error surfaces while survivors are discarded —
+/// and that every pooled buffer settles home (`outstanding() == 0`,
+/// with the ownership registry asserting rule 3 at each recycle).
+fn region_table() {
+    let pool = Arc::new(WorkerPool::new(3).with_morsel_rows(64));
+    let mut handles = Vec::new();
+    for c in 0..3usize {
+        let pool = Arc::clone(&pool);
+        handles.push(named(c, move || {
+            for round in 0..2 {
+                if c == 2 && round == 1 {
+                    let err = pool
+                        .run(
+                            (0..8usize).collect(),
+                            |ctx, t| {
+                                if t == 5 {
+                                    Err(BasiliskError::Exec("injected task failure".into()))
+                                } else {
+                                    Ok(ctx.arena.mask(64 + t))
+                                }
+                            },
+                            |arena, m| arena.recycle_mask(m),
+                        )
+                        .expect_err("task 5 fails the region");
+                    assert_eq!(err.kind(), "exec", "lowest-index error surfaces: {err}");
+                } else {
+                    let out = pool
+                        .run(
+                            (0..8usize).collect(),
+                            |ctx, t| Ok((t, ctx.arena.mask(64 + t))),
+                            |arena, (_, m)| arena.recycle_mask(m),
+                        )
+                        .expect("clean region succeeds");
+                    assert_eq!(out.len(), 8, "every task produced a result");
+                    for (i, (w, (t, m))) in out.into_iter().enumerate() {
+                        assert_eq!(t, i, "results come back in task order");
+                        pool.with_arena(w, |arena| arena.recycle_mask(m));
+                    }
+                }
+            }
+        }));
+    }
+    join_all(handles);
+    assert_eq!(pool.outstanding(), 0, "all buffers settled after regions");
+}
+
+/// The `run_pair` contract from two concurrent clients: a clean pair
+/// returns both results (recycled to their producing workers), a pair
+/// whose second closure fails surfaces that error while the surviving
+/// first result is routed through its discard callback. Arena
+/// settlement is checked at the end.
+fn region_pair() {
+    let pool = Arc::new(WorkerPool::new(2).with_morsel_rows(64));
+    let mut handles = Vec::new();
+    for c in 0..2usize {
+        let pool = Arc::clone(&pool);
+        handles.push(named(c, move || {
+            let ((wa, ma), (wb, mb)) = pool
+                .run_pair(
+                    |ctx| Ok(ctx.arena.mask(128)),
+                    |ctx| Ok(ctx.arena.mask(256)),
+                    |arena, m| arena.recycle_mask(m),
+                    |arena, m| arena.recycle_mask(m),
+                )
+                .expect("clean pair succeeds");
+            pool.with_arena(wa, |arena| arena.recycle_mask(ma));
+            pool.with_arena(wb, |arena| arena.recycle_mask(mb));
+
+            let err = pool
+                .run_pair(
+                    |ctx| Ok(ctx.arena.mask(64)),
+                    |_ctx| Err(BasiliskError::Exec("injected pair failure".into())),
+                    |arena, m| arena.recycle_mask(m),
+                    |arena, m: basilisk_types::TruthMask| arena.recycle_mask(m),
+                )
+                .expect_err("failing side surfaces");
+            assert_eq!(err.kind(), "exec", "{err}");
+        }));
+    }
+    join_all(handles);
+    assert_eq!(pool.outstanding(), 0, "survivor was discarded home");
+}
+
+/// The DRR admission gate: four clients on three lanes with mixed
+/// priorities churn acquire/release through a two-context pool, then
+/// the lane accounting must balance (everything admitted was
+/// dispatched, nothing rejected, queues drained, both contexts back on
+/// the shelf). A second, single-threaded act pins the typed overload
+/// rejection: at `queue_limit` the gate returns `Busy` with a load
+/// snapshot instead of parking the caller.
+fn admission_drr() {
+    let gate = Arc::new(Admission::new(
+        vec![ExecContext::new(1), ExecContext::new(1)],
+        16,
+    ));
+    let stats = Arc::new(StatsRecorder::default());
+    let plan: &[(&str, Priority)] = &[
+        ("alpha", Priority::High),
+        ("alpha", Priority::Normal),
+        ("beta", Priority::Normal),
+        ("gamma", Priority::Low),
+    ];
+    let mut handles = Vec::new();
+    for (i, (client, priority)) in plan.iter().enumerate() {
+        let gate = Arc::clone(&gate);
+        let stats = Arc::clone(&stats);
+        handles.push(named(i, move || {
+            for _ in 0..4 {
+                let (ctx, _waited) = gate
+                    .acquire(client, *priority, &stats)
+                    .expect("well under queue_limit");
+                gate.release(ctx, &stats);
+            }
+        }));
+    }
+    join_all(handles);
+
+    let lanes = gate.lane_stats();
+    assert_eq!(lanes.len(), 3, "one lane per client tag");
+    let (admitted, dispatched, rejected, depth) =
+        lanes
+            .iter()
+            .fold((0u64, 0u64, 0u64, 0u64), |(a, d, r, q), lane| {
+                (
+                    a + lane.admitted,
+                    d + lane.dispatched,
+                    r + lane.rejected,
+                    q + lane.depth,
+                )
+            });
+    assert_eq!(admitted, 16, "every acquire was admitted");
+    assert_eq!(dispatched, 16, "every admitted ticket got a context");
+    assert_eq!(rejected, 0, "no overload under the limit");
+    assert_eq!(depth, 0, "queues drained");
+    assert_eq!(gate.with_free(|_| ()).len(), 2, "both contexts returned");
+
+    // Overload is a typed, immediate rejection — never a parked caller.
+    let tight = Admission::new(vec![ExecContext::new(1)], 1);
+    let (held, _) = tight.acquire("alpha", Priority::Normal, &stats).unwrap();
+    match tight.acquire("beta", Priority::High, &stats) {
+        Err(BasiliskError::Busy {
+            in_flight,
+            queue_depth,
+        }) => {
+            assert_eq!(
+                (in_flight, queue_depth),
+                (1, 0),
+                "load snapshot at rejection"
+            );
+        }
+        Ok(_) => panic!("expected Busy at queue_limit, got an admitted context"),
+        Err(other) => panic!("expected Busy at queue_limit, got {other}"),
+    }
+    tight.release(held, &stats);
+    let (again, _) = tight
+        .acquire("beta", Priority::High, &stats)
+        .expect("free again after release");
+    tight.release(again, &stats);
+}
+
+fn small_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let mut b = TableBuilder::new("title")
+        .column("id", DataType::Int)
+        .column("year", DataType::Int);
+    for i in 0..200i64 {
+        b.push_row(vec![i.into(), (1900 + i % 120).into()]).unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    let mut b = TableBuilder::new("scores")
+        .column("movie_id", DataType::Int)
+        .column("score", DataType::Float);
+    for i in 0..300i64 {
+        b.push_row(vec![(i % 200).into(), ((i % 100) as f64 / 10.0).into()])
+            .unwrap();
+    }
+    cat.add_table(b.finish().unwrap()).unwrap();
+    cat
+}
+
+/// End-to-end serving: three clients push the same disjunctive query
+/// through [`Server::submit`], crossing the admission gate, the plan
+/// cache mutex, the stats atomics and the shared worker pool in one
+/// schedule. All answers must agree and the server must come back to
+/// rest (no outstanding contexts). This is the cross-subsystem
+/// lock-order coverage — cycles between cache, admission and scheduler
+/// locks would surface here.
+fn serve_submit() {
+    const Q: &str = "SELECT t.id FROM title t JOIN scores s ON t.id = s.movie_id \
+                     WHERE t.year > 2000 AND s.score > 7.0 OR t.year < 1910";
+    let srv = Arc::new(Server::new(
+        small_catalog(),
+        ServerConfig::builder()
+            .contexts(2)
+            .workers(2)
+            .queue_limit(32)
+            .build()
+            .unwrap(),
+    ));
+    let counts = Arc::new(basilisk_types::sync::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for c in 0..3usize {
+        let srv = Arc::clone(&srv);
+        let counts = Arc::clone(&counts);
+        handles.push(named(c, move || {
+            let tag = format!("check-client-{c}");
+            for i in 0..3 {
+                let priority = match (c + i) % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                };
+                let resp = srv
+                    .submit(Request::sql(Q).client(&tag).priority(priority))
+                    .expect("submit succeeds under queue_limit");
+                counts.lock().unwrap().push(resp.row_count);
+            }
+        }));
+    }
+    join_all(handles);
+    let counts = counts.lock().unwrap();
+    assert_eq!(counts.len(), 9, "every submit answered");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "all clients saw the same answer: {counts:?}"
+    );
+    drop(counts);
+    assert_eq!(srv.outstanding(), 0, "server back at rest");
+}

@@ -1,0 +1,48 @@
+//! The mutation canary as a test: arm the deliberate
+//! retirement-protocol mutation in `basilisk-sched` (collect results
+//! before the retirement wait) and assert the explorer catches it
+//! within a small seed budget — then assert the same seeds are clean
+//! once disarmed. If this test fails, the checker can no longer detect
+//! protocol breakage and must not be trusted green.
+//!
+//! Single `#[test]` on purpose: the canary switch and the check runtime
+//! are process-global, so this must not share a process with the
+//! corpus test (separate integration-test binaries are separate
+//! processes).
+
+#![forbid(unsafe_code)]
+#![cfg(basilisk_check)]
+
+use basilisk_check::{quiet_panics, run_corpus, scenarios};
+use basilisk_types::sync::check;
+
+#[test]
+fn retirement_mutation_is_detected_then_clean_when_disarmed() {
+    check::set_stall_millis(2000);
+    let region: Vec<_> = scenarios::ALL
+        .iter()
+        .filter(|s| s.name.starts_with("region"))
+        .collect();
+    assert_eq!(region.len(), 2, "both region scenarios participate");
+
+    basilisk_sched::canary::set_collect_before_retire(true);
+    let armed = quiet_panics(|| run_corpus(&region, 0..64, 1));
+    basilisk_sched::canary::set_collect_before_retire(false);
+    assert!(
+        !armed.findings.is_empty(),
+        "explorer missed a deliberate retirement mutation in {} runs",
+        armed.runs
+    );
+    let f = &armed.findings[0];
+    assert!(
+        f.replay_command().contains(&format!("--seed {}", f.seed)),
+        "finding carries its replay seed: {f}"
+    );
+
+    let disarmed = quiet_panics(|| run_corpus(&region, 0..8, 1));
+    assert!(
+        disarmed.is_clean(),
+        "disarmed corpus must be clean: {}",
+        disarmed.findings[0]
+    );
+}

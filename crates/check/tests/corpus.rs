@@ -1,0 +1,32 @@
+//! A small always-on slice of the seed corpus, so plain
+//! `RUSTFLAGS='--cfg basilisk_check' cargo test -p basilisk-check`
+//! exercises every scenario before CI's full 1000-seed run.
+//!
+//! Exactly one `#[test]` lives in this binary: the check runtime is
+//! process-global (seed, lock graph, ownership registry), and parallel
+//! tests resetting it would perturb each other. The canary test lives
+//! in its own binary (= its own process) for the same reason.
+
+#![forbid(unsafe_code)]
+#![cfg(basilisk_check)]
+
+use basilisk_check::{quiet_panics, run_corpus, scenarios};
+use basilisk_types::sync::check;
+
+#[test]
+fn small_corpus_is_clean_across_all_scenarios() {
+    check::set_stall_millis(2000);
+    let picked: Vec<_> = scenarios::ALL.iter().collect();
+    let report = quiet_panics(|| run_corpus(&picked, 0..16, 0));
+    assert_eq!(report.runs, 16 * scenarios::ALL.len() as u64);
+    assert!(
+        report.is_clean(),
+        "corpus findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -25,6 +25,8 @@
 //!   [`basilisk_types::MaskArena`] and recycles it before returning, so
 //!   steady-state pipelines are allocation-free.
 
+#![forbid(unsafe_code)]
+
 mod generalize;
 mod ops;
 mod relation;

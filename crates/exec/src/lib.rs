@@ -10,6 +10,8 @@
 //! tagged engine in `basilisk-core`, which differs only in carrying a
 //! tag → bitmap map alongside the index relation.
 
+#![forbid(unsafe_code)]
+
 mod hash;
 mod ops;
 mod par;

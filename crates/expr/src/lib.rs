@@ -22,6 +22,8 @@
 //!   `(A∧B∧C) ∨ (A∧B∧D) → A∧B∧(C∨D)`, used to derive the
 //!   BPushConj-comparable form of each benchmark query (§5.1).
 
+#![forbid(unsafe_code)]
+
 mod atom;
 mod expr;
 mod factor;

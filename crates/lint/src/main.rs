@@ -1,0 +1,33 @@
+//! Workspace linter entry point: `cargo run -p basilisk-lint` from
+//! anywhere in the repo (CI runs it in the fmt/clippy job). Walks every
+//! first-party `.rs` file, prints findings as `file:line: [rule]
+//! message`, and exits non-zero when anything fires. An optional
+//! argument overrides the workspace root.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        // crates/lint/../.. — stable under `cargo run` from any cwd.
+        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("lint crate lives two levels under the workspace root")
+            .to_path_buf(),
+    };
+    let findings = basilisk_lint::lint_workspace(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("basilisk-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("basilisk-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: façade-only crate importing std::sync locks directly —
+// `sync-facade` must fire (twice: the use group and the inline path).
+
+use std::sync::{Arc, Mutex};
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    unimplemented!()
+}

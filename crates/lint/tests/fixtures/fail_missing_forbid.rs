@@ -1,0 +1,4 @@
+// Fixture: crate root of an unsafe-free crate without the forbid
+// attribute — `forbid-unsafe` must fire.
+
+pub fn entirely_safe() {}

@@ -1,0 +1,5 @@
+// Fixture: undocumented unsafe block — `safety-comment` must fire.
+
+fn read_first(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }
+}

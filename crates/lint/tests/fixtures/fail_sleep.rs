@@ -1,0 +1,7 @@
+// Fixture: sleep on a production path — `no-sleep` must fire.
+
+use std::time::Duration;
+
+fn wait_for_server() {
+    std::thread::sleep(Duration::from_millis(100));
+}

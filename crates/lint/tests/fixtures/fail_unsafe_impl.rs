@@ -1,0 +1,5 @@
+// Fixture: undocumented `unsafe impl` — `safety-comment` must fire.
+
+struct Token(*const u8);
+
+unsafe impl Send for Token {}

@@ -1,0 +1,13 @@
+// Fixture: façade-only crate doing it right — locks come from
+// `basilisk_types::sync`, and non-schedulable `std::sync` types (Arc,
+// Barrier) stay allowed.
+
+use basilisk_types::sync::atomic::{AtomicU64, Ordering};
+use basilisk_types::sync::{Condvar, Mutex};
+use std::sync::{Arc, Barrier};
+
+fn park(m: &Mutex<u32>, cv: &Condvar, n: &AtomicU64) {
+    let g = m.lock().unwrap();
+    n.fetch_add(1, Ordering::SeqCst);
+    let _g = cv.wait(g).unwrap();
+}

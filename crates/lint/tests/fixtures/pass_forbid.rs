@@ -1,0 +1,6 @@
+// Fixture: crate root with the forbid attribute — `forbid-unsafe`
+// stays quiet.
+
+#![forbid(unsafe_code)]
+
+pub fn entirely_safe() {}

@@ -1,0 +1,7 @@
+// Fixture: unsafe block correctly documented — `safety-comment` stays quiet.
+
+fn read_first(v: &[u32]) -> u32 {
+    // SAFETY: the caller guarantees `v` is non-empty, so index 0 is in
+    // bounds.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,15 @@
+// Fixture: sleep confined to a `#[cfg(test)]` module — `no-sleep`
+// stays quiet even though the file itself is production code.
+
+pub fn production_path() {}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    #[test]
+    fn slow_consumer() {
+        std::thread::sleep(Duration::from_millis(1));
+        super::production_path();
+    }
+}

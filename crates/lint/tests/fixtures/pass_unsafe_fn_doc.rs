@@ -1,0 +1,11 @@
+// Fixture: unsafe fn whose contract lives in a `# Safety` doc section —
+// accepted by `safety-comment` just like a `// SAFETY:` comment.
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+/// `v` must be non-empty.
+pub unsafe fn read_first(v: &[u32]) -> u32 {
+    // SAFETY: non-empty per the function contract above.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -63,6 +63,8 @@
 //! property test pins that every error round-trips the envelope with
 //! kind, message, offset and retryability intact.
 
+#![forbid(unsafe_code)]
+
 pub mod http;
 pub mod json;
 pub mod wire;

@@ -16,6 +16,8 @@
 //! * [`QuerySession`] — one-stop API: build a session from a catalog and a
 //!   query, plan under any planner, execute, and collect timings.
 
+#![forbid(unsafe_code)]
+
 mod aplan;
 pub mod benefit;
 mod cost;

@@ -87,10 +87,14 @@
 
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
+// All lock/atomic types come from the façade, never `std::sync`
+// directly (enforced by basilisk-lint): normal builds get the std
+// originals re-exported at zero cost, `--cfg basilisk_check` builds get
+// the schedule-exploring instrumented runtime.
+use basilisk_types::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use basilisk_types::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard};
 use basilisk_types::{BasiliskError, MaskArena, Result, DEFAULT_MORSEL_ROWS};
 
 pub use basilisk_types::Morsel;
@@ -196,8 +200,45 @@ struct Shared {
 /// across a task panic (the panic is re-raised on the coordinator after
 /// its region completes); poisoning would otherwise wedge every later
 /// region of a shared pool.
-fn relock<T>(r: std::sync::LockResult<MutexGuard<'_, T>>) -> MutexGuard<'_, T> {
+fn relock<T>(r: LockResult<MutexGuard<'_, T>>) -> MutexGuard<'_, T> {
     r.unwrap_or_else(|e| e.into_inner())
+}
+
+/// Mutation-style canary for the schedule explorer (`basilisk-check`):
+/// when armed, [`WorkerPool::run`] collects its per-worker results
+/// *before* waiting for region retirement — the "retire-before-last-
+/// result" protocol mutation. Under an explored schedule where some
+/// worker has not yet published, a result is missing and the region
+/// panics, which the explorer must report; a corpus that stays green
+/// with the canary armed has rotted. Compiled only under
+/// `--cfg basilisk_check`; normal builds keep the correct protocol with
+/// no hook at all.
+#[cfg(basilisk_check)]
+pub mod canary {
+    use basilisk_types::sync::atomic::{AtomicBool, Ordering};
+
+    static COLLECT_BEFORE_RETIRE: AtomicBool = AtomicBool::new(false);
+
+    /// Arm or disarm the retire-reorder mutation (global, explorer-only).
+    pub fn set_collect_before_retire(on: bool) {
+        COLLECT_BEFORE_RETIRE.store(on, Ordering::SeqCst);
+    }
+
+    pub(crate) fn collect_before_retire() -> bool {
+        COLLECT_BEFORE_RETIRE.load(Ordering::SeqCst)
+    }
+}
+
+/// Normal builds: the canary does not exist and the branch folds away.
+#[cfg(not(basilisk_check))]
+#[inline(always)]
+fn canary_collect_early() -> bool {
+    false
+}
+
+#[cfg(basilisk_check)]
+fn canary_collect_early() -> bool {
+    canary::collect_before_retire()
 }
 
 fn worker_main(shared: Arc<Shared>, worker: usize) {
@@ -600,6 +641,23 @@ impl WorkerPool {
             (slot_idx, id)
         };
 
+        let collect = |per_worker: &mut Vec<(usize, WorkerOut<R>)>| {
+            for (w, slot) in outs.iter().enumerate() {
+                if let Some(out) = relock(slot.lock()).take() {
+                    per_worker.push((w, out));
+                }
+            }
+        };
+        let mut per_worker: Vec<(usize, WorkerOut<R>)> = Vec::with_capacity(workers);
+        // Canary (check builds only): read the result slots *before* the
+        // region retires — the protocol mutation the explorer must catch.
+        // The retirement wait below still runs either way, so `body`,
+        // `outs` and `deques` stay alive until every worker is out.
+        let collected_early = canary_collect_early();
+        if collected_early {
+            collect(&mut per_worker);
+        }
+
         // Wait for the last participating worker to retire the slot. Ids
         // are never reused, so `id != my_id` (freed, or freed and already
         // reused by another caller) is exactly "my region is done".
@@ -617,11 +675,8 @@ impl WorkerPool {
             "worker thread panicked"
         );
 
-        let mut per_worker: Vec<(usize, WorkerOut<R>)> = Vec::with_capacity(workers);
-        for (w, slot) in outs.iter().enumerate() {
-            if let Some(out) = relock(slot.lock()).take() {
-                per_worker.push((w, out));
-            }
+        if !collected_early {
+            collect(&mut per_worker);
         }
 
         let mut error: Option<(usize, BasiliskError)> = None;
@@ -806,7 +861,7 @@ const _: fn() = || {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use basilisk_types::sync::atomic::AtomicUsize;
     use std::sync::Barrier;
 
     #[test]

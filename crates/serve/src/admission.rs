@@ -41,7 +41,10 @@
 //! re-shelving.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+
+// Locks come from the façade (lint-enforced): normal builds are the std
+// originals, `--cfg basilisk_check` builds are schedule-instrumented.
+use basilisk_types::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use basilisk_plan::ExecContext;
@@ -54,7 +57,7 @@ use crate::stats::{LaneStats, StatsRecorder};
 /// one `Normal` dispatch, so a normal-priority lane dispatches exactly
 /// one request per sweep round; `High` tickets (cost 1) drain two per
 /// round, `Low` tickets (cost 4) one every other round.
-pub(crate) const QUANTUM: u32 = 2;
+pub const QUANTUM: u32 = 2;
 
 /// One queued request: who to grant to, and what it costs.
 struct Ticket {
@@ -159,14 +162,14 @@ impl AdmissionState {
 }
 
 /// The fair admission gate + context pool (see the module docs).
-pub(crate) struct Admission {
+pub struct Admission {
     state: Mutex<AdmissionState>,
     cv: Condvar,
     queue_limit: usize,
 }
 
 impl Admission {
-    pub(crate) fn new(contexts: Vec<ExecContext>, queue_limit: usize) -> Admission {
+    pub fn new(contexts: Vec<ExecContext>, queue_limit: usize) -> Admission {
         Admission {
             state: Mutex::new(AdmissionState {
                 free: contexts,
@@ -187,7 +190,7 @@ impl Admission {
     /// dispatcher assigns it a context. Returns the context and how long
     /// the ticket waited. Rejects with [`BasiliskError::Busy`] when the
     /// system (queued + executing) is at `queue_limit`.
-    pub(crate) fn acquire(
+    pub fn acquire(
         &self,
         client: &str,
         priority: Priority,
@@ -236,7 +239,7 @@ impl Admission {
 
     /// Return a finished request's context (sweeping it first) and run
     /// the dispatcher for the next queued ticket.
-    pub(crate) fn release(&self, ctx: ExecContext, stats: &StatsRecorder) {
+    pub fn release(&self, ctx: ExecContext, stats: &StatsRecorder) {
         // Reclaim everything the finished request no longer references
         // before the context goes back on the shelf.
         ctx.sweep();
@@ -250,12 +253,12 @@ impl Admission {
     }
 
     /// Visit every idle context (used by the leak check).
-    pub(crate) fn with_free<R>(&self, f: impl FnMut(&ExecContext) -> R) -> Vec<R> {
+    pub fn with_free<R>(&self, f: impl FnMut(&ExecContext) -> R) -> Vec<R> {
         self.state.lock().unwrap().free.iter().map(f).collect()
     }
 
     /// Per-lane counter snapshot, sorted by client tag for determinism.
-    pub(crate) fn lane_stats(&self) -> Vec<LaneStats> {
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
         let st = self.state.lock().unwrap();
         let mut lanes: Vec<LaneStats> = st
             .lanes
@@ -278,7 +281,7 @@ impl Admission {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use basilisk_types::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     fn gate(contexts: usize, queue_limit: usize) -> Admission {

@@ -18,8 +18,8 @@
 //! longer accelerate other sessions). Capacity-pressure evictions are
 //! counted for [`ServeStats`](crate::ServeStats).
 
+use basilisk_types::sync::{Arc, Mutex};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 use basilisk_exec::TableSet;
 use basilisk_expr::PredicateTree;

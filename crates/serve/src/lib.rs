@@ -47,11 +47,25 @@
 //! which the repository-level soak suite (`tests/serve_concurrent.rs`)
 //! pins across client counts and planner kinds.
 
+#![forbid(unsafe_code)]
+
+// In check builds (`--cfg basilisk_check`) the admission gate and the
+// stats recorder are exposed (doc-hidden) so the `basilisk-check`
+// explorer can drive the DRR protocol directly under instrumented
+// schedules; normal builds keep both private.
+#[cfg(not(basilisk_check))]
 mod admission;
+#[cfg(basilisk_check)]
+#[doc(hidden)]
+pub mod admission;
 mod api;
 mod cache;
 mod server;
+#[cfg(not(basilisk_check))]
 mod stats;
+#[cfg(basilisk_check)]
+#[doc(hidden)]
+pub mod stats;
 
 pub use api::{ErrorKind, OutputColumns, Priority, Request, Response, ServeError, ServeResult};
 pub use cache::Prepared;

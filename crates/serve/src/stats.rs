@@ -6,7 +6,9 @@
 //! counters are exact; cross-counter relations like `hits + misses ==
 //! statements` hold whenever no request is mid-flight).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// Atomics come from the façade (lint-enforced); every counter update
+// is a schedule point in `--cfg basilisk_check` builds.
+use basilisk_types::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use basilisk_sched::REGION_WAIT_BUCKETS;
@@ -19,7 +21,7 @@ pub const LATENCY_BUCKETS: usize = 24;
 /// The recorder half: shared by every request, snapshot via
 /// [`StatsRecorder::snapshot`].
 #[derive(Default)]
-pub(crate) struct StatsRecorder {
+pub struct StatsRecorder {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -37,25 +39,25 @@ pub(crate) struct StatsRecorder {
 }
 
 impl StatsRecorder {
-    pub(crate) fn cache_hit(&self) {
+    pub fn cache_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn cache_miss(&self) {
+    pub fn cache_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn evicted(&self, n: u64) {
+    pub fn evicted(&self, n: u64) {
         if n > 0 {
             self.evictions.fetch_add(n, Ordering::Relaxed);
         }
     }
 
-    pub(crate) fn prepared(&self) {
+    pub fn prepared(&self) {
         self.prepared.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn executed(&self, latency: Duration) {
+    pub fn executed(&self, latency: Duration) {
         self.executed.fetch_add(1, Ordering::Relaxed);
         let micros = latency.as_micros().min(u64::MAX as u128) as u64;
         self.latency_total_micros
@@ -66,17 +68,17 @@ impl StatsRecorder {
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn error(&self) {
+    pub fn error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn rejected(&self) {
+    pub fn rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A request entered the admission queue; returns nothing but keeps
     /// the high-water mark exact under concurrency (CAS loop).
-    pub(crate) fn enqueued(&self) {
+    pub fn enqueued(&self) {
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         let mut high = self.queue_high_water.load(Ordering::Relaxed);
         while depth > high {
@@ -92,11 +94,11 @@ impl StatsRecorder {
         }
     }
 
-    pub(crate) fn dequeued(&self) {
+    pub fn dequeued(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self) -> ServeStats {
+    pub fn snapshot(&self) -> ServeStats {
         ServeStats {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),

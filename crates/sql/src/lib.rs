@@ -23,6 +23,8 @@
 //! plan-cache key and the extracted parameter vector ([`bind_params`]
 //! substitutes fresh values back in the same order).
 
+#![forbid(unsafe_code)]
+
 mod lexer;
 mod normalize;
 mod parser;

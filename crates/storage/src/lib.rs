@@ -18,6 +18,8 @@
 //! default for benchmarks, for determinism) or disk-backed (exercised by
 //! tests and the I/O ablation bench).
 
+#![forbid(unsafe_code)]
+
 mod cache;
 mod column;
 mod disk;

@@ -47,6 +47,11 @@
 //! must return to the arena they were checked out of (the scheduler
 //! routes morsel results back to their producing worker's arena), which
 //! keeps every arena's [`MaskArena::outstanding`] accounting exact.
+//! Under `--cfg basilisk_check` that rule is asserted directly: every
+//! mask/bitmap checkout tags the buffer's heap storage with this arena's
+//! id in the check runtime's ownership registry
+//! ([`crate::sync`]), and recycling a buffer into a different arena
+//! panics with a replayable finding.
 
 use std::cell::{Cell, RefCell};
 
@@ -126,11 +131,25 @@ pub struct MaskArena {
     slot_fresh: Cell<usize>,
     slot_reused: Cell<usize>,
     live: Cell<usize>,
+    /// Identity in the `basilisk_check` buffer-ownership registry
+    /// (lazily assigned; 0 = not yet registered).
+    #[cfg(basilisk_check)]
+    check_id: Cell<u64>,
 }
 
 impl MaskArena {
     pub fn new() -> MaskArena {
         MaskArena::default()
+    }
+
+    /// This arena's id in the check runtime's ownership registry,
+    /// assigned on first checkout.
+    #[cfg(basilisk_check)]
+    fn check_id(&self) -> u64 {
+        if self.check_id.get() == 0 {
+            self.check_id.set(crate::sync::check::new_arena_id());
+        }
+        self.check_id.get()
     }
 
     /// The sibling pool for `Arc`-shared output index columns. It lives
@@ -181,7 +200,7 @@ impl MaskArena {
         self.live.set(self.live.get() + 1);
         let words = len.div_ceil(WORD_BITS);
         let pooled = take_fitting(&mut self.masks.borrow_mut(), words, |m| m.words_capacity());
-        match pooled {
+        let m = match pooled {
             Some(mut m) => {
                 self.mask_reused.set(self.mask_reused.get() + 1);
                 m.reset(len);
@@ -191,7 +210,10 @@ impl MaskArena {
                 self.mask_fresh.set(self.mask_fresh.get() + 1);
                 TruthMask::new_false(len)
             }
-        }
+        };
+        #[cfg(basilisk_check)]
+        crate::sync::check::buffer_produced(m.check_key(), self.check_id());
+        m
     }
 
     /// Check out an all-zeros bitmap of `len` bits.
@@ -201,7 +223,7 @@ impl MaskArena {
         let pooled = take_fitting(&mut self.bitmaps.borrow_mut(), words, |b| {
             b.words_capacity()
         });
-        match pooled {
+        let b = match pooled {
             Some(mut b) => {
                 self.bitmap_reused.set(self.bitmap_reused.get() + 1);
                 b.reset(len);
@@ -211,7 +233,10 @@ impl MaskArena {
                 self.bitmap_fresh.set(self.bitmap_fresh.get() + 1);
                 Bitmap::new(len)
             }
-        }
+        };
+        #[cfg(basilisk_check)]
+        crate::sync::check::buffer_produced(b.check_key(), self.check_id());
+        b
     }
 
     /// Check out an all-ones bitmap of `len` bits.
@@ -247,6 +272,8 @@ impl MaskArena {
 
     /// Return a mask to the pool.
     pub fn recycle_mask(&self, mask: TruthMask) {
+        #[cfg(basilisk_check)]
+        crate::sync::check::buffer_recycled(mask.check_key(), self.check_id(), "mask");
         self.live.set(self.live.get().saturating_sub(1));
         let mut pool = self.masks.borrow_mut();
         if pool.len() < MAX_POOLED {
@@ -256,6 +283,8 @@ impl MaskArena {
 
     /// Return a bitmap to the pool.
     pub fn recycle_bitmap(&self, bitmap: Bitmap) {
+        #[cfg(basilisk_check)]
+        crate::sync::check::buffer_recycled(bitmap.check_key(), self.check_id(), "bitmap");
         self.live.set(self.live.get().saturating_sub(1));
         let mut pool = self.bitmaps.borrow_mut();
         if pool.len() < MAX_POOLED {

@@ -249,6 +249,20 @@ impl Bitmap {
         self.words.capacity()
     }
 
+    /// Stable identity of this bitmap's heap storage for the
+    /// `basilisk_check` buffer-ownership registry (0 when there is no
+    /// allocation to track). Pooled bitmaps are reset — never grown —
+    /// between checkouts, so the address is stable across one
+    /// checkout/recycle round trip.
+    #[cfg(basilisk_check)]
+    pub(crate) fn check_key(&self) -> usize {
+        if self.words.capacity() == 0 {
+            0
+        } else {
+            self.words.as_ptr() as usize
+        }
+    }
+
     /// Overwrite word `w`, masking any bits beyond `len` in the tail word
     /// so the zero-tail invariant holds. Used by the word-granular
     /// [`crate::TruthMask::set_word`] kernel entry point.

@@ -75,11 +75,16 @@ mod simd {
         let mut chunks = idx.chunks_exact(8);
         let mut vmax = _mm256_setzero_si256();
         for c in &mut chunks {
-            let v = _mm256_loadu_si256(c.as_ptr() as *const __m256i);
+            // SAFETY: `c` is a full 8-lane chunk of `idx`, so 32 bytes
+            // starting at `c.as_ptr()` are in bounds; `loadu` needs no
+            // alignment.
+            let v = unsafe { _mm256_loadu_si256(c.as_ptr() as *const __m256i) };
             vmax = _mm256_max_epu32(vmax, v);
         }
         let mut lanes = [0u32; 8];
-        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, vmax);
+        // SAFETY: `lanes` is exactly 8 × u32 = 32 writable bytes; `storeu`
+        // needs no alignment.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, vmax) };
         let mut max = lanes.into_iter().max().unwrap_or(0);
         for &i in chunks.remainder() {
             max = max.max(i);
@@ -93,20 +98,37 @@ mod simd {
         // Pass 2: gather straight into `out`'s spare capacity.
         debug_assert!(out.capacity() - out.len() >= idx.len());
         let base = src.as_ptr() as *const i32;
-        let dst = out.as_mut_ptr().add(out.len());
+        // SAFETY: the caller reserved `idx.len()` elements of spare
+        // capacity (debug-asserted above), so `out.len() + idx.len()`
+        // stays within one allocation and `dst` points at its start.
+        let dst = unsafe { out.as_mut_ptr().add(out.len()) };
         let mut chunks = idx.chunks_exact(8);
         let mut j = 0;
         for c in &mut chunks {
-            let iv = _mm256_loadu_si256(c.as_ptr() as *const __m256i);
-            let g = _mm256_i32gather_epi32::<4>(base, iv);
-            _mm256_storeu_si256(dst.add(j) as *mut __m256i, g);
+            // SAFETY: `c` is a full 8-lane chunk of `idx` (32 readable
+            // bytes, unaligned load). The gather reads `base + lane * 4`
+            // for each lane: pass 1 proved every index < src.len() and
+            // the caller guarantees src.len() <= i32::MAX, so each lane
+            // is a non-negative in-bounds offset into `src`. The store
+            // writes 32 bytes at `dst + j`, inside the reserved spare
+            // capacity since j + 8 <= idx.len().
+            unsafe {
+                let iv = _mm256_loadu_si256(c.as_ptr() as *const __m256i);
+                let g = _mm256_i32gather_epi32::<4>(base, iv);
+                _mm256_storeu_si256(dst.add(j) as *mut __m256i, g);
+            }
             j += 8;
         }
         for &i in chunks.remainder() {
-            *dst.add(j) = src[i as usize];
+            // SAFETY: the tail writes stay below idx.len() elements past
+            // `dst`, still inside the reserved spare capacity; `src[i]`
+            // is bounds-checked.
+            unsafe { *dst.add(j) = src[i as usize] };
             j += 1;
         }
-        out.set_len(out.len() + idx.len());
+        // SAFETY: exactly `idx.len()` elements past the old length were
+        // initialized above, and capacity covers them.
+        unsafe { out.set_len(out.len() + idx.len()) };
     }
 }
 

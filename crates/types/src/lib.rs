@@ -31,6 +31,10 @@
 //!   AVX2 path behind the `simd` feature gate);
 //!   [`gather_u32_scalar_into`] is the scalar reference.
 //! * [`BasiliskError`] — the common error type.
+//! * [`sync`] — the synchronization façade every concurrent crate imports
+//!   instead of `std::sync`: plain re-exports in normal builds, the
+//!   schedule-exploring instrumented runtime under `--cfg basilisk_check`
+//!   (driven by the `basilisk-check` crate).
 
 mod arena;
 mod bitmap;
@@ -39,6 +43,7 @@ mod error;
 mod gather;
 mod morsel;
 mod slots;
+pub mod sync;
 mod truth;
 mod truthmask;
 mod valpool;

@@ -1,0 +1,907 @@
+//! Synchronization façade: `std::sync` in normal builds, an instrumented
+//! schedule-exploring runtime under `--cfg basilisk_check`.
+//!
+//! The concurrent core of the engine (`basilisk-sched`'s region table,
+//! `basilisk-serve`'s deficit-round-robin admission gate) enforces its
+//! invariants with tests — but tests only see the schedules the OS
+//! happens to produce. This module is how the repo systematically widens
+//! that set. Every crate that synchronizes imports `Mutex` / `Condvar` /
+//! `RwLock` / atomics **from here instead of `std::sync`** (enforced by
+//! `basilisk-lint` for `sched` and `serve`):
+//!
+//! * **Normal builds** (`cfg(not(basilisk_check))`): every name is a
+//!   plain re-export of the `std::sync` original — zero cost, zero
+//!   behavior change. The bench gates pin this.
+//! * **Check builds** (`RUSTFLAGS="--cfg basilisk_check"`): the same
+//!   names resolve to instrumented wrappers that route every sync
+//!   operation through a global check runtime which
+//!
+//!   1. records a **lock-order graph** (an edge `a → b` whenever a
+//!      thread acquires `b` while holding `a`, per lock instance) and
+//!      panics the moment an edge closes a cycle — a deadlock *potential*
+//!      is reported even when the actual deadlock schedule was not hit;
+//!   2. injects **seeded PCT-style preemptions**: every sync operation
+//!      is a schedule point where the current thread may yield (or spin
+//!      briefly) based on a deterministic per-thread decision stream
+//!      derived from the installed seed, the thread's stable key (its
+//!      name) and its operation count — so a seed corpus explores
+//!      thousands of distinct interleavings and a failing seed re-runs
+//!      the exact perturbation pattern that exposed it;
+//!   3. converts parked condvar waits into bounded slices and panics a
+//!      waiter that exceeds the stall budget — turning **missed wakeups
+//!      and real deadlocks** into replayable findings instead of hung
+//!      CI jobs;
+//!   4. keeps a **buffer-ownership registry** used by
+//!      [`MaskArena`](crate::MaskArena): pooled mask/bitmap buffers are
+//!      tagged with the arena that produced them at checkout and
+//!      asserted to recycle into that same arena (ROADMAP parallel
+//!      ownership rule 3).
+//!
+//! The driver lives in the `basilisk-check` crate: scenarios drive the
+//! region-table and admission protocols under a seed corpus and replay
+//! any failure by seed (`cargo run -p basilisk-check --bin check_model`
+//! with `RUSTFLAGS="--cfg basilisk_check"`).
+//!
+//! Only the API surface the engine actually uses is wrapped (`lock`,
+//! `wait`, `notify_*`, `read`/`write`, and the atomic ops on
+//! `AtomicBool`/`AtomicU64`/`AtomicUsize`). `Arc`, `Barrier`,
+//! `LockResult` and friends are always the `std` originals.
+
+#[cfg(not(basilisk_check))]
+pub use std::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Atomic types routed through the façade (plus `Ordering`, which is
+/// always the `std` enum).
+#[cfg(not(basilisk_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(basilisk_check)]
+pub use std::sync::{Arc, LockResult};
+
+#[cfg(basilisk_check)]
+pub use instrumented::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Atomic types routed through the façade (plus `Ordering`, which is
+/// always the `std` enum).
+#[cfg(basilisk_check)]
+pub mod atomic {
+    pub use super::instrumented::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}
+
+/// Control surface of the check runtime: seed installation, counter
+/// snapshots, and the arena buffer-ownership registry. Only present in
+/// `--cfg basilisk_check` builds; the `basilisk-check` explorer is the
+/// intended caller.
+#[cfg(basilisk_check)]
+pub mod check {
+    pub use super::instrumented::{
+        buffer_produced, buffer_recycled, new_arena_id, reset, set_seed, set_stall_millis, stats,
+        CheckStats,
+    };
+}
+
+#[cfg(basilisk_check)]
+mod instrumented {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::ops::{Deref, DerefMut};
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as O};
+    use std::sync::{
+        Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+        OnceLock, PoisonError, RwLock as StdRwLock,
+    };
+    use std::time::Duration;
+
+    /// Granularity of instrumented condvar waits: a parked waiter wakes
+    /// every slice to account its stall budget.
+    const STALL_SLICE_MS: u64 = 50;
+    /// Default stall budget before a parked waiter panics with a
+    /// missed-wakeup / deadlock finding.
+    const DEFAULT_STALL_MS: u64 = 5_000;
+
+    // ---------------------------------------------------------------
+    // Runtime singleton
+    // ---------------------------------------------------------------
+
+    #[derive(Default)]
+    struct Graph {
+        /// `edges[a]` holds every lock `b` some thread acquired while
+        /// holding `a`.
+        edges: HashMap<u64, Vec<u64>>,
+        created: HashMap<u64, &'static Location<'static>>,
+    }
+
+    impl Graph {
+        /// Depth-first path search `from ⟶* to` over the edge set.
+        fn path_exists(&self, from: u64, to: u64, seen: &mut Vec<u64>) -> bool {
+            if from == to {
+                return true;
+            }
+            if seen.contains(&from) {
+                return false;
+            }
+            seen.push(from);
+            self.edges
+                .get(&from)
+                .is_some_and(|next| next.iter().any(|&n| self.path_exists(n, to, seen)))
+        }
+
+        fn loc(&self, id: u64) -> String {
+            self.created
+                .get(&id)
+                .map(|l| format!("{}:{}", l.file(), l.line()))
+                .unwrap_or_else(|| format!("lock #{id}"))
+        }
+    }
+
+    struct Runtime {
+        seed: StdAtomicU64,
+        stall_millis: StdAtomicU64,
+        next_lock: StdAtomicU64,
+        next_thread: StdAtomicU64,
+        next_arena: StdAtomicU64,
+        schedule_points: StdAtomicU64,
+        yields: StdAtomicU64,
+        stalls: StdAtomicU64,
+        graph: StdMutex<Graph>,
+        /// Buffer-ownership registry: heap address of a pooled buffer →
+        /// the arena id that checked it out.
+        owners: StdMutex<HashMap<usize, u64>>,
+    }
+
+    fn rt() -> &'static Runtime {
+        static RT: OnceLock<Runtime> = OnceLock::new();
+        RT.get_or_init(|| Runtime {
+            seed: StdAtomicU64::new(0),
+            stall_millis: StdAtomicU64::new(DEFAULT_STALL_MS),
+            next_lock: StdAtomicU64::new(1),
+            next_thread: StdAtomicU64::new(1),
+            next_arena: StdAtomicU64::new(1),
+            schedule_points: StdAtomicU64::new(0),
+            yields: StdAtomicU64::new(0),
+            stalls: StdAtomicU64::new(0),
+            graph: StdMutex::new(Graph::default()),
+            owners: StdMutex::new(HashMap::new()),
+        })
+    }
+
+    fn relock<T>(r: LockResult<StdMutexGuard<'_, T>>) -> StdMutexGuard<'_, T> {
+        r.unwrap_or_else(PoisonError::into_inner)
+    }
+
+    // ---------------------------------------------------------------
+    // Control surface (re-exported as `sync::check`)
+    // ---------------------------------------------------------------
+
+    /// Counter snapshot of the check runtime since the last [`reset`].
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct CheckStats {
+        /// Sync operations that passed through a schedule point.
+        pub schedule_points: u64,
+        /// Schedule points at which the runtime injected a preemption.
+        pub yields: u64,
+        /// Condvar waits that blew their stall budget (each also
+        /// panicked in the waiting thread).
+        pub stalls: u64,
+        /// Edges currently in the lock-order graph.
+        pub lock_edges: u64,
+        /// Buffers currently tracked by the ownership registry.
+        pub tracked_buffers: u64,
+    }
+
+    /// Install the exploration seed for subsequent schedule decisions.
+    pub fn set_seed(seed: u64) {
+        rt().seed.store(seed, O::SeqCst);
+    }
+
+    /// Override the condvar stall budget (missed-wakeup detection
+    /// threshold) in milliseconds.
+    pub fn set_stall_millis(ms: u64) {
+        rt().stall_millis.store(ms.max(STALL_SLICE_MS), O::SeqCst);
+    }
+
+    /// Clear the lock-order graph, the ownership registry, the counters
+    /// and the calling thread's decision stream — called by the explorer
+    /// between seeds so findings never leak across runs.
+    pub fn reset() {
+        let r = rt();
+        r.schedule_points.store(0, O::SeqCst);
+        r.yields.store(0, O::SeqCst);
+        r.stalls.store(0, O::SeqCst);
+        {
+            let mut g = relock(r.graph.lock());
+            g.edges.clear();
+            g.created.clear();
+        }
+        relock(r.owners.lock()).clear();
+        THREAD.with(|t| *t.borrow_mut() = None);
+        HELD.with(|h| h.borrow_mut().clear());
+    }
+
+    /// Snapshot the runtime counters.
+    pub fn stats() -> CheckStats {
+        let r = rt();
+        CheckStats {
+            schedule_points: r.schedule_points.load(O::SeqCst),
+            yields: r.yields.load(O::SeqCst),
+            stalls: r.stalls.load(O::SeqCst),
+            lock_edges: relock(r.graph.lock())
+                .edges
+                .values()
+                .map(|v| v.len() as u64)
+                .sum(),
+            tracked_buffers: relock(r.owners.lock()).len() as u64,
+        }
+    }
+
+    /// Allocate a fresh arena id for the buffer-ownership registry.
+    pub fn new_arena_id() -> u64 {
+        rt().next_arena.fetch_add(1, O::SeqCst)
+    }
+
+    /// Record that arena `arena` checked out the buffer whose heap
+    /// storage starts at `key` (0 = untracked, e.g. a zero-capacity
+    /// buffer).
+    pub fn buffer_produced(key: usize, arena: u64) {
+        if key == 0 {
+            return;
+        }
+        relock(rt().owners.lock()).insert(key, arena);
+    }
+
+    /// Assert ROADMAP ownership rule 3 at recycle time: a tracked buffer
+    /// must return to the arena that produced it. Unknown keys (buffers
+    /// born outside any arena, or whose storage was reallocated while
+    /// checked out) are allowed through.
+    pub fn buffer_recycled(key: usize, arena: u64, shape: &'static str) {
+        if key == 0 {
+            return;
+        }
+        if let Some(owner) = relock(rt().owners.lock()).remove(&key) {
+            assert!(
+                owner == arena,
+                "basilisk-check: {shape} buffer produced by arena #{owner} was recycled \
+                 into arena #{arena} — buffers must return to the arena that produced them \
+                 (ROADMAP parallel ownership rule 3)"
+            );
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Schedule points + lock-order tracking
+    // ---------------------------------------------------------------
+
+    struct ThreadState {
+        key: u64,
+        ops: u64,
+    }
+
+    thread_local! {
+        static THREAD: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+        /// Lock ids currently held by this thread, acquisition order.
+        static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    fn fnv(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// A stable per-thread key: named threads (resident workers, the
+    /// explorer's coordinators) hash their name so the same logical
+    /// thread replays the same decision stream across runs; unnamed
+    /// threads fall back to registration order.
+    fn thread_decision(seed: u64) -> u64 {
+        THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            let st = t.get_or_insert_with(|| ThreadState {
+                key: match std::thread::current().name() {
+                    Some(name) => fnv(name),
+                    None => rt().next_thread.fetch_add(1, O::SeqCst) ^ 0x517c_c1b7_2722_0a95,
+                },
+                ops: 0,
+            });
+            st.ops = st.ops.wrapping_add(1);
+            splitmix(seed ^ st.key.rotate_left(17) ^ st.ops)
+        })
+    }
+
+    /// The heart of the explorer: every sync operation lands here, and
+    /// the seeded decision stream of the current thread decides whether
+    /// to keep running or hand the core over (optionally widening the
+    /// window with a short spin first). PCT-flavored: each thread's
+    /// preemption appetite is itself seed-derived, so some seeds starve a
+    /// coordinator, others a worker.
+    fn schedule_point() {
+        let r = rt();
+        r.schedule_points.fetch_add(1, O::Relaxed);
+        let seed = r.seed.load(O::Relaxed);
+        let d = thread_decision(seed);
+        let appetite = 20 + (splitmix(seed ^ (d >> 32)) % 250);
+        if d % 1000 < appetite {
+            r.yields.fetch_add(1, O::Relaxed);
+            if d & (1 << 12) != 0 {
+                for _ in 0..((d >> 20) & 0x1ff) {
+                    std::hint::spin_loop();
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Record the intent to acquire `id`: schedule point, then for every
+    /// lock already held add an order edge and fail on cycle formation.
+    fn lock_acquiring(id: u64, loc: &'static Location<'static>) {
+        schedule_point();
+        let held: Vec<u64> = HELD.with(|h| h.borrow().clone());
+        if held.contains(&id) {
+            let g = relock(rt().graph.lock());
+            panic!(
+                "basilisk-check: re-entrant acquisition of lock {} — self-deadlock",
+                g.loc(id)
+            );
+        }
+        if held.is_empty() {
+            return;
+        }
+        let mut g = relock(rt().graph.lock());
+        g.created.entry(id).or_insert(loc);
+        for &h in &held {
+            if g.edges.get(&h).is_some_and(|next| next.contains(&id)) {
+                continue;
+            }
+            // Inserting h → id closes a cycle iff id already reaches h.
+            let mut seen = Vec::new();
+            if g.path_exists(id, h, &mut seen) {
+                let chain: Vec<String> = seen.iter().map(|&n| g.loc(n)).collect();
+                panic!(
+                    "basilisk-check: lock-order cycle — acquiring {} while holding {} \
+                     closes a cycle (existing reverse path through [{}]); a schedule \
+                     interleaving these acquisition orders deadlocks",
+                    g.loc(id),
+                    g.loc(h),
+                    chain.join(" -> "),
+                );
+            }
+            g.edges.entry(h).or_default().push(id);
+        }
+    }
+
+    fn lock_acquired(id: u64) {
+        HELD.with(|h| h.borrow_mut().push(id));
+    }
+
+    fn lock_released(id: u64) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(pos) = h.iter().rposition(|&x| x == id) {
+                h.remove(pos);
+            }
+        });
+    }
+
+    fn new_lock_id(loc: &'static Location<'static>) -> u64 {
+        let id = rt().next_lock.fetch_add(1, O::SeqCst);
+        relock(rt().graph.lock()).created.insert(id, loc);
+        id
+    }
+
+    // ---------------------------------------------------------------
+    // Mutex / Condvar / RwLock wrappers
+    // ---------------------------------------------------------------
+
+    /// Instrumented drop-in for [`std::sync::Mutex`].
+    pub struct Mutex<T: ?Sized> {
+        id: u64,
+        loc: &'static Location<'static>,
+        inner: StdMutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        #[track_caller]
+        pub fn new(value: T) -> Mutex<T> {
+            let loc = Location::caller();
+            Mutex {
+                id: new_lock_id(loc),
+                loc,
+                inner: StdMutex::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            lock_acquiring(self.id, self.loc);
+            match self.inner.lock() {
+                Ok(g) => {
+                    lock_acquired(self.id);
+                    Ok(MutexGuard {
+                        id: self.id,
+                        loc: self.loc,
+                        inner: Some(g),
+                    })
+                }
+                Err(p) => {
+                    lock_acquired(self.id);
+                    Err(PoisonError::new(MutexGuard {
+                        id: self.id,
+                        loc: self.loc,
+                        inner: Some(p.into_inner()),
+                    }))
+                }
+            }
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        #[track_caller]
+        fn default() -> Mutex<T> {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// Guard for the instrumented [`Mutex`]; pops the held-lock stack on
+    /// drop.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        id: u64,
+        loc: &'static Location<'static>,
+        inner: Option<StdMutexGuard<'a, T>>,
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                lock_released(self.id);
+            }
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard holds the lock")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard holds the lock")
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            (**self).fmt(f)
+        }
+    }
+
+    /// Instrumented drop-in for [`std::sync::Condvar`]: waits run in
+    /// bounded slices so a waiter that never gets its wakeup becomes a
+    /// replayable stall finding instead of a hung process.
+    pub struct Condvar {
+        inner: StdCondvar,
+    }
+
+    impl Condvar {
+        pub const fn new() -> Condvar {
+            Condvar {
+                inner: StdCondvar::new(),
+            }
+        }
+
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let id = guard.id;
+            let loc = guard.loc;
+            let std_guard = guard.inner.take().expect("guard holds the lock");
+            lock_released(id);
+            schedule_point();
+            let rewrap = |g: StdMutexGuard<'a, T>| {
+                lock_acquired(id);
+                MutexGuard {
+                    id,
+                    loc,
+                    inner: Some(g),
+                }
+            };
+            let budget = rt().stall_millis.load(O::Relaxed);
+            let mut waited = 0u64;
+            let mut g = std_guard;
+            loop {
+                match self
+                    .inner
+                    .wait_timeout(g, Duration::from_millis(STALL_SLICE_MS))
+                {
+                    Ok((back, timeout)) => {
+                        if !timeout.timed_out() {
+                            return Ok(rewrap(back));
+                        }
+                        waited += STALL_SLICE_MS;
+                        if waited >= budget {
+                            rt().stalls.fetch_add(1, O::Relaxed);
+                            // Rewrap before panicking so the lock is
+                            // released (and HELD stays exact) during
+                            // unwind.
+                            let _guard = rewrap(back);
+                            panic!(
+                                "basilisk-check: condvar wait stalled for {waited} ms on the \
+                                 mutex created at {} — possible missed wakeup or deadlock",
+                                loc,
+                            );
+                        }
+                        g = back;
+                    }
+                    Err(p) => {
+                        let (back, _) = p.into_inner();
+                        return Err(PoisonError::new(rewrap(back)));
+                    }
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            schedule_point();
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            schedule_point();
+            self.inner.notify_all();
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
+    /// Instrumented drop-in for [`std::sync::RwLock`]. Reader and writer
+    /// acquisitions share one node in the lock-order graph (the cycle
+    /// report does not distinguish the mode).
+    pub struct RwLock<T: ?Sized> {
+        id: u64,
+        loc: &'static Location<'static>,
+        inner: StdRwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        #[track_caller]
+        pub fn new(value: T) -> RwLock<T> {
+            let loc = Location::caller();
+            RwLock {
+                id: new_lock_id(loc),
+                loc,
+                inner: StdRwLock::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            lock_acquiring(self.id, self.loc);
+            match self.inner.read() {
+                Ok(g) => {
+                    lock_acquired(self.id);
+                    Ok(RwLockReadGuard {
+                        id: self.id,
+                        inner: Some(g),
+                    })
+                }
+                Err(p) => {
+                    lock_acquired(self.id);
+                    Err(PoisonError::new(RwLockReadGuard {
+                        id: self.id,
+                        inner: Some(p.into_inner()),
+                    }))
+                }
+            }
+        }
+
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            lock_acquiring(self.id, self.loc);
+            match self.inner.write() {
+                Ok(g) => {
+                    lock_acquired(self.id);
+                    Ok(RwLockWriteGuard {
+                        id: self.id,
+                        inner: Some(g),
+                    })
+                }
+                Err(p) => {
+                    lock_acquired(self.id);
+                    Err(PoisonError::new(RwLockWriteGuard {
+                        id: self.id,
+                        inner: Some(p.into_inner()),
+                    }))
+                }
+            }
+        }
+    }
+
+    /// Guard for [`RwLock::read`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        id: u64,
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                lock_released(self.id);
+            }
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard holds the lock")
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            (**self).fmt(f)
+        }
+    }
+
+    /// Guard for [`RwLock::write`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        id: u64,
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                lock_released(self.id);
+            }
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard holds the lock")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard holds the lock")
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            (**self).fmt(f)
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Atomics
+    // ---------------------------------------------------------------
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:path, $prim:ty) => {
+            /// Instrumented drop-in for the `std` atomic of the same
+            /// name: every operation is a schedule point.
+            #[derive(Default, Debug)]
+            pub struct $name(pub(self) $std);
+
+            impl $name {
+                pub const fn new(v: $prim) -> $name {
+                    $name(<$std>::new(v))
+                }
+
+                pub fn load(&self, order: super::atomic::Ordering) -> $prim {
+                    schedule_point();
+                    self.0.load(order)
+                }
+
+                pub fn store(&self, v: $prim, order: super::atomic::Ordering) {
+                    schedule_point();
+                    self.0.store(v, order);
+                }
+
+                pub fn swap(&self, v: $prim, order: super::atomic::Ordering) -> $prim {
+                    schedule_point();
+                    self.0.swap(v, order)
+                }
+            }
+        };
+    }
+
+    macro_rules! instrumented_atomic_int {
+        ($name:ident, $std:path, $prim:ty) => {
+            instrumented_atomic!($name, $std, $prim);
+
+            impl $name {
+                pub fn fetch_add(&self, v: $prim, order: super::atomic::Ordering) -> $prim {
+                    schedule_point();
+                    self.0.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $prim, order: super::atomic::Ordering) -> $prim {
+                    schedule_point();
+                    self.0.fetch_sub(v, order)
+                }
+
+                pub fn fetch_max(&self, v: $prim, order: super::atomic::Ordering) -> $prim {
+                    schedule_point();
+                    self.0.fetch_max(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: super::atomic::Ordering,
+                    failure: super::atomic::Ordering,
+                ) -> Result<$prim, $prim> {
+                    schedule_point();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: super::atomic::Ordering,
+                    failure: super::atomic::Ordering,
+                ) -> Result<$prim, $prim> {
+                    schedule_point();
+                    self.0.compare_exchange_weak(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    instrumented_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    instrumented_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// The runtime is process-global, so tests that `reset()` it must
+        /// not interleave: the default harness runs tests on parallel
+        /// threads, and one test's reset would erase another's lock-order
+        /// edges mid-assertion.
+        static SERIAL: StdMutex<()> = StdMutex::new(());
+
+        fn serial() -> StdMutexGuard<'static, ()> {
+            SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Opposite-order acquisition of the same lock pair must be
+        /// reported as a cycle at edge-formation time — no actual
+        /// deadlock schedule needed.
+        #[test]
+        fn lock_order_cycle_is_reported() {
+            let _s = serial();
+            reset();
+            let a = Mutex::new(0u32);
+            let b = Mutex::new(0u32);
+            {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            }
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("lock-order cycle"), "{msg}");
+            reset();
+        }
+
+        #[test]
+        fn consistent_order_is_clean() {
+            let _s = serial();
+            reset();
+            let a = Mutex::new(0u32);
+            let b = Mutex::new(0u32);
+            for _ in 0..3 {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            }
+            assert_eq!(stats().stalls, 0);
+            reset();
+        }
+
+        #[test]
+        fn reentrant_lock_is_reported() {
+            let _s = serial();
+            reset();
+            let a = Mutex::new(0u32);
+            let _g = a.lock().unwrap();
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _again = a.lock().unwrap();
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("re-entrant"), "{msg}");
+            reset();
+        }
+
+        /// A waiter whose notify never comes panics with a stall finding
+        /// instead of hanging the process.
+        #[test]
+        fn missed_wakeup_stalls_and_panics() {
+            let _s = serial();
+            reset();
+            set_stall_millis(100);
+            let m = Mutex::new(());
+            let cv = Condvar::new();
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let g = m.lock().unwrap();
+                let _g = cv.wait(g).unwrap();
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("stalled"), "{msg}");
+            assert_eq!(stats().stalls, 1);
+            set_stall_millis(super::DEFAULT_STALL_MS);
+            reset();
+        }
+
+        #[test]
+        fn ownership_registry_catches_cross_arena_recycle() {
+            let _s = serial();
+            reset();
+            let a = new_arena_id();
+            let b = new_arena_id();
+            buffer_produced(0x1000, a);
+            let err = std::panic::catch_unwind(|| {
+                buffer_recycled(0x1000, b, "mask");
+            })
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("recycled"), "{msg}");
+            // Same-arena round trip is clean.
+            buffer_produced(0x2000, a);
+            buffer_recycled(0x2000, a, "mask");
+            reset();
+        }
+
+        /// Same seed, same thread name, same op index → same decision;
+        /// different seeds diverge. (The decision stream is what makes a
+        /// failing seed replay its perturbation pattern.)
+        #[test]
+        fn decision_stream_is_seed_deterministic() {
+            let stream = |seed: u64| -> Vec<u64> {
+                (1..64u64)
+                    .map(|op| splitmix(seed ^ fnv("basilisk-worker-0").rotate_left(17) ^ op))
+                    .collect()
+            };
+            assert_eq!(stream(7), stream(7));
+            assert_ne!(stream(7), stream(8));
+        }
+    }
+}

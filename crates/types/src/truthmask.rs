@@ -208,6 +208,14 @@ impl TruthMask {
         &self.tru
     }
 
+    /// Storage identity for the `basilisk_check` buffer-ownership
+    /// registry — delegates to the `tru` bitmap, whose heap buffer is
+    /// stable across a pooled checkout/recycle round trip.
+    #[cfg(basilisk_check)]
+    pub(crate) fn check_key(&self) -> usize {
+        self.tru.check_key()
+    }
+
     /// Lanes that are `Unknown`.
     pub fn unknowns(&self) -> &Bitmap {
         &self.unk

@@ -17,6 +17,8 @@
 //! See DESIGN.md §3 for why these substitutions preserve the paper's
 //! experimental conditions.
 
+#![forbid(unsafe_code)]
+
 pub mod imdb;
 pub mod job;
 pub mod synthetic;

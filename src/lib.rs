@@ -3,4 +3,6 @@
 //! Re-exports the public API of the [`basilisk`] crate so examples and
 //! integration tests can use a single import root.
 
+#![forbid(unsafe_code)]
+
 pub use basilisk::*;
