@@ -58,7 +58,7 @@ pub use basilisk_core::{Tag, TagMapBuilder, TagMapStrategy};
 pub use basilisk_expr::{
     and, col, factor_common_conjuncts, lit, not, or, Atom, CmpOp, ColumnRef, Expr, PredicateTree,
 };
-pub use basilisk_net::{Client, Listener, RemotePrepared, WireResponse};
+pub use basilisk_net::{Client, Json, Listener, RemotePrepared, WireResponse};
 pub use basilisk_plan::{
     ExecContext, JoinCond, Plan, PlanTimings, PlannerKind, Query, QueryOutput, QuerySession,
 };

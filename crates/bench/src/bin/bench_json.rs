@@ -422,6 +422,52 @@ fn main() {
         }),
     );
 
+    // --- tracing disabled-path overhead ----------------------------------
+    // Request tracing is per-request opt-in; untraced requests must pay
+    // only an `Option` check per recording site plus one slow-ring
+    // threshold compare. Baseline = a server whose slow log is disabled
+    // outright (threshold `u64::MAX`); candidate = the default
+    // observability config (10ms threshold — never tripped by these
+    // sub-ms cached statements). Same statements, same single worker,
+    // serial submission on one thread, so the ratio isolates the
+    // untraced bookkeeping. Gated as a ceiling (`trace_overhead_max`):
+    // rising past it means the disabled path stopped being near-free.
+    let trace_server = |threshold: u64| {
+        let server = basilisk::Server::new(
+            cat_srv.clone(),
+            basilisk::ServerConfig::builder()
+                .contexts(1)
+                .workers(1)
+                .slow_threshold_micros(threshold)
+                .build()
+                .unwrap(),
+        );
+        for sql in requests_ref {
+            server.sql(sql).unwrap(); // warm the plan cache
+        }
+        server
+    };
+    let untraced_srv = trace_server(u64::MAX);
+    report.push(
+        "serve/untraced_baseline",
+        time_ns(samples.min(10), || {
+            requests_ref
+                .iter()
+                .map(|sql| untraced_srv.sql(sql).unwrap().row_count)
+                .sum()
+        }),
+    );
+    let default_obs_srv = trace_server(10_000);
+    report.push(
+        "serve/tracing_disabled",
+        time_ns(samples.min(10), || {
+            requests_ref
+                .iter()
+                .map(|sql| default_obs_srv.sql(sql).unwrap().row_count)
+                .sum()
+        }),
+    );
+
     // --- interleaved parallel regions: shared vs exclusive admission ----
     // The multi-query scaling regime the region table targets: 16 clients
     // fire a mixed filter/join workload at a 4-worker server whose
@@ -626,6 +672,8 @@ fn main() {
         report.get("serve/exclusive_region_baseline") / report.get("serve/interleaved_16clients");
     let net_overhead =
         report.get("net/loopback_8clients") / report.get("serve/in_process_baseline");
+    let trace_overhead =
+        report.get("serve/tracing_disabled") / report.get("serve/untraced_baseline");
     let or_fold_gelems = ROWS as f64 / report.get("or_fold/vectorized"); // elems/ns = Gelems/s
     let derived = vec![
         ("or_fold_speedup".to_string(), or_fold_speedup),
@@ -637,6 +685,7 @@ fn main() {
         ("region_interleaving".to_string(), region_interleaving),
         ("net_overhead".to_string(), net_overhead),
         ("net_p99_micros".to_string(), net_p99_micros),
+        ("trace_overhead".to_string(), trace_overhead),
         ("or_fold_gelems_per_s".to_string(), or_fold_gelems),
     ];
     println!("  or_fold_speedup      {or_fold_speedup:.1}x");
@@ -652,6 +701,9 @@ fn main() {
         "  net_overhead         {net_overhead:.2}x (loopback HTTP/JSON vs in-process, 8 clients)"
     );
     println!("  net_p99_micros       {net_p99_micros:.0} us (client-observed wire p99)");
+    println!(
+        "  trace_overhead       {trace_overhead:.3}x (default observability vs disabled slow log, untraced)"
+    );
 
     std::fs::write(&out_path, report.to_json(&derived)).expect("write BENCH_eval.json");
     println!("wrote {out_path}");
@@ -715,8 +767,11 @@ fn main() {
     for (key, measured) in [
         ("net_overhead", net_overhead),
         ("net_p99_micros", net_p99_micros),
+        ("trace_overhead", trace_overhead),
     ] {
-        if cores < 4 {
+        // trace_overhead is serial on one worker thread, so it measures
+        // the code on any host; only the wire metrics need 4 cores.
+        if cores < 4 && key != "trace_overhead" {
             println!("gate skipped: {key} = {measured:.2} (host has {cores} core(s), need 4)");
             continue;
         }

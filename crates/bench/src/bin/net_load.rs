@@ -148,6 +148,13 @@ fn main() {
         );
     }
 
+    // Pull the Prometheus exposition and the slow-query ring over the
+    // wire and validate their shape — the net-smoke job's check that
+    // the observability endpoints stay well-formed under real load.
+    let mut probe = Client::connect(addr).expect("metrics client");
+    let metrics = probe.metrics().expect("GET /v1/metrics");
+    let slow = probe.slow().expect("GET /v1/slow");
+
     let mut failed = false;
     let mut check = |ok: bool, what: &str| {
         if !ok {
@@ -166,6 +173,44 @@ fn main() {
             &format!("client p99 {p99} us exceeds ceiling {ceiling} us"),
         );
     }
+    for family in [
+        "basilisk_serve_statements_executed_total",
+        "basilisk_serve_cache_hits_total",
+        "basilisk_serve_latency_micros_bucket",
+        "basilisk_serve_lane_admitted_total",
+        "basilisk_sched_workers",
+        "basilisk_sched_tasks_total",
+        "basilisk_arena_outstanding",
+    ] {
+        check(
+            metrics.contains(family),
+            &format!("metrics exposition missing family {family}"),
+        );
+    }
+    for line in metrics.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let well_formed = line
+            .rsplit_once(' ')
+            .is_some_and(|(name, value)| !name.is_empty() && value.parse::<f64>().is_ok());
+        check(well_formed, &format!("malformed exposition line: {line}"));
+    }
+    check(
+        metrics.contains(&format!(
+            "basilisk_serve_statements_executed_total {}",
+            stats.statements_executed
+        )),
+        "exposition disagrees with the stats snapshot on statements_executed",
+    );
+    check(
+        slow.get("ok").and_then(basilisk::Json::as_bool) == Some(true)
+            && slow
+                .get("slow")
+                .and_then(basilisk::Json::as_array)
+                .is_some(),
+        "slow-query document malformed",
+    );
     drop(listener);
     if failed {
         std::process::exit(1);

@@ -61,6 +61,12 @@ pub const ALL: &[Scenario] = &[
                 stats and the shared pool",
         run: serve_submit,
     },
+    Scenario {
+        name: "slow_ring",
+        about: "traced submits racing the lock-free slow-query ring \
+                against a concurrent reader",
+        run: slow_ring,
+    },
 ];
 
 /// Look up a scenario by its stable name.
@@ -321,5 +327,71 @@ fn serve_submit() {
         "all clients saw the same answer: {counts:?}"
     );
     drop(counts);
+    assert_eq!(srv.outstanding(), 0, "server back at rest");
+}
+
+/// The slow-query ring under concurrent traced writers and a racing
+/// reader: three clients submit traced requests through a server whose
+/// threshold records *every* request into a four-slot ring, while a
+/// fourth thread snapshots the ring mid-flight. The contract: a
+/// snapshot is always bounded by capacity, newest-first with strictly
+/// decreasing unique sequence numbers, every entry is internally
+/// consistent (a well-formed trace whose root is "request"), and the
+/// server settles (`outstanding() == 0`) when the writers drain.
+fn slow_ring() {
+    const Q: &str = "SELECT t.id FROM title t JOIN scores s ON t.id = s.movie_id \
+                     WHERE t.year > 2000 AND s.score > 7.0 OR t.year < 1910";
+    const CAPACITY: usize = 4;
+    let srv = Arc::new(Server::new(
+        small_catalog(),
+        ServerConfig::builder()
+            .contexts(2)
+            .workers(1)
+            .queue_limit(32)
+            .slow_threshold_micros(0) // every request is "slow"
+            .slow_log_capacity(CAPACITY)
+            .build()
+            .unwrap(),
+    ));
+    let mut handles = Vec::new();
+    for c in 0..3usize {
+        let srv = Arc::clone(&srv);
+        handles.push(named(c, move || {
+            let tag = format!("check-client-{c}");
+            for _ in 0..3 {
+                let resp = srv
+                    .submit(Request::sql(Q).client(&tag).trace(true))
+                    .expect("submit succeeds under queue_limit");
+                let trace = resp.trace.as_ref().expect("trace requested");
+                assert!(trace.is_well_formed(), "spans nest and close");
+            }
+        }));
+    }
+    // The reader races the writers: every snapshot it takes must honor
+    // the ring invariants even while pushes are landing.
+    {
+        let srv = Arc::clone(&srv);
+        handles.push(named(3, move || {
+            for _ in 0..6 {
+                let snap = srv.slow_queries();
+                assert!(snap.len() <= CAPACITY, "ring stays bounded");
+                assert!(
+                    snap.windows(2).all(|w| w[0].0 > w[1].0),
+                    "newest first, unique seqs: {:?}",
+                    snap.iter().map(|(s, _)| *s).collect::<Vec<_>>()
+                );
+                for (_, q) in &snap {
+                    assert_eq!(q.priority, "normal");
+                    let trace = q.trace.as_ref().expect("every request was traced");
+                    assert_eq!(trace.name, "request", "entry is internally consistent");
+                    assert!(trace.is_well_formed());
+                }
+            }
+        }));
+    }
+    join_all(handles);
+    let snap = srv.slow_queries();
+    assert_eq!(snap.len(), CAPACITY, "9 pushes filled the 4-slot ring");
+    assert_eq!(snap[0].0, 8, "newest sequence number is pushes - 1");
     assert_eq!(srv.outstanding(), 0, "server back at rest");
 }

@@ -35,8 +35,8 @@ mod tagmap;
 
 pub use generalize::{generalize_tag, generalize_tag_closed, root_truth};
 pub use ops::{
-    tagged_filter, tagged_filter_par, tagged_join, tagged_join_par, tagged_project,
-    tagged_select_final,
+    filter_atom_profiles, tagged_filter, tagged_filter_par, tagged_join, tagged_join_par,
+    tagged_project, tagged_select_final,
 };
 pub use relation::TaggedRelation;
 pub use tag::Tag;

@@ -20,7 +20,7 @@ mod relation;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, JoinTable};
 pub use ops::{
     combine, filter, filter_par, hash_join, hash_join_par, project, project_count, project_in,
-    union_all_dedup, JoinSide,
+    relation_atom_profiles, union_all_dedup, JoinSide,
 };
 pub use par::{eval_mask_parallel, partitioned_probe};
 pub use relation::{join_key, IdxRelation, RelProvider, TableSet};

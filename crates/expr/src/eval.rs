@@ -579,6 +579,75 @@ pub fn eval_atom(atom: &Atom, column: &Column) -> Result<Vec<Truth>> {
     }
 }
 
+/// How one atom behaved during a (re-)evaluation over a selection: how
+/// many lanes the engine actually looked at versus skipped, and what the
+/// looked-at lanes returned. Produced by [`profile_atoms`] for operator
+/// trace spans — the per-atom half of the in-process `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomProfile {
+    /// Display form of the atom (`t.year > 2000`).
+    pub atom: String,
+    /// Lanes the atom was evaluated on (the selection's population).
+    pub lanes_evaluated: u64,
+    /// Lanes outside the selection — rows the engine short-circuited
+    /// (already-resolved tags, pruned slices) before reaching this atom.
+    pub lanes_short_circuited: u64,
+    /// Evaluated lanes that came back `True`.
+    pub true_count: u64,
+    /// Evaluated lanes that came back `Unknown` (NULL-involved).
+    pub unknown_count: u64,
+}
+
+/// Profile every atom in the subtree rooted at `id` by evaluating each
+/// over `sel`, in tree order. A tracing-only path: it re-evaluates atoms
+/// (masks are checked out of `arena` and recycled before returning), so
+/// callers gate it on the request being traced.
+pub fn profile_atoms(
+    tree: &PredicateTree,
+    id: ExprId,
+    provider: &impl ColumnProvider,
+    sel: &Bitmap,
+    arena: &MaskArena,
+) -> Result<Vec<AtomProfile>> {
+    fn walk(
+        tree: &PredicateTree,
+        id: ExprId,
+        provider: &impl ColumnProvider,
+        sel: &Bitmap,
+        arena: &MaskArena,
+        out: &mut Vec<AtomProfile>,
+    ) -> Result<()> {
+        match tree.kind(id) {
+            NodeKind::Atom(atom) => {
+                let column = provider.fetch_at(atom.column(), sel)?;
+                let mask = eval_atom_mask(atom, &column, sel, arena)?;
+                let evaluated = sel.count_ones() as u64;
+                out.push(AtomProfile {
+                    atom: atom.to_string(),
+                    lanes_evaluated: evaluated,
+                    lanes_short_circuited: sel.len() as u64 - evaluated,
+                    // Unselected lanes come out False by construction, so
+                    // these counts cover exactly the evaluated lanes.
+                    true_count: mask.count_true() as u64,
+                    unknown_count: mask.count_unknown() as u64,
+                });
+                arena.recycle_mask(mask);
+                Ok(())
+            }
+            NodeKind::Not(c) => walk(tree, *c, provider, sel, arena, out),
+            NodeKind::And(cs) | NodeKind::Or(cs) => {
+                for &c in cs {
+                    walk(tree, c, provider, sel, arena, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(tree, id, provider, sel, arena, &mut out)?;
+    Ok(out)
+}
+
 fn annotate(e: BasiliskError, col: &ColumnRef) -> BasiliskError {
     match e {
         BasiliskError::Type(m) => BasiliskError::Type(format!("{m} (column {col})")),
@@ -849,6 +918,38 @@ mod tests {
         let provider = MapProvider::new(3).with(ColumnRef::new("t", "a"), b.finish());
         let result = eval_node(&tree, tree.root(), &provider).unwrap();
         assert_eq!(result, truths(&[0, -1, 1]));
+    }
+
+    #[test]
+    fn profile_atoms_counts_lanes_and_outcomes() {
+        let e = or(vec![col("t", "a").gt(5i64), col("t", "b").gt(5i64)]);
+        let tree = PredicateTree::build(&e);
+        let mut a = ColumnBuilder::new(DataType::Int);
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for v in [Value::Int(9), Value::Null, Value::Int(1), Value::Int(7)] {
+            a.push(v).unwrap();
+        }
+        for v in [Value::Int(1), Value::Int(9), Value::Int(1), Value::Int(9)] {
+            b.push(v).unwrap();
+        }
+        let provider = MapProvider::new(4)
+            .with(ColumnRef::new("t", "a"), a.finish())
+            .with(ColumnRef::new("t", "b"), b.finish());
+        // Select rows 0..3 only; row 3 is short-circuited.
+        let sel = Bitmap::from_indices(4, 0..3);
+        let arena = MaskArena::new();
+        let profiles = profile_atoms(&tree, tree.root(), &provider, &sel, &arena).unwrap();
+        assert_eq!(profiles.len(), 2, "one profile per atom, in tree order");
+        let pa = &profiles[0];
+        assert_eq!(pa.atom, "t.a > 5");
+        assert_eq!(pa.lanes_evaluated, 3);
+        assert_eq!(pa.lanes_short_circuited, 1);
+        assert_eq!(pa.true_count, 1, "only row 0 (9 > 5) among selected");
+        assert_eq!(pa.unknown_count, 1, "row 1 is NULL");
+        let pb = &profiles[1];
+        assert_eq!(pb.atom, "t.b > 5");
+        assert_eq!((pb.true_count, pb.unknown_count), (1, 0));
+        assert_eq!(arena.outstanding(), 0, "profiling recycles its masks");
     }
 
     #[test]

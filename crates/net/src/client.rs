@@ -75,7 +75,9 @@ impl Client {
         self
     }
 
-    fn call(&mut self, method: &str, path: &str, body: &Json) -> Result<Json, ServeError> {
+    /// One exchange, returning the raw body text on 200. Error replies
+    /// are always JSON envelopes regardless of the success content type.
+    fn call_raw(&mut self, method: &str, path: &str, body: &Json) -> Result<String, ServeError> {
         let payload = if matches!(body, Json::Null) {
             Vec::new()
         } else {
@@ -85,15 +87,20 @@ impl Client {
         let response = http::read_response(&mut self.reader).map_err(transport)?;
         let text = std::str::from_utf8(&response.body)
             .map_err(|_| ServeError::protocol("response body is not utf-8"))?;
-        let doc = Json::parse(text)
-            .map_err(|e| ServeError::protocol(format!("bad response json: {e}")))?;
         if response.status == 200 {
-            Ok(doc)
+            Ok(text.to_string())
         } else {
             // Typed failure: the envelope carries the real error.
+            let doc = Json::parse(text)
+                .map_err(|e| ServeError::protocol(format!("bad response json: {e}")))?;
             Err(wire::parse_error(&doc)
                 .unwrap_or_else(|e| ServeError::protocol(format!("bad error envelope: {e}"))))
         }
+    }
+
+    fn call(&mut self, method: &str, path: &str, body: &Json) -> Result<Json, ServeError> {
+        let text = self.call_raw(method, path, body)?;
+        Json::parse(&text).map_err(|e| ServeError::protocol(format!("bad response json: {e}")))
     }
 
     fn meta_fields(&self) -> Vec<(String, Json)> {
@@ -113,6 +120,18 @@ impl Client {
     /// Run ad-hoc SQL.
     pub fn sql(&mut self, sql: &str) -> Result<WireResponse, ServeError> {
         let mut fields = vec![("sql".to_string(), Json::Str(sql.to_string()))];
+        fields.extend(self.meta_fields());
+        let doc = self.call("POST", "/v1/sql", &Json::Object(fields))?;
+        wire::parse_response(&doc).map_err(ServeError::protocol)
+    }
+
+    /// Run ad-hoc SQL with server-side tracing; the reply's
+    /// [`WireResponse::trace`] carries the span tree.
+    pub fn sql_traced(&mut self, sql: &str) -> Result<WireResponse, ServeError> {
+        let mut fields = vec![
+            ("sql".to_string(), Json::Str(sql.to_string())),
+            ("trace".to_string(), Json::Bool(true)),
+        ];
         fields.extend(self.meta_fields());
         let doc = self.call("POST", "/v1/sql", &Json::Object(fields))?;
         wire::parse_response(&doc).map_err(ServeError::protocol)
@@ -162,6 +181,16 @@ impl Client {
     /// Fetch the server's stats document (see the crate docs).
     pub fn stats(&mut self) -> Result<Json, ServeError> {
         self.call("GET", "/v1/stats", &Json::Null)
+    }
+
+    /// Fetch the Prometheus text exposition (`/v1/metrics`).
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        self.call_raw("GET", "/v1/metrics", &Json::Null)
+    }
+
+    /// Fetch the slow-query ring (`/v1/slow`), newest first.
+    pub fn slow(&mut self) -> Result<Json, ServeError> {
+        self.call("GET", "/v1/slow", &Json::Null)
     }
 
     /// Liveness probe.

@@ -181,9 +181,22 @@ pub fn write_response(
     extra_headers: &[(&str, String)],
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_typed(w, status, reason, "application/json", extra_headers, body)
+}
+
+/// [`write_response`] with an explicit `content-type` (the metrics
+/// endpoint serves Prometheus text exposition, not JSON).
+pub fn write_response_typed(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {reason}\r\ncontent-length: {}\r\ncontent-type: application/json\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-length: {}\r\ncontent-type: {content_type}\r\n",
         body.len()
     )?;
     for (name, value) in extra_headers {

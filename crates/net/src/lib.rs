@@ -20,16 +20,25 @@
 //!
 //! | Route | Body | Reply (200) |
 //! |---|---|---|
-//! | `POST /v1/sql` | `{"sql", "client"?, "priority"?}` | result envelope |
+//! | `POST /v1/sql` | `{"sql", "client"?, "priority"?, "trace"?}` | result envelope |
 //! | `POST /v1/prepare` | `{"sql"}` | `{"ok", "handle", "params"}` |
-//! | `POST /v1/execute` | `{"handle", "params", "client"?, "priority"?}` | result envelope |
+//! | `POST /v1/execute` | `{"handle", "params", "client"?, "priority"?, "trace"?}` | result envelope |
 //! | `POST /v1/close` | `{"handle"}` | `{"ok", "closed"}` |
 //! | `GET /v1/stats` | — | counters + per-lane fairness stats |
+//! | `GET /v1/slow` | — | slow-query ring, newest first, traces inline |
+//! | `GET /v1/metrics` | — | Prometheus text exposition (`text/plain`) |
 //! | `GET /v1/health` | — | `{"ok": true}` |
 //!
 //! `client` tags the request's fairness lane; `priority` is `"high"` /
 //! `"normal"` / `"low"` (see [`basilisk_serve::Priority`]). Prepared
-//! handles are per-listener and survive reconnects.
+//! handles are per-listener and survive reconnects. `"trace": true`
+//! asks the server to record a span tree for the request; it comes back
+//! as a `"trace"` field on the result envelope (`{"name",
+//! "start_micros", "duration_micros", "attrs"?, "children"?}`,
+//! recursively). `/v1/metrics` is the only non-JSON route — it serves
+//! the `basilisk_serve_*` / `basilisk_sched_*` / `basilisk_arena_*`
+//! metric families (names are a contract; see `ROADMAP.md`) in
+//! Prometheus text exposition format.
 //!
 //! **Result envelope** (200):
 //!
@@ -251,6 +260,108 @@ mod tests {
             .find(|l| l.get("client").and_then(Json::as_str) == Some("probe"))
             .expect("probe lane present");
         assert_eq!(probe.get("dispatched").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn traced_sql_carries_span_tree_over_wire() {
+        let l = listener(small());
+        let mut c = Client::connect(l.local_addr()).unwrap();
+        let plain = c.sql(Q).unwrap();
+        assert!(plain.trace.is_none(), "tracing is opt-in");
+        let traced = c.sql_traced(Q).unwrap();
+        assert_eq!(traced.row_count, plain.row_count);
+        let trace = traced.trace.expect("trace requested");
+        assert_eq!(trace.get("name").and_then(Json::as_str), Some("request"));
+        let children = trace.get("children").and_then(Json::as_array).unwrap();
+        let names: Vec<_> = children
+            .iter()
+            .filter_map(|c| c.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"plan"), "{names:?}");
+        assert!(names.contains(&"admission_wait"), "{names:?}");
+        assert!(names.contains(&"execute"), "{names:?}");
+        // The execute span carries operator children with attrs.
+        let exec = children
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some("execute"))
+            .unwrap();
+        assert!(exec
+            .get("attrs")
+            .and_then(|a| a.get("rows"))
+            .and_then(Json::as_u64)
+            .is_some());
+        assert!(exec.get("children").and_then(Json::as_array).is_some());
+    }
+
+    #[test]
+    fn metrics_and_slow_endpoints() {
+        let server = Arc::new(Server::new(
+            catalog(),
+            ServerConfig::builder()
+                .contexts(2)
+                .workers(1)
+                .slow_threshold_micros(0)
+                .slow_log_capacity(4)
+                .build()
+                .unwrap(),
+        ));
+        let l = Listener::bind(server, "127.0.0.1:0").unwrap();
+        let mut c = Client::connect(l.local_addr())
+            .unwrap()
+            .with_client_id("probe");
+        c.sql(Q).unwrap();
+        c.sql_traced(Q).unwrap();
+
+        let text = c.metrics().unwrap();
+        for family in [
+            "basilisk_serve_statements_executed_total",
+            "basilisk_serve_latency_micros_bucket",
+            "basilisk_serve_lane_admitted_total{client=\"probe\"}",
+            "basilisk_sched_workers",
+            "basilisk_arena_outstanding",
+        ] {
+            assert!(text.contains(family), "missing {family}:\n{text}");
+        }
+        // Exposition is line-shaped: comments or `name[{labels}] value`.
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            assert!(value.parse::<f64>().is_ok(), "bad line: {line}");
+        }
+
+        let slow = c.slow().unwrap();
+        let entries = slow.get("slow").and_then(Json::as_array).unwrap();
+        assert_eq!(entries.len(), 2, "threshold 0 records every request");
+        // Newest first; the traced request is the most recent and keeps
+        // its span tree through the ring and the wire.
+        assert!(entries[0].get("trace").is_some());
+        assert!(entries[1].get("trace").is_none());
+        assert_eq!(
+            entries[0].get("client").and_then(Json::as_str),
+            Some("probe")
+        );
+        assert!(entries[0]
+            .get("total_micros")
+            .and_then(Json::as_u64)
+            .is_some());
+
+        // /v1/stats grew the totals the load driver needs.
+        let stats = c.stats().unwrap();
+        for field in [
+            "statements_prepared",
+            "cache_evictions",
+            "queue_depth",
+            "parallel_regions",
+            "region_slots",
+            "region_max_concurrent",
+        ] {
+            assert!(
+                stats.get(field).and_then(Json::as_u64).is_some(),
+                "missing stats field {field}"
+            );
+        }
     }
 
     #[test]

@@ -155,12 +155,33 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         let close = request.wants_close();
         let outcome = route(&request, shared);
         let ok = match outcome {
-            Ok(body) => write_json(&mut write_half, 200, "OK", &[], &body),
+            Ok(Reply::Json(body)) => write_json(&mut write_half, 200, "OK", &[], &body),
+            Ok(Reply::Text(body)) => http::write_response_typed(
+                &mut write_half,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                &[],
+                body.as_bytes(),
+            ),
             Err(e) => write_error(&mut write_half, &e),
         };
         if ok.is_err() || close {
             return;
         }
+    }
+}
+
+/// A routed reply body: JSON for the protocol endpoints, plain text for
+/// the Prometheus exposition.
+enum Reply {
+    Json(Json),
+    Text(String),
+}
+
+impl From<Json> for Reply {
+    fn from(j: Json) -> Reply {
+        Reply::Json(j)
     }
 }
 
@@ -185,16 +206,20 @@ fn write_error(w: &mut TcpStream, e: &ServeError) -> io::Result<()> {
     write_json(w, status, reason, &extra, &wire::encode_error(e))
 }
 
-fn route(request: &http::Request, shared: &Shared) -> Result<Json, ServeError> {
+fn route(request: &http::Request, shared: &Shared) -> Result<Reply, ServeError> {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/sql") => {
             let body = parse_body(&request.body)?;
             let sql = required_str(&body, "sql")?;
             let (client, priority) = serving_meta(&body)?;
-            let response = shared
-                .server
-                .submit(Request::sql(sql).client(client).priority(priority))?;
-            Ok(wire::encode_response(&response))
+            let trace = body.get("trace").and_then(Json::as_bool).unwrap_or(false);
+            let response = shared.server.submit(
+                Request::sql(sql)
+                    .client(client)
+                    .priority(priority)
+                    .trace(trace),
+            )?;
+            Ok(wire::encode_response(&response).into())
         }
         ("POST", "/v1/prepare") => {
             let body = parse_body(&request.body)?;
@@ -207,7 +232,8 @@ fn route(request: &http::Request, shared: &Shared) -> Result<Json, ServeError> {
                 ("ok".to_string(), Json::Bool(true)),
                 ("handle".to_string(), Json::Int(handle as i64)),
                 ("params".to_string(), Json::Int(params as i64)),
-            ]))
+            ])
+            .into())
         }
         ("POST", "/v1/execute") => {
             let body = parse_body(&request.body)?;
@@ -224,6 +250,7 @@ fn route(request: &http::Request, shared: &Shared) -> Result<Json, ServeError> {
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(|e| ServeError::protocol(format!("bad params: {e}")))?;
             let (client, priority) = serving_meta(&body)?;
+            let trace = body.get("trace").and_then(Json::as_bool).unwrap_or(false);
             // Clone the handle out so the registry lock is not held
             // across execution (Prepared is an Arc'd plan).
             let stmt = shared
@@ -236,9 +263,10 @@ fn route(request: &http::Request, shared: &Shared) -> Result<Json, ServeError> {
             let response = shared.server.submit(
                 Request::prepared(&stmt, &params)
                     .client(client)
-                    .priority(priority),
+                    .priority(priority)
+                    .trace(trace),
             )?;
-            Ok(wire::encode_response(&response))
+            Ok(wire::encode_response(&response).into())
         }
         ("POST", "/v1/close") => {
             let body = parse_body(&request.body)?;
@@ -250,10 +278,15 @@ fn route(request: &http::Request, shared: &Shared) -> Result<Json, ServeError> {
             Ok(Json::Object(vec![
                 ("ok".to_string(), Json::Bool(true)),
                 ("closed".to_string(), Json::Bool(removed)),
-            ]))
+            ])
+            .into())
         }
-        ("GET", "/v1/stats") => Ok(stats_json(&shared.server)),
-        ("GET", "/v1/health") => Ok(Json::Object(vec![("ok".to_string(), Json::Bool(true))])),
+        ("GET", "/v1/stats") => Ok(stats_json(&shared.server).into()),
+        ("GET", "/v1/slow") => Ok(slow_json(&shared.server).into()),
+        ("GET", "/v1/metrics") => Ok(Reply::Text(shared.server.metrics_prometheus())),
+        ("GET", "/v1/health") => {
+            Ok(Json::Object(vec![("ok".to_string(), Json::Bool(true))]).into())
+        }
         (method, path) => Err(ServeError::protocol(format!("no route: {method} {path}"))),
     }
 }
@@ -313,10 +346,19 @@ fn stats_json(server: &Server) -> Json {
             "statements_executed".to_string(),
             Json::Int(s.statements_executed as i64),
         ),
+        (
+            "statements_prepared".to_string(),
+            Json::Int(s.statements_prepared as i64),
+        ),
         ("cache_hits".to_string(), Json::Int(s.cache_hits as i64)),
         ("cache_misses".to_string(), Json::Int(s.cache_misses as i64)),
+        (
+            "cache_evictions".to_string(),
+            Json::Int(s.cache_evictions as i64),
+        ),
         ("errors".to_string(), Json::Int(s.errors as i64)),
         ("rejected".to_string(), Json::Int(s.rejected as i64)),
+        ("queue_depth".to_string(), Json::Int(s.queue_depth as i64)),
         (
             "queue_high_water".to_string(),
             Json::Int(s.queue_high_water as i64),
@@ -329,7 +371,51 @@ fn stats_json(server: &Server) -> Json {
             "p99_micros".to_string(),
             Json::Int(s.quantile_latency(0.99).as_micros().min(i64::MAX as u128) as i64),
         ),
+        (
+            "parallel_regions".to_string(),
+            Json::Int(s.parallel_regions as i64),
+        ),
         ("region_waits".to_string(), Json::Int(s.region_waits as i64)),
+        ("region_slots".to_string(), Json::Int(s.region_slots as i64)),
+        (
+            "region_max_concurrent".to_string(),
+            Json::Int(s.region_max_concurrent as i64),
+        ),
         ("lanes".to_string(), Json::Array(lanes)),
+    ])
+}
+
+/// The `/v1/slow` document: the slow-query ring, newest first, each
+/// entry carrying its trace tree when the request was traced.
+fn slow_json(server: &Server) -> Json {
+    let entries = server
+        .slow_queries()
+        .into_iter()
+        .map(|(seq, q)| {
+            let mut fields = vec![
+                ("seq".to_string(), Json::Int(seq as i64)),
+                ("statement".to_string(), Json::Str(q.statement.clone())),
+                ("client".to_string(), Json::Str(q.client.clone())),
+                ("priority".to_string(), Json::Str(q.priority.to_string())),
+                ("row_count".to_string(), Json::Int(q.row_count as i64)),
+                ("cache_hit".to_string(), Json::Bool(q.cache_hit)),
+                (
+                    "queue_wait_micros".to_string(),
+                    Json::Int(q.queue_wait_micros.min(i64::MAX as u64) as i64),
+                ),
+                (
+                    "total_micros".to_string(),
+                    Json::Int(q.total_micros.min(i64::MAX as u64) as i64),
+                ),
+            ];
+            if let Some(trace) = &q.trace {
+                fields.push(("trace".to_string(), wire::encode_trace(trace)));
+            }
+            Json::Object(fields)
+        })
+        .collect();
+    Json::Object(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("slow".to_string(), Json::Array(entries)),
     ])
 }

@@ -3,7 +3,7 @@
 //! the full format).
 
 use basilisk_serve::{ErrorKind, Response, ServeError};
-use basilisk_types::Value;
+use basilisk_types::{TraceValue, Value};
 
 use crate::json::Json;
 
@@ -66,6 +66,9 @@ pub struct WireResponse {
     pub cache_hit: bool,
     /// How long admission queued the request server-side.
     pub queue_wait_micros: u64,
+    /// The span tree, as parsed JSON, when the request asked for
+    /// tracing (`"trace": true`).
+    pub trace: Option<Json>,
 }
 
 /// Serialize a served [`Response`] into the result envelope.
@@ -104,6 +107,44 @@ pub fn encode_response(r: &Response) -> Json {
         "queue_wait_micros".to_string(),
         Json::Int(r.queue_wait.as_micros().min(i64::MAX as u128) as i64),
     ));
+    if let Some(trace) = &r.trace {
+        fields.push(("trace".to_string(), encode_trace(trace)));
+    }
+    Json::Object(fields)
+}
+
+/// Serialize a span tree: `{"name", "start_micros", "duration_micros",
+/// "attrs": {…}, "children": […]}` (attrs/children omitted when empty).
+pub fn encode_trace(span: &basilisk_types::TraceSpan) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::Str(span.name.clone())),
+        (
+            "start_micros".to_string(),
+            Json::Int(span.start_micros.min(i64::MAX as u64) as i64),
+        ),
+        (
+            "duration_micros".to_string(),
+            Json::Int(span.duration_micros.min(i64::MAX as u64) as i64),
+        ),
+    ];
+    if !span.attrs.is_empty() {
+        let attrs = span
+            .attrs
+            .iter()
+            .map(|(k, v)| {
+                let v = match v {
+                    TraceValue::Int(i) => Json::Int(*i),
+                    TraceValue::Str(s) => Json::Str(s.clone()),
+                };
+                (k.clone(), v)
+            })
+            .collect();
+        fields.push(("attrs".to_string(), Json::Object(attrs)));
+    }
+    if !span.children.is_empty() {
+        let children = span.children.iter().map(encode_trace).collect();
+        fields.push(("children".to_string(), Json::Array(children)));
+    }
     Json::Object(fields)
 }
 
@@ -159,6 +200,7 @@ pub fn parse_response(j: &Json) -> Result<WireResponse, String> {
             .get("queue_wait_micros")
             .and_then(Json::as_u64)
             .ok_or("missing queue_wait_micros")?,
+        trace: j.get("trace").cloned(),
     })
 }
 

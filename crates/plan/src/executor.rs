@@ -16,19 +16,75 @@
 
 use basilisk_core::ProjectionTags;
 use basilisk_core::{
-    tagged_filter, tagged_filter_par, tagged_join, tagged_join_par, tagged_select_final,
-    TaggedRelation,
+    filter_atom_profiles, tagged_filter, tagged_filter_par, tagged_join, tagged_join_par,
+    tagged_select_final, TaggedRelation,
 };
 use basilisk_exec::{
-    filter as plain_filter, filter_par, hash_join, hash_join_par, union_all_dedup, IdxRelation,
-    JoinSide, TableSet,
+    filter as plain_filter, filter_par, hash_join, hash_join_par, relation_atom_profiles,
+    union_all_dedup, IdxRelation, JoinSide, TableSet,
 };
+use basilisk_expr::eval::AtomProfile;
 use basilisk_expr::PredicateTree;
-use basilisk_sched::WorkerPool;
-use basilisk_types::{MaskArena, Result};
+use basilisk_sched::{last_region_id, WorkerPool};
+use basilisk_types::{MaskArena, Result, SpanId, Tracer};
 
 use crate::aplan::APlan;
 use crate::cost::TPlan;
+
+/// Open an operator span when the run is traced. Spans open **before**
+/// the operator's children execute, so the span tree mirrors the plan
+/// tree (span durations are inclusive of their subtree).
+fn span_begin(tracer: Option<&Tracer>, name: &'static str) -> Option<SpanId> {
+    tracer.map(|t| t.begin(name))
+}
+
+/// Stamp the shared operator attributes and close the span: row counts,
+/// how many morsels the operator's evaluation would fan out into, and —
+/// when it actually fanned out — the id of the parallel region it ran as.
+fn span_finish(
+    tracer: Option<&Tracer>,
+    span: Option<SpanId>,
+    rows_in: usize,
+    rows_out: usize,
+    base_rows: usize,
+    pool: Option<&WorkerPool>,
+) {
+    let (Some(t), Some(s)) = (tracer, span) else {
+        return;
+    };
+    t.attr(s, "rows_in", rows_in);
+    t.attr(s, "rows_out", rows_out);
+    let fanned = pool.is_some_and(|p| p.would_parallelize(base_rows));
+    let morsels = match pool {
+        Some(p) if fanned => p.morsels(base_rows).len(),
+        _ => 1,
+    };
+    t.attr(s, "morsels", morsels);
+    if fanned {
+        t.attr(s, "region", last_region_id());
+    }
+    t.end(s);
+}
+
+/// Attach one `atom` child span per profiled atom (tracing-only; the
+/// profiles re-evaluate the operator's predicate subtree).
+fn span_atoms(tracer: Option<&Tracer>, span: Option<SpanId>, profiles: Result<Vec<AtomProfile>>) {
+    let (Some(t), Some(_)) = (tracer, span) else {
+        return;
+    };
+    // Profiling shares the operator's evaluation path; an error here
+    // would have failed the operator itself, so it is safe to drop.
+    let Ok(profiles) = profiles else { return };
+    for p in profiles {
+        let a = t.begin("atom");
+        t.attr(a, "atom", p.atom);
+        t.attr(a, "lanes_evaluated", p.lanes_evaluated);
+        t.attr(a, "lanes_short_circuited", p.lanes_short_circuited);
+        t.attr(a, "true_count", p.true_count);
+        t.attr(a, "unknown_count", p.unknown_count);
+        t.end(a);
+    }
+}
 
 /// Largest base-relation cardinality under a tagged subtree — the
 /// size proxy the subtree-shipping heuristic compares against the morsel
@@ -88,7 +144,7 @@ pub fn execute_tagged(
     tree: &PredicateTree,
     arena: &MaskArena,
 ) -> Result<IdxRelation> {
-    execute_tagged_impl(plan, projection, tables, tree, arena, None)
+    execute_tagged_impl(plan, projection, tables, tree, arena, None, None)
 }
 
 /// [`execute_tagged`] in **parallel mode**: every filter evaluates
@@ -104,9 +160,30 @@ pub fn execute_tagged_with(
     arena: &MaskArena,
     pool: &WorkerPool,
 ) -> Result<IdxRelation> {
-    execute_tagged_impl(plan, projection, tables, tree, arena, Some(pool))
+    execute_tagged_impl(plan, projection, tables, tree, arena, Some(pool), None)
 }
 
+/// [`execute_tagged_with`] with an optional per-request [`Tracer`]: each
+/// operator records a span (nested to mirror the plan tree) carrying
+/// `rows_in`/`rows_out`, its morsel fan-out, the parallel-region id it
+/// ran as, and — for filters — one `atom` child span per predicate atom
+/// with its lane-evaluation profile. Traced runs keep every operator on
+/// the coordinating thread (subtree shipping is disabled, because the
+/// tracer is single-threaded by design), but output is bit-for-bit
+/// identical to the untraced run.
+pub fn execute_tagged_traced(
+    plan: &TPlan,
+    projection: &ProjectionTags,
+    tables: &TableSet,
+    tree: &PredicateTree,
+    arena: &MaskArena,
+    pool: Option<&WorkerPool>,
+    tracer: Option<&Tracer>,
+) -> Result<IdxRelation> {
+    execute_tagged_impl(plan, projection, tables, tree, arena, pool, tracer)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn execute_tagged_impl(
     plan: &TPlan,
     projection: &ProjectionTags,
@@ -114,9 +191,14 @@ fn execute_tagged_impl(
     tree: &PredicateTree,
     arena: &MaskArena,
     pool: Option<&WorkerPool>,
+    tracer: Option<&Tracer>,
 ) -> Result<IdxRelation> {
-    let rel = run_tagged(plan, tables, tree, arena, pool)?;
+    let rel = run_tagged(plan, tables, tree, arena, pool, tracer)?;
+    let span = span_begin(tracer, "project");
     let out = tagged_select_final(&rel, projection, arena);
+    if tracer.is_some() {
+        span_finish(tracer, span, rel.num_tagged_tuples(), out.len(), 0, None);
+    }
     rel.recycle(arena);
     Ok(out)
 }
@@ -127,18 +209,41 @@ fn run_tagged(
     tree: &PredicateTree,
     arena: &MaskArena,
     pool: Option<&WorkerPool>,
+    tracer: Option<&Tracer>,
 ) -> Result<TaggedRelation> {
     match plan {
-        TPlan::Scan { alias } => Ok(TaggedRelation::base_in(
-            IdxRelation::base_in(alias.clone(), tables.num_rows(alias)?, arena),
-            arena,
-        )),
+        TPlan::Scan { alias } => {
+            let span = span_begin(tracer, "scan");
+            let rel = TaggedRelation::base_in(
+                IdxRelation::base_in(alias.clone(), tables.num_rows(alias)?, arena),
+                arena,
+            );
+            span_finish(tracer, span, 0, rel.num_tuples(), 0, None);
+            Ok(rel)
+        }
         TPlan::Filter { map, child, .. } => {
-            let input = run_tagged(child, tables, tree, arena, pool)?;
+            let span = span_begin(tracer, "tagged_filter");
+            let input = run_tagged(child, tables, tree, arena, pool, tracer)?;
             let out = match pool {
                 Some(p) => tagged_filter_par(tables, &input, tree, map, arena, p),
                 None => tagged_filter(tables, &input, tree, map, arena),
             };
+            if tracer.is_some() {
+                span_atoms(
+                    tracer,
+                    span,
+                    filter_atom_profiles(tables, &input, tree, map, arena),
+                );
+                let rows_out = out.as_ref().map(|o| o.num_tagged_tuples()).unwrap_or(0);
+                span_finish(
+                    tracer,
+                    span,
+                    input.num_tagged_tuples(),
+                    rows_out,
+                    input.num_tuples(),
+                    pool,
+                );
+            }
             input.recycle(arena);
             out
         }
@@ -148,6 +253,7 @@ fn run_tagged(
             left,
             right,
         } => {
+            let span = span_begin(tracer, "tagged_join");
             // Independent-subtree parallelism: when both inputs are
             // small serial subtrees, ship them as one two-task region —
             // they evaluate concurrently on two workers (and interleave
@@ -156,11 +262,15 @@ fn run_tagged(
             // and are recycled back into it; the join output itself is
             // built from the session arena as usual. Shipped subtrees run
             // with `pool: None` — a task must never re-enter the pool.
+            // Traced runs never ship: the tracer is bound to this thread.
             if let Some(p) = pool {
-                if ships_tagged(p, left, tables) && ships_tagged(p, right, tables) {
+                if tracer.is_none()
+                    && ships_tagged(p, left, tables)
+                    && ships_tagged(p, right, tables)
+                {
                     let ((wl, l), (wr, r)) = p.run_pair(
-                        |ctx| run_tagged(left, tables, tree, ctx.arena, None),
-                        |ctx| run_tagged(right, tables, tree, ctx.arena, None),
+                        |ctx| run_tagged(left, tables, tree, ctx.arena, None, None),
+                        |ctx| run_tagged(right, tables, tree, ctx.arena, None, None),
                         |a, rel| rel.recycle(a),
                         |a, rel| rel.recycle(a),
                     )?;
@@ -171,9 +281,9 @@ fn run_tagged(
                     return out;
                 }
             }
-            let l = run_tagged(left, tables, tree, arena, pool)?;
+            let l = run_tagged(left, tables, tree, arena, pool, tracer)?;
             // A failing right subtree must not strand the left's buffers.
-            let r = match run_tagged(right, tables, tree, arena, pool) {
+            let r = match run_tagged(right, tables, tree, arena, pool, tracer) {
                 Ok(r) => r,
                 Err(e) => {
                     l.recycle(arena);
@@ -184,6 +294,17 @@ fn run_tagged(
                 Some(p) => tagged_join_par(tables, &l, &r, &cond.left, &cond.right, map, arena, p),
                 None => tagged_join(tables, &l, &r, &cond.left, &cond.right, map, arena),
             };
+            if tracer.is_some() {
+                let rows_out = out.as_ref().map(|o| o.num_tagged_tuples()).unwrap_or(0);
+                span_finish(
+                    tracer,
+                    span,
+                    l.num_tagged_tuples() + r.num_tagged_tuples(),
+                    rows_out,
+                    l.num_tuples().max(r.num_tuples()),
+                    pool,
+                );
+            }
             l.recycle(arena);
             r.recycle(arena);
             out
@@ -204,7 +325,7 @@ pub fn execute_traditional(
     tree: &PredicateTree,
     arena: &MaskArena,
 ) -> Result<IdxRelation> {
-    execute_traditional_impl(plan, tables, tree, arena, None)
+    execute_traditional_impl(plan, tables, tree, arena, None, None)
 }
 
 /// [`execute_traditional`] in **parallel mode** (see
@@ -219,7 +340,23 @@ pub fn execute_traditional_with(
     arena: &MaskArena,
     pool: &WorkerPool,
 ) -> Result<IdxRelation> {
-    execute_traditional_impl(plan, tables, tree, arena, Some(pool))
+    execute_traditional_impl(plan, tables, tree, arena, Some(pool), None)
+}
+
+/// [`execute_traditional_with`] with an optional per-request [`Tracer`]
+/// (see [`execute_tagged_traced`] for the span contract; traditional
+/// filter spans carry the same per-atom profile children, evaluated over
+/// every input tuple since the traditional path cannot short-circuit
+/// across lanes).
+pub fn execute_traditional_traced(
+    plan: &APlan,
+    tables: &TableSet,
+    tree: &PredicateTree,
+    arena: &MaskArena,
+    pool: Option<&WorkerPool>,
+    tracer: Option<&Tracer>,
+) -> Result<IdxRelation> {
+    execute_traditional_impl(plan, tables, tree, arena, pool, tracer)
 }
 
 fn execute_traditional_impl(
@@ -228,31 +365,47 @@ fn execute_traditional_impl(
     tree: &PredicateTree,
     arena: &MaskArena,
     pool: Option<&WorkerPool>,
+    tracer: Option<&Tracer>,
 ) -> Result<IdxRelation> {
     match plan {
-        APlan::Scan { alias } => Ok(IdxRelation::base_in(
-            alias.clone(),
-            tables.num_rows(alias)?,
-            arena,
-        )),
+        APlan::Scan { alias } => {
+            let span = span_begin(tracer, "scan");
+            let rel = IdxRelation::base_in(alias.clone(), tables.num_rows(alias)?, arena);
+            span_finish(tracer, span, 0, rel.len(), 0, None);
+            Ok(rel)
+        }
         APlan::Filter { node, child } => {
-            let input = execute_traditional_impl(child, tables, tree, arena, pool)?;
+            let span = span_begin(tracer, "filter");
+            let input = execute_traditional_impl(child, tables, tree, arena, pool, tracer)?;
             let out = match pool {
                 Some(p) => filter_par(tables, &input, tree, *node, arena, p),
                 None => plain_filter(tables, &input, tree, *node, arena),
             };
+            if tracer.is_some() {
+                span_atoms(
+                    tracer,
+                    span,
+                    relation_atom_profiles(tables, &input, tree, *node, arena),
+                );
+                let rows_out = out.as_ref().map(|o| o.len()).unwrap_or(0);
+                span_finish(tracer, span, input.len(), rows_out, input.len(), pool);
+            }
             input.recycle(arena);
             out
         }
         APlan::Join { cond, left, right } => {
+            let span = span_begin(tracer, "hash_join");
             // Same independent-subtree shipping as the tagged
             // interpreter (see `run_tagged`): both small inputs evaluate
-            // concurrently as one region.
+            // concurrently as one region. Traced runs never ship.
             if let Some(p) = pool {
-                if ships_abstract(p, left, tables) && ships_abstract(p, right, tables) {
+                if tracer.is_none()
+                    && ships_abstract(p, left, tables)
+                    && ships_abstract(p, right, tables)
+                {
                     let ((wl, l), (wr, r)) = p.run_pair(
-                        |ctx| execute_traditional_impl(left, tables, tree, ctx.arena, None),
-                        |ctx| execute_traditional_impl(right, tables, tree, ctx.arena, None),
+                        |ctx| execute_traditional_impl(left, tables, tree, ctx.arena, None, None),
+                        |ctx| execute_traditional_impl(right, tables, tree, ctx.arena, None, None),
                         |a, rel| rel.recycle(a),
                         |a, rel| rel.recycle(a),
                     )?;
@@ -271,9 +424,9 @@ fn execute_traditional_impl(
                     return out;
                 }
             }
-            let l = execute_traditional_impl(left, tables, tree, arena, pool)?;
+            let l = execute_traditional_impl(left, tables, tree, arena, pool, tracer)?;
             // A failing right subtree must not strand the left's buffers.
-            let r = match execute_traditional_impl(right, tables, tree, arena, pool) {
+            let r = match execute_traditional_impl(right, tables, tree, arena, pool, tracer) {
                 Ok(r) => r,
                 Err(e) => {
                     l.recycle(arena);
@@ -301,11 +454,23 @@ fn execute_traditional_impl(
                     arena,
                 ),
             };
+            if tracer.is_some() {
+                let rows_out = out.as_ref().map(|o| o.len()).unwrap_or(0);
+                span_finish(
+                    tracer,
+                    span,
+                    l.len() + r.len(),
+                    rows_out,
+                    l.len().max(r.len()),
+                    pool,
+                );
+            }
             l.recycle(arena);
             r.recycle(arena);
             out
         }
         APlan::Union { children } => {
+            let span = span_begin(tracer, "union");
             // BDisj clause parallelism: every small serial clause ships
             // to the pool as one task of a single region, while large
             // clauses stay on this thread with full morsel parallelism.
@@ -314,18 +479,20 @@ fn execute_traditional_impl(
             // session buffers into a worker arena (corrupting per-arena
             // accounting) — but it folds in original child order over
             // results produced concurrently, so output is bit-for-bit
-            // the serial order.
+            // the serial order. Traced runs never ship.
             let shipped_idx: Vec<usize> = match pool {
-                Some(p) => (0..children.len())
+                Some(p) if tracer.is_none() => (0..children.len())
                     .filter(|&i| ships_abstract(p, &children[i], tables))
                     .collect(),
-                None => Vec::new(),
+                _ => Vec::new(),
             };
             if shipped_idx.len() >= 2 {
                 let p = pool.expect("shipping implies a pool");
                 let shipped = p.run(
                     shipped_idx.iter().map(|&i| &children[i]).collect(),
-                    |ctx, c: &APlan| execute_traditional_impl(c, tables, tree, ctx.arena, None),
+                    |ctx, c: &APlan| {
+                        execute_traditional_impl(c, tables, tree, ctx.arena, None, None)
+                    },
                     |a, rel: IdxRelation| rel.recycle(a),
                 )?;
                 // Reassemble in child order: `home[i]` remembers which
@@ -340,7 +507,7 @@ fn execute_traditional_impl(
                     if slots[i].is_some() {
                         continue;
                     }
-                    match execute_traditional_impl(c, tables, tree, arena, pool) {
+                    match execute_traditional_impl(c, tables, tree, arena, pool, None) {
                         Ok(rel) => slots[i] = Some((None, rel)),
                         Err(e) => {
                             failure = Some(e);
@@ -370,7 +537,7 @@ fn execute_traditional_impl(
             // recycles every earlier child's relation before propagating.
             let mut rels: Vec<IdxRelation> = Vec::with_capacity(children.len());
             for c in children {
-                match execute_traditional_impl(c, tables, tree, arena, pool) {
+                match execute_traditional_impl(c, tables, tree, arena, pool, tracer) {
                     Ok(rel) => rels.push(rel),
                     Err(e) => {
                         for rel in rels {
@@ -381,6 +548,11 @@ fn execute_traditional_impl(
                 }
             }
             let out = union_all_dedup(&rels, arena);
+            if tracer.is_some() {
+                let rows_in = rels.iter().map(|r| r.len()).sum();
+                let rows_out = out.as_ref().map(|o| o.len()).unwrap_or(0);
+                span_finish(tracer, span, rows_in, rows_out, 0, None);
+            }
             for rel in rels {
                 rel.recycle(arena);
             }
@@ -493,6 +665,122 @@ mod tests {
         e.sort_unstable();
         assert!(!a.is_empty(), "query should match something");
         assert_eq!(a, e);
+    }
+
+    /// A traced tagged run returns bit-for-bit the untraced output and
+    /// records a well-formed span tree mirroring the plan: the join at
+    /// the top, filter chains below, per-atom profile children on every
+    /// filter span, and a final `project` span with the output count.
+    #[test]
+    fn traced_tagged_run_matches_untraced_and_records_spans() {
+        let (_cat, tables, est, tree) = setup();
+        let cond = JoinCond::new(ColumnRef::new("t", "id"), ColumnRef::new("mi", "movie_id"));
+        let pushed = APlan::join(
+            cond,
+            APlan::filter(
+                find(&tree, "t.year > 1980"),
+                APlan::filter(find(&tree, "t.year > 2000"), APlan::scan("t")),
+            ),
+            APlan::filter(
+                find(&tree, "mi.score > 7"),
+                APlan::filter(find(&tree, "mi.score > 8"), APlan::scan("mi")),
+            ),
+        );
+        let builder = TagMapBuilder::new(&tree, TagMapStrategy::Generalized { use_closure: true });
+        let ann = annotate_tagged(&pushed, &tree, &builder, &est, &CostModel::default()).unwrap();
+        let a = arena();
+        let untraced = execute_tagged(&ann.plan, &ann.projection, &tables, &tree, &a).unwrap();
+        let tracer = Tracer::new();
+        let traced = execute_tagged_traced(
+            &ann.plan,
+            &ann.projection,
+            &tables,
+            &tree,
+            &a,
+            None,
+            Some(&tracer),
+        )
+        .unwrap();
+        assert_eq!(traced.len(), untraced.len());
+        for alias in ["t", "mi"] {
+            let got: Vec<u32> = (0..traced.len())
+                .map(|i| traced.col(alias).unwrap()[i])
+                .collect();
+            let want: Vec<u32> = (0..untraced.len())
+                .map(|i| untraced.col(alias).unwrap()[i])
+                .collect();
+            assert_eq!(got, want, "traced output must be bit-for-bit untraced");
+        }
+
+        let root = tracer.finish();
+        assert_eq!(root.name, "request");
+        assert!(root.is_well_formed());
+        let join = root.child("tagged_join").expect("top operator span");
+        assert_eq!(join.descendants("scan").len(), 2);
+        let filters = root.descendants("tagged_filter");
+        assert_eq!(filters.len(), 4, "one span per filter operator");
+        for f in &filters {
+            let rows_in = f.int("rows_in").unwrap();
+            let rows_out = f.int("rows_out").unwrap();
+            assert!(rows_out <= rows_in);
+            assert!(f.int("morsels").unwrap() >= 1);
+            let atoms: Vec<_> = f.children.iter().filter(|c| c.name == "atom").collect();
+            assert!(!atoms.is_empty(), "filter spans carry atom profiles");
+            for at in atoms {
+                assert!(at.str_attr("atom").is_some());
+                let eval = at.int("lanes_evaluated").unwrap();
+                assert!(at.int("true_count").unwrap() <= eval);
+                assert!(at.int("lanes_short_circuited").unwrap() >= 0);
+                assert!(at.int("unknown_count").unwrap() >= 0);
+            }
+        }
+        let project = root.child("project").expect("projection span");
+        assert_eq!(project.int("rows_out"), Some(traced.len() as i64));
+        // Operator rows flow consistently into the final output.
+        assert_eq!(join.int("rows_out"), project.int("rows_in"));
+    }
+
+    /// The traditional interpreter's traced union path: identical output,
+    /// a `union` span whose `rows_out` matches the result, and `filter`
+    /// spans with full-relation atom profiles.
+    #[test]
+    fn traced_union_run_matches_untraced() {
+        let (_cat, tables, _est, tree) = setup();
+        let cond = JoinCond::new(ColumnRef::new("t", "id"), ColumnRef::new("mi", "movie_id"));
+        let clause = |y: &str, s: &str| {
+            APlan::join(
+                cond.clone(),
+                APlan::filter(find(&tree, y), APlan::scan("t")),
+                APlan::filter(find(&tree, s), APlan::scan("mi")),
+            )
+        };
+        let u = APlan::Union {
+            children: vec![
+                clause("t.year > 2000", "mi.score > 7"),
+                clause("t.year > 1980", "mi.score > 8"),
+            ],
+        };
+        let a = arena();
+        let untraced = execute_traditional(&u, &tables, &tree, &a).unwrap();
+        let tracer = Tracer::new();
+        let traced =
+            execute_traditional_traced(&u, &tables, &tree, &a, None, Some(&tracer)).unwrap();
+        assert_eq!(traced.len(), untraced.len());
+
+        let root = tracer.finish();
+        assert!(root.is_well_formed());
+        let union = root.child("union").expect("union span");
+        assert_eq!(union.int("rows_out"), Some(traced.len() as i64));
+        assert_eq!(union.descendants("hash_join").len(), 2);
+        let filters = root.descendants("filter");
+        assert_eq!(filters.len(), 4);
+        for f in &filters {
+            let atoms: Vec<_> = f.children.iter().filter(|c| c.name == "atom").collect();
+            assert_eq!(atoms.len(), 1, "each clause filter profiles its atom");
+            // Traditional filters evaluate every input lane.
+            assert_eq!(atoms[0].int("lanes_short_circuited"), Some(0));
+            assert_eq!(atoms[0].int("lanes_evaluated"), f.int("rows_in"));
+        }
     }
 
     /// Union plans (BDisj-style) dedup correctly.

@@ -10,13 +10,11 @@ use basilisk_exec::{project_in, IdxRelation, TableSet};
 use basilisk_expr::{ColumnRef, PredicateTree};
 use basilisk_sched::WorkerPool;
 use basilisk_storage::Column;
-use basilisk_types::{ArenaStats, BasiliskError, MaskArena, Result};
+use basilisk_types::{ArenaStats, BasiliskError, MaskArena, Result, Tracer};
 
 use crate::aplan::APlan;
 use crate::cost::CostModel;
-use crate::executor::{
-    execute_tagged, execute_tagged_with, execute_traditional, execute_traditional_with,
-};
+use crate::executor::{execute_tagged_traced, execute_traditional_traced};
 use crate::join_order::greedy_join_tree;
 use crate::planners::{plan as run_planner, PlannedQuery, PlannerInput, PlannerKind};
 use crate::query::Query;
@@ -422,47 +420,53 @@ impl QuerySession {
 
     /// Execute a previously built plan.
     pub fn execute(&self, plan: &Plan) -> Result<QueryOutput> {
+        self.execute_traced(plan, None)
+    }
+
+    /// [`QuerySession::execute`] with an optional per-request [`Tracer`]:
+    /// when `Some`, every plan operator records a span (nested to mirror
+    /// the plan tree) with row counts, morsel fan-out, parallel-region id
+    /// and per-atom evaluation profiles — see
+    /// [`execute_tagged_traced`](crate::execute_tagged_traced). Output is
+    /// bit-for-bit identical to the untraced run.
+    pub fn execute_traced(&self, plan: &Plan, tracer: Option<&Tracer>) -> Result<QueryOutput> {
         // Sweep result columns deferred by earlier executions: once the
         // caller has dropped those outputs, their buffers return to the
         // pools and this run re-checks them out instead of allocating.
         self.ctx.sweep();
         let arena = &self.ctx.arena;
         let pool = &*self.ctx.pool;
-        let parallel = pool.workers() > 1;
+        let pool_opt = (pool.workers() > 1).then_some(pool);
         let rows = match plan {
             Plan::JoinOnly(aplan) => {
                 // Predicate-free: use the traditional executor with a
                 // dummy tree (never consulted — the plan has no filters).
                 let dummy = PredicateTree::build(&basilisk_expr::col("·", "·").is_null());
-                if parallel {
-                    execute_traditional_with(aplan, &self.tables, &dummy, arena, pool)?
-                } else {
-                    execute_traditional(aplan, &self.tables, &dummy, arena)?
-                }
+                execute_traditional_traced(aplan, &self.tables, &dummy, arena, pool_opt, tracer)?
             }
             Plan::WithPredicate(p) => {
                 let tree = self
                     .tree
                     .as_ref()
                     .ok_or_else(|| BasiliskError::Plan("plan/session mismatch".into()))?;
-                match (p, parallel) {
-                    (PlannedQuery::Tagged { ann, .. }, false) => {
-                        execute_tagged(&ann.plan, &ann.projection, &self.tables, tree, arena)?
-                    }
-                    (PlannedQuery::Tagged { ann, .. }, true) => execute_tagged_with(
+                match p {
+                    PlannedQuery::Tagged { ann, .. } => execute_tagged_traced(
                         &ann.plan,
                         &ann.projection,
                         &self.tables,
                         tree,
                         arena,
-                        pool,
+                        pool_opt,
+                        tracer,
                     )?,
-                    (PlannedQuery::Traditional { aplan, .. }, false) => {
-                        execute_traditional(aplan, &self.tables, tree, arena)?
-                    }
-                    (PlannedQuery::Traditional { aplan, .. }, true) => {
-                        execute_traditional_with(aplan, &self.tables, tree, arena, pool)?
-                    }
+                    PlannedQuery::Traditional { aplan, .. } => execute_traditional_traced(
+                        aplan,
+                        &self.tables,
+                        tree,
+                        arena,
+                        pool_opt,
+                        tracer,
+                    )?,
                 }
             }
         };

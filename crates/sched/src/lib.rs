@@ -95,7 +95,7 @@ use std::time::Instant;
 // the schedule-exploring instrumented runtime.
 use basilisk_types::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use basilisk_types::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard};
-use basilisk_types::{BasiliskError, MaskArena, Result, DEFAULT_MORSEL_ROWS};
+use basilisk_types::{BasiliskError, Histogram, MaskArena, Result, DEFAULT_MORSEL_ROWS};
 
 pub use basilisk_types::Morsel;
 
@@ -108,8 +108,9 @@ pub const DEFAULT_REGION_SLOTS: usize = 16;
 /// Number of power-of-two buckets in the region slot-wait histogram:
 /// bucket `i` counts waits in `[2^i, 2^(i+1))` microseconds (bucket 0
 /// additionally takes sub-microsecond waits, the last bucket everything
-/// slower). Mirrors the serving layer's latency histogram shape.
-pub const REGION_WAIT_BUCKETS: usize = 24;
+/// slower). An alias of the shared [`basilisk_types::Histogram`] shape,
+/// which also records the serving layer's latency histogram.
+pub const REGION_WAIT_BUCKETS: usize = basilisk_types::HISTOGRAM_BUCKETS;
 
 /// What a task closure sees: the executing worker's id and its private
 /// arena. Buffers checked out here must either be recycled here or
@@ -160,8 +161,7 @@ struct SchedState {
 struct RegionCounters {
     regions: AtomicU64,
     waits: AtomicU64,
-    wait_total_micros: AtomicU64,
-    wait_buckets: [AtomicU64; REGION_WAIT_BUCKETS],
+    wait_hist: Histogram,
 }
 
 /// A point-in-time copy of the pool's region-scheduling counters.
@@ -181,6 +181,60 @@ pub struct RegionStats {
     pub max_concurrent: u64,
 }
 
+/// A point-in-time copy of the pool's execution counters (see
+/// [`WorkerPool::sched_stats`]): how much work the resident set did and
+/// how it was scheduled, the raw material for the `/v1/metrics`
+/// `basilisk_sched_*` families.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Configured worker count.
+    pub workers: u64,
+    /// Tasks executed (morsel and subtree closures), inline path included.
+    pub tasks: u64,
+    /// Tasks claimed from another worker's deque (work stealing).
+    pub steals: u64,
+    /// Times a resident worker parked on the work condvar.
+    pub parks: u64,
+    /// Wakeup broadcasts issued by region publication.
+    pub notifies: u64,
+    /// Busy microseconds per arena (index `workers` is the inline arena
+    /// on multi-worker pools).
+    pub busy_micros: Vec<u64>,
+}
+
+thread_local! {
+    /// Region id most recently fanned out *from this thread* (a
+    /// coordinator publishing a region records it here before blocking).
+    /// Zero until the thread coordinates its first region.
+    static LAST_REGION_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The id of the parallel region most recently fanned out by the calling
+/// thread (0 before any). Region ids are pool-global, monotonically
+/// increasing and never reused; the plan interpreters stamp them onto
+/// operator trace spans right after a parallel operator returns.
+pub fn last_region_id() -> u64 {
+    LAST_REGION_ID.with(|c| c.get())
+}
+
+/// Lock-free execution counters behind [`WorkerPool::sched_stats`]:
+/// what the pool's threads actually did, as opposed to the region
+/// admission accounting in [`RegionCounters`]. All relaxed — observability
+/// only, never synchronization.
+struct SchedCounters {
+    /// Tasks executed (morsel and subtree closures), inline path included.
+    tasks: AtomicU64,
+    /// Tasks claimed from another worker's deque.
+    steals: AtomicU64,
+    /// Times a resident worker parked on the work condvar.
+    parks: AtomicU64,
+    /// Wakeup broadcasts issued by region publication.
+    notifies: AtomicU64,
+    /// Per-arena busy time (µs inside region bodies / inline runs);
+    /// index `workers` is the inline arena on multi-worker pools.
+    busy_micros: Vec<AtomicU64>,
+}
+
 struct Shared {
     /// One arena per worker, plus (on multi-worker pools) a trailing
     /// inline arena at index `workers` for the single-task fast path.
@@ -194,6 +248,7 @@ struct Shared {
     /// Coordinators park here, both for their region to retire and for a
     /// free slot when the table is full.
     done: Condvar,
+    counters: SchedCounters,
 }
 
 /// Recover a guard from a poisoned lock. Pool state stays consistent
@@ -266,6 +321,7 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
                         break 'claim (i, slot.job.expect("published region has a job"));
                     }
                 }
+                shared.counters.parks.fetch_add(1, Ordering::Relaxed);
                 st = relock(shared.work.wait(st));
             }
         };
@@ -276,6 +332,7 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
             // even when this worker interleaves bodies from different
             // regions back to back.
             let arena = relock(shared.arenas[worker].lock());
+            let busy_start = Instant::now();
             // SAFETY: see `Job` — `running` was incremented under the
             // scheduler lock above, so the coordinator keeps the pointee
             // alive until the decrement below. The body catches its own
@@ -283,6 +340,8 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
             // accounting.
             let _ =
                 std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(worker, &arena) }));
+            let micros = busy_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            shared.counters.busy_micros[worker].fetch_add(micros, Ordering::Relaxed);
         }
         let mut st = relock(shared.state.lock());
         let slot = &mut st.slots[slot_idx];
@@ -358,6 +417,13 @@ impl WorkerPool {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            counters: SchedCounters {
+                tasks: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                parks: AtomicU64::new(0),
+                notifies: AtomicU64::new(0),
+                busy_micros: (0..arena_count).map(|_| AtomicU64::new(0)).collect(),
+            },
         });
         WorkerPool {
             workers,
@@ -366,8 +432,7 @@ impl WorkerPool {
             counters: RegionCounters {
                 regions: AtomicU64::new(0),
                 waits: AtomicU64::new(0),
-                wait_total_micros: AtomicU64::new(0),
-                wait_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                wait_hist: Histogram::default(),
             },
             handles: Mutex::new(Vec::new()),
         }
@@ -508,18 +573,25 @@ impl WorkerPool {
                 worker: inline,
                 arena: &arena,
             };
+            let counters = &self.shared.counters;
+            let busy_start = Instant::now();
             let mut out = Vec::with_capacity(n);
             for task in tasks {
+                counters.tasks.fetch_add(1, Ordering::Relaxed);
                 match f(&ctx, task) {
                     Ok(r) => out.push((inline as u32, r)),
                     Err(e) => {
                         for (_, r) in out {
                             discard(&arena, r);
                         }
+                        let micros = busy_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                        counters.busy_micros[inline].fetch_add(micros, Ordering::Relaxed);
                         return Err(e);
                     }
                 }
             }
+            let micros = busy_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            counters.busy_micros[inline].fetch_add(micros, Ordering::Relaxed);
             return Ok(out);
         }
 
@@ -543,6 +615,7 @@ impl WorkerPool {
         let f = &f;
 
         type WorkerOut<R> = (Vec<(usize, R)>, Option<(usize, BasiliskError)>);
+        let counters = &self.shared.counters;
         let worker_loop = move |worker: usize, arena: &MaskArena| -> WorkerOut<R> {
             let ctx = WorkerCtx { worker, arena };
             let mut done: Vec<(usize, R)> = Vec::new();
@@ -558,6 +631,7 @@ impl WorkerPool {
                         let victim = (worker + v) % workers;
                         claimed = relock(deques[victim].lock()).pop_back();
                         if claimed.is_some() {
+                            counters.steals.fetch_add(1, Ordering::Relaxed);
                             break;
                         }
                     }
@@ -565,6 +639,7 @@ impl WorkerPool {
                 let Some((idx, task)) = claimed else {
                     return (done, None);
                 };
+                counters.tasks.fetch_add(1, Ordering::Relaxed);
                 match f(&ctx, task) {
                     Ok(r) => done.push((idx, r)),
                     Err(e) => {
@@ -619,17 +694,12 @@ impl WorkerPool {
             };
             if let Some(t0) = wait_start {
                 let micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                self.counters
-                    .wait_total_micros
-                    .fetch_add(micros, Ordering::Relaxed);
-                let bucket = (64 - micros.leading_zeros() as usize)
-                    .saturating_sub(1)
-                    .min(REGION_WAIT_BUCKETS - 1);
-                self.counters.wait_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+                self.counters.wait_hist.record_micros(micros);
             }
             self.counters.regions.fetch_add(1, Ordering::Relaxed);
             st.next_id += 1;
             let id = st.next_id;
+            LAST_REGION_ID.with(|c| c.set(id));
             st.slots[slot_idx] = RegionSlot {
                 id,
                 job: Some(job),
@@ -638,6 +708,10 @@ impl WorkerPool {
             st.active += 1;
             st.max_active = st.max_active.max(st.active as u64);
             self.shared.work.notify_all();
+            self.shared
+                .counters
+                .notifies
+                .fetch_add(1, Ordering::Relaxed);
             (slot_idx, id)
         };
 
@@ -805,6 +879,16 @@ impl WorkerPool {
             .sum()
     }
 
+    /// Per-shape checkout counters aggregated across all worker arenas
+    /// (the `/v1/metrics` `basilisk_arena_*` families' raw material).
+    pub fn arena_stats(&self) -> basilisk_types::ArenaStats {
+        let mut total = basilisk_types::ArenaStats::default();
+        for a in &self.shared.arenas {
+            total.merge(&relock(a.lock()).stats());
+        }
+        total
+    }
+
     /// Zero every worker arena's counters (pools stay warm).
     pub fn reset_stats(&self) {
         for a in &self.shared.arenas {
@@ -821,15 +905,33 @@ impl WorkerPool {
             let st = relock(self.shared.state.lock());
             (st.slots.len() as u64, st.max_active)
         };
+        let waits = self.counters.wait_hist.snapshot();
         RegionStats {
             regions: self.counters.regions.load(Ordering::Relaxed),
             waits: self.counters.waits.load(Ordering::Relaxed),
-            wait_total_micros: self.counters.wait_total_micros.load(Ordering::Relaxed),
-            wait_buckets: std::array::from_fn(|i| {
-                self.counters.wait_buckets[i].load(Ordering::Relaxed)
-            }),
+            wait_total_micros: waits.total_micros,
+            wait_buckets: waits.buckets,
             slots,
             max_concurrent,
+        }
+    }
+
+    /// Snapshot the execution counters: tasks run (steals separately),
+    /// park/notify traffic, and per-arena busy time. The `/v1/metrics`
+    /// route renders these as the `basilisk_sched_*` families.
+    pub fn sched_stats(&self) -> SchedStats {
+        let c = &self.shared.counters;
+        SchedStats {
+            workers: self.workers as u64,
+            tasks: c.tasks.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+            notifies: c.notifies.load(Ordering::Relaxed),
+            busy_micros: c
+                .busy_micros
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -1338,5 +1440,58 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_region_slots_panics() {
         let _ = WorkerPool::new(2).with_region_slots(0);
+    }
+
+    /// Execution counters on the inline path: every task counted, busy
+    /// time attributed to the inline arena, no fanned-region traffic.
+    #[test]
+    fn sched_stats_counts_inline_tasks() {
+        let pool = WorkerPool::new(1);
+        pool.run(
+            (0..5).collect::<Vec<usize>>(),
+            |_ctx, t| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                Ok(t)
+            },
+            |_a, _r: usize| {},
+        )
+        .unwrap();
+        let stats = pool.sched_stats();
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.tasks, 5);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.notifies, 0, "inline runs publish no region");
+        assert_eq!(stats.busy_micros.len(), 1);
+        assert!(stats.busy_micros[0] > 0, "inline busy time accrues");
+    }
+
+    /// Execution counters on the fanned path: tasks counted exactly,
+    /// a notify per region, busy time somewhere in the resident set, and
+    /// the coordinator thread observes its region's id.
+    #[test]
+    fn sched_stats_and_region_id_on_fanned_runs() {
+        let pool = WorkerPool::new(2).with_morsel_rows(64);
+        assert_eq!(last_region_id(), 0, "no region fanned out yet");
+        pool.run(
+            (0..8).collect::<Vec<usize>>(),
+            |_ctx, t| Ok(t),
+            |_a, _r: usize| {},
+        )
+        .unwrap();
+        let first = last_region_id();
+        assert!(first >= 1, "coordinator recorded its region id");
+        pool.run(
+            (0..8).collect::<Vec<usize>>(),
+            |_ctx, t| Ok(t),
+            |_a, _r: usize| {},
+        )
+        .unwrap();
+        assert!(last_region_id() > first, "region ids are never reused");
+        let stats = pool.sched_stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.tasks, 16, "every task counted exactly once");
+        assert_eq!(stats.notifies, 2, "one wakeup broadcast per region");
+        assert_eq!(stats.busy_micros.len(), 3, "2 workers + inline arena");
+        assert!(pool.sched_stats() == stats, "snapshot is stable at rest");
     }
 }

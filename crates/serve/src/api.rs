@@ -33,7 +33,7 @@ use std::time::Duration;
 use basilisk_expr::ColumnRef;
 use basilisk_plan::{PlanTimings, PlannerKind};
 use basilisk_storage::Column;
-use basilisk_types::{BasiliskError, Value};
+use basilisk_types::{BasiliskError, TraceSpan, Value};
 
 use crate::cache::Prepared;
 
@@ -110,6 +110,7 @@ pub struct Request<'a> {
     pub(crate) client: &'a str,
     pub(crate) priority: Priority,
     pub(crate) planner: Option<PlannerKind>,
+    pub(crate) trace: bool,
 }
 
 impl<'a> Request<'a> {
@@ -120,6 +121,7 @@ impl<'a> Request<'a> {
             client: "",
             priority: Priority::Normal,
             planner: None,
+            trace: false,
         }
     }
 
@@ -130,6 +132,7 @@ impl<'a> Request<'a> {
             client: "",
             priority: Priority::Normal,
             planner: None,
+            trace: false,
         }
     }
 
@@ -152,6 +155,17 @@ impl<'a> Request<'a> {
     /// their planner at prepare time).
     pub fn planner(mut self, planner: PlannerKind) -> Request<'a> {
         self.planner = Some(planner);
+        self
+    }
+
+    /// Record an end-to-end span tree for this request (default off; the
+    /// disabled path costs one branch per recording site, pinned by the
+    /// `trace_overhead_max` bench gate). The finished tree is attached as
+    /// [`Response::trace`] — parse, plan (cache hit/miss/rebind),
+    /// admission wait, then one span per executed plan operator with row
+    /// counts, morsel fan-out, region id and per-atom profiles.
+    pub fn trace(mut self, trace: bool) -> Request<'a> {
+        self.trace = trace;
         self
     }
 }
@@ -177,6 +191,9 @@ pub struct Response {
     /// How long admission held this request in its lane before a context
     /// was granted (zero when a context was free on arrival).
     pub queue_wait: Duration,
+    /// The finished span tree when the request set [`Request::trace`];
+    /// `None` otherwise.
+    pub trace: Option<TraceSpan>,
 }
 
 /// Pre-PR-7 name of [`Response`], kept for embedded callers.

@@ -39,7 +39,20 @@
 //!   change the predicate DAG (content interning can merge equal atoms).
 //! * **Observability.** [`ServeStats`] snapshots cache
 //!   hits/misses/evictions, admission-queue depth and high-water mark,
-//!   and a power-of-two latency histogram.
+//!   per-lane admission counters, and a power-of-two latency histogram.
+//!   [`Server::metrics_prometheus`] renders the same numbers — plus
+//!   scheduler and arena counters — in Prometheus text exposition
+//!   format (the `basilisk_serve_*` / `basilisk_sched_*` /
+//!   `basilisk_arena_*` families; the names are a contract, see
+//!   `ROADMAP.md`). Per-request tracing is opt-in via
+//!   [`Request::trace`]: the [`Response`] then carries a
+//!   [`TraceSpan`](basilisk_types::TraceSpan) tree mirroring the
+//!   request's phases (`parse` → `plan` → `admission_wait` →
+//!   `execute`) with one child span per plan operator, including
+//!   per-atom short-circuit profiles. Requests slower than
+//!   [`ServerConfig::slow_threshold_micros`] land in a bounded
+//!   lock-free ring ([`Server::slow_queries`], [`SlowQuery`]) with
+//!   their trace attached when one was recorded.
 //!
 //! Concurrent output is **bit-for-bit equal** to serial single-session
 //! output: requests never share mutable execution state (contexts are
@@ -70,7 +83,7 @@ pub mod stats;
 pub use api::{ErrorKind, OutputColumns, Priority, Request, Response, ServeError, ServeResult};
 pub use cache::Prepared;
 pub use server::{Server, ServerConfig, ServerConfigBuilder};
-pub use stats::{LaneStats, ServeStats, LATENCY_BUCKETS};
+pub use stats::{LaneStats, ServeStats, SlowQuery, LATENCY_BUCKETS};
 
 #[cfg(test)]
 mod tests {
@@ -395,5 +408,147 @@ mod tests {
         assert_eq!(s.latency_count(), 5);
         assert!(s.mean_latency() > std::time::Duration::ZERO);
         assert!(s.quantile_latency(1.0) >= s.quantile_latency(0.5));
+    }
+
+    #[test]
+    fn traced_request_attaches_well_formed_span_tree() {
+        let srv = server();
+        let untraced = srv.sql(Q).unwrap();
+        let traced = srv.submit(Request::sql(Q).trace(true)).unwrap();
+        assert_eq!(
+            traced.row_count, untraced.row_count,
+            "tracing must not change the answer"
+        );
+        let root = traced.trace.as_ref().expect("trace requested");
+        assert_eq!(root.name, "request");
+        assert!(root.is_well_formed());
+        // The cache-hit path skips the parse span but still plans/waits/
+        // executes.
+        let plan = root.child("plan").expect("plan span");
+        assert_eq!(plan.int("cache_hit"), Some(1));
+        assert_eq!(plan.int("rebind"), Some(0));
+        let wait = root.child("admission_wait").expect("admission span");
+        assert_eq!(wait.str_attr("lane"), Some(""));
+        assert_eq!(wait.str_attr("priority"), Some("normal"));
+        let exec = root.child("execute").expect("execute span");
+        assert!(exec.int("rows").is_some());
+        // Operator spans nest under "execute" and mirror the plan tree.
+        assert!(!exec.descendants("scan").is_empty());
+        let filters: Vec<_> = exec
+            .descendants("tagged_filter")
+            .into_iter()
+            .chain(exec.descendants("filter"))
+            .collect();
+        assert!(!filters.is_empty(), "predicate query records filter spans");
+        for f in &filters {
+            assert!(!f.descendants("atom").is_empty(), "atom profiles attached");
+        }
+
+        // A cold shape records the parse span too.
+        let cold = srv
+            .submit(Request::sql("SELECT t.id FROM title t WHERE t.year > 1999").trace(true))
+            .unwrap();
+        let root = cold.trace.as_ref().unwrap();
+        assert!(root.child("parse").is_some(), "cache miss parses");
+        assert_eq!(root.child("plan").unwrap().int("cache_hit"), Some(0));
+
+        // Untraced requests carry no tree.
+        assert!(srv.sql(Q).unwrap().trace.is_none());
+        // Live responses pin their pooled columns; release before the
+        // leak check.
+        drop((untraced, traced, cold));
+        assert_eq!(srv.outstanding(), 0);
+    }
+
+    #[test]
+    fn slow_query_ring_records_and_stays_bounded() {
+        let srv = Server::new(
+            catalog(),
+            ServerConfig::builder()
+                .contexts(1)
+                .workers(1)
+                .slow_threshold_micros(0) // record every request
+                .slow_log_capacity(3)
+                .build()
+                .unwrap(),
+        );
+        for i in 0..5 {
+            let traced = i % 2 == 0;
+            srv.submit(Request::sql(Q).trace(traced)).unwrap();
+        }
+        let slow = srv.slow_queries();
+        assert_eq!(slow.len(), 3, "ring keeps the newest `capacity` entries");
+        // Newest first, strictly decreasing sequence numbers.
+        assert!(slow.windows(2).all(|w| w[0].0 > w[1].0));
+        assert_eq!(slow[0].0, 4, "five requests pushed, newest seq is 4");
+        for (seq, q) in &slow {
+            assert_eq!(q.statement, slow[0].1.statement, "same normalized shape");
+            assert_eq!(q.priority, "normal");
+            // Even requests were traced; the ring preserves the tree.
+            assert_eq!(q.trace.is_some(), seq % 2 == 0);
+        }
+        assert!(
+            srv.metrics_prometheus()
+                .contains("basilisk_serve_slow_recorded_total 5"),
+            "total-ever-recorded survives ring wraparound"
+        );
+
+        // The default threshold (10ms) should not trip on this tiny
+        // catalog… but a u64::MAX threshold definitely never records.
+        let quiet = Server::new(
+            catalog(),
+            ServerConfig::builder()
+                .contexts(1)
+                .workers(1)
+                .slow_threshold_micros(u64::MAX)
+                .build()
+                .unwrap(),
+        );
+        quiet.sql(Q).unwrap();
+        assert!(quiet.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn metrics_exposition_covers_serve_sched_and_arena() {
+        let srv = server();
+        for _ in 0..3 {
+            srv.sql(Q).unwrap();
+        }
+        srv.submit(Request::sql(Q).client("alice").trace(true))
+            .unwrap();
+        let text = srv.metrics_prometheus();
+        for family in [
+            "basilisk_serve_cache_hits_total",
+            "basilisk_serve_cache_misses_total",
+            "basilisk_serve_statements_executed_total",
+            "basilisk_serve_latency_micros_bucket",
+            "basilisk_serve_latency_micros_count",
+            "basilisk_serve_lane_admitted_total",
+            "basilisk_sched_workers",
+            "basilisk_sched_tasks_total",
+            "basilisk_sched_region_wait_micros_sum",
+            "basilisk_arena_outstanding",
+            "basilisk_arena_fresh_total",
+        ] {
+            assert!(text.contains(family), "missing family {family}:\n{text}");
+        }
+        assert!(
+            text.contains("basilisk_serve_lane_admitted_total{client=\"alice\"}"),
+            "per-lane labels present:\n{text}"
+        );
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (metric, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!metric.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+        }
+        // Executed count round-trips through the exposition.
+        assert!(text.contains(&format!(
+            "basilisk_serve_statements_executed_total {}",
+            srv.stats().statements_executed
+        )));
     }
 }

@@ -45,12 +45,14 @@ use basilisk_plan::{
 use basilisk_sched::WorkerPool;
 use basilisk_sql::{bind_params, normalize_select, Projection};
 use basilisk_storage::Column;
-use basilisk_types::{BasiliskError, Result, Value};
+use basilisk_types::{
+    BasiliskError, HistogramSnapshot, MetricsRegistry, Result, SlowLog, Tracer, Value,
+};
 
 use crate::admission::Admission;
 use crate::api::{Command, OutputColumns, Priority, Request, Response, ServeError};
 use crate::cache::{PlanCache, Prepared, PreparedStatement};
-use crate::stats::{ServeStats, StatsRecorder};
+use crate::stats::{ServeStats, SlowQuery, StatsRecorder};
 
 /// Server sizing knobs. `Default` targets a small interactive server;
 /// build a custom configuration through the validating
@@ -65,6 +67,8 @@ pub struct ServerConfig {
     morsel_rows: Option<usize>,
     region_slots: Option<usize>,
     default_planner: PlannerKind,
+    slow_log_capacity: usize,
+    slow_threshold_micros: u64,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +81,8 @@ impl Default for ServerConfig {
             morsel_rows: None,
             region_slots: None,
             default_planner: PlannerKind::TCombined,
+            slow_log_capacity: 16,
+            slow_threshold_micros: 10_000,
         }
     }
 }
@@ -130,6 +136,17 @@ impl ServerConfig {
     /// Planner used by [`Server::sql`] / [`Server::prepare`].
     pub fn default_planner(&self) -> PlannerKind {
         self.default_planner
+    }
+
+    /// Entries the slow-query ring retains (newest win once full).
+    pub fn slow_log_capacity(&self) -> usize {
+        self.slow_log_capacity
+    }
+
+    /// Total-latency threshold (µs) at or above which a request is
+    /// recorded into the slow-query ring; `u64::MAX` disables retention.
+    pub fn slow_threshold_micros(&self) -> u64 {
+        self.slow_threshold_micros
     }
 }
 
@@ -196,6 +213,18 @@ impl ServerConfigBuilder {
         self
     }
 
+    pub fn slow_log_capacity(mut self, capacity: usize) -> Self {
+        self.config.slow_log_capacity = capacity;
+        self
+    }
+
+    /// See [`ServerConfig::slow_threshold_micros`]; `0` records every
+    /// request (useful in tests), `u64::MAX` disables the ring.
+    pub fn slow_threshold_micros(mut self, micros: u64) -> Self {
+        self.config.slow_threshold_micros = micros;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServerConfig> {
         let mut config = self.config;
@@ -231,6 +260,13 @@ impl ServerConfigBuilder {
                     .into(),
             ));
         }
+        if config.slow_log_capacity == 0 {
+            return Err(BasiliskError::Plan(
+                "server config: slow_log_capacity must be >= 1 \
+                 (disable retention with slow_threshold_micros = u64::MAX instead)"
+                    .into(),
+            ));
+        }
         Ok(config)
     }
 }
@@ -243,9 +279,12 @@ impl ServerConfigBuilder {
 pub struct Server {
     catalog: Catalog,
     pool: Arc<WorkerPool>,
-    gate: Admission,
+    gate: Arc<Admission>,
     cache: PlanCache,
-    stats: StatsRecorder,
+    stats: Arc<StatsRecorder>,
+    metrics: MetricsRegistry,
+    slow: Arc<SlowLog<SlowQuery>>,
+    slow_threshold_micros: u64,
     default_planner: PlannerKind,
 }
 
@@ -264,18 +303,50 @@ impl Server {
         let contexts: Vec<ExecContext> = (0..config.contexts.max(1))
             .map(|_| ExecContext::with_pool(Arc::clone(&pool)))
             .collect();
+        let gate = Arc::new(Admission::new(contexts, config.queue_limit));
+        let stats = Arc::new(StatsRecorder::default());
+        let slow = Arc::new(SlowLog::new(config.slow_log_capacity));
+        let metrics = MetricsRegistry::new();
+        register_collectors(&metrics, &stats, &gate, &pool, &slow);
         Server {
             catalog,
-            pool: Arc::clone(&pool),
-            gate: Admission::new(contexts, config.queue_limit),
+            pool,
+            gate,
             cache: PlanCache::new(config.cache_capacity),
-            stats: StatsRecorder::default(),
+            stats,
+            metrics,
+            slow,
+            slow_threshold_micros: config.slow_threshold_micros,
             default_planner: config.default_planner,
         }
     }
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Render the Prometheus text exposition page the `/v1/metrics`
+    /// route serves: `basilisk_serve_*` (request counters, per-lane
+    /// admission counters, the latency histogram), `basilisk_sched_*`
+    /// (tasks, steals, park/notify traffic, per-worker busy time, region
+    /// occupancy) and `basilisk_arena_*` (outstanding/pooled buffers,
+    /// per-shape checkout counters). Metric names are a contract — see
+    /// ROADMAP "Observability".
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics.render()
+    }
+
+    /// The metrics registry, for embedders that want to register
+    /// additional collectors onto the same exposition page.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Snapshot of the slow-query ring, newest first, each entry with
+    /// its monotonically increasing sequence number (see
+    /// [`ServerConfig::slow_threshold_micros`]).
+    pub fn slow_queries(&self) -> Vec<(u64, Arc<SlowQuery>)> {
+        self.slow.snapshot()
     }
 
     /// The shared worker pool (per-worker arenas included).
@@ -333,13 +404,17 @@ impl Server {
     /// request's client tag picks its fairness lane and its priority its
     /// deficit-round-robin cost (see the `admission` module docs).
     pub fn submit(&self, request: Request<'_>) -> std::result::Result<Response, ServeError> {
+        // Tracing is opt-in per request; an untraced request pays one
+        // `Option` check per recording site (the `trace_overhead_max`
+        // bench gate pins the disabled path).
+        let tracer = request.trace.then(Tracer::new);
         match request.command {
             Command::Sql(sql) => {
                 let planner = request.planner.unwrap_or(self.default_planner);
-                self.sql_inner(sql, planner, request.client, request.priority)
+                self.sql_inner(sql, planner, request.client, request.priority, tracer)
             }
             Command::Execute(stmt, params) => {
-                self.execute_inner(stmt, params, request.client, request.priority)
+                self.execute_inner(stmt, params, request.client, request.priority, tracer)
             }
         }
         .map_err(ServeError::from)
@@ -356,7 +431,7 @@ impl Server {
     /// statements with different literals skip parsing and planning and
     /// just bind.
     pub fn sql_with(&self, sql: &str, planner: PlannerKind) -> Result<Response> {
-        self.sql_inner(sql, planner, "", Priority::Normal)
+        self.sql_inner(sql, planner, "", Priority::Normal, None)
     }
 
     fn sql_inner(
@@ -365,21 +440,26 @@ impl Server {
         planner: PlannerKind,
         client: &str,
         priority: Priority,
+        tracer: Option<Tracer>,
     ) -> Result<Response> {
         // Level 1: exact text. The parameters were extracted when this
         // text first came through, so the hot path is bind + execute.
         if let Some((stmt, params)) = self.cache.get_text(planner, sql) {
             self.stats.cache_hit();
-            return self.run_statement(&stmt, &params, true, client, priority);
+            return self.run_statement(&stmt, &params, true, client, priority, tracer);
         }
         // Level 2: normalized shape.
+        let parse_span = tracer.as_ref().map(|t| t.begin("parse"));
         let normalized = normalize_select(sql).inspect_err(|_| self.stats.error())?;
+        if let (Some(t), Some(s)) = (tracer.as_ref(), parse_span) {
+            t.end(s);
+        }
         if let Some(stmt) = self.cache.get_statement(planner, &normalized.key) {
             self.stats.cache_hit();
             let params = Arc::new(normalized.params);
             self.cache
                 .put_text(planner, sql, &stmt, Arc::clone(&params));
-            return self.run_statement(&stmt, &params, true, client, priority);
+            return self.run_statement(&stmt, &params, true, client, priority, tracer);
         }
         // Miss: plan, cache, execute.
         self.stats.cache_miss();
@@ -390,7 +470,7 @@ impl Server {
         self.stats.evicted(self.cache.put_statement(&stmt));
         self.cache
             .put_text(planner, sql, &stmt, Arc::clone(&params));
-        self.run_statement(&stmt, &params, false, client, priority)
+        self.run_statement(&stmt, &params, false, client, priority, tracer)
     }
 
     /// Parse, normalize and plan `sql`, returning a reusable handle.
@@ -424,7 +504,7 @@ impl Server {
     /// DAG (value-coincidence; see the module docs). A thin wrapper over
     /// the [`Server::submit`] path.
     pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<Response> {
-        self.execute_inner(prepared, params, "", Priority::Normal)
+        self.execute_inner(prepared, params, "", Priority::Normal, None)
     }
 
     fn execute_inner(
@@ -433,6 +513,7 @@ impl Server {
         params: &[Value],
         client: &str,
         priority: Priority,
+        tracer: Option<Tracer>,
     ) -> Result<Response> {
         if params.len() != prepared.inner.param_count {
             self.stats.error();
@@ -442,7 +523,7 @@ impl Server {
                 params.len()
             )));
         }
-        self.run_statement(&prepared.inner, params, true, client, priority)
+        self.run_statement(&prepared.inner, params, true, client, priority, tracer)
     }
 
     /// Full parse-and-plan of one statement shape (the cache-miss path).
@@ -495,7 +576,10 @@ impl Server {
         cache_hit: bool,
         client: &str,
         priority: Priority,
+        tracer: Option<Tracer>,
     ) -> Result<Response> {
+        let t_total = Instant::now();
+        let plan_span = tracer.as_ref().map(|t| t.begin("plan"));
         let t_bind = Instant::now();
         let mut query = stmt.query.clone();
         if stmt.param_count > 0 {
@@ -525,15 +609,47 @@ impl Server {
         let null_upgrade = !stmt.three_valued && params.iter().any(|v| matches!(v, Value::Null));
         let reusable = congruent && !null_upgrade;
         let bind_time = t_bind.elapsed();
+        if let (Some(t), Some(s)) = (tracer.as_ref(), plan_span) {
+            t.attr(s, "cache_hit", i64::from(cache_hit && reusable));
+            t.attr(s, "rebind", i64::from(!reusable));
+            t.end(s);
+        }
 
+        let wait_span = tracer.as_ref().map(|t| {
+            let s = t.begin("admission_wait");
+            t.attr(s, "lane", client);
+            t.attr(s, "priority", priority.as_str());
+            s
+        });
         let (ctx, queue_wait) = self.gate.acquire(client, priority, &self.stats)?;
-        let (ctx, result) = self.execute_on_context(stmt, query, reusable, bind_time, ctx);
+        if let (Some(t), Some(s)) = (tracer.as_ref(), wait_span) {
+            t.end(s);
+        }
+        let (ctx, result) =
+            self.execute_on_context(stmt, query, reusable, bind_time, ctx, tracer.as_ref());
         self.gate.release(ctx, &self.stats);
         match result {
             Ok(mut r) => {
                 r.cache_hit = cache_hit && reusable;
                 r.queue_wait = queue_wait;
                 self.stats.executed(r.timings.total());
+                let trace = tracer.map(Tracer::finish);
+                let total_micros = t_total.elapsed().as_micros() as u64;
+                if self.slow_threshold_micros != u64::MAX
+                    && total_micros >= self.slow_threshold_micros
+                {
+                    self.slow.push(SlowQuery {
+                        statement: stmt.key.clone(),
+                        client: client.to_string(),
+                        priority: priority.as_str(),
+                        row_count: r.row_count,
+                        cache_hit: r.cache_hit,
+                        queue_wait_micros: queue_wait.as_micros() as u64,
+                        total_micros,
+                        trace: trace.clone(),
+                    });
+                }
+                r.trace = trace;
                 Ok(r)
             }
             Err(e) => {
@@ -552,6 +668,7 @@ impl Server {
         reusable: bool,
         bind_time: Duration,
         ctx: ExecContext,
+        tracer: Option<&Tracer>,
     ) -> (ExecContext, Result<Response>) {
         // Build the session without surrendering the context on failure.
         let (session, plan, planning) = if reusable {
@@ -584,7 +701,12 @@ impl Server {
 
         let t1 = Instant::now();
         let result = (|| -> Result<Response> {
-            let output = session.execute(plan)?;
+            let exec_span = tracer.map(|t| t.begin("execute"));
+            let output = session.execute_traced(plan, tracer)?;
+            if let (Some(t), Some(s)) = (tracer, exec_span) {
+                t.attr(s, "rows", output.count());
+                t.end(s);
+            }
             let execution = t1.elapsed();
             let (columns, row_count) =
                 self.materialize(&session, &output, stmt.limit, stmt.is_count)?;
@@ -599,6 +721,7 @@ impl Server {
                 },
                 cache_hit: false,           // set by the caller
                 queue_wait: Duration::ZERO, // set by the caller
+                trace: None,                // set by the caller
             })
         })();
         (session.into_context(), result)
@@ -638,6 +761,246 @@ impl Server {
         }
         Ok((columns, row_count))
     }
+}
+
+/// Wire the server's three metric sources into the registry. Collectors
+/// only *read* existing lock-free counters at scrape time, so the
+/// request path pays nothing for exposition.
+fn register_collectors(
+    metrics: &MetricsRegistry,
+    stats: &Arc<StatsRecorder>,
+    gate: &Arc<Admission>,
+    pool: &Arc<WorkerPool>,
+    slow: &Arc<SlowLog<SlowQuery>>,
+) {
+    let s = Arc::clone(stats);
+    let g = Arc::clone(gate);
+    let sl = Arc::clone(slow);
+    metrics.register(move |sink| {
+        let snap = s.snapshot();
+        sink.counter(
+            "basilisk_serve_cache_hits_total",
+            "Requests served from the plan cache.",
+            &[],
+            snap.cache_hits,
+        );
+        sink.counter(
+            "basilisk_serve_cache_misses_total",
+            "Requests that parsed and planned.",
+            &[],
+            snap.cache_misses,
+        );
+        sink.counter(
+            "basilisk_serve_cache_evictions_total",
+            "Cached statements evicted by LRU pressure.",
+            &[],
+            snap.cache_evictions,
+        );
+        sink.counter(
+            "basilisk_serve_statements_prepared_total",
+            "Statements parsed and planned.",
+            &[],
+            snap.statements_prepared,
+        );
+        sink.counter(
+            "basilisk_serve_statements_executed_total",
+            "Statements executed to completion.",
+            &[],
+            snap.statements_executed,
+        );
+        sink.counter(
+            "basilisk_serve_errors_total",
+            "Requests that returned an error after admission.",
+            &[],
+            snap.errors,
+        );
+        sink.counter(
+            "basilisk_serve_rejected_total",
+            "Requests rejected at admission (queue full).",
+            &[],
+            snap.rejected,
+        );
+        sink.gauge(
+            "basilisk_serve_queue_depth",
+            "Requests currently queued or executing.",
+            &[],
+            snap.queue_depth,
+        );
+        sink.gauge(
+            "basilisk_serve_queue_high_water",
+            "Highest simultaneous queue depth observed.",
+            &[],
+            snap.queue_high_water,
+        );
+        sink.histogram(
+            "basilisk_serve_latency_micros",
+            "Per-query serving latency.",
+            &s.latency_snapshot(),
+        );
+        sink.counter(
+            "basilisk_serve_slow_recorded_total",
+            "Requests recorded into the slow-query ring.",
+            &[],
+            sl.recorded(),
+        );
+        for lane in g.lane_stats() {
+            let client: &str = &lane.client;
+            sink.counter(
+                "basilisk_serve_lane_admitted_total",
+                "Requests admitted into the lane.",
+                &[("client", client)],
+                lane.admitted,
+            );
+            sink.counter(
+                "basilisk_serve_lane_dispatched_total",
+                "Requests the DRR dispatcher granted a context.",
+                &[("client", client)],
+                lane.dispatched,
+            );
+            sink.counter(
+                "basilisk_serve_lane_rejected_total",
+                "Requests rejected while targeting the lane.",
+                &[("client", client)],
+                lane.rejected,
+            );
+            sink.gauge(
+                "basilisk_serve_lane_depth",
+                "Tickets currently queued in the lane.",
+                &[("client", client)],
+                lane.depth,
+            );
+            sink.counter(
+                "basilisk_serve_lane_wait_micros_total",
+                "Microseconds admitted requests spent queued.",
+                &[("client", client)],
+                lane.wait_total_micros,
+            );
+        }
+    });
+
+    let p = Arc::clone(pool);
+    metrics.register(move |sink| {
+        let sch = p.sched_stats();
+        sink.gauge(
+            "basilisk_sched_workers",
+            "Configured worker count of the shared pool.",
+            &[],
+            sch.workers,
+        );
+        sink.counter(
+            "basilisk_sched_tasks_total",
+            "Tasks executed (morsel and subtree closures).",
+            &[],
+            sch.tasks,
+        );
+        sink.counter(
+            "basilisk_sched_steals_total",
+            "Tasks claimed from another worker's deque.",
+            &[],
+            sch.steals,
+        );
+        sink.counter(
+            "basilisk_sched_parks_total",
+            "Times a resident worker parked on the work condvar.",
+            &[],
+            sch.parks,
+        );
+        sink.counter(
+            "basilisk_sched_notifies_total",
+            "Wakeup broadcasts issued by region publication.",
+            &[],
+            sch.notifies,
+        );
+        let workers = sch.workers as usize;
+        for (i, &busy) in sch.busy_micros.iter().enumerate() {
+            let label = if i < workers {
+                i.to_string()
+            } else {
+                "inline".to_string()
+            };
+            sink.counter(
+                "basilisk_sched_worker_busy_micros_total",
+                "Busy microseconds per worker arena.",
+                &[("worker", &label)],
+                busy,
+            );
+        }
+        let r = p.region_stats();
+        sink.counter(
+            "basilisk_sched_regions_total",
+            "Parallel regions fanned out on the shared pool.",
+            &[],
+            r.regions,
+        );
+        sink.counter(
+            "basilisk_sched_region_waits_total",
+            "Regions that waited for a region-table slot.",
+            &[],
+            r.waits,
+        );
+        sink.histogram(
+            "basilisk_sched_region_wait_micros",
+            "Region-slot wait times.",
+            &HistogramSnapshot::from_parts(r.wait_buckets, r.wait_total_micros),
+        );
+        sink.gauge(
+            "basilisk_sched_region_slots",
+            "Size of the pool's region table.",
+            &[],
+            r.slots,
+        );
+        sink.gauge(
+            "basilisk_sched_region_max_concurrent",
+            "Highest number of simultaneously live regions observed.",
+            &[],
+            r.max_concurrent,
+        );
+    });
+
+    let p = Arc::clone(pool);
+    let g = Arc::clone(gate);
+    metrics.register(move |sink| {
+        let mut shapes = p.arena_stats();
+        let mut outstanding = p.outstanding();
+        let mut pooled = p.pooled();
+        for (o, pl, st) in g.with_free(|ctx| {
+            (
+                ctx.arena().outstanding(),
+                ctx.arena().pooled(),
+                ctx.arena().stats(),
+            )
+        }) {
+            outstanding += o;
+            pooled += pl;
+            shapes.merge(&st);
+        }
+        sink.gauge(
+            "basilisk_arena_outstanding",
+            "Pooled buffers currently checked out (idle contexts and worker arenas).",
+            &[],
+            outstanding as u64,
+        );
+        sink.gauge(
+            "basilisk_arena_pooled",
+            "Buffers parked in the pools, ready for reuse.",
+            &[],
+            pooled as u64,
+        );
+        for (shape, ps) in shapes.by_shape() {
+            sink.counter(
+                "basilisk_arena_fresh_total",
+                "Pool misses (new heap buffers) since the last reset.",
+                &[("shape", shape)],
+                ps.fresh as u64,
+            );
+            sink.counter(
+                "basilisk_arena_reused_total",
+                "Pool hits since the last reset.",
+                &[("shape", shape)],
+                ps.reused as u64,
+            );
+        }
+    });
 }
 
 // One server, many client threads: keep the property pinned.

@@ -12,11 +12,14 @@ use basilisk_types::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use basilisk_sched::REGION_WAIT_BUCKETS;
+use basilisk_types::{Histogram, HistogramSnapshot, TraceSpan};
 
 /// Number of power-of-two latency buckets: bucket `i` counts queries with
 /// latency in `[2^i, 2^(i+1))` microseconds (bucket 0 additionally takes
-/// sub-microsecond queries, the last bucket everything slower).
-pub const LATENCY_BUCKETS: usize = 24;
+/// sub-microsecond queries, the last bucket everything slower). Shared
+/// with the scheduler's region-wait histogram
+/// ([`basilisk_types::HISTOGRAM_BUCKETS`]).
+pub const LATENCY_BUCKETS: usize = basilisk_types::HISTOGRAM_BUCKETS;
 
 /// The recorder half: shared by every request, snapshot via
 /// [`StatsRecorder::snapshot`].
@@ -34,8 +37,7 @@ pub struct StatsRecorder {
     rejected: AtomicU64,
     queue_depth: AtomicU64,
     queue_high_water: AtomicU64,
-    latency: [AtomicU64; LATENCY_BUCKETS],
-    latency_total_micros: AtomicU64,
+    latency: Histogram,
 }
 
 impl StatsRecorder {
@@ -59,13 +61,13 @@ impl StatsRecorder {
 
     pub fn executed(&self, latency: Duration) {
         self.executed.fetch_add(1, Ordering::Relaxed);
-        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
-        self.latency_total_micros
-            .fetch_add(micros, Ordering::Relaxed);
-        let bucket = (64 - micros.leading_zeros() as usize)
-            .saturating_sub(1)
-            .min(LATENCY_BUCKETS - 1);
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// The latency histogram's read side (the `/v1/metrics` collector
+    /// renders it directly).
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 
     pub fn error(&self) {
@@ -99,6 +101,7 @@ impl StatsRecorder {
     }
 
     pub fn snapshot(&self) -> ServeStats {
+        let latency = self.latency.snapshot();
         ServeStats {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
@@ -109,8 +112,8 @@ impl StatsRecorder {
             rejected: self.rejected.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
-            latency_buckets: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
-            latency_total_micros: self.latency_total_micros.load(Ordering::Relaxed),
+            latency_buckets: latency.buckets,
+            latency_total_micros: latency.total_micros,
             // Region-occupancy counters live on the shared worker pool
             // and lane counters on the admission gate; `Server::stats`
             // overlays both onto this snapshot.
@@ -200,18 +203,19 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
+    /// The latency fields re-wrapped as a [`HistogramSnapshot`].
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        HistogramSnapshot::from_parts(self.latency_buckets, self.latency_total_micros)
+    }
+
     /// Total queries recorded in the histogram.
     pub fn latency_count(&self) -> u64 {
-        self.latency_buckets.iter().sum()
+        self.latency_histogram().count()
     }
 
     /// Mean query latency.
     pub fn mean_latency(&self) -> Duration {
-        let n = self.latency_count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_micros(self.latency_total_micros / n)
+        self.latency_histogram().mean()
     }
 
     /// Mean time a slot-waiting region spent blocked, across the
@@ -226,20 +230,30 @@ impl ServeStats {
     /// Upper bound of the bucket containing the `q`-quantile (0 < q ≤ 1)
     /// — e.g. `quantile_latency(0.99)` for a p99 estimate.
     pub fn quantile_latency(&self, q: f64) -> Duration {
-        let n = self.latency_count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.latency_buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Duration::from_micros(1u64 << (i + 1));
-            }
-        }
-        Duration::from_micros(1u64 << LATENCY_BUCKETS)
+        self.latency_histogram().quantile(q)
     }
+}
+
+/// One retained slow-query record (see
+/// [`Server::slow_queries`](crate::Server::slow_queries)): every request
+/// whose total latency met the server's slow threshold is summarized
+/// here and pushed into the bounded [`SlowLog`](basilisk_types::SlowLog)
+/// ring, carrying its full span tree when the request was traced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Normalized statement text (literals as `?n` placeholders).
+    pub statement: String,
+    /// Client tag of the fairness lane the request ran in.
+    pub client: String,
+    /// Wire name of the request's priority.
+    pub priority: &'static str,
+    pub row_count: usize,
+    pub cache_hit: bool,
+    pub queue_wait_micros: u64,
+    /// Total serving latency (planning + execution).
+    pub total_micros: u64,
+    /// The span tree, when the request opted into tracing.
+    pub trace: Option<TraceSpan>,
 }
 
 #[cfg(test)]

@@ -91,6 +91,34 @@ pub struct ArenaStats {
 }
 
 impl ArenaStats {
+    /// Accumulate another arena's counters into this snapshot (how the
+    /// metrics collectors aggregate across worker and context arenas).
+    pub fn merge(&mut self, other: &ArenaStats) {
+        for (a, b) in [
+            (&mut self.masks, &other.masks),
+            (&mut self.bitmaps, &other.bitmaps),
+            (&mut self.indices, &other.indices),
+            (&mut self.columns, &other.columns),
+            (&mut self.values, &other.values),
+            (&mut self.slot_tables, &other.slot_tables),
+        ] {
+            a.fresh += b.fresh;
+            a.reused += b.reused;
+        }
+    }
+
+    /// The per-shape counters with their stable metric label names.
+    pub fn by_shape(&self) -> [(&'static str, PoolStats); 6] {
+        [
+            ("masks", self.masks),
+            ("bitmaps", self.bitmaps),
+            ("indices", self.indices),
+            ("columns", self.columns),
+            ("values", self.values),
+            ("slot_tables", self.slot_tables),
+        ]
+    }
+
     /// Total pool misses — zero in steady state.
     pub fn fresh(&self) -> usize {
         self.masks.fresh

@@ -1,0 +1,206 @@
+//! The shared power-of-two microsecond histogram.
+//!
+//! Serving latency and region slot-wait times share one recording shape:
+//! [`HISTOGRAM_BUCKETS`] lock-free buckets where bucket `i` counts
+//! durations in `[2^i, 2^(i+1))` microseconds (bucket 0 additionally
+//! takes sub-microsecond durations, the last bucket everything slower),
+//! plus a running total for exact means. [`Histogram`] is the recorder
+//! half (façade atomics, relaxed ordering — a recording is one
+//! `fetch_add` per bucket and one for the total); [`HistogramSnapshot`]
+//! is the plain-data read side with the `mean`/`quantile` helpers the
+//! serving layer exposes.
+
+use std::time::Duration;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets. 24 buckets cover sub-microsecond up
+/// to ~16.8 s before the saturating top bucket takes over.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// Map a duration in microseconds to its bucket index.
+#[inline]
+pub fn bucket_index(micros: u64) -> usize {
+    (64 - micros.leading_zeros() as usize)
+        .saturating_sub(1)
+        .min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// The lock-free recorder half (see the module docs). `Default` is an
+/// empty histogram.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    total_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one duration already converted to microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one duration (saturating at `u64::MAX` microseconds).
+    pub fn record(&self, d: Duration) {
+        self.record_micros(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`] with the derived statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// `buckets[i]` counts durations in `[2^i, 2^(i+1))` µs.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Exact sum of every recorded duration, in microseconds.
+    pub total_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Rebuild a snapshot from raw parts (how the serving layer derives
+    /// statistics over bucket arrays it carries as plain fields).
+    pub fn from_parts(buckets: [u64; HISTOGRAM_BUCKETS], total_micros: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets,
+            total_micros,
+        }
+    }
+
+    /// Total durations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded duration ([`Duration::ZERO`] when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.total_micros / n)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (0 < q ≤ 1) — e.g. `quantile(0.99)` for a p99 estimate.
+    /// [`Duration::ZERO`] when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_micros(1u64 << (i + 1));
+            }
+        }
+        Duration::from_micros(1u64 << HISTOGRAM_BUCKETS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_power_of_two_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1000), 9, "[512, 1024) µs");
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(3));
+        h.record_micros(1000);
+        h.record(Duration::from_secs(4000)); // beyond range → last bucket
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[9], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.total_micros, 3 + 1000 + 4_000_000_000);
+    }
+
+    #[test]
+    fn empty_snapshot_statistics() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.quantile(0.5), Duration::ZERO);
+        assert_eq!(s.quantile(1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_bucket_quantiles() {
+        // Every recording in one bucket: any quantile reports that
+        // bucket's upper bound.
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record_micros(5); // [4, 8) → bucket 2
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.01), Duration::from_micros(8));
+        assert_eq!(s.quantile(0.5), Duration::from_micros(8));
+        assert_eq!(s.quantile(1.0), Duration::from_micros(8));
+        assert_eq!(s.mean(), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn saturating_top_bucket_quantile() {
+        // Recordings beyond the bucket range land in the top bucket; its
+        // reported upper bound is 2^HISTOGRAM_BUCKETS µs, not the true
+        // maximum.
+        let h = Histogram::default();
+        h.record(Duration::from_secs(100_000));
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(
+            s.quantile(1.0),
+            Duration::from_micros(1u64 << HISTOGRAM_BUCKETS)
+        );
+    }
+
+    #[test]
+    fn quantile_spread_and_rank_rounding() {
+        let h = Histogram::default();
+        h.record_micros(1); // bucket 0
+        h.record_micros(1); // bucket 0
+        h.record_micros(3); // bucket 1
+        h.record_micros(100); // bucket 6
+        let s = h.snapshot();
+        // rank(0.5) = ceil(0.5·4) = 2 → still bucket 0.
+        assert_eq!(s.quantile(0.5), Duration::from_micros(2));
+        // rank(0.75) = 3 → bucket 1.
+        assert_eq!(s.quantile(0.75), Duration::from_micros(4));
+        assert_eq!(s.quantile(1.0), Duration::from_micros(128));
+        // q clamps: 0 behaves like the minimum rank, > 1 like the max.
+        assert_eq!(s.quantile(0.0), Duration::from_micros(2));
+        assert_eq!(s.quantile(2.0), Duration::from_micros(128));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let h = Histogram::default();
+        h.record_micros(7);
+        let s = h.snapshot();
+        assert_eq!(HistogramSnapshot::from_parts(s.buckets, s.total_micros), s);
+    }
+}

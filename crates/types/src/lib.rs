@@ -35,15 +35,26 @@
 //!   instead of `std::sync`: plain re-exports in normal builds, the
 //!   schedule-exploring instrumented runtime under `--cfg basilisk_check`
 //!   (driven by the `basilisk-check` crate).
+//! * [`Histogram`] — the shared power-of-two microsecond histogram
+//!   (serving latency, region slot waits) with `mean`/`quantile` on its
+//!   plain-data [`HistogramSnapshot`].
+//! * [`Tracer`] / [`TraceSpan`] — per-request span-tree tracing (the
+//!   in-process `EXPLAIN ANALYZE`), with [`SlowLog`] as the bounded ring
+//!   retaining recent slow-query traces.
+//! * [`MetricsRegistry`] — pull-model metric collectors rendered as
+//!   Prometheus text exposition by the `/v1/metrics` route.
 
 mod arena;
 mod bitmap;
 mod colpool;
 mod error;
 mod gather;
+mod histogram;
+mod metrics;
 mod morsel;
 mod slots;
 pub mod sync;
+mod trace;
 mod truth;
 mod truthmask;
 mod valpool;
@@ -54,8 +65,11 @@ pub use bitmap::{Bitmap, BitmapIter};
 pub use colpool::ColumnPool;
 pub use error::{BasiliskError, Result};
 pub use gather::{gather_u32_into, gather_u32_scalar_into};
+pub use histogram::{bucket_index, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use metrics::{MetricSink, MetricsRegistry};
 pub use morsel::{Morsel, DEFAULT_MORSEL_ROWS};
 pub use slots::SlotTable;
+pub use trace::{SlowLog, SpanId, TraceSpan, TraceValue, Tracer};
 pub use truth::Truth;
 pub use truthmask::TruthMask;
 pub use valpool::ValuePool;

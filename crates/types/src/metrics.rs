@@ -1,0 +1,228 @@
+//! Pull-model metrics registry with Prometheus text exposition.
+//!
+//! Components that own counters (the serving stats recorder, the worker
+//! pool, arenas) register a *collector* closure; [`MetricsRegistry::render`]
+//! runs every collector against a [`MetricSink`] and returns the
+//! Prometheus text-format page (`text/plain; version=0.0.4`) the
+//! `/v1/metrics` route serves. Nothing is recorded through the registry
+//! itself — the sources keep their existing lock-free counters and are
+//! only *read* at scrape time, so the request path pays nothing for
+//! exposition.
+//!
+//! Metric names are a contract (see ROADMAP "Observability"): renames
+//! break dashboards the same way wire-field renames break clients.
+
+use std::collections::HashSet;
+
+use crate::histogram::HistogramSnapshot;
+use crate::sync::Mutex;
+
+type Collector = Box<dyn Fn(&mut MetricSink) + Send + Sync>;
+
+/// A set of metric collectors rendered on demand (see the module docs).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    collectors: Mutex<Vec<Collector>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register a collector; it runs on every [`MetricsRegistry::render`].
+    pub fn register(&self, collector: impl Fn(&mut MetricSink) + Send + Sync + 'static) {
+        self.collectors
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::new(collector));
+    }
+
+    /// Run every collector and return the Prometheus text page.
+    pub fn render(&self) -> String {
+        let mut sink = MetricSink::new();
+        for c in self
+            .collectors
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            c(&mut sink);
+        }
+        sink.finish()
+    }
+}
+
+/// Escape a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Accumulates exposition lines for one render pass. `# HELP`/`# TYPE`
+/// headers are emitted once per metric family, on its first sample.
+pub struct MetricSink {
+    out: String,
+    seen: HashSet<String>,
+}
+
+impl MetricSink {
+    fn new() -> MetricSink {
+        MetricSink {
+            out: String::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.seen.insert(name.to_string()) {
+            self.out.push_str(&format!("# HELP {name} {help}\n"));
+            self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+        }
+    }
+
+    /// One sample of a monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        self.out
+            .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+
+    /// One sample of a point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "gauge");
+        self.out
+            .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+
+    /// A full power-of-two histogram family: cumulative `_bucket` lines
+    /// with `le` in microseconds, then `_sum` (microseconds) and
+    /// `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snapshot: &HistogramSnapshot) {
+        self.header(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in snapshot.buckets.iter().enumerate() {
+            cumulative += c;
+            let le = 1u64 << (i + 1);
+            self.out
+                .push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        self.out
+            .push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        self.out
+            .push_str(&format!("{name}_sum {}\n", snapshot.total_micros));
+        self.out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn counters_gauges_and_headers_dedup() {
+        let reg = MetricsRegistry::new();
+        reg.register(|sink| {
+            sink.counter("demo_total", "A demo counter.", &[("lane", "a")], 3);
+            sink.counter("demo_total", "A demo counter.", &[("lane", "b")], 5);
+            sink.gauge("demo_depth", "A demo gauge.", &[], 2);
+        });
+        let page = reg.render();
+        assert_eq!(page.matches("# HELP demo_total").count(), 1);
+        assert_eq!(page.matches("# TYPE demo_total counter").count(), 1);
+        assert!(page.contains("demo_total{lane=\"a\"} 3\n"));
+        assert!(page.contains("demo_total{lane=\"b\"} 5\n"));
+        assert!(page.contains("# TYPE demo_depth gauge\n"));
+        assert!(page.contains("demo_depth 2\n"));
+    }
+
+    #[test]
+    fn multiple_collectors_concatenate() {
+        let reg = MetricsRegistry::new();
+        reg.register(|s| s.counter("a_total", "a", &[], 1));
+        reg.register(|s| s.counter("b_total", "b", &[], 2));
+        let page = reg.render();
+        let a = page.find("a_total 1").unwrap();
+        let b = page.find("b_total 2").unwrap();
+        assert!(a < b, "collectors render in registration order");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let h = Histogram::default();
+        h.record_micros(1); // bucket 0
+        h.record_micros(3); // bucket 1
+        h.record_micros(3);
+        let reg = MetricsRegistry::new();
+        let snap = h.snapshot();
+        reg.register(move |s| s.histogram("lat_micros", "latency", &snap));
+        let page = reg.render();
+        assert!(page.contains("lat_micros_bucket{le=\"2\"} 1\n"));
+        assert!(page.contains("lat_micros_bucket{le=\"4\"} 3\n"));
+        assert!(page.contains("lat_micros_bucket{le=\"+Inf\"} 3\n"));
+        assert!(page.contains("lat_micros_sum 7\n"));
+        assert!(page.contains("lat_micros_count 3\n"));
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let reg = MetricsRegistry::new();
+        reg.register(|s| {
+            s.counter("esc_total", "e", &[("client", "a\"b\\c\nd")], 1);
+        });
+        let page = reg.render();
+        assert!(page.contains("esc_total{client=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn every_sample_line_is_well_formed() {
+        // The shape net-smoke validates: every non-comment line is
+        // `name[{labels}] value` with a parseable number.
+        let h = Histogram::default();
+        h.record_micros(100);
+        let snap = h.snapshot();
+        let reg = MetricsRegistry::new();
+        reg.register(move |s| {
+            s.counter("x_total", "x", &[("k", "v")], 1);
+            s.gauge("x_depth", "x", &[], 0);
+            s.histogram("x_micros", "x", &snap);
+        });
+        for line in reg.render().lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "{line}"
+                );
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(!name_part.is_empty(), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
+    }
+}
