@@ -27,9 +27,12 @@ use std::time::Instant;
 use basilisk::{Catalog, PlannerKind, Query, QuerySession, TableBuilder};
 use basilisk_bench::workload::{int_column_with_nulls, provider, wide_disjunction, ROWS};
 use basilisk_bench::Args;
-use basilisk_expr::eval::{eval_atom_mask, eval_node, eval_node_mask};
+use basilisk_expr::eval::{
+    eval_atom_mask, eval_node, eval_node_mask, eval_node_mask_morsel, MapProvider,
+};
 use basilisk_expr::{and, col, or, Atom, CmpOp, ColumnRef, PredicateTree};
-use basilisk_types::{Bitmap, DataType, MaskArena, Truth, TruthMask, Value};
+use basilisk_storage::Column;
+use basilisk_types::{Bitmap, DataType, MaskArena, Morsel, Truth, TruthMask, Value};
 
 /// Median wall-clock nanoseconds of `f` over `samples` runs (one warmup).
 fn time_ns(samples: usize, mut f: impl FnMut() -> usize) -> f64 {
@@ -214,6 +217,69 @@ fn main() {
             arena.recycle_mask(m);
             n
         }),
+    );
+
+    // --- compressed columnar scan: zone-map skipping vs decoded ---------
+    // The storage subsystem's acceptance workload: `a` is clustered by
+    // position so the two range arms touch only the first and last
+    // 1/64th of the table, and `b` never hits the probe literal. The
+    // decoded scan runs compare kernels over every lane of every
+    // morsel; the encoded scan consults per-morsel zone maps first and
+    // fills whole word ranges for decided morsels, running the
+    // compare-on-codes kernels only where the zones are inconclusive.
+    // Same morsel walk, same arena, serial — the ratio isolates the
+    // encoded-column layer.
+    let scan_rows: usize = 1 << 20;
+    let scan_n = scan_rows as i64;
+    let col_a = Column::from_ints((0..scan_n).collect());
+    let col_b = Column::from_ints((0..scan_n).map(|i| i % 977).collect());
+    let scan_tree = PredicateTree::build(&or(vec![
+        col("g", "a").lt(scan_n / 64),
+        col("g", "a").ge(scan_n - scan_n / 64),
+        col("g", "b").eq(-1i64),
+    ]));
+    let scan_root = scan_tree.root();
+    let scan_sel = Bitmap::all_set(scan_rows);
+    let scan_morsels = Morsel::split(scan_rows, 4096);
+    let a_ref = ColumnRef::new("g", "a");
+    let b_ref = ColumnRef::new("g", "b");
+    let decoded_prov = MapProvider::new(scan_rows)
+        .with(a_ref.clone(), col_a.clone())
+        .with(b_ref.clone(), col_b.clone());
+    let encoded_prov = MapProvider::new(scan_rows)
+        .with_encoded(a_ref, col_a)
+        .with_encoded(b_ref, col_b);
+    let scan_expected = 2 * (scan_rows / 64);
+    let scan_morsels_ref = &scan_morsels;
+    let run_scan = |prov: &MapProvider, arena: &MaskArena| {
+        let mut n = 0usize;
+        for &m in scan_morsels_ref {
+            let mask =
+                eval_node_mask_morsel(&scan_tree, scan_root, prov, &scan_sel, arena, m).unwrap();
+            n += mask.count_true();
+            arena.recycle_mask(mask);
+        }
+        assert_eq!(n, scan_expected, "selective scan answer");
+        n
+    };
+    report.push(
+        "scan/decoded_selective",
+        time_ns(samples, || run_scan(&decoded_prov, &arena)),
+    );
+    report.push(
+        "scan/encoded_selective",
+        time_ns(samples, || run_scan(&encoded_prov, &arena)),
+    );
+    // Skip ratio from one run on a fresh arena (the shared bench arena's
+    // zone counters already carry every timing repetition).
+    let zone_arena = MaskArena::new();
+    run_scan(&encoded_prov, &zone_arena);
+    let zs = zone_arena.stats();
+    let zonemap_skip = zs.zone_skipped_morsels as f64
+        / (zs.zone_skipped_morsels + zs.zone_scanned_morsels).max(1) as f64;
+    println!(
+        "    zone maps: {} atom-morsels skipped, {} scanned",
+        zs.zone_skipped_morsels, zs.zone_scanned_morsels
     );
 
     // --- join-output gather: fresh scalar vs pooled word-parallel -------
@@ -674,8 +740,12 @@ fn main() {
         report.get("net/loopback_8clients") / report.get("serve/in_process_baseline");
     let trace_overhead =
         report.get("serve/tracing_disabled") / report.get("serve/untraced_baseline");
+    let compressed_vs_decoded =
+        report.get("scan/decoded_selective") / report.get("scan/encoded_selective");
     let or_fold_gelems = ROWS as f64 / report.get("or_fold/vectorized"); // elems/ns = Gelems/s
     let derived = vec![
+        ("compressed_vs_decoded".to_string(), compressed_vs_decoded),
+        ("zonemap_skip_selective".to_string(), zonemap_skip),
         ("or_fold_speedup".to_string(), or_fold_speedup),
         ("eval_speedup".to_string(), eval_speedup),
         ("cmp_kernel_speedup".to_string(), cmp_kernel_speedup),
@@ -688,6 +758,13 @@ fn main() {
         ("trace_overhead".to_string(), trace_overhead),
         ("or_fold_gelems_per_s".to_string(), or_fold_gelems),
     ];
+    println!(
+        "  compressed_vs_decoded {compressed_vs_decoded:.1}x (zone-map scan vs decoded kernels)"
+    );
+    println!(
+        "  zonemap_skip_selective {:.2} (fraction of atom-morsels zone-decided)",
+        zonemap_skip
+    );
     println!("  or_fold_speedup      {or_fold_speedup:.1}x");
     println!("  eval_speedup         {eval_speedup:.1}x");
     println!("  cmp_kernel_speedup   {cmp_kernel_speedup:.1}x");
@@ -724,6 +801,8 @@ fn main() {
         .unwrap_or(1);
     let mut failed = false;
     for (key, measured) in [
+        ("compressed_vs_decoded", compressed_vs_decoded),
+        ("zonemap_skip_selective", zonemap_skip),
         ("or_fold_speedup", or_fold_speedup),
         ("cmp_kernel_speedup", cmp_kernel_speedup),
         ("gather_kernel_speedup", gather_kernel_speedup),

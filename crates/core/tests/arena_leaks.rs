@@ -37,10 +37,15 @@ fn tset() -> TableSet {
 
 /// A predicate whose second AND-child references a missing column, so
 /// evaluation fails *after* the first child produced a pooled mask.
+/// The first child must stay **mixed** over the test data (years
+/// 1900–1999, so `> 1950` is true for some lanes and false for
+/// others): the connective folds short-circuit a saturated morsel —
+/// an all-false first conjunct would skip the broken atom entirely
+/// and the evaluation would (correctly) succeed.
 fn failing_tree() -> PredicateTree {
     PredicateTree::build(&or(vec![
         and(vec![
-            col("t", "year").gt(2000i64),
+            col("t", "year").gt(1950i64),
             col("t", "no_such_column").gt(0i64),
         ]),
         col("t", "year").lt(1950i64),

@@ -375,6 +375,19 @@ impl ColumnProvider for RelProvider<'_> {
         })
     }
 
+    /// Encoded columns are positional, so only identity-aligned aliases
+    /// (unfiltered base scans, where relation row `i` *is* table row `i`)
+    /// may answer — exactly the scans where zone-map skipping pays.
+    fn fetch_encoded(&self, col: &ColumnRef) -> Option<Arc<basilisk_storage::EncodedColumn>> {
+        if !self.is_identity_alias(&col.table) {
+            return None;
+        }
+        match self.tables.column(col) {
+            Ok(handle) => handle.encoded().cloned(),
+            Err(_) => None,
+        }
+    }
+
     fn num_rows(&self) -> usize {
         self.relation.len()
     }
@@ -537,6 +550,29 @@ mod tests {
         let full = p.fetch_at(&ColumnRef::new("t", "id"), &dense).unwrap();
         assert_eq!(full.len(), 8);
         assert!(full.is_valid(0));
+    }
+
+    #[test]
+    fn fetch_encoded_only_for_identity_relations() {
+        let mut b = TableBuilder::new("t").column("id", DataType::Int).encoded();
+        for id in 0..5i64 {
+            b.push_row(vec![id.into()]).unwrap();
+        }
+        let t = Arc::new(b.finish().unwrap());
+        let ts = TableSet::from_tables(vec![("t".into(), t)]);
+        let base = IdxRelation::base("t", 5);
+        let p = RelProvider::new(&ts, &base);
+        let enc = p.fetch_encoded(&ColumnRef::new("t", "id")).unwrap();
+        assert_eq!(enc.len(), 5);
+        // Filtered relations are not positionally aligned — no encoded view.
+        let narrowed = base.select(&[3, 1]);
+        let p = RelProvider::new(&ts, &narrowed);
+        assert!(p.fetch_encoded(&ColumnRef::new("t", "id")).is_none());
+        // Plain (unencoded) tables have nothing to offer either.
+        let ts = TableSet::from_tables(vec![("t".into(), table())]);
+        let base = IdxRelation::base("t", 3);
+        let p = RelProvider::new(&ts, &base);
+        assert!(p.fetch_encoded(&ColumnRef::new("t", "id")).is_none());
     }
 
     #[test]

@@ -32,7 +32,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use basilisk_storage::{Column, ColumnData};
+use basilisk_storage::{Column, ColumnData, EncCmpOp, EncodedColumn};
 use basilisk_types::{BasiliskError, Bitmap, MaskArena, Morsel, Result, Truth, TruthMask, Value};
 
 use crate::atom::{Atom, CmpOp, ColumnRef};
@@ -53,6 +53,14 @@ pub trait ColumnProvider {
         self.fetch(col)
     }
 
+    /// The encoded form of `col`, when the provider holds one whose row
+    /// `i` is evaluation row `i` (zone maps are positional, so only
+    /// identity-aligned relations may answer). `None` — the default —
+    /// routes the atom through the decoded path.
+    fn fetch_encoded(&self, _col: &ColumnRef) -> Option<Arc<EncodedColumn>> {
+        None
+    }
+
     /// Number of rows under evaluation.
     fn num_rows(&self) -> usize;
 }
@@ -60,6 +68,7 @@ pub trait ColumnProvider {
 /// A trivial provider over pre-materialized columns (tests, samples).
 pub struct MapProvider {
     columns: HashMap<ColumnRef, Arc<Column>>,
+    encoded: HashMap<ColumnRef, Arc<EncodedColumn>>,
     rows: usize,
 }
 
@@ -67,12 +76,23 @@ impl MapProvider {
     pub fn new(rows: usize) -> Self {
         MapProvider {
             columns: HashMap::new(),
+            encoded: HashMap::new(),
             rows,
         }
     }
 
     pub fn with(mut self, col: ColumnRef, data: Column) -> Self {
         assert_eq!(data.len(), self.rows);
+        self.columns.insert(col, Arc::new(data));
+        self
+    }
+
+    /// Register `data` both encoded and decoded: the encoded form serves
+    /// the zone-map/kernel path, the decoded one any fallback.
+    pub fn with_encoded(mut self, col: ColumnRef, data: Column) -> Self {
+        assert_eq!(data.len(), self.rows);
+        self.encoded
+            .insert(col.clone(), Arc::new(EncodedColumn::encode(&data)));
         self.columns.insert(col, Arc::new(data));
         self
     }
@@ -84,6 +104,10 @@ impl ColumnProvider for MapProvider {
             .get(col)
             .cloned()
             .ok_or_else(|| BasiliskError::Schema(format!("no column {col} in provider")))
+    }
+
+    fn fetch_encoded(&self, col: &ColumnRef) -> Option<Arc<EncodedColumn>> {
+        self.encoded.get(col).cloned()
     }
 
     fn num_rows(&self) -> usize {
@@ -101,13 +125,16 @@ impl ColumnProvider for MapProvider {
 /// arena touched.
 pub struct ColumnSet {
     columns: HashMap<ColumnRef, Arc<Column>>,
+    encoded: HashMap<ColumnRef, Arc<EncodedColumn>>,
     rows: usize,
 }
 
 impl ColumnSet {
     /// Fetch every column referenced by the subtree rooted at `id`
     /// through `provider` (honoring the selection hint, exactly as the
-    /// serial evaluation of that subtree would).
+    /// serial evaluation of that subtree would). Columns the provider can
+    /// answer encoded are carried encoded too, so workers keep the
+    /// zone-map path.
     pub fn prefetch(
         tree: &PredicateTree,
         id: ExprId,
@@ -120,28 +147,34 @@ impl ColumnSet {
             provider: &impl ColumnProvider,
             sel: &Bitmap,
             out: &mut HashMap<ColumnRef, Arc<Column>>,
+            enc: &mut HashMap<ColumnRef, Arc<EncodedColumn>>,
         ) -> Result<()> {
             match tree.kind(id) {
                 NodeKind::Atom(atom) => {
                     let col = atom.column();
                     if !out.contains_key(col) {
                         out.insert(col.clone(), provider.fetch_at(col, sel)?);
+                        if let Some(e) = provider.fetch_encoded(col) {
+                            enc.insert(col.clone(), e);
+                        }
                     }
                     Ok(())
                 }
-                NodeKind::Not(c) => collect(tree, *c, provider, sel, out),
+                NodeKind::Not(c) => collect(tree, *c, provider, sel, out, enc),
                 NodeKind::And(cs) | NodeKind::Or(cs) => {
                     for &c in cs {
-                        collect(tree, c, provider, sel, out)?;
+                        collect(tree, c, provider, sel, out, enc)?;
                     }
                     Ok(())
                 }
             }
         }
         let mut columns = HashMap::new();
-        collect(tree, id, provider, sel, &mut columns)?;
+        let mut encoded = HashMap::new();
+        collect(tree, id, provider, sel, &mut columns, &mut encoded)?;
         Ok(ColumnSet {
             columns,
+            encoded,
             rows: provider.num_rows(),
         })
     }
@@ -153,6 +186,10 @@ impl ColumnProvider for ColumnSet {
             .get(col)
             .cloned()
             .ok_or_else(|| BasiliskError::Schema(format!("column {col} was not prefetched")))
+    }
+
+    fn fetch_encoded(&self, col: &ColumnRef) -> Option<Arc<EncodedColumn>> {
+        self.encoded.get(col).cloned()
     }
 
     fn num_rows(&self) -> usize {
@@ -250,6 +287,11 @@ pub fn eval_node_mask_morsel(
 ) -> Result<TruthMask> {
     match tree.kind(id) {
         NodeKind::Atom(atom) => {
+            if let Some(enc) = provider.fetch_encoded(atom.column()) {
+                if let Some(mask) = eval_atom_encoded(atom, &enc, sel, arena, morsel) {
+                    return Ok(mask);
+                }
+            }
             let column = provider.fetch_at(atom.column(), sel)?;
             eval_atom_mask_morsel(atom, &column, sel, arena, morsel)
         }
@@ -259,18 +301,57 @@ pub fn eval_node_mask_morsel(
             m.restrict_to_words(&sel.words()[morsel.word_range()]);
             Ok(m)
         }
-        NodeKind::And(cs) => {
-            fold_children(tree, cs, provider, sel, arena, morsel, TruthMask::and_with)
-        }
-        NodeKind::Or(cs) => {
-            fold_children(tree, cs, provider, sel, arena, morsel, TruthMask::or_with)
-        }
+        NodeKind::And(cs) => fold_children(
+            tree,
+            cs,
+            provider,
+            sel,
+            arena,
+            morsel,
+            TruthMask::and_with,
+            and_saturated,
+        ),
+        NodeKind::Or(cs) => fold_children(
+            tree,
+            cs,
+            provider,
+            sel,
+            arena,
+            morsel,
+            TruthMask::or_with,
+            or_saturated,
+        ),
     }
+}
+
+/// Every selected lane already `True`: T ∨ x ≡ T for every Kleene x, so
+/// an OR fold over these lanes cannot change — later arms are dead.
+fn or_saturated(acc: &TruthMask, sel_words: &[u64]) -> bool {
+    let tru = acc.trues().words();
+    sel_words.iter().enumerate().all(|(w, &s)| s & !tru[w] == 0)
+}
+
+/// Every selected lane already `False`: F ∧ x ≡ F for every Kleene x, so
+/// an AND fold over these lanes cannot change — later arms are dead.
+fn and_saturated(acc: &TruthMask, sel_words: &[u64]) -> bool {
+    let (tru, unk) = (acc.trues().words(), acc.unknowns().words());
+    sel_words
+        .iter()
+        .enumerate()
+        .all(|(w, &s)| s & (tru[w] | unk[w]) == 0)
 }
 
 /// Fold a connective's children into the first child's mask, recycling
 /// each child mask as soon as it is combined — and the accumulator too on
 /// an error path, so failed evaluations never shrink the pool.
+///
+/// Between arms the fold checks `saturated`: once the accumulator has
+/// absorbed the morsel (every selected lane at the connective's fixed
+/// point — all-true for OR, all-false for AND), the remaining children
+/// cannot change the result and are skipped. Combined with zone-map
+/// pruning this is what turns a proven morsel into zero further work for
+/// the rest of a disjunction's arms.
+#[allow(clippy::too_many_arguments)]
 fn fold_children(
     tree: &PredicateTree,
     children: &[ExprId],
@@ -279,9 +360,14 @@ fn fold_children(
     arena: &MaskArena,
     morsel: Morsel,
     combine: impl Fn(&mut TruthMask, &TruthMask),
+    saturated: impl Fn(&TruthMask, &[u64]) -> bool,
 ) -> Result<TruthMask> {
+    let sel_words = &sel.words()[morsel.word_range()];
     let mut acc = eval_node_mask_morsel(tree, children[0], provider, sel, arena, morsel)?;
     for &c in &children[1..] {
+        if saturated(&acc, sel_words) {
+            break;
+        }
         match eval_node_mask_morsel(tree, c, provider, sel, arena, morsel) {
             Ok(m) => {
                 combine(&mut acc, &m);
@@ -390,6 +476,129 @@ pub fn eval_atom_mask_morsel(
             arena.recycle_mask(out);
             Err(e)
         }
+    }
+}
+
+/// Evaluate a base predicate against an [`EncodedColumn`] without
+/// decoding: zone maps first (a morsel proven all-true / all-false /
+/// all-null is filled word-at-a-time from validity and selection words
+/// alone), then the encoded kernels (FOR deltas and dictionary codes
+/// compared in code space).
+///
+/// Returns `None` when the encoded path cannot answer — a type pairing
+/// with no kernel, a misaligned relation — and the caller falls through
+/// to the decoded path, which also owns error reporting. By construction
+/// every lane agrees bit-for-bit with [`eval_atom_mask_morsel`] over the
+/// decoded column.
+pub fn eval_atom_encoded(
+    atom: &Atom,
+    enc: &EncodedColumn,
+    sel: &Bitmap,
+    arena: &MaskArena,
+    morsel: Morsel,
+) -> Option<TruthMask> {
+    if sel.len() != enc.len() || morsel.end() > enc.len() {
+        return None;
+    }
+    let mut out = arena.mask(morsel.len());
+    match atom {
+        Atom::IsNull { .. } => {
+            match enc.prune_is_null(morsel) {
+                Some(all_null) => {
+                    arena.note_zone_skip();
+                    if all_null {
+                        // True on every selected lane (NULL-ness is
+                        // definite); no nulls leaves the checkout's
+                        // all-false as-is.
+                        let sel_words = &sel.words()[morsel.word_range()];
+                        for (w, &s) in sel_words.iter().enumerate() {
+                            if s != 0 {
+                                out.set_word(w, s, 0);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    arena.note_zone_scan();
+                    enc.fill_is_null(sel, morsel, &mut out);
+                }
+            }
+            Some(out)
+        }
+        Atom::Cmp { op, value, .. } => {
+            if value.is_null() {
+                // x OP NULL is Unknown on every selected lane; not a
+                // zone-map decision, so no counter.
+                enc.fill_decided(Truth::Unknown, sel, morsel, &mut out);
+                return Some(out);
+            }
+            let op = enc_cmp_op(*op);
+            if let Some(decision) = enc.prune_cmp(op, value, morsel) {
+                arena.note_zone_skip();
+                enc.fill_decided(decision, sel, morsel, &mut out);
+                return Some(out);
+            }
+            if enc.fill_cmp(op, value, sel, morsel, &mut out) {
+                arena.note_zone_scan();
+                Some(out)
+            } else {
+                arena.recycle_mask(out);
+                None
+            }
+        }
+        Atom::Like {
+            pattern,
+            case_insensitive,
+            ..
+        } => {
+            // Dictionary-at-a-time: the pattern runs once per distinct
+            // string, lanes just look the verdict up by code.
+            let ok = enc.fill_str_map(sel, morsel, &mut out, |s| {
+                Truth::from(like_match(s, pattern, *case_insensitive))
+            });
+            if ok {
+                arena.note_zone_scan();
+                Some(out)
+            } else {
+                arena.recycle_mask(out);
+                None
+            }
+        }
+        Atom::InList { values, .. } => {
+            let list_has_null = values.iter().any(Value::is_null);
+            let ok = enc.fill_str_map(sel, morsel, &mut out, |s| {
+                // String-vs-non-string never equates under sql_eq, so
+                // only Str list elements can hit.
+                let hit = values
+                    .iter()
+                    .any(|w| matches!(w, Value::Str(x) if x.as_str() == s));
+                if hit {
+                    Truth::True
+                } else if list_has_null {
+                    Truth::Unknown
+                } else {
+                    Truth::False
+                }
+            });
+            if ok {
+                arena.note_zone_scan();
+                Some(out)
+            } else {
+                arena.recycle_mask(out);
+                None
+            }
+        }
+    }
+}
+
+fn enc_cmp_op(op: CmpOp) -> EncCmpOp {
+    match op {
+        CmpOp::Eq => EncCmpOp::Eq,
+        CmpOp::Ne => EncCmpOp::Ne,
+        CmpOp::Lt => EncCmpOp::Lt,
+        CmpOp::Le => EncCmpOp::Le,
+        CmpOp::Gt => EncCmpOp::Gt,
+        CmpOp::Ge => EncCmpOp::Ge,
     }
 }
 
@@ -950,6 +1159,135 @@ mod tests {
         assert_eq!(pb.atom, "t.b > 5");
         assert_eq!((pb.true_count, pb.unknown_count), (1, 0));
         assert_eq!(arena.outstanding(), 0, "profiling recycles its masks");
+    }
+
+    #[test]
+    fn encoded_eval_matches_decoded_bit_for_bit() {
+        // Mixed atom kinds over int + string columns with NULLs and a
+        // ragged (non-multiple-of-64) length; the encoded provider must
+        // agree with the decoded one on every lane.
+        let n = 100;
+        let mut ints = ColumnBuilder::new(DataType::Int);
+        let mut strs = ColumnBuilder::new(DataType::Str);
+        for i in 0..n {
+            if i % 7 == 3 {
+                ints.push(Value::Null).unwrap();
+            } else {
+                ints.push(Value::Int((i as i64 * 37) % 50)).unwrap();
+            }
+            if i % 5 == 1 {
+                strs.push(Value::Null).unwrap();
+            } else {
+                strs.push(Value::from(format!("name-{}", i % 9).as_str()))
+                    .unwrap();
+            }
+        }
+        let (ints, strs) = (ints.finish(), strs.finish());
+        let e = or(vec![
+            and(vec![col("t", "a").gt(25i64), col("t", "s").like("name-3%")]),
+            col("t", "s").is_null(),
+            col("t", "s").in_list(vec![Value::from("name-7"), Value::Null]),
+        ]);
+        let tree = PredicateTree::build(&e);
+        let plain = MapProvider::new(n)
+            .with(ColumnRef::new("t", "a"), ints.clone())
+            .with(ColumnRef::new("t", "s"), strs.clone());
+        let enc = MapProvider::new(n)
+            .with_encoded(ColumnRef::new("t", "a"), ints)
+            .with_encoded(ColumnRef::new("t", "s"), strs);
+        let sel = Bitmap::from_indices(n, (0..n).filter(|i| i % 3 != 0));
+        let arena = MaskArena::new();
+        let want = eval_node_mask(&tree, tree.root(), &plain, &sel, &arena).unwrap();
+        let got = eval_node_mask(&tree, tree.root(), &enc, &sel, &arena).unwrap();
+        assert_eq!(want.to_truths(), got.to_truths());
+        arena.recycle_mask(want);
+        arena.recycle_mask(got);
+    }
+
+    #[test]
+    fn zone_maps_skip_decided_morsels_and_count() {
+        // Two 1024-row morsels: the first holds only small values, the
+        // second only large ones, so `a > 100` is decided per-morsel by
+        // zone bounds alone — both count as skips, no scans.
+        let n = 2048;
+        let vals: Vec<i64> = (0..n).map(|i| if i < 1024 { 5 } else { 500 }).collect();
+        let provider = MapProvider::new(n as usize)
+            .with_encoded(ColumnRef::new("t", "a"), Column::from_ints(vals));
+        let e = col("t", "a").gt(100i64);
+        let tree = PredicateTree::build(&e);
+        let sel = Bitmap::from_indices(n as usize, 0..n as usize);
+        let arena = MaskArena::new();
+        let mut trues = 0;
+        for m in Morsel::split(n as usize, 1024) {
+            let mask =
+                eval_node_mask_morsel(&tree, tree.root(), &provider, &sel, &arena, m).unwrap();
+            trues += mask.count_true();
+            arena.recycle_mask(mask);
+        }
+        assert_eq!(trues, 1024);
+        let stats = arena.stats();
+        assert_eq!(stats.zone_skipped_morsels, 2, "both morsels zone-decided");
+        assert_eq!(stats.zone_scanned_morsels, 0);
+    }
+
+    #[test]
+    fn saturated_or_skips_remaining_arms() {
+        // The first arm is proven all-true by zone maps; the second arm
+        // references a column the provider does not have, which would
+        // error if evaluated. Saturation must skip it.
+        let n = 128;
+        let provider = MapProvider::new(n).with_encoded(
+            ColumnRef::new("t", "a"),
+            Column::from_ints((0..n as i64).collect()),
+        );
+        let e = or(vec![col("t", "a").ge(0i64), col("t", "missing").gt(5i64)]);
+        let tree = PredicateTree::build(&e);
+        let sel = Bitmap::from_indices(n, 0..n);
+        let arena = MaskArena::new();
+        let mask = eval_node_mask(&tree, tree.root(), &provider, &sel, &arena).unwrap();
+        assert_eq!(mask.count_true(), n);
+        arena.recycle_mask(mask);
+    }
+
+    #[test]
+    fn saturated_and_skips_remaining_arms() {
+        let n = 128;
+        let provider = MapProvider::new(n).with_encoded(
+            ColumnRef::new("t", "a"),
+            Column::from_ints((0..n as i64).collect()),
+        );
+        let e = and(vec![
+            col("t", "a").gt(1_000_000i64),
+            col("t", "missing").gt(5i64),
+        ]);
+        let tree = PredicateTree::build(&e);
+        let sel = Bitmap::from_indices(n, 0..n);
+        let arena = MaskArena::new();
+        let mask = eval_node_mask(&tree, tree.root(), &provider, &sel, &arena).unwrap();
+        assert_eq!(mask.count_true(), 0);
+        assert_eq!(mask.count_unknown(), 0);
+        arena.recycle_mask(mask);
+    }
+
+    #[test]
+    fn encoded_null_literal_cmp_is_unknown_on_selected() {
+        let n = 70;
+        let provider = MapProvider::new(n).with_encoded(
+            ColumnRef::new("t", "a"),
+            Column::from_ints((0..n as i64).collect()),
+        );
+        let atom = Atom::Cmp {
+            col: ColumnRef::new("t", "a"),
+            op: CmpOp::Eq,
+            value: Value::Null,
+        };
+        let sel = Bitmap::from_indices(n, 0..10);
+        let arena = MaskArena::new();
+        let enc = provider.fetch_encoded(&ColumnRef::new("t", "a")).unwrap();
+        let mask = eval_atom_encoded(&atom, &enc, &sel, &arena, Morsel::full(n)).unwrap();
+        assert_eq!(mask.count_unknown(), 10);
+        assert_eq!(mask.count_true(), 0);
+        arena.recycle_mask(mask);
     }
 
     #[test]

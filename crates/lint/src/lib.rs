@@ -25,6 +25,11 @@
 //!   examples: production code waits on condvars with real predicates,
 //!   and sleeps in the serving path are exactly the latency bugs the
 //!   bench gates exist to catch.
+//! * **`encoded-internals`** — the raw buffer accessors of the encoded
+//!   column layer (`raw_codes`, `raw_dict`, `raw_packed`) may only be
+//!   named inside `crates/storage`: the encoding is invisible above the
+//!   storage API, and any other crate reaching for the physical buffers
+//!   would freeze the layout and break that transparency.
 //!
 //! The scanner strips comments, strings, char literals and raw strings
 //! while preserving line structure, so the rules only ever see real
@@ -48,6 +53,8 @@ pub const RULE_FORBID: &str = "forbid-unsafe";
 pub const RULE_FACADE: &str = "sync-facade";
 /// Rule id: `thread::sleep` outside tests/benches/examples.
 pub const RULE_SLEEP: &str = "no-sleep";
+/// Rule id: encoded-column raw buffer accessor named outside storage.
+pub const RULE_ENCODED: &str = "encoded-internals";
 
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
 /// Ten covers a multi-line SAFETY block plus an attribute or two between
@@ -85,6 +92,7 @@ pub struct Rules {
     pub forbid: bool,
     pub facade: bool,
     pub sleep: bool,
+    pub encoded: bool,
 }
 
 // ---------------------------------------------------------------------
@@ -447,6 +455,32 @@ fn check_sleep(file: &Path, sc: &Scanned, out: &mut Vec<Finding>) {
     }
 }
 
+/// The accessors that expose an [`EncodedColumn`]'s physical buffers;
+/// naming any of them outside `crates/storage` couples the caller to
+/// the encoding and breaks storage-API transparency.
+const ENCODED_BANNED: &[&str] = &["raw_codes", "raw_dict", "raw_packed"];
+
+/// Rule `encoded-internals`: no encoded-column raw buffer accessor
+/// outside `crates/storage` (file-level scoping is handled by
+/// [`classify`]).
+fn check_encoded(file: &Path, sc: &Scanned, out: &mut Vec<Finding>) {
+    for (ln, line) in sc.code.iter().enumerate() {
+        if let Some(banned) = ENCODED_BANNED.iter().find(|b| has_word(line, b)) {
+            push(
+                out,
+                file,
+                ln + 1,
+                RULE_ENCODED,
+                format!(
+                    "`{banned}` reaches into an encoded column's physical buffers — \
+                     only crates/storage may see the encoding; go through the \
+                     `EncodedColumn` API"
+                ),
+            );
+        }
+    }
+}
+
 /// Run the enabled rules over one source file.
 pub fn lint_source(file: &Path, src: &str, rules: &Rules) -> Vec<Finding> {
     let sc = scan(src);
@@ -462,6 +496,9 @@ pub fn lint_source(file: &Path, src: &str, rules: &Rules) -> Vec<Finding> {
     }
     if rules.sleep {
         check_sleep(file, &sc, &mut out);
+    }
+    if rules.encoded {
+        check_encoded(file, &sc, &mut out);
     }
     out
 }
@@ -504,11 +541,16 @@ pub fn classify(rel: &Path) -> Rules {
 
     let sleep = !under("tests") && !under("benches") && !under("examples");
 
+    // Everything outside crates/storage (other crates' tests and
+    // benches included) must stay encoding-agnostic.
+    let encoded = crate_name != Some("storage");
+
     Rules {
         safety: true,
         forbid,
         facade,
         sleep,
+        encoded,
     }
 }
 
@@ -605,7 +647,13 @@ mod tests {
         let r = classify(Path::new("crates/types/src/lib.rs"));
         assert!(!r.forbid && !r.facade);
         let r = classify(Path::new("crates/bench/src/bin/bench_json.rs"));
-        assert!(r.forbid);
+        assert!(r.forbid && r.encoded);
+        let r = classify(Path::new("crates/storage/src/encode.rs"));
+        assert!(!r.encoded, "storage may touch its own buffers");
+        let r = classify(Path::new("crates/storage/tests/encode_prop.rs"));
+        assert!(!r.encoded);
+        let r = classify(Path::new("crates/exec/src/relation.rs"));
+        assert!(r.encoded);
         let r = classify(Path::new("tests/serve_concurrent.rs"));
         assert!(!r.sleep);
         let r = classify(Path::new("src/lib.rs"));

@@ -9,7 +9,7 @@
 use std::path::Path;
 
 use basilisk_lint::{
-    lint_source, Finding, Rules, RULE_FACADE, RULE_FORBID, RULE_SAFETY, RULE_SLEEP,
+    lint_source, Finding, Rules, RULE_ENCODED, RULE_FACADE, RULE_FORBID, RULE_SAFETY, RULE_SLEEP,
 };
 
 fn run(fixture: &str, rules: Rules) -> Vec<Finding> {
@@ -26,6 +26,7 @@ fn all_rules() -> Rules {
         forbid: false, // fixtures are not crate roots unless the test says so
         facade: false,
         sleep: true,
+        encoded: false,
     }
 }
 
@@ -107,6 +108,27 @@ fn forbid_present_passes() {
         ..all_rules()
     };
     assert!(run("pass_forbid.rs", rules).is_empty());
+}
+
+#[test]
+fn encoded_raw_accessor_fires() {
+    let rules = Rules {
+        encoded: true,
+        ..all_rules()
+    };
+    let f = run("fail_encoded_internals.rs", rules);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, RULE_ENCODED);
+    assert_eq!(f[0].line, 8, "the call fires, not the string literal");
+}
+
+#[test]
+fn encoded_public_api_passes() {
+    let rules = Rules {
+        encoded: true,
+        ..all_rules()
+    };
+    assert!(run("pass_encoded_api.rs", rules).is_empty());
 }
 
 /// The linter over the real workspace — the same invocation CI runs —

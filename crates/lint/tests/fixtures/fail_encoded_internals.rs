@@ -1,0 +1,9 @@
+//! Failing fixture: names an encoded column's raw buffer accessor
+//! outside crates/storage.
+
+fn peek(enc: &basilisk_storage::EncodedColumn) -> usize {
+    // The string below must NOT fire (scanner blanks string contents);
+    // the call on the next line must.
+    let _doc = "raw_codes is storage-private";
+    enc.raw_codes().len()
+}

@@ -1,0 +1,8 @@
+//! Passing fixture: consumes encoded columns strictly through the
+//! public `EncodedColumn` API — decode, gather, zone pruning.
+
+fn stats(enc: &basilisk_storage::EncodedColumn) -> (usize, usize) {
+    let decoded = enc.decode();
+    // `raw_codes` in a comment is fine; only code tokens fire.
+    (decoded.len(), enc.zone_count())
+}

@@ -66,6 +66,36 @@ fn span_finish(
     t.end(s);
 }
 
+/// Current zone-map counters visible to this execution: the session
+/// arena's plus — when the operator may fan out — every worker arena's.
+/// Sampled before/after an operator to stamp `zone_skips`/`zone_scans`
+/// deltas on its span (the atom profilers bypass the encoded path, so
+/// tracing itself never inflates the counters).
+fn zone_counters(arena: &MaskArena, pool: Option<&WorkerPool>) -> (u64, u64) {
+    let s = arena.stats();
+    let (mut skips, mut scans) = (s.zone_skipped_morsels, s.zone_scanned_morsels);
+    if let Some(p) = pool {
+        let ps = p.arena_stats();
+        skips += ps.zone_skipped_morsels;
+        scans += ps.zone_scanned_morsels;
+    }
+    (skips, scans)
+}
+
+/// Stamp the zone-map skip attributes on a span from a counter delta.
+fn span_zones(
+    tracer: Option<&Tracer>,
+    span: Option<SpanId>,
+    before: (u64, u64),
+    after: (u64, u64),
+) {
+    let (Some(t), Some(s)) = (tracer, span) else {
+        return;
+    };
+    t.attr(s, "zone_skips", after.0 - before.0);
+    t.attr(s, "zone_scans", after.1 - before.1);
+}
+
 /// Attach one `atom` child span per profiled atom (tracing-only; the
 /// profiles re-evaluate the operator's predicate subtree).
 fn span_atoms(tracer: Option<&Tracer>, span: Option<SpanId>, profiles: Result<Vec<AtomProfile>>) {
@@ -214,21 +244,27 @@ fn run_tagged(
     match plan {
         TPlan::Scan { alias } => {
             let span = span_begin(tracer, "scan");
+            let zones_before = tracer.is_some().then(|| zone_counters(arena, pool));
             let rel = TaggedRelation::base_in(
                 IdxRelation::base_in(alias.clone(), tables.num_rows(alias)?, arena),
                 arena,
             );
+            if let Some(before) = zones_before {
+                span_zones(tracer, span, before, zone_counters(arena, pool));
+            }
             span_finish(tracer, span, 0, rel.num_tuples(), 0, None);
             Ok(rel)
         }
         TPlan::Filter { map, child, .. } => {
             let span = span_begin(tracer, "tagged_filter");
             let input = run_tagged(child, tables, tree, arena, pool, tracer)?;
+            let zones_before = tracer.is_some().then(|| zone_counters(arena, pool));
             let out = match pool {
                 Some(p) => tagged_filter_par(tables, &input, tree, map, arena, p),
                 None => tagged_filter(tables, &input, tree, map, arena),
             };
-            if tracer.is_some() {
+            if let Some(before) = zones_before {
+                span_zones(tracer, span, before, zone_counters(arena, pool));
                 span_atoms(
                     tracer,
                     span,
@@ -370,18 +406,24 @@ fn execute_traditional_impl(
     match plan {
         APlan::Scan { alias } => {
             let span = span_begin(tracer, "scan");
+            let zones_before = tracer.is_some().then(|| zone_counters(arena, pool));
             let rel = IdxRelation::base_in(alias.clone(), tables.num_rows(alias)?, arena);
+            if let Some(before) = zones_before {
+                span_zones(tracer, span, before, zone_counters(arena, pool));
+            }
             span_finish(tracer, span, 0, rel.len(), 0, None);
             Ok(rel)
         }
         APlan::Filter { node, child } => {
             let span = span_begin(tracer, "filter");
             let input = execute_traditional_impl(child, tables, tree, arena, pool, tracer)?;
+            let zones_before = tracer.is_some().then(|| zone_counters(arena, pool));
             let out = match pool {
                 Some(p) => filter_par(tables, &input, tree, *node, arena, p),
                 None => plain_filter(tables, &input, tree, *node, arena),
             };
-            if tracer.is_some() {
+            if let Some(before) = zones_before {
+                span_zones(tracer, span, before, zone_counters(arena, pool));
                 span_atoms(
                     tracer,
                     span,

@@ -529,6 +529,8 @@ mod tests {
             "basilisk_sched_region_wait_micros_sum",
             "basilisk_arena_outstanding",
             "basilisk_arena_fresh_total",
+            "basilisk_storage_skipped_morsels_total",
+            "basilisk_storage_scanned_morsels_total",
         ] {
             assert!(text.contains(family), "missing family {family}:\n{text}");
         }

@@ -372,6 +372,12 @@ impl Server {
         s.region_wait_buckets = r.wait_buckets;
         s.region_slots = r.slots;
         s.region_max_concurrent = r.max_concurrent;
+        let mut zones = self.pool.arena_stats();
+        for st in self.gate.with_free(|ctx| ctx.arena().stats()) {
+            zones.merge(&st);
+        }
+        s.skipped_morsels_total = zones.zone_skipped_morsels;
+        s.scanned_morsels_total = zones.zone_scanned_morsels;
         s.lanes = self.gate.lane_stats();
         s
     }
@@ -1000,6 +1006,21 @@ fn register_collectors(
                 ps.reused as u64,
             );
         }
+        // Encoded-storage zone-map effectiveness (see ROADMAP "Storage
+        // encodings"): morsels proven from min/max/null bounds alone vs
+        // morsels the encoded kernels had to touch.
+        sink.counter(
+            "basilisk_storage_skipped_morsels_total",
+            "Atom-morsels decided by zone maps without touching data.",
+            &[],
+            shapes.zone_skipped_morsels,
+        );
+        sink.counter(
+            "basilisk_storage_scanned_morsels_total",
+            "Atom-morsels evaluated by encoded kernels over the payload.",
+            &[],
+            shapes.zone_scanned_morsels,
+        );
     });
 }
 

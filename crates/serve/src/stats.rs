@@ -123,6 +123,10 @@ impl StatsRecorder {
             region_wait_buckets: [0; REGION_WAIT_BUCKETS],
             region_slots: 0,
             region_max_concurrent: 0,
+            // Zone-map counters live on the execution arenas (contexts
+            // and worker arenas); `Server::stats` overlays them too.
+            skipped_morsels_total: 0,
+            scanned_morsels_total: 0,
             lanes: Vec::new(),
         }
     }
@@ -194,6 +198,12 @@ pub struct ServeStats {
     /// Highest number of simultaneously live parallel regions observed —
     /// the occupancy high-water mark (> 1 proves interleaving happened).
     pub region_max_concurrent: u64,
+    /// Atom-morsels whose result the evaluator proved from encoded-column
+    /// zone maps alone — whole word ranges filled without touching data.
+    pub skipped_morsels_total: u64,
+    /// Atom-morsels that consulted zone maps but had to run an encoded
+    /// kernel over the payload.
+    pub scanned_morsels_total: u64,
     /// Per-client admission-lane counters (sorted by client tag). Lane
     /// relations hold whenever no request is mid-flight:
     /// `sum(dispatched) == statements_executed + post-admission errors`,

@@ -20,13 +20,25 @@ use basilisk_types::{BasiliskError, Bitmap, DataType, Result};
 
 use crate::cache::{LfuPageCache, PageKey};
 use crate::column::{Column, ColumnData, StrData};
+use crate::encode::{bits_for, pack_at, unpack_at};
 
 /// Size of one data page in bytes.
 pub const PAGE_SIZE: usize = 8192;
 
 const MAGIC: u32 = 0xBA51_1150;
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 const HEADER_LEN: usize = 32;
+
+/// Payload encoding of the data pages (header byte 20). Int columns are
+/// frame-of-reference bit-packed per page — each page carries its own
+/// reference and width, so a 12-bit-spread page costs 12 bits/row and
+/// big-but-clustered tables take far fewer pages (and cache slots) than
+/// the plain 8-byte layout.
+const ENC_PLAIN: u8 = 0;
+const ENC_FOR_INT: u8 = 1;
+
+/// `[count u32][reference i64][width u8][pad ×3]` before the packed words.
+const FOR_PAGE_HEADER: usize = 16;
 
 static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -63,6 +75,7 @@ pub struct DiskColumn {
     /// a trailing sentinel equal to `rows` simplifies range arithmetic.
     page_first_row: Vec<u64>,
     data_start: u64,
+    encoding: u8,
     validity: Option<Bitmap>,
     cache: Arc<LfuPageCache>,
 }
@@ -73,12 +86,12 @@ impl DiskColumn {
         let mut pages: Vec<Vec<u8>> = Vec::new();
         let mut page_first_row: Vec<u64> = Vec::new();
 
+        let encoding = match column.data() {
+            ColumnData::Int(_) => ENC_FOR_INT,
+            _ => ENC_PLAIN,
+        };
         match column.data() {
-            ColumnData::Int(v) => pack_fixed(
-                v.iter().map(|x| x.to_le_bytes()),
-                &mut pages,
-                &mut page_first_row,
-            ),
+            ColumnData::Int(v) => pack_for_ints(v, &mut pages, &mut page_first_row),
             ColumnData::Float(v) => pack_fixed(
                 v.iter().map(|x| x.to_le_bytes()),
                 &mut pages,
@@ -99,6 +112,7 @@ impl DiskColumn {
         out.push(column.validity().is_some() as u8);
         out.extend_from_slice(&(column.len() as u64).to_le_bytes());
         out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+        out.push(encoding);
         out.resize(HEADER_LEN, 0);
 
         for fr in &page_first_row {
@@ -148,6 +162,15 @@ impl DiskColumn {
         let has_validity = header[7] == 1;
         let rows = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
         let page_count = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
+        let encoding = header[20];
+        match (encoding, dtype) {
+            (ENC_PLAIN, _) | (ENC_FOR_INT, DataType::Int) => {}
+            _ => {
+                return Err(BasiliskError::Corrupt(format!(
+                    "encoding {encoding} invalid for {dtype:?} column"
+                )))
+            }
+        }
 
         let mut dir = vec![0u8; page_count * 8];
         file.read_exact(&mut dir)?;
@@ -185,6 +208,7 @@ impl DiskColumn {
             rows,
             page_first_row,
             data_start,
+            encoding,
             validity,
             cache,
         })
@@ -217,7 +241,7 @@ impl DiskColumn {
         for p in 0..n_pages {
             let page = &buf[p * PAGE_SIZE..(p + 1) * PAGE_SIZE];
             let count = (self.page_first_row[p + 1] - self.page_first_row[p]) as usize;
-            decode_page(self.dtype, page, count, &mut values)?;
+            decode_page(self.dtype, self.encoding, page, count, &mut values)?;
         }
         Column::new(values.finish(), self.validity.clone())
     }
@@ -253,7 +277,7 @@ impl DiskColumn {
                 let page = self.read_page(p)?;
                 let count = (self.page_first_row[p + 1] - self.page_first_row[p]) as usize;
                 let mut decoded = DecodedValues::with_capacity(self.dtype, count);
-                decode_page(self.dtype, &page, count, &mut decoded)?;
+                decode_page(self.dtype, self.encoding, &page, count, &mut decoded)?;
                 current_page = Some((p, page, decoded));
             }
             let (_, _, decoded) = current_page.as_ref().unwrap();
@@ -286,7 +310,7 @@ impl DiskColumn {
             let page = self.read_page(p)?;
             let count = (self.page_first_row[p + 1] - self.page_first_row[p]) as usize;
             let mut decoded = DecodedValues::with_capacity(self.dtype, count);
-            decode_page(self.dtype, &page, count, &mut decoded)?;
+            decode_page(self.dtype, self.encoding, &page, count, &mut decoded)?;
             values.copy_from(&decoded, row - self.page_first_row[p] as usize);
             if let (Some(v), Some(out)) = (&self.validity, &mut out_validity) {
                 if !v.get(row) {
@@ -322,6 +346,49 @@ impl DiskColumn {
             )?;
             Ok::<_, BasiliskError>(buf)
         })
+    }
+}
+
+/// Frame-of-reference pack ints into pages: each page greedily absorbs
+/// values while `(count + 1) × width(max − min)` still fits, then stores
+/// `[count u32][reference i64][width u8]` plus the packed deltas. Pages
+/// self-describe, so clustered runs cost few bits and one outlier only
+/// widens its own page.
+fn pack_for_ints(v: &[i64], pages: &mut Vec<Vec<u8>>, page_first_row: &mut Vec<u64>) {
+    let cap_bits = (PAGE_SIZE - FOR_PAGE_HEADER) * 8;
+    let mut start = 0usize;
+    while start < v.len() {
+        let (mut min, mut max) = (v[start], v[start]);
+        let mut end = start + 1;
+        while end < v.len() {
+            let nmin = min.min(v[end]);
+            let nmax = max.max(v[end]);
+            let w = bits_for(nmax.wrapping_sub(nmin) as u64) as usize;
+            if (end - start + 1) * w > cap_bits {
+                break;
+            }
+            (min, max) = (nmin, nmax);
+            end += 1;
+        }
+        let count = end - start;
+        let width = bits_for(max.wrapping_sub(min) as u64);
+        let mut packed = vec![0u64; (count * width as usize).div_ceil(64)];
+        for (i, &x) in v[start..end].iter().enumerate() {
+            // x >= min, so the wrapping difference is the exact delta.
+            pack_at(&mut packed, i, width, x.wrapping_sub(min) as u64);
+        }
+        let mut page = Vec::with_capacity(PAGE_SIZE);
+        page.extend_from_slice(&(count as u32).to_le_bytes());
+        page.extend_from_slice(&min.to_le_bytes());
+        page.push(width as u8);
+        page.resize(FOR_PAGE_HEADER, 0);
+        for w64 in &packed {
+            page.extend_from_slice(&w64.to_le_bytes());
+        }
+        page.resize(PAGE_SIZE, 0);
+        page_first_row.push(start as u64);
+        pages.push(page);
+        start = end;
     }
 }
 
@@ -446,8 +513,35 @@ impl DecodedValues {
     }
 }
 
-fn decode_page(dtype: DataType, page: &[u8], count: usize, out: &mut DecodedValues) -> Result<()> {
+fn decode_page(
+    dtype: DataType,
+    encoding: u8,
+    page: &[u8],
+    count: usize,
+    out: &mut DecodedValues,
+) -> Result<()> {
     match (dtype, out) {
+        (DataType::Int, DecodedValues::Int(v)) if encoding == ENC_FOR_INT => {
+            let stored = u32::from_le_bytes(page[0..4].try_into().unwrap()) as usize;
+            if stored != count {
+                return Err(BasiliskError::Corrupt(format!(
+                    "FOR page holds {stored} values, directory says {count}"
+                )));
+            }
+            let reference = i64::from_le_bytes(page[4..12].try_into().unwrap());
+            let width = page[12] as u32;
+            let words = (count * width as usize).div_ceil(64);
+            if width > 64 || FOR_PAGE_HEADER + words * 8 > page.len() {
+                return Err(BasiliskError::Corrupt("FOR page header invalid".into()));
+            }
+            let packed: Vec<u64> = page[FOR_PAGE_HEADER..FOR_PAGE_HEADER + words * 8]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            for i in 0..count {
+                v.push(reference.wrapping_add(unpack_at(&packed, i, width) as i64));
+            }
+        }
         (DataType::Int, DecodedValues::Int(v)) => {
             for c in page.chunks_exact(8).take(count) {
                 v.push(i64::from_le_bytes(c.try_into().unwrap()));
@@ -515,13 +609,43 @@ mod tests {
     }
 
     #[test]
-    fn int_roundtrip_multi_page() {
-        let n = 3000; // > one 1024-value page
+    fn int_roundtrip_compresses_clustered_values() {
+        let n = 3000; // would be 3 pages at 8 bytes/value
         let col = Column::from_ints((0..n).map(|i| i * 7 - 1000).collect());
         let (disk, _dir) = roundtrip(&col);
         assert_eq!(disk.len(), n as usize);
         assert_eq!(disk.data_type(), DataType::Int);
+        assert!(
+            disk.page_count() < 3,
+            "15-bit deltas should beat the 1024-value plain pages, got {}",
+            disk.page_count()
+        );
+        assert_eq!(disk.scan().unwrap(), col);
+    }
+
+    #[test]
+    fn int_roundtrip_multi_page_wide_values() {
+        // Full-width values: FOR packing degrades gracefully to ~64
+        // bits/row and still round-trips across page boundaries.
+        let n = 3000u64;
+        let col = Column::from_ints(
+            (0..n)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as i64)
+                .collect(),
+        );
+        let (disk, _dir) = roundtrip(&col);
         assert!(disk.page_count() >= 3);
+        assert_eq!(disk.scan().unwrap(), col);
+        assert_eq!(disk.gather(&[2999, 0, 1500]).unwrap().as_ints().unwrap(), {
+            let v = col.as_ints().unwrap();
+            &[v[2999], v[0], v[1500]][..]
+        });
+    }
+
+    #[test]
+    fn int_extremes_roundtrip() {
+        let col = Column::from_ints(vec![i64::MIN, i64::MAX, 0, -1, i64::MIN]);
+        let (disk, _dir) = roundtrip(&col);
         assert_eq!(disk.scan().unwrap(), col);
     }
 

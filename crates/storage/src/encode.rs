@@ -1,0 +1,1280 @@
+//! Encoded (compressed) in-memory columns with zone statistics.
+//!
+//! Two real encodings plus a typed pass-through:
+//!
+//! * **Frame-of-reference bit-packing** for ints: values are stored as
+//!   `value - min` deltas, packed at the minimal bit width. A 1M-row
+//!   column of years occupies ~12 bits/row instead of 64.
+//! * **Dictionary** for strings: the distinct values, sorted, live once
+//!   in a [`StrData`]; rows are `u32` codes into it. Because the
+//!   dictionary is *sorted*, every comparison against a string literal
+//!   becomes a comparison against one or two code thresholds — kernels
+//!   compare codes, never bytes.
+//! * Floats and bools keep their natural layout (they are already
+//!   fixed-width; zone maps still apply).
+//!
+//! Alongside the payload every column carries **zone maps**: min/max,
+//! row and null counts per [`ZONE_ROWS`]-row zone. `ZONE_ROWS` is a
+//! multiple of 64, so any word-aligned [`Morsel`] covers whole zones
+//! plus at most two partial ones, and a conservative aggregate over the
+//! overlapped zones is a sound summary of the morsel. When the
+//! aggregate *decides* a predicate ("every valid row matches" / "no
+//! valid row matches" / "every row is null"), the evaluator fills whole
+//! `TruthMask` words from validity alone and never touches the payload
+//! — see [`EncodedColumn::prune_cmp`] and [`EncodedColumn::fill_decided`].
+//!
+//! Kleene semantics are preserved throughout: a decided morsel still
+//! routes its null lanes to `Unknown`, exactly as the decoded kernels
+//! in `basilisk-expr` do (`tru = cmp & valid & sel`, `unk = !valid &
+//! sel`).
+//!
+//! The raw buffers (`raw_codes` / `raw_packed` / `raw_dict`) are public
+//! for the storage crate's own disk writer and tests, but they are an
+//! internal surface: `basilisk-lint` forbids touching them outside
+//! `crates/storage` — everything above the storage API goes through the
+//! fill/prune kernels or [`EncodedColumn::decode`].
+
+use std::cmp::Ordering;
+
+use basilisk_types::{Bitmap, DataType, Morsel, Truth, TruthMask, Value};
+
+use crate::column::{Column, ColumnData, StrData};
+
+/// Rows per zone. A multiple of 64 (whole bitmap words) and a divisor
+/// of the default 64k morsel, so default morsels cover exactly 64 zones.
+pub const ZONE_ROWS: usize = 1024;
+
+/// Comparison operators in the storage kernel's own vocabulary.
+/// `basilisk-expr` maps its `CmpOp` onto this (the dependency points
+/// expr → storage, so storage cannot name expr's type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncCmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Value bounds of one zone's *valid* rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ZoneBounds {
+    Int {
+        min: i64,
+        max: i64,
+    },
+    Float {
+        min: f64,
+        max: f64,
+    },
+    /// Dictionary codes; the sorted dictionary makes code order string order.
+    Code {
+        min: u32,
+        max: u32,
+    },
+    Bool {
+        min: bool,
+        max: bool,
+    },
+    /// Valid rows exist but are not totally ordered (a float NaN): never prune.
+    Unordered,
+}
+
+/// Statistics for one [`ZONE_ROWS`]-row zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Zone {
+    rows: u32,
+    nulls: u32,
+    /// `None` when every row in the zone is null.
+    bounds: Option<ZoneBounds>,
+}
+
+impl Zone {
+    /// Conservative union of two zones' statistics.
+    fn merge(self, other: Zone) -> Zone {
+        let bounds = match (self.bounds, other.bounds) {
+            (None, b) | (b, None) => b,
+            (Some(a), Some(b)) => Some(match (a, b) {
+                (ZoneBounds::Int { min: a0, max: a1 }, ZoneBounds::Int { min: b0, max: b1 }) => {
+                    ZoneBounds::Int {
+                        min: a0.min(b0),
+                        max: a1.max(b1),
+                    }
+                }
+                (
+                    ZoneBounds::Float { min: a0, max: a1 },
+                    ZoneBounds::Float { min: b0, max: b1 },
+                ) => ZoneBounds::Float {
+                    min: a0.min(b0),
+                    max: a1.max(b1),
+                },
+                (ZoneBounds::Code { min: a0, max: a1 }, ZoneBounds::Code { min: b0, max: b1 }) => {
+                    ZoneBounds::Code {
+                        min: a0.min(b0),
+                        max: a1.max(b1),
+                    }
+                }
+                (ZoneBounds::Bool { min: a0, max: a1 }, ZoneBounds::Bool { min: b0, max: b1 }) => {
+                    ZoneBounds::Bool {
+                        min: a0 & b0,
+                        max: a1 | b1,
+                    }
+                }
+                _ => ZoneBounds::Unordered,
+            }),
+        };
+        Zone {
+            rows: self.rows + other.rows,
+            nulls: self.nulls + other.nulls,
+            bounds,
+        }
+    }
+}
+
+/// The encoded payload. Placeholder values of null lanes are encoded
+/// too, so decode reproduces the source column bit-for-bit; zone bounds
+/// ignore them.
+enum EncodedData {
+    /// `value(i) = reference + unpack(packed, i, width)`, deltas packed
+    /// little-endian at `width` bits each.
+    ForInt {
+        reference: i64,
+        width: u32,
+        packed: Vec<u64>,
+        len: usize,
+    },
+    /// `value(i) = dict[codes[i]]`; `dict` is sorted and duplicate-free.
+    DictStr {
+        dict: StrData,
+        codes: Vec<u32>,
+    },
+    Float(Vec<f64>),
+    Bool(Vec<bool>),
+}
+
+/// A compressed column plus zone maps; shared immutably across workers.
+pub struct EncodedColumn {
+    data: EncodedData,
+    validity: Option<Bitmap>,
+    zones: Vec<Zone>,
+}
+
+// Workers evaluate against one shared `Arc<EncodedColumn>`.
+const _: fn() = || {
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<EncodedColumn>();
+};
+
+impl EncodedColumn {
+    /// Encode `column`. Ints get frame-of-reference bit-packing,
+    /// strings a sorted dictionary; floats/bools keep their layout.
+    pub fn encode(column: &Column) -> EncodedColumn {
+        let data = match column.data() {
+            ColumnData::Int(v) => encode_for(v),
+            ColumnData::Str(s) => encode_dict(s),
+            ColumnData::Float(v) => EncodedData::Float(v.clone()),
+            ColumnData::Bool(v) => EncodedData::Bool(v.clone()),
+        };
+        let validity = column.validity().cloned();
+        let zones = build_zones(&data, validity.as_ref());
+        EncodedColumn {
+            data,
+            validity,
+            zones,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.data {
+            EncodedData::ForInt { len, .. } => *len,
+            EncodedData::DictStr { codes, .. } => codes.len(),
+            EncodedData::Float(v) => v.len(),
+            EncodedData::Bool(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match &self.data {
+            EncodedData::ForInt { .. } => DataType::Int,
+            EncodedData::DictStr { .. } => DataType::Str,
+            EncodedData::Float(_) => DataType::Float,
+            EncodedData::Bool(_) => DataType::Bool,
+        }
+    }
+
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Payload bytes of the encoded form (zone maps and validity excluded).
+    pub fn encoded_bytes(&self) -> usize {
+        match &self.data {
+            EncodedData::ForInt { packed, .. } => 16 + packed.len() * 8,
+            EncodedData::DictStr { dict, codes } => {
+                let (offsets, bytes) = dict.raw();
+                offsets.len() * 4 + bytes.len() + codes.len() * 4
+            }
+            EncodedData::Float(v) => v.len() * 8,
+            EncodedData::Bool(v) => v.len(),
+        }
+    }
+
+    /// Decode back to a plain column — bit-for-bit the column that was
+    /// encoded, placeholder values of null lanes included.
+    pub fn decode(&self) -> Column {
+        let data = match &self.data {
+            EncodedData::ForInt {
+                reference,
+                width,
+                packed,
+                len,
+            } => ColumnData::Int(
+                (0..*len)
+                    .map(|i| reference.wrapping_add(unpack_at(packed, i, *width) as i64))
+                    .collect(),
+            ),
+            EncodedData::DictStr { dict, codes } => {
+                let mut s = StrData::with_capacity(codes.len(), 0);
+                for &c in codes {
+                    s.push(dict.get(c as usize));
+                }
+                ColumnData::Str(s)
+            }
+            EncodedData::Float(v) => ColumnData::Float(v.clone()),
+            EncodedData::Bool(v) => ColumnData::Bool(v.clone()),
+        };
+        Column::new(data, self.validity.clone())
+            .expect("encoded column invariant: validity length matches data")
+    }
+
+    /// Decode arbitrary row indices (may repeat / be unsorted), exactly
+    /// like [`Column::gather`] on the decoded column would.
+    pub fn gather(&self, rows: &[u32]) -> Column {
+        let data = match &self.data {
+            EncodedData::ForInt {
+                reference,
+                width,
+                packed,
+                ..
+            } => ColumnData::Int(
+                rows.iter()
+                    .map(|&r| reference.wrapping_add(unpack_at(packed, r as usize, *width) as i64))
+                    .collect(),
+            ),
+            EncodedData::DictStr { dict, codes } => {
+                let mut s = StrData::with_capacity(rows.len(), 0);
+                for &r in rows {
+                    s.push(dict.get(codes[r as usize] as usize));
+                }
+                ColumnData::Str(s)
+            }
+            EncodedData::Float(v) => {
+                ColumnData::Float(rows.iter().map(|&r| v[r as usize]).collect())
+            }
+            EncodedData::Bool(v) => ColumnData::Bool(rows.iter().map(|&r| v[r as usize]).collect()),
+        };
+        let validity = self.validity.as_ref().map(|v| {
+            let mut out = Bitmap::new(rows.len());
+            for (j, &r) in rows.iter().enumerate() {
+                if v.get(r as usize) {
+                    out.set(j);
+                }
+            }
+            out
+        });
+        Column::new(data, validity).expect("gathered validity length matches rows")
+    }
+
+    // ---- zone pruning ----------------------------------------------------
+
+    /// Can `col OP lit` be decided for *every valid row* of `morsel`
+    /// from zone statistics alone? `Some(True)`: all valid rows match.
+    /// `Some(False)`: none do. `Some(Unknown)`: the morsel is entirely
+    /// null. `None`: undecided — evaluate the payload.
+    pub fn prune_cmp(&self, op: EncCmpOp, lit: &Value, morsel: Morsel) -> Option<Truth> {
+        let agg = self.aggregate_zones(morsel)?;
+        if agg.nulls == agg.rows {
+            return Some(Truth::Unknown);
+        }
+        let decided = match (agg.bounds?, lit) {
+            (ZoneBounds::Int { min, max }, Value::Int(l)) => decide_ord(op, min.cmp(l), max.cmp(l)),
+            (ZoneBounds::Float { min, max }, Value::Float(l)) => decide_float(op, min, max, *l),
+            (ZoneBounds::Float { min, max }, Value::Int(l)) => {
+                decide_float(op, min, max, *l as f64)
+            }
+            (ZoneBounds::Code { min, max }, Value::Str(s)) => {
+                let EncodedData::DictStr { dict, .. } = &self.data else {
+                    return None;
+                };
+                let (p_lt, p_le) = dict_thresholds(dict, s);
+                decide_code(op, min, max, p_lt, p_le)
+            }
+            (ZoneBounds::Bool { min, max }, Value::Bool(l)) => {
+                decide_ord(op, min.cmp(l), max.cmp(l))
+            }
+            _ => None,
+        }?;
+        Some(if decided { Truth::True } else { Truth::False })
+    }
+
+    /// `Some(true)`: every row of `morsel` is null. `Some(false)`: none
+    /// is. `None`: mixed — evaluate the validity words.
+    pub fn prune_is_null(&self, morsel: Morsel) -> Option<bool> {
+        if self.validity.is_none() {
+            return Some(false);
+        }
+        let agg = self.aggregate_zones(morsel)?;
+        if agg.nulls == 0 {
+            Some(false)
+        } else if agg.nulls == agg.rows {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Conservative union of the zones overlapping `morsel`. Partial
+    /// overlap only widens the aggregate, so every decision drawn from
+    /// it holds for the morsel's rows.
+    fn aggregate_zones(&self, morsel: Morsel) -> Option<Zone> {
+        if morsel.is_empty() || morsel.end() > self.len() {
+            return None;
+        }
+        let z0 = morsel.start() / ZONE_ROWS;
+        let z1 = (morsel.end() - 1) / ZONE_ROWS;
+        let mut acc: Option<Zone> = None;
+        for z in z0..=z1 {
+            let zone = *self.zones.get(z)?;
+            acc = Some(match acc {
+                None => zone,
+                Some(a) => a.merge(zone),
+            });
+        }
+        acc
+    }
+
+    // ---- word-granular fills ---------------------------------------------
+
+    /// Fill `out` (a morsel-length mask) for a morsel whose comparison
+    /// outcome is already decided, from validity words alone: decided
+    /// `True` → valid selected lanes true, null selected lanes unknown;
+    /// `False` → null lanes still unknown; `Unknown` → every selected
+    /// lane unknown. This is exactly what the decoded kernel would
+    /// produce, minus the payload reads.
+    pub fn fill_decided(&self, decision: Truth, sel: &Bitmap, morsel: Morsel, out: &mut TruthMask) {
+        let wr = morsel.word_range();
+        let sel_words = &sel.words()[wr.clone()];
+        let valid_words = self.validity.as_ref().map(|v| &v.words()[wr]);
+        for (w, &s) in sel_words.iter().enumerate() {
+            if s == 0 {
+                continue; // `out` is all-false from checkout
+            }
+            let valid = valid_words.map_or(u64::MAX, |v| v[w]);
+            match decision {
+                Truth::True => out.set_word(w, valid & s, !valid & s),
+                Truth::False => out.set_word(w, 0, !valid & s),
+                Truth::Unknown => out.set_word(w, 0, s),
+            }
+        }
+    }
+
+    /// `IS NULL` from validity words — never touches the payload.
+    pub fn fill_is_null(&self, sel: &Bitmap, morsel: Morsel, out: &mut TruthMask) {
+        let Some(validity) = &self.validity else {
+            return; // no nulls: all-false, which `out` already is
+        };
+        let wr = morsel.word_range();
+        let sel_words = &sel.words()[wr.clone()];
+        let valid_words = &validity.words()[wr];
+        for (w, &s) in sel_words.iter().enumerate() {
+            if s != 0 {
+                out.set_word(w, !valid_words[w] & s, 0);
+            }
+        }
+    }
+
+    /// Evaluate `col OP lit` over `morsel` directly against the encoded
+    /// payload — FOR deltas and dictionary codes are compared in code
+    /// space; nothing is decoded. Returns `false` (out untouched) when
+    /// the type pairing has no encoded kernel and the caller must fall
+    /// back to the decoded path.
+    pub fn fill_cmp(
+        &self,
+        op: EncCmpOp,
+        lit: &Value,
+        sel: &Bitmap,
+        morsel: Morsel,
+        out: &mut TruthMask,
+    ) -> bool {
+        match (&self.data, lit) {
+            (
+                EncodedData::ForInt {
+                    reference,
+                    width,
+                    packed,
+                    ..
+                },
+                Value::Int(l),
+            ) => {
+                // Translate the literal into delta space once. Outside
+                // the encoded domain the outcome is uniform per op.
+                let lr = (*l as i128) - (*reference as i128);
+                if lr < 0 {
+                    // literal below every stored value: x > lit everywhere
+                    let all = matches!(op, EncCmpOp::Gt | EncCmpOp::Ge | EncCmpOp::Ne);
+                    self.fill_decided(Truth::from(all), sel, morsel, out);
+                } else if lr > u64::MAX as i128 {
+                    // literal above every stored value: x < lit everywhere
+                    let all = matches!(op, EncCmpOp::Lt | EncCmpOp::Le | EncCmpOp::Ne);
+                    self.fill_decided(Truth::from(all), sel, morsel, out);
+                } else {
+                    let lc = lr as u64;
+                    let (width, packed) = (*width, packed.as_slice());
+                    macro_rules! run {
+                        ($test:expr) => {
+                            self.fill_pred(sel, morsel, out, |i| {
+                                let c = unpack_at(packed, i, width);
+                                $test(c)
+                            })
+                        };
+                    }
+                    match op {
+                        EncCmpOp::Eq => run!(|c| c == lc),
+                        EncCmpOp::Ne => run!(|c| c != lc),
+                        EncCmpOp::Lt => run!(|c| c < lc),
+                        EncCmpOp::Le => run!(|c| c <= lc),
+                        EncCmpOp::Gt => run!(|c| c > lc),
+                        EncCmpOp::Ge => run!(|c| c >= lc),
+                    }
+                }
+                true
+            }
+            (EncodedData::DictStr { dict, codes }, Value::Str(s)) => {
+                // The sorted dictionary turns every operator into one or
+                // two code thresholds; rows compare codes, not bytes.
+                let (p_lt, p_le) = dict_thresholds(dict, s);
+                let codes = codes.as_slice();
+                macro_rules! run {
+                    ($test:expr) => {
+                        self.fill_pred(sel, morsel, out, |i| {
+                            let c = codes[i];
+                            $test(c)
+                        })
+                    };
+                }
+                match op {
+                    EncCmpOp::Eq => run!(|c| c >= p_lt && c < p_le),
+                    EncCmpOp::Ne => run!(|c| c < p_lt || c >= p_le),
+                    EncCmpOp::Lt => run!(|c| c < p_lt),
+                    EncCmpOp::Le => run!(|c| c < p_le),
+                    EncCmpOp::Gt => run!(|c| c >= p_le),
+                    EncCmpOp::Ge => run!(|c| c >= p_lt),
+                }
+                true
+            }
+            (EncodedData::Float(v), Value::Float(_) | Value::Int(_)) => {
+                let l = match lit {
+                    Value::Float(f) => *f,
+                    Value::Int(i) => *i as f64,
+                    _ => unreachable!(),
+                };
+                let v = v.as_slice();
+                // IEEE operators: every NaN comparison false except `!=`,
+                // matching the decoded kernel.
+                macro_rules! run {
+                    ($test:expr) => {
+                        self.fill_pred(sel, morsel, out, |i| {
+                            let x = v[i];
+                            $test(x)
+                        })
+                    };
+                }
+                match op {
+                    EncCmpOp::Eq => run!(|x| x == l),
+                    EncCmpOp::Ne => run!(|x| x != l),
+                    EncCmpOp::Lt => run!(|x| x < l),
+                    EncCmpOp::Le => run!(|x| x <= l),
+                    EncCmpOp::Gt => run!(|x| x > l),
+                    EncCmpOp::Ge => run!(|x| x >= l),
+                }
+                true
+            }
+            (EncodedData::Bool(v), Value::Bool(l)) => {
+                let (v, l) = (v.as_slice(), *l);
+                macro_rules! run {
+                    ($test:expr) => {
+                        self.fill_pred(sel, morsel, out, |i| {
+                            let x = v[i];
+                            $test(x)
+                        })
+                    };
+                }
+                match op {
+                    EncCmpOp::Eq => run!(|x| x == l),
+                    EncCmpOp::Ne => run!(|x| x != l),
+                    EncCmpOp::Lt => run!(|x: bool| !x & l),
+                    EncCmpOp::Le => run!(|x: bool| !x | l),
+                    EncCmpOp::Gt => run!(|x: bool| x & !l),
+                    EncCmpOp::Ge => run!(|x: bool| x | !l),
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Evaluate an arbitrary string predicate (LIKE, IN-list) **per
+    /// dictionary entry** instead of per row: `map` runs once for each
+    /// distinct value, rows look the verdict up by code. Returns `false`
+    /// when this is not a dictionary column.
+    pub fn fill_str_map(
+        &self,
+        sel: &Bitmap,
+        morsel: Morsel,
+        out: &mut TruthMask,
+        mut map: impl FnMut(&str) -> Truth,
+    ) -> bool {
+        let EncodedData::DictStr { dict, codes } = &self.data else {
+            return false;
+        };
+        let table: Vec<Truth> = (0..dict.len()).map(|k| map(dict.get(k))).collect();
+        let wr = morsel.word_range();
+        let sel_words = &sel.words()[wr.clone()];
+        let valid_words = self.validity.as_ref().map(|v| &v.words()[wr]);
+        for (w, &s) in sel_words.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let valid = valid_words.map_or(u64::MAX, |v| v[w]);
+            let base = morsel.start() + w * 64;
+            let top = 64.min(morsel.end() - base);
+            let (mut tru, mut unk) = (0u64, 0u64);
+            for b in 0..top {
+                if s >> b & 1 == 0 {
+                    continue;
+                }
+                if valid >> b & 1 == 0 {
+                    unk |= 1 << b;
+                    continue;
+                }
+                match table[codes[base + b] as usize] {
+                    Truth::True => tru |= 1 << b,
+                    Truth::Unknown => unk |= 1 << b,
+                    Truth::False => {}
+                }
+            }
+            out.set_word(w, tru, unk);
+        }
+        true
+    }
+
+    /// Branchless fill: run `test` (over **global** row indices) for
+    /// every lane of each selected word, then route invalid lanes to
+    /// `Unknown` and unselected lanes to `False` with two word ANDs —
+    /// the same shape as the decoded `fill_cmp_words` kernel.
+    fn fill_pred(
+        &self,
+        sel: &Bitmap,
+        morsel: Morsel,
+        out: &mut TruthMask,
+        test: impl Fn(usize) -> bool,
+    ) {
+        let wr = morsel.word_range();
+        let sel_words = &sel.words()[wr.clone()];
+        let valid_words = self.validity.as_ref().map(|v| &v.words()[wr]);
+        for (w, &s) in sel_words.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let base = morsel.start() + w * 64;
+            let top = 64.min(morsel.end() - base);
+            let mut cmp = 0u64;
+            for b in 0..top {
+                cmp |= (test(base + b) as u64) << b;
+            }
+            let valid = valid_words.map_or(u64::MAX, |v| v[w]);
+            out.set_word(w, cmp & valid & s, !valid & s);
+        }
+    }
+
+    // ---- estimation ------------------------------------------------------
+
+    /// Selectivity of `col OP lit` estimated from zone maps alone:
+    /// decided zones count exactly, straddled zones interpolate within
+    /// their min/max span. `None` when the pairing is not estimable
+    /// (type mismatch, NaN-poisoned zones) — callers fall back to
+    /// sampling.
+    pub fn zone_selectivity(&self, op: EncCmpOp, lit: &Value) -> Option<f64> {
+        let n = self.len();
+        if n == 0 {
+            return Some(0.0);
+        }
+        if lit.is_null() {
+            return Some(0.0);
+        }
+        let mut true_rows = 0.0f64;
+        for zone in &self.zones {
+            let valid = (zone.rows - zone.nulls) as f64;
+            if valid == 0.0 {
+                continue;
+            }
+            let frac = match (zone.bounds?, lit) {
+                (ZoneBounds::Int { min, max }, Value::Int(l)) => {
+                    frac_discrete(op, min as f64, max as f64, *l as f64)
+                }
+                (ZoneBounds::Float { min, max }, Value::Float(l)) => {
+                    frac_continuous(op, min, max, *l)?
+                }
+                (ZoneBounds::Float { min, max }, Value::Int(l)) => {
+                    frac_continuous(op, min, max, *l as f64)?
+                }
+                (ZoneBounds::Code { min, max }, Value::Str(s)) => {
+                    let EncodedData::DictStr { dict, .. } = &self.data else {
+                        return None;
+                    };
+                    let (p_lt, p_le) = dict_thresholds(dict, s);
+                    frac_code(op, min, max, p_lt, p_le)
+                }
+                (ZoneBounds::Bool { min, max }, Value::Bool(l)) => {
+                    frac_discrete(op, min as u8 as f64, max as u8 as f64, *l as u8 as f64)
+                }
+                _ => return None,
+            };
+            true_rows += frac.clamp(0.0, 1.0) * valid;
+        }
+        Some((true_rows / n as f64).clamp(0.0, 1.0))
+    }
+
+    // ---- raw access (storage-internal; linted outside crates/storage) ----
+
+    /// Dictionary codes of a string column. Internal surface — see the
+    /// module docs and the `basilisk-lint` encoded-buffer rule.
+    pub fn raw_codes(&self) -> Option<&[u32]> {
+        match &self.data {
+            EncodedData::DictStr { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
+    /// Sorted dictionary of a string column. Internal surface.
+    pub fn raw_dict(&self) -> Option<&StrData> {
+        match &self.data {
+            EncodedData::DictStr { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// `(packed words, reference, bit width)` of an int column. Internal
+    /// surface.
+    pub fn raw_packed(&self) -> Option<(&[u64], i64, u32)> {
+        match &self.data {
+            EncodedData::ForInt {
+                reference,
+                width,
+                packed,
+                ..
+            } => Some((packed, *reference, *width)),
+            _ => None,
+        }
+    }
+}
+
+// ---- encoders ------------------------------------------------------------
+
+/// Bits needed to represent `max_delta`.
+pub(crate) fn bits_for(max_delta: u64) -> u32 {
+    if max_delta == 0 {
+        0
+    } else {
+        64 - max_delta.leading_zeros()
+    }
+}
+
+/// Write `delta` (low `width` bits) at packed position `i`.
+pub(crate) fn pack_at(packed: &mut [u64], i: usize, width: u32, delta: u64) {
+    if width == 0 {
+        return;
+    }
+    let bit = i * width as usize;
+    let (w, off) = (bit / 64, (bit % 64) as u32);
+    packed[w] |= delta << off;
+    if off + width > 64 {
+        packed[w + 1] |= delta >> (64 - off);
+    }
+}
+
+/// Read the `width`-bit delta at packed position `i`.
+pub(crate) fn unpack_at(packed: &[u64], i: usize, width: u32) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let bit = i * width as usize;
+    let (w, off) = (bit / 64, (bit % 64) as u32);
+    let mut val = packed[w] >> off;
+    if off + width > 64 {
+        val |= packed[w + 1] << (64 - off);
+    }
+    if width == 64 {
+        val
+    } else {
+        val & ((1u64 << width) - 1)
+    }
+}
+
+fn encode_for(v: &[i64]) -> EncodedData {
+    let reference = v.iter().copied().min().unwrap_or(0);
+    // `v[i] >= reference`, so the two's-complement wrapping difference
+    // is exactly the non-negative mathematical delta as a u64.
+    let max_delta = v
+        .iter()
+        .map(|&x| x.wrapping_sub(reference) as u64)
+        .max()
+        .unwrap_or(0);
+    let width = bits_for(max_delta);
+    let mut packed = vec![0u64; (v.len() * width as usize).div_ceil(64)];
+    for (i, &x) in v.iter().enumerate() {
+        pack_at(&mut packed, i, width, x.wrapping_sub(reference) as u64);
+    }
+    EncodedData::ForInt {
+        reference,
+        width,
+        packed,
+        len: v.len(),
+    }
+}
+
+fn encode_dict(s: &StrData) -> EncodedData {
+    let mut uniq: Vec<&str> = s.iter().collect();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let total: usize = uniq.iter().map(|u| u.len()).sum();
+    let mut dict = StrData::with_capacity(uniq.len(), total);
+    for u in &uniq {
+        dict.push(u);
+    }
+    let codes = (0..s.len())
+        .map(|i| {
+            uniq.binary_search(&s.get(i))
+                .expect("value is in its own dictionary") as u32
+        })
+        .collect();
+    EncodedData::DictStr { dict, codes }
+}
+
+fn build_zones(data: &EncodedData, validity: Option<&Bitmap>) -> Vec<Zone> {
+    let n = match data {
+        EncodedData::ForInt { len, .. } => *len,
+        EncodedData::DictStr { codes, .. } => codes.len(),
+        EncodedData::Float(v) => v.len(),
+        EncodedData::Bool(v) => v.len(),
+    };
+    let is_valid = |i: usize| validity.is_none_or(|v| v.get(i));
+    let mut zones = Vec::with_capacity(n.div_ceil(ZONE_ROWS));
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + ZONE_ROWS).min(n);
+        let mut nulls = 0u32;
+        let mut bounds: Option<ZoneBounds> = None;
+        for i in start..end {
+            if !is_valid(i) {
+                nulls += 1;
+                continue;
+            }
+            bounds = Some(match (data, bounds) {
+                (
+                    EncodedData::ForInt {
+                        reference,
+                        width,
+                        packed,
+                        ..
+                    },
+                    b,
+                ) => {
+                    let x = reference.wrapping_add(unpack_at(packed, i, *width) as i64);
+                    match b {
+                        None => ZoneBounds::Int { min: x, max: x },
+                        Some(ZoneBounds::Int { min, max }) => ZoneBounds::Int {
+                            min: min.min(x),
+                            max: max.max(x),
+                        },
+                        Some(other) => other,
+                    }
+                }
+                (EncodedData::DictStr { codes, .. }, b) => {
+                    let c = codes[i];
+                    match b {
+                        None => ZoneBounds::Code { min: c, max: c },
+                        Some(ZoneBounds::Code { min, max }) => ZoneBounds::Code {
+                            min: min.min(c),
+                            max: max.max(c),
+                        },
+                        Some(other) => other,
+                    }
+                }
+                (EncodedData::Float(v), b) => {
+                    let x = v[i];
+                    if x.is_nan() {
+                        ZoneBounds::Unordered
+                    } else {
+                        match b {
+                            None => ZoneBounds::Float { min: x, max: x },
+                            Some(ZoneBounds::Float { min, max }) => ZoneBounds::Float {
+                                min: min.min(x),
+                                max: max.max(x),
+                            },
+                            Some(other) => other,
+                        }
+                    }
+                }
+                (EncodedData::Bool(v), b) => {
+                    let x = v[i];
+                    match b {
+                        None => ZoneBounds::Bool { min: x, max: x },
+                        Some(ZoneBounds::Bool { min, max }) => ZoneBounds::Bool {
+                            min: min & x,
+                            max: max | x,
+                        },
+                        Some(other) => other,
+                    }
+                }
+            });
+        }
+        zones.push(Zone {
+            rows: (end - start) as u32,
+            nulls,
+            bounds,
+        });
+        start = end;
+    }
+    zones
+}
+
+// ---- decision helpers ----------------------------------------------------
+
+/// `(dict < s, dict <= s)` partition points: `Lt` is code `< p_lt`,
+/// `Le` is `< p_le`, `Eq` is the (possibly empty) range between them.
+fn dict_thresholds(dict: &StrData, s: &str) -> (u32, u32) {
+    (
+        dict_partition(dict, |d| d < s),
+        dict_partition(dict, |d| d <= s),
+    )
+}
+
+fn dict_partition(dict: &StrData, pred: impl Fn(&str) -> bool) -> u32 {
+    let (mut lo, mut hi) = (0usize, dict.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pred(dict.get(mid)) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+/// Decide an operator from the orderings of a zone's min and max
+/// against the literal: `Some(true)` = every valid row matches,
+/// `Some(false)` = none does, `None` = straddles.
+fn decide_ord(op: EncCmpOp, lo: Ordering, hi: Ordering) -> Option<bool> {
+    use Ordering::*;
+    let all = match op {
+        EncCmpOp::Eq => lo == Equal && hi == Equal,
+        EncCmpOp::Ne => hi == Less || lo == Greater,
+        EncCmpOp::Lt => hi == Less,
+        EncCmpOp::Le => hi != Greater,
+        EncCmpOp::Gt => lo == Greater,
+        EncCmpOp::Ge => lo != Less,
+    };
+    if all {
+        return Some(true);
+    }
+    let none = match op {
+        EncCmpOp::Eq => hi == Less || lo == Greater,
+        EncCmpOp::Ne => lo == Equal && hi == Equal,
+        EncCmpOp::Lt => lo != Less,
+        EncCmpOp::Le => lo == Greater,
+        EncCmpOp::Gt => hi != Greater,
+        EncCmpOp::Ge => hi == Less,
+    };
+    if none {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn decide_float(op: EncCmpOp, min: f64, max: f64, l: f64) -> Option<bool> {
+    if l.is_nan() {
+        // Every comparison with NaN is false except `!=` — uniform
+        // across the morsel, so always decided.
+        return Some(op == EncCmpOp::Ne);
+    }
+    // Bounds exist only when the zone saw no NaN, so the order is total.
+    decide_ord(op, min.partial_cmp(&l)?, max.partial_cmp(&l)?)
+}
+
+/// Decide an operator in dictionary-code space: rows hold codes in
+/// `[min, max]`, the operator's true-set is `[0, p_lt)`, `[p_lt, p_le)`,
+/// etc. — interval containment/disjointness decides.
+fn decide_code(op: EncCmpOp, min: u32, max: u32, p_lt: u32, p_le: u32) -> Option<bool> {
+    let (all, none) = match op {
+        EncCmpOp::Lt => (max < p_lt, min >= p_lt),
+        EncCmpOp::Le => (max < p_le, min >= p_le),
+        EncCmpOp::Gt => (min >= p_le, max < p_le),
+        EncCmpOp::Ge => (min >= p_lt, max < p_lt),
+        EncCmpOp::Eq => (
+            p_lt < p_le && min >= p_lt && max < p_le,
+            max < p_lt || min >= p_le,
+        ),
+        EncCmpOp::Ne => (
+            max < p_lt || min >= p_le,
+            p_lt < p_le && min >= p_lt && max < p_le,
+        ),
+    };
+    if all {
+        Some(true)
+    } else if none {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+// ---- interpolation helpers (estimator) -----------------------------------
+
+/// Fraction of a discrete uniform `[min, max]` domain satisfying the op.
+fn frac_discrete(op: EncCmpOp, min: f64, max: f64, l: f64) -> f64 {
+    let span = max - min + 1.0;
+    let l = l.floor();
+    match op {
+        EncCmpOp::Lt => (l - min) / span,
+        EncCmpOp::Le => (l - min + 1.0) / span,
+        EncCmpOp::Gt => (max - l) / span,
+        EncCmpOp::Ge => (max - l + 1.0) / span,
+        EncCmpOp::Eq => {
+            if l >= min && l <= max {
+                1.0 / span
+            } else {
+                0.0
+            }
+        }
+        EncCmpOp::Ne => 1.0 - frac_discrete(EncCmpOp::Eq, min, max, l),
+    }
+}
+
+/// Fraction of a continuous uniform `[min, max]` domain satisfying the
+/// op; `None` only for a NaN literal (handled by the caller's fallback).
+fn frac_continuous(op: EncCmpOp, min: f64, max: f64, l: f64) -> Option<f64> {
+    if l.is_nan() {
+        return Some(if op == EncCmpOp::Ne { 1.0 } else { 0.0 });
+    }
+    let span = max - min;
+    if span <= 0.0 {
+        // Point zone: decide exactly.
+        let hit = match op {
+            EncCmpOp::Eq => min == l,
+            EncCmpOp::Ne => min != l,
+            EncCmpOp::Lt => min < l,
+            EncCmpOp::Le => min <= l,
+            EncCmpOp::Gt => min > l,
+            EncCmpOp::Ge => min >= l,
+        };
+        return Some(if hit { 1.0 } else { 0.0 });
+    }
+    Some(match op {
+        EncCmpOp::Lt | EncCmpOp::Le => (l - min) / span,
+        EncCmpOp::Gt | EncCmpOp::Ge => (max - l) / span,
+        EncCmpOp::Eq => 0.0,
+        EncCmpOp::Ne => 1.0,
+    })
+}
+
+/// Fraction of the zone's code range `[min, max]` inside the op's
+/// true-interval.
+fn frac_code(op: EncCmpOp, min: u32, max: u32, p_lt: u32, p_le: u32) -> f64 {
+    let span = (max - min + 1) as f64;
+    let overlap = |lo: u32, hi: u32| -> f64 {
+        // true-codes are [lo, hi); zone codes are [min, max]
+        let a = lo.max(min) as f64;
+        let b = (hi.min(max.saturating_add(1))).max(lo) as f64;
+        (b - a).max(0.0)
+    };
+    match op {
+        EncCmpOp::Lt => overlap(0, p_lt) / span,
+        EncCmpOp::Le => overlap(0, p_le) / span,
+        EncCmpOp::Gt => overlap(p_le, u32::MAX) / span,
+        EncCmpOp::Ge => overlap(p_lt, u32::MAX) / span,
+        EncCmpOp::Eq => overlap(p_lt, p_le) / span,
+        EncCmpOp::Ne => 1.0 - overlap(p_lt, p_le) / span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use basilisk_types::{MaskArena, Value};
+
+    fn nullable_ints(vals: &[Option<i64>]) -> Column {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for v in vals {
+            b.push(v.map_or(Value::Null, Value::Int)).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn pack_roundtrip_all_widths() {
+        for width in 0..=64u32 {
+            let vals: Vec<u64> = (0..200u64)
+                .map(|i| {
+                    if width == 0 {
+                        0
+                    } else if width == 64 {
+                        i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    } else {
+                        (i.wrapping_mul(0x9E37_79B9)) & ((1u64 << width) - 1)
+                    }
+                })
+                .collect();
+            let mut packed = vec![0u64; (vals.len() * width as usize).div_ceil(64)];
+            for (i, &v) in vals.iter().enumerate() {
+                pack_at(&mut packed, i, width, v);
+            }
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(unpack_at(&packed, i, width), v, "width {width} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn int_roundtrip_including_extremes() {
+        let col = Column::from_ints(vec![i64::MIN, i64::MAX, 0, -1, 42]);
+        let enc = EncodedColumn::encode(&col);
+        assert_eq!(enc.decode(), col);
+        assert_eq!(enc.data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn str_dict_roundtrip_multibyte() {
+        let col = Column::from_strs(&["züge", "", "abc", "züge", "ære", "abc"]);
+        let enc = EncodedColumn::encode(&col);
+        assert_eq!(enc.decode(), col);
+        let dict = enc.raw_dict().unwrap();
+        assert_eq!(dict.len(), 4, "dictionary holds distinct values only");
+        // Compression: codes (4B) beat repeated strings for long values.
+        assert!(enc.raw_codes().unwrap().len() == col.len());
+    }
+
+    #[test]
+    fn nulls_roundtrip_with_placeholders() {
+        let col = nullable_ints(&[Some(3), None, Some(-7), None, Some(9)]);
+        let enc = EncodedColumn::encode(&col);
+        assert_eq!(enc.decode(), col);
+        assert_eq!(enc.validity().unwrap().count_ones(), 3);
+    }
+
+    #[test]
+    fn gather_matches_decoded_gather() {
+        let col = nullable_ints(&[Some(5), None, Some(1), Some(8), None]);
+        let enc = EncodedColumn::encode(&col);
+        let rows = [4u32, 0, 0, 2, 1];
+        assert_eq!(enc.gather(&rows), col.gather(&rows));
+        let strs = Column::from_strs(&["b", "a", "c", "b"]);
+        let enc = EncodedColumn::encode(&strs);
+        assert_eq!(enc.gather(&[3, 1, 0]), strs.gather(&[3, 1, 0]));
+    }
+
+    #[test]
+    fn zone_prune_decides_disjoint_ranges() {
+        // Two zones: [0, 1023] and [1024, 2047].
+        let col = Column::from_ints((0..2048).collect());
+        let enc = EncodedColumn::encode(&col);
+        assert_eq!(enc.zone_count(), 2);
+        let morsels = Morsel::split(2048, 1024);
+        let (m0, m1) = (morsels[0], morsels[1]);
+        assert_eq!(
+            enc.prune_cmp(EncCmpOp::Lt, &Value::Int(1024), m0),
+            Some(Truth::True)
+        );
+        assert_eq!(
+            enc.prune_cmp(EncCmpOp::Lt, &Value::Int(1024), m1),
+            Some(Truth::False)
+        );
+        assert_eq!(enc.prune_cmp(EncCmpOp::Lt, &Value::Int(500), m0), None);
+        assert_eq!(
+            enc.prune_cmp(EncCmpOp::Eq, &Value::Int(5000), m1),
+            Some(Truth::False)
+        );
+        assert_eq!(
+            enc.prune_cmp(EncCmpOp::Ge, &Value::Int(1024), m1),
+            Some(Truth::True)
+        );
+    }
+
+    #[test]
+    fn zone_prune_all_null_morsel_is_unknown() {
+        let col = nullable_ints(&vec![None; 128]);
+        let enc = EncodedColumn::encode(&col);
+        let m = Morsel::full(128);
+        assert_eq!(
+            enc.prune_cmp(EncCmpOp::Eq, &Value::Int(1), m),
+            Some(Truth::Unknown)
+        );
+        assert_eq!(enc.prune_is_null(m), Some(true));
+    }
+
+    #[test]
+    fn nan_poisons_zone_bounds() {
+        let col = Column::from_floats(vec![1.0, f64::NAN, 3.0]);
+        let enc = EncodedColumn::encode(&col);
+        let m = Morsel::full(3);
+        assert_eq!(enc.prune_cmp(EncCmpOp::Lt, &Value::Float(10.0), m), None);
+        // …but a NaN *literal* is decided for any bounds.
+        let clean = EncodedColumn::encode(&Column::from_floats(vec![1.0, 2.0]));
+        assert_eq!(
+            clean.prune_cmp(EncCmpOp::Ne, &Value::Float(f64::NAN), Morsel::full(2)),
+            Some(Truth::True)
+        );
+    }
+
+    #[test]
+    fn fill_decided_routes_nulls_to_unknown() {
+        let col = nullable_ints(&[Some(1), None, Some(3), None]);
+        let enc = EncodedColumn::encode(&col);
+        let arena = MaskArena::new();
+        let sel = Bitmap::all_set(4);
+        let m = Morsel::full(4);
+        let mut out = arena.mask(4);
+        enc.fill_decided(Truth::True, &sel, m, &mut out);
+        assert_eq!(out.get(0), Truth::True);
+        assert_eq!(out.get(1), Truth::Unknown);
+        assert_eq!(out.get(2), Truth::True);
+        assert_eq!(out.get(3), Truth::Unknown);
+        let mut out2 = arena.mask(4);
+        enc.fill_decided(Truth::False, &sel, m, &mut out2);
+        assert_eq!(out2.get(0), Truth::False);
+        assert_eq!(out2.get(1), Truth::Unknown);
+    }
+
+    #[test]
+    fn encoded_cmp_matches_semantics_in_code_space() {
+        let col = Column::from_strs(&["delta", "alpha", "echo", "bravo", "delta"]);
+        let enc = EncodedColumn::encode(&col);
+        let arena = MaskArena::new();
+        let sel = Bitmap::all_set(5);
+        let m = Morsel::full(5);
+        for (op, expected) in [
+            (EncCmpOp::Eq, [true, false, false, false, true]),
+            (EncCmpOp::Lt, [false, true, false, true, false]),
+            (EncCmpOp::Ge, [true, false, true, false, true]),
+            (EncCmpOp::Ne, [false, true, true, true, false]),
+        ] {
+            let mut out = arena.mask(5);
+            assert!(enc.fill_cmp(op, &Value::from("delta"), &sel, m, &mut out));
+            for (i, &e) in expected.iter().enumerate() {
+                assert_eq!(out.get(i), Truth::from(e), "{op:?} lane {i}");
+            }
+            arena.recycle_mask(out);
+        }
+        // Absent literal: Eq empty-range, Ne everything (valid lanes).
+        let mut out = arena.mask(5);
+        assert!(enc.fill_cmp(EncCmpOp::Eq, &Value::from("coyote"), &sel, m, &mut out));
+        assert_eq!(out.count_true(), 0);
+    }
+
+    #[test]
+    fn encoded_int_cmp_out_of_domain_literals() {
+        let col = Column::from_ints(vec![10, 20, 30]);
+        let enc = EncodedColumn::encode(&col);
+        let arena = MaskArena::new();
+        let sel = Bitmap::all_set(3);
+        let m = Morsel::full(3);
+        let mut out = arena.mask(3);
+        // literal below the frame reference
+        assert!(enc.fill_cmp(EncCmpOp::Gt, &Value::Int(-5), &sel, m, &mut out));
+        assert_eq!(out.count_true(), 3);
+        let mut out = arena.mask(3);
+        assert!(enc.fill_cmp(EncCmpOp::Lt, &Value::Int(-5), &sel, m, &mut out));
+        assert_eq!(out.count_true(), 0);
+    }
+
+    #[test]
+    fn unsupported_pairings_fall_back() {
+        let col = Column::from_ints(vec![1, 2]);
+        let enc = EncodedColumn::encode(&col);
+        let arena = MaskArena::new();
+        let sel = Bitmap::all_set(2);
+        let m = Morsel::full(2);
+        let mut out = arena.mask(2);
+        // Int column vs float literal: no encoded kernel (decoded path
+        // owns the cross-type semantics).
+        assert!(!enc.fill_cmp(EncCmpOp::Lt, &Value::Float(1.5), &sel, m, &mut out));
+        // Str map over a non-dict column.
+        assert!(!enc.fill_str_map(&sel, m, &mut out, |_| Truth::True));
+    }
+
+    #[test]
+    fn zone_selectivity_tracks_skew() {
+        // Skewed: 0..100 in the first zone-span of rows, 100_000 beyond.
+        let vals: Vec<i64> = (0..4096)
+            .map(|i| if i < 1024 { i % 100 } else { 100_000 })
+            .collect();
+        let enc = EncodedColumn::encode(&Column::from_ints(vals));
+        let s = enc
+            .zone_selectivity(EncCmpOp::Lt, &Value::Int(100))
+            .unwrap();
+        // Exactly the first quarter of rows match; uniform-spread would
+        // have guessed ~0.1%.
+        assert!((s - 0.25).abs() < 0.01, "got {s}");
+        let none = enc
+            .zone_selectivity(EncCmpOp::Gt, &Value::Int(200_000))
+            .unwrap();
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn compression_is_real() {
+        let n = 64 * 1024;
+        let ints = Column::from_ints((0..n as i64).map(|i| 1900 + (i % 128)).collect());
+        let enc = EncodedColumn::encode(&ints);
+        assert!(
+            enc.encoded_bytes() * 4 < n * 8,
+            "7-bit packing should beat 64-bit rows by ≥4×: {} vs {}",
+            enc.encoded_bytes(),
+            n * 8
+        );
+        let strs: Vec<String> = (0..n).map(|i| format!("country-{}", i % 20)).collect();
+        let enc = EncodedColumn::encode(&Column::from_strs(&strs));
+        assert!(
+            enc.encoded_bytes() < n * 8,
+            "dict codes beat inline strings"
+        );
+    }
+
+    #[test]
+    fn ragged_tail_morsel_fills() {
+        // 100 rows: last word holds 36 lanes; morsel end is off-word.
+        let col = Column::from_ints((0..100).collect());
+        let enc = EncodedColumn::encode(&col);
+        let arena = MaskArena::new();
+        let sel = Bitmap::all_set(100);
+        let m = Morsel::full(100);
+        let mut out = arena.mask(100);
+        assert!(enc.fill_cmp(EncCmpOp::Ge, &Value::Int(90), &sel, m, &mut out));
+        assert_eq!(out.count_true(), 10);
+        let mut out = arena.mask(100);
+        enc.fill_decided(Truth::True, &sel, m, &mut out);
+        assert_eq!(out.count_true(), 100);
+    }
+}

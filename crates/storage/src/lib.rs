@@ -17,15 +17,24 @@
 //! configurable selectivity threshold. Tables can be fully in-memory (the
 //! default for benchmarks, for determinism) or disk-backed (exercised by
 //! tests and the I/O ablation bench).
+//!
+//! On top of the plain layout sits the **encoded** layer ([`EncodedColumn`],
+//! [`ColumnHandle::Enc`]): dictionary-coded strings, frame-of-reference
+//! bit-packed ints, and per-zone min/max/null statistics that let
+//! evaluators prove whole word-aligned morsels all-true / all-false /
+//! all-null without touching the payload. Encoding is chosen at
+//! [`TableBuilder`] time and is invisible above the storage API.
 
 #![forbid(unsafe_code)]
 
 mod cache;
 mod column;
 mod disk;
+mod encode;
 mod table;
 
 pub use cache::{CacheStats, LfuPageCache, PageKey};
 pub use column::{Column, ColumnBuilder, ColumnData, StrData};
 pub use disk::{DiskColumn, PAGE_SIZE};
+pub use encode::{EncCmpOp, EncodedColumn, ZONE_ROWS};
 pub use table::{ColumnHandle, Table, TableBuilder, DEFAULT_SEQ_SCAN_THRESHOLD};

@@ -10,6 +10,7 @@ use basilisk_types::{BasiliskError, Bitmap, DataType, Result, Value};
 use crate::cache::LfuPageCache;
 use crate::column::{Column, ColumnBuilder};
 use crate::disk::DiskColumn;
+use crate::encode::EncodedColumn;
 
 /// Above this fraction of set bits, a bitmap read scans the whole column
 /// sequentially and selects in memory; below it, only the relevant pages
@@ -19,10 +20,16 @@ use crate::disk::DiskColumn;
 /// for ~1000-value pages where even 5% selectivity touches most pages.
 pub const DEFAULT_SEQ_SCAN_THRESHOLD: f64 = 0.05;
 
-/// A handle to one column's storage, either resident or on disk.
+/// A handle to one column's storage: resident, resident-encoded, or on
+/// disk. Everything above this API is encoding-blind — an `Enc` handle
+/// answers every method with the exact rows a `Mem` handle would.
 #[derive(Clone)]
 pub enum ColumnHandle {
     Mem(Arc<Column>),
+    /// Compressed + zone-mapped (see [`EncodedColumn`]). Evaluators that
+    /// know about encodings fetch the inner column and run code-space
+    /// kernels; everyone else decodes through [`ColumnHandle::scan`].
+    Enc(Arc<EncodedColumn>),
     Disk(Arc<DiskColumn>),
 }
 
@@ -30,6 +37,7 @@ impl ColumnHandle {
     pub fn len(&self) -> usize {
         match self {
             ColumnHandle::Mem(c) => c.len(),
+            ColumnHandle::Enc(e) => e.len(),
             ColumnHandle::Disk(d) => d.len(),
         }
     }
@@ -41,7 +49,16 @@ impl ColumnHandle {
     pub fn data_type(&self) -> DataType {
         match self {
             ColumnHandle::Mem(c) => c.data_type(),
+            ColumnHandle::Enc(e) => e.data_type(),
             ColumnHandle::Disk(d) => d.data_type(),
+        }
+    }
+
+    /// The encoded form, when this column has one.
+    pub fn encoded(&self) -> Option<&Arc<EncodedColumn>> {
+        match self {
+            ColumnHandle::Enc(e) => Some(e),
+            _ => None,
         }
     }
 
@@ -49,6 +66,7 @@ impl ColumnHandle {
     pub fn scan(&self) -> Result<Arc<Column>> {
         match self {
             ColumnHandle::Mem(c) => Ok(Arc::clone(c)),
+            ColumnHandle::Enc(e) => Ok(Arc::new(e.decode())),
             ColumnHandle::Disk(d) => Ok(Arc::new(d.scan()?)),
         }
     }
@@ -58,6 +76,7 @@ impl ColumnHandle {
     pub fn gather(&self, rows: &[u32]) -> Result<Column> {
         match self {
             ColumnHandle::Mem(c) => Ok(c.gather(rows)),
+            ColumnHandle::Enc(e) => Ok(e.gather(rows)),
             ColumnHandle::Disk(d) => d.gather(rows),
         }
     }
@@ -71,6 +90,16 @@ impl ColumnHandle {
     pub fn gather_in(&self, rows: &[u32], arena: &basilisk_types::MaskArena) -> Result<Column> {
         match self {
             ColumnHandle::Mem(c) => Ok(c.gather_in(rows, arena)),
+            ColumnHandle::Enc(e) => {
+                // Like the disk path: decode the gathered subset fresh,
+                // then re-land it in pooled buffers.
+                let fresh = e.gather(rows);
+                let mut identity = arena.indices();
+                identity.extend(0..fresh.len() as u32);
+                let pooled = fresh.gather_in(&identity, arena);
+                arena.recycle_indices(identity);
+                Ok(pooled)
+            }
             ColumnHandle::Disk(d) => {
                 let fresh = d.gather(rows)?;
                 let mut identity = arena.indices();
@@ -102,6 +131,10 @@ impl ColumnHandle {
             ColumnHandle::Mem(c) => {
                 bitmap.indices_into(scratch);
                 Ok(c.gather(scratch))
+            }
+            ColumnHandle::Enc(e) => {
+                bitmap.indices_into(scratch);
+                Ok(e.gather(scratch))
             }
             ColumnHandle::Disk(d) => {
                 if bitmap.selectivity() > threshold {
@@ -243,6 +276,27 @@ impl Table {
             rows,
         })
     }
+
+    /// The same table with every column re-encoded (dictionary /
+    /// frame-of-reference, see [`EncodedColumn`]). Reads above the
+    /// storage API are unchanged; encoding-aware evaluators gain zone
+    /// maps and code-space kernels.
+    pub fn encode(&self) -> Result<Table> {
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for (cname, handle) in &self.columns {
+            let col = handle.scan()?;
+            columns.push((
+                cname.clone(),
+                ColumnHandle::Enc(Arc::new(EncodedColumn::encode(&col))),
+            ));
+        }
+        Ok(Table {
+            name: self.name.clone(),
+            columns,
+            by_name: self.by_name.clone(),
+            rows: self.rows,
+        })
+    }
 }
 
 /// Row-at-a-time builder for in-memory tables (used by loaders, generators
@@ -250,6 +304,7 @@ impl Table {
 pub struct TableBuilder {
     name: String,
     columns: Vec<(String, ColumnBuilder)>,
+    encode: bool,
 }
 
 impl TableBuilder {
@@ -257,11 +312,19 @@ impl TableBuilder {
         TableBuilder {
             name: name.into(),
             columns: Vec::new(),
+            encode: false,
         }
     }
 
     pub fn column(mut self, name: impl Into<String>, dtype: DataType) -> Self {
         self.columns.push((name.into(), ColumnBuilder::new(dtype)));
+        self
+    }
+
+    /// Finish into encoded columns ([`ColumnHandle::Enc`]) instead of
+    /// plain in-memory ones. Invisible above the storage API.
+    pub fn encoded(mut self) -> Self {
+        self.encode = true;
         self
     }
 
@@ -281,13 +344,18 @@ impl TableBuilder {
     }
 
     pub fn finish(self) -> Result<Table> {
-        Table::from_columns(
+        let table = Table::from_columns(
             self.name,
             self.columns
                 .into_iter()
                 .map(|(n, b)| (n, b.finish()))
                 .collect(),
-        )
+        )?;
+        if self.encode {
+            table.encode()
+        } else {
+            Ok(table)
+        }
     }
 }
 
@@ -396,6 +464,49 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 1500);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn encoded_table_is_transparent() {
+        let plain = sample_table();
+        let mut b = TableBuilder::new("movies")
+            .column("id", DataType::Int)
+            .column("year", DataType::Int)
+            .column("title", DataType::Str)
+            .encoded();
+        for (id, year, title) in [
+            (1, 2008, "The Dark Knight"),
+            (2, 2001, "Evolution"),
+            (3, 1994, "The Shawshank Redemption"),
+            (4, 1994, "Pulp Fiction"),
+        ] {
+            b.push_row(vec![id.into(), year.into(), title.into()])
+                .unwrap();
+        }
+        let mut enc = b.finish().unwrap();
+        for (name, handle) in enc.columns() {
+            assert!(handle.encoded().is_some(), "column {name} is encoded");
+            let p = plain.column(name).unwrap();
+            assert_eq!(*handle.scan().unwrap(), *p.scan().unwrap());
+            assert_eq!(
+                handle.gather(&[3, 1, 1]).unwrap(),
+                p.gather(&[3, 1, 1]).unwrap()
+            );
+            let sel = Bitmap::from_indices(4, [0usize, 2]);
+            assert_eq!(
+                handle
+                    .read_selected(&sel, DEFAULT_SEQ_SCAN_THRESHOLD)
+                    .unwrap(),
+                p.read_selected(&sel, DEFAULT_SEQ_SCAN_THRESHOLD).unwrap()
+            );
+        }
+        // Re-encoding an already materialized table works too.
+        enc = plain.encode().unwrap();
+        assert!(enc.column("year").unwrap().encoded().is_some());
+        assert_eq!(
+            *enc.column("year").unwrap().scan().unwrap(),
+            *plain.column("year").unwrap().scan().unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Property tests for the encoded-column layer: every column — including
+//! non-finite floats and multi-byte strings — survives encode/decode and
+//! encoded gather **bit-for-bit**, and zone-derived selectivities are
+//! always probabilities.
+//!
+//! Floats compare by bit pattern (`to_bits`), not `==`: NaNs must
+//! round-trip exactly, and `NaN == NaN` is false.
+
+use basilisk_storage::{Column, ColumnBuilder, EncCmpOp, EncodedColumn};
+use basilisk_types::{DataType, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Cell {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+fn column_strategy() -> impl Strategy<Value = (DataType, Vec<Cell>)> {
+    let dtype = prop_oneof![
+        Just(DataType::Int),
+        Just(DataType::Float),
+        Just(DataType::Str),
+        Just(DataType::Bool),
+    ];
+    dtype.prop_flat_map(|dt| {
+        let cell = match dt {
+            DataType::Int => prop_oneof![
+                1 => Just(Cell::Null),
+                2 => Just(Cell::Int(i64::MIN)),
+                2 => Just(Cell::Int(i64::MAX)),
+                8 => any::<i64>().prop_map(Cell::Int)
+            ]
+            .boxed(),
+            DataType::Float => prop_oneof![
+                1 => Just(Cell::Null),
+                1 => Just(Cell::Float(f64::NAN)),
+                1 => Just(Cell::Float(f64::INFINITY)),
+                1 => Just(Cell::Float(f64::NEG_INFINITY)),
+                1 => Just(Cell::Float(-0.0)),
+                8 => (-1e12f64..1e12).prop_map(Cell::Float)
+            ]
+            .boxed(),
+            DataType::Str => prop_oneof![
+                1 => Just(Cell::Null),
+                8 => proptest::collection::vec(
+                    prop_oneof![
+                        Just('a'), Just('Z'), Just('0'), Just(' '),
+                        Just('ü'), Just('ß'), Just('雪'), Just('🦎'),
+                    ],
+                    0..12
+                )
+                .prop_map(|cs| Cell::Str(cs.into_iter().collect()))
+            ]
+            .boxed(),
+            DataType::Bool => prop_oneof![
+                1 => Just(Cell::Null),
+                8 => any::<bool>().prop_map(Cell::Bool)
+            ]
+            .boxed(),
+        };
+        proptest::collection::vec(cell, 0..400).prop_map(move |cells| (dt, cells))
+    })
+}
+
+fn build(dt: DataType, cells: &[Cell]) -> Column {
+    let mut b = ColumnBuilder::new(dt);
+    for c in cells {
+        let v = match c {
+            Cell::Null => Value::Null,
+            Cell::Int(i) => Value::Int(*i),
+            Cell::Float(f) => Value::Float(*f),
+            Cell::Str(s) => Value::Str(s.clone()),
+            Cell::Bool(x) => Value::Bool(*x),
+        };
+        b.push(v).unwrap();
+    }
+    b.finish()
+}
+
+/// Lane-by-lane bit equality: validity must match, valid floats must
+/// share a bit pattern, every other type compares by value.
+fn assert_lanes_equal(a: &Column, b: &Column) {
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        assert_eq!(a.is_valid(i), b.is_valid(i), "validity at {i}");
+        if !a.is_valid(i) {
+            continue;
+        }
+        match (a.value(i), b.value(i)) {
+            (Value::Float(x), Value::Float(y)) => {
+                assert_eq!(x.to_bits(), y.to_bits(), "float bits at {i}")
+            }
+            (x, y) => assert_eq!(x, y, "value at {i}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity on every lane.
+    #[test]
+    fn encode_decode_roundtrip((dt, cells) in column_strategy()) {
+        let col = build(dt, &cells);
+        let enc = EncodedColumn::encode(&col);
+        prop_assert_eq!(enc.len(), col.len());
+        prop_assert_eq!(enc.data_type(), col.data_type());
+        assert_lanes_equal(&enc.decode(), &col);
+    }
+
+    /// Encoded gather agrees with gathering the decoded column.
+    #[test]
+    fn encoded_gather_matches_decoded((dt, cells) in column_strategy(), seed in any::<u64>()) {
+        let col = build(dt, &cells);
+        prop_assume!(!col.is_empty());
+        let enc = EncodedColumn::encode(&col);
+        let mut rows = Vec::new();
+        let mut x = seed | 1;
+        for _ in 0..cells.len().min(64) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rows.push((x % col.len() as u64) as u32);
+        }
+        let gathered = enc.gather(&rows);
+        prop_assert_eq!(gathered.len(), rows.len());
+        for (j, &r) in rows.iter().enumerate() {
+            let i = r as usize;
+            prop_assert_eq!(gathered.is_valid(j), col.is_valid(i));
+            if !col.is_valid(i) {
+                continue;
+            }
+            match (gathered.value(j), col.value(i)) {
+                (Value::Float(x), Value::Float(y)) => {
+                    prop_assert_eq!(x.to_bits(), y.to_bits())
+                }
+                (x, y) => prop_assert_eq!(x, y),
+            }
+        }
+    }
+
+    /// Zone-derived range selectivities are always finite probabilities.
+    #[test]
+    fn zone_selectivity_is_a_probability(ints in proptest::collection::vec(any::<i64>(), 0..300), lit in any::<i64>()) {
+        let enc = EncodedColumn::encode(&Column::from_ints(ints));
+        for op in [EncCmpOp::Eq, EncCmpOp::Ne, EncCmpOp::Lt, EncCmpOp::Le, EncCmpOp::Gt, EncCmpOp::Ge] {
+            if let Some(s) = enc.zone_selectivity(op, &Value::Int(lit)) {
+                prop_assert!(s.is_finite() && (0.0..=1.0).contains(&s), "{:?} → {}", op, s);
+            }
+        }
+    }
+}

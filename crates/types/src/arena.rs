@@ -88,6 +88,11 @@ pub struct ArenaStats {
     pub values: PoolStats,
     /// Generation-stamped dedup tables (see [`crate::SlotTable`]).
     pub slot_tables: PoolStats,
+    /// Atom-morsels proven whole by a zone map (no data touched) — see
+    /// [`MaskArena::note_zone_skip`].
+    pub zone_skipped_morsels: u64,
+    /// Atom-morsels that had to evaluate data (encoded or decoded).
+    pub zone_scanned_morsels: u64,
 }
 
 impl ArenaStats {
@@ -105,6 +110,8 @@ impl ArenaStats {
             a.fresh += b.fresh;
             a.reused += b.reused;
         }
+        self.zone_skipped_morsels += other.zone_skipped_morsels;
+        self.zone_scanned_morsels += other.zone_scanned_morsels;
     }
 
     /// The per-shape counters with their stable metric label names.
@@ -158,6 +165,8 @@ pub struct MaskArena {
     index_reused: Cell<usize>,
     slot_fresh: Cell<usize>,
     slot_reused: Cell<usize>,
+    zone_skipped: Cell<u64>,
+    zone_scanned: Cell<u64>,
     live: Cell<usize>,
     /// Identity in the `basilisk_check` buffer-ownership registry
     /// (lazily assigned; 0 = not yet registered).
@@ -329,6 +338,21 @@ impl MaskArena {
         }
     }
 
+    /// Record one atom-morsel whose whole mask range was filled from a
+    /// zone map without touching column data. The evaluator calls this on
+    /// the arena it is already holding, so the counter inherits the
+    /// arena's no-locking concurrency model (per-worker, merged by the
+    /// same collectors that aggregate [`ArenaStats`]).
+    pub fn note_zone_skip(&self) {
+        self.zone_skipped.set(self.zone_skipped.get() + 1);
+    }
+
+    /// Record one atom-morsel that evaluated data (encoded kernel or
+    /// decoded fallback) because its zone map could not decide it.
+    pub fn note_zone_scan(&self) {
+        self.zone_scanned.set(self.zone_scanned.get() + 1);
+    }
+
     /// Checkout counters since construction or [`Self::reset_stats`].
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
@@ -350,6 +374,8 @@ impl MaskArena {
                 fresh: self.slot_fresh.get(),
                 reused: self.slot_reused.get(),
             },
+            zone_skipped_morsels: self.zone_skipped.get(),
+            zone_scanned_morsels: self.zone_scanned.get(),
         }
     }
 
@@ -364,6 +390,8 @@ impl MaskArena {
         self.index_reused.set(0);
         self.slot_fresh.set(0);
         self.slot_reused.set(0);
+        self.zone_skipped.set(0);
+        self.zone_scanned.set(0);
         self.columns.reset_stats();
         self.values.reset_stats();
     }
